@@ -1,0 +1,104 @@
+// Micro-benchmarks of the cryptographic substrate (google-benchmark).
+// These quantify the primitives behind Section 7.1's overhead numbers at
+// full parameter sizes.
+#include <benchmark/benchmark.h>
+
+#include "crypto/blinding.hpp"
+#include "crypto/oprf.hpp"
+#include "crypto/prime.hpp"
+
+namespace {
+using namespace eyw;
+
+void BM_Sha256Throughput(benchmark::State& state) {
+  const std::vector<std::uint8_t> buf(
+      static_cast<std::size_t>(state.range(0)), 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::sha256(std::span<const std::uint8_t>(buf.data(), buf.size())));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256Throughput)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_BignumModexp(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const crypto::Bignum m = crypto::Bignum::random_bits(rng, bits);
+  const crypto::Bignum b = crypto::Bignum::random_bits(rng, bits - 1);
+  const crypto::Bignum e = crypto::Bignum::random_bits(rng, bits - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Bignum::modexp(b, e, m));
+  }
+}
+BENCHMARK(BM_BignumModexp)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_MillerRabin(benchmark::State& state) {
+  util::Rng rng(2);
+  const crypto::Bignum p =
+      crypto::generate_prime(rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::is_probable_prime(p, rng, 8));
+  }
+}
+BENCHMARK(BM_MillerRabin)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_OprfRoundTrip(benchmark::State& state) {
+  util::Rng rng(3);
+  const crypto::OprfServer server(rng,
+                                  static_cast<std::size_t>(state.range(0)));
+  const crypto::OprfClient client(server.public_key());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string url = "https://ads.test/" + std::to_string(i++);
+    const auto blinded = client.blind(url, rng);
+    const auto resp = server.evaluate_blinded(blinded.blinded_element);
+    benchmark::DoNotOptimize(client.finalize(url, blinded, resp));
+  }
+}
+BENCHMARK(BM_OprfRoundTrip)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DhSharedSecret(benchmark::State& state) {
+  util::Rng rng(4);
+  const crypto::DhGroup group =
+      crypto::DhGroup::generate(rng, static_cast<std::size_t>(state.range(0)));
+  const auto a = crypto::dh_keygen(group, rng);
+  const auto b = crypto::dh_keygen(group, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::dh_shared_secret(group, a.private_key, b.public_key));
+  }
+}
+BENCHMARK(BM_DhSharedSecret)->Arg(256)->Arg(512);
+
+void BM_BlindingVector(benchmark::State& state) {
+  util::Rng rng(5);
+  static const crypto::DhGroup group = crypto::DhGroup::generate(rng, 256);
+  const auto peers = static_cast<std::size_t>(state.range(0));
+  const auto cells = static_cast<std::size_t>(state.range(1));
+  std::vector<crypto::DhKeyPair> keys;
+  std::vector<crypto::Bignum> publics;
+  for (std::size_t i = 0; i < peers; ++i) {
+    keys.push_back(crypto::dh_keygen(group, rng));
+    publics.push_back(keys.back().public_key);
+  }
+  const crypto::BlindingParticipant participant(
+      group, 0, keys[0], std::span<const crypto::Bignum>(publics));
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(participant.blinding_vector(cells, round++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cells));
+}
+BENCHMARK(BM_BlindingVector)
+    ->Args({16, 5000})
+    ->Args({64, 5000})
+    ->Args({64, 46223})  // the T=10k paper sketch geometry (17 x 2719)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

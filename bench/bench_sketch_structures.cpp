@@ -1,0 +1,95 @@
+// Sketch-structure ablation (DESIGN.md §6): count-min sketch vs spectral
+// bloom filter — update/query cost and, via counters, estimation error at
+// equal memory. The CMS is the structure the paper deploys because
+// cell-wise addition composes with additive blinding.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "sketch/count_min.hpp"
+#include "sketch/spectral_bloom.hpp"
+#include "util/rng.hpp"
+
+namespace {
+using namespace eyw;
+
+void BM_CmsUpdate(benchmark::State& state) {
+  sketch::CountMinSketch cms(
+      sketch::CmsParams::from_error_bounds(10'000, 0.001, 0.001), 1);
+  util::Rng rng(2);
+  for (auto _ : state) cms.update(rng.below(10'000));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CmsUpdate);
+
+void BM_CmsQuery(benchmark::State& state) {
+  sketch::CountMinSketch cms(
+      sketch::CmsParams::from_error_bounds(10'000, 0.001, 0.001), 1);
+  util::Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) cms.update(rng.below(10'000));
+  for (auto _ : state) benchmark::DoNotOptimize(cms.query(rng.below(10'000)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CmsQuery);
+
+void BM_SbfUpdateMinIncrease(benchmark::State& state) {
+  sketch::SpectralBloom sbf(sketch::SbfParams::from_capacity(10'000, 0.001),
+                            1);
+  util::Rng rng(4);
+  for (auto _ : state) sbf.update(rng.below(10'000));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SbfUpdateMinIncrease);
+
+void BM_ServerIdSpaceEnumeration(benchmark::State& state) {
+  // The back-end's finalize step queries every id in [0, |A|).
+  sketch::CountMinSketch cms(
+      sketch::CmsParams::from_error_bounds(10'000, 0.001, 0.001), 1);
+  util::Rng rng(5);
+  for (int i = 0; i < 3'500; ++i) cms.update(rng.below(10'000));
+  const auto id_space = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    std::uint64_t nonzero = 0;
+    for (std::uint64_t id = 0; id < id_space; ++id)
+      nonzero += cms.query(id) > 0;
+    benchmark::DoNotOptimize(nonzero);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ServerIdSpaceEnumeration)->Arg(10'000)->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Error-at-equal-memory comparison, reported through counters.
+void BM_ErrorAtEqualMemory(benchmark::State& state) {
+  const auto cms_params =
+      sketch::CmsParams::from_error_bounds(2'000, 0.005, 0.01);
+  // SBF gets the same number of 4-byte cells.
+  const sketch::SbfParams sbf_params{.cells = cms_params.cells(), .hashes = 5};
+  double cms_err = 0.0, sbf_err = 0.0;
+  for (auto _ : state) {
+    sketch::CountMinSketch cms(cms_params, 7);
+    sketch::SpectralBloom sbf(sbf_params, 7);
+    std::map<std::uint64_t, std::uint32_t> truth;
+    util::Rng rng(8);
+    for (int i = 0; i < 50'000; ++i) {
+      const std::uint64_t k = rng.below(5'000);
+      cms.update(k);
+      sbf.update(k);
+      ++truth[k];
+    }
+    cms_err = sbf_err = 0.0;
+    for (const auto& [k, c] : truth) {
+      cms_err += cms.query(k) - c;
+      sbf_err += sbf.query(k) - c;
+    }
+    benchmark::DoNotOptimize(cms_err);
+  }
+  state.counters["cms_total_overcount"] = cms_err;
+  state.counters["sbf_total_overcount"] = sbf_err;
+}
+BENCHMARK(BM_ErrorAtEqualMemory)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

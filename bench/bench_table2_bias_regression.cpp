@@ -1,0 +1,101 @@
+// Table 2 + Figure 5: socio-economic bias of ad targeting, recovered by
+// binomial logistic regression D ~ Gender + Income + Age.
+//
+// The live study regresses the type of received ad (static vs targeted) on
+// volunteer demographics. We plant the paper's qualitative biases in the
+// delivery model (women more targeted than men at the extremes of the
+// intercept parameterization, income brackets 30-60k/60-90k boosted,
+// 90k+ suppressed, a rising age trend), generate per-impression outcomes,
+// and verify the regression recovers the planted odds ratios with the same
+// significance structure.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/logistic.hpp"
+#include "simulator/world.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace eyw;
+
+// Planted log-odds, mirroring Table 2's qualitative structure.
+// Base: intercept for the {female is reference? no --} model below.
+double planted_logit(const sim::Demographics& d) {
+  double eta = -1.2;  // base rate of targeted ads
+  // Gender: men less targeted than women (paper OR male < OR female).
+  if (d.gender == sim::Gender::kMale) eta += std::log(0.68);
+  // Income: middle brackets boosted, very high suppressed.
+  switch (d.income) {
+    case sim::IncomeBracket::k0to30: break;
+    case sim::IncomeBracket::k30to60: eta += std::log(1.45); break;
+    case sim::IncomeBracket::k60to90: eta += std::log(1.52); break;
+    case sim::IncomeBracket::k90plus: eta += std::log(0.53); break;
+  }
+  // Age: consistent upward trend (mostly non-significant in the paper).
+  eta += 0.08 * static_cast<double>(d.age);
+  return eta;
+}
+
+}  // namespace
+
+int main() {
+  sim::SimConfig cfg;
+  cfg.num_users = 400;
+  cfg.seed = 190705;
+  const sim::World world = sim::World::build(cfg);
+
+  analysis::DesignBuilder design;
+  design.add_factor("Gender", {"female", "male"});
+  design.add_factor("Income", {"0-30k", "30k-60k", "60k-90k", "90k-..."});
+  design.add_factor("Age", {"1-20", "20-30", "30-40", "40-50", "50-60",
+                            "60-70"});
+
+  util::Rng rng(77);
+  constexpr int kAdsPerUser = 60;  // ads received during the study
+  for (const sim::SimUser& user : world.users) {
+    const double p =
+        1.0 / (1.0 + std::exp(-planted_logit(user.demographics)));
+    for (int a = 0; a < kAdsPerUser; ++a) {
+      design.add_row(
+          {user.demographics.gender == sim::Gender::kMale ? 1u : 0u,
+           static_cast<std::size_t>(user.demographics.income),
+           static_cast<std::size_t>(user.demographics.age)},
+          rng.chance(p));
+    }
+  }
+
+  const analysis::GlmFit fit = design.fit();
+  std::printf("Table 2: logistic regression modeling for targeted ads\n");
+  std::printf("(planted ORs: male=0.68, 30k-60k=1.45, 60k-90k=1.52, "
+              "90k+=0.53, age trend +8%%/bracket)\n\n");
+  std::printf("%s\n", fit.to_table().c_str());
+
+  std::printf("Figure 5: predicted probability of receiving a targeted ad\n");
+  const auto predict = [&](std::size_t g, std::size_t inc, std::size_t age) {
+    double eta = fit.coefficients[0].estimate;
+    if (g == 1) eta += fit.by_name("Gender:male").estimate;
+    static const char* kInc[] = {"", "Income:30k-60k", "Income:60k-90k",
+                                 "Income:90k-..."};
+    if (inc > 0) eta += fit.by_name(kInc[inc]).estimate;
+    static const char* kAge[] = {"",          "Age:20-30", "Age:30-40",
+                                 "Age:40-50", "Age:50-60", "Age:60-70"};
+    if (age > 0) eta += fit.by_name(kAge[age]).estimate;
+    return 1.0 / (1.0 + std::exp(-eta));
+  };
+  // Marginal effect per level, other factors at base levels.
+  std::printf("  Gender:  female=%.3f male=%.3f\n", predict(0, 0, 0),
+              predict(1, 0, 0));
+  std::printf("  Income:  0-30k=%.3f 30k-60k=%.3f 60k-90k=%.3f 90k+=%.3f\n",
+              predict(0, 0, 0), predict(0, 1, 0), predict(0, 2, 0),
+              predict(0, 3, 0));
+  std::printf("  Age:     ");
+  for (std::size_t a = 0; a < 6; ++a) std::printf("%zu:%.3f ", a, predict(0, 0, a));
+  std::printf("\n");
+
+  std::printf(
+      "\nShape check vs paper: male OR < 1 (significant); 30-60k and 60-90k "
+      "ORs > 1\n(significant), 90k+ OR < 1; age ORs trend upward with weaker "
+      "significance.\n");
+  return 0;
+}

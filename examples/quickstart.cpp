@@ -1,0 +1,46 @@
+// Quickstart: the count-based detection algorithm in ~40 lines.
+//
+// One user's browser-side detector plus the global #Users inputs that the
+// eyeWnder back-end would distribute. Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/global_view.hpp"
+#include "core/local_detector.hpp"
+
+int main() {
+  using namespace eyw::core;
+
+  // The browser extension's local state: it records (ad, domain, day).
+  LocalDetector detector;  // Mean thresholds, 7-day window, min 4 domains
+
+  // Ad 1001 follows the user across domains; ads 2000+ are one-off.
+  detector.observe(/*ad=*/1001, /*domain=*/1, /*day=*/0);
+  detector.observe(1001, 2, 0);
+  detector.observe(2000, 1, 0);
+  detector.observe(1001, 3, 1);
+  detector.observe(2001, 2, 1);
+  detector.observe(1001, 4, 2);
+  detector.observe(2002, 3, 2);
+
+  // Global inputs (the back-end computes these from blinded CMS reports):
+  // ad 1001 was seen by 2 users; the fleet-wide threshold is 3.1.
+  GlobalUserCounter counter;
+  counter.record(/*user=*/0, 1001);
+  counter.record(1, 1001);
+  for (UserId u = 0; u < 40; ++u) counter.record(u, 2000);  // popular ad
+
+  const double users_th = 3.1;
+  std::printf("Domains_th(u) = %.2f, ad-serving domains in window = %u\n",
+              detector.domains_threshold(), detector.ad_serving_domains());
+
+  for (const AdId ad : {AdId{1001}, AdId{2000}, AdId{2001}}) {
+    const Verdict v = detector.classify(
+        ad, static_cast<double>(counter.users_for(ad)), users_th);
+    std::printf("ad %llu: #Domains=%u #Users=%u -> %s\n",
+                static_cast<unsigned long long>(ad), detector.domains_for(ad),
+                counter.users_for(ad), to_string(v));
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+#include "adnet/ad_server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eyw::adnet {
+
+AdServer::AdServer(std::vector<Campaign> campaigns, AdServerConfig config,
+                   std::uint64_t seed)
+    : campaigns_(std::move(campaigns)), config_(config), rng_(seed) {
+  if (config_.targeted_fill_rate < 0.0 || config_.targeted_fill_rate > 1.0)
+    throw std::invalid_argument("AdServer: targeted_fill_rate not in [0,1]");
+  if (config_.audience_cohort < 0.0 || config_.audience_cohort > 1.0)
+    throw std::invalid_argument("AdServer: audience_cohort not in [0,1]");
+  for (std::size_t ci = 0; ci < campaigns_.size(); ++ci) {
+    const Campaign& c = campaigns_[ci];
+    for (std::size_t ai = 0; ai < c.ads.size(); ++ai) {
+      const auto [it, inserted] = ad_index_.try_emplace(c.ads[ai].id, ci, ai);
+      if (!inserted) throw std::invalid_argument("AdServer: duplicate ad id");
+    }
+    if (c.ads.empty()) continue;
+    if (is_targeted(c.type)) {
+      targeted_.push_back(&c);
+    } else if (c.type == CampaignType::kStatic) {
+      for (const core::DomainId site : c.pinned_sites)
+        static_by_site_[site].push_back(&c);
+    } else {
+      contextual_by_category_[c.offering_category].push_back(&c);
+    }
+  }
+}
+
+const Campaign& AdServer::campaign(CampaignId id) const {
+  for (const auto& c : campaigns_)
+    if (c.id == id) return c;
+  throw std::out_of_range("AdServer::campaign: unknown id");
+}
+
+const Ad* AdServer::find_ad(core::AdId id) const noexcept {
+  const auto it = ad_index_.find(id);
+  if (it == ad_index_.end()) return nullptr;
+  return &campaigns_[it->second.first].ads[it->second.second];
+}
+
+std::uint32_t AdServer::impressions(core::UserId user,
+                                    CampaignId campaign) const noexcept {
+  const auto it = delivered_.find({user, campaign});
+  return it == delivered_.end() ? 0 : it->second;
+}
+
+bool AdServer::in_cohort(core::UserId user,
+                         const Campaign& campaign) const noexcept {
+  if (config_.audience_cohort >= 1.0) return true;
+  // Deterministic per (campaign, user): advertisers buy fixed segments.
+  const std::uint64_t h =
+      util::mix64((static_cast<std::uint64_t>(campaign.id) << 32) ^ user);
+  return static_cast<double>(h % 10'000) <
+         config_.audience_cohort * 10'000.0;
+}
+
+bool AdServer::cap_reached(core::UserId user,
+                           const Campaign& c) const noexcept {
+  if (c.frequency_cap == 0) return false;
+  return impressions(user, c.id) >= c.frequency_cap;
+}
+
+bool AdServer::eligible_targeted(const UserContext& user,
+                                 const Campaign& c) const noexcept {
+  switch (c.type) {
+    case CampaignType::kDirectTargeted:
+    case CampaignType::kIndirectTargeted:
+      return std::find(user.interests.begin(), user.interests.end(),
+                       c.audience_category) != user.interests.end() &&
+             in_cohort(user.id, c);
+    case CampaignType::kRetargeting:
+      return user.retargeting_pool.contains(c.offering_category) &&
+             in_cohort(user.id, c);
+    case CampaignType::kStatic:
+    case CampaignType::kContextual:
+      return false;
+  }
+  return false;
+}
+
+std::vector<ServedAd> AdServer::serve(const UserContext& user,
+                                      const SiteContext& site,
+                                      std::size_t slots) {
+  // Candidate pools for this page view.
+  std::vector<const Campaign*> targeted;
+  for (const Campaign* c : targeted_) {
+    if (eligible_targeted(user, *c) && !cap_reached(user.id, *c))
+      targeted.push_back(c);
+  }
+  std::vector<const Campaign*> untargeted;
+  if (const auto it = static_by_site_.find(site.domain);
+      it != static_by_site_.end())
+    untargeted.insert(untargeted.end(), it->second.begin(), it->second.end());
+  if (const auto it = contextual_by_category_.find(site.category);
+      it != contextual_by_category_.end())
+    untargeted.insert(untargeted.end(), it->second.begin(), it->second.end());
+
+  std::vector<ServedAd> out;
+  std::set<core::AdId> used;  // no duplicate creatives within one page view
+  for (std::size_t s = 0; s < slots; ++s) {
+    const Campaign* pick = nullptr;
+    bool is_targeted_pick = false;
+    if (!targeted.empty() && rng_.chance(config_.targeted_fill_rate)) {
+      pick = targeted[rng_.below(targeted.size())];
+      is_targeted_pick = true;
+    } else if (!untargeted.empty()) {
+      pick = untargeted[rng_.below(untargeted.size())];
+    } else if (!targeted.empty()) {
+      pick = targeted[rng_.below(targeted.size())];
+      is_targeted_pick = true;
+    } else {
+      break;  // nothing to show
+    }
+
+    const Ad& ad = pick->ads[rng_.below(pick->ads.size())];
+    if (used.contains(ad.id)) continue;  // slot collapses, page shows fewer
+    used.insert(ad.id);
+    out.push_back({.ad = &ad,
+                   .campaign_type = pick->type,
+                   .targeted_delivery = is_targeted_pick});
+    ++delivered_[{user.id, pick->id}];
+    if (is_targeted_pick && cap_reached(user.id, *pick)) {
+      // Campaign exhausted for this user: remove from this call's pool too.
+      targeted.erase(std::find(targeted.begin(), targeted.end(), pick));
+    }
+  }
+  return out;
+}
+
+}  // namespace eyw::adnet

@@ -1,0 +1,110 @@
+// The ad-delivery black box the detector observes from the outside.
+//
+// Given a visiting user and a website, the server fills ad slots from its
+// campaign inventory honoring eligibility, audience cohorts, per-user
+// frequency caps, and a configurable targeted fill rate. It also emits the
+// ground-truth label of every delivery (was this impression placed
+// *because of* the user?) — which the real ecosystem keeps secret and the
+// controlled simulation study of Section 7.2 needs.
+//
+// Inventory kinds:
+//  * targeted campaigns (direct / indirect / retargeting) — delivered only
+//    to eligible users inside the campaign's audience cohort;
+//  * static campaigns — pinned to a fixed site list, shown to any visitor
+//    (site-local inventory is modeled as single-site static campaigns);
+//  * contextual campaigns — shown on any site matching their topic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "adnet/campaign.hpp"
+#include "util/rng.hpp"
+
+namespace eyw::adnet {
+
+/// What the delivery channel knows about the visiting user (the product of
+/// tracking; how it was collected is irrelevant to the detector).
+struct UserContext {
+  core::UserId id = 0;
+  std::vector<CategoryId> interests;
+  /// Product categories whose merchant sites the user visited recently
+  /// (fuel for retargeting campaigns).
+  std::set<CategoryId> retargeting_pool;
+};
+
+struct SiteContext {
+  core::DomainId domain = 0;
+  CategoryId category = 0;
+};
+
+/// One filled slot plus its ground-truth delivery label.
+struct ServedAd {
+  const Ad* ad = nullptr;
+  CampaignType campaign_type = CampaignType::kStatic;
+  /// True iff the impression was selected because of this user's data
+  /// (direct / indirect / retargeting eligibility) — the label eyeWnder
+  /// tries to recover from counts alone.
+  bool targeted_delivery = false;
+};
+
+struct AdServerConfig {
+  /// Probability that a slot is given to an eligible targeted campaign when
+  /// one exists (the rest go to static/contextual inventory).
+  double targeted_fill_rate = 0.5;
+  /// Fraction of category-eligible users inside each targeted campaign's
+  /// audience cohort (advertisers buy segments, not whole categories).
+  /// 1.0 = every eligible user.
+  double audience_cohort = 1.0;
+};
+
+class AdServer {
+ public:
+  AdServer(std::vector<Campaign> campaigns, AdServerConfig config,
+           std::uint64_t seed);
+
+  /// Fill `slots` ad slots for this page view. Never serves the same ad
+  /// twice within one call; enforces frequency caps across calls.
+  [[nodiscard]] std::vector<ServedAd> serve(const UserContext& user,
+                                            const SiteContext& site,
+                                            std::size_t slots);
+
+  [[nodiscard]] const std::vector<Campaign>& campaigns() const noexcept {
+    return campaigns_;
+  }
+  [[nodiscard]] const Campaign& campaign(CampaignId id) const;
+  /// Find the ad with this id across all campaigns (nullptr if unknown).
+  [[nodiscard]] const Ad* find_ad(core::AdId id) const noexcept;
+
+  /// Impressions of `campaign` delivered to `user` so far.
+  [[nodiscard]] std::uint32_t impressions(core::UserId user,
+                                          CampaignId campaign) const noexcept;
+
+  /// True iff `user` belongs to the audience cohort of `campaign`
+  /// (deterministic; independent of eligibility).
+  [[nodiscard]] bool in_cohort(core::UserId user,
+                               const Campaign& campaign) const noexcept;
+
+  /// Reset frequency-cap accounting (new campaign flight).
+  void reset_caps() noexcept { delivered_.clear(); }
+
+ private:
+  [[nodiscard]] bool cap_reached(core::UserId user,
+                                 const Campaign& c) const noexcept;
+  [[nodiscard]] bool eligible_targeted(const UserContext& user,
+                                       const Campaign& c) const noexcept;
+
+  std::vector<Campaign> campaigns_;
+  AdServerConfig config_;
+  util::Rng rng_;
+  std::map<std::pair<core::UserId, CampaignId>, std::uint32_t> delivered_;
+  std::map<core::AdId, std::pair<std::size_t, std::size_t>> ad_index_;
+  // Serving indexes, built once.
+  std::vector<const Campaign*> targeted_;
+  std::map<core::DomainId, std::vector<const Campaign*>> static_by_site_;
+  std::map<CategoryId, std::vector<const Campaign*>> contextual_by_category_;
+};
+
+}  // namespace eyw::adnet

@@ -1,0 +1,85 @@
+// Ad campaigns and creatives (Section 2.1 taxonomy).
+//
+// A campaign owns one or more creatives (ads). Its type decides delivery:
+//   kDirectTargeted   — shown to users whose interest profile contains the
+//                       campaign's audience category (classic OBA).
+//   kRetargeting      — shown to users who visited the campaign's product
+//                       domain recently.
+//   kIndirectTargeted — audience category and offering category DIFFER
+//                       (e.g. Walking-Dead fans -> political material): no
+//                       semantic overlap between user profile and ad topic,
+//                       which is what content-based baselines cannot see.
+//   kStatic           — brand-awareness placements on a fixed site list,
+//                       shown to every visitor (private deals).
+//   kContextual       — matches the website topic, user-independent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adnet/category.hpp"
+#include "core/types.hpp"
+
+namespace eyw::adnet {
+
+using CampaignId = std::uint32_t;
+
+enum class CampaignType : std::uint8_t {
+  kDirectTargeted,
+  kRetargeting,
+  kIndirectTargeted,
+  kStatic,
+  kContextual,
+};
+
+[[nodiscard]] constexpr bool is_targeted(CampaignType t) noexcept {
+  return t == CampaignType::kDirectTargeted ||
+         t == CampaignType::kRetargeting ||
+         t == CampaignType::kIndirectTargeted;
+}
+
+[[nodiscard]] constexpr const char* to_string(CampaignType t) noexcept {
+  switch (t) {
+    case CampaignType::kDirectTargeted:
+      return "direct-targeted";
+    case CampaignType::kRetargeting:
+      return "retargeting";
+    case CampaignType::kIndirectTargeted:
+      return "indirect-targeted";
+    case CampaignType::kStatic:
+      return "static";
+    case CampaignType::kContextual:
+      return "contextual";
+  }
+  return "?";
+}
+
+/// One creative. The landing URL doubles as the ad's stable identity unless
+/// the campaign randomizes landing URLs (then content_key identifies it, as
+/// per the extension's fallback to ad content, Section 5).
+struct Ad {
+  core::AdId id = 0;
+  CampaignId campaign = 0;
+  std::string landing_url;
+  std::string image_url;
+  CategoryId offering_category = 0;  // what the ad is about
+};
+
+struct Campaign {
+  CampaignId id = 0;
+  CampaignType type = CampaignType::kStatic;
+  /// What the campaign sells (landing page topic).
+  CategoryId offering_category = 0;
+  /// Who it is aimed at. Equals offering_category for direct targeting;
+  /// differs for indirect targeting; unused for static/contextual.
+  CategoryId audience_category = 0;
+  /// Max impressions of this campaign per targeted user within its flight
+  /// (the advertiser-side Frequency Cap swept in Figure 3). 0 = uncapped.
+  std::uint32_t frequency_cap = 0;
+  /// Sites carrying the campaign (static campaigns only; empty = n/a).
+  std::vector<core::DomainId> pinned_sites;
+  std::vector<Ad> ads;
+};
+
+}  // namespace eyw::adnet

@@ -1,0 +1,28 @@
+// Interest / content categories, the vocabulary shared by websites, user
+// profiles, ad campaigns, and the content-based baseline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace eyw::adnet {
+
+using CategoryId = std::uint16_t;
+
+/// Fixed taxonomy (AdWords-style top-level verticals). Order is stable; ids
+/// index into kCategoryNames.
+inline constexpr std::array<std::string_view, 24> kCategoryNames = {
+    "sports",      "fashion",  "technology", "travel",    "finance",
+    "health",      "food",     "gaming",     "autos",     "beauty",
+    "fishing",     "dating",   "real-estate", "news",      "music",
+    "movies",      "pets",     "parenting",  "fitness",   "education",
+    "business",    "arts",     "gardening",  "politics"};
+
+inline constexpr std::size_t kNumCategories = kCategoryNames.size();
+
+[[nodiscard]] constexpr std::string_view category_name(CategoryId id) {
+  return id < kNumCategories ? kCategoryNames[id] : "unknown";
+}
+
+}  // namespace eyw::adnet

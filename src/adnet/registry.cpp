@@ -1,0 +1,45 @@
+#include "adnet/registry.hpp"
+
+#include <algorithm>
+
+namespace eyw::adnet {
+
+AdNetworkRegistry AdNetworkRegistry::with_defaults() {
+  AdNetworkRegistry r;
+  for (const char* d :
+       {"doubleclick.net", "googlesyndication.com", "adnxs.com",
+        "criteo.com", "adsrvr.org", "rubiconproject.com", "pubmatic.com",
+        "openx.net", "taboola.com", "outbrain.com", "adform.net",
+        "ads.example-exchange.test", "adnet.test"}) {
+    r.add(d);
+  }
+  return r;
+}
+
+void AdNetworkRegistry::add(std::string domain) {
+  domains_.push_back(std::move(domain));
+}
+
+std::string_view url_host(std::string_view url) {
+  const auto scheme = url.find("://");
+  std::string_view rest = scheme == std::string_view::npos
+                              ? url
+                              : url.substr(scheme + 3);
+  const auto end = rest.find_first_of("/?#:");
+  return end == std::string_view::npos ? rest : rest.substr(0, end);
+}
+
+bool AdNetworkRegistry::is_ad_network_host(std::string_view host) const {
+  return std::any_of(domains_.begin(), domains_.end(), [&](const auto& d) {
+    if (host == d) return true;
+    // subdomain match: host ends with "." + d
+    return host.size() > d.size() + 1 &&
+           host.ends_with(d) && host[host.size() - d.size() - 1] == '.';
+  });
+}
+
+bool AdNetworkRegistry::is_ad_network_url(std::string_view url) const {
+  return is_ad_network_host(url_host(url));
+}
+
+}  // namespace eyw::adnet

@@ -1,0 +1,35 @@
+// Registry of known ad-network domains, mirroring the blocklists the
+// extension consults: a candidate landing URL that points at an ad network
+// is an intermediate redirect, not the true landing page, and following it
+// would constitute click-fraud (Section 5).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eyw::adnet {
+
+class AdNetworkRegistry {
+ public:
+  /// Registry preloaded with a representative set of ad-network domains.
+  [[nodiscard]] static AdNetworkRegistry with_defaults();
+
+  void add(std::string domain);
+
+  /// True if `url`'s host is (a subdomain of) a registered ad network.
+  [[nodiscard]] bool is_ad_network_url(std::string_view url) const;
+
+  /// True if `host` equals or is a subdomain of a registered domain.
+  [[nodiscard]] bool is_ad_network_host(std::string_view host) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return domains_.size(); }
+
+ private:
+  std::vector<std::string> domains_;
+};
+
+/// Extract the host part of a URL ("" if it cannot be parsed).
+[[nodiscard]] std::string_view url_host(std::string_view url);
+
+}  // namespace eyw::adnet

@@ -1,0 +1,16 @@
+#include "analysis/confusion.hpp"
+
+#include <sstream>
+
+namespace eyw::analysis {
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  os << "TP=" << tp << " FP=" << fp << " TN=" << tn << " FN=" << fn
+     << " abstained=" << abstained << " | FNR=" << 100.0 * false_negative_rate()
+     << "% FPR=" << 100.0 * false_positive_rate()
+     << "% precision=" << 100.0 * precision() << "%";
+  return os.str();
+}
+
+}  // namespace eyw::analysis

@@ -1,0 +1,59 @@
+// Confusion-matrix accounting for detector-vs-ground-truth comparisons
+// (Figure 3 false negatives, Section 7.2.2 false positives).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace eyw::analysis {
+
+struct ConfusionMatrix {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t tn = 0;
+  std::size_t fn = 0;
+  /// Pairs the detector abstained on (insufficient data).
+  std::size_t abstained = 0;
+
+  void add(bool predicted_positive, bool actually_positive) noexcept {
+    if (predicted_positive) {
+      actually_positive ? ++tp : ++fp;
+    } else {
+      actually_positive ? ++fn : ++tn;
+    }
+  }
+
+  [[nodiscard]] std::size_t decided() const noexcept {
+    return tp + fp + tn + fn;
+  }
+  [[nodiscard]] double false_negative_rate() const noexcept {
+    return tp + fn == 0 ? 0.0
+                        : static_cast<double>(fn) /
+                              static_cast<double>(tp + fn);
+  }
+  [[nodiscard]] double false_positive_rate() const noexcept {
+    return fp + tn == 0 ? 0.0
+                        : static_cast<double>(fp) /
+                              static_cast<double>(fp + tn);
+  }
+  [[nodiscard]] double true_positive_rate() const noexcept {
+    return 1.0 - false_negative_rate();
+  }
+  [[nodiscard]] double true_negative_rate() const noexcept {
+    return 1.0 - false_positive_rate();
+  }
+  [[nodiscard]] double precision() const noexcept {
+    return tp + fp == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fp);
+  }
+  [[nodiscard]] double accuracy() const noexcept {
+    return decided() == 0 ? 0.0
+                          : static_cast<double>(tp + tn) /
+                                static_cast<double>(decided());
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace eyw::analysis

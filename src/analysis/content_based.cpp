@@ -1,0 +1,35 @@
+#include "analysis/content_based.hpp"
+
+namespace eyw::analysis {
+
+ContentBasedClassifier::ContentBasedClassifier(CbConfig config)
+    : config_(config) {}
+
+void ContentBasedClassifier::record_visit(core::UserId user,
+                                          core::DomainId domain,
+                                          adnet::CategoryId category) {
+  visits_[user][category].insert(domain);
+}
+
+std::vector<adnet::CategoryId> ContentBasedClassifier::profile(
+    core::UserId user) const {
+  std::vector<adnet::CategoryId> out;
+  const auto it = visits_.find(user);
+  if (it == visits_.end()) return out;
+  for (const auto& [category, domains] : it->second) {
+    if (domains.size() >= config_.min_sites_per_category)
+      out.push_back(category);
+  }
+  return out;
+}
+
+bool ContentBasedClassifier::has_semantic_overlap(
+    core::UserId user, adnet::CategoryId landing) const {
+  const auto it = visits_.find(user);
+  if (it == visits_.end()) return false;
+  const auto cat = it->second.find(landing);
+  if (cat == it->second.end()) return false;
+  return cat->second.size() >= config_.min_sites_per_category;
+}
+
+}  // namespace eyw::analysis

@@ -1,0 +1,59 @@
+#include "analysis/detection_experiment.hpp"
+
+#include <map>
+
+namespace eyw::analysis {
+
+DetectionOutcome run_detection(const sim::SimResult& sim,
+                               const core::DetectorConfig& config) {
+  DetectionOutcome out;
+
+  // Global pass: the #Users counters and threshold the back-end would
+  // distribute (full-period counts; the deployed system refreshes them
+  // weekly).
+  core::GlobalUserCounter counter;
+  for (const sim::SimImpression& si : sim.impressions)
+    counter.record(si.impression.user, si.impression.ad);
+  out.users_distribution =
+      core::UsersDistribution::from_counts(counter.distribution());
+  out.users_threshold = out.users_distribution.threshold(config.users_rule);
+
+  // eyeWnder classifies in real time, when the user audits a just-rendered
+  // ad. We model an audit of every (user, ad) pair at the moment of its
+  // LAST impression — the detector state then is exactly what the live
+  // extension would consult (classifying at the very end instead would
+  // evaluate expired windows: campaigns whose frequency cap was exhausted
+  // weeks ago would have no sliding-window state left).
+  std::map<std::pair<core::UserId, core::AdId>, std::size_t> last_seen;
+  for (std::size_t i = 0; i < sim.impressions.size(); ++i) {
+    const auto& imp = sim.impressions[i].impression;
+    last_seen[{imp.user, imp.ad}] = i;
+  }
+
+  std::map<core::UserId, core::LocalDetector> detectors;
+  for (std::size_t i = 0; i < sim.impressions.size(); ++i) {
+    const core::Impression& imp = sim.impressions[i].impression;
+    auto [it, inserted] = detectors.try_emplace(imp.user, config);
+    core::LocalDetector& det = it->second;
+    det.observe(imp.ad, imp.domain, imp.day);
+    if (last_seen.find({imp.user, imp.ad})->second != i) continue;
+
+    PairVerdict pv;
+    pv.user = imp.user;
+    pv.ad = imp.ad;
+    pv.ground_truth_targeted = sim.is_targeted(imp.user, imp.ad);
+    pv.verdict =
+        det.classify(imp.ad, static_cast<double>(counter.users_for(imp.ad)),
+                     out.users_threshold);
+    if (pv.verdict == core::Verdict::kInsufficientData) {
+      ++out.confusion.abstained;
+    } else {
+      out.confusion.add(pv.verdict == core::Verdict::kTargeted,
+                        pv.ground_truth_targeted);
+    }
+    out.verdicts.push_back(pv);
+  }
+  return out;
+}
+
+}  // namespace eyw::analysis

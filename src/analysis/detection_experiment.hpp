@@ -1,0 +1,42 @@
+// Composition helper: run the count-based detection pipeline over a
+// simulated impression stream and score it against ground truth. This is
+// the engine behind Figure 3 (false negatives vs frequency cap), the
+// Section 7.2.2 false-positive study, and the Figure 4 evaluation.
+#pragma once
+
+#include <vector>
+
+#include "analysis/confusion.hpp"
+#include "core/global_view.hpp"
+#include "core/local_detector.hpp"
+#include "simulator/engine.hpp"
+
+namespace eyw::analysis {
+
+struct PairVerdict {
+  core::UserId user = 0;
+  core::AdId ad = 0;
+  core::Verdict verdict = core::Verdict::kInsufficientData;
+  bool ground_truth_targeted = false;
+};
+
+struct DetectionOutcome {
+  ConfusionMatrix confusion;
+  std::vector<PairVerdict> verdicts;
+  double users_threshold = 0.0;
+  /// The exact #Users distribution the threshold came from.
+  core::UsersDistribution users_distribution;
+};
+
+/// Feed every impression into per-user LocalDetectors and the exact
+/// GlobalUserCounter, classify every (user, ad) pair the stream contains,
+/// and score against the simulator's ground truth.
+///
+/// This is the cleartext evaluation path; the privacy-preserving path
+/// (client sketches -> blinded reports -> server aggregate) is exercised by
+/// server::RoundCoordinator and compared against this oracle in the Figure 2
+/// bench.
+[[nodiscard]] DetectionOutcome run_detection(const sim::SimResult& sim,
+                                             const core::DetectorConfig& config);
+
+}  // namespace eyw::analysis

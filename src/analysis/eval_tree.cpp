@@ -1,0 +1,116 @@
+#include "analysis/eval_tree.hpp"
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace eyw::analysis {
+
+EvalTreeResult evaluate_tree(std::span<const EvalRecord> records,
+                             UnknownResolutionConfig resolution) {
+  EvalTreeResult r;
+  r.total = records.size();
+  util::Rng rng(resolution.seed);
+
+  for (const EvalRecord& rec : records) {
+    if (rec.eyewnder_targeted) {
+      ++r.classified_targeted;
+      if (rec.in_crawler) {
+        // A targeted ad should never appear to a history-less crawler.
+        ++r.fp_cr;
+      } else if (rec.semantic_overlap) {
+        // CB classifies on semantic overlap, so it agrees by default here.
+        ++r.tp_cb;
+      } else if (rec.f8_label.has_value()) {
+        if (*rec.f8_label) {
+          ++r.tp_f8;
+        } else {
+          ++r.fp_f8;
+        }
+      } else {
+        ++r.unknown_targeted;
+        // Section 7.3.3: retargeting repeatability test, then topic
+        // correlation for indirect OBA. Modeled as a noisy ground-truth
+        // oracle.
+        const bool resolves_targeted =
+            rng.chance(resolution.resolution_accuracy)
+                ? rec.ground_truth_targeted
+                : !rec.ground_truth_targeted;
+        if (resolves_targeted) {
+          ++r.unknown_t_likely_tp;
+        } else {
+          ++r.unknown_t_likely_fp;
+        }
+      }
+    } else {
+      ++r.classified_non_targeted;
+      if (rec.in_crawler) {
+        ++r.tn_cr;
+      } else if (rec.semantic_overlap) {
+        ++r.fn_cb;
+      } else if (rec.f8_label.has_value()) {
+        if (*rec.f8_label) {
+          ++r.fn_f8;
+        } else {
+          ++r.tn_f8;
+        }
+      } else {
+        ++r.unknown_non_targeted;
+        const bool resolves_targeted =
+            rng.chance(resolution.resolution_accuracy)
+                ? rec.ground_truth_targeted
+                : !rec.ground_truth_targeted;
+        if (resolves_targeted) {
+          ++r.unknown_nt_likely_fn;
+        } else {
+          ++r.unknown_nt_likely_tn;
+        }
+      }
+    }
+  }
+
+  if (r.classified_targeted > 0) {
+    r.overall_tp_rate =
+        static_cast<double>(r.tp_cb + r.tp_f8 + r.unknown_t_likely_tp) /
+        static_cast<double>(r.classified_targeted);
+  }
+  if (r.classified_non_targeted > 0) {
+    r.overall_tn_rate =
+        static_cast<double>(r.tn_cr + r.tn_f8 + r.unknown_nt_likely_tn) /
+        static_cast<double>(r.classified_non_targeted);
+  }
+  return r;
+}
+
+namespace {
+double pct(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0 : 100.0 * static_cast<double>(num) /
+                              static_cast<double>(den);
+}
+}  // namespace
+
+std::string EvalTreeResult::to_report() const {
+  std::ostringstream os;
+  os << "Total classified pairs: " << total << "\n"
+     << "  Targeted:     " << classified_targeted << " ("
+     << pct(classified_targeted, total) << "%)\n"
+     << "    FP(CR):      " << fp_cr << " (" << pct(fp_cr, classified_targeted)
+     << "% of targeted)\n"
+     << "    TP(CB):      " << tp_cb << "\n"
+     << "    TP(F8):      " << tp_f8 << "  FP(F8): " << fp_f8 << "\n"
+     << "    UNKNOWN:     " << unknown_targeted << " -> likely TP "
+     << unknown_t_likely_tp << ", likely FP " << unknown_t_likely_fp << "\n"
+     << "  Non-targeted: " << classified_non_targeted << " ("
+     << pct(classified_non_targeted, total) << "%)\n"
+     << "    TN(CR):      " << tn_cr << " ("
+     << pct(tn_cr, classified_non_targeted) << "% of non-targeted)\n"
+     << "    FN(CB):      " << fn_cb << "\n"
+     << "    TN(F8):      " << tn_f8 << "  FN(F8): " << fn_f8 << "\n"
+     << "    UNKNOWN:     " << unknown_non_targeted << " -> likely TN "
+     << unknown_nt_likely_tn << ", likely FN " << unknown_nt_likely_fn << "\n"
+     << "Overall likely-TP rate: " << 100.0 * overall_tp_rate << "%\n"
+     << "Overall likely-TN rate: " << 100.0 * overall_tn_rate << "%\n";
+  return os.str();
+}
+
+}  // namespace eyw::analysis

@@ -1,0 +1,80 @@
+// The Figure-4 evaluation tree: precision assessment of eyeWnder verdicts
+// using only the publicly available oracles — the clean-profile crawler
+// (CR), the content-based heuristic (CB), and FigureEight labels (F8) —
+// plus the Section 7.3.3 manual resolution of the two UNKNOWN pools.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace eyw::analysis {
+
+/// One classified (user, ad) pair with every oracle's view attached.
+struct EvalRecord {
+  core::UserId user = 0;
+  core::AdId ad = 0;
+  /// eyeWnder's verdict (insufficient-data pairs are excluded upstream).
+  bool eyewnder_targeted = false;
+  /// The clean-profile crawler encountered this ad somewhere.
+  bool in_crawler = false;
+  /// Ad landing category is in the user's CB profile (semantic overlap;
+  /// identical to the CB verdict, see content_based.hpp).
+  bool semantic_overlap = false;
+  /// FigureEight tag, if the user labeled this ad (true = targeted).
+  std::optional<bool> f8_label;
+  /// Simulation ground truth — used ONLY by the UNKNOWN-resolution stage
+  /// (standing in for the paper's manual retargeting/correlation checks).
+  bool ground_truth_targeted = false;
+};
+
+struct UnknownResolutionConfig {
+  /// Probability the manual check (retargeting repeatability / topic
+  /// correlation / profile inspection) reaches the correct conclusion.
+  double resolution_accuracy = 0.9;
+  std::uint64_t seed = 4242;
+};
+
+/// All node counts of the tree plus the derived headline rates.
+struct EvalTreeResult {
+  // Branch sizes.
+  std::size_t total = 0;
+  std::size_t classified_targeted = 0;
+  std::size_t classified_non_targeted = 0;
+
+  // Targeted branch leaves.
+  std::size_t fp_cr = 0;      // targeted verdict but crawler saw it
+  std::size_t tp_cb = 0;      // semantic overlap -> CB agrees
+  std::size_t tp_f8 = 0;      // F8 agrees
+  std::size_t fp_f8 = 0;      // F8 disagrees
+  std::size_t unknown_targeted = 0;
+
+  // Non-targeted branch leaves.
+  std::size_t tn_cr = 0;      // crawler saw it: true negative w.h.p.
+  std::size_t fn_cb = 0;      // semantic overlap -> CB says targeted
+  std::size_t tn_f8 = 0;
+  std::size_t fn_f8 = 0;
+  std::size_t unknown_non_targeted = 0;
+
+  // Section 7.3.3 resolution of the UNKNOWN pools.
+  std::size_t unknown_t_likely_tp = 0;   // retargeting / indirect OBA found
+  std::size_t unknown_t_likely_fp = 0;
+  std::size_t unknown_nt_likely_tn = 0;  // manual inspection
+  std::size_t unknown_nt_likely_fn = 0;
+
+  /// Overall likely-TP rate over classified-targeted (paper: 78%).
+  double overall_tp_rate = 0.0;
+  /// Overall likely-TN rate over classified-non-targeted (paper: 87%).
+  double overall_tn_rate = 0.0;
+
+  /// Render the tree in the layout of Figure 4.
+  [[nodiscard]] std::string to_report() const;
+};
+
+[[nodiscard]] EvalTreeResult evaluate_tree(std::span<const EvalRecord> records,
+                                           UnknownResolutionConfig resolution);
+
+}  // namespace eyw::analysis

@@ -1,0 +1,28 @@
+#include "analysis/f8_labeler.hpp"
+
+#include <stdexcept>
+
+namespace eyw::analysis {
+
+F8Labeler::F8Labeler(F8Config config) : config_(config), rng_(config.seed) {
+  if (config_.coverage < 0.0 || config_.coverage > 1.0 ||
+      config_.accuracy < 0.0 || config_.accuracy > 1.0)
+    throw std::invalid_argument("F8Labeler: probabilities must be in [0,1]");
+}
+
+std::optional<bool> F8Labeler::label(core::UserId user, core::AdId ad,
+                                     bool ground_truth_targeted) {
+  const auto key = std::make_pair(user, ad);
+  if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+  std::optional<bool> out;
+  if (rng_.chance(config_.coverage)) {
+    const bool correct = rng_.chance(config_.accuracy);
+    out = correct ? ground_truth_targeted : !ground_truth_targeted;
+    ++produced_;
+  }
+  memo_.emplace(key, out);
+  return out;
+}
+
+}  // namespace eyw::analysis

@@ -1,0 +1,50 @@
+// Stochastic model of the FigureEight (F8) crowd labelers.
+//
+// The paper's 100 paid volunteers tagged a *subset* of the ads they saw,
+// and human tags are imperfect ("users have limitations in detecting bias
+// or discrimination", Section 7.3.2). We model both properties: a labeler
+// tags each (user, ad) pair with probability `coverage`, and a produced
+// tag matches ground truth with probability `accuracy`. Labels are
+// memoized so repeated queries are consistent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace eyw::analysis {
+
+struct F8Config {
+  /// Probability a shown ad gets labeled at all.
+  double coverage = 0.35;
+  /// Probability a produced label equals ground truth.
+  double accuracy = 0.85;
+  std::uint64_t seed = 8;
+};
+
+class F8Labeler {
+ public:
+  explicit F8Labeler(F8Config config = {});
+
+  /// The label this user would give this ad (std::nullopt = not labeled).
+  /// `ground_truth_targeted` drives the accuracy model. Deterministic per
+  /// (user, ad) pair.
+  [[nodiscard]] std::optional<bool> label(core::UserId user, core::AdId ad,
+                                          bool ground_truth_targeted);
+
+  [[nodiscard]] const F8Config& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t labels_produced() const noexcept {
+    return produced_;
+  }
+
+ private:
+  F8Config config_;
+  util::Rng rng_;
+  std::map<std::pair<core::UserId, core::AdId>, std::optional<bool>> memo_;
+  std::size_t produced_ = 0;
+};
+
+}  // namespace eyw::analysis

@@ -1,0 +1,42 @@
+#include "analysis/indirect_oba.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/logistic.hpp"  // normal_cdf
+#include "util/stats.hpp"
+
+namespace eyw::analysis {
+
+double correlation_p_value(double r, std::size_t n) {
+  if (n < 3) return 1.0;
+  r = std::clamp(r, -0.999999, 0.999999);
+  const double df = static_cast<double>(n - 2);
+  const double t = r * std::sqrt(df / (1.0 - r * r));
+  // Normal approximation to the t distribution; adequate for df >= 18.
+  return 2.0 * (1.0 - normal_cdf(std::abs(t)));
+}
+
+IndirectObaResult assess_indirect_oba(
+    std::span<const double> user_topics,
+    std::span<const double> receiver_topics, adnet::CategoryId ad_offering,
+    std::span<const adnet::CategoryId> profile, IndirectObaConfig config) {
+  if (user_topics.size() != adnet::kNumCategories ||
+      receiver_topics.size() != adnet::kNumCategories)
+    throw std::invalid_argument(
+        "assess_indirect_oba: topic vectors must span the category "
+        "vocabulary");
+
+  IndirectObaResult out;
+  out.correlation = util::pearson(user_topics, receiver_topics);
+  out.p_value = correlation_p_value(out.correlation, user_topics.size());
+  out.significant = out.p_value < config.significance &&
+                    out.correlation >= config.min_correlation;
+  out.semantic_overlap =
+      std::find(profile.begin(), profile.end(), ad_offering) != profile.end();
+  out.likely_indirect_oba = out.significant && !out.semantic_overlap;
+  return out;
+}
+
+}  // namespace eyw::analysis

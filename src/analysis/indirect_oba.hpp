@@ -1,0 +1,51 @@
+// Indirect-OBA assessment (Section 7.3.3).
+//
+// For a targeted-UNKNOWN ad the paper runs a correlation analysis: if the
+// topic profile of the users *receiving* the ad correlates significantly
+// with the auditing user's own topic profile, while the ad's offering
+// topic is NOT in that profile (no semantic overlap), the pair is a likely
+// indirectly-targeted OBA ad — the Walking-Dead-fans/Trump-material shape.
+//
+// This module implements that check: Pearson correlation across the topic
+// vocabulary plus a t-test for significance, and the no-overlap condition.
+#pragma once
+
+#include <span>
+
+#include "adnet/category.hpp"
+
+namespace eyw::analysis {
+
+struct IndirectObaConfig {
+  /// Two-sided significance level for the correlation t-test.
+  double significance = 0.05;
+  /// Correlations below this are ignored even if formally significant.
+  double min_correlation = 0.3;
+};
+
+struct IndirectObaResult {
+  double correlation = 0.0;
+  double p_value = 1.0;
+  bool significant = false;
+  bool semantic_overlap = false;
+  /// Significant topical correlation WITHOUT semantic overlap.
+  bool likely_indirect_oba = false;
+};
+
+/// Assess one (user, ad) pair.
+///   user_topics     — the auditing user's per-category visit counts;
+///   receiver_topics — aggregated per-category visit counts of all users
+///                     that received the ad (the ad's audience profile);
+///   ad_offering     — the ad's landing-page category;
+///   profile         — the user's CB profile categories.
+/// Vector sizes must equal adnet::kNumCategories.
+[[nodiscard]] IndirectObaResult assess_indirect_oba(
+    std::span<const double> user_topics,
+    std::span<const double> receiver_topics, adnet::CategoryId ad_offering,
+    std::span<const adnet::CategoryId> profile, IndirectObaConfig config = {});
+
+/// Two-sided p-value for Pearson r with n samples (t-distribution
+/// approximated by the normal for the n >= 20 vocabulary sizes used here).
+[[nodiscard]] double correlation_p_value(double r, std::size_t n);
+
+}  // namespace eyw::analysis

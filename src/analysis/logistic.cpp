@@ -1,0 +1,228 @@
+#include "analysis/logistic.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace eyw::analysis {
+
+namespace {
+
+/// Solve the symmetric positive-definite system A x = b in place via
+/// Gaussian elimination with partial pivoting. A is n x n row-major.
+std::vector<double> solve(std::vector<std::vector<double>> a,
+                          std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row)
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    if (std::abs(a[pivot][col]) < 1e-12)
+      throw std::runtime_error("logistic_fit: singular information matrix");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    // Eliminate.
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double f = a[row][col] / a[col][col];
+      for (std::size_t k = col; k < n; ++k) a[row][k] -= f * a[col][k];
+      b[row] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t row = n; row-- > 0;) {
+    double acc = b[row];
+    for (std::size_t k = row + 1; k < n; ++k) acc -= a[row][k] * x[k];
+    x[row] = acc / a[row][row];
+  }
+  return x;
+}
+
+/// Invert a symmetric positive-definite matrix by solving against unit
+/// vectors (n is small: a handful of regression coefficients).
+std::vector<std::vector<double>> invert(
+    const std::vector<std::vector<double>>& a) {
+  const std::size_t n = a.size();
+  std::vector<std::vector<double>> inv(n, std::vector<double>(n, 0.0));
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<double> e(n, 0.0);
+    e[j] = 1.0;
+    const auto col = solve(a, e);
+    for (std::size_t i = 0; i < n; ++i) inv[i][j] = col[i];
+  }
+  return inv;
+}
+
+double sigmoid(double t) { return 1.0 / (1.0 + std::exp(-t)); }
+
+double bernoulli_deviance(const std::vector<double>& y,
+                          const std::vector<double>& mu) {
+  double dev = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] > 0.5) {
+      dev += -2.0 * std::log(std::max(mu[i], 1e-12));
+    } else {
+      dev += -2.0 * std::log(std::max(1.0 - mu[i], 1e-12));
+    }
+  }
+  return dev;
+}
+
+}  // namespace
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+GlmFit logistic_fit(const std::vector<std::vector<double>>& x,
+                    const std::vector<double>& y,
+                    const std::vector<std::string>& names, int max_iterations,
+                    double tolerance) {
+  const std::size_t n = y.size();
+  if (x.size() != n) throw std::invalid_argument("logistic_fit: |X| != |y|");
+  if (n == 0) throw std::invalid_argument("logistic_fit: empty data");
+  const std::size_t k = x.front().size();
+  if (names.size() != k)
+    throw std::invalid_argument("logistic_fit: names/columns mismatch");
+  for (const auto& row : x)
+    if (row.size() != k)
+      throw std::invalid_argument("logistic_fit: ragged design matrix");
+  for (double v : y)
+    if (v != 0.0 && v != 1.0)
+      throw std::invalid_argument("logistic_fit: y must be binary");
+
+  const std::size_t p = k + 1;  // + intercept
+  std::vector<double> beta(p, 0.0);
+  std::vector<double> mu(n, 0.5);
+  GlmFit fit;
+  fit.iterations = 0;
+
+  auto design = [&](std::size_t i, std::size_t j) -> double {
+    return j == 0 ? 1.0 : x[i][j - 1];
+  };
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    ++fit.iterations;
+    // Score vector and information matrix.
+    std::vector<double> score(p, 0.0);
+    std::vector<std::vector<double>> info(p, std::vector<double>(p, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      double eta = beta[0];
+      for (std::size_t j = 1; j < p; ++j) eta += beta[j] * design(i, j);
+      mu[i] = sigmoid(eta);
+      const double w = std::max(mu[i] * (1.0 - mu[i]), 1e-10);
+      const double resid = y[i] - mu[i];
+      for (std::size_t j = 0; j < p; ++j) {
+        score[j] += design(i, j) * resid;
+        for (std::size_t l = j; l < p; ++l)
+          info[j][l] += design(i, j) * design(i, l) * w;
+      }
+    }
+    for (std::size_t j = 0; j < p; ++j)
+      for (std::size_t l = 0; l < j; ++l) info[j][l] = info[l][j];
+
+    const auto step = solve(info, score);
+    double max_step = 0.0;
+    for (std::size_t j = 0; j < p; ++j) {
+      beta[j] += step[j];
+      max_step = std::max(max_step, std::abs(step[j]));
+    }
+    if (max_step < tolerance) {
+      fit.converged = true;
+      break;
+    }
+  }
+
+  // Final information matrix at the optimum, for standard errors.
+  std::vector<std::vector<double>> info(p, std::vector<double>(p, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    double eta = beta[0];
+    for (std::size_t j = 1; j < p; ++j) eta += beta[j] * design(i, j);
+    mu[i] = sigmoid(eta);
+    const double w = std::max(mu[i] * (1.0 - mu[i]), 1e-10);
+    for (std::size_t j = 0; j < p; ++j)
+      for (std::size_t l = 0; l < p; ++l)
+        info[j][l] += design(i, j) * design(i, l) * w;
+  }
+  const auto cov = invert(info);
+
+  fit.deviance = bernoulli_deviance(y, mu);
+  double ybar = 0.0;
+  for (double v : y) ybar += v;
+  ybar /= static_cast<double>(n);
+  const std::vector<double> mu_null(n, std::max(1e-12, std::min(1 - 1e-12, ybar)));
+  fit.null_deviance = bernoulli_deviance(y, mu_null);
+
+  fit.coefficients.resize(p);
+  for (std::size_t j = 0; j < p; ++j) {
+    Coefficient& c = fit.coefficients[j];
+    c.name = j == 0 ? "(intercept)" : names[j - 1];
+    c.estimate = beta[j];
+    c.std_error = std::sqrt(std::max(cov[j][j], 0.0));
+    c.z_value = c.std_error > 0 ? c.estimate / c.std_error : 0.0;
+    c.p_value = 2.0 * (1.0 - normal_cdf(std::abs(c.z_value)));
+    c.odds_ratio = std::exp(c.estimate);
+    c.ci_low = std::exp(c.estimate - 1.959963985 * c.std_error);
+    c.ci_high = std::exp(c.estimate + 1.959963985 * c.std_error);
+  }
+  return fit;
+}
+
+const Coefficient& GlmFit::by_name(const std::string& name) const {
+  for (const auto& c : coefficients)
+    if (c.name == name) return c;
+  throw std::out_of_range("GlmFit::by_name: " + name);
+}
+
+std::string GlmFit::to_table() const {
+  std::ostringstream os;
+  os << std::left << std::setw(18) << "Variable" << std::right << std::setw(9)
+     << "OR" << std::setw(9) << "SE" << std::setw(9) << "Z-val" << std::setw(12)
+     << "P>|z|" << std::setw(18) << "95% CI" << '\n';
+  for (const auto& c : coefficients) {
+    std::ostringstream ci;
+    ci << std::fixed << std::setprecision(3) << c.ci_low << "-" << c.ci_high;
+    os << std::left << std::setw(18) << c.name << std::right << std::fixed
+       << std::setprecision(3) << std::setw(9) << c.odds_ratio << std::setw(9)
+       << c.std_error << std::setw(9) << c.z_value << std::scientific
+       << std::setprecision(2) << std::setw(12) << c.p_value << std::setw(18)
+       << ci.str() << '\n';
+  }
+  os << "converged=" << (converged ? "yes" : "no")
+     << " iterations=" << iterations << std::fixed << std::setprecision(1)
+     << " deviance=" << deviance << " null=" << null_deviance << '\n';
+  return os.str();
+}
+
+void DesignBuilder::add_factor(const std::string& factor_name,
+                               const std::vector<std::string>& levels) {
+  if (!x_.empty())
+    throw std::logic_error("DesignBuilder: declare factors before rows");
+  if (levels.size() < 2)
+    throw std::invalid_argument("DesignBuilder: factor needs >= 2 levels");
+  Factor f;
+  f.name = factor_name;
+  f.levels = levels.size();
+  f.first_column = names_.size();
+  factors_.push_back(f);
+  for (std::size_t l = 1; l < levels.size(); ++l)
+    names_.push_back(factor_name + ":" + levels[l]);
+}
+
+void DesignBuilder::add_row(const std::vector<std::size_t>& level_of_factor,
+                            bool outcome) {
+  if (level_of_factor.size() != factors_.size())
+    throw std::invalid_argument("DesignBuilder: level count mismatch");
+  std::vector<double> row(names_.size(), 0.0);
+  for (std::size_t f = 0; f < factors_.size(); ++f) {
+    const std::size_t level = level_of_factor[f];
+    if (level >= factors_[f].levels)
+      throw std::invalid_argument("DesignBuilder: level out of range");
+    if (level > 0) row[factors_[f].first_column + level - 1] = 1.0;
+  }
+  x_.push_back(std::move(row));
+  y_.push_back(outcome ? 1.0 : 0.0);
+}
+
+GlmFit DesignBuilder::fit() const { return logistic_fit(x_, y_, names_); }
+
+}  // namespace eyw::analysis

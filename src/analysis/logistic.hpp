@@ -1,0 +1,81 @@
+// Binomial logistic regression (Section 8): D ~ Gender + Age + Income,
+// fitted by iteratively reweighted least squares (Newton-Raphson), with the
+// Wald statistics Table 2 reports — odds ratios, standard errors, z-values,
+// p-values, and 95% confidence intervals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eyw::analysis {
+
+/// Per-coefficient inference results.
+struct Coefficient {
+  std::string name;
+  double estimate = 0.0;    // log-odds
+  double std_error = 0.0;
+  double z_value = 0.0;
+  double p_value = 0.0;
+  double odds_ratio = 0.0;  // exp(estimate)
+  double ci_low = 0.0;      // 95% CI of the odds ratio
+  double ci_high = 0.0;
+};
+
+struct GlmFit {
+  std::vector<Coefficient> coefficients;  // [0] is the intercept
+  bool converged = false;
+  int iterations = 0;
+  double deviance = 0.0;
+  double null_deviance = 0.0;
+
+  [[nodiscard]] const Coefficient& by_name(const std::string& name) const;
+  [[nodiscard]] std::string to_table() const;
+};
+
+/// Fit y ~ X (X WITHOUT an intercept column; one is prepended internally).
+/// y entries must be 0 or 1. Throws on dimension mismatch or singular
+/// information matrix.
+[[nodiscard]] GlmFit logistic_fit(const std::vector<std::vector<double>>& x,
+                                  const std::vector<double>& y,
+                                  const std::vector<std::string>& names,
+                                  int max_iterations = 50,
+                                  double tolerance = 1e-8);
+
+/// Builder for dummy-coded categorical design matrices (base level omitted,
+/// matching Table 2's "0-30k and 1-20 as base levels").
+class DesignBuilder {
+ public:
+  /// Declare a factor with `levels` labels; level 0 is the base.
+  void add_factor(const std::string& factor_name,
+                  const std::vector<std::string>& levels);
+
+  /// Append one observation: `level_of_factor[i]` is the level index of
+  /// factor i; `outcome` is the binary response.
+  void add_row(const std::vector<std::size_t>& level_of_factor, bool outcome);
+
+  [[nodiscard]] const std::vector<std::vector<double>>& x() const noexcept {
+    return x_;
+  }
+  [[nodiscard]] const std::vector<double>& y() const noexcept { return y_; }
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return names_;
+  }
+
+  [[nodiscard]] GlmFit fit() const;
+
+ private:
+  struct Factor {
+    std::string name;
+    std::size_t levels = 0;
+    std::size_t first_column = 0;  // into the dummy block
+  };
+  std::vector<Factor> factors_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_;
+};
+
+/// Standard normal CDF (for Wald p-values).
+[[nodiscard]] double normal_cdf(double z);
+
+}  // namespace eyw::analysis

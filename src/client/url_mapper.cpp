@@ -1,0 +1,41 @@
+#include "client/url_mapper.hpp"
+
+#include <stdexcept>
+
+namespace eyw::client {
+
+OprfUrlMapper::OprfUrlMapper(const crypto::OprfServer& server,
+                             std::uint64_t id_space, std::uint64_t rng_seed)
+    : server_(server),
+      oprf_client_(server.public_key()),
+      id_space_(id_space),
+      rng_(rng_seed) {
+  if (id_space_ == 0)
+    throw std::invalid_argument("OprfUrlMapper: id_space == 0");
+}
+
+std::uint64_t OprfUrlMapper::map(std::string_view identity) {
+  if (const auto it = cache_.find(identity); it != cache_.end())
+    return it->second;
+  const crypto::OprfBlinded blinded = oprf_client_.blind(identity, rng_);
+  const crypto::Bignum response =
+      server_.evaluate_blinded(blinded.blinded_element);
+  const crypto::OprfOutput out =
+      oprf_client_.finalize(identity, blinded, response);
+  bytes_exchanged_ += oprf_client_.bytes_per_evaluation();
+  const std::uint64_t id = out.to_ad_id(id_space_);
+  cache_.emplace(std::string(identity), id);
+  return id;
+}
+
+HashUrlMapper::HashUrlMapper(std::uint64_t id_space) : id_space_(id_space) {
+  if (id_space_ == 0)
+    throw std::invalid_argument("HashUrlMapper: id_space == 0");
+}
+
+std::uint64_t HashUrlMapper::map(std::string_view identity) {
+  const crypto::Digest d = crypto::sha256(identity);
+  return crypto::digest_to_u64(d) % id_space_;
+}
+
+}  // namespace eyw::client

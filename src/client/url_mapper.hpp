@@ -1,0 +1,70 @@
+// URL -> ad-ID mapping (Section 6): ads must be counted under identifiers
+// that the back-end can enumerate, without the back-end ever learning URLs.
+//
+// The deployed path is the keyed OPRF against the oprf-server; a plain
+// hash mapper is provided as the evaluation oracle (same interface, no
+// privacy) so experiments can compare the two pipelines.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "crypto/oprf.hpp"
+
+namespace eyw::client {
+
+/// Maps ad identities (landing URL / content key) into [0, id_space).
+class UrlMapper {
+ public:
+  virtual ~UrlMapper() = default;
+  /// Stable ad id for this identity.
+  [[nodiscard]] virtual std::uint64_t map(std::string_view identity) = 0;
+  /// Ad-ID space size |A| (over-estimated, Section 6.1).
+  [[nodiscard]] virtual std::uint64_t id_space() const = 0;
+};
+
+/// OPRF-backed mapper: one blind evaluation per *unique* identity, cached
+/// locally so the mapping cost is paid once per ad (Section 7.1).
+class OprfUrlMapper final : public UrlMapper {
+ public:
+  /// `server` must outlive the mapper (transport abstracted as a direct
+  /// call; the wire cost is tracked in bytes_exchanged()).
+  OprfUrlMapper(const crypto::OprfServer& server, std::uint64_t id_space,
+                std::uint64_t rng_seed);
+
+  [[nodiscard]] std::uint64_t map(std::string_view identity) override;
+  [[nodiscard]] std::uint64_t id_space() const override { return id_space_; }
+
+  /// Wire bytes spent on OPRF evaluations so far (2 group elements each).
+  [[nodiscard]] std::size_t bytes_exchanged() const noexcept {
+    return bytes_exchanged_;
+  }
+  [[nodiscard]] std::size_t cache_size() const noexcept {
+    return cache_.size();
+  }
+
+ private:
+  const crypto::OprfServer& server_;
+  crypto::OprfClient oprf_client_;
+  std::uint64_t id_space_;
+  util::Rng rng_;
+  std::map<std::string, std::uint64_t, std::less<>> cache_;
+  std::size_t bytes_exchanged_ = 0;
+};
+
+/// Evaluation-only mapper: unkeyed hash of the identity. Identical
+/// distribution of ids, no oprf-server round trips, no privacy.
+class HashUrlMapper final : public UrlMapper {
+ public:
+  explicit HashUrlMapper(std::uint64_t id_space);
+
+  [[nodiscard]] std::uint64_t map(std::string_view identity) override;
+  [[nodiscard]] std::uint64_t id_space() const override { return id_space_; }
+
+ private:
+  std::uint64_t id_space_;
+};
+
+}  // namespace eyw::client

@@ -1,0 +1,39 @@
+#include "core/global_view.hpp"
+
+namespace eyw::core {
+
+void GlobalUserCounter::record(UserId user, AdId ad) {
+  seen_by_[ad].insert(user);
+}
+
+std::uint32_t GlobalUserCounter::users_for(AdId ad) const noexcept {
+  const auto it = seen_by_.find(ad);
+  return it == seen_by_.end() ? 0
+                              : static_cast<std::uint32_t>(it->second.size());
+}
+
+std::vector<double> GlobalUserCounter::distribution() const {
+  std::vector<double> out;
+  out.reserve(seen_by_.size());
+  for (const auto& [ad, users] : seen_by_)
+    out.push_back(static_cast<double>(users.size()));
+  return out;
+}
+
+UsersDistribution UsersDistribution::from_counts(
+    std::span<const double> counts) {
+  UsersDistribution d;
+  d.counts_.reserve(counts.size());
+  for (double c : counts) {
+    if (c < 1.0) continue;
+    d.counts_.push_back(c);
+    d.hist_.add(static_cast<std::uint64_t>(c));
+  }
+  return d;
+}
+
+double UsersDistribution::threshold(ThresholdRule rule) const {
+  return estimate_threshold(counts_, rule);
+}
+
+}  // namespace eyw::core

@@ -1,0 +1,71 @@
+// Server-side half of the count-based algorithm: the #Users(a) counters and
+// the Users_th threshold (Section 4).
+//
+// Two construction paths exist, mirroring the paper's evaluation:
+//   * exact — distinct-user counting from cleartext reports ("Actual" curves
+//     in Figure 2); GlobalUserCounter below.
+//   * estimated — queries against the unblinded aggregate count-min sketch
+//     ("CMS" curves in Figure 2); built by server::BackendServer.
+// Both paths feed a UsersDistribution, from which Users_th is derived.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/thresholds.hpp"
+#include "core/types.hpp"
+#include "util/histogram.hpp"
+
+namespace eyw::core {
+
+/// Exact distinct-user counting (evaluation oracle; the deployed system
+/// replaces this with the privacy-preserving CMS pipeline).
+class GlobalUserCounter {
+ public:
+  /// Record that `user` saw `ad`. Duplicate sightings are idempotent.
+  void record(UserId user, AdId ad);
+
+  /// #Users(a): distinct users that saw the ad.
+  [[nodiscard]] std::uint32_t users_for(AdId ad) const noexcept;
+
+  /// One entry per distinct ad.
+  [[nodiscard]] std::vector<double> distribution() const;
+
+  [[nodiscard]] std::size_t distinct_ads() const noexcept {
+    return seen_by_.size();
+  }
+
+  void clear() noexcept { seen_by_.clear(); }
+
+ private:
+  std::map<AdId, std::set<UserId>> seen_by_;
+};
+
+/// The #Users distribution over ads and its derived threshold.
+class UsersDistribution {
+ public:
+  UsersDistribution() = default;
+
+  /// Build from per-ad distinct-user counts (exact or CMS-estimated).
+  /// Zero counts are excluded: an ad nobody saw is not an ad.
+  [[nodiscard]] static UsersDistribution from_counts(
+      std::span<const double> counts);
+
+  /// Users_th under the given rule (paper default: mean).
+  [[nodiscard]] double threshold(ThresholdRule rule) const;
+
+  [[nodiscard]] const util::Histogram& histogram() const noexcept {
+    return hist_;
+  }
+  [[nodiscard]] const std::vector<double>& counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return counts_.empty(); }
+
+ private:
+  std::vector<double> counts_;
+  util::Histogram hist_;
+};
+
+}  // namespace eyw::core

@@ -1,0 +1,96 @@
+#include "core/local_detector.hpp"
+
+#include <stdexcept>
+
+namespace eyw::core {
+
+LocalDetector::LocalDetector(DetectorConfig config) : config_(config) {
+  if (config_.window_days == 0)
+    throw std::invalid_argument("LocalDetector: window_days == 0");
+}
+
+void LocalDetector::observe(AdId ad, DomainId domain, Day day) {
+  if (day < today_)
+    throw std::invalid_argument("LocalDetector::observe: day went backwards");
+  advance_to(day);
+  seen_[ad][domain] = day;
+  visited_domains_[domain] = day;
+}
+
+void LocalDetector::advance_to(Day today) {
+  if (today < today_)
+    throw std::invalid_argument("LocalDetector::advance_to: day went backwards");
+  today_ = today;
+  expire();
+}
+
+void LocalDetector::expire() noexcept {
+  const Day cutoff = window_start();
+  for (auto ad_it = seen_.begin(); ad_it != seen_.end();) {
+    auto& domains = ad_it->second;
+    for (auto d_it = domains.begin(); d_it != domains.end();) {
+      if (d_it->second < cutoff)
+        d_it = domains.erase(d_it);
+      else
+        ++d_it;
+    }
+    if (domains.empty())
+      ad_it = seen_.erase(ad_it);
+    else
+      ++ad_it;
+  }
+  for (auto it = visited_domains_.begin(); it != visited_domains_.end();) {
+    if (it->second < cutoff)
+      it = visited_domains_.erase(it);
+    else
+      ++it;
+  }
+}
+
+std::uint32_t LocalDetector::domains_for(AdId ad) const noexcept {
+  const auto it = seen_.find(ad);
+  return it == seen_.end() ? 0 : static_cast<std::uint32_t>(it->second.size());
+}
+
+std::uint32_t LocalDetector::ad_serving_domains() const noexcept {
+  return static_cast<std::uint32_t>(visited_domains_.size());
+}
+
+bool LocalDetector::has_sufficient_data() const noexcept {
+  return ad_serving_domains() >= config_.min_ad_serving_domains;
+}
+
+std::vector<double> LocalDetector::domain_count_distribution() const {
+  std::vector<double> out;
+  out.reserve(seen_.size());
+  for (const auto& [ad, domains] : seen_)
+    out.push_back(static_cast<double>(domains.size()));
+  return out;
+}
+
+double LocalDetector::domains_threshold() const {
+  return estimate_threshold(domain_count_distribution(), config_.domains_rule);
+}
+
+Verdict LocalDetector::classify(AdId ad, double users_count,
+                                double users_threshold) const {
+  if (!has_sufficient_data()) return Verdict::kInsufficientData;
+  const double domains = domains_for(ad);
+  // Strict inequalities: the paper labels an ad targeted when #Domains
+  // "crosses" the threshold and #Users is "below" the threshold. The strict
+  // forms also make the degenerate all-ads-single-domain window (threshold
+  // exactly 1) behave correctly: one sighting is never "following".
+  const bool follows_user = domains > domains_threshold();
+  const bool seen_by_few = users_count < users_threshold;
+  return follows_user && seen_by_few ? Verdict::kTargeted
+                                     : Verdict::kNonTargeted;
+}
+
+std::vector<AdId> LocalDetector::ads_in_window() const {
+  std::vector<AdId> out;
+  out.reserve(seen_.size());
+  for (const auto& [ad, domains] : seen_) out.push_back(ad);
+  return out;
+}
+
+}  // namespace eyw::core

@@ -1,0 +1,87 @@
+// Client-side half of the count-based algorithm (Section 4).
+//
+// A LocalDetector lives inside one user's browser extension. It maintains,
+// over a sliding window of `window_days` (7 in the paper):
+//   * #Domains(u, a) — distinct domains where this user saw ad a,
+//   * the set of ad-serving domains the user visited (min-data rule),
+//   * Domains_th(u) — the threshold derived from this user's own per-ad
+//     domain-count distribution (Section 4.2; per-user, updated locally in
+//     real time).
+// The global inputs (#Users(a), Users_th) arrive from the back-end server.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/thresholds.hpp"
+#include "core/types.hpp"
+
+namespace eyw::core {
+
+struct DetectorConfig {
+  ThresholdRule domains_rule = ThresholdRule::kMean;
+  ThresholdRule users_rule = ThresholdRule::kMean;
+  /// Minimum ad-serving domains visited within the window before the
+  /// algorithm makes any guess (paper: 4 within the last 7 days).
+  std::uint32_t min_ad_serving_domains = 4;
+  Day window_days = 7;
+};
+
+class LocalDetector {
+ public:
+  explicit LocalDetector(DetectorConfig config = {});
+
+  /// Record an impression of ad `ad` on domain `domain` at day `day`.
+  /// Days must be non-decreasing across calls.
+  void observe(AdId ad, DomainId domain, Day day);
+
+  /// Move local time forward (expires window state). Idempotent; days must
+  /// be non-decreasing.
+  void advance_to(Day today);
+
+  /// #Domains(u, a) within the current window.
+  [[nodiscard]] std::uint32_t domains_for(AdId ad) const noexcept;
+
+  /// Distinct ad-serving domains visited within the window.
+  [[nodiscard]] std::uint32_t ad_serving_domains() const noexcept;
+
+  /// True when the min-data rule is satisfied.
+  [[nodiscard]] bool has_sufficient_data() const noexcept;
+
+  /// The per-ad domain-count distribution this user's threshold is built
+  /// from (one entry per distinct ad in the window).
+  [[nodiscard]] std::vector<double> domain_count_distribution() const;
+
+  /// Domains_th(u) under the configured rule.
+  [[nodiscard]] double domains_threshold() const;
+
+  /// Full classification: targeted iff
+  ///   #Domains(u, a) > Domains_th(u)  AND  users_count < users_threshold.
+  /// `users_count` is the (possibly CMS-estimated) #Users(a) distributed by
+  /// the back-end; `users_threshold` is the global Users_th.
+  [[nodiscard]] Verdict classify(AdId ad, double users_count,
+                                 double users_threshold) const;
+
+  /// Ads currently inside the window.
+  [[nodiscard]] std::vector<AdId> ads_in_window() const;
+
+  [[nodiscard]] const DetectorConfig& config() const noexcept { return config_; }
+  [[nodiscard]] Day today() const noexcept { return today_; }
+
+ private:
+  void expire() noexcept;
+  [[nodiscard]] Day window_start() const noexcept {
+    return today_ + 1 >= config_.window_days ? today_ + 1 - config_.window_days
+                                             : 0;
+  }
+
+  DetectorConfig config_;
+  Day today_ = 0;
+  // ad -> (domain -> last day the pair was seen). Entries expire when their
+  // last sighting leaves the window.
+  std::map<AdId, std::map<DomainId, Day>> seen_;
+  // domain -> last day this user visited it (ad-serving domains only).
+  std::map<DomainId, Day> visited_domains_;
+};
+
+}  // namespace eyw::core

@@ -1,0 +1,23 @@
+#include "core/thresholds.hpp"
+
+#include "util/stats.hpp"
+
+namespace eyw::core {
+
+double estimate_threshold(std::span<const double> distribution,
+                          ThresholdRule rule) {
+  if (distribution.empty()) return 0.0;
+  switch (rule) {
+    case ThresholdRule::kMean:
+      return util::mean(distribution);
+    case ThresholdRule::kMedian:
+      return util::median(distribution);
+    case ThresholdRule::kMeanPlusMedian:
+      return util::mean(distribution) + util::median(distribution);
+    case ThresholdRule::kMeanPlusStddev:
+      return util::mean(distribution) + util::stddev(distribution);
+  }
+  return 0.0;
+}
+
+}  // namespace eyw::core

@@ -1,0 +1,14 @@
+// Threshold estimation from counter distributions (Section 4.2).
+#pragma once
+
+#include <span>
+
+#include "core/types.hpp"
+
+namespace eyw::core {
+
+/// Apply a ThresholdRule to a sample. Returns 0 for an empty sample.
+[[nodiscard]] double estimate_threshold(std::span<const double> distribution,
+                                        ThresholdRule rule);
+
+}  // namespace eyw::core

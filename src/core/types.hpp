@@ -1,0 +1,73 @@
+// Shared vocabulary types of the eyeWnder core.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace eyw::core {
+
+/// Dense identifiers used throughout the pipeline. Ads are identified by the
+/// 64-bit output of the OPRF mapping (or directly by simulator ids); users
+/// and domains by dense indices.
+using UserId = std::uint32_t;
+using AdId = std::uint64_t;
+using DomainId = std::uint32_t;
+/// Simulation day index (day 0 = start of the experiment).
+using Day = std::uint32_t;
+
+/// One ad impression: user u saw ad a on domain d at day t.
+struct Impression {
+  UserId user = 0;
+  AdId ad = 0;
+  DomainId domain = 0;
+  Day day = 0;
+
+  bool operator==(const Impression&) const = default;
+};
+
+/// Outcome of the count-based classification for one (user, ad) pair.
+enum class Verdict : std::uint8_t {
+  kTargeted,
+  kNonTargeted,
+  /// The user has not visited enough ad-serving domains in the window
+  /// (paper: fewer than 4 within the last 7 days) — the algorithm abstains.
+  kInsufficientData,
+};
+
+[[nodiscard]] constexpr const char* to_string(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kTargeted:
+      return "targeted";
+    case Verdict::kNonTargeted:
+      return "non-targeted";
+    case Verdict::kInsufficientData:
+      return "insufficient-data";
+  }
+  return "?";
+}
+
+/// How a threshold is derived from a counter distribution (Section 4.2
+/// evaluates several moments; the paper settles on the mean, and Figure 3
+/// additionally reports Mean+Median and Median).
+enum class ThresholdRule : std::uint8_t {
+  kMean,
+  kMedian,
+  kMeanPlusMedian,
+  kMeanPlusStddev,
+};
+
+[[nodiscard]] constexpr const char* to_string(ThresholdRule r) noexcept {
+  switch (r) {
+    case ThresholdRule::kMean:
+      return "Mean";
+    case ThresholdRule::kMedian:
+      return "Median";
+    case ThresholdRule::kMeanPlusMedian:
+      return "Mean+Median";
+    case ThresholdRule::kMeanPlusStddev:
+      return "Mean+Stddev";
+  }
+  return "?";
+}
+
+}  // namespace eyw::core

@@ -1,0 +1,368 @@
+#include "crypto/bignum.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace eyw::crypto {
+
+namespace {
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("Bignum::from_hex: non-hex character");
+}
+}  // namespace
+
+Bignum::Bignum(u64 v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+void Bignum::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+Bignum Bignum::from_limbs(std::vector<u64> limbs) {
+  Bignum b;
+  b.limbs_ = std::move(limbs);
+  b.trim();
+  return b;
+}
+
+Bignum Bignum::from_hex(std::string_view hex) {
+  Bignum out;
+  for (char c : hex) {
+    if (c == '_' || c == ' ') continue;
+    const int nib = hex_nibble(c);
+    // out = out*16 + nib
+    u64 carry = static_cast<u64>(nib);
+    for (auto& limb : out.limbs_) {
+      const u128 v = (static_cast<u128>(limb) << 4) | carry;
+      limb = static_cast<u64>(v);
+      carry = static_cast<u64>(v >> 64);
+    }
+    if (carry != 0) out.limbs_.push_back(carry);
+  }
+  out.trim();
+  return out;
+}
+
+Bignum Bignum::from_bytes_be(std::span<const std::uint8_t> bytes) {
+  Bignum out;
+  out.limbs_.assign((bytes.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // Byte i is the (size-1-i)-th least significant byte.
+    const std::size_t pos = bytes.size() - 1 - i;
+    out.limbs_[pos / 8] |= static_cast<u64>(bytes[i]) << (8 * (pos % 8));
+  }
+  out.trim();
+  return out;
+}
+
+std::string Bignum::to_hex() const {
+  if (is_zero()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  bool leading = true;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      const int nib = static_cast<int>((limbs_[i] >> shift) & 0xf);
+      if (leading && nib == 0) continue;
+      leading = false;
+      out.push_back(kDigits[nib]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Bignum::to_bytes_be(std::size_t len) const {
+  if (bit_length() > len * 8)
+    throw std::length_error("Bignum::to_bytes_be: value does not fit");
+  std::vector<std::uint8_t> out(len, 0);
+  for (std::size_t pos = 0; pos < len && pos < limbs_.size() * 8; ++pos) {
+    const u64 limb = pos / 8 < limbs_.size() ? limbs_[pos / 8] : 0;
+    out[len - 1 - pos] = static_cast<std::uint8_t>(limb >> (8 * (pos % 8)));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Bignum::to_bytes_be() const {
+  return to_bytes_be((bit_length() + 7) / 8);
+}
+
+std::size_t Bignum::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  return 64 * limbs_.size() -
+         static_cast<std::size_t>(std::countl_zero(limbs_.back()));
+}
+
+bool Bignum::bit(std::size_t i) const noexcept {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+int Bignum::cmp(const Bignum& other) const noexcept {
+  if (limbs_.size() != other.limbs_.size())
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+Bignum Bignum::add(const Bignum& other) const {
+  const auto& a = limbs_;
+  const auto& b = other.limbs_;
+  std::vector<u64> out(std::max(a.size(), b.size()) + 1, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < out.size() - 1; ++i) {
+    u128 v = static_cast<u128>(carry);
+    if (i < a.size()) v += a[i];
+    if (i < b.size()) v += b[i];
+    out[i] = static_cast<u64>(v);
+    carry = static_cast<u64>(v >> 64);
+  }
+  out.back() = carry;
+  return from_limbs(std::move(out));
+}
+
+Bignum Bignum::sub(const Bignum& other) const {
+  if (cmp(other) < 0) throw std::underflow_error("Bignum::sub: a < b");
+  std::vector<u64> out(limbs_.size(), 0);
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const u64 bi = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const u128 lhs = static_cast<u128>(limbs_[i]);
+    const u128 rhs = static_cast<u128>(bi) + borrow;
+    if (lhs >= rhs) {
+      out[i] = static_cast<u64>(lhs - rhs);
+      borrow = 0;
+    } else {
+      out[i] = static_cast<u64>((static_cast<u128>(1) << 64) + lhs - rhs);
+      borrow = 1;
+    }
+  }
+  return from_limbs(std::move(out));
+}
+
+Bignum Bignum::mul(const Bignum& other) const {
+  if (is_zero() || other.is_zero()) return {};
+  std::vector<u64> out(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      const u128 v = static_cast<u128>(limbs_[i]) * other.limbs_[j] +
+                     out[i + j] + carry;
+      out[i + j] = static_cast<u64>(v);
+      carry = static_cast<u64>(v >> 64);
+    }
+    out[i + other.limbs_.size()] += carry;
+  }
+  return from_limbs(std::move(out));
+}
+
+Bignum Bignum::shl(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  std::vector<u64> out(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out[i + limb_shift] |= bit_shift == 0 ? limbs_[i] : (limbs_[i] << bit_shift);
+    if (bit_shift != 0)
+      out[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+  }
+  return from_limbs(std::move(out));
+}
+
+Bignum Bignum::shr(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 64;
+  if (limb_shift >= limbs_.size()) return {};
+  const std::size_t bit_shift = bits % 64;
+  std::vector<u64> out(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = bit_shift == 0 ? limbs_[i + limb_shift]
+                            : (limbs_[i + limb_shift] >> bit_shift);
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size())
+      out[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+  }
+  return from_limbs(std::move(out));
+}
+
+DivMod Bignum::divmod(const Bignum& divisor) const {
+  if (divisor.is_zero()) throw std::domain_error("Bignum: division by zero");
+  if (cmp(divisor) < 0) return {.quotient = {}, .remainder = *this};
+
+  // Single-limb divisor fast path.
+  if (divisor.limbs_.size() == 1) {
+    const u64 d = divisor.limbs_[0];
+    std::vector<u64> q(limbs_.size(), 0);
+    u64 rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      const u128 cur = (static_cast<u128>(rem) << 64) | limbs_[i];
+      q[i] = static_cast<u64>(cur / d);
+      rem = static_cast<u64>(cur % d);
+    }
+    return {.quotient = from_limbs(std::move(q)), .remainder = Bignum(rem)};
+  }
+
+  // Knuth TAOCP vol.2 Algorithm D. Normalize so the divisor's top limb has
+  // its high bit set, guaranteeing the 2-limb trial quotient is off by at
+  // most 2 and correctable by the add-back step.
+  const int shift = std::countl_zero(divisor.limbs_.back());
+  const Bignum u_norm = shl(static_cast<std::size_t>(shift));
+  const Bignum v_norm = divisor.shl(static_cast<std::size_t>(shift));
+  const std::size_t n = v_norm.limbs_.size();
+  const std::size_t m = u_norm.limbs_.size() - n;
+
+  std::vector<u64> u = u_norm.limbs_;
+  u.push_back(0);  // u has n+m+1 limbs
+  const std::vector<u64>& v = v_norm.limbs_;
+  std::vector<u64> q(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Trial quotient qhat from the top two limbs of the current remainder.
+    const u128 num = (static_cast<u128>(u[j + n]) << 64) | u[j + n - 1];
+    u128 qhat = num / v[n - 1];
+    u128 rhat = num % v[n - 1];
+    while (qhat > ~0ULL ||
+           (qhat * v[n - 2]) >
+               ((rhat << 64) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat > ~0ULL) break;
+    }
+
+    // Multiply-subtract: u[j..j+n] -= qhat * v.
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u128 p = qhat * v[i] + carry;
+      carry = p >> 64;
+      const u64 plo = static_cast<u64>(p);
+      const u128 diff = static_cast<u128>(u[i + j]) - plo - borrow;
+      u[i + j] = static_cast<u64>(diff);
+      borrow = (diff >> 64) & 1;  // 1 if wrapped
+    }
+    const u128 diff = static_cast<u128>(u[j + n]) - carry - borrow;
+    u[j + n] = static_cast<u64>(diff);
+    const bool negative = (diff >> 64) & 1;
+
+    q[j] = static_cast<u64>(qhat);
+    if (negative) {
+      // qhat was one too large: add v back and decrement.
+      --q[j];
+      u128 c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const u128 s = static_cast<u128>(u[i + j]) + v[i] + c;
+        u[i + j] = static_cast<u64>(s);
+        c = s >> 64;
+      }
+      u[j + n] += static_cast<u64>(c);
+    }
+  }
+
+  u.resize(n);
+  const Bignum rem_norm = from_limbs(std::move(u));
+  return {.quotient = from_limbs(std::move(q)),
+          .remainder = rem_norm.shr(static_cast<std::size_t>(shift))};
+}
+
+Bignum Bignum::mod(const Bignum& m) const { return divmod(m).remainder; }
+
+Bignum Bignum::modmul(const Bignum& a, const Bignum& b, const Bignum& m) {
+  return a.mul(b).mod(m);
+}
+
+Bignum Bignum::modexp(const Bignum& base, const Bignum& exp, const Bignum& m) {
+  if (m.is_zero()) throw std::domain_error("Bignum::modexp: zero modulus");
+  if (m.is_one()) return {};
+  Bignum result(1);
+  Bignum b = base.mod(m);
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    result = modmul(result, result, m);
+    if (exp.bit(i)) result = modmul(result, b, m);
+  }
+  return result;
+}
+
+Bignum Bignum::gcd(Bignum a, Bignum b) {
+  while (!b.is_zero()) {
+    Bignum r = a.mod(b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+Bignum Bignum::modinv(const Bignum& a, const Bignum& m) {
+  // Extended Euclid with explicit sign tracking (values stay non-negative).
+  if (m.is_zero()) throw std::domain_error("Bignum::modinv: zero modulus");
+  Bignum r0 = m, r1 = a.mod(m);
+  Bignum t0, t1(1);
+  bool neg0 = false, neg1 = false;
+  while (!r1.is_zero()) {
+    const DivMod qr = r0.divmod(r1);
+    // (t0, t1) <- (t1, t0 - q*t1) with signed arithmetic over magnitudes.
+    Bignum qt = qr.quotient.mul(t1);
+    Bignum next;
+    bool next_neg;
+    if (neg0 == neg1) {
+      if (t0 >= qt) {
+        next = t0.sub(qt);
+        next_neg = neg0;
+      } else {
+        next = qt.sub(t0);
+        next_neg = !neg0;
+      }
+    } else {
+      next = t0.add(qt);
+      next_neg = neg0;
+    }
+    t0 = std::move(t1);
+    neg0 = neg1;
+    t1 = std::move(next);
+    neg1 = next_neg;
+    r0 = std::move(r1);
+    r1 = qr.remainder;
+  }
+  if (!r0.is_one()) throw std::domain_error("Bignum::modinv: not invertible");
+  Bignum inv = t0.mod(m);
+  if (neg0 && !inv.is_zero()) inv = m.sub(inv);
+  return inv;
+}
+
+Bignum Bignum::random_below(util::Rng& rng, const Bignum& bound) {
+  if (bound.is_zero())
+    throw std::invalid_argument("Bignum::random_below: zero bound");
+  const std::size_t bits = bound.bit_length();
+  const std::size_t limbs = (bits + 63) / 64;
+  const std::size_t top_bits = bits % 64 == 0 ? 64 : bits % 64;
+  const u64 top_mask = top_bits == 64 ? ~0ULL : ((1ULL << top_bits) - 1);
+  for (;;) {
+    std::vector<u64> v(limbs);
+    for (auto& limb : v) limb = rng.next();
+    v.back() &= top_mask;
+    Bignum candidate = from_limbs(std::move(v));
+    if (candidate < bound) return candidate;
+  }
+}
+
+Bignum Bignum::random_bits(util::Rng& rng, std::size_t bits) {
+  if (bits == 0) return {};
+  const std::size_t limbs = (bits + 63) / 64;
+  std::vector<u64> v(limbs);
+  for (auto& limb : v) limb = rng.next();
+  const std::size_t top = (bits - 1) % 64;
+  v.back() &= top == 63 ? ~0ULL : ((1ULL << (top + 1)) - 1);
+  v.back() |= 1ULL << top;  // force exact bit length
+  return from_limbs(std::move(v));
+}
+
+}  // namespace eyw::crypto

@@ -1,0 +1,103 @@
+// Arbitrary-precision unsigned integers, from scratch.
+//
+// Backs the RSA-based OPRF (blind signatures need modexp/modinv over a
+// 1024-2048 bit modulus) and the Diffie-Hellman pairwise secrets of the
+// blinding protocol. Little-endian base-2^64 limbs; schoolbook
+// multiplication and Knuth Algorithm D division — O(n^2), which is ample
+// for protocol-sized operands.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace eyw::crypto {
+
+struct DivMod;  // defined after Bignum (holds two Bignum values)
+
+class Bignum {
+ public:
+  /// Zero.
+  Bignum() = default;
+  /// From a machine word.
+  explicit Bignum(std::uint64_t v);
+
+  [[nodiscard]] static Bignum from_hex(std::string_view hex);
+  /// Big-endian byte import (leading zeros allowed).
+  [[nodiscard]] static Bignum from_bytes_be(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] std::string to_hex() const;
+  /// Big-endian export, zero-padded / truncated-checked to `len` bytes.
+  /// Throws if the value does not fit.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes_be(std::size_t len) const;
+  /// Minimal-length big-endian export (empty for zero).
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes_be() const;
+
+  [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+  [[nodiscard]] bool is_odd() const noexcept {
+    return !limbs_.empty() && (limbs_[0] & 1);
+  }
+  [[nodiscard]] bool is_one() const noexcept {
+    return limbs_.size() == 1 && limbs_[0] == 1;
+  }
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const noexcept;
+  [[nodiscard]] bool bit(std::size_t i) const noexcept;
+  [[nodiscard]] std::size_t limb_count() const noexcept { return limbs_.size(); }
+  /// Low 64 bits.
+  [[nodiscard]] std::uint64_t to_u64() const noexcept {
+    return limbs_.empty() ? 0 : limbs_[0];
+  }
+
+  /// Three-way compare: -1, 0, +1.
+  [[nodiscard]] int cmp(const Bignum& other) const noexcept;
+  bool operator==(const Bignum& other) const noexcept { return cmp(other) == 0; }
+  bool operator!=(const Bignum& other) const noexcept { return cmp(other) != 0; }
+  bool operator<(const Bignum& other) const noexcept { return cmp(other) < 0; }
+  bool operator<=(const Bignum& other) const noexcept { return cmp(other) <= 0; }
+  bool operator>(const Bignum& other) const noexcept { return cmp(other) > 0; }
+  bool operator>=(const Bignum& other) const noexcept { return cmp(other) >= 0; }
+
+  [[nodiscard]] Bignum add(const Bignum& other) const;
+  /// Requires *this >= other; throws std::underflow_error otherwise.
+  [[nodiscard]] Bignum sub(const Bignum& other) const;
+  [[nodiscard]] Bignum mul(const Bignum& other) const;
+  /// Quotient and remainder; throws std::domain_error on division by zero.
+  [[nodiscard]] DivMod divmod(const Bignum& divisor) const;
+  [[nodiscard]] Bignum mod(const Bignum& m) const;
+  [[nodiscard]] Bignum shl(std::size_t bits) const;
+  [[nodiscard]] Bignum shr(std::size_t bits) const;
+
+  /// (a * b) mod m.
+  [[nodiscard]] static Bignum modmul(const Bignum& a, const Bignum& b,
+                                     const Bignum& m);
+  /// (base ^ exp) mod m via left-to-right square & multiply.
+  [[nodiscard]] static Bignum modexp(const Bignum& base, const Bignum& exp,
+                                     const Bignum& m);
+  /// Modular inverse; throws std::domain_error if gcd(a, m) != 1.
+  [[nodiscard]] static Bignum modinv(const Bignum& a, const Bignum& m);
+  [[nodiscard]] static Bignum gcd(Bignum a, Bignum b);
+
+  /// Uniform value in [0, bound) (rejection sampling). bound must be > 0.
+  [[nodiscard]] static Bignum random_below(util::Rng& rng, const Bignum& bound);
+  /// Random value with exactly `bits` significant bits (top bit forced).
+  [[nodiscard]] static Bignum random_bits(util::Rng& rng, std::size_t bits);
+
+ private:
+  void trim() noexcept;
+  static Bignum from_limbs(std::vector<std::uint64_t> limbs);
+
+  std::vector<std::uint64_t> limbs_;  // little-endian, no trailing zeros
+};
+
+/// Result of Bignum::divmod.
+struct DivMod {
+  Bignum quotient;
+  Bignum remainder;
+};
+
+}  // namespace eyw::crypto

@@ -1,0 +1,122 @@
+#include "crypto/blinding.hpp"
+
+#include <stdexcept>
+
+namespace eyw::crypto {
+
+BlindingParticipant::BlindingParticipant(
+    const DhGroup& group, std::size_t index, DhKeyPair keypair,
+    std::span<const Bignum> all_public_keys)
+    : index_(index) {
+  if (index >= all_public_keys.size())
+    throw std::invalid_argument("BlindingParticipant: index out of roster");
+  if (all_public_keys[index] != keypair.public_key)
+    throw std::invalid_argument(
+        "BlindingParticipant: roster disagrees with own public key");
+  pair_keys_.resize(all_public_keys.size());
+  for (std::size_t j = 0; j < all_public_keys.size(); ++j) {
+    if (j == index_) continue;
+    const Bignum secret =
+        dh_shared_secret(group, keypair.private_key, all_public_keys[j]);
+    pair_keys_[j] = dh_secret_to_key(secret);
+  }
+}
+
+std::vector<BlindCell> BlindingParticipant::pad(std::size_t peer,
+                                                std::size_t cells,
+                                                std::uint64_t round) const {
+  // One pseudo-random pad per (pair, round), expanded in counter mode:
+  // 8 cells per SHA-256 call instead of one hash per cell. Both endpoints
+  // of a pair derive the identical pad from the shared key.
+  Sha256 seed;
+  seed.update(std::span<const std::uint8_t>(pair_keys_[peer].data(),
+                                            pair_keys_[peer].size()));
+  seed.update_u64(round);
+  const Digest d = seed.finish();
+  const auto stream = sha256_expand(
+      std::span<const std::uint8_t>(d.data(), d.size()),
+      cells * sizeof(BlindCell));
+  std::vector<BlindCell> out(cells);
+  for (std::size_t m = 0; m < cells; ++m) {
+    BlindCell v = 0;
+    for (std::size_t b = 0; b < sizeof(BlindCell); ++b)
+      v = static_cast<BlindCell>((v << 8) | stream[m * sizeof(BlindCell) + b]);
+    out[m] = v;
+  }
+  return out;
+}
+
+BlindCell BlindingParticipant::factor(std::size_t peer, std::uint64_t cell,
+                                      std::uint64_t round) const {
+  // Single-cell view of the pad (kept for tests/diagnostics; bulk callers
+  // use pad() directly).
+  return pad(peer, static_cast<std::size_t>(cell) + 1, round)[cell];
+}
+
+std::vector<BlindCell> BlindingParticipant::blinding_vector(
+    std::size_t cells, std::uint64_t round) const {
+  std::vector<BlindCell> out(cells, 0);
+  for (std::size_t j = 0; j < pair_keys_.size(); ++j) {
+    if (j == index_) continue;
+    const bool positive = index_ > j;
+    const std::vector<BlindCell> p = pad(j, cells, round);
+    for (std::size_t m = 0; m < cells; ++m) {
+      out[m] = positive ? out[m] + p[m] : out[m] - p[m];  // wrapping
+    }
+  }
+  return out;
+}
+
+std::vector<BlindCell> BlindingParticipant::blind(
+    std::span<const BlindCell> cells, std::uint64_t round) const {
+  std::vector<BlindCell> out = blinding_vector(cells.size(), round);
+  for (std::size_t m = 0; m < cells.size(); ++m) out[m] += cells[m];
+  return out;
+}
+
+std::vector<BlindCell> BlindingParticipant::adjustment_for_missing(
+    std::size_t cells, std::uint64_t round,
+    std::span<const std::size_t> missing) const {
+  std::vector<BlindCell> out(cells, 0);
+  for (std::size_t j : missing) {
+    if (j == index_)
+      throw std::invalid_argument("adjustment_for_missing: self in missing set");
+    if (j >= pair_keys_.size())
+      throw std::invalid_argument("adjustment_for_missing: unknown participant");
+    const bool positive = index_ > j;
+    const std::vector<BlindCell> p = pad(j, cells, round);
+    for (std::size_t m = 0; m < cells; ++m) {
+      out[m] = positive ? out[m] + p[m] : out[m] - p[m];
+    }
+  }
+  return out;
+}
+
+std::vector<BlindCell> aggregate_blinded(
+    std::span<const std::vector<BlindCell>> reports) {
+  if (reports.empty()) return {};
+  const std::size_t cells = reports.front().size();
+  std::vector<BlindCell> out(cells, 0);
+  for (const auto& r : reports) {
+    if (r.size() != cells)
+      throw std::invalid_argument("aggregate_blinded: size mismatch");
+    for (std::size_t m = 0; m < cells; ++m) out[m] += r[m];
+  }
+  return out;
+}
+
+void apply_adjustment(std::vector<BlindCell>& aggregate,
+                      std::span<const BlindCell> adjustment) {
+  if (aggregate.size() != adjustment.size())
+    throw std::invalid_argument("apply_adjustment: size mismatch");
+  for (std::size_t m = 0; m < aggregate.size(); ++m)
+    aggregate[m] -= adjustment[m];
+}
+
+std::size_t roster_bytes(const DhGroup& group, std::size_t participants) {
+  if (participants == 0) return 0;
+  return participants * group.element_bytes() +                // uploads
+         participants * (participants - 1) * group.element_bytes();  // downloads
+}
+
+}  // namespace eyw::crypto

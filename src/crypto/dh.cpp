@@ -1,0 +1,58 @@
+#include "crypto/dh.hpp"
+
+#include "crypto/prime.hpp"
+
+namespace eyw::crypto {
+
+DhGroup DhGroup::rfc3526_2048() {
+  // RFC 3526 §3, 2048-bit MODP group: p = 2^2048 - 2^1984 - 1 +
+  // 2^64 * floor(2^1918 pi) + 124476. Generator 2.
+  static const char* kHex =
+      "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+      "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+      "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+      "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+      "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+      "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+      "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+      "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+      "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+      "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+      "15728E5A8AACAA68FFFFFFFFFFFFFFFF";
+  return {.p = Bignum::from_hex(kHex), .g = Bignum(2)};
+}
+
+DhGroup DhGroup::generate(util::Rng& rng, std::size_t bits) {
+  const Bignum p = generate_safe_prime(rng, bits);
+  // For a safe prime p = 2q+1, g generates the full group unless
+  // g^2 == 1 or g^q == 1; 2 works for almost all safe primes, otherwise
+  // search small candidates.
+  const Bignum one(1);
+  const Bignum q = p.shr(1);
+  for (std::uint64_t cand = 2;; ++cand) {
+    const Bignum g(cand);
+    if (Bignum::modexp(g, q, p) != one &&
+        Bignum::modexp(g, Bignum(2), p) != one) {
+      return {.p = p, .g = g};
+    }
+  }
+}
+
+DhKeyPair dh_keygen(const DhGroup& group, util::Rng& rng) {
+  const Bignum two(2);
+  // x uniform in [1, p-2].
+  const Bignum x = Bignum::random_below(rng, group.p.sub(two)).add(Bignum(1));
+  return {.private_key = x, .public_key = Bignum::modexp(group.g, x, group.p)};
+}
+
+Bignum dh_shared_secret(const DhGroup& group, const Bignum& own_private,
+                        const Bignum& peer_public) {
+  return Bignum::modexp(peer_public, own_private, group.p);
+}
+
+Digest dh_secret_to_key(const Bignum& shared_secret) {
+  const auto bytes = shared_secret.to_bytes_be();
+  return sha256(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+}
+
+}  // namespace eyw::crypto

@@ -1,0 +1,49 @@
+// Diffie-Hellman over Z_p*, used by the Kursawe-style blinding protocol:
+// each pair of clients derives a shared secret y_j^{x_i} = g^{x_i x_j},
+// from which per-cell blinding factors are hashed.
+#pragma once
+
+#include <cstddef>
+
+#include "crypto/bignum.hpp"
+#include "crypto/sha256.hpp"
+#include "util/rng.hpp"
+
+namespace eyw::crypto {
+
+/// Group parameters: prime modulus p and generator g.
+struct DhGroup {
+  Bignum p;
+  Bignum g;
+
+  /// The fixed 2048-bit MODP group from RFC 3526 (group 14), g = 2.
+  /// Matches the parameter sizes the paper assumes (~1024-2048 bit group
+  /// elements exchanged by the OPRF/blinding protocols).
+  [[nodiscard]] static DhGroup rfc3526_2048();
+
+  /// A freshly generated safe-prime group of the given size — small groups
+  /// keep unit tests fast while exercising the same code path.
+  [[nodiscard]] static DhGroup generate(util::Rng& rng, std::size_t bits);
+
+  /// Size of one serialized group element in bytes.
+  [[nodiscard]] std::size_t element_bytes() const {
+    return (p.bit_length() + 7) / 8;
+  }
+};
+
+struct DhKeyPair {
+  Bignum private_key;  // x in [1, p-2]
+  Bignum public_key;   // g^x mod p
+};
+
+[[nodiscard]] DhKeyPair dh_keygen(const DhGroup& group, util::Rng& rng);
+
+/// Shared secret g^{x_a x_b} = (peer_public)^{own_private} mod p.
+[[nodiscard]] Bignum dh_shared_secret(const DhGroup& group,
+                                      const Bignum& own_private,
+                                      const Bignum& peer_public);
+
+/// Hash a shared secret to a 32-byte symmetric key.
+[[nodiscard]] Digest dh_secret_to_key(const Bignum& shared_secret);
+
+}  // namespace eyw::crypto

@@ -1,0 +1,81 @@
+#include "crypto/oprf.hpp"
+
+#include <stdexcept>
+
+#include "util/hex.hpp"
+
+namespace eyw::crypto {
+
+Bignum hash_to_zn(std::string_view input, const Bignum& n) {
+  const std::size_t len = n.limb_count() * 8 + 16;  // oversample, then reduce
+  std::uint64_t counter = 0;
+  for (;;) {
+    Sha256 seed;
+    seed.update("eyw-oprf-h2zn");
+    seed.update(input);
+    seed.update_u64(counter++);
+    const Digest d = seed.finish();
+    const auto stream = sha256_expand(
+        std::span<const std::uint8_t>(d.data(), d.size()), len);
+    const Bignum v = Bignum::from_bytes_be(
+        std::span<const std::uint8_t>(stream.data(), stream.size()));
+    const Bignum reduced = v.mod(n);
+    if (!reduced.is_zero() && !reduced.is_one()) return reduced;
+  }
+}
+
+OprfServer::OprfServer(util::Rng& rng, std::size_t modulus_bits)
+    : key_(rsa_generate(rng, modulus_bits)) {}
+
+OprfServer::OprfServer(RsaKeyPair key) : key_(std::move(key)) {}
+
+Bignum OprfServer::evaluate_blinded(const Bignum& blinded) const {
+  ++evaluations_;
+  return rsa_private_apply(key_, blinded);
+}
+
+OprfOutput OprfServer::evaluate_direct(std::string_view input) const {
+  const Bignum h = hash_to_zn(input, key_.pub.n);
+  const Bignum sig = Bignum::modexp(h, key_.d, key_.pub.n);
+  const auto bytes = sig.to_bytes_be(key_.pub.modulus_bytes());
+  Sha256 g;
+  g.update("eyw-oprf-g");
+  g.update(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  return {.prf = g.finish()};
+}
+
+OprfClient::OprfClient(RsaPublicKey server_public)
+    : pub_(std::move(server_public)) {}
+
+OprfBlinded OprfClient::blind(std::string_view input, util::Rng& rng) const {
+  const Bignum h = hash_to_zn(input, pub_.n);
+  // r uniform in [2, N-1] and invertible mod N. A non-invertible r would
+  // factor N, so in practice the first draw succeeds.
+  Bignum r;
+  for (;;) {
+    r = Bignum::random_below(rng, pub_.n);
+    if (r.is_zero() || r.is_one()) continue;
+    if (Bignum::gcd(r, pub_.n).is_one()) break;
+  }
+  const Bignum r_e = Bignum::modexp(r, pub_.e, pub_.n);
+  return {.blinded_element = Bignum::modmul(h, r_e, pub_.n), .r = r};
+}
+
+OprfOutput OprfClient::finalize(std::string_view input,
+                                const OprfBlinded& blinded,
+                                const Bignum& server_response) const {
+  const Bignum r_inv = Bignum::modinv(blinded.r, pub_.n);
+  const Bignum unblinded = Bignum::modmul(server_response, r_inv, pub_.n);
+  // Verify the blind signature: unblinded^e must equal H(x). This makes a
+  // malicious or misconfigured oprf-server detectable by every client.
+  const Bignum h = hash_to_zn(input, pub_.n);
+  if (Bignum::modexp(unblinded, pub_.e, pub_.n) != h)
+    throw std::runtime_error("OprfClient::finalize: invalid server response");
+  const auto bytes = unblinded.to_bytes_be(pub_.modulus_bytes());
+  Sha256 g;
+  g.update("eyw-oprf-g");
+  g.update(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  return {.prf = g.finish()};
+}
+
+}  // namespace eyw::crypto

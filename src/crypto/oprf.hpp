@@ -1,0 +1,86 @@
+// RSA-based Oblivious Pseudo-Random Function (Jarecki-Liu style blind
+// evaluation), Section 6 of the paper.
+//
+// The oprf-server holds an RSA private key d; the PRF is
+//   F(k, x) = G(H(x)^d mod N)
+// where H hashes onto Z_N and G hashes the result to a fixed-length output.
+// A client blinds H(x) with r^e, the server exponentiates, the client
+// removes r. The server never sees x (ad URL); the client never learns d.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+#include "util/rng.hpp"
+
+namespace eyw::crypto {
+
+/// Hash an arbitrary string onto Z_N \ {0, 1} (full-domain hash via
+/// counter-mode SHA-256 expansion and rejection of degenerate values).
+[[nodiscard]] Bignum hash_to_zn(std::string_view input, const Bignum& n);
+
+/// Client-side state of a single blind evaluation.
+struct OprfBlinded {
+  Bignum blinded_element;  // H(x) * r^e mod N   (sent to the server)
+  Bignum r;                // blinding factor    (kept by the client)
+};
+
+/// Final PRF output: a 32-byte digest, plus the convenience mapping into an
+/// ad-ID space [0, id_space).
+struct OprfOutput {
+  Digest prf;
+
+  [[nodiscard]] std::uint64_t to_ad_id(std::uint64_t id_space) const {
+    return digest_to_u64(prf) % id_space;
+  }
+};
+
+class OprfServer {
+ public:
+  /// Generates a fresh RSA key of `modulus_bits`.
+  OprfServer(util::Rng& rng, std::size_t modulus_bits);
+  explicit OprfServer(RsaKeyPair key);
+
+  [[nodiscard]] const RsaPublicKey& public_key() const { return key_.pub; }
+
+  /// Blind "signature": blinded^d mod N. One group element in, one out.
+  [[nodiscard]] Bignum evaluate_blinded(const Bignum& blinded) const;
+
+  /// Direct (non-oblivious) evaluation; test oracle for agreement checks.
+  [[nodiscard]] OprfOutput evaluate_direct(std::string_view input) const;
+
+  /// Total blinded evaluations served (load accounting for benches).
+  [[nodiscard]] std::uint64_t evaluations() const { return evaluations_; }
+
+ private:
+  RsaKeyPair key_;
+  mutable std::uint64_t evaluations_ = 0;
+};
+
+class OprfClient {
+ public:
+  explicit OprfClient(RsaPublicKey server_public);
+
+  /// Step 1: blind the input. Fresh r per call.
+  [[nodiscard]] OprfBlinded blind(std::string_view input, util::Rng& rng) const;
+
+  /// Step 2: unblind the server response and apply the output hash G.
+  /// Throws std::runtime_error if the response is inconsistent with the
+  /// server public key (detects a misbehaving or wrong server).
+  [[nodiscard]] OprfOutput finalize(std::string_view input,
+                                    const OprfBlinded& blinded,
+                                    const Bignum& server_response) const;
+
+  /// Bytes on the wire for one evaluation: request + response, one group
+  /// element each (paper: "exchanging two group elements").
+  [[nodiscard]] std::size_t bytes_per_evaluation() const {
+    return 2 * pub_.modulus_bytes();
+  }
+
+ private:
+  RsaPublicKey pub_;
+};
+
+}  // namespace eyw::crypto

@@ -1,0 +1,110 @@
+#include "crypto/prime.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace eyw::crypto {
+
+namespace {
+
+// Primes below 1000 for fast trial-division rejection of candidates.
+constexpr std::array<std::uint32_t, 168> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263,
+    269, 271, 277, 281, 283, 293, 307, 311, 313, 317, 331, 337, 347, 349,
+    353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419, 421, 431, 433,
+    439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521,
+    523, 541, 547, 557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613,
+    617, 619, 631, 641, 643, 647, 653, 659, 661, 673, 677, 683, 691, 701,
+    709, 719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787, 797, 809,
+    811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887,
+    907, 911, 919, 929, 937, 941, 947, 953, 967, 971, 977, 983, 991, 997};
+
+bool divisible_by_small_prime(const Bignum& n) {
+  for (std::uint32_t p : kSmallPrimes) {
+    const Bignum bp(p);
+    if (n == bp) return false;  // n *is* a small prime, not divisible-by
+    if (n.mod(bp).is_zero()) return true;
+  }
+  return false;
+}
+
+bool miller_rabin_round(const Bignum& n, const Bignum& n_minus_1,
+                        const Bignum& d, std::size_t r, const Bignum& a) {
+  Bignum x = Bignum::modexp(a, d, n);
+  if (x.is_one() || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < r; ++i) {
+    x = Bignum::modmul(x, x, n);
+    if (x == n_minus_1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_probable_prime(const Bignum& n, util::Rng& rng, int rounds) {
+  if (n.bit_length() <= 10) {
+    const std::uint64_t v = n.to_u64();
+    for (std::uint32_t p : kSmallPrimes)
+      if (v == p) return true;
+    if (v < 2) return false;
+    for (std::uint32_t p : kSmallPrimes) {
+      if (static_cast<std::uint64_t>(p) * p > v) break;
+      if (v % p == 0) return false;
+    }
+    return true;
+  }
+  if (!n.is_odd()) return false;
+  if (divisible_by_small_prime(n)) return false;
+
+  const Bignum one(1);
+  const Bignum n_minus_1 = n.sub(one);
+  // n-1 = d * 2^r with d odd.
+  std::size_t r = 0;
+  Bignum d = n_minus_1;
+  while (!d.is_odd()) {
+    d = d.shr(1);
+    ++r;
+  }
+  const Bignum two(2);
+  const Bignum span = n.sub(Bignum(3));  // bases in [2, n-2]
+  for (int i = 0; i < rounds; ++i) {
+    const Bignum a = Bignum::random_below(rng, span).add(two);
+    if (!miller_rabin_round(n, n_minus_1, d, r, a)) return false;
+  }
+  return true;
+}
+
+Bignum generate_prime(util::Rng& rng, std::size_t bits, int mr_rounds) {
+  if (bits < 8)
+    throw std::invalid_argument("generate_prime: need at least 8 bits");
+  for (;;) {
+    Bignum candidate = Bignum::random_bits(rng, bits);
+    if (!candidate.is_odd()) candidate = candidate.add(Bignum(1));
+    if (is_probable_prime(candidate, rng, mr_rounds)) return candidate;
+  }
+}
+
+Bignum generate_rsa_prime(util::Rng& rng, std::size_t bits, const Bignum& e,
+                          int mr_rounds) {
+  const Bignum one(1);
+  for (;;) {
+    const Bignum p = generate_prime(rng, bits, mr_rounds);
+    if (Bignum::gcd(p.sub(one), e).is_one()) return p;
+  }
+}
+
+Bignum generate_safe_prime(util::Rng& rng, std::size_t bits, int mr_rounds) {
+  if (bits < 16)
+    throw std::invalid_argument("generate_safe_prime: need at least 16 bits");
+  const Bignum one(1);
+  for (;;) {
+    const Bignum q = generate_prime(rng, bits - 1, mr_rounds);
+    const Bignum p = q.shl(1).add(one);
+    if (is_probable_prime(p, rng, mr_rounds)) return p;
+  }
+}
+
+}  // namespace eyw::crypto

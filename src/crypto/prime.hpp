@@ -1,0 +1,31 @@
+// Probabilistic primality testing and prime generation for RSA / DH keygen.
+#pragma once
+
+#include <cstddef>
+
+#include "crypto/bignum.hpp"
+#include "util/rng.hpp"
+
+namespace eyw::crypto {
+
+/// Miller-Rabin with `rounds` random bases (error probability <= 4^-rounds).
+/// Deterministically correct for small inputs via trial division first.
+[[nodiscard]] bool is_probable_prime(const Bignum& n, util::Rng& rng,
+                                     int rounds = 24);
+
+/// Generate a random prime with exactly `bits` bits.
+[[nodiscard]] Bignum generate_prime(util::Rng& rng, std::size_t bits,
+                                    int mr_rounds = 24);
+
+/// Generate a prime p with `bits` bits such that gcd(p-1, e) == 1
+/// (suitable as an RSA factor for public exponent e).
+[[nodiscard]] Bignum generate_rsa_prime(util::Rng& rng, std::size_t bits,
+                                        const Bignum& e, int mr_rounds = 24);
+
+/// Generate a safe prime p = 2q + 1 with q prime (for DH test groups).
+/// Intended for modest sizes (<= ~512 bits); larger DH groups should use the
+/// fixed RFC 3526 parameters in dh.hpp.
+[[nodiscard]] Bignum generate_safe_prime(util::Rng& rng, std::size_t bits,
+                                         int mr_rounds = 16);
+
+}  // namespace eyw::crypto

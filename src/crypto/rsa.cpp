@@ -1,0 +1,37 @@
+#include "crypto/rsa.hpp"
+
+#include <stdexcept>
+
+#include "crypto/prime.hpp"
+
+namespace eyw::crypto {
+
+RsaKeyPair rsa_generate(util::Rng& rng, std::size_t modulus_bits) {
+  if (modulus_bits < 128 || modulus_bits % 2 != 0)
+    throw std::invalid_argument("rsa_generate: modulus_bits must be even, >= 128");
+  const Bignum e(65537);
+  const Bignum one(1);
+  const std::size_t half = modulus_bits / 2;
+  for (;;) {
+    const Bignum p = generate_rsa_prime(rng, half, e);
+    Bignum q = generate_rsa_prime(rng, half, e);
+    while (q == p) q = generate_rsa_prime(rng, half, e);
+    const Bignum n = p.mul(q);
+    if (n.bit_length() != modulus_bits) continue;  // product lost a bit
+    const Bignum phi = p.sub(one).mul(q.sub(one));
+    const Bignum d = Bignum::modinv(e, phi);
+    return {.pub = {.n = n, .e = e}, .d = d};
+  }
+}
+
+Bignum rsa_public_apply(const RsaPublicKey& pub, const Bignum& x) {
+  if (x >= pub.n) throw std::invalid_argument("rsa_public_apply: x >= n");
+  return Bignum::modexp(x, pub.e, pub.n);
+}
+
+Bignum rsa_private_apply(const RsaKeyPair& key, const Bignum& x) {
+  if (x >= key.pub.n) throw std::invalid_argument("rsa_private_apply: x >= n");
+  return Bignum::modexp(x, key.d, key.pub.n);
+}
+
+}  // namespace eyw::crypto

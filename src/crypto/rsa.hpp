@@ -1,0 +1,41 @@
+// Textbook RSA keypair generation and exponentiation primitives.
+//
+// Used only as the substrate of the RSA-based blind-signature OPRF
+// (Jarecki-Liu style, Section 6 of the paper): the oprf-server holds d, the
+// public (N, e) is published, and "signing" is a raw modular exponentiation
+// on an already-hashed, blinded element. No padding is involved by design.
+#pragma once
+
+#include <cstddef>
+
+#include "crypto/bignum.hpp"
+#include "util/rng.hpp"
+
+namespace eyw::crypto {
+
+struct RsaPublicKey {
+  Bignum n;
+  Bignum e;
+
+  /// Modulus size in whole bytes (ceiling).
+  [[nodiscard]] std::size_t modulus_bytes() const {
+    return (n.bit_length() + 7) / 8;
+  }
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  Bignum d;
+};
+
+/// Generate an RSA keypair with a modulus of `modulus_bits` bits and
+/// public exponent 65537. `modulus_bits` must be >= 128 and even.
+[[nodiscard]] RsaKeyPair rsa_generate(util::Rng& rng, std::size_t modulus_bits);
+
+/// x^e mod n (public operation).
+[[nodiscard]] Bignum rsa_public_apply(const RsaPublicKey& pub, const Bignum& x);
+
+/// x^d mod n (private operation).
+[[nodiscard]] Bignum rsa_private_apply(const RsaKeyPair& key, const Bignum& x);
+
+}  // namespace eyw::crypto

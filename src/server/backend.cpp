@@ -1,0 +1,102 @@
+#include "server/backend.hpp"
+
+#include <stdexcept>
+
+namespace eyw::server {
+
+BackendServer::BackendServer(BackendConfig config) : config_(config) {
+  if (config_.id_space == 0)
+    throw std::invalid_argument("BackendServer: id_space == 0");
+  if (config_.cms_params.cells() == 0)
+    throw std::invalid_argument("BackendServer: empty CMS geometry");
+}
+
+void BackendServer::begin_round(std::uint64_t round, std::size_t roster_size) {
+  round_ = round;
+  roster_size_ = roster_size;
+  reports_.clear();
+  adjustments_.clear();
+  bytes_received_ = 0;
+}
+
+void BackendServer::submit_report(std::size_t participant_index,
+                                  std::vector<crypto::BlindCell> blinded_cells) {
+  if (participant_index >= roster_size_)
+    throw std::invalid_argument("submit_report: index outside roster");
+  if (blinded_cells.size() != config_.cms_params.cells())
+    throw std::invalid_argument("submit_report: cell-count mismatch");
+  if (!reports_.emplace(participant_index, std::move(blinded_cells)).second)
+    throw std::invalid_argument("submit_report: duplicate report");
+  bytes_received_ += config_.cms_params.bytes();
+}
+
+std::vector<std::size_t> BackendServer::missing_participants() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < roster_size_; ++i)
+    if (!reports_.contains(i)) out.push_back(i);
+  return out;
+}
+
+void BackendServer::submit_adjustment(
+    std::size_t participant_index, std::vector<crypto::BlindCell> adjustment) {
+  if (!reports_.contains(participant_index))
+    throw std::invalid_argument(
+        "submit_adjustment: adjustments come from reporters only");
+  if (adjustment.size() != config_.cms_params.cells())
+    throw std::invalid_argument("submit_adjustment: cell-count mismatch");
+  if (!adjustments_.emplace(participant_index, std::move(adjustment)).second)
+    throw std::invalid_argument("submit_adjustment: duplicate adjustment");
+  bytes_received_ += config_.cms_params.bytes();
+}
+
+RoundResult BackendServer::finalize_round() {
+  if (reports_.empty())
+    throw std::logic_error("finalize_round: no reports received");
+  if (!missing_participants().empty() &&
+      adjustments_.size() != reports_.size()) {
+    throw std::logic_error(
+        "finalize_round: missing clients but not all adjustments received");
+  }
+
+  std::vector<std::vector<crypto::BlindCell>> report_list;
+  report_list.reserve(reports_.size());
+  for (auto& [idx, cells] : reports_) report_list.push_back(cells);
+  auto aggregate_cells = crypto::aggregate_blinded(report_list);
+  for (const auto& [idx, adj] : adjustments_)
+    crypto::apply_adjustment(aggregate_cells, adj);
+
+  RoundResult result{
+      .aggregate = sketch::CountMinSketch::from_cells(
+          config_.cms_params, config_.cms_hash_seed, aggregate_cells),
+      .distribution = {},
+      .users_threshold = 0.0,
+      .reports = reports_.size(),
+      .roster = roster_size_,
+  };
+
+  // Enumerate the (over-provisioned) id space. Ids that correspond to no
+  // real ad mostly query to 0 and are dropped by from_counts; hash
+  // collisions inside the CMS are why the estimated threshold sits slightly
+  // above the actual one (Figure 2).
+  std::vector<double> counts;
+  counts.reserve(config_.id_space);
+  for (std::uint64_t id = 0; id < config_.id_space; ++id)
+    counts.push_back(static_cast<double>(result.aggregate.query(id)));
+  result.distribution = core::UsersDistribution::from_counts(counts);
+  result.users_threshold = result.distribution.threshold(config_.users_rule);
+
+  last_result_ = result;
+  return result;
+}
+
+std::optional<double> BackendServer::users_for(std::uint64_t ad_id) const {
+  if (!last_result_) return std::nullopt;
+  return static_cast<double>(last_result_->aggregate.query(ad_id));
+}
+
+std::optional<double> BackendServer::users_threshold() const {
+  if (!last_result_) return std::nullopt;
+  return last_result_->users_threshold;
+}
+
+}  // namespace eyw::server

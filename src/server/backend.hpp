@@ -1,0 +1,82 @@
+// The back-end server (Section 5): collects blinded CMS reports, aggregates
+// and unblinds them, estimates the #Users(a) counters over the enumerable
+// ad-ID space, and derives the Users_th threshold that is distributed back
+// to every client.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/global_view.hpp"
+#include "crypto/blinding.hpp"
+#include "sketch/count_min.hpp"
+
+namespace eyw::server {
+
+struct BackendConfig {
+  sketch::CmsParams cms_params;
+  std::uint64_t cms_hash_seed = 0;
+  /// Over-estimated |A|: the server queries the aggregate for every id in
+  /// [0, id_space) (Section 6.1).
+  std::uint64_t id_space = 0;
+  core::ThresholdRule users_rule = core::ThresholdRule::kMean;
+};
+
+/// Everything the back-end derives from one reporting round.
+struct RoundResult {
+  sketch::CountMinSketch aggregate;
+  core::UsersDistribution distribution;
+  double users_threshold = 0.0;
+  /// Reports received / roster size.
+  std::size_t reports = 0;
+  std::size_t roster = 0;
+};
+
+class BackendServer {
+ public:
+  explicit BackendServer(BackendConfig config);
+
+  [[nodiscard]] const BackendConfig& config() const noexcept { return config_; }
+
+  /// Begin a reporting round for a roster of `roster_size` clients.
+  void begin_round(std::uint64_t round, std::size_t roster_size);
+
+  /// Accept one client's blinded report (cells must match CMS geometry).
+  void submit_report(std::size_t participant_index,
+                     std::vector<crypto::BlindCell> blinded_cells);
+
+  /// Indices that have not reported (the "missing" list of the
+  /// fault-tolerance round).
+  [[nodiscard]] std::vector<std::size_t> missing_participants() const;
+
+  /// Accept one reporter's adjustment for the missing set.
+  void submit_adjustment(std::size_t participant_index,
+                         std::vector<crypto::BlindCell> adjustment);
+
+  /// Aggregate, cancel blindings (applying any adjustments), query the full
+  /// id space, and compute the distribution + threshold.
+  [[nodiscard]] RoundResult finalize_round();
+
+  /// Estimated #Users for one ad id, from the last finalized round.
+  [[nodiscard]] std::optional<double> users_for(std::uint64_t ad_id) const;
+  /// Users_th from the last finalized round.
+  [[nodiscard]] std::optional<double> users_threshold() const;
+
+  /// Wire bytes received this round (reports + adjustments, 4 B/cell).
+  [[nodiscard]] std::size_t bytes_received() const noexcept {
+    return bytes_received_;
+  }
+
+ private:
+  BackendConfig config_;
+  std::uint64_t round_ = 0;
+  std::size_t roster_size_ = 0;
+  std::map<std::size_t, std::vector<crypto::BlindCell>> reports_;
+  std::map<std::size_t, std::vector<crypto::BlindCell>> adjustments_;
+  std::size_t bytes_received_ = 0;
+  std::optional<RoundResult> last_result_;
+};
+
+}  // namespace eyw::server

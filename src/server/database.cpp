@@ -1,0 +1,39 @@
+#include "server/database.hpp"
+
+namespace eyw::server {
+
+void Database::register_user(core::UserId user, std::string display_name) {
+  users_[user] = std::move(display_name);
+}
+
+bool Database::is_registered(core::UserId user) const {
+  return users_.contains(user);
+}
+
+void Database::store_week(WeekSnapshot snapshot) {
+  weeks_[snapshot.week] = std::move(snapshot);
+}
+
+std::optional<WeekSnapshot> Database::week(std::uint64_t w) const {
+  const auto it = weeks_.find(w);
+  if (it == weeks_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::uint64_t> Database::weeks() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(weeks_.size());
+  for (const auto& [w, snap] : weeks_) out.push_back(w);
+  return out;
+}
+
+void Database::store_crawler_sighting(core::DomainId domain, core::AdId ad) {
+  crawler_view_[domain].insert(ad);
+  crawler_ads_.insert(ad);
+}
+
+bool Database::crawler_saw(core::AdId ad) const {
+  return crawler_ads_.contains(ad);
+}
+
+}  // namespace eyw::server

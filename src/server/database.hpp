@@ -1,0 +1,54 @@
+// In-memory stand-in for the MySQL metadata store (Section 5): registered
+// users, weekly round snapshots, and crawler observations — everything the
+// live deployment persists for evaluation purposes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace eyw::server {
+
+struct WeekSnapshot {
+  std::uint64_t week = 0;
+  double users_threshold = 0.0;
+  /// #Users histogram as (users, ad-count) pairs.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> users_histogram;
+  std::size_t reports = 0;
+  std::size_t roster = 0;
+};
+
+class Database {
+ public:
+  // --- user registry ---
+  void register_user(core::UserId user, std::string display_name);
+  [[nodiscard]] bool is_registered(core::UserId user) const;
+  [[nodiscard]] std::size_t active_users() const noexcept {
+    return users_.size();
+  }
+
+  // --- weekly snapshots ---
+  void store_week(WeekSnapshot snapshot);
+  [[nodiscard]] std::optional<WeekSnapshot> week(std::uint64_t w) const;
+  [[nodiscard]] std::vector<std::uint64_t> weeks() const;
+
+  // --- crawler observations (CR dataset) ---
+  void store_crawler_sighting(core::DomainId domain, core::AdId ad);
+  [[nodiscard]] bool crawler_saw(core::AdId ad) const;
+  [[nodiscard]] const std::set<core::AdId>& crawler_ads() const noexcept {
+    return crawler_ads_;
+  }
+
+ private:
+  std::map<core::UserId, std::string> users_;
+  std::map<std::uint64_t, WeekSnapshot> weeks_;
+  std::map<core::DomainId, std::set<core::AdId>> crawler_view_;
+  std::set<core::AdId> crawler_ads_;
+};
+
+}  // namespace eyw::server

@@ -1,0 +1,66 @@
+#include "server/round.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eyw::server {
+
+RoundCoordinator::RoundCoordinator(
+    const crypto::DhGroup& group,
+    std::span<client::BrowserExtension> extensions, BackendServer& backend,
+    std::uint64_t seed)
+    : extensions_(extensions), backend_(backend) {
+  util::Rng rng(seed);
+  std::vector<crypto::DhKeyPair> keys;
+  std::vector<crypto::Bignum> publics;
+  keys.reserve(extensions.size());
+  publics.reserve(extensions.size());
+  for (std::size_t i = 0; i < extensions.size(); ++i) {
+    keys.push_back(crypto::dh_keygen(group, rng));
+    publics.push_back(keys.back().public_key);
+  }
+  participants_.reserve(extensions.size());
+  for (std::size_t i = 0; i < extensions.size(); ++i) {
+    participants_.emplace_back(group, i, keys[i],
+                               std::span<const crypto::Bignum>(publics));
+  }
+  traffic_.roster_bytes = crypto::roster_bytes(group, extensions.size());
+}
+
+RoundResult RoundCoordinator::run_round(
+    std::uint64_t round, std::span<const std::size_t> reporting) {
+  backend_.begin_round(round, extensions_.size());
+
+  for (const std::size_t i : reporting) {
+    if (i >= extensions_.size())
+      throw std::invalid_argument("run_round: reporter outside roster");
+    auto blinded = extensions_[i].build_blinded_report(participants_[i], round);
+    traffic_.report_bytes += blinded.size() * sizeof(crypto::BlindCell);
+    backend_.submit_report(i, std::move(blinded));
+  }
+
+  const std::vector<std::size_t> missing = backend_.missing_participants();
+  if (!missing.empty()) {
+    // Round 2 of the fault-tolerance protocol: the server announces the
+    // missing list; every reporter answers with its adjustment.
+    for (const std::size_t i : reporting) {
+      auto adj = participants_[i].adjustment_for_missing(
+          backend_.config().cms_params.cells(), round,
+          std::span<const std::size_t>(missing));
+      traffic_.adjustment_bytes += adj.size() * sizeof(crypto::BlindCell);
+      backend_.submit_adjustment(i, std::move(adj));
+    }
+  }
+
+  RoundResult result = backend_.finalize_round();
+  traffic_.threshold_bytes += 8 * extensions_.size();  // Users_th broadcast
+  return result;
+}
+
+RoundResult RoundCoordinator::run_full_round(std::uint64_t round) {
+  std::vector<std::size_t> all(extensions_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return run_round(round, all);
+}
+
+}  // namespace eyw::server

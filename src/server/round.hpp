@@ -1,0 +1,64 @@
+// End-to-end orchestration of one privacy-preserving reporting round:
+// roster publication, blinded reports, the two-round fault-tolerance
+// adjustment for missing clients, aggregation, and threshold distribution.
+//
+// This is the composition layer the examples, integration tests, and
+// benches drive; it owns nothing the individual components don't already
+// implement.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "client/extension.hpp"
+#include "crypto/blinding.hpp"
+#include "crypto/dh.hpp"
+#include "server/backend.hpp"
+
+namespace eyw::server {
+
+/// Per-round wire accounting (Section 7.1 overhead figures).
+struct RoundTraffic {
+  std::size_t roster_bytes = 0;       // DH public-key bulletin board
+  std::size_t report_bytes = 0;       // blinded CMS uploads
+  std::size_t adjustment_bytes = 0;   // fault-tolerance round
+  std::size_t threshold_bytes = 0;    // Users_th broadcast (8 B per client)
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return roster_bytes + report_bytes + adjustment_bytes + threshold_bytes;
+  }
+};
+
+/// Runs weekly rounds over a fixed set of extensions. The coordinator plays
+/// the network: it moves opaque byte vectors between parties and never
+/// inspects plaintext sketches.
+class RoundCoordinator {
+ public:
+  /// Sets up DH keypairs and BlindingParticipants for `extensions.size()`
+  /// clients over `group`.
+  RoundCoordinator(const crypto::DhGroup& group,
+                   std::span<client::BrowserExtension> extensions,
+                   BackendServer& backend, std::uint64_t seed);
+
+  /// Run one full round: every extension in `reporting` submits; clients
+  /// not in `reporting` are treated as failed and trigger the adjustment
+  /// round. Returns the server's round result.
+  [[nodiscard]] RoundResult run_round(std::uint64_t round,
+                                      std::span<const std::size_t> reporting);
+
+  /// Run a round where everyone reports.
+  [[nodiscard]] RoundResult run_full_round(std::uint64_t round);
+
+  [[nodiscard]] const RoundTraffic& traffic() const noexcept {
+    return traffic_;
+  }
+
+ private:
+  std::span<client::BrowserExtension> extensions_;
+  BackendServer& backend_;
+  std::vector<crypto::BlindingParticipant> participants_;
+  RoundTraffic traffic_;
+};
+
+}  // namespace eyw::server

@@ -1,0 +1,70 @@
+// Simulation configuration. Defaults reproduce Table 1 of the paper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace eyw::sim {
+
+struct SimConfig {
+  // --- Table 1 ---
+  std::size_t num_users = 500;
+  std::size_t num_websites = 1000;
+  /// Average page visits per user over one simulated week.
+  double avg_user_visits = 138.0;
+  /// Creatives available per website visit (inventory depth).
+  std::size_t ads_per_website = 20;
+  /// Fraction of campaigns that are targeted (direct/indirect/retargeting).
+  double pct_targeted_ads = 0.1;
+
+  // --- campaign structure ---
+  std::size_t num_campaigns = 200;
+  /// Advertiser-side frequency cap applied to every targeted campaign
+  /// (the Figure 3 sweep variable). 0 = uncapped.
+  std::uint32_t frequency_cap = 8;
+  /// Of the targeted campaigns: share that is indirect / retargeting.
+  double indirect_share = 0.2;
+  double retargeting_share = 0.2;
+  /// Static (brand-awareness) campaigns are pinned to a uniform-random
+  /// fraction of sites in [static_spread_min, static_spread_max]. Broad by
+  /// default; the Section 7.2.2 false-positive study shrinks this to plant
+  /// small static campaigns that niche user groups co-visit.
+  double static_spread_min = 0.08;
+  double static_spread_max = 0.35;
+
+  // --- browsing model (user-centric walk, ref [14]) ---
+  /// Zipf exponent of website popularity.
+  double site_popularity_skew = 0.9;
+  /// Probability a visit goes to the user's preferred-site set instead of a
+  /// popularity-weighted exploration step.
+  double revisit_bias = 0.6;
+  /// Size of each user's preferred-site set.
+  std::size_t preferred_sites = 12;
+  /// Probability a preferred site is drawn from the user's own interest
+  /// categories (interest-driven browsing).
+  double interest_affinity = 0.7;
+
+  // --- slots & weeks ---
+  std::size_t slots_per_visit = 4;
+  std::size_t weeks = 1;
+  /// Interests per user.
+  std::size_t interests_per_user = 2;
+  /// AdServer: probability a slot goes to an eligible targeted campaign.
+  double targeted_fill_rate = 0.35;
+  /// Probability a page visit counts as browsing that category's products
+  /// (feeds retargeting pools; low, so retargeting audiences stay niche).
+  double merchant_visit_rate = 0.02;
+  /// Fraction of category-eligible users each targeted campaign actually
+  /// buys as its audience segment (keeps #Users of targeted ads small, the
+  /// premise of observation 2 in Section 4).
+  double audience_cohort = 0.12;
+
+  /// Crawler sweep passes per site (the CR dataset's coverage).
+  int crawler_passes = 1;
+
+  std::uint64_t seed = 20190701;
+};
+
+}  // namespace eyw::sim

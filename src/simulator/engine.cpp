@@ -1,0 +1,122 @@
+#include "simulator/engine.hpp"
+
+namespace eyw::sim {
+
+namespace {
+/// Reserved user id for the clean-profile crawler.
+constexpr core::UserId kCrawlerUser = ~0u;
+}  // namespace
+
+const std::vector<std::size_t>& Engine::interest_sites(const SimUser& user) {
+  auto& cached = interest_sites_[user.id];
+  if (!cached.has_value()) {
+    std::vector<std::size_t> pool;
+    for (std::size_t s = 0; s < world_.websites.size(); ++s) {
+      for (const auto cat : user.interests) {
+        if (world_.websites[s].category == cat) {
+          pool.push_back(s);
+          break;
+        }
+      }
+    }
+    cached = std::move(pool);
+  }
+  return *cached;
+}
+
+Engine::Engine(World world)
+    : world_(std::move(world)),
+      server_(world_.campaigns,
+              {.targeted_fill_rate = world_.config.targeted_fill_rate,
+               .audience_cohort = world_.config.audience_cohort},
+              world_.config.seed ^ 0xad5e7fULL),
+      rng_(world_.config.seed ^ 0x5175e5ULL),
+      site_popularity_(world_.websites.size(),
+                       world_.config.site_popularity_skew),
+      retargeting_pools_(world_.users.size()) {}
+
+void Engine::simulate_visit(SimResult& result, SimUser& user,
+                            std::size_t site_idx, core::Day day) {
+  const Website& site = world_.websites[site_idx];
+
+  // Browsing a site of some category occasionally feeds retargeting.
+  if (rng_.chance(world_.config.merchant_visit_rate))
+    retargeting_pools_[user.id].insert(site.category);
+
+  const adnet::UserContext ctx{.id = user.id,
+                               .interests = user.interests,
+                               .retargeting_pool =
+                                   retargeting_pools_[user.id]};
+  const adnet::SiteContext sctx{.domain = site.domain,
+                                .category = site.category};
+  for (const adnet::ServedAd& served :
+       server_.serve(ctx, sctx, world_.config.slots_per_visit)) {
+    SimImpression si;
+    si.impression = {.user = user.id,
+                     .ad = served.ad->id,
+                     .domain = site.domain,
+                     .day = day};
+    si.campaign_type = served.campaign_type;
+    si.campaign = served.ad->campaign;
+    si.targeted_delivery = served.targeted_delivery;
+    result.targeted_pair[{user.id, served.ad->id}] |= served.targeted_delivery;
+    result.impressions.push_back(std::move(si));
+  }
+}
+
+void Engine::crawl(SimResult& result) {
+  // Clean profile: no interests, no retargeting pool. Target-eligible
+  // campaigns can never match, so the crawler samples exactly the
+  // static/contextual inventory — the property the evaluation tree uses.
+  const adnet::UserContext clean{.id = kCrawlerUser,
+                                 .interests = {},
+                                 .retargeting_pool = {}};
+  for (const Website& site : world_.websites) {
+    for (int pass = 0; pass < world_.config.crawler_passes; ++pass) {
+      const adnet::SiteContext sctx{.domain = site.domain,
+                                    .category = site.category};
+      for (const adnet::ServedAd& served :
+           server_.serve(clean, sctx, world_.config.slots_per_visit)) {
+        result.crawler_view[site.domain].insert(served.ad->id);
+        result.crawler_ads.insert(served.ad->id);
+      }
+    }
+  }
+}
+
+SimResult Engine::run() {
+  SimResult result;
+  const auto days = static_cast<core::Day>(world_.config.weeks * 7);
+  const double visits_per_day = world_.config.avg_user_visits / 7.0;
+  for (core::Day day = 0; day < days; ++day) {
+    for (SimUser& user : world_.users) {
+      const auto visits = rng_.poisson(visits_per_day * user.activity);
+      for (std::uint64_t v = 0; v < visits; ++v) {
+        std::size_t site_idx;
+        if (!user.preferred_sites.empty() &&
+            rng_.chance(world_.config.revisit_bias)) {
+          site_idx =
+              user.preferred_sites[rng_.below(user.preferred_sites.size())];
+        } else if (rng_.chance(world_.config.interest_affinity) &&
+                   !interest_sites(user).empty()) {
+          // Interest-driven exploration: a fresh site about something the
+          // user cares about.
+          const auto& pool = interest_sites(user);
+          site_idx = pool[rng_.below(pool.size())];
+        } else {
+          site_idx = site_popularity_.sample(rng_);
+        }
+        simulate_visit(result, user, site_idx, day);
+      }
+    }
+  }
+  crawl(result);
+  return result;
+}
+
+SimResult simulate(const SimConfig& config) {
+  Engine engine(World::build(config));
+  return engine.run();
+}
+
+}  // namespace eyw::sim

@@ -1,0 +1,74 @@
+// The browsing engine: drives the user-centric walk over the simulated
+// world day by day, collecting the impression stream and the ground truth
+// that the live deployment never had (Section 7.2's controlled simulation).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "adnet/ad_server.hpp"
+#include "simulator/world.hpp"
+
+namespace eyw::sim {
+
+/// One impression, enriched with simulation-side ground truth.
+struct SimImpression {
+  core::Impression impression;
+  adnet::CampaignType campaign_type = adnet::CampaignType::kStatic;
+  adnet::CampaignId campaign = 0;
+  /// True iff this delivery was selected because of the user (the label
+  /// the count-based detector tries to recover).
+  bool targeted_delivery = false;
+};
+
+struct SimResult {
+  std::vector<SimImpression> impressions;
+  /// Ground truth per (user, ad): ad was delivered to this user through a
+  /// targeted channel at least once.
+  std::map<std::pair<core::UserId, core::AdId>, bool> targeted_pair;
+  /// Ads a clean-profile crawler encounters per website (CR dataset).
+  std::map<core::DomainId, std::set<core::AdId>> crawler_view;
+  /// All ads the crawler saw anywhere.
+  std::set<core::AdId> crawler_ads;
+
+  [[nodiscard]] bool is_targeted(core::UserId u, core::AdId a) const {
+    const auto it = targeted_pair.find({u, a});
+    return it != targeted_pair.end() && it->second;
+  }
+};
+
+class Engine {
+ public:
+  explicit Engine(World world);
+
+  /// Run config.weeks * 7 days of browsing and a crawler sweep.
+  [[nodiscard]] SimResult run();
+
+  [[nodiscard]] const World& world() const noexcept { return world_; }
+  [[nodiscard]] const adnet::AdServer& ad_server() const noexcept {
+    return server_;
+  }
+
+ private:
+  void simulate_visit(SimResult& result, SimUser& user, std::size_t site_idx,
+                      core::Day day);
+  void crawl(SimResult& result);
+  /// Sites matching the user's interest categories (computed lazily).
+  const std::vector<std::size_t>& interest_sites(const SimUser& user);
+
+  World world_;
+  adnet::AdServer server_;
+  util::Rng rng_;
+  util::ZipfSampler site_popularity_;
+  /// Retargeting pools accumulate as users browse merchant categories.
+  std::vector<std::set<adnet::CategoryId>> retargeting_pools_;
+  std::map<core::UserId, std::optional<std::vector<std::size_t>>>
+      interest_sites_;
+};
+
+/// Convenience: build a world from `config` and run it.
+[[nodiscard]] SimResult simulate(const SimConfig& config);
+
+}  // namespace eyw::sim

@@ -1,0 +1,202 @@
+#include "simulator/world.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eyw::sim {
+
+namespace {
+
+using adnet::Campaign;
+using adnet::CampaignType;
+using adnet::CategoryId;
+
+std::vector<CategoryId> pick_interests(util::Rng& rng, std::size_t n) {
+  std::vector<CategoryId> out;
+  const auto idx = rng.sample_indices(adnet::kNumCategories, n);
+  out.reserve(n);
+  for (auto i : idx) out.push_back(static_cast<CategoryId>(i));
+  return out;
+}
+
+Demographics pick_demographics(util::Rng& rng) {
+  Demographics d;
+  d.gender = rng.chance(0.5) ? Gender::kFemale : Gender::kMale;
+  d.age = static_cast<AgeBracket>(rng.below(6));
+  d.income = static_cast<IncomeBracket>(rng.below(4));
+  return d;
+}
+
+std::string ad_url(adnet::CampaignId campaign, std::size_t creative,
+                   CategoryId offering, CampaignType type) {
+  std::string url = "https://shop-";
+  url += std::string(adnet::category_name(offering));
+  url += ".test/";
+  url += adnet::to_string(type);
+  url += "/c";
+  url += std::to_string(campaign);
+  url += "/creative";
+  url += std::to_string(creative);
+  return url;
+}
+
+Campaign make_campaign(util::Rng& rng, adnet::CampaignId id, CampaignType type,
+                       const SimConfig& cfg, core::AdId& next_ad_id,
+                       std::size_t num_sites) {
+  Campaign c;
+  c.id = id;
+  c.type = type;
+  c.offering_category = static_cast<CategoryId>(rng.below(adnet::kNumCategories));
+  switch (type) {
+    case CampaignType::kDirectTargeted:
+    case CampaignType::kRetargeting:
+      c.audience_category = c.offering_category;
+      break;
+    case CampaignType::kIndirectTargeted: {
+      // Audience deliberately different from the offering: no semantic
+      // overlap for content-based baselines to find.
+      CategoryId audience = c.offering_category;
+      while (audience == c.offering_category)
+        audience = static_cast<CategoryId>(rng.below(adnet::kNumCategories));
+      c.audience_category = audience;
+      break;
+    }
+    case CampaignType::kStatic: {
+      // Brand-awareness: pinned to a random slice of sites whose size is
+      // drawn from [static_spread_min, static_spread_max] of the catalog.
+      const double frac =
+          cfg.static_spread_min +
+          rng.uniform() * (cfg.static_spread_max - cfg.static_spread_min);
+      const auto spread = std::max<std::size_t>(
+          1, static_cast<std::size_t>(frac * static_cast<double>(num_sites)));
+      for (auto s : rng.sample_indices(num_sites, std::min(spread, num_sites)))
+        c.pinned_sites.push_back(static_cast<core::DomainId>(s));
+      break;
+    }
+    case CampaignType::kContextual:
+      break;
+  }
+  if (adnet::is_targeted(type)) c.frequency_cap = cfg.frequency_cap;
+
+  // Targeted campaigns carry a single creative so the advertiser frequency
+  // cap is exactly "repetitions of an ad" as Figure 3 sweeps it.
+  const std::size_t creatives =
+      adnet::is_targeted(type) ? 1 : 1 + rng.below(3);
+  for (std::size_t k = 0; k < creatives; ++k) {
+    adnet::Ad ad;
+    ad.id = next_ad_id++;
+    ad.campaign = id;
+    ad.offering_category = c.offering_category;
+    ad.landing_url = ad_url(id, k, c.offering_category, type);
+    ad.image_url = "https://cdn.adnet.test/img/" + std::to_string(ad.id) + ".jpg";
+    c.ads.push_back(std::move(ad));
+  }
+  return c;
+}
+
+}  // namespace
+
+World World::build(const SimConfig& config) {
+  if (config.num_users == 0 || config.num_websites == 0)
+    throw std::invalid_argument("World::build: empty world");
+  World w;
+  w.config = config;
+  util::Rng rng(config.seed);
+
+  // Websites: category uniform, popularity assigned by index (the browsing
+  // engine applies the Zipf skew over indices).
+  w.websites.reserve(config.num_websites);
+  for (std::size_t s = 0; s < config.num_websites; ++s) {
+    Website site;
+    site.domain = static_cast<core::DomainId>(s);
+    site.category =
+        static_cast<adnet::CategoryId>(rng.below(adnet::kNumCategories));
+    site.hostname = "site-" + std::to_string(s) + "." +
+                    std::string(adnet::category_name(site.category)) + ".test";
+    w.websites.push_back(std::move(site));
+  }
+
+  // Users.
+  w.users.reserve(config.num_users);
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    SimUser user;
+    user.id = static_cast<core::UserId>(u);
+    user.interests = pick_interests(rng, config.interests_per_user);
+    user.demographics = pick_demographics(rng);
+    user.activity = 0.5 + rng.uniform();  // in [0.5, 1.5)
+    // Preferred sites: mostly matching the user's interests.
+    std::vector<std::size_t> interest_sites;
+    for (std::size_t s = 0; s < w.websites.size(); ++s) {
+      if (std::find(user.interests.begin(), user.interests.end(),
+                    w.websites[s].category) != user.interests.end())
+        interest_sites.push_back(s);
+    }
+    for (std::size_t k = 0; k < config.preferred_sites; ++k) {
+      if (!interest_sites.empty() && rng.chance(config.interest_affinity)) {
+        user.preferred_sites.push_back(
+            interest_sites[rng.below(interest_sites.size())]);
+      } else {
+        user.preferred_sites.push_back(rng.below(w.websites.size()));
+      }
+    }
+    w.users.push_back(std::move(user));
+  }
+
+  // Campaigns: pct_targeted_ads of them targeted, split among direct /
+  // indirect / retargeting; the rest split static / contextual.
+  const auto n_targeted = static_cast<std::size_t>(
+      static_cast<double>(config.num_campaigns) * config.pct_targeted_ads +
+      0.5);
+  core::AdId next_ad_id = 1;
+  adnet::CampaignId next_id = 1;
+  for (std::size_t i = 0; i < config.num_campaigns; ++i) {
+    CampaignType type;
+    if (i < n_targeted) {
+      const double r = rng.uniform();
+      if (r < config.indirect_share) {
+        type = CampaignType::kIndirectTargeted;
+      } else if (r < config.indirect_share + config.retargeting_share) {
+        type = CampaignType::kRetargeting;
+      } else {
+        type = CampaignType::kDirectTargeted;
+      }
+    } else {
+      type = rng.chance(0.5) ? CampaignType::kStatic : CampaignType::kContextual;
+    }
+    w.campaigns.push_back(make_campaign(rng, next_id++, type, config,
+                                        next_ad_id, config.num_websites));
+  }
+
+  // Site-local inventory: every website owns ~ads_per_website creatives of
+  // its own (direct publisher deals / site-topic ads). These form the bulk
+  // of the non-targeted population: each is served on exactly one domain,
+  // to that site's visitors only — which makes the #Users distribution
+  // concentrate at small counts, the regime of Figure 2.
+  for (std::size_t s = 0; s < config.num_websites; ++s) {
+    Campaign local;
+    local.id = next_id++;
+    local.type = CampaignType::kStatic;
+    // Merchants buy direct placements on any site: the advertised product
+    // category is independent of the page topic (an ad for sneakers on a
+    // news site). Only the explicit contextual campaigns match topics.
+    local.offering_category =
+        static_cast<CategoryId>(rng.below(adnet::kNumCategories));
+    local.pinned_sites.push_back(static_cast<core::DomainId>(s));
+    for (std::size_t k = 0; k < config.ads_per_website; ++k) {
+      adnet::Ad ad;
+      ad.id = next_ad_id++;
+      ad.campaign = local.id;
+      ad.offering_category =
+          static_cast<CategoryId>(rng.below(adnet::kNumCategories));
+      ad.landing_url = "https://local-" + std::to_string(s) + "-" +
+                       std::to_string(k) + ".shop.test/offer";
+      ad.image_url =
+          "https://cdn.adnet.test/img/" + std::to_string(ad.id) + ".jpg";
+      local.ads.push_back(std::move(ad));
+    }
+    w.campaigns.push_back(std::move(local));
+  }
+  return w;
+}
+
+}  // namespace eyw::sim

@@ -1,0 +1,91 @@
+// The simulated world: users with interest profiles and demographics,
+// websites with categories and popularity, and the campaign inventory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adnet/campaign.hpp"
+#include "simulator/config.hpp"
+#include "util/rng.hpp"
+
+namespace eyw::sim {
+
+enum class Gender : std::uint8_t { kFemale, kMale };
+
+/// Age brackets as used by Table 2 / Figure 5 (base level 1-20).
+enum class AgeBracket : std::uint8_t {
+  k1to20,
+  k20to30,
+  k30to40,
+  k40to50,
+  k50to60,
+  k60to70,
+};
+
+/// Income brackets in kEUR (base level 0-30k).
+enum class IncomeBracket : std::uint8_t {
+  k0to30,
+  k30to60,
+  k60to90,
+  k90plus,
+};
+
+[[nodiscard]] constexpr const char* to_string(Gender g) noexcept {
+  return g == Gender::kFemale ? "female" : "male";
+}
+[[nodiscard]] constexpr const char* to_string(AgeBracket a) noexcept {
+  switch (a) {
+    case AgeBracket::k1to20: return "1-20";
+    case AgeBracket::k20to30: return "20-30";
+    case AgeBracket::k30to40: return "30-40";
+    case AgeBracket::k40to50: return "40-50";
+    case AgeBracket::k50to60: return "50-60";
+    case AgeBracket::k60to70: return "60-70";
+  }
+  return "?";
+}
+[[nodiscard]] constexpr const char* to_string(IncomeBracket i) noexcept {
+  switch (i) {
+    case IncomeBracket::k0to30: return "0-30k";
+    case IncomeBracket::k30to60: return "30k-60k";
+    case IncomeBracket::k60to90: return "60k-90k";
+    case IncomeBracket::k90plus: return "90k-...";
+  }
+  return "?";
+}
+
+struct Demographics {
+  Gender gender = Gender::kFemale;
+  AgeBracket age = AgeBracket::k20to30;
+  IncomeBracket income = IncomeBracket::k0to30;
+};
+
+struct SimUser {
+  core::UserId id = 0;
+  std::vector<adnet::CategoryId> interests;
+  Demographics demographics;
+  /// Activity multiplier (lognormal-ish around 1): scales visit counts.
+  double activity = 1.0;
+  /// Preferred-site set of the user-centric walk.
+  std::vector<std::size_t> preferred_sites;
+};
+
+struct Website {
+  core::DomainId domain = 0;
+  std::string hostname;
+  adnet::CategoryId category = 0;
+};
+
+/// A fully materialized world, ready for the browsing engine.
+struct World {
+  SimConfig config;
+  std::vector<SimUser> users;
+  std::vector<Website> websites;
+  std::vector<adnet::Campaign> campaigns;
+
+  /// Build users, websites, and campaigns from the configuration.
+  [[nodiscard]] static World build(const SimConfig& config);
+};
+
+}  // namespace eyw::sim

@@ -1,0 +1,93 @@
+#include "sketch/count_min.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace eyw::sketch {
+
+namespace {
+constexpr std::uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+/// (a * x + b) mod (2^61 - 1), exact via 128-bit intermediate.
+std::uint64_t affine_mod_m61(std::uint64_t a, std::uint64_t x,
+                             std::uint64_t b) noexcept {
+  const unsigned __int128 prod = static_cast<unsigned __int128>(a) * x + b;
+  // Fold: v = lo61 + hi; at most two folds needed.
+  std::uint64_t v = static_cast<std::uint64_t>(prod & kMersenne61) +
+                    static_cast<std::uint64_t>(prod >> 61);
+  if (v >= kMersenne61) v -= kMersenne61;
+  return v;
+}
+}  // namespace
+
+CmsParams CmsParams::from_error_bounds(std::size_t universe_size,
+                                       double epsilon, double delta) {
+  if (universe_size == 0)
+    throw std::invalid_argument("CmsParams: universe_size == 0");
+  if (epsilon <= 0.0 || epsilon >= 1.0 || delta <= 0.0 || delta >= 1.0)
+    throw std::invalid_argument("CmsParams: epsilon/delta must be in (0,1)");
+  const double d =
+      std::ceil(std::log(static_cast<double>(universe_size) / delta));
+  const double w = std::ceil(std::exp(1.0) / epsilon);
+  return {.depth = static_cast<std::size_t>(std::max(1.0, d)),
+          .width = static_cast<std::size_t>(std::max(1.0, w))};
+}
+
+CountMinSketch::CountMinSketch(CmsParams params, std::uint64_t hash_seed)
+    : params_(params), seed_(hash_seed) {
+  if (params_.depth == 0 || params_.width == 0)
+    throw std::invalid_argument("CountMinSketch: zero dimension");
+  cells_.assign(params_.cells(), 0);
+  a_.resize(params_.depth);
+  b_.resize(params_.depth);
+  util::Rng rng(hash_seed);
+  for (std::size_t j = 0; j < params_.depth; ++j) {
+    // a in [1, p-1], b in [0, p-1] gives pairwise independence.
+    a_[j] = 1 + rng.below(kMersenne61 - 1);
+    b_[j] = rng.below(kMersenne61);
+  }
+}
+
+std::size_t CountMinSketch::cell_index(std::size_t row,
+                                       std::uint64_t key) const noexcept {
+  const std::uint64_t h = affine_mod_m61(a_[row], key & kMersenne61, b_[row]);
+  return row * params_.width + static_cast<std::size_t>(h % params_.width);
+}
+
+void CountMinSketch::update(std::uint64_t key, std::uint32_t count) noexcept {
+  for (std::size_t j = 0; j < params_.depth; ++j)
+    cells_[cell_index(j, key)] += count;
+  total_ += count;
+}
+
+std::uint32_t CountMinSketch::query(std::uint64_t key) const noexcept {
+  std::uint32_t best = ~0U;
+  for (std::size_t j = 0; j < params_.depth; ++j)
+    best = std::min(best, cells_[cell_index(j, key)]);
+  return best;
+}
+
+CountMinSketch CountMinSketch::from_cells(CmsParams params,
+                                          std::uint64_t hash_seed,
+                                          std::span<const std::uint32_t> cells) {
+  if (cells.size() != params.cells())
+    throw std::invalid_argument("CountMinSketch::from_cells: size mismatch");
+  CountMinSketch out(params, hash_seed);
+  std::copy(cells.begin(), cells.end(), out.cells_.begin());
+  out.total_ = 0;
+  for (std::size_t c = 0; c < params.width; ++c)
+    out.total_ += cells[c];  // row 0 holds every update exactly once
+  return out;
+}
+
+void CountMinSketch::merge(const CountMinSketch& other) {
+  if (params_ != other.params_ || seed_ != other.seed_)
+    throw std::invalid_argument("CountMinSketch::merge: incompatible sketches");
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  total_ += other.total_;
+}
+
+}  // namespace eyw::sketch

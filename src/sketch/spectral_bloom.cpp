@@ -1,0 +1,120 @@
+#include "sketch/spectral_bloom.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace eyw::sketch {
+
+namespace {
+constexpr std::uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+std::uint64_t affine_mod_m61(std::uint64_t a, std::uint64_t x,
+                             std::uint64_t b) noexcept {
+  const unsigned __int128 prod = static_cast<unsigned __int128>(a) * x + b;
+  std::uint64_t v = static_cast<std::uint64_t>(prod & kMersenne61) +
+                    static_cast<std::uint64_t>(prod >> 61);
+  if (v >= kMersenne61) v -= kMersenne61;
+  return v;
+}
+
+void init_hashes(std::uint64_t seed, std::size_t k,
+                 std::vector<std::uint64_t>& a, std::vector<std::uint64_t>& b) {
+  a.resize(k);
+  b.resize(k);
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < k; ++i) {
+    a[i] = 1 + rng.below(kMersenne61 - 1);
+    b[i] = rng.below(kMersenne61);
+  }
+}
+}  // namespace
+
+SbfParams SbfParams::from_capacity(std::size_t capacity,
+                                   double false_positive_rate) {
+  if (capacity == 0)
+    throw std::invalid_argument("SbfParams: capacity == 0");
+  if (false_positive_rate <= 0.0 || false_positive_rate >= 1.0)
+    throw std::invalid_argument("SbfParams: fp rate must be in (0,1)");
+  const double n = static_cast<double>(capacity);
+  const double ln2 = std::log(2.0);
+  const double m = std::ceil(-n * std::log(false_positive_rate) / (ln2 * ln2));
+  const double k = std::ceil(m / n * ln2);
+  return {.cells = static_cast<std::size_t>(std::max(1.0, m)),
+          .hashes = static_cast<std::size_t>(std::max(1.0, k))};
+}
+
+SpectralBloom::SpectralBloom(SbfParams params, std::uint64_t hash_seed)
+    : params_(params) {
+  if (params_.cells == 0 || params_.hashes == 0)
+    throw std::invalid_argument("SpectralBloom: zero dimension");
+  cells_.assign(params_.cells, 0);
+  init_hashes(hash_seed, params_.hashes, a_, b_);
+}
+
+std::size_t SpectralBloom::cell_index(std::size_t i,
+                                      std::uint64_t key) const noexcept {
+  return static_cast<std::size_t>(
+      affine_mod_m61(a_[i], key & kMersenne61, b_[i]) % params_.cells);
+}
+
+void SpectralBloom::update(std::uint64_t key, std::uint32_t count) noexcept {
+  // Minimum-increase: find the current minimum over the key's cells, then
+  // raise only the minimal cells.
+  std::uint32_t current = ~0U;
+  for (std::size_t i = 0; i < params_.hashes; ++i)
+    current = std::min(current, cells_[cell_index(i, key)]);
+  const std::uint32_t target = current + count;
+  for (std::size_t i = 0; i < params_.hashes; ++i) {
+    auto& cell = cells_[cell_index(i, key)];
+    cell = std::max(cell, target);
+  }
+  total_ += count;
+}
+
+std::uint32_t SpectralBloom::query(std::uint64_t key) const noexcept {
+  std::uint32_t best = ~0U;
+  for (std::size_t i = 0; i < params_.hashes; ++i)
+    best = std::min(best, cells_[cell_index(i, key)]);
+  return best;
+}
+
+MergeableSpectralBloom::MergeableSpectralBloom(SbfParams params,
+                                               std::uint64_t hash_seed)
+    : params_(params), seed_(hash_seed) {
+  if (params_.cells == 0 || params_.hashes == 0)
+    throw std::invalid_argument("MergeableSpectralBloom: zero dimension");
+  cells_.assign(params_.cells, 0);
+  init_hashes(hash_seed, params_.hashes, a_, b_);
+}
+
+std::size_t MergeableSpectralBloom::cell_index(
+    std::size_t i, std::uint64_t key) const noexcept {
+  return static_cast<std::size_t>(
+      affine_mod_m61(a_[i], key & kMersenne61, b_[i]) % params_.cells);
+}
+
+void MergeableSpectralBloom::update(std::uint64_t key,
+                                    std::uint32_t count) noexcept {
+  for (std::size_t i = 0; i < params_.hashes; ++i)
+    cells_[cell_index(i, key)] += count;
+  total_ += count;
+}
+
+std::uint32_t MergeableSpectralBloom::query(std::uint64_t key) const noexcept {
+  std::uint32_t best = ~0U;
+  for (std::size_t i = 0; i < params_.hashes; ++i)
+    best = std::min(best, cells_[cell_index(i, key)]);
+  return best;
+}
+
+void MergeableSpectralBloom::merge(const MergeableSpectralBloom& other) {
+  if (params_ != other.params_ || seed_ != other.seed_)
+    throw std::invalid_argument("MergeableSpectralBloom::merge: incompatible");
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  total_ += other.total_;
+}
+
+}  // namespace eyw::sketch

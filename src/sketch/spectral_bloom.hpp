@@ -1,0 +1,83 @@
+// Spectral Bloom filter (Cohen & Matias, SIGMOD'03) with the "minimum
+// increase" update policy. Section 6 of the paper names it as the
+// alternative synopsis structure to the count-min sketch; we implement it
+// so the choice can be ablated (bench_sketch_structures).
+//
+// Note: minimum-increase SBFs are NOT mergeable by cell-wise addition, which
+// is precisely why the paper settles on CMS for the blinded-aggregation
+// pipeline. A `MergeableSpectralBloom` variant with plain increment updates
+// (cell-wise addable, but looser estimates) is provided for the comparison.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace eyw::sketch {
+
+struct SbfParams {
+  std::size_t cells = 0;   // m counters
+  std::size_t hashes = 0;  // k hash functions
+
+  /// Classic Bloom sizing for a target false-positive rate at `capacity`
+  /// distinct elements: m = ceil(-n ln p / (ln 2)^2), k = ceil(m/n ln 2).
+  [[nodiscard]] static SbfParams from_capacity(std::size_t capacity,
+                                               double false_positive_rate);
+
+  [[nodiscard]] std::size_t bytes() const noexcept { return cells * 4; }
+
+  bool operator==(const SbfParams&) const = default;
+};
+
+class SpectralBloom {
+ public:
+  SpectralBloom(SbfParams params, std::uint64_t hash_seed);
+
+  /// Minimum-increase update: only the cells currently holding the minimum
+  /// estimate are incremented. Tightest SBF estimator.
+  void update(std::uint64_t key, std::uint32_t count = 1) noexcept;
+  [[nodiscard]] std::uint32_t query(std::uint64_t key) const noexcept;
+
+  [[nodiscard]] const SbfParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::uint64_t total_count() const noexcept { return total_; }
+  [[nodiscard]] std::span<const std::uint32_t> cells() const noexcept {
+    return cells_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t cell_index(std::size_t i,
+                                       std::uint64_t key) const noexcept;
+
+  SbfParams params_;
+  std::vector<std::uint64_t> a_, b_;
+  std::vector<std::uint32_t> cells_;
+  std::uint64_t total_ = 0;
+};
+
+/// Plain-increment SBF: every hashed cell is incremented, so cell-wise sums
+/// of two filters equal the filter of the combined stream (mergeable, like
+/// CMS) at the cost of looser per-key estimates.
+class MergeableSpectralBloom {
+ public:
+  MergeableSpectralBloom(SbfParams params, std::uint64_t hash_seed);
+
+  void update(std::uint64_t key, std::uint32_t count = 1) noexcept;
+  [[nodiscard]] std::uint32_t query(std::uint64_t key) const noexcept;
+  void merge(const MergeableSpectralBloom& other);
+
+  [[nodiscard]] const SbfParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::uint64_t total_count() const noexcept { return total_; }
+
+ private:
+  [[nodiscard]] std::size_t cell_index(std::size_t i,
+                                       std::uint64_t key) const noexcept;
+
+  SbfParams params_;
+  std::uint64_t seed_;
+  std::vector<std::uint64_t> a_, b_;
+  std::vector<std::uint32_t> cells_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace eyw::sketch

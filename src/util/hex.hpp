@@ -1,0 +1,22 @@
+// Hex encoding/decoding for digests, keys, and test fixtures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eyw::util {
+
+/// Lowercase hex encoding of a byte span.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Decode a hex string (case-insensitive). Throws std::invalid_argument on
+/// odd length or non-hex characters.
+[[nodiscard]] std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+/// Bytes of a string_view, viewed as uint8_t (no copy).
+[[nodiscard]] std::span<const std::uint8_t> as_bytes(std::string_view s) noexcept;
+
+}  // namespace eyw::util

@@ -1,0 +1,68 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace eyw::util {
+
+void Histogram::add(std::uint64_t value, std::uint64_t weight) {
+  if (weight == 0) return;
+  bins_[value] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::count(std::uint64_t value) const noexcept {
+  const auto it = bins_.find(value);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+double Histogram::pdf(std::uint64_t value) const noexcept {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Histogram::items() const {
+  return {bins_.begin(), bins_.end()};
+}
+
+double Histogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (const auto& [v, c] : bins_)
+    acc += static_cast<double>(v) * static_cast<double>(c);
+  return acc / static_cast<double>(total_);
+}
+
+std::vector<double> Histogram::expand() const {
+  std::vector<double> out;
+  out.reserve(total_);
+  for (const auto& [v, c] : bins_)
+    out.insert(out.end(), c, static_cast<double>(v));
+  return out;
+}
+
+std::uint64_t Histogram::max_value() const noexcept {
+  return bins_.empty() ? 0 : bins_.rbegin()->first;
+}
+
+std::string Histogram::to_table(std::string_view value_header) const {
+  std::ostringstream os;
+  os << value_header << "\tcount\tpdf\n";
+  for (const auto& [v, c] : bins_) {
+    os << v << '\t' << c << '\t' << pdf(v) << '\n';
+  }
+  return os.str();
+}
+
+double total_variation(const Histogram& a, const Histogram& b) {
+  std::set<std::uint64_t> keys;
+  for (const auto& [v, c] : a.items()) keys.insert(v);
+  for (const auto& [v, c] : b.items()) keys.insert(v);
+  double acc = 0.0;
+  for (std::uint64_t v : keys) acc += std::abs(a.pdf(v) - b.pdf(v));
+  return acc / 2.0;
+}
+
+}  // namespace eyw::util

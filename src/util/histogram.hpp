@@ -1,0 +1,53 @@
+// Integer-valued histogram / empirical PDF, used for the #Users distribution
+// plots (Figure 2) and for simulator diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace eyw::util {
+
+/// Histogram over non-negative integer values (e.g. "how many ads were seen
+/// by exactly k users"). Sparse representation; values can be arbitrary u64.
+class Histogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::uint64_t count(std::uint64_t value) const noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+
+  /// Probability mass at `value` (0 if the histogram is empty).
+  [[nodiscard]] double pdf(std::uint64_t value) const noexcept;
+
+  /// All (value, count) pairs in ascending value order.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> items()
+      const;
+
+  /// Mean of the represented sample.
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Expand to a flat sample of doubles (for stats:: functions). Size equals
+  /// total(); intended for modest totals as used in the experiments.
+  [[nodiscard]] std::vector<double> expand() const;
+
+  /// Largest observed value (0 if empty).
+  [[nodiscard]] std::uint64_t max_value() const noexcept;
+
+  /// Render an ASCII table "value  count  pdf" (for bench output).
+  [[nodiscard]] std::string to_table(std::string_view value_header) const;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Total-variation distance between the PDFs of two histograms:
+/// 0 = identical, 1 = disjoint. Used to quantify the error the privacy
+/// protocol introduces into the #Users distribution (Figure 2).
+[[nodiscard]] double total_variation(const Histogram& a, const Histogram& b);
+
+}  // namespace eyw::util

@@ -1,0 +1,107 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every experiment in the repository is seeded, so runs are reproducible
+// bit-for-bit. We use xoshiro256** seeded via splitmix64 — fast, high
+// quality, and independent of the (unspecified) std::mt19937 stream order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace eyw::util {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless 64-bit finalizer (the splitmix64 output function). Good for
+/// hashing small integers.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// unbiased multiply-shift rejection method.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Standard normal via Box-Muller (no cached spare; simple and stateless).
+  double normal() noexcept;
+
+  /// Geometric number of failures before first success, p in (0,1].
+  std::uint64_t geometric(double p) noexcept;
+
+  /// Poisson-distributed count with the given mean (Knuth for small mean,
+  /// normal approximation for large mean).
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Fill `out` with random bytes.
+  void fill_bytes(std::span<std::uint8_t> out) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Split off an independent child generator (seeded from this stream).
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over ranks [0, n). Precomputes the CDF once; sampling is
+/// a binary search. s = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  /// Probability mass of rank i.
+  [[nodiscard]] double pmf(std::size_t i) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Sample an index from an arbitrary discrete weight vector.
+/// Weights must be non-negative with a positive sum.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace eyw::util

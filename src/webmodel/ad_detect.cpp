@@ -1,0 +1,167 @@
+#include "webmodel/ad_detect.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace eyw::webmodel {
+
+namespace {
+
+// Container markers, AdBlock-cosmetic-filter style.
+constexpr std::array<std::string_view, 6> kAdMarkers = {
+    "ad-banner", "sponsored", "adunit", "ad-slot", "ad_frame", "promo-box"};
+
+bool is_url_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) ||
+         std::string_view("-._~:/?#[]@!$&'()*+,;=%").find(c) !=
+             std::string_view::npos;
+}
+
+}  // namespace
+
+std::vector<std::string> extract_urls(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t hit = text.find("http", pos);
+    if (hit == std::string_view::npos) break;
+    std::size_t end = hit;
+    // Require scheme://
+    const std::string_view rest = text.substr(hit);
+    if (!(rest.starts_with("http://") || rest.starts_with("https://"))) {
+      pos = hit + 4;
+      continue;
+    }
+    while (end < text.size() && is_url_char(text[end])) ++end;
+    // Trim trailing punctuation that is likely sentence/JS syntax.
+    std::size_t last = end;
+    while (last > hit &&
+           std::string_view("'\").,;:").find(text[last - 1]) !=
+               std::string_view::npos)
+      --last;
+    if (last > hit + 8) out.emplace_back(text.substr(hit, last - hit));
+    pos = end;
+  }
+  return out;
+}
+
+std::optional<std::string> find_attribute(std::string_view html,
+                                          std::string_view name) {
+  // Look for name=" or name=' and return up to the matching quote.
+  std::size_t pos = 0;
+  while (pos < html.size()) {
+    const std::size_t hit = html.find(name, pos);
+    if (hit == std::string_view::npos) return std::nullopt;
+    std::size_t p = hit + name.size();
+    while (p < html.size() &&
+           std::isspace(static_cast<unsigned char>(html[p])))
+      ++p;
+    if (p >= html.size() || html[p] != '=') {
+      pos = hit + name.size();
+      continue;
+    }
+    ++p;
+    while (p < html.size() &&
+           std::isspace(static_cast<unsigned char>(html[p])))
+      ++p;
+    if (p >= html.size() || (html[p] != '"' && html[p] != '\'')) {
+      pos = hit + name.size();
+      continue;
+    }
+    const char quote = html[p];
+    const std::size_t start = p + 1;
+    const std::size_t close = html.find(quote, start);
+    if (close == std::string_view::npos) return std::nullopt;
+    return std::string(html.substr(start, close - start));
+  }
+  return std::nullopt;
+}
+
+AdDetector::AdDetector(adnet::AdNetworkRegistry registry)
+    : registry_(std::move(registry)) {}
+
+DetectedAd AdDetector::analyze_element(std::string_view element,
+                                       std::string_view trailing) const {
+  DetectedAd out;
+  // Content identity: the creative image.
+  if (auto img = find_attribute(element, "src")) out.content_key = *img;
+
+  // Stage 1: anchor href.
+  std::optional<std::string> candidate;
+  if (const std::size_t a = element.find("<a "); a != std::string_view::npos)
+    candidate = find_attribute(element.substr(a), "href");
+
+  // Stage 2: onclick with an inline URL.
+  if (!candidate) {
+    if (auto onclick = find_attribute(element, "onclick")) {
+      auto urls = extract_urls(*onclick);
+      if (!urls.empty()) candidate = urls.front();
+      // Stage 2b: onclick routed to a function — scan trailing script text.
+      if (!candidate && onclick->find('(') != std::string::npos) {
+        auto script_urls = extract_urls(trailing);
+        for (auto& u : script_urls) {
+          if (u != out.content_key) {
+            candidate = u;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Stage 3: URL regex over embedded script text.
+  if (!candidate) {
+    if (const std::size_t s = element.find("<script");
+        s != std::string_view::npos) {
+      for (auto& u : extract_urls(element.substr(s))) {
+        if (u != out.content_key) {
+          candidate = u;
+          break;
+        }
+      }
+    }
+  }
+
+  // Refrain when the candidate is a known ad network (click-fraud guard):
+  // fall back to content identity.
+  if (candidate && !registry_.is_ad_network_url(*candidate))
+    out.landing_url = std::move(candidate);
+  return out;
+}
+
+std::vector<DetectedAd> AdDetector::detect(std::string_view html) const {
+  std::vector<DetectedAd> out;
+  std::size_t pos = 0;
+  while (pos < html.size()) {
+    // Find the nearest ad marker from `pos`.
+    std::size_t best = std::string_view::npos;
+    for (const auto marker : kAdMarkers) {
+      const std::size_t hit = html.find(marker, pos);
+      if (hit < best) best = hit;
+    }
+    if (best == std::string_view::npos) break;
+
+    // Element extent: from the start of the enclosing tag to its closing
+    // </div>. Ad containers on the pages we analyze are flat (no nested
+    // divs inside the creative markup), so the first close is the right
+    // one; a bounded lookahead guards against malformed markup.
+    const std::size_t open = html.rfind('<', best);
+    const std::size_t close = html.find("</div>", best);
+    const std::size_t end = close == std::string_view::npos
+                                ? std::min(html.size(), best + 4096)
+                                : close + 6;
+    const std::string_view element =
+        html.substr(open, end > open ? end - open : 0);
+    // Trailing text after the element (for onclick-handler scripts that
+    // live in a <script> sibling).
+    const std::string_view trailing =
+        html.substr(std::min(html.size(), end), 1024);
+
+    DetectedAd ad = analyze_element(element, trailing);
+    if (!ad.content_key.empty() || ad.landing_url) out.push_back(std::move(ad));
+    pos = end;
+  }
+  return out;
+}
+
+}  // namespace eyw::webmodel

@@ -1,0 +1,63 @@
+// Client-side ad detection and landing-page extraction (Section 5).
+//
+// Mirrors the extension's pipeline:
+//  1. ad-element detection: AdBlock-style matching on container class/id
+//     markers ("ad-banner", "sponsored", "adunit", "ad-slot", ...) — the
+//     goal is to ANALYZE the ad, never to block or click it;
+//  2. landing-page extraction, strictly click-free (ad-fraud avoidance):
+//     <a href>, onclick URL, then a URL-literal regex over script text;
+//  3. if the best URL belongs to a known ad network, refrain from resolving
+//     it and fall back to the ad content (image URL) as identity —
+//     the same fallback used for randomized landing URLs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adnet/registry.hpp"
+
+namespace eyw::webmodel {
+
+/// Identity the extension derives for one detected ad.
+struct DetectedAd {
+  /// Landing URL when one could be extracted and is not an ad network.
+  std::optional<std::string> landing_url;
+  /// Stable content identity (image URL); always present.
+  std::string content_key;
+  /// The string used as the ad's identity everywhere downstream:
+  /// landing URL when trustworthy, content key otherwise.
+  [[nodiscard]] const std::string& identity() const {
+    return landing_url ? *landing_url : content_key;
+  }
+};
+
+class AdDetector {
+ public:
+  explicit AdDetector(adnet::AdNetworkRegistry registry);
+
+  /// Scan a full HTML document and return all detected ads, in document
+  /// order.
+  [[nodiscard]] std::vector<DetectedAd> detect(std::string_view html) const;
+
+  /// The registry in use (exposed for diagnostics).
+  [[nodiscard]] const adnet::AdNetworkRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+ private:
+  [[nodiscard]] DetectedAd analyze_element(std::string_view element,
+                                           std::string_view trailing) const;
+
+  adnet::AdNetworkRegistry registry_;
+};
+
+/// Find http(s) URL literals inside arbitrary text (the script-regex stage).
+[[nodiscard]] std::vector<std::string> extract_urls(std::string_view text);
+
+/// First value of attribute `name` inside an HTML tag soup, if any.
+[[nodiscard]] std::optional<std::string> find_attribute(
+    std::string_view html, std::string_view name);
+
+}  // namespace eyw::webmodel

@@ -1,0 +1,86 @@
+#include "webmodel/html.hpp"
+
+#include <sstream>
+
+namespace eyw::webmodel {
+
+PageGenerator::PageGenerator(PageGeneratorConfig config, std::uint64_t seed)
+    : config_(std::move(config)),
+      rng_(seed),
+      markup_sampler_(config_.markup_weights) {}
+
+std::string PageGenerator::render_ad(const AdElement& elem) const {
+  std::ostringstream os;
+  const std::string& url = elem.embedded_landing_url;
+  const std::string& img = elem.ad.image_url;
+  switch (elem.markup) {
+    case AdMarkup::kAnchorHref:
+      os << R"(<div class="ad-banner"><a href=")" << url << R"("><img src=")"
+         << img << R"(" width="300" height="250"></a></div>)";
+      break;
+    case AdMarkup::kOnClick:
+      os << R"(<div class="sponsored" onclick="window.location=')" << url
+         << R"('"><img src=")" << img << R"("></div>)";
+      break;
+    case AdMarkup::kScriptUrl:
+      os << R"(<div id="ad-slot"><script>var clickUrl = ")" << url
+         << R"("; renderCreative(")" << img
+         << R"(", clickUrl);</script></div>)";
+      break;
+    case AdMarkup::kOnClickHandler:
+      os << R"html(<div class="adunit" onclick="handleAdClick()"><img src=")html"
+         << img << R"html("></div><script>function handleAdClick(){ track(); )html"
+         << R"html(window.open(')html" << url << R"html('); }</script>)html";
+      break;
+    case AdMarkup::kRandomLanding:
+      os << R"(<div class="ad-banner"><a href=")" << url << R"("><img src=")"
+         << img << R"("></a></div>)";
+      break;
+  }
+  return os.str();
+}
+
+Page PageGenerator::generate(const std::string& domain,
+                             const std::vector<adnet::Ad>& ads) {
+  Page page;
+  page.domain = domain;
+
+  for (const auto& ad : ads) {
+    AdElement elem;
+    elem.ad = ad;
+    elem.markup = static_cast<AdMarkup>(markup_sampler_.sample(rng_));
+    if (elem.markup == AdMarkup::kRandomLanding) {
+      // Per-impression randomized landing URL (e.g. dynamic/malicious ads):
+      // the URL is useless as identity; the image URL is stable.
+      elem.embedded_landing_url =
+          ad.landing_url + "?session=" + std::to_string(rng_.next());
+    } else {
+      elem.embedded_landing_url = ad.landing_url;
+    }
+    page.ads.push_back(std::move(elem));
+  }
+
+  std::ostringstream os;
+  os << "<!doctype html><html><head><title>" << domain
+     << "</title></head><body>\n";
+  std::size_t next_ad = 0;
+  for (std::size_t block = 0; block < config_.content_blocks; ++block) {
+    os << "<p>Article content block " << block << " on " << domain
+       << ". Plain editorial text with <a href=\"https://" << domain
+       << "/story-" << block << "\">internal links</a>.</p>\n";
+    // Interleave ads between content blocks, round-robin.
+    while (next_ad < page.ads.size() &&
+           next_ad * config_.content_blocks <
+               (block + 1) * page.ads.size()) {
+      os << render_ad(page.ads[next_ad]) << '\n';
+      ++next_ad;
+    }
+  }
+  for (; next_ad < page.ads.size(); ++next_ad)
+    os << render_ad(page.ads[next_ad]) << '\n';
+  os << "</body></html>\n";
+  page.html = os.str();
+  return page;
+}
+
+}  // namespace eyw::webmodel

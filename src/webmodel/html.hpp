@@ -1,0 +1,65 @@
+// Synthetic HTML page model.
+//
+// The paper's extension scrapes real DOMs; our substitute generates pages
+// that are structurally equivalent for the extraction code path: content
+// markup interleaved with ad elements that embed their landing URL through
+// the same multitude of techniques real delivery channels use (plain
+// anchors, onclick handlers, JavaScript with URL literals, randomized
+// landing URLs that force content-based identity).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adnet/campaign.hpp"
+#include "util/rng.hpp"
+
+namespace eyw::webmodel {
+
+/// How an ad element encodes its landing URL in the markup.
+enum class AdMarkup : std::uint8_t {
+  kAnchorHref,      // <a href="..."><img ...></a>
+  kOnClick,         // <div onclick="window.location='...'">
+  kScriptUrl,       // <script> var u = '...'; ... </script>
+  kOnClickHandler,  // onclick routed to a JS function; URL only in script
+  kRandomLanding,   // landing URL randomized per impression (Section 5:
+                    // identify by ad content instead)
+};
+
+struct AdElement {
+  adnet::Ad ad;
+  AdMarkup markup = AdMarkup::kAnchorHref;
+  /// The landing URL actually embedded (randomized for kRandomLanding).
+  std::string embedded_landing_url;
+};
+
+struct Page {
+  std::string domain;
+  std::string html;
+  std::vector<AdElement> ads;  // generation-side truth, for validation
+};
+
+struct PageGeneratorConfig {
+  /// Mixture over markup styles (indexed by AdMarkup order, must sum > 0).
+  std::vector<double> markup_weights{0.4, 0.2, 0.2, 0.1, 0.1};
+  /// Paragraphs of filler content between ad slots.
+  std::size_t content_blocks = 6;
+};
+
+/// Generates synthetic pages embedding the given ads.
+class PageGenerator {
+ public:
+  PageGenerator(PageGeneratorConfig config, std::uint64_t seed);
+
+  [[nodiscard]] Page generate(const std::string& domain,
+                              const std::vector<adnet::Ad>& ads);
+
+ private:
+  [[nodiscard]] std::string render_ad(const AdElement& elem) const;
+
+  PageGeneratorConfig config_;
+  util::Rng rng_;
+  util::DiscreteSampler markup_sampler_;
+};
+
+}  // namespace eyw::webmodel

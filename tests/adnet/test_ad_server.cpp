@@ -1,0 +1,226 @@
+#include "adnet/ad_server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eyw::adnet {
+namespace {
+
+Ad make_ad(core::AdId id, CampaignId campaign, CategoryId cat) {
+  return {.id = id,
+          .campaign = campaign,
+          .landing_url = "https://l" + std::to_string(id) + ".test",
+          .image_url = "https://i" + std::to_string(id) + ".test",
+          .offering_category = cat};
+}
+
+std::vector<Campaign> small_inventory() {
+  std::vector<Campaign> out;
+  // Campaign 1: direct-targeted at category 3, cap 2.
+  Campaign direct{.id = 1,
+                  .type = CampaignType::kDirectTargeted,
+                  .offering_category = 3,
+                  .audience_category = 3,
+                  .frequency_cap = 2,
+                  .pinned_sites = {},
+                  .ads = {make_ad(10, 1, 3)}};
+  // Campaign 2: static pinned to sites {0, 1}.
+  Campaign stat{.id = 2,
+                .type = CampaignType::kStatic,
+                .offering_category = 5,
+                .audience_category = 0,
+                .frequency_cap = 0,
+                .pinned_sites = {0, 1},
+                .ads = {make_ad(20, 2, 5), make_ad(21, 2, 5)}};
+  // Campaign 3: contextual for category 7.
+  Campaign ctx{.id = 3,
+               .type = CampaignType::kContextual,
+               .offering_category = 7,
+               .audience_category = 0,
+               .frequency_cap = 0,
+               .pinned_sites = {},
+               .ads = {make_ad(30, 3, 7)}};
+  // Campaign 4: retargeting for category 9.
+  Campaign ret{.id = 4,
+               .type = CampaignType::kRetargeting,
+               .offering_category = 9,
+               .audience_category = 9,
+               .frequency_cap = 0,
+               .pinned_sites = {},
+               .ads = {make_ad(40, 4, 9)}};
+  // Campaign 5: indirect — audience 3, offering 11.
+  Campaign ind{.id = 5,
+               .type = CampaignType::kIndirectTargeted,
+               .offering_category = 11,
+               .audience_category = 3,
+               .frequency_cap = 0,
+               .pinned_sites = {},
+               .ads = {make_ad(50, 5, 11)}};
+  out.push_back(std::move(direct));
+  out.push_back(std::move(stat));
+  out.push_back(std::move(ctx));
+  out.push_back(std::move(ret));
+  out.push_back(std::move(ind));
+  return out;
+}
+
+UserContext interested_user(CategoryId cat) {
+  return {.id = 1, .interests = {cat}, .retargeting_pool = {}};
+}
+
+TEST(AdServer, RejectsBadConfig) {
+  EXPECT_THROW(AdServer({}, {.targeted_fill_rate = 1.5}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      AdServer({}, {.targeted_fill_rate = 0.5, .audience_cohort = -0.1}, 1),
+      std::invalid_argument);
+}
+
+TEST(AdServer, RejectsDuplicateAdIds) {
+  auto inv = small_inventory();
+  inv[1].ads[0].id = 10;  // clash with campaign 1's ad
+  EXPECT_THROW(AdServer(std::move(inv), {}, 1), std::invalid_argument);
+}
+
+TEST(AdServer, FindAd) {
+  AdServer server(small_inventory(), {}, 1);
+  ASSERT_NE(server.find_ad(10), nullptr);
+  EXPECT_EQ(server.find_ad(10)->campaign, 1u);
+  EXPECT_EQ(server.find_ad(999), nullptr);
+}
+
+TEST(AdServer, CampaignLookup) {
+  AdServer server(small_inventory(), {}, 1);
+  EXPECT_EQ(server.campaign(2).type, CampaignType::kStatic);
+  EXPECT_THROW((void)server.campaign(99), std::out_of_range);
+}
+
+TEST(AdServer, CleanUserNeverGetsTargeted) {
+  AdServer server(small_inventory(), {.targeted_fill_rate = 1.0}, 2);
+  const UserContext clean{.id = 7, .interests = {}, .retargeting_pool = {}};
+  for (int i = 0; i < 50; ++i) {
+    for (const auto& served : server.serve(clean, {.domain = 0, .category = 7}, 4)) {
+      EXPECT_FALSE(served.targeted_delivery);
+      EXPECT_FALSE(is_targeted(served.campaign_type));
+    }
+  }
+}
+
+TEST(AdServer, InterestedUserGetsDirectAndIndirect) {
+  AdServer server(small_inventory(), {.targeted_fill_rate = 1.0}, 3);
+  const UserContext user = interested_user(3);
+  bool saw_direct = false, saw_indirect = false;
+  for (int i = 0; i < 60; ++i) {
+    for (const auto& served :
+         server.serve(user, {.domain = 5, .category = 0}, 2)) {
+      if (served.campaign_type == CampaignType::kDirectTargeted)
+        saw_direct = true;
+      if (served.campaign_type == CampaignType::kIndirectTargeted)
+        saw_indirect = true;
+      EXPECT_TRUE(served.targeted_delivery);
+    }
+  }
+  EXPECT_TRUE(saw_direct);   // until its cap is reached
+  EXPECT_TRUE(saw_indirect);
+}
+
+TEST(AdServer, FrequencyCapEnforced) {
+  AdServer server(small_inventory(), {.targeted_fill_rate = 1.0}, 4);
+  // User interested only in 3: direct campaign (cap 2) + indirect (uncapped).
+  const UserContext user = interested_user(3);
+  int direct_count = 0;
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& served :
+         server.serve(user, {.domain = 5, .category = 0}, 1)) {
+      direct_count += served.campaign_type == CampaignType::kDirectTargeted;
+    }
+  }
+  EXPECT_EQ(direct_count, 2);
+  EXPECT_EQ(server.impressions(user.id, 1), 2u);
+}
+
+TEST(AdServer, StaticOnlyOnPinnedSites) {
+  AdServer server(small_inventory(), {}, 5);
+  const UserContext clean{.id = 9, .interests = {}, .retargeting_pool = {}};
+  // Site 2 is not pinned and category 0 has no contextual: nothing served.
+  EXPECT_TRUE(server.serve(clean, {.domain = 2, .category = 0}, 4).empty());
+  // Site 0 is pinned: static ads appear.
+  const auto served = server.serve(clean, {.domain = 0, .category = 0}, 4);
+  ASSERT_FALSE(served.empty());
+  for (const auto& s : served)
+    EXPECT_EQ(s.campaign_type, CampaignType::kStatic);
+}
+
+TEST(AdServer, ContextualMatchesCategory) {
+  AdServer server(small_inventory(), {}, 6);
+  const UserContext clean{.id = 9, .interests = {}, .retargeting_pool = {}};
+  const auto served = server.serve(clean, {.domain = 9, .category = 7}, 4);
+  ASSERT_FALSE(served.empty());
+  EXPECT_EQ(served.front().campaign_type, CampaignType::kContextual);
+  EXPECT_EQ(served.front().ad->id, 30u);
+}
+
+TEST(AdServer, RetargetingNeedsPool) {
+  AdServer server(small_inventory(), {.targeted_fill_rate = 1.0}, 7);
+  UserContext user{.id = 2, .interests = {}, .retargeting_pool = {}};
+  EXPECT_TRUE(server.serve(user, {.domain = 2, .category = 0}, 2).empty());
+  user.retargeting_pool.insert(9);
+  const auto served = server.serve(user, {.domain = 2, .category = 0}, 2);
+  ASSERT_FALSE(served.empty());
+  EXPECT_EQ(served.front().campaign_type, CampaignType::kRetargeting);
+  EXPECT_TRUE(served.front().targeted_delivery);
+}
+
+TEST(AdServer, NoDuplicateAdsWithinPageView) {
+  AdServer server(small_inventory(), {}, 8);
+  const UserContext clean{.id = 3, .interests = {}, .retargeting_pool = {}};
+  for (int i = 0; i < 20; ++i) {
+    const auto served = server.serve(clean, {.domain = 0, .category = 7}, 8);
+    std::set<core::AdId> ids;
+    for (const auto& s : served) EXPECT_TRUE(ids.insert(s.ad->id).second);
+  }
+}
+
+TEST(AdServer, CohortIsDeterministicAndScales) {
+  auto inv = small_inventory();
+  const Campaign& direct = inv[0];
+  AdServer half(small_inventory(), {.audience_cohort = 0.5}, 9);
+  // Determinism.
+  for (core::UserId u = 0; u < 20; ++u)
+    EXPECT_EQ(half.in_cohort(u, direct), half.in_cohort(u, direct));
+  // Rough size over many users.
+  int members = 0;
+  for (core::UserId u = 0; u < 2000; ++u) members += half.in_cohort(u, direct);
+  EXPECT_NEAR(members / 2000.0, 0.5, 0.05);
+  // Full cohort includes everyone.
+  AdServer full(small_inventory(), {.audience_cohort = 1.0}, 9);
+  for (core::UserId u = 0; u < 20; ++u)
+    EXPECT_TRUE(full.in_cohort(u, direct));
+}
+
+TEST(AdServer, ResetCapsRestoresDelivery) {
+  AdServer server(small_inventory(), {.targeted_fill_rate = 1.0}, 10);
+  const UserContext user = interested_user(3);
+  for (int i = 0; i < 10; ++i)
+    (void)server.serve(user, {.domain = 5, .category = 0}, 1);
+  EXPECT_EQ(server.impressions(user.id, 1), 2u);
+  server.reset_caps();
+  EXPECT_EQ(server.impressions(user.id, 1), 0u);
+}
+
+TEST(CampaignType, Helpers) {
+  EXPECT_TRUE(is_targeted(CampaignType::kDirectTargeted));
+  EXPECT_TRUE(is_targeted(CampaignType::kIndirectTargeted));
+  EXPECT_TRUE(is_targeted(CampaignType::kRetargeting));
+  EXPECT_FALSE(is_targeted(CampaignType::kStatic));
+  EXPECT_FALSE(is_targeted(CampaignType::kContextual));
+  EXPECT_STREQ(to_string(CampaignType::kIndirectTargeted),
+               "indirect-targeted");
+}
+
+TEST(Category, Names) {
+  EXPECT_EQ(category_name(0), "sports");
+  EXPECT_EQ(category_name(static_cast<CategoryId>(kNumCategories)), "unknown");
+}
+
+}  // namespace
+}  // namespace eyw::adnet

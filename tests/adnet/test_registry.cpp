@@ -1,0 +1,46 @@
+#include "adnet/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eyw::adnet {
+namespace {
+
+TEST(UrlHost, ExtractsHost) {
+  EXPECT_EQ(url_host("https://ads.example.com/path?q=1"), "ads.example.com");
+  EXPECT_EQ(url_host("http://x.test"), "x.test");
+  EXPECT_EQ(url_host("x.test/path"), "x.test");
+  EXPECT_EQ(url_host("https://h.test:8080/p"), "h.test");
+  EXPECT_EQ(url_host(""), "");
+}
+
+TEST(Registry, ExactMatch) {
+  const auto r = AdNetworkRegistry::with_defaults();
+  EXPECT_TRUE(r.is_ad_network_host("doubleclick.net"));
+  EXPECT_TRUE(r.is_ad_network_host("criteo.com"));
+  EXPECT_FALSE(r.is_ad_network_host("example.org"));
+}
+
+TEST(Registry, SubdomainMatch) {
+  const auto r = AdNetworkRegistry::with_defaults();
+  EXPECT_TRUE(r.is_ad_network_host("ad.doubleclick.net"));
+  EXPECT_TRUE(r.is_ad_network_host("a.b.doubleclick.net"));
+  // Suffix without dot boundary must NOT match.
+  EXPECT_FALSE(r.is_ad_network_host("notdoubleclick.net"));
+}
+
+TEST(Registry, UrlMatch) {
+  const auto r = AdNetworkRegistry::with_defaults();
+  EXPECT_TRUE(r.is_ad_network_url("https://cdn.adnxs.com/x?id=1"));
+  EXPECT_FALSE(r.is_ad_network_url("https://shop.example.com/product"));
+}
+
+TEST(Registry, CustomDomain) {
+  AdNetworkRegistry r;
+  EXPECT_EQ(r.size(), 0u);
+  r.add("my-adnet.io");
+  EXPECT_TRUE(r.is_ad_network_url("https://track.my-adnet.io/click"));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+}  // namespace
+}  // namespace eyw::adnet

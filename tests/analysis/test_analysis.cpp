@@ -1,0 +1,194 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/confusion.hpp"
+#include "analysis/content_based.hpp"
+#include "analysis/eval_tree.hpp"
+#include "analysis/f8_labeler.hpp"
+
+namespace eyw::analysis {
+namespace {
+
+TEST(Confusion, RatesAndCounts) {
+  ConfusionMatrix m;
+  m.add(true, true);    // TP
+  m.add(true, false);   // FP
+  m.add(false, true);   // FN
+  m.add(false, true);   // FN
+  m.add(false, false);  // TN
+  EXPECT_EQ(m.tp, 1u);
+  EXPECT_EQ(m.fp, 1u);
+  EXPECT_EQ(m.fn, 2u);
+  EXPECT_EQ(m.tn, 1u);
+  EXPECT_EQ(m.decided(), 5u);
+  EXPECT_DOUBLE_EQ(m.false_negative_rate(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.false_positive_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(m.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.4);
+}
+
+TEST(Confusion, EmptyIsSafe) {
+  const ConfusionMatrix m;
+  EXPECT_DOUBLE_EQ(m.false_negative_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.false_positive_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+}
+
+TEST(Confusion, ToStringMentionsEverything) {
+  ConfusionMatrix m;
+  m.add(true, true);
+  const auto s = m.to_string();
+  EXPECT_NE(s.find("TP=1"), std::string::npos);
+  EXPECT_NE(s.find("FNR="), std::string::npos);
+}
+
+TEST(ContentBased, ProfileRequiresDistinctDomains) {
+  ContentBasedClassifier cb({.min_sites_per_category = 3});
+  // Category 5: 3 distinct domains -> in profile. Category 7: repeated
+  // visits to ONE domain -> not in profile.
+  cb.record_visit(1, 10, 5);
+  cb.record_visit(1, 11, 5);
+  cb.record_visit(1, 12, 5);
+  for (int i = 0; i < 10; ++i) cb.record_visit(1, 20, 7);
+  const auto profile = cb.profile(1);
+  ASSERT_EQ(profile.size(), 1u);
+  EXPECT_EQ(profile[0], 5);
+  EXPECT_TRUE(cb.has_semantic_overlap(1, 5));
+  EXPECT_FALSE(cb.has_semantic_overlap(1, 7));
+}
+
+TEST(ContentBased, UnknownUserHasNoProfile) {
+  const ContentBasedClassifier cb;
+  EXPECT_TRUE(cb.profile(99).empty());
+  EXPECT_FALSE(cb.has_semantic_overlap(99, 1));
+  EXPECT_FALSE(cb.classify_targeted(99, 1));
+}
+
+TEST(ContentBased, ClassifyEqualsOverlap) {
+  ContentBasedClassifier cb({.min_sites_per_category = 1});
+  cb.record_visit(1, 10, 3);
+  EXPECT_EQ(cb.classify_targeted(1, 3), cb.has_semantic_overlap(1, 3));
+  EXPECT_TRUE(cb.classify_targeted(1, 3));
+}
+
+TEST(ContentBased, UsersAreIndependent) {
+  ContentBasedClassifier cb({.min_sites_per_category = 1});
+  cb.record_visit(1, 10, 3);
+  EXPECT_FALSE(cb.has_semantic_overlap(2, 3));
+}
+
+TEST(F8Labeler, RejectsBadConfig) {
+  EXPECT_THROW(F8Labeler({.coverage = 1.5}), std::invalid_argument);
+  EXPECT_THROW(F8Labeler({.accuracy = -0.1}), std::invalid_argument);
+}
+
+TEST(F8Labeler, MemoizedPerPair) {
+  F8Labeler f8({.coverage = 0.5, .accuracy = 0.8, .seed = 1});
+  for (int i = 0; i < 50; ++i) {
+    const auto first = f8.label(1, static_cast<core::AdId>(i), true);
+    const auto again = f8.label(1, static_cast<core::AdId>(i), true);
+    EXPECT_EQ(first, again);
+  }
+}
+
+TEST(F8Labeler, CoverageZeroNeverLabels) {
+  F8Labeler f8({.coverage = 0.0, .accuracy = 1.0, .seed = 2});
+  for (int i = 0; i < 20; ++i)
+    EXPECT_FALSE(f8.label(1, static_cast<core::AdId>(i), true).has_value());
+  EXPECT_EQ(f8.labels_produced(), 0u);
+}
+
+TEST(F8Labeler, PerfectLabelerMatchesGroundTruth) {
+  F8Labeler f8({.coverage = 1.0, .accuracy = 1.0, .seed = 3});
+  for (int i = 0; i < 20; ++i) {
+    const bool truth = i % 2 == 0;
+    EXPECT_EQ(f8.label(2, static_cast<core::AdId>(i), truth), truth);
+  }
+}
+
+TEST(F8Labeler, AccuracyApproximatelyRespected) {
+  F8Labeler f8({.coverage = 1.0, .accuracy = 0.7, .seed = 4});
+  int correct = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i)
+    correct += *f8.label(3, static_cast<core::AdId>(i), true) == true;
+  EXPECT_NEAR(correct / static_cast<double>(n), 0.7, 0.03);
+}
+
+EvalRecord record(bool eyw, bool crawler, bool overlap,
+                  std::optional<bool> f8, bool truth) {
+  return {.user = 1,
+          .ad = 1,
+          .eyewnder_targeted = eyw,
+          .in_crawler = crawler,
+          .semantic_overlap = overlap,
+          .f8_label = f8,
+          .ground_truth_targeted = truth};
+}
+
+TEST(EvalTree, TargetedBranchLeaves) {
+  std::vector<EvalRecord> records{
+      record(true, true, false, std::nullopt, false),   // FP(CR)
+      record(true, false, true, std::nullopt, true),    // TP(CB)
+      record(true, false, false, true, true),           // TP(F8)
+      record(true, false, false, false, false),         // FP(F8)
+  };
+  const auto r = evaluate_tree(records, {.resolution_accuracy = 1.0});
+  EXPECT_EQ(r.classified_targeted, 4u);
+  EXPECT_EQ(r.fp_cr, 1u);
+  EXPECT_EQ(r.tp_cb, 1u);
+  EXPECT_EQ(r.tp_f8, 1u);
+  EXPECT_EQ(r.fp_f8, 1u);
+  EXPECT_EQ(r.unknown_targeted, 0u);
+  EXPECT_DOUBLE_EQ(r.overall_tp_rate, 0.5);
+}
+
+TEST(EvalTree, NonTargetedBranchLeaves) {
+  std::vector<EvalRecord> records{
+      record(false, true, false, std::nullopt, false),   // TN(CR)
+      record(false, false, true, std::nullopt, true),    // FN(CB)
+      record(false, false, false, false, false),         // TN(F8)
+      record(false, false, false, true, true),           // FN(F8)
+  };
+  const auto r = evaluate_tree(records, {.resolution_accuracy = 1.0});
+  EXPECT_EQ(r.classified_non_targeted, 4u);
+  EXPECT_EQ(r.tn_cr, 1u);
+  EXPECT_EQ(r.fn_cb, 1u);
+  EXPECT_EQ(r.tn_f8, 1u);
+  EXPECT_EQ(r.fn_f8, 1u);
+  EXPECT_DOUBLE_EQ(r.overall_tn_rate, 0.5);
+}
+
+TEST(EvalTree, UnknownResolutionUsesGroundTruthWhenPerfect) {
+  std::vector<EvalRecord> records{
+      record(true, false, false, std::nullopt, true),    // unknown-T -> TP
+      record(true, false, false, std::nullopt, false),   // unknown-T -> FP
+      record(false, false, false, std::nullopt, false),  // unknown-NT -> TN
+      record(false, false, false, std::nullopt, true),   // unknown-NT -> FN
+  };
+  const auto r = evaluate_tree(records, {.resolution_accuracy = 1.0});
+  EXPECT_EQ(r.unknown_targeted, 2u);
+  EXPECT_EQ(r.unknown_t_likely_tp, 1u);
+  EXPECT_EQ(r.unknown_t_likely_fp, 1u);
+  EXPECT_EQ(r.unknown_nt_likely_tn, 1u);
+  EXPECT_EQ(r.unknown_nt_likely_fn, 1u);
+}
+
+TEST(EvalTree, ReportContainsHeadlineRates) {
+  std::vector<EvalRecord> records{record(true, false, true, std::nullopt, true)};
+  const auto r = evaluate_tree(records, {});
+  const auto report = r.to_report();
+  EXPECT_NE(report.find("Overall likely-TP rate"), std::string::npos);
+  EXPECT_NE(report.find("TP(CB)"), std::string::npos);
+}
+
+TEST(EvalTree, EmptyInputIsSafe) {
+  const auto r = evaluate_tree({}, {});
+  EXPECT_EQ(r.total, 0u);
+  EXPECT_DOUBLE_EQ(r.overall_tp_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace eyw::analysis

@@ -1,0 +1,90 @@
+#include "analysis/indirect_oba.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace eyw::analysis {
+namespace {
+
+std::vector<double> flat(double v = 1.0) {
+  return std::vector<double>(adnet::kNumCategories, v);
+}
+
+TEST(CorrelationPValue, StrongCorrelationIsSignificant) {
+  EXPECT_LT(correlation_p_value(0.9, 24), 0.001);
+  EXPECT_LT(correlation_p_value(-0.9, 24), 0.001);
+}
+
+TEST(CorrelationPValue, WeakCorrelationIsNot) {
+  EXPECT_GT(correlation_p_value(0.1, 24), 0.3);
+  EXPECT_DOUBLE_EQ(correlation_p_value(0.5, 2), 1.0);  // too few samples
+}
+
+TEST(IndirectOba, DetectsCorrelatedAudienceWithoutOverlap) {
+  // User and the ad's receivers share a spiky topic profile; the ad's own
+  // offering category (7) is NOT in the user's profile.
+  auto user = flat(1.0);
+  auto receivers = flat(2.0);
+  user[3] = 50;
+  receivers[3] = 90;
+  user[11] = 30;
+  receivers[11] = 55;
+  const std::vector<adnet::CategoryId> profile{3, 11};
+  const auto r = assess_indirect_oba(user, receivers, /*ad_offering=*/7,
+                                     profile);
+  EXPECT_GT(r.correlation, 0.9);
+  EXPECT_TRUE(r.significant);
+  EXPECT_FALSE(r.semantic_overlap);
+  EXPECT_TRUE(r.likely_indirect_oba);
+}
+
+TEST(IndirectOba, SemanticOverlapIsDirectNotIndirect) {
+  auto user = flat(1.0);
+  auto receivers = flat(2.0);
+  user[3] = 50;
+  receivers[3] = 90;
+  const std::vector<adnet::CategoryId> profile{3};
+  const auto r = assess_indirect_oba(user, receivers, /*ad_offering=*/3,
+                                     profile);
+  EXPECT_TRUE(r.significant);
+  EXPECT_TRUE(r.semantic_overlap);
+  EXPECT_FALSE(r.likely_indirect_oba);  // that's direct targeting, CB's job
+}
+
+TEST(IndirectOba, UncorrelatedAudienceNotFlagged) {
+  util::Rng rng(5);
+  auto user = flat();
+  auto receivers = flat();
+  for (std::size_t c = 0; c < adnet::kNumCategories; ++c) {
+    user[c] = static_cast<double>(rng.below(100));
+    receivers[c] = static_cast<double>(rng.below(100));
+  }
+  const auto r =
+      assess_indirect_oba(user, receivers, 0, {}, {.min_correlation = 0.5});
+  EXPECT_FALSE(r.likely_indirect_oba);
+}
+
+TEST(IndirectOba, MinCorrelationGate) {
+  // Mild correlation, formally significant but below the gate.
+  auto user = flat(1.0);
+  auto receivers = flat(1.0);
+  for (std::size_t c = 0; c < adnet::kNumCategories; ++c) {
+    user[c] = static_cast<double>(c);
+    receivers[c] = static_cast<double>(c) + (c % 2 ? 30.0 : -30.0);
+  }
+  const auto weak = assess_indirect_oba(user, receivers, 0, {},
+                                        {.min_correlation = 0.99});
+  EXPECT_FALSE(weak.significant);
+}
+
+TEST(IndirectOba, RejectsWrongVocabularySize) {
+  const std::vector<double> bad(3, 1.0);
+  EXPECT_THROW((void)assess_indirect_oba(bad, flat(), 0, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)assess_indirect_oba(flat(), bad, 0, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eyw::analysis

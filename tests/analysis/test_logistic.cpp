@@ -1,0 +1,167 @@
+#include "analysis/logistic.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace eyw::analysis {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(normal_cdf(5.0), 1.0, 1e-6);
+}
+
+TEST(Logistic, RecoversKnownCoefficients) {
+  // Single binary predictor with planted log-odds.
+  util::Rng rng(1);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  const double beta0 = -0.5, beta1 = 1.2;
+  for (int i = 0; i < 20000; ++i) {
+    const double xi = i % 2;
+    const double p = 1.0 / (1.0 + std::exp(-(beta0 + beta1 * xi)));
+    x.push_back({xi});
+    y.push_back(rng.chance(p) ? 1.0 : 0.0);
+  }
+  const GlmFit fit = logistic_fit(x, y, {"x"});
+  EXPECT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.coefficients[0].estimate, beta0, 0.08);
+  EXPECT_NEAR(fit.by_name("x").estimate, beta1, 0.08);
+  EXPECT_NEAR(fit.by_name("x").odds_ratio, std::exp(beta1), 0.3);
+  EXPECT_LT(fit.by_name("x").p_value, 1e-6);
+}
+
+TEST(Logistic, NullEffectIsInsignificant) {
+  util::Rng rng(2);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 4000; ++i) {
+    x.push_back({static_cast<double>(i % 2)});
+    y.push_back(rng.chance(0.4) ? 1.0 : 0.0);  // independent of x
+  }
+  const GlmFit fit = logistic_fit(x, y, {"noise"});
+  EXPECT_TRUE(fit.converged);
+  EXPECT_GT(fit.by_name("noise").p_value, 0.01);
+  EXPECT_NEAR(fit.by_name("noise").odds_ratio, 1.0, 0.25);
+}
+
+TEST(Logistic, ConfidenceIntervalBracketsOddsRatio) {
+  util::Rng rng(3);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 5000; ++i) {
+    const double xi = i % 2;
+    const double p = 1.0 / (1.0 + std::exp(-(0.2 + 0.7 * xi)));
+    x.push_back({xi});
+    y.push_back(rng.chance(p) ? 1.0 : 0.0);
+  }
+  const GlmFit fit = logistic_fit(x, y, {"x"});
+  const auto& c = fit.by_name("x");
+  EXPECT_LT(c.ci_low, c.odds_ratio);
+  EXPECT_GT(c.ci_high, c.odds_ratio);
+  EXPECT_LT(c.ci_low, std::exp(0.7));
+  EXPECT_GT(c.ci_high, std::exp(0.7));
+}
+
+TEST(Logistic, DevianceImprovesOverNull) {
+  util::Rng rng(4);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 3000; ++i) {
+    const double xi = i % 2;
+    const double p = xi > 0 ? 0.8 : 0.2;
+    x.push_back({xi});
+    y.push_back(rng.chance(p) ? 1.0 : 0.0);
+  }
+  const GlmFit fit = logistic_fit(x, y, {"x"});
+  EXPECT_LT(fit.deviance, fit.null_deviance - 100.0);
+}
+
+TEST(Logistic, InputValidation) {
+  EXPECT_THROW((void)logistic_fit({}, {}, {}), std::invalid_argument);
+  EXPECT_THROW((void)logistic_fit({{1.0}}, {0.5}, {"x"}),
+               std::invalid_argument);  // non-binary y
+  EXPECT_THROW((void)logistic_fit({{1.0}}, {1.0, 0.0}, {"x"}),
+               std::invalid_argument);  // size mismatch
+  EXPECT_THROW((void)logistic_fit({{1.0}}, {1.0}, {"a", "b"}),
+               std::invalid_argument);  // names mismatch
+  EXPECT_THROW((void)logistic_fit({{1.0}, {1.0, 2.0}}, {1.0, 0.0}, {"x"}),
+               std::invalid_argument);  // ragged
+}
+
+TEST(Logistic, SingularDesignThrows) {
+  // Perfectly collinear columns.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    const double xi = i % 2;
+    x.push_back({xi, 2 * xi});
+    y.push_back(i % 3 == 0 ? 1.0 : 0.0);
+  }
+  EXPECT_THROW((void)logistic_fit(x, y, {"a", "b"}), std::runtime_error);
+}
+
+TEST(Logistic, ByNameThrowsOnUnknown) {
+  util::Rng rng(5);
+  std::vector<std::vector<double>> x{{0.0}, {1.0}, {0.0}, {1.0}};
+  std::vector<double> y{0.0, 1.0, 1.0, 0.0};
+  const GlmFit fit = logistic_fit(x, y, {"x"});
+  EXPECT_THROW((void)fit.by_name("nope"), std::out_of_range);
+}
+
+TEST(DesignBuilder, DummyCoding) {
+  DesignBuilder d;
+  d.add_factor("G", {"f", "m"});
+  d.add_factor("I", {"low", "mid", "high"});
+  d.add_row({0, 0}, false);  // all base levels -> all zeros
+  d.add_row({1, 2}, true);   // male, high
+  ASSERT_EQ(d.names().size(), 3u);  // G:m, I:mid, I:high
+  EXPECT_EQ(d.names()[0], "G:m");
+  EXPECT_EQ(d.names()[2], "I:high");
+  EXPECT_EQ(d.x()[0], (std::vector<double>{0, 0, 0}));
+  EXPECT_EQ(d.x()[1], (std::vector<double>{1, 0, 1}));
+  EXPECT_EQ(d.y()[1], 1.0);
+}
+
+TEST(DesignBuilder, Validation) {
+  DesignBuilder d;
+  EXPECT_THROW(d.add_factor("single", {"only"}), std::invalid_argument);
+  d.add_factor("G", {"f", "m"});
+  EXPECT_THROW(d.add_row({0, 0}, true), std::invalid_argument);  // arity
+  EXPECT_THROW(d.add_row({2}, true), std::invalid_argument);  // level range
+  d.add_row({0}, true);
+  EXPECT_THROW(d.add_factor("late", {"a", "b"}), std::logic_error);
+}
+
+TEST(DesignBuilder, FitRecoversFactorEffects) {
+  DesignBuilder d;
+  d.add_factor("G", {"f", "m"});
+  util::Rng rng(6);
+  for (int i = 0; i < 8000; ++i) {
+    const std::size_t g = i % 2;
+    const double p = g == 1 ? 0.3 : 0.5;  // male OR = (0.3/0.7)/(0.5/0.5) = 0.43
+    d.add_row({g}, rng.chance(p));
+  }
+  const GlmFit fit = d.fit();
+  EXPECT_NEAR(fit.by_name("G:m").odds_ratio, 3.0 / 7.0, 0.06);
+  EXPECT_LT(fit.by_name("G:m").p_value, 1e-10);
+}
+
+TEST(Logistic, TableRendering) {
+  DesignBuilder d;
+  d.add_factor("G", {"f", "m"});
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) d.add_row({static_cast<std::size_t>(i % 2)}, rng.chance(0.5));
+  const auto table = d.fit().to_table();
+  EXPECT_NE(table.find("OR"), std::string::npos);
+  EXPECT_NE(table.find("G:m"), std::string::npos);
+  EXPECT_NE(table.find("converged=yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eyw::analysis

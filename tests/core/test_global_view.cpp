@@ -1,0 +1,88 @@
+#include "core/global_view.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eyw::core {
+namespace {
+
+TEST(GlobalUserCounter, DistinctUserCounting) {
+  GlobalUserCounter c;
+  c.record(1, 100);
+  c.record(2, 100);
+  c.record(1, 100);  // duplicate sighting: idempotent
+  c.record(3, 200);
+  EXPECT_EQ(c.users_for(100), 2u);
+  EXPECT_EQ(c.users_for(200), 1u);
+  EXPECT_EQ(c.users_for(999), 0u);
+  EXPECT_EQ(c.distinct_ads(), 2u);
+}
+
+TEST(GlobalUserCounter, DistributionHasOneEntryPerAd) {
+  GlobalUserCounter c;
+  c.record(1, 100);
+  c.record(2, 100);
+  c.record(1, 200);
+  const auto dist = c.distribution();
+  ASSERT_EQ(dist.size(), 2u);
+  // map order: ad 100 first.
+  EXPECT_DOUBLE_EQ(dist[0], 2.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+}
+
+TEST(GlobalUserCounter, ClearResets) {
+  GlobalUserCounter c;
+  c.record(1, 100);
+  c.clear();
+  EXPECT_EQ(c.distinct_ads(), 0u);
+  EXPECT_EQ(c.users_for(100), 0u);
+}
+
+TEST(UsersDistribution, ThresholdIsMeanOfCounts) {
+  const std::vector<double> counts{1, 2, 3, 4};
+  const auto d = UsersDistribution::from_counts(counts);
+  EXPECT_DOUBLE_EQ(d.threshold(ThresholdRule::kMean), 2.5);
+}
+
+TEST(UsersDistribution, ZeroCountsExcluded) {
+  // CMS queries over the over-provisioned id space return 0 for ids that
+  // map to no real ad; those must not drag the threshold down.
+  const std::vector<double> counts{0, 0, 2, 4, 0};
+  const auto d = UsersDistribution::from_counts(counts);
+  EXPECT_DOUBLE_EQ(d.threshold(ThresholdRule::kMean), 3.0);
+  EXPECT_EQ(d.counts().size(), 2u);
+}
+
+TEST(UsersDistribution, EmptyIsSafe) {
+  const auto d = UsersDistribution::from_counts(std::vector<double>{});
+  EXPECT_TRUE(d.empty());
+  EXPECT_DOUBLE_EQ(d.threshold(ThresholdRule::kMean), 0.0);
+}
+
+TEST(UsersDistribution, HistogramMatchesCounts) {
+  const std::vector<double> counts{2, 2, 3};
+  const auto d = UsersDistribution::from_counts(counts);
+  EXPECT_EQ(d.histogram().count(2), 2u);
+  EXPECT_EQ(d.histogram().count(3), 1u);
+  EXPECT_EQ(d.histogram().total(), 3u);
+}
+
+TEST(UsersDistribution, MedianAndMeanRulesDiffer) {
+  const std::vector<double> counts{1, 1, 1, 1, 16};
+  const auto d = UsersDistribution::from_counts(counts);
+  EXPECT_DOUBLE_EQ(d.threshold(ThresholdRule::kMedian), 1.0);
+  EXPECT_DOUBLE_EQ(d.threshold(ThresholdRule::kMean), 4.0);
+}
+
+TEST(UsersDistribution, EndToEndWithCounter) {
+  GlobalUserCounter c;
+  // Ad 1 seen by 3 users, ad 2 by 1 user.
+  c.record(1, 1);
+  c.record(2, 1);
+  c.record(3, 1);
+  c.record(1, 2);
+  const auto d = UsersDistribution::from_counts(c.distribution());
+  EXPECT_DOUBLE_EQ(d.threshold(ThresholdRule::kMean), 2.0);
+}
+
+}  // namespace
+}  // namespace eyw::core

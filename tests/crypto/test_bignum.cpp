@@ -1,0 +1,307 @@
+#include "crypto/bignum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace eyw::crypto {
+namespace {
+
+TEST(Bignum, DefaultIsZero) {
+  Bignum z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex(), "0");
+}
+
+TEST(Bignum, FromU64) {
+  Bignum v(0xdeadbeefULL);
+  EXPECT_EQ(v.to_hex(), "deadbeef");
+  EXPECT_EQ(v.to_u64(), 0xdeadbeefULL);
+}
+
+TEST(Bignum, HexRoundTrip) {
+  const std::string hex = "123456789abcdef0fedcba9876543210aa55";
+  EXPECT_EQ(Bignum::from_hex(hex).to_hex(), hex);
+}
+
+TEST(Bignum, HexLeadingZerosDropped) {
+  EXPECT_EQ(Bignum::from_hex("000001").to_hex(), "1");
+  EXPECT_EQ(Bignum::from_hex("0000").to_hex(), "0");
+}
+
+TEST(Bignum, HexRejectsGarbage) {
+  EXPECT_THROW(Bignum::from_hex("xyz"), std::invalid_argument);
+}
+
+TEST(Bignum, BytesRoundTrip) {
+  const std::vector<std::uint8_t> bytes{0x01, 0x02, 0x03, 0x04, 0x05,
+                                        0x06, 0x07, 0x08, 0x09};
+  const Bignum v = Bignum::from_bytes_be(bytes);
+  EXPECT_EQ(v.to_bytes_be(9), bytes);
+}
+
+TEST(Bignum, BytesWithLeadingZeros) {
+  const std::vector<std::uint8_t> bytes{0x00, 0x00, 0xff};
+  const Bignum v = Bignum::from_bytes_be(bytes);
+  EXPECT_EQ(v.to_u64(), 0xffu);
+  EXPECT_EQ(v.to_bytes_be(3), bytes);
+}
+
+TEST(Bignum, ToBytesThrowsWhenTooSmall) {
+  const Bignum v = Bignum::from_hex("112233");
+  EXPECT_THROW(v.to_bytes_be(2), std::length_error);
+}
+
+TEST(Bignum, BitLength) {
+  EXPECT_EQ(Bignum(1).bit_length(), 1u);
+  EXPECT_EQ(Bignum(255).bit_length(), 8u);
+  EXPECT_EQ(Bignum(256).bit_length(), 9u);
+  EXPECT_EQ(Bignum::from_hex("1" + std::string(32, '0')).bit_length(), 129u);
+}
+
+TEST(Bignum, BitAccess) {
+  const Bignum v(0b1010);
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_FALSE(v.bit(64));
+  EXPECT_FALSE(v.bit(1000));
+}
+
+TEST(Bignum, Comparisons) {
+  const Bignum a(5), b(9);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a >= a);
+  EXPECT_TRUE(a == a);
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(Bignum::from_hex("10000000000000000") > Bignum(~0ULL));
+}
+
+TEST(Bignum, AddCarryPropagation) {
+  const Bignum max64(~0ULL);
+  const Bignum sum = max64.add(Bignum(1));
+  EXPECT_EQ(sum.to_hex(), "10000000000000000");
+}
+
+TEST(Bignum, AddZeroIdentity) {
+  const Bignum a = Bignum::from_hex("abc123");
+  EXPECT_EQ(a.add(Bignum()).to_hex(), "abc123");
+}
+
+TEST(Bignum, SubBasic) {
+  EXPECT_EQ(Bignum(100).sub(Bignum(58)).to_u64(), 42u);
+}
+
+TEST(Bignum, SubBorrowAcrossLimbs) {
+  const Bignum big = Bignum::from_hex("10000000000000000");
+  EXPECT_EQ(big.sub(Bignum(1)).to_hex(), "ffffffffffffffff");
+}
+
+TEST(Bignum, SubUnderflowThrows) {
+  EXPECT_THROW(Bignum(1).sub(Bignum(2)), std::underflow_error);
+}
+
+TEST(Bignum, SubSelfIsZero) {
+  const Bignum a = Bignum::from_hex("ffffffffffffffffffffffff");
+  EXPECT_TRUE(a.sub(a).is_zero());
+}
+
+TEST(Bignum, MulBasic) {
+  EXPECT_EQ(Bignum(6).mul(Bignum(7)).to_u64(), 42u);
+}
+
+TEST(Bignum, MulByZero) {
+  EXPECT_TRUE(Bignum::from_hex("abcdef").mul(Bignum()).is_zero());
+}
+
+TEST(Bignum, MulWideProduct) {
+  const Bignum a(~0ULL);
+  EXPECT_EQ(a.mul(a).to_hex(), "fffffffffffffffe0000000000000001");
+}
+
+TEST(Bignum, ShiftRoundTrip) {
+  const Bignum a = Bignum::from_hex("123456789abcdef");
+  for (std::size_t s : {1u, 7u, 63u, 64u, 65u, 130u}) {
+    EXPECT_EQ(a.shl(s).shr(s), a) << "shift=" << s;
+  }
+}
+
+TEST(Bignum, ShlMultipliesByPowerOfTwo) {
+  EXPECT_EQ(Bignum(3).shl(4).to_u64(), 48u);
+}
+
+TEST(Bignum, ShrDropsLowBits) {
+  EXPECT_EQ(Bignum(0xff).shr(4).to_u64(), 0xfu);
+  EXPECT_TRUE(Bignum(1).shr(1).is_zero());
+  EXPECT_TRUE(Bignum(5).shr(200).is_zero());
+}
+
+TEST(Bignum, DivModSmall) {
+  const DivMod r = Bignum(17).divmod(Bignum(5));
+  EXPECT_EQ(r.quotient.to_u64(), 3u);
+  EXPECT_EQ(r.remainder.to_u64(), 2u);
+}
+
+TEST(Bignum, DivModByLargerDivisor) {
+  const DivMod r = Bignum(5).divmod(Bignum(17));
+  EXPECT_TRUE(r.quotient.is_zero());
+  EXPECT_EQ(r.remainder.to_u64(), 5u);
+}
+
+TEST(Bignum, DivModByZeroThrows) {
+  EXPECT_THROW(Bignum(5).divmod(Bignum()), std::domain_error);
+}
+
+TEST(Bignum, DivModExact) {
+  const Bignum a = Bignum::from_hex("100000000000000000000");  // divisible by 16
+  const DivMod r = a.divmod(Bignum(16));
+  EXPECT_TRUE(r.remainder.is_zero());
+  EXPECT_EQ(r.quotient.to_hex(), "10000000000000000000");
+}
+
+// Property: for random a, b the identity a == q*b + r with 0 <= r < b holds.
+TEST(Bignum, DivModIdentityRandomized) {
+  util::Rng rng(1234);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t abits = 1 + rng.below(512);
+    const std::size_t bbits = 1 + rng.below(320);
+    const Bignum a = Bignum::random_bits(rng, abits);
+    const Bignum b = Bignum::random_bits(rng, bbits);
+    const DivMod r = a.divmod(b);
+    EXPECT_LT(r.remainder.cmp(b), 0);
+    EXPECT_EQ(r.quotient.mul(b).add(r.remainder), a)
+        << "a=" << a.to_hex() << " b=" << b.to_hex();
+  }
+}
+
+// Knuth-D stress: divisors crafted to trigger the qhat correction paths
+// (top limb just below 2^64, repeated max limbs in the dividend).
+TEST(Bignum, DivModQhatCorrectionCases) {
+  const Bignum a = Bignum::from_hex(
+      "ffffffffffffffffffffffffffffffffffffffffffffffff");
+  const Bignum b = Bignum::from_hex("ffffffffffffffff0000000000000001");
+  const DivMod r = a.divmod(b);
+  EXPECT_EQ(r.quotient.mul(b).add(r.remainder), a);
+  EXPECT_LT(r.remainder.cmp(b), 0);
+
+  const Bignum c = Bignum::from_hex("80000000000000000000000000000000");
+  const Bignum d = Bignum::from_hex("80000000000000000000000000000001");
+  const DivMod r2 = c.divmod(d);
+  EXPECT_TRUE(r2.quotient.is_zero());
+  EXPECT_EQ(r2.remainder, c);
+}
+
+TEST(Bignum, ModAgreesWithDivMod) {
+  util::Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    const Bignum a = Bignum::random_bits(rng, 256);
+    const Bignum m = Bignum::random_bits(rng, 128);
+    EXPECT_EQ(a.mod(m), a.divmod(m).remainder);
+  }
+}
+
+TEST(Bignum, ModMulMatchesU64) {
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.below(1u << 31);
+    const std::uint64_t b = rng.below(1u << 31);
+    const std::uint64_t m = 1 + rng.below((1u << 31) - 1);
+    EXPECT_EQ(Bignum::modmul(Bignum(a), Bignum(b), Bignum(m)).to_u64(),
+              (a * b) % m);
+  }
+}
+
+TEST(Bignum, ModExpSmallCases) {
+  // 3^4 mod 5 = 81 mod 5 = 1
+  EXPECT_EQ(Bignum::modexp(Bignum(3), Bignum(4), Bignum(5)).to_u64(), 1u);
+  // x^0 = 1
+  EXPECT_EQ(Bignum::modexp(Bignum(10), Bignum(), Bignum(7)).to_u64(), 1u);
+  // mod 1 => 0
+  EXPECT_TRUE(Bignum::modexp(Bignum(10), Bignum(5), Bignum(1)).is_zero());
+}
+
+TEST(Bignum, ModExpMatchesIteratedMultiplication) {
+  util::Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    const Bignum base = Bignum::random_bits(rng, 96);
+    const Bignum m = Bignum::random_bits(rng, 80);
+    const std::uint64_t e = rng.below(40);
+    Bignum expected(1);
+    for (std::uint64_t k = 0; k < e; ++k)
+      expected = Bignum::modmul(expected, base, m);
+    EXPECT_EQ(Bignum::modexp(base, Bignum(e), m), expected) << "e=" << e;
+  }
+}
+
+TEST(Bignum, ModExpFermatLittleTheorem) {
+  // p prime, gcd(a,p)=1 => a^(p-1) = 1 mod p.
+  const Bignum p(1000000007ULL);
+  util::Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    const Bignum a = Bignum::random_below(rng, p.sub(Bignum(2))).add(Bignum(2));
+    EXPECT_TRUE(Bignum::modexp(a, p.sub(Bignum(1)), p).is_one());
+  }
+}
+
+TEST(Bignum, GcdBasics) {
+  EXPECT_EQ(Bignum::gcd(Bignum(12), Bignum(18)).to_u64(), 6u);
+  EXPECT_EQ(Bignum::gcd(Bignum(7), Bignum(13)).to_u64(), 1u);
+  EXPECT_EQ(Bignum::gcd(Bignum(0), Bignum(5)).to_u64(), 5u);
+  EXPECT_EQ(Bignum::gcd(Bignum(5), Bignum(0)).to_u64(), 5u);
+}
+
+TEST(Bignum, ModInvBasic) {
+  // 3 * 4 = 12 = 1 mod 11.
+  EXPECT_EQ(Bignum::modinv(Bignum(3), Bignum(11)).to_u64(), 4u);
+}
+
+TEST(Bignum, ModInvRandomized) {
+  util::Rng rng(17);
+  const Bignum p(1000000007ULL);  // prime modulus: everything is invertible
+  for (int i = 0; i < 100; ++i) {
+    const Bignum a = Bignum::random_below(rng, p.sub(Bignum(1))).add(Bignum(1));
+    const Bignum inv = Bignum::modinv(a, p);
+    EXPECT_TRUE(Bignum::modmul(a, inv, p).is_one()) << a.to_hex();
+  }
+}
+
+TEST(Bignum, ModInvLargeModulus) {
+  util::Rng rng(19);
+  const Bignum m = Bignum::random_bits(rng, 512).add(Bignum(1));
+  for (int i = 0; i < 20; ++i) {
+    const Bignum a = Bignum::random_below(rng, m);
+    if (!Bignum::gcd(a, m).is_one()) continue;
+    EXPECT_TRUE(Bignum::modmul(a, Bignum::modinv(a, m), m).is_one());
+  }
+}
+
+TEST(Bignum, ModInvNonInvertibleThrows) {
+  EXPECT_THROW(Bignum::modinv(Bignum(4), Bignum(8)), std::domain_error);
+  EXPECT_THROW(Bignum::modinv(Bignum(0), Bignum(7)), std::domain_error);
+}
+
+TEST(Bignum, RandomBelowRespectsBound) {
+  util::Rng rng(23);
+  const Bignum bound = Bignum::from_hex("10000000000000001");
+  for (int i = 0; i < 100; ++i)
+    EXPECT_LT(Bignum::random_below(rng, bound).cmp(bound), 0);
+}
+
+TEST(Bignum, RandomBelowZeroBoundThrows) {
+  util::Rng rng(27);
+  EXPECT_THROW(Bignum::random_below(rng, Bignum()), std::invalid_argument);
+}
+
+TEST(Bignum, RandomBitsExactLength) {
+  util::Rng rng(29);
+  for (std::size_t bits : {1u, 8u, 63u, 64u, 65u, 255u, 256u, 513u}) {
+    EXPECT_EQ(Bignum::random_bits(rng, bits).bit_length(), bits);
+  }
+}
+
+}  // namespace
+}  // namespace eyw::crypto

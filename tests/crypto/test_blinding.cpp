@@ -1,0 +1,166 @@
+#include "crypto/blinding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eyw::crypto {
+namespace {
+
+struct Roster {
+  DhGroup group;
+  std::vector<DhKeyPair> keys;
+  std::vector<Bignum> publics;
+  std::vector<BlindingParticipant> participants;
+};
+
+Roster make_roster(std::size_t n, std::uint64_t seed) {
+  static const DhGroup group = [] {
+    util::Rng rng(5150);
+    return DhGroup::generate(rng, 128);
+  }();
+  Roster r{.group = group, .keys = {}, .publics = {}, .participants = {}};
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    r.keys.push_back(dh_keygen(group, rng));
+    r.publics.push_back(r.keys.back().public_key);
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    r.participants.emplace_back(group, i, r.keys[i],
+                                std::span<const Bignum>(r.publics));
+  return r;
+}
+
+TEST(Blinding, SharesOfZeroCancel) {
+  const Roster r = make_roster(5, 1);
+  const std::size_t cells = 16;
+  std::vector<BlindCell> sum(cells, 0);
+  for (const auto& p : r.participants) {
+    const auto b = p.blinding_vector(cells, /*round=*/0);
+    for (std::size_t m = 0; m < cells; ++m) sum[m] += b[m];
+  }
+  for (std::size_t m = 0; m < cells; ++m) EXPECT_EQ(sum[m], 0u) << "cell " << m;
+}
+
+TEST(Blinding, TwoParticipantsCancel) {
+  const Roster r = make_roster(2, 2);
+  const auto b0 = r.participants[0].blinding_vector(8, 3);
+  const auto b1 = r.participants[1].blinding_vector(8, 3);
+  for (std::size_t m = 0; m < 8; ++m)
+    EXPECT_EQ(static_cast<BlindCell>(b0[m] + b1[m]), 0u);
+}
+
+TEST(Blinding, AggregationRecoversPlaintextSum) {
+  const Roster r = make_roster(4, 3);
+  const std::size_t cells = 10;
+  std::vector<std::vector<BlindCell>> plain(4);
+  std::vector<std::vector<BlindCell>> reports;
+  for (std::size_t i = 0; i < 4; ++i) {
+    plain[i].resize(cells);
+    for (std::size_t m = 0; m < cells; ++m)
+      plain[i][m] = static_cast<BlindCell>(i * 100 + m);
+    reports.push_back(r.participants[i].blind(plain[i], /*round=*/7));
+  }
+  const auto agg = aggregate_blinded(reports);
+  for (std::size_t m = 0; m < cells; ++m) {
+    BlindCell expected = 0;
+    for (std::size_t i = 0; i < 4; ++i) expected += plain[i][m];
+    EXPECT_EQ(agg[m], expected);
+  }
+}
+
+TEST(Blinding, SingleBlindedReportLooksRandom) {
+  // A lone blinded report must not equal the plaintext (overwhelming prob.).
+  const Roster r = make_roster(3, 4);
+  const std::vector<BlindCell> plain(32, 5);
+  const auto blinded = r.participants[0].blind(plain, 0);
+  std::size_t equal = 0;
+  for (std::size_t m = 0; m < plain.size(); ++m)
+    if (blinded[m] == plain[m]) ++equal;
+  EXPECT_LT(equal, 3u);
+}
+
+TEST(Blinding, RoundsAreIndependent) {
+  const Roster r = make_roster(3, 5);
+  const auto b0 = r.participants[0].blinding_vector(8, /*round=*/1);
+  const auto b1 = r.participants[0].blinding_vector(8, /*round=*/2);
+  EXPECT_NE(b0, b1);
+}
+
+TEST(Blinding, MissingClientLeavesResidue) {
+  const Roster r = make_roster(5, 6);
+  const std::size_t cells = 8;
+  // Client 2 never reports.
+  std::vector<std::vector<BlindCell>> reports;
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (i == 2) continue;
+    reports.push_back(
+        r.participants[i].blind(std::vector<BlindCell>(cells, 1), 0));
+  }
+  auto agg = aggregate_blinded(reports);
+  // Aggregate without adjustment is garbage: != 4 in at least one cell.
+  bool any_wrong = false;
+  for (std::size_t m = 0; m < cells; ++m) any_wrong |= agg[m] != 4u;
+  EXPECT_TRUE(any_wrong);
+}
+
+TEST(Blinding, AdjustmentRoundCancelsMissingClients) {
+  const Roster r = make_roster(6, 7);
+  const std::size_t cells = 12;
+  const std::vector<std::size_t> missing{1, 4};
+  std::vector<std::vector<BlindCell>> reports;
+  std::vector<std::size_t> reporters;
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (i == 1 || i == 4) continue;
+    reporters.push_back(i);
+    reports.push_back(
+        r.participants[i].blind(std::vector<BlindCell>(cells, 2), 9));
+  }
+  auto agg = aggregate_blinded(reports);
+  for (std::size_t i : reporters) {
+    const auto adj = r.participants[i].adjustment_for_missing(
+        cells, 9, std::span<const std::size_t>(missing));
+    apply_adjustment(agg, adj);
+  }
+  for (std::size_t m = 0; m < cells; ++m)
+    EXPECT_EQ(agg[m], 8u) << "cell " << m;  // 4 reporters x 2
+}
+
+TEST(Blinding, AdjustmentRejectsSelf) {
+  const Roster r = make_roster(3, 8);
+  const std::vector<std::size_t> missing{0};
+  EXPECT_THROW(r.participants[0].adjustment_for_missing(4, 0, missing),
+               std::invalid_argument);
+}
+
+TEST(Blinding, AdjustmentRejectsUnknownIndex) {
+  const Roster r = make_roster(3, 9);
+  const std::vector<std::size_t> missing{7};
+  EXPECT_THROW(r.participants[0].adjustment_for_missing(4, 0, missing),
+               std::invalid_argument);
+}
+
+TEST(Blinding, ConstructorValidatesRoster) {
+  const Roster r = make_roster(3, 10);
+  EXPECT_THROW(BlindingParticipant(r.group, 5, r.keys[0],
+                                   std::span<const Bignum>(r.publics)),
+               std::invalid_argument);
+  // Index/key mismatch.
+  EXPECT_THROW(BlindingParticipant(r.group, 1, r.keys[0],
+                                   std::span<const Bignum>(r.publics)),
+               std::invalid_argument);
+}
+
+TEST(Blinding, AggregateRejectsMismatchedSizes) {
+  std::vector<std::vector<BlindCell>> reports{{1, 2}, {1, 2, 3}};
+  EXPECT_THROW(aggregate_blinded(reports), std::invalid_argument);
+}
+
+TEST(Blinding, RosterBytesScalesQuadratically) {
+  const DhGroup g = DhGroup::rfc3526_2048();
+  EXPECT_EQ(roster_bytes(g, 0), 0u);
+  EXPECT_EQ(roster_bytes(g, 1), 256u);
+  // n elements up + n(n-1) down.
+  EXPECT_EQ(roster_bytes(g, 10), (10 + 90) * 256u);
+}
+
+}  // namespace
+}  // namespace eyw::crypto

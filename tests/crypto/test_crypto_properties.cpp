@@ -1,0 +1,140 @@
+// Property-style parameterized sweeps over the crypto substrate:
+// algebraic identities that must hold for every parameter size and seed.
+#include <gtest/gtest.h>
+
+#include "crypto/blinding.hpp"
+#include "crypto/oprf.hpp"
+#include "crypto/prime.hpp"
+
+namespace eyw::crypto {
+namespace {
+
+// ---------- Bignum ring axioms over random operands ----------
+
+class BignumAxioms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BignumAxioms, AdditionCommutesAndAssociates) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const Bignum a = Bignum::random_bits(rng, 1 + rng.below(300));
+    const Bignum b = Bignum::random_bits(rng, 1 + rng.below(300));
+    const Bignum c = Bignum::random_bits(rng, 1 + rng.below(300));
+    EXPECT_EQ(a.add(b), b.add(a));
+    EXPECT_EQ(a.add(b).add(c), a.add(b.add(c)));
+  }
+}
+
+TEST_P(BignumAxioms, MultiplicationDistributes) {
+  util::Rng rng(GetParam() ^ 0xbeef);
+  for (int i = 0; i < 20; ++i) {
+    const Bignum a = Bignum::random_bits(rng, 1 + rng.below(200));
+    const Bignum b = Bignum::random_bits(rng, 1 + rng.below(200));
+    const Bignum c = Bignum::random_bits(rng, 1 + rng.below(200));
+    EXPECT_EQ(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    EXPECT_EQ(a.mul(b), b.mul(a));
+  }
+}
+
+TEST_P(BignumAxioms, SubInvertsAdd) {
+  util::Rng rng(GetParam() ^ 0xcafe);
+  for (int i = 0; i < 20; ++i) {
+    const Bignum a = Bignum::random_bits(rng, 1 + rng.below(400));
+    const Bignum b = Bignum::random_bits(rng, 1 + rng.below(400));
+    EXPECT_EQ(a.add(b).sub(b), a);
+  }
+}
+
+TEST_P(BignumAxioms, ModExpProductRule) {
+  // b^(e1+e2) == b^e1 * b^e2 (mod m)
+  util::Rng rng(GetParam() ^ 0xf00d);
+  const Bignum m = Bignum::random_bits(rng, 128).add(Bignum(1));
+  const Bignum b = Bignum::random_bits(rng, 100);
+  const Bignum e1(rng.below(1000));
+  const Bignum e2(rng.below(1000));
+  const Bignum lhs = Bignum::modexp(b, e1.add(e2), m);
+  const Bignum rhs =
+      Bignum::modmul(Bignum::modexp(b, e1, m), Bignum::modexp(b, e2, m), m);
+  EXPECT_EQ(lhs, rhs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BignumAxioms,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// ---------- OPRF consistency across modulus sizes ----------
+
+class OprfSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OprfSizes, BlindEvaluationMatchesDirect) {
+  util::Rng rng(GetParam());
+  const OprfServer server(rng, GetParam());
+  const OprfClient client(server.public_key());
+  for (int i = 0; i < 3; ++i) {
+    const std::string url = "https://sweep.test/" + std::to_string(i);
+    const OprfBlinded blinded = client.blind(url, rng);
+    const Bignum resp = server.evaluate_blinded(blinded.blinded_element);
+    EXPECT_EQ(client.finalize(url, blinded, resp).prf,
+              server.evaluate_direct(url).prf);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ModulusBits, OprfSizes,
+                         ::testing::Values(128, 192, 256, 384, 512));
+
+// ---------- Blinding cancellation across roster sizes & rounds ----------
+
+struct BlindingCase {
+  std::size_t roster;
+  std::size_t cells;
+  std::uint64_t round;
+};
+
+class BlindingSweep : public ::testing::TestWithParam<BlindingCase> {};
+
+TEST_P(BlindingSweep, SharesAlwaysCancel) {
+  const auto& p = GetParam();
+  static const DhGroup group = [] {
+    util::Rng rng(606);
+    return DhGroup::generate(rng, 128);
+  }();
+  util::Rng rng(p.roster * 1000 + p.round);
+  std::vector<DhKeyPair> keys;
+  std::vector<Bignum> publics;
+  for (std::size_t i = 0; i < p.roster; ++i) {
+    keys.push_back(dh_keygen(group, rng));
+    publics.push_back(keys.back().public_key);
+  }
+  std::vector<BlindCell> sum(p.cells, 0);
+  for (std::size_t i = 0; i < p.roster; ++i) {
+    const BlindingParticipant participant(group, i, keys[i],
+                                          std::span<const Bignum>(publics));
+    const auto b = participant.blinding_vector(p.cells, p.round);
+    for (std::size_t m = 0; m < p.cells; ++m) sum[m] += b[m];
+  }
+  for (std::size_t m = 0; m < p.cells; ++m) EXPECT_EQ(sum[m], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RosterAndGeometry, BlindingSweep,
+    ::testing::Values(BlindingCase{2, 8, 0}, BlindingCase{3, 64, 1},
+                      BlindingCase{5, 33, 2}, BlindingCase{8, 128, 3},
+                      BlindingCase{13, 17, 99}));
+
+// ---------- Prime generation across sizes ----------
+
+class PrimeSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrimeSizes, GeneratedPrimesPassIndependentRounds) {
+  util::Rng gen_rng(GetParam());
+  util::Rng check_rng(GetParam() ^ 0x5a5a);
+  const Bignum p = generate_prime(gen_rng, GetParam());
+  EXPECT_EQ(p.bit_length(), GetParam());
+  EXPECT_TRUE(is_probable_prime(p, check_rng, 32));
+  // p-1 must be even (every prime > 2 is odd).
+  EXPECT_TRUE(p.is_odd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, PrimeSizes,
+                         ::testing::Values(16, 24, 32, 48, 64, 96, 128, 160));
+
+}  // namespace
+}  // namespace eyw::crypto

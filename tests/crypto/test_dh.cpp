@@ -1,0 +1,82 @@
+#include "crypto/dh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/prime.hpp"
+
+namespace eyw::crypto {
+namespace {
+
+// A shared small test group (safe-prime generation is the slow part).
+const DhGroup& test_group() {
+  static const DhGroup g = [] {
+    util::Rng rng(2024);
+    return DhGroup::generate(rng, 128);
+  }();
+  return g;
+}
+
+TEST(Dh, GeneratedGroupIsSafePrime) {
+  util::Rng rng(1);
+  EXPECT_TRUE(is_probable_prime(test_group().p, rng));
+  EXPECT_TRUE(is_probable_prime(test_group().p.shr(1), rng));
+}
+
+TEST(Dh, Rfc3526GroupLoads) {
+  const DhGroup g = DhGroup::rfc3526_2048();
+  EXPECT_EQ(g.p.bit_length(), 2048u);
+  EXPECT_EQ(g.g.to_u64(), 2u);
+  EXPECT_EQ(g.element_bytes(), 256u);
+}
+
+TEST(Dh, Rfc3526PrimeIsProbablePrime) {
+  util::Rng rng(2);
+  EXPECT_TRUE(is_probable_prime(DhGroup::rfc3526_2048().p, rng, 8));
+}
+
+TEST(Dh, KeyAgreement) {
+  util::Rng rng(3);
+  const DhKeyPair alice = dh_keygen(test_group(), rng);
+  const DhKeyPair bob = dh_keygen(test_group(), rng);
+  const Bignum s_ab =
+      dh_shared_secret(test_group(), alice.private_key, bob.public_key);
+  const Bignum s_ba =
+      dh_shared_secret(test_group(), bob.private_key, alice.public_key);
+  EXPECT_EQ(s_ab, s_ba);
+  EXPECT_FALSE(s_ab.is_zero());
+}
+
+TEST(Dh, DistinctPairsDistinctSecrets) {
+  util::Rng rng(4);
+  const DhKeyPair a = dh_keygen(test_group(), rng);
+  const DhKeyPair b = dh_keygen(test_group(), rng);
+  const DhKeyPair c = dh_keygen(test_group(), rng);
+  const Bignum s_ab = dh_shared_secret(test_group(), a.private_key, b.public_key);
+  const Bignum s_ac = dh_shared_secret(test_group(), a.private_key, c.public_key);
+  EXPECT_NE(s_ab, s_ac);
+}
+
+TEST(Dh, PublicKeyMatchesExponentiation) {
+  util::Rng rng(5);
+  const DhKeyPair kp = dh_keygen(test_group(), rng);
+  EXPECT_EQ(kp.public_key,
+            Bignum::modexp(test_group().g, kp.private_key, test_group().p));
+}
+
+TEST(Dh, PrivateKeyInRange) {
+  util::Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    const DhKeyPair kp = dh_keygen(test_group(), rng);
+    EXPECT_FALSE(kp.private_key.is_zero());
+    EXPECT_LT(kp.private_key.cmp(test_group().p.sub(Bignum(1))), 0);
+  }
+}
+
+TEST(Dh, SecretToKeyDeterministic) {
+  const Bignum s = Bignum::from_hex("abcdef0123456789");
+  EXPECT_EQ(dh_secret_to_key(s), dh_secret_to_key(s));
+  EXPECT_NE(dh_secret_to_key(s), dh_secret_to_key(s.add(Bignum(1))));
+}
+
+}  // namespace
+}  // namespace eyw::crypto

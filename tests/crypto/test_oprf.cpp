@@ -1,0 +1,127 @@
+#include "crypto/oprf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace eyw::crypto {
+namespace {
+
+class OprfTest : public ::testing::Test {
+ protected:
+  static const OprfServer& server() {
+    static const OprfServer s = [] {
+      util::Rng rng(777);
+      return OprfServer(rng, 256);
+    }();
+    return s;
+  }
+  static OprfClient client() { return OprfClient(server().public_key()); }
+};
+
+TEST_F(OprfTest, BlindEvaluationMatchesDirect) {
+  util::Rng rng(1);
+  const OprfClient c = client();
+  for (const char* url :
+       {"https://ads.example.com/creative/123",
+        "https://cdn.adnet.io/banner?id=9", "x"}) {
+    const OprfBlinded blinded = c.blind(url, rng);
+    const Bignum response = server().evaluate_blinded(blinded.blinded_element);
+    const OprfOutput via_protocol = c.finalize(url, blinded, response);
+    const OprfOutput direct = server().evaluate_direct(url);
+    EXPECT_EQ(via_protocol.prf, direct.prf) << url;
+  }
+}
+
+TEST_F(OprfTest, DeterministicAcrossBlindings) {
+  // Different blinding factors r must yield the same PRF output.
+  util::Rng r1(2), r2(3);
+  const OprfClient c = client();
+  const std::string url = "https://ads.example.com/a";
+  const OprfBlinded b1 = c.blind(url, r1);
+  const OprfBlinded b2 = c.blind(url, r2);
+  EXPECT_NE(b1.blinded_element, b2.blinded_element);  // blinding is fresh
+  const OprfOutput o1 =
+      c.finalize(url, b1, server().evaluate_blinded(b1.blinded_element));
+  const OprfOutput o2 =
+      c.finalize(url, b2, server().evaluate_blinded(b2.blinded_element));
+  EXPECT_EQ(o1.prf, o2.prf);
+}
+
+TEST_F(OprfTest, DistinctInputsDistinctOutputs) {
+  std::set<std::uint64_t> outputs;
+  for (int i = 0; i < 50; ++i) {
+    const std::string url = "https://ads.example.com/" + std::to_string(i);
+    outputs.insert(digest_to_u64(server().evaluate_direct(url).prf));
+  }
+  EXPECT_EQ(outputs.size(), 50u);
+}
+
+TEST_F(OprfTest, BlindedElementHidesInput) {
+  // The blinded element for the same input under different randomness is
+  // uniformly re-randomized — check it differs across all draws.
+  util::Rng rng(4);
+  const OprfClient c = client();
+  std::set<std::string> blinded;
+  for (int i = 0; i < 20; ++i)
+    blinded.insert(c.blind("same-url", rng).blinded_element.to_hex());
+  EXPECT_EQ(blinded.size(), 20u);
+}
+
+TEST_F(OprfTest, FinalizeRejectsBogusResponse) {
+  util::Rng rng(5);
+  const OprfClient c = client();
+  const OprfBlinded b = c.blind("https://x", rng);
+  const Bignum bogus = b.blinded_element;  // not exponentiated by d
+  EXPECT_THROW((void)c.finalize("https://x", b, bogus), std::runtime_error);
+}
+
+TEST_F(OprfTest, FinalizeRejectsResponseForOtherInput) {
+  util::Rng rng(6);
+  const OprfClient c = client();
+  const OprfBlinded b1 = c.blind("url-1", rng);
+  const OprfBlinded b2 = c.blind("url-2", rng);
+  const Bignum resp2 = server().evaluate_blinded(b2.blinded_element);
+  EXPECT_THROW((void)c.finalize("url-1", b1, resp2), std::runtime_error);
+}
+
+TEST_F(OprfTest, AdIdMappingInRange) {
+  for (int i = 0; i < 30; ++i) {
+    const auto out =
+        server().evaluate_direct("https://a/" + std::to_string(i));
+    EXPECT_LT(out.to_ad_id(1000), 1000u);
+    EXPECT_LT(out.to_ad_id(7), 7u);
+  }
+}
+
+TEST_F(OprfTest, BytesPerEvaluationIsTwoGroupElements) {
+  EXPECT_EQ(client().bytes_per_evaluation(), 2 * 32u);  // 256-bit modulus
+}
+
+TEST_F(OprfTest, EvaluationCounterAdvances) {
+  util::Rng rng(7);
+  const OprfClient c = client();
+  const auto before = server().evaluations();
+  const OprfBlinded b = c.blind("count-me", rng);
+  (void)server().evaluate_blinded(b.blinded_element);
+  EXPECT_EQ(server().evaluations(), before + 1);
+}
+
+TEST(HashToZn, StaysInRangeAndNondegenerate) {
+  const Bignum n = Bignum::from_hex("f000000000000000000000000000001d");
+  for (int i = 0; i < 50; ++i) {
+    const Bignum h = hash_to_zn("input" + std::to_string(i), n);
+    EXPECT_LT(h.cmp(n), 0);
+    EXPECT_FALSE(h.is_zero());
+    EXPECT_FALSE(h.is_one());
+  }
+}
+
+TEST(HashToZn, Deterministic) {
+  const Bignum n = Bignum::from_hex("f000000000000000000000000000001d");
+  EXPECT_EQ(hash_to_zn("abc", n), hash_to_zn("abc", n));
+  EXPECT_NE(hash_to_zn("abc", n), hash_to_zn("abd", n));
+}
+
+}  // namespace
+}  // namespace eyw::crypto

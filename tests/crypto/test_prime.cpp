@@ -1,0 +1,80 @@
+#include "crypto/prime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eyw::crypto {
+namespace {
+
+TEST(Prime, SmallPrimesRecognized) {
+  util::Rng rng(1);
+  for (std::uint64_t p : {2u, 3u, 5u, 7u, 11u, 13u, 97u, 541u, 997u})
+    EXPECT_TRUE(is_probable_prime(Bignum(p), rng)) << p;
+}
+
+TEST(Prime, SmallCompositesRejected) {
+  util::Rng rng(2);
+  for (std::uint64_t c : {0u, 1u, 4u, 6u, 9u, 15u, 21u, 100u, 561u, 991u * 3u})
+    EXPECT_FALSE(is_probable_prime(Bignum(c), rng)) << c;
+}
+
+TEST(Prime, CarmichaelNumbersRejected) {
+  // Classic Fermat pseudoprimes that Miller-Rabin must still reject.
+  util::Rng rng(3);
+  for (std::uint64_t c : {561u, 1105u, 1729u, 2465u, 2821u, 6601u, 8911u})
+    EXPECT_FALSE(is_probable_prime(Bignum(c), rng)) << c;
+}
+
+TEST(Prime, KnownLargePrime) {
+  util::Rng rng(4);
+  // 2^89 - 1 is a Mersenne prime.
+  const Bignum m89 = Bignum(1).shl(89).sub(Bignum(1));
+  EXPECT_TRUE(is_probable_prime(m89, rng));
+  // 2^90 - 1 is composite.
+  const Bignum m90 = Bignum(1).shl(90).sub(Bignum(1));
+  EXPECT_FALSE(is_probable_prime(m90, rng));
+}
+
+TEST(Prime, EvenNumbersRejectedFast) {
+  util::Rng rng(5);
+  const Bignum big_even = Bignum::from_hex("123456789abcdef0");
+  EXPECT_FALSE(is_probable_prime(big_even, rng));
+}
+
+TEST(Prime, GeneratedPrimeHasRequestedBits) {
+  util::Rng rng(6);
+  for (std::size_t bits : {16u, 32u, 64u, 128u}) {
+    const Bignum p = generate_prime(rng, bits);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(is_probable_prime(p, rng));
+  }
+}
+
+TEST(Prime, GenerateRejectsTinyRequest) {
+  util::Rng rng(7);
+  EXPECT_THROW(generate_prime(rng, 4), std::invalid_argument);
+}
+
+TEST(Prime, RsaPrimeCoprimeToE) {
+  util::Rng rng(8);
+  const Bignum e(65537);
+  const Bignum p = generate_rsa_prime(rng, 96, e);
+  EXPECT_TRUE(Bignum::gcd(p.sub(Bignum(1)), e).is_one());
+  EXPECT_TRUE(is_probable_prime(p, rng));
+}
+
+TEST(Prime, SafePrimeStructure) {
+  util::Rng rng(9);
+  const Bignum p = generate_safe_prime(rng, 64);
+  EXPECT_TRUE(is_probable_prime(p, rng));
+  const Bignum q = p.shr(1);  // (p-1)/2 since p is odd
+  EXPECT_TRUE(is_probable_prime(q, rng));
+  EXPECT_EQ(p.bit_length(), 64u);
+}
+
+TEST(Prime, DeterministicGivenSeed) {
+  util::Rng a(42), b(42);
+  EXPECT_EQ(generate_prime(a, 64), generate_prime(b, 64));
+}
+
+}  // namespace
+}  // namespace eyw::crypto

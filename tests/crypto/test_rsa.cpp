@@ -1,0 +1,74 @@
+#include "crypto/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eyw::crypto {
+namespace {
+
+class RsaTest : public ::testing::Test {
+ protected:
+  // One shared 256-bit key for the whole suite: keygen dominates runtime.
+  static const RsaKeyPair& key() {
+    static const RsaKeyPair k = [] {
+      util::Rng rng(1001);
+      return rsa_generate(rng, 256);
+    }();
+    return k;
+  }
+};
+
+TEST_F(RsaTest, ModulusHasRequestedBits) {
+  EXPECT_EQ(key().pub.n.bit_length(), 256u);
+  EXPECT_EQ(key().pub.modulus_bytes(), 32u);
+}
+
+TEST_F(RsaTest, PublicExponentIsF4) {
+  EXPECT_EQ(key().pub.e.to_u64(), 65537u);
+}
+
+TEST_F(RsaTest, RoundTripPrivateThenPublic) {
+  util::Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const Bignum x = Bignum::random_below(rng, key().pub.n);
+    const Bignum sig = rsa_private_apply(key(), x);
+    EXPECT_EQ(rsa_public_apply(key().pub, sig), x);
+  }
+}
+
+TEST_F(RsaTest, RoundTripPublicThenPrivate) {
+  util::Rng rng(6);
+  const Bignum x = Bignum::random_below(rng, key().pub.n);
+  const Bignum c = rsa_public_apply(key().pub, x);
+  EXPECT_EQ(rsa_private_apply(key(), c), x);
+}
+
+TEST_F(RsaTest, MultiplicativeHomomorphism) {
+  // (ab)^d = a^d b^d mod N — the property blind signatures rely on.
+  util::Rng rng(7);
+  const Bignum a = Bignum::random_below(rng, key().pub.n);
+  const Bignum b = Bignum::random_below(rng, key().pub.n);
+  const Bignum ab = Bignum::modmul(a, b, key().pub.n);
+  const Bignum lhs = rsa_private_apply(key(), ab);
+  const Bignum rhs = Bignum::modmul(rsa_private_apply(key(), a),
+                                    rsa_private_apply(key(), b), key().pub.n);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_F(RsaTest, RejectsOutOfRangeInput) {
+  EXPECT_THROW(rsa_public_apply(key().pub, key().pub.n), std::invalid_argument);
+  EXPECT_THROW(rsa_private_apply(key(), key().pub.n), std::invalid_argument);
+}
+
+TEST(Rsa, GenerateRejectsBadParams) {
+  util::Rng rng(8);
+  EXPECT_THROW(rsa_generate(rng, 100), std::invalid_argument);  // < 128
+  EXPECT_THROW(rsa_generate(rng, 129), std::invalid_argument);  // odd
+}
+
+TEST(Rsa, DistinctKeysForDistinctSeeds) {
+  util::Rng r1(1), r2(2);
+  EXPECT_NE(rsa_generate(r1, 128).pub.n, rsa_generate(r2, 128).pub.n);
+}
+
+}  // namespace
+}  // namespace eyw::crypto

@@ -1,0 +1,145 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.hpp"
+
+namespace eyw::crypto {
+namespace {
+
+std::string hex_of(const Digest& d) {
+  return util::to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+// FIPS 180-4 / NIST CAVP reference vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_of(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(hex_of(h.finish()), hex_of(sha256(msg))) << "split=" << split;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // 55, 56, 63, 64, 65 bytes hit all padding branches.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 127u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha256 a;
+    a.update(msg);
+    const auto one = hex_of(a.finish());
+    Sha256 b;
+    for (char c : msg) b.update(std::string(1, c));
+    EXPECT_EQ(one, hex_of(b.finish())) << "len=" << len;
+  }
+}
+
+TEST(Sha256, UpdateU64IsBigEndianBytes) {
+  Sha256 a;
+  a.update_u64(0x0102030405060708ULL);
+  Sha256 b;
+  const std::vector<std::uint8_t> bytes{1, 2, 3, 4, 5, 6, 7, 8};
+  b.update(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  EXPECT_EQ(hex_of(a.finish()), hex_of(b.finish()));
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(hex_of(sha256("a")), hex_of(sha256("b")));
+}
+
+// RFC 4231 test case 1.
+TEST(HmacSha256, Rfc4231Case1) {
+  const auto key = util::from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  const std::string data = "Hi There";
+  const Digest mac = hmac_sha256(
+      std::span<const std::uint8_t>(key.data(), key.size()),
+      util::as_bytes(data));
+  EXPECT_EQ(hex_of(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacSha256, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const std::string data = "what do ya want for nothing?";
+  const Digest mac = hmac_sha256(util::as_bytes(key), util::as_bytes(data));
+  EXPECT_EQ(hex_of(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data.
+TEST(HmacSha256, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> data(50, 0xdd);
+  const Digest mac =
+      hmac_sha256(std::span<const std::uint8_t>(key.data(), key.size()),
+                  std::span<const std::uint8_t>(data.data(), data.size()));
+  EXPECT_EQ(hex_of(mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than the block size.
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const std::string data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const Digest mac =
+      hmac_sha256(std::span<const std::uint8_t>(key.data(), key.size()),
+                  util::as_bytes(data));
+  EXPECT_EQ(hex_of(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(DigestToU64, TakesFirstEightBytesBigEndian) {
+  Digest d{};
+  for (std::size_t i = 0; i < 8; ++i) d[i] = static_cast<std::uint8_t>(i + 1);
+  EXPECT_EQ(digest_to_u64(d), 0x0102030405060708ULL);
+}
+
+TEST(Sha256Expand, LengthAndDeterminism) {
+  const std::string seed = "seed";
+  const auto a = sha256_expand(util::as_bytes(seed), 100);
+  const auto b = sha256_expand(util::as_bytes(seed), 100);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Sha256Expand, PrefixConsistency) {
+  const std::string seed = "seed";
+  const auto small = sha256_expand(util::as_bytes(seed), 16);
+  const auto big = sha256_expand(util::as_bytes(seed), 80);
+  EXPECT_TRUE(std::equal(small.begin(), small.end(), big.begin()));
+}
+
+TEST(Sha256Expand, DifferentSeedsDiffer) {
+  const std::string s1 = "seed1", s2 = "seed2";
+  EXPECT_NE(sha256_expand(util::as_bytes(s1), 32),
+            sha256_expand(util::as_bytes(s2), 32));
+}
+
+}  // namespace
+}  // namespace eyw::crypto

@@ -1,0 +1,148 @@
+#include "simulator/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eyw::sim {
+namespace {
+
+SimConfig small_config() {
+  SimConfig cfg;
+  cfg.num_users = 30;
+  cfg.num_websites = 40;
+  cfg.num_campaigns = 30;
+  cfg.ads_per_website = 6;
+  cfg.avg_user_visits = 30;
+  cfg.pct_targeted_ads = 0.3;
+  cfg.audience_cohort = 1.0;  // everyone eligible: deterministic coverage
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(Engine, ProducesImpressions) {
+  const SimResult r = simulate(small_config());
+  EXPECT_GT(r.impressions.size(), 1000u);
+}
+
+TEST(Engine, DaysWithinHorizonAndOrdered) {
+  const SimResult r = simulate(small_config());
+  core::Day prev = 0;
+  for (const auto& si : r.impressions) {
+    EXPECT_LT(si.impression.day, 7u);
+    EXPECT_GE(si.impression.day, prev);
+    prev = si.impression.day;
+  }
+}
+
+TEST(Engine, MultiWeekHorizon) {
+  SimConfig cfg = small_config();
+  cfg.weeks = 2;
+  const SimResult r = simulate(cfg);
+  core::Day max_day = 0;
+  for (const auto& si : r.impressions)
+    max_day = std::max(max_day, si.impression.day);
+  EXPECT_GE(max_day, 7u);
+  EXPECT_LT(max_day, 14u);
+}
+
+TEST(Engine, ImpressionsReferenceRealEntities) {
+  Engine engine(World::build(small_config()));
+  const SimResult r = engine.run();
+  for (const auto& si : r.impressions) {
+    EXPECT_LT(si.impression.user, 30u);
+    EXPECT_LT(si.impression.domain, 40u);
+    EXPECT_NE(engine.ad_server().find_ad(si.impression.ad), nullptr);
+  }
+}
+
+TEST(Engine, GroundTruthConsistentWithImpressions) {
+  const SimResult r = simulate(small_config());
+  for (const auto& si : r.impressions) {
+    if (si.targeted_delivery) {
+      EXPECT_TRUE(r.is_targeted(si.impression.user, si.impression.ad));
+    }
+  }
+  // Every ground-truth pair must appear in the stream.
+  for (const auto& [pair, targeted] : r.targeted_pair) {
+    (void)targeted;
+    bool found = false;
+    for (const auto& si : r.impressions) {
+      if (si.impression.user == pair.first && si.impression.ad == pair.second) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+    if (!found) break;  // avoid quadratic blowup on failure
+  }
+}
+
+TEST(Engine, TargetedDeliveriesOnlyFromTargetedCampaigns) {
+  const SimResult r = simulate(small_config());
+  for (const auto& si : r.impressions) {
+    if (si.targeted_delivery) {
+      EXPECT_TRUE(adnet::is_targeted(si.campaign_type));
+    }
+    if (!adnet::is_targeted(si.campaign_type)) {
+      EXPECT_FALSE(si.targeted_delivery);
+    }
+  }
+}
+
+TEST(Engine, CrawlerNeverSeesTargetedAds) {
+  const SimResult r = simulate(small_config());
+  ASSERT_FALSE(r.crawler_ads.empty());
+  // Crawler ads must never coincide with any targeted ground-truth ad.
+  std::set<core::AdId> targeted_ads;
+  for (const auto& [pair, targeted] : r.targeted_pair)
+    if (targeted) targeted_ads.insert(pair.second);
+  for (const core::AdId ad : r.crawler_ads)
+    EXPECT_FALSE(targeted_ads.contains(ad)) << ad;
+}
+
+TEST(Engine, CrawlerViewCoversManySites) {
+  SimConfig cfg = small_config();
+  cfg.crawler_passes = 2;
+  const SimResult r = simulate(cfg);
+  EXPECT_GT(r.crawler_view.size(), 30u);  // nearly all 40 sites have ads
+}
+
+TEST(Engine, DeterministicForSeed) {
+  const SimResult a = simulate(small_config());
+  const SimResult b = simulate(small_config());
+  ASSERT_EQ(a.impressions.size(), b.impressions.size());
+  for (std::size_t i = 0; i < a.impressions.size(); i += 997) {
+    EXPECT_EQ(a.impressions[i].impression, b.impressions[i].impression);
+  }
+}
+
+TEST(Engine, FrequencyCapBoundsPerUserRepetitions) {
+  SimConfig cfg = small_config();
+  cfg.frequency_cap = 3;
+  const SimResult r = simulate(cfg);
+  std::map<std::pair<core::UserId, core::AdId>, int> reps;
+  for (const auto& si : r.impressions) {
+    if (si.targeted_delivery)
+      ++reps[{si.impression.user, si.impression.ad}];
+  }
+  ASSERT_FALSE(reps.empty());
+  for (const auto& [pair, n] : reps) EXPECT_LE(n, 3);
+}
+
+TEST(Engine, HigherCapMeansMoreRepetitions) {
+  SimConfig lo = small_config();
+  lo.frequency_cap = 1;
+  SimConfig hi = small_config();
+  hi.frequency_cap = 10;
+  auto mean_reps = [](const SimResult& r) {
+    std::map<std::pair<core::UserId, core::AdId>, int> reps;
+    for (const auto& si : r.impressions)
+      if (si.targeted_delivery) ++reps[{si.impression.user, si.impression.ad}];
+    double acc = 0;
+    for (const auto& [p, n] : reps) acc += n;
+    return reps.empty() ? 0.0 : acc / static_cast<double>(reps.size());
+  };
+  EXPECT_LT(mean_reps(simulate(lo)) + 0.5, mean_reps(simulate(hi)));
+}
+
+}  // namespace
+}  // namespace eyw::sim

@@ -1,0 +1,197 @@
+#include "sketch/count_min.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace eyw::sketch {
+namespace {
+
+TEST(CmsParams, PaperParameterization) {
+  // delta = epsilon = 0.001, 4-byte cells: the paper reports 185/196/207 KB
+  // (decimal kilobytes)
+  // for T = 10k/50k/100k. w = ceil(e/0.001) = 2719.
+  const CmsParams p10k = CmsParams::from_error_bounds(10'000, 0.001, 0.001);
+  EXPECT_EQ(p10k.width, 2719u);
+  EXPECT_EQ(p10k.depth, 17u);  // ceil(ln(1e7))
+  EXPECT_EQ(p10k.bytes(), 17u * 2719u * 4u);
+  EXPECT_NEAR(static_cast<double>(p10k.bytes()) / 1000.0, 185.0, 1.0);
+
+  const CmsParams p50k = CmsParams::from_error_bounds(50'000, 0.001, 0.001);
+  EXPECT_EQ(p50k.depth, 18u);
+  EXPECT_NEAR(static_cast<double>(p50k.bytes()) / 1000.0, 196.0, 1.0);
+
+  const CmsParams p100k = CmsParams::from_error_bounds(100'000, 0.001, 0.001);
+  EXPECT_EQ(p100k.depth, 19u);
+  EXPECT_NEAR(static_cast<double>(p100k.bytes()) / 1000.0, 207.0, 1.0);
+}
+
+TEST(CmsParams, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)CmsParams::from_error_bounds(0, 0.1, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)CmsParams::from_error_bounds(10, 0.0, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)CmsParams::from_error_bounds(10, 0.1, 1.5),
+               std::invalid_argument);
+}
+
+TEST(CountMin, NeverUnderestimates) {
+  CountMinSketch cms({.depth = 4, .width = 64}, /*seed=*/1);
+  std::map<std::uint64_t, std::uint32_t> truth;
+  util::Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = rng.below(300);
+    cms.update(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth)
+    EXPECT_GE(cms.query(key), count) << key;
+}
+
+TEST(CountMin, ExactWhenSparse) {
+  // Far fewer keys than width: collisions are unlikely, estimates exact.
+  CountMinSketch cms({.depth = 8, .width = 4096}, 3);
+  for (std::uint64_t k = 0; k < 20; ++k) cms.update(k, static_cast<std::uint32_t>(k + 1));
+  for (std::uint64_t k = 0; k < 20; ++k)
+    EXPECT_EQ(cms.query(k), k + 1);
+}
+
+TEST(CountMin, UnseenKeyUsuallyZeroWhenSparse) {
+  CountMinSketch cms({.depth = 8, .width = 4096}, 4);
+  for (std::uint64_t k = 0; k < 50; ++k) cms.update(k);
+  int nonzero = 0;
+  for (std::uint64_t k = 1000; k < 1100; ++k) nonzero += cms.query(k) != 0;
+  EXPECT_LE(nonzero, 2);
+}
+
+TEST(CountMin, ErrorBoundHolds) {
+  // Guarantee (2): estimate <= true + epsilon * L1 w.p. 1 - delta.
+  const double epsilon = 0.01, delta = 0.01;
+  const std::size_t n_keys = 500;
+  const CmsParams params =
+      CmsParams::from_error_bounds(n_keys, epsilon, delta);
+  CountMinSketch cms(params, 5);
+  std::map<std::uint64_t, std::uint32_t> truth;
+  util::Rng rng(6);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = rng.below(n_keys);
+    cms.update(key);
+    ++truth[key];
+  }
+  const double bound =
+      epsilon * static_cast<double>(cms.total_count());
+  std::size_t violations = 0;
+  for (const auto& [key, count] : truth)
+    if (cms.query(key) > count + bound) ++violations;
+  // delta bounds the *joint* failure probability in the paper's
+  // parameterization; allow a tiny slack for test stability.
+  EXPECT_LE(violations, 1u + static_cast<std::size_t>(delta * n_keys));
+}
+
+TEST(CountMin, WeightedUpdates) {
+  CountMinSketch cms({.depth = 4, .width = 128}, 7);
+  cms.update(42, 10);
+  cms.update(42, 5);
+  EXPECT_GE(cms.query(42), 15u);
+  EXPECT_EQ(cms.total_count(), 15u);
+}
+
+TEST(CountMin, MergeEqualsCombinedStream) {
+  const CmsParams params{.depth = 5, .width = 256};
+  CountMinSketch a(params, 11), b(params, 11), combined(params, 11);
+  util::Rng rng(8);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t key = rng.below(100);
+    if (i % 2 == 0) {
+      a.update(key);
+    } else {
+      b.update(key);
+    }
+    combined.update(key);
+  }
+  a.merge(b);
+  for (std::uint64_t k = 0; k < 100; ++k)
+    EXPECT_EQ(a.query(k), combined.query(k)) << k;
+  EXPECT_EQ(a.total_count(), combined.total_count());
+}
+
+TEST(CountMin, MergeRejectsIncompatible) {
+  CountMinSketch a({.depth = 4, .width = 64}, 1);
+  CountMinSketch b({.depth = 4, .width = 65}, 1);
+  CountMinSketch c({.depth = 4, .width = 64}, 2);  // different seed
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(CountMin, FromCellsRoundTrip) {
+  CountMinSketch cms({.depth = 4, .width = 64}, 13);
+  for (std::uint64_t k = 0; k < 30; ++k) cms.update(k, 2);
+  const auto rebuilt = CountMinSketch::from_cells(
+      cms.params(), cms.hash_seed(), cms.cells());
+  for (std::uint64_t k = 0; k < 30; ++k)
+    EXPECT_EQ(rebuilt.query(k), cms.query(k));
+  EXPECT_EQ(rebuilt.total_count(), cms.total_count());
+}
+
+TEST(CountMin, FromCellsRejectsWrongSize) {
+  const std::vector<std::uint32_t> cells(10, 0);
+  EXPECT_THROW(
+      CountMinSketch::from_cells({.depth = 4, .width = 64}, 1, cells),
+      std::invalid_argument);
+}
+
+TEST(CountMin, SameSeedSameLayout) {
+  CountMinSketch a({.depth = 4, .width = 64}, 21);
+  CountMinSketch b({.depth = 4, .width = 64}, 21);
+  a.update(99);
+  b.update(99);
+  const auto ca = a.cells();
+  const auto cb = b.cells();
+  EXPECT_TRUE(std::equal(ca.begin(), ca.end(), cb.begin()));
+}
+
+TEST(CountMin, DifferentSeedDifferentLayout) {
+  CountMinSketch a({.depth = 4, .width = 64}, 21);
+  CountMinSketch b({.depth = 4, .width = 64}, 22);
+  a.update(99);
+  b.update(99);
+  const auto ca = a.cells();
+  const auto cb = b.cells();
+  EXPECT_FALSE(std::equal(ca.begin(), ca.end(), cb.begin()));
+}
+
+TEST(CountMin, SizeBytesMatchesParams) {
+  CountMinSketch cms({.depth = 3, .width = 100}, 1);
+  EXPECT_EQ(cms.size_bytes(), 1200u);
+}
+
+TEST(CountMin, RejectsZeroDimensions) {
+  EXPECT_THROW(CountMinSketch({.depth = 0, .width = 4}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(CountMinSketch({.depth = 4, .width = 0}, 1),
+               std::invalid_argument);
+}
+
+// Property sweep: monotonicity of the estimate in update count.
+class CmsMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CmsMonotonicity, EstimateNondecreasing) {
+  CountMinSketch cms({.depth = 4, .width = 32}, GetParam());
+  std::uint32_t prev = 0;
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    cms.update(17);
+    cms.update(rng.below(64));  // background noise
+    const std::uint32_t est = cms.query(17);
+    EXPECT_GE(est, prev);
+    prev = est;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CmsMonotonicity,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+}  // namespace
+}  // namespace eyw::sketch

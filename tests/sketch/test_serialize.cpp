@@ -1,0 +1,101 @@
+#include "sketch/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace eyw::sketch {
+namespace {
+
+CountMinSketch sample_sketch() {
+  CountMinSketch cms({.depth = 3, .width = 16}, /*seed=*/42);
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) cms.update(rng.below(50));
+  return cms;
+}
+
+TEST(Serialize, SketchRoundTrip) {
+  const CountMinSketch cms = sample_sketch();
+  const auto bytes = encode_sketch(cms);
+  EXPECT_EQ(bytes.size(), encoded_size(cms.params()));
+  const DecodedFrame frame = decode_frame(bytes);
+  EXPECT_EQ(frame.kind, FrameKind::kPlainSketch);
+  EXPECT_EQ(frame.params, cms.params());
+  EXPECT_EQ(frame.hash_seed, 42u);
+  const CountMinSketch back = sketch_from_frame(frame);
+  for (std::uint64_t k = 0; k < 50; ++k)
+    EXPECT_EQ(back.query(k), cms.query(k));
+  EXPECT_EQ(back.total_count(), cms.total_count());
+}
+
+TEST(Serialize, BlindedReportRoundTrip) {
+  const CmsParams params{.depth = 2, .width = 8};
+  std::vector<std::uint32_t> cells(params.cells());
+  util::Rng rng(2);
+  for (auto& c : cells) c = static_cast<std::uint32_t>(rng.next());
+  const auto bytes = encode_blinded_report(params, /*round=*/7, cells);
+  const DecodedFrame frame = decode_frame(bytes);
+  EXPECT_EQ(frame.kind, FrameKind::kBlindedReport);
+  EXPECT_EQ(frame.round, 7u);
+  EXPECT_EQ(frame.cells, cells);
+  // Blinded frames carry no seed and cannot be rebuilt into a sketch.
+  EXPECT_EQ(frame.hash_seed, 0u);
+  EXPECT_THROW((void)sketch_from_frame(frame), std::invalid_argument);
+}
+
+TEST(Serialize, EncodeRejectsGeometryMismatch) {
+  const CmsParams params{.depth = 2, .width = 8};
+  const std::vector<std::uint32_t> wrong(7);
+  EXPECT_THROW((void)encode_blinded_report(params, 0, wrong),
+               std::invalid_argument);
+}
+
+TEST(Serialize, DecodeRejectsBadMagic) {
+  auto bytes = encode_sketch(sample_sketch());
+  bytes[0] ^= 0xff;
+  EXPECT_THROW((void)decode_frame(bytes), std::invalid_argument);
+}
+
+TEST(Serialize, DecodeRejectsBadVersion) {
+  auto bytes = encode_sketch(sample_sketch());
+  bytes[4] = 99;
+  EXPECT_THROW((void)decode_frame(bytes), std::invalid_argument);
+}
+
+TEST(Serialize, DecodeRejectsUnknownKind) {
+  auto bytes = encode_sketch(sample_sketch());
+  bytes[6] = 77;
+  EXPECT_THROW((void)decode_frame(bytes), std::invalid_argument);
+}
+
+TEST(Serialize, DecodeRejectsTruncation) {
+  const auto bytes = encode_sketch(sample_sketch());
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{3}, std::size_t{10}, bytes.size() - 1}) {
+    EXPECT_THROW(
+        (void)decode_frame(std::span<const std::uint8_t>(bytes.data(), cut)),
+        std::invalid_argument)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Serialize, DecodeRejectsTrailingGarbage) {
+  auto bytes = encode_sketch(sample_sketch());
+  bytes.push_back(0);
+  EXPECT_THROW((void)decode_frame(bytes), std::invalid_argument);
+}
+
+TEST(Serialize, DecodeRejectsDegenerateGeometry) {
+  auto bytes = encode_sketch(sample_sketch());
+  // Zero out the depth field (offset 8..11).
+  for (int i = 8; i < 12; ++i) bytes[static_cast<std::size_t>(i)] = 0;
+  EXPECT_THROW((void)decode_frame(bytes), std::invalid_argument);
+}
+
+TEST(Serialize, EncodingIsByteStableAcrossRuns) {
+  // Wire format must not depend on process state.
+  EXPECT_EQ(encode_sketch(sample_sketch()), encode_sketch(sample_sketch()));
+}
+
+}  // namespace
+}  // namespace eyw::sketch

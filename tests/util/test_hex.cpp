@@ -1,0 +1,52 @@
+#include "util/hex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eyw::util {
+namespace {
+
+TEST(Hex, EncodeBasic) {
+  const std::vector<std::uint8_t> in{0x00, 0xab, 0xff, 0x10};
+  EXPECT_EQ(to_hex(in), "00abff10");
+}
+
+TEST(Hex, EncodeEmpty) {
+  EXPECT_EQ(to_hex(std::vector<std::uint8_t>{}), "");
+}
+
+TEST(Hex, DecodeBasic) {
+  const auto out = from_hex("00abff10");
+  const std::vector<std::uint8_t> expected{0x00, 0xab, 0xff, 0x10};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Hex, DecodeUppercase) {
+  const auto out = from_hex("ABCDEF");
+  const std::vector<std::uint8_t> expected{0xab, 0xcd, 0xef};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Hex, RoundTrip) {
+  std::vector<std::uint8_t> in;
+  for (int i = 0; i < 256; ++i) in.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(from_hex(to_hex(in)), in);
+}
+
+TEST(Hex, DecodeRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Hex, DecodeRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Hex, AsBytesViewsString) {
+  const std::string s = "AB";
+  const auto b = as_bytes(s);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 'A');
+  EXPECT_EQ(b[1], 'B');
+}
+
+}  // namespace
+}  // namespace eyw::util

@@ -1,0 +1,124 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eyw::util {
+namespace {
+
+TEST(Histogram, EmptyState) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(5), 0u);
+  EXPECT_DOUBLE_EQ(h.pdf(5), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.max_value(), 0u);
+}
+
+TEST(Histogram, AddAndCount) {
+  Histogram h;
+  h.add(3);
+  h.add(3);
+  h.add(7);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(7), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h;
+  h.add(2, 10);
+  EXPECT_EQ(h.count(2), 10u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Histogram, ZeroWeightIgnored) {
+  Histogram h;
+  h.add(2, 0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(Histogram, PdfSumsToOne) {
+  Histogram h;
+  h.add(1, 3);
+  h.add(2, 5);
+  h.add(9, 2);
+  double acc = 0;
+  for (const auto& [v, c] : h.items()) acc += h.pdf(v);
+  EXPECT_NEAR(acc, 1.0, 1e-12);
+}
+
+TEST(Histogram, MeanMatchesExpandedSample) {
+  Histogram h;
+  h.add(1, 2);
+  h.add(4, 2);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  const auto sample = h.expand();
+  ASSERT_EQ(sample.size(), 4u);
+}
+
+TEST(Histogram, ItemsSorted) {
+  Histogram h;
+  h.add(9);
+  h.add(1);
+  h.add(5);
+  const auto items = h.items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, 1u);
+  EXPECT_EQ(items[1].first, 5u);
+  EXPECT_EQ(items[2].first, 9u);
+}
+
+TEST(Histogram, MaxValue) {
+  Histogram h;
+  h.add(4);
+  h.add(17);
+  EXPECT_EQ(h.max_value(), 17u);
+}
+
+TEST(Histogram, TableRendering) {
+  Histogram h;
+  h.add(2, 2);
+  const auto table = h.to_table("#users");
+  EXPECT_NE(table.find("#users"), std::string::npos);
+  EXPECT_NE(table.find('2'), std::string::npos);
+}
+
+TEST(TotalVariation, IdenticalIsZero) {
+  Histogram a, b;
+  for (int i = 0; i < 5; ++i) {
+    a.add(static_cast<std::uint64_t>(i), 2);
+    b.add(static_cast<std::uint64_t>(i), 4);  // same shape, double mass
+  }
+  EXPECT_NEAR(total_variation(a, b), 0.0, 1e-12);
+}
+
+TEST(TotalVariation, DisjointIsOne) {
+  Histogram a, b;
+  a.add(1, 5);
+  b.add(2, 5);
+  EXPECT_NEAR(total_variation(a, b), 1.0, 1e-12);
+}
+
+TEST(TotalVariation, Symmetric) {
+  Histogram a, b;
+  a.add(1, 3);
+  a.add(2, 1);
+  b.add(1, 1);
+  b.add(3, 3);
+  EXPECT_DOUBLE_EQ(total_variation(a, b), total_variation(b, a));
+}
+
+TEST(TotalVariation, Bounded) {
+  Histogram a, b;
+  a.add(1, 3);
+  a.add(2, 2);
+  b.add(2, 2);
+  b.add(4, 7);
+  const double tv = total_variation(a, b);
+  EXPECT_GE(tv, 0.0);
+  EXPECT_LE(tv, 1.0);
+}
+
+}  // namespace
+}  // namespace eyw::util

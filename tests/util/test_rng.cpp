@@ -1,0 +1,225 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace eyw::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(23);
+  for (double mean : {0.5, 3.0, 10.0, 50.0}) {
+    double acc = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) acc += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(acc / n, mean, mean * 0.1 + 0.1) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(29);
+  const double p = 0.25;
+  double acc = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += static_cast<double>(rng.geometric(p));
+  EXPECT_NEAR(acc / n, (1 - p) / p, 0.15);
+}
+
+TEST(Rng, FillBytesCoversAllBytes) {
+  Rng rng(31);
+  std::vector<std::uint8_t> buf(1000, 0);
+  rng.fill_bytes(buf);
+  std::set<std::uint8_t> distinct(buf.begin(), buf.end());
+  EXPECT_GT(distinct.size(), 200u);
+}
+
+TEST(Rng, FillBytesOddLengths) {
+  Rng rng(37);
+  for (std::size_t len : {0u, 1u, 3u, 7u, 8u, 9u, 15u}) {
+    std::vector<std::uint8_t> buf(len, 0);
+    rng.fill_bytes(buf);  // must not crash or write OOB
+  }
+  SUCCEED();
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(41);
+  const auto s = rng.sample_indices(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<std::size_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 30u);
+  for (auto i : s) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleIndicesFullPermutation) {
+  Rng rng(43);
+  auto s = rng.sample_indices(10, 10);
+  std::sort(s.begin(), s.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, SampleIndicesThrowsWhenKTooLarge) {
+  Rng rng(47);
+  EXPECT_THROW(rng.sample_indices(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(53);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(59);
+  Rng child = a.split();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Mix64, InjectiveOnSmallRange) {
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outs.insert(mix64(i));
+  EXPECT_EQ(outs.size(), 1000u);
+}
+
+TEST(ZipfSampler, UniformWhenExponentZero) {
+  ZipfSampler z(10, 0.0);
+  Rng rng(61);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[z.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c / 50000.0, 0.1, 0.02);
+}
+
+TEST(ZipfSampler, SkewFavorsLowRanks) {
+  ZipfSampler z(100, 1.0);
+  Rng rng(67);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[z.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler z(50, 1.2);
+  double acc = 0;
+  for (std::size_t i = 0; i < z.size(); ++i) acc += z.pmf(i);
+  EXPECT_NEAR(acc, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, ThrowsOnEmpty) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(DiscreteSampler, MatchesWeights) {
+  const std::vector<double> w{1.0, 2.0, 7.0};
+  DiscreteSampler s(w);
+  Rng rng(71);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[s.sample(rng)];
+  EXPECT_NEAR(counts[0] / 50000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 50000.0, 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / 50000.0, 0.7, 0.02);
+}
+
+TEST(DiscreteSampler, ZeroWeightNeverSampled) {
+  const std::vector<double> w{0.0, 1.0};
+  DiscreteSampler s(w);
+  Rng rng(73);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(s.sample(rng), 1u);
+}
+
+TEST(DiscreteSampler, RejectsInvalidWeights) {
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{-1.0, 2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eyw::util

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "webmodel/ad_detect.hpp"
+#include "webmodel/html.hpp"
+
+namespace eyw::webmodel {
+namespace {
+
+adnet::Ad sample_ad(core::AdId id = 1) {
+  return {.id = id,
+          .campaign = 1,
+          .landing_url = "https://shop-fishing.test/direct/c1/creative0",
+          .image_url = "https://cdn.adnet.test/img/" + std::to_string(id) + ".jpg",
+          .offering_category = 10};
+}
+
+AdDetector detector() {
+  return AdDetector(adnet::AdNetworkRegistry::with_defaults());
+}
+
+TEST(ExtractUrls, FindsPlainUrls) {
+  const auto urls = extract_urls("visit https://a.test/x and http://b.test/y.");
+  ASSERT_EQ(urls.size(), 2u);
+  EXPECT_EQ(urls[0], "https://a.test/x");
+  EXPECT_EQ(urls[1], "http://b.test/y");
+}
+
+TEST(ExtractUrls, TrimsQuotesAndPunctuation) {
+  const auto urls = extract_urls("window.open('https://a.test/p');");
+  ASSERT_EQ(urls.size(), 1u);
+  EXPECT_EQ(urls[0], "https://a.test/p");
+}
+
+TEST(ExtractUrls, IgnoresNonUrls) {
+  EXPECT_TRUE(extract_urls("httpx nothing here").empty());
+  EXPECT_TRUE(extract_urls("").empty());
+}
+
+TEST(FindAttribute, BasicForms) {
+  EXPECT_EQ(find_attribute(R"(<a href="https://x.test">)", "href"),
+            "https://x.test");
+  EXPECT_EQ(find_attribute(R"(<a href='single'>)", "href"), "single");
+  EXPECT_EQ(find_attribute(R"(<a href = "spaced">)", "href"), "spaced");
+  EXPECT_FALSE(find_attribute("<a>", "href").has_value());
+}
+
+TEST(PageGenerator, EmbedsAllAds) {
+  PageGenerator gen({}, 1);
+  std::vector<adnet::Ad> ads;
+  for (core::AdId i = 1; i <= 5; ++i) ads.push_back(sample_ad(i));
+  const Page page = gen.generate("news.test", ads);
+  EXPECT_EQ(page.ads.size(), 5u);
+  for (const auto& elem : page.ads)
+    EXPECT_NE(page.html.find(elem.ad.image_url), std::string::npos);
+}
+
+TEST(PageGenerator, RandomLandingVariesPerImpression) {
+  PageGeneratorConfig cfg;
+  cfg.markup_weights = {0, 0, 0, 0, 1.0};  // force kRandomLanding
+  PageGenerator gen(cfg, 2);
+  const Page a = gen.generate("x.test", {sample_ad()});
+  const Page b = gen.generate("x.test", {sample_ad()});
+  EXPECT_NE(a.ads[0].embedded_landing_url, b.ads[0].embedded_landing_url);
+  // Both still derive from the true landing URL.
+  EXPECT_EQ(a.ads[0].embedded_landing_url.find(sample_ad().landing_url), 0u);
+}
+
+class MarkupStyle : public ::testing::TestWithParam<int> {};
+
+TEST_P(MarkupStyle, LandingPageRecoveredFromEveryMarkup) {
+  PageGeneratorConfig cfg;
+  cfg.markup_weights = {0, 0, 0, 0, 0};
+  cfg.markup_weights[static_cast<std::size_t>(GetParam())] = 1.0;
+  PageGenerator gen(cfg, 3);
+  const Page page = gen.generate("site.test", {sample_ad()});
+  const auto found = detector().detect(page.html);
+  ASSERT_EQ(found.size(), 1u) << page.html;
+  const auto style = static_cast<AdMarkup>(GetParam());
+  if (style == AdMarkup::kRandomLanding) {
+    // Randomized landing URL: identity falls back or uses the session URL;
+    // content key must be the stable image.
+    EXPECT_EQ(found[0].content_key, sample_ad().image_url);
+  } else {
+    ASSERT_TRUE(found[0].landing_url.has_value()) << page.html;
+    EXPECT_EQ(*found[0].landing_url, sample_ad().landing_url);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStyles, MarkupStyle, ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(AdDetector, MultipleAdsInDocumentOrder) {
+  PageGeneratorConfig cfg;
+  cfg.markup_weights = {1.0, 0, 0, 0, 0};  // anchors only
+  PageGenerator gen(cfg, 4);
+  std::vector<adnet::Ad> ads;
+  for (core::AdId i = 1; i <= 4; ++i) {
+    auto ad = sample_ad(i);
+    ad.landing_url = "https://shop.test/ad" + std::to_string(i);
+    ads.push_back(ad);
+  }
+  const Page page = gen.generate("m.test", ads);
+  const auto found = detector().detect(page.html);
+  ASSERT_EQ(found.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(*found[i].landing_url, ads[i].landing_url);
+}
+
+TEST(AdDetector, AdNetworkLandingTriggersContentFallback) {
+  // The anchor points INTO an ad network: the extension must refrain from
+  // using it (click-fraud guard) and identify the ad by content.
+  const std::string html =
+      R"(<div class="ad-banner"><a href="https://ad.doubleclick.net/r?c=9">)"
+      R"(<img src="https://cdn.x.test/creative7.png"></a></div>)";
+  const auto found = detector().detect(html);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_FALSE(found[0].landing_url.has_value());
+  EXPECT_EQ(found[0].identity(), "https://cdn.x.test/creative7.png");
+}
+
+TEST(AdDetector, ContentPagesProduceNoAds) {
+  const std::string html =
+      "<html><body><p>Story with <a href=\"https://paper.test/a\">links"
+      "</a></p><img src=\"https://paper.test/photo.jpg\"></body></html>";
+  EXPECT_TRUE(detector().detect(html).empty());
+}
+
+TEST(AdDetector, ContentLinksNotMistakenForLanding) {
+  // An onclick ad followed by editorial content with links: the landing
+  // extraction must not leak into the next paragraph.
+  const std::string html =
+      R"(<div class="sponsored" onclick="window.location='https://shop.test/p'">)"
+      R"(<img src="https://c.test/i.jpg"></div>)"
+      R"(<p>Read <a href="https://news.test/other">more</a></p>)";
+  const auto found = detector().detect(html);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(*found[0].landing_url, "https://shop.test/p");
+}
+
+TEST(AdDetector, DetectIdentityStableAcrossRenders) {
+  PageGenerator gen({}, 5);
+  const adnet::Ad ad = sample_ad();
+  // Whatever markup the generator picks, identity() must resolve to either
+  // the true landing URL or the stable content key.
+  for (int i = 0; i < 20; ++i) {
+    const Page page = gen.generate("s.test", {ad});
+    const auto found = detector().detect(page.html);
+    ASSERT_EQ(found.size(), 1u);
+    const std::string& id = found[0].identity();
+    EXPECT_TRUE(id == ad.landing_url || id == ad.image_url ||
+                id.starts_with(ad.landing_url + "?session="))
+        << id;
+  }
+}
+
+}  // namespace
+}  // namespace eyw::webmodel
