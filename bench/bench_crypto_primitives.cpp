@@ -4,8 +4,10 @@
 #include <benchmark/benchmark.h>
 
 #include "crypto/blinding.hpp"
+#include "crypto/montgomery.hpp"
 #include "crypto/oprf.hpp"
 #include "crypto/prime.hpp"
+#include "sketch/count_min.hpp"
 
 namespace {
 using namespace eyw;
@@ -22,10 +24,28 @@ void BM_Sha256Throughput(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha256Throughput)->Arg(64)->Arg(1024)->Arg(65536);
 
+// The seed's naive square-and-multiply with full divmod reduction per step.
+// Kept as the before-side of the Montgomery speedup comparison.
+void BM_BignumModexpReference(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  crypto::Bignum m = crypto::Bignum::random_bits(rng, bits);
+  if (!m.is_odd()) m = m.add(crypto::Bignum(1));
+  const crypto::Bignum b = crypto::Bignum::random_bits(rng, bits - 1);
+  const crypto::Bignum e = crypto::Bignum::random_bits(rng, bits - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Bignum::modexp_basic(b, e, m));
+  }
+}
+BENCHMARK(BM_BignumModexpReference)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+// The production path: Bignum::modexp dispatching to the Montgomery CIOS
+// core (context built per call, as one-shot callers do).
 void BM_BignumModexp(benchmark::State& state) {
   util::Rng rng(1);
   const auto bits = static_cast<std::size_t>(state.range(0));
-  const crypto::Bignum m = crypto::Bignum::random_bits(rng, bits);
+  crypto::Bignum m = crypto::Bignum::random_bits(rng, bits);
+  if (!m.is_odd()) m = m.add(crypto::Bignum(1));
   const crypto::Bignum b = crypto::Bignum::random_bits(rng, bits - 1);
   const crypto::Bignum e = crypto::Bignum::random_bits(rng, bits - 1);
   for (auto _ : state) {
@@ -33,6 +53,98 @@ void BM_BignumModexp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BignumModexp)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+// Montgomery exponentiation with the context amortized across calls, as the
+// OPRF server / DH roster loops run it.
+void BM_MontgomeryModexp(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  crypto::Bignum m = crypto::Bignum::random_bits(rng, bits);
+  if (!m.is_odd()) m = m.add(crypto::Bignum(1));
+  const crypto::Bignum b = crypto::Bignum::random_bits(rng, bits - 1);
+  const crypto::Bignum e = crypto::Bignum::random_bits(rng, bits - 1);
+  const crypto::Montgomery mont(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mont.modexp(b, e));
+  }
+}
+BENCHMARK(BM_MontgomeryModexp)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+// RSA private operation — the protocol's per-report modexp at full modulus
+// size — measured three ways: the seed path (naive square-and-multiply with
+// divmod reduction), plain d-exponentiation through the Montgomery core,
+// and CRT (two half-size Montgomery exponentiations + Garner).
+void BM_RsaPrivateSeedPath(benchmark::State& state) {
+  util::Rng rng(21);
+  const auto key = crypto::rsa_generate(
+      rng, static_cast<std::size_t>(state.range(0)));
+  const crypto::Bignum x = crypto::Bignum::random_below(rng, key.pub.n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::Bignum::modexp_basic(x, key.d, key.pub.n));
+  }
+}
+BENCHMARK(BM_RsaPrivateSeedPath)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RsaPrivatePlain(benchmark::State& state) {
+  util::Rng rng(21);
+  const auto key = crypto::rsa_generate(
+      rng, static_cast<std::size_t>(state.range(0)));
+  crypto::RsaKeyPair plain{.pub = key.pub, .d = key.d};  // no CRT fields
+  const crypto::RsaPrivateContext ctx(std::move(plain));
+  const crypto::Bignum x = crypto::Bignum::random_below(rng, key.pub.n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.private_apply(x));
+  }
+}
+BENCHMARK(BM_RsaPrivatePlain)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RsaPrivateCrt(benchmark::State& state) {
+  util::Rng rng(21);
+  const crypto::RsaPrivateContext ctx(crypto::rsa_generate(
+      rng, static_cast<std::size_t>(state.range(0))));
+  const crypto::Bignum x =
+      crypto::Bignum::random_below(rng, ctx.pub().n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.private_apply(x));
+  }
+}
+BENCHMARK(BM_RsaPrivateCrt)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+// The back-end's id-space scan: per-id query() vs batched row-major
+// query_many with hoisted coefficients and multiply-shift reduction.
+void BM_CmsQueryLoop(benchmark::State& state) {
+  sketch::CountMinSketch cms({.depth = 17, .width = 2719}, 7);
+  util::Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) cms.update(rng.below(100'000));
+  const auto ids = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    for (std::uint64_t id = 0; id < ids; ++id) sum += cms.query(id);
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CmsQueryLoop)->Arg(100'000);
+
+void BM_CmsQueryMany(benchmark::State& state) {
+  sketch::CountMinSketch cms({.depth = 17, .width = 2719}, 7);
+  util::Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) cms.update(rng.below(100'000));
+  const auto ids = static_cast<std::uint64_t>(state.range(0));
+  std::vector<std::uint32_t> out(ids);
+  for (auto _ : state) {
+    cms.query_range(0, ids, std::span<std::uint32_t>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CmsQueryMany)->Arg(100'000);
 
 void BM_MillerRabin(benchmark::State& state) {
   util::Rng rng(2);

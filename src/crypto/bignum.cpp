@@ -5,6 +5,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "crypto/montgomery.hpp"
+
 namespace eyw::crypto {
 
 namespace {
@@ -275,11 +277,30 @@ DivMod Bignum::divmod(const Bignum& divisor) const {
 
 Bignum Bignum::mod(const Bignum& m) const { return divmod(m).remainder; }
 
+std::uint64_t Bignum::mod_u64(std::uint64_t d) const {
+  if (d == 0) throw std::domain_error("Bignum::mod_u64: division by zero");
+  u64 rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    rem = static_cast<u64>(((static_cast<u128>(rem) << 64) | limbs_[i]) % d);
+  }
+  return rem;
+}
+
 Bignum Bignum::modmul(const Bignum& a, const Bignum& b, const Bignum& m) {
   return a.mul(b).mod(m);
 }
 
 Bignum Bignum::modexp(const Bignum& base, const Bignum& exp, const Bignum& m) {
+  if (m.is_zero()) throw std::domain_error("Bignum::modexp: zero modulus");
+  if (m.is_one()) return {};
+  // Montgomery reduction needs gcd(R, m) = 1; every protocol modulus
+  // (RSA n, p, q, DH safe prime) is odd, so the fast path covers them all.
+  if (m.is_odd()) return Montgomery(m).modexp(base, exp);
+  return modexp_basic(base, exp, m);
+}
+
+Bignum Bignum::modexp_basic(const Bignum& base, const Bignum& exp,
+                            const Bignum& m) {
   if (m.is_zero()) throw std::domain_error("Bignum::modexp: zero modulus");
   if (m.is_one()) return {};
   Bignum result(1);

@@ -72,12 +72,23 @@ class Bignum {
   [[nodiscard]] Bignum shl(std::size_t bits) const;
   [[nodiscard]] Bignum shr(std::size_t bits) const;
 
+  /// Remainder modulo a machine word (single pass, no allocation).
+  /// Throws std::domain_error if d == 0.
+  [[nodiscard]] std::uint64_t mod_u64(std::uint64_t d) const;
+
   /// (a * b) mod m.
   [[nodiscard]] static Bignum modmul(const Bignum& a, const Bignum& b,
                                      const Bignum& m);
-  /// (base ^ exp) mod m via left-to-right square & multiply.
+  /// (base ^ exp) mod m. Odd moduli are routed through the Montgomery
+  /// CIOS core (crypto/montgomery.hpp); even moduli fall back to
+  /// modexp_basic.
   [[nodiscard]] static Bignum modexp(const Bignum& base, const Bignum& exp,
                                      const Bignum& m);
+  /// Reference left-to-right square & multiply with full divmod reduction
+  /// per step. Kept as the agreement oracle for the Montgomery path (and
+  /// for even moduli, which Montgomery cannot handle).
+  [[nodiscard]] static Bignum modexp_basic(const Bignum& base,
+                                           const Bignum& exp, const Bignum& m);
   /// Modular inverse; throws std::domain_error if gcd(a, m) != 1.
   [[nodiscard]] static Bignum modinv(const Bignum& a, const Bignum& m);
   [[nodiscard]] static Bignum gcd(Bignum a, Bignum b);
@@ -87,9 +98,16 @@ class Bignum {
   /// Random value with exactly `bits` significant bits (top bit forced).
   [[nodiscard]] static Bignum random_bits(util::Rng& rng, std::size_t bits);
 
+  /// Little-endian limb view (no trailing zeros). Exposed for the
+  /// Montgomery core, which operates on raw limb vectors.
+  [[nodiscard]] std::span<const std::uint64_t> limbs() const noexcept {
+    return limbs_;
+  }
+  /// Build from little-endian limbs (trailing zeros are trimmed).
+  [[nodiscard]] static Bignum from_limbs(std::vector<std::uint64_t> limbs);
+
  private:
   void trim() noexcept;
-  static Bignum from_limbs(std::vector<std::uint64_t> limbs);
 
   std::vector<std::uint64_t> limbs_;  // little-endian, no trailing zeros
 };

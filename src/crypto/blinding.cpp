@@ -1,25 +1,33 @@
 #include "crypto/blinding.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace eyw::crypto {
 
 BlindingParticipant::BlindingParticipant(
     const DhGroup& group, std::size_t index, DhKeyPair keypair,
-    std::span<const Bignum> all_public_keys)
-    : index_(index) {
+    std::span<const Bignum> all_public_keys, util::ThreadPool* pool)
+    : index_(index),
+      pool_(pool != nullptr ? pool : &util::ThreadPool::shared()) {
   if (index >= all_public_keys.size())
     throw std::invalid_argument("BlindingParticipant: index out of roster");
   if (all_public_keys[index] != keypair.public_key)
     throw std::invalid_argument(
         "BlindingParticipant: roster disagrees with own public key");
   pair_keys_.resize(all_public_keys.size());
-  for (std::size_t j = 0; j < all_public_keys.size(); ++j) {
-    if (j == index_) continue;
+  // One Montgomery context for the whole roster; the per-peer modexps are
+  // independent and fan out across cores (each writes only its own slot,
+  // so the derived keys are identical to the serial loop's).
+  const Montgomery mont_p(group.p);
+  pool_->parallel_for(all_public_keys.size(), [&](std::size_t j) {
+    if (j == index_) return;
     const Bignum secret =
-        dh_shared_secret(group, keypair.private_key, all_public_keys[j]);
+        dh_shared_secret(mont_p, keypair.private_key, all_public_keys[j]);
     pair_keys_[j] = dh_secret_to_key(secret);
-  }
+  });
 }
 
 std::vector<BlindCell> BlindingParticipant::pad(std::size_t peer,
@@ -53,18 +61,46 @@ BlindCell BlindingParticipant::factor(std::size_t peer, std::uint64_t cell,
   return pad(peer, static_cast<std::size_t>(cell) + 1, round)[cell];
 }
 
-std::vector<BlindCell> BlindingParticipant::blinding_vector(
-    std::size_t cells, std::uint64_t round) const {
+std::vector<BlindCell> BlindingParticipant::accumulate_pads(
+    std::span<const std::size_t> peers, std::size_t cells,
+    std::uint64_t round) const {
+  // Pad expansion dominates (one SHA-256 stream per peer); split the peer
+  // list into contiguous chunks, each with a private accumulator, then
+  // fold the chunk accumulators in order. Wrapping 32-bit adds make the
+  // result bit-identical to the serial loop for any chunking.
   std::vector<BlindCell> out(cells, 0);
-  for (std::size_t j = 0; j < pair_keys_.size(); ++j) {
-    if (j == index_) continue;
-    const bool positive = index_ > j;
-    const std::vector<BlindCell> p = pad(j, cells, round);
-    for (std::size_t m = 0; m < cells; ++m) {
-      out[m] = positive ? out[m] + p[m] : out[m] - p[m];  // wrapping
+  if (peers.empty()) return out;
+  const std::size_t chunks = std::min(peers.size(), pool_->size() * 4);
+  const std::size_t per_chunk = (peers.size() + chunks - 1) / chunks;
+  std::vector<std::vector<BlindCell>> partial(chunks);
+  pool_->parallel_for(chunks, [&](std::size_t c) {
+    auto& acc = partial[c];
+    acc.assign(cells, 0);
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(peers.size(), begin + per_chunk);
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t j = peers[k];
+      const bool positive = index_ > j;
+      const std::vector<BlindCell> p = pad(j, cells, round);
+      for (std::size_t m = 0; m < cells; ++m) {
+        acc[m] = positive ? acc[m] + p[m] : acc[m] - p[m];  // wrapping
+      }
     }
+  });
+  for (const auto& acc : partial) {
+    for (std::size_t m = 0; m < cells; ++m) out[m] += acc[m];
   }
   return out;
+}
+
+std::vector<BlindCell> BlindingParticipant::blinding_vector(
+    std::size_t cells, std::uint64_t round) const {
+  std::vector<std::size_t> peers;
+  peers.reserve(pair_keys_.size() - 1);
+  for (std::size_t j = 0; j < pair_keys_.size(); ++j) {
+    if (j != index_) peers.push_back(j);
+  }
+  return accumulate_pads(peers, cells, round);
 }
 
 std::vector<BlindCell> BlindingParticipant::blind(
@@ -77,19 +113,13 @@ std::vector<BlindCell> BlindingParticipant::blind(
 std::vector<BlindCell> BlindingParticipant::adjustment_for_missing(
     std::size_t cells, std::uint64_t round,
     std::span<const std::size_t> missing) const {
-  std::vector<BlindCell> out(cells, 0);
   for (std::size_t j : missing) {
     if (j == index_)
       throw std::invalid_argument("adjustment_for_missing: self in missing set");
     if (j >= pair_keys_.size())
       throw std::invalid_argument("adjustment_for_missing: unknown participant");
-    const bool positive = index_ > j;
-    const std::vector<BlindCell> p = pad(j, cells, round);
-    for (std::size_t m = 0; m < cells; ++m) {
-      out[m] = positive ? out[m] + p[m] : out[m] - p[m];
-    }
   }
-  return out;
+  return accumulate_pads(missing, cells, round);
 }
 
 std::vector<BlindCell> aggregate_blinded(

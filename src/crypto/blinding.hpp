@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "crypto/dh.hpp"
+#include "util/thread_pool.hpp"
 
 namespace eyw::crypto {
 
@@ -29,10 +30,14 @@ using BlindCell = std::uint32_t;
 class BlindingParticipant {
  public:
   /// `index` is this participant's position in `all_public_keys` (which is
-  /// the published roster, identical for everyone).
+  /// the published roster, identical for everyone). Pair-secret derivation
+  /// and pad accumulation fan out over `pool` (nullptr = the process-wide
+  /// shared pool); the participant keeps the pointer, which must outlive
+  /// it. Results are bit-identical for any pool size.
   BlindingParticipant(const DhGroup& group, std::size_t index,
                       DhKeyPair keypair,
-                      std::span<const Bignum> all_public_keys);
+                      std::span<const Bignum> all_public_keys,
+                      util::ThreadPool* pool = nullptr);
 
   [[nodiscard]] std::size_t index() const noexcept { return index_; }
   [[nodiscard]] std::size_t peers() const noexcept {
@@ -57,6 +62,11 @@ class BlindingParticipant {
       std::span<const std::size_t> missing) const;
 
  private:
+  /// Signed wrapping sum of the pads shared with `peers`, expanded in
+  /// parallel chunks (bit-identical to the serial loop for any chunking).
+  [[nodiscard]] std::vector<BlindCell> accumulate_pads(
+      std::span<const std::size_t> peers, std::size_t cells,
+      std::uint64_t round) const;
   /// Full pseudo-random pad shared with `peer` for this round.
   [[nodiscard]] std::vector<BlindCell> pad(std::size_t peer, std::size_t cells,
                                            std::uint64_t round) const;
@@ -65,6 +75,7 @@ class BlindingParticipant {
 
   std::size_t index_;
   std::vector<Digest> pair_keys_;  // pair_keys_[j]; entry [index_] unused
+  util::ThreadPool* pool_;         // never null after construction
 };
 
 /// Cell-wise wrapping sum of blinded vectors. All vectors must be same size.

@@ -29,10 +29,10 @@ DhGroup DhGroup::generate(util::Rng& rng, std::size_t bits) {
   // search small candidates.
   const Bignum one(1);
   const Bignum q = p.shr(1);
+  const Montgomery mont(p);
   for (std::uint64_t cand = 2;; ++cand) {
     const Bignum g(cand);
-    if (Bignum::modexp(g, q, p) != one &&
-        Bignum::modexp(g, Bignum(2), p) != one) {
+    if (mont.modexp(g, q) != one && mont.modexp(g, Bignum(2)) != one) {
       return {.p = p, .g = g};
     }
   }
@@ -42,12 +42,18 @@ DhKeyPair dh_keygen(const DhGroup& group, util::Rng& rng) {
   const Bignum two(2);
   // x uniform in [1, p-2].
   const Bignum x = Bignum::random_below(rng, group.p.sub(two)).add(Bignum(1));
-  return {.private_key = x, .public_key = Bignum::modexp(group.g, x, group.p)};
+  return {.private_key = x,
+          .public_key = Montgomery(group.p).modexp(group.g, x)};
 }
 
 Bignum dh_shared_secret(const DhGroup& group, const Bignum& own_private,
                         const Bignum& peer_public) {
-  return Bignum::modexp(peer_public, own_private, group.p);
+  return Montgomery(group.p).modexp(peer_public, own_private);
+}
+
+Bignum dh_shared_secret(const Montgomery& mont_p, const Bignum& own_private,
+                        const Bignum& peer_public) {
+  return mont_p.modexp(peer_public, own_private);
 }
 
 Digest dh_secret_to_key(const Bignum& shared_secret) {

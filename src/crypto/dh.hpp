@@ -6,6 +6,7 @@
 #include <cstddef>
 
 #include "crypto/bignum.hpp"
+#include "crypto/montgomery.hpp"
 #include "crypto/sha256.hpp"
 #include "util/rng.hpp"
 
@@ -40,6 +41,12 @@ struct DhKeyPair {
 
 /// Shared secret g^{x_a x_b} = (peer_public)^{own_private} mod p.
 [[nodiscard]] Bignum dh_shared_secret(const DhGroup& group,
+                                      const Bignum& own_private,
+                                      const Bignum& peer_public);
+
+/// Same, over a caller-held Montgomery context for group.p. Derive the
+/// context once when computing secrets against a whole roster.
+[[nodiscard]] Bignum dh_shared_secret(const Montgomery& mont_p,
                                       const Bignum& own_private,
                                       const Bignum& peer_public);
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/hex.hpp"
+#include "util/thread_pool.hpp"
 
 namespace eyw::crypto {
 
@@ -25,19 +26,29 @@ Bignum hash_to_zn(std::string_view input, const Bignum& n) {
 }
 
 OprfServer::OprfServer(util::Rng& rng, std::size_t modulus_bits)
-    : key_(rsa_generate(rng, modulus_bits)) {}
+    : ctx_(rsa_generate(rng, modulus_bits)) {}
 
-OprfServer::OprfServer(RsaKeyPair key) : key_(std::move(key)) {}
+OprfServer::OprfServer(RsaKeyPair key) : ctx_(std::move(key)) {}
 
 Bignum OprfServer::evaluate_blinded(const Bignum& blinded) const {
-  ++evaluations_;
-  return rsa_private_apply(key_, blinded);
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  return ctx_.private_apply(blinded);
+}
+
+std::vector<Bignum> OprfServer::evaluate_blinded_batch(
+    std::span<const Bignum> blinded) const {
+  std::vector<Bignum> out(blinded.size());
+  util::ThreadPool::shared().parallel_for(blinded.size(), [&](std::size_t i) {
+    out[i] = ctx_.private_apply(blinded[i]);
+  });
+  evaluations_.fetch_add(blinded.size(), std::memory_order_relaxed);
+  return out;
 }
 
 OprfOutput OprfServer::evaluate_direct(std::string_view input) const {
-  const Bignum h = hash_to_zn(input, key_.pub.n);
-  const Bignum sig = Bignum::modexp(h, key_.d, key_.pub.n);
-  const auto bytes = sig.to_bytes_be(key_.pub.modulus_bytes());
+  const Bignum h = hash_to_zn(input, ctx_.pub().n);
+  const Bignum sig = ctx_.private_apply(h);
+  const auto bytes = sig.to_bytes_be(ctx_.pub().modulus_bytes());
   Sha256 g;
   g.update("eyw-oprf-g");
   g.update(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
@@ -45,7 +56,7 @@ OprfOutput OprfServer::evaluate_direct(std::string_view input) const {
 }
 
 OprfClient::OprfClient(RsaPublicKey server_public)
-    : pub_(std::move(server_public)) {}
+    : pub_(std::move(server_public)), mont_(pub_.n) {}
 
 OprfBlinded OprfClient::blind(std::string_view input, util::Rng& rng) const {
   const Bignum h = hash_to_zn(input, pub_.n);
@@ -57,19 +68,19 @@ OprfBlinded OprfClient::blind(std::string_view input, util::Rng& rng) const {
     if (r.is_zero() || r.is_one()) continue;
     if (Bignum::gcd(r, pub_.n).is_one()) break;
   }
-  const Bignum r_e = Bignum::modexp(r, pub_.e, pub_.n);
-  return {.blinded_element = Bignum::modmul(h, r_e, pub_.n), .r = r};
+  const Bignum r_e = mont_.modexp(r, pub_.e);
+  return {.blinded_element = mont_.modmul(h, r_e), .r = r};
 }
 
 OprfOutput OprfClient::finalize(std::string_view input,
                                 const OprfBlinded& blinded,
                                 const Bignum& server_response) const {
   const Bignum r_inv = Bignum::modinv(blinded.r, pub_.n);
-  const Bignum unblinded = Bignum::modmul(server_response, r_inv, pub_.n);
+  const Bignum unblinded = mont_.modmul(server_response, r_inv);
   // Verify the blind signature: unblinded^e must equal H(x). This makes a
   // malicious or misconfigured oprf-server detectable by every client.
   const Bignum h = hash_to_zn(input, pub_.n);
-  if (Bignum::modexp(unblinded, pub_.e, pub_.n) != h)
+  if (mont_.modexp(unblinded, pub_.e) != h)
     throw std::runtime_error("OprfClient::finalize: invalid server response");
   const auto bytes = unblinded.to_bytes_be(pub_.modulus_bytes());
   Sha256 g;

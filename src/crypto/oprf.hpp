@@ -8,8 +8,11 @@
 // removes r. The server never sees x (ad URL); the client never learns d.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "crypto/rsa.hpp"
 #include "crypto/sha256.hpp"
@@ -43,10 +46,16 @@ class OprfServer {
   OprfServer(util::Rng& rng, std::size_t modulus_bits);
   explicit OprfServer(RsaKeyPair key);
 
-  [[nodiscard]] const RsaPublicKey& public_key() const { return key_.pub; }
+  [[nodiscard]] const RsaPublicKey& public_key() const { return ctx_.pub(); }
 
   /// Blind "signature": blinded^d mod N. One group element in, one out.
   [[nodiscard]] Bignum evaluate_blinded(const Bignum& blinded) const;
+
+  /// Batch evaluation: one element per input, same order. Fans the
+  /// exponentiations across the shared thread pool — this is the
+  /// server-side bulk path when many clients map URLs at once.
+  [[nodiscard]] std::vector<Bignum> evaluate_blinded_batch(
+      std::span<const Bignum> blinded) const;
 
   /// Direct (non-oblivious) evaluation; test oracle for agreement checks.
   [[nodiscard]] OprfOutput evaluate_direct(std::string_view input) const;
@@ -55,8 +64,8 @@ class OprfServer {
   [[nodiscard]] std::uint64_t evaluations() const { return evaluations_; }
 
  private:
-  RsaKeyPair key_;
-  mutable std::uint64_t evaluations_ = 0;
+  RsaPrivateContext ctx_;
+  mutable std::atomic<std::uint64_t> evaluations_ = 0;
 };
 
 class OprfClient {
@@ -81,6 +90,7 @@ class OprfClient {
 
  private:
   RsaPublicKey pub_;
+  Montgomery mont_;  // cached context for N: every blind/finalize reuses it
 };
 
 }  // namespace eyw::crypto

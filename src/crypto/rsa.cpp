@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "crypto/montgomery.hpp"
 #include "crypto/prime.hpp"
 
 namespace eyw::crypto {
@@ -18,9 +19,17 @@ RsaKeyPair rsa_generate(util::Rng& rng, std::size_t modulus_bits) {
     while (q == p) q = generate_rsa_prime(rng, half, e);
     const Bignum n = p.mul(q);
     if (n.bit_length() != modulus_bits) continue;  // product lost a bit
-    const Bignum phi = p.sub(one).mul(q.sub(one));
+    const Bignum p1 = p.sub(one);
+    const Bignum q1 = q.sub(one);
+    const Bignum phi = p1.mul(q1);
     const Bignum d = Bignum::modinv(e, phi);
-    return {.pub = {.n = n, .e = e}, .d = d};
+    return {.pub = {.n = n, .e = e},
+            .d = d,
+            .p = p,
+            .q = q,
+            .dp = d.mod(p1),
+            .dq = d.mod(q1),
+            .qinv = Bignum::modinv(q, p)};
   }
 }
 
@@ -29,9 +38,41 @@ Bignum rsa_public_apply(const RsaPublicKey& pub, const Bignum& x) {
   return Bignum::modexp(x, pub.e, pub.n);
 }
 
+namespace {
+// CRT + Garner: m1 = x^dp mod p, m2 = x^dq mod q,
+// m = m2 + q * (qinv * (m1 - m2) mod p).
+Bignum crt_apply(const RsaKeyPair& key, const Montgomery& mp,
+                 const Montgomery& mq, const Bignum& x) {
+  const Bignum m1 = mp.modexp(x, key.dp);
+  const Bignum m2 = mq.modexp(x, key.dq);
+  const Bignum m2_mod_p = m2 >= key.p ? m2.mod(key.p) : m2;
+  const Bignum diff =
+      m1 >= m2_mod_p ? m1.sub(m2_mod_p) : m1.add(key.p).sub(m2_mod_p);
+  const Bignum h = mp.modmul(key.qinv, diff);
+  return m2.add(h.mul(key.q));
+}
+}  // namespace
+
 Bignum rsa_private_apply(const RsaKeyPair& key, const Bignum& x) {
   if (x >= key.pub.n) throw std::invalid_argument("rsa_private_apply: x >= n");
-  return Bignum::modexp(x, key.d, key.pub.n);
+  if (!key.has_crt()) return Bignum::modexp(x, key.d, key.pub.n);
+  return crt_apply(key, Montgomery(key.p), Montgomery(key.q), x);
+}
+
+RsaPrivateContext::RsaPrivateContext(RsaKeyPair key) : key_(std::move(key)) {
+  if (key_.has_crt()) {
+    mp_.emplace(key_.p);
+    mq_.emplace(key_.q);
+  } else {
+    mn_.emplace(key_.pub.n);
+  }
+}
+
+Bignum RsaPrivateContext::private_apply(const Bignum& x) const {
+  if (x >= key_.pub.n)
+    throw std::invalid_argument("rsa_private_apply: x >= n");
+  if (mp_) return crt_apply(key_, *mp_, *mq_, x);
+  return mn_->modexp(x, key_.d);
 }
 
 }  // namespace eyw::crypto

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 
 #include "crypto/bignum.hpp"
+#include "crypto/montgomery.hpp"
 #include "util/rng.hpp"
 
 namespace eyw::crypto {
@@ -26,6 +28,17 @@ struct RsaPublicKey {
 struct RsaKeyPair {
   RsaPublicKey pub;
   Bignum d;
+  // CRT components (Garner recombination): the private operation becomes
+  // two half-size exponentiations mod p and mod q — ~4x fewer limb
+  // operations than one full-size modexp. Keys built without them (all
+  // zero) fall back to the plain d-exponentiation.
+  Bignum p;
+  Bignum q;
+  Bignum dp;    // d mod (p-1)
+  Bignum dq;    // d mod (q-1)
+  Bignum qinv;  // q^-1 mod p
+
+  [[nodiscard]] bool has_crt() const noexcept { return !p.is_zero(); }
 };
 
 /// Generate an RSA keypair with a modulus of `modulus_bits` bits and
@@ -35,7 +48,29 @@ struct RsaKeyPair {
 /// x^e mod n (public operation).
 [[nodiscard]] Bignum rsa_public_apply(const RsaPublicKey& pub, const Bignum& x);
 
-/// x^d mod n (private operation).
+/// x^d mod n (private operation). Uses CRT when the key carries the
+/// components. Builds Montgomery contexts per call; long-lived holders of a
+/// key should use RsaPrivateContext instead.
 [[nodiscard]] Bignum rsa_private_apply(const RsaKeyPair& key, const Bignum& x);
+
+/// A private key plus its precomputed Montgomery contexts (mod p, mod q for
+/// CRT keys; mod n otherwise). Immutable after construction and safe to
+/// share across threads — the batch OPRF evaluation path relies on this.
+class RsaPrivateContext {
+ public:
+  explicit RsaPrivateContext(RsaKeyPair key);
+
+  [[nodiscard]] const RsaKeyPair& key() const noexcept { return key_; }
+  [[nodiscard]] const RsaPublicKey& pub() const noexcept { return key_.pub; }
+
+  /// x^d mod n, via CRT when available.
+  [[nodiscard]] Bignum private_apply(const Bignum& x) const;
+
+ private:
+  RsaKeyPair key_;
+  std::optional<Montgomery> mp_;  // mod p (CRT keys)
+  std::optional<Montgomery> mq_;  // mod q (CRT keys)
+  std::optional<Montgomery> mn_;  // mod n (fallback keys)
+};
 
 }  // namespace eyw::crypto

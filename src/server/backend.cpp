@@ -1,6 +1,9 @@
 #include "server/backend.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace eyw::server {
 
@@ -49,19 +52,22 @@ void BackendServer::submit_adjustment(
   bytes_received_ += config_.cms_params.bytes();
 }
 
-RoundResult BackendServer::finalize_round() {
+RoundResult BackendServer::finalize_round(util::ThreadPool* pool) {
+  if (pool == nullptr) pool = &util::ThreadPool::shared();
   if (reports_.empty())
     throw std::logic_error("finalize_round: no reports received");
-  if (!missing_participants().empty() &&
+  if (reports_.size() != roster_size_ &&
       adjustments_.size() != reports_.size()) {
     throw std::logic_error(
         "finalize_round: missing clients but not all adjustments received");
   }
 
-  std::vector<std::vector<crypto::BlindCell>> report_list;
-  report_list.reserve(reports_.size());
-  for (auto& [idx, cells] : reports_) report_list.push_back(cells);
-  auto aggregate_cells = crypto::aggregate_blinded(report_list);
+  // Sum the blinded reports in place — no per-report copies.
+  const std::size_t n_cells = config_.cms_params.cells();
+  std::vector<crypto::BlindCell> aggregate_cells(n_cells, 0);
+  for (const auto& [idx, cells] : reports_) {
+    for (std::size_t m = 0; m < n_cells; ++m) aggregate_cells[m] += cells[m];
+  }
   for (const auto& [idx, adj] : adjustments_)
     crypto::apply_adjustment(aggregate_cells, adj);
 
@@ -74,14 +80,25 @@ RoundResult BackendServer::finalize_round() {
       .roster = roster_size_,
   };
 
-  // Enumerate the (over-provisioned) id space. Ids that correspond to no
-  // real ad mostly query to 0 and are dropped by from_counts; hash
-  // collisions inside the CMS are why the estimated threshold sits slightly
-  // above the actual one (Figure 2).
-  std::vector<double> counts;
-  counts.reserve(config_.id_space);
-  for (std::uint64_t id = 0; id < config_.id_space; ++id)
-    counts.push_back(static_cast<double>(result.aggregate.query(id)));
+  // Enumerate the (over-provisioned) id space as batched row-major sketch
+  // queries, fanned across cores in contiguous id chunks (each chunk fills
+  // only its own output slice, so the scan is deterministic). Ids that
+  // correspond to no real ad mostly query to 0 and are dropped by
+  // from_counts; hash collisions inside the CMS are why the estimated
+  // threshold sits slightly above the actual one (Figure 2).
+  std::vector<std::uint32_t> raw(config_.id_space);
+  constexpr std::uint64_t kChunk = 4096;
+  const std::uint64_t chunks = (config_.id_space + kChunk - 1) / kChunk;
+  pool->parallel_for(
+      static_cast<std::size_t>(chunks), [&](std::size_t c) {
+        const std::uint64_t begin = static_cast<std::uint64_t>(c) * kChunk;
+        const std::uint64_t end = std::min(config_.id_space, begin + kChunk);
+        result.aggregate.query_range(
+            begin, end,
+            std::span<std::uint32_t>(raw.data() + begin,
+                                     static_cast<std::size_t>(end - begin)));
+      });
+  std::vector<double> counts(raw.begin(), raw.end());
   result.distribution = core::UsersDistribution::from_counts(counts);
   result.users_threshold = result.distribution.threshold(config_.users_rule);
 

@@ -12,6 +12,7 @@
 #include "core/global_view.hpp"
 #include "crypto/blinding.hpp"
 #include "sketch/count_min.hpp"
+#include "util/thread_pool.hpp"
 
 namespace eyw::server {
 
@@ -56,8 +57,12 @@ class BackendServer {
                          std::vector<crypto::BlindCell> adjustment);
 
   /// Aggregate, cancel blindings (applying any adjustments), query the full
-  /// id space, and compute the distribution + threshold.
-  [[nodiscard]] RoundResult finalize_round();
+  /// id space, and compute the distribution + threshold. The id-space scan
+  /// runs as batched row-major sketch queries fanned across `pool`
+  /// (nullptr = the process-wide shared pool). Whether clients are missing
+  /// is answered from internal state (reports received vs roster size) —
+  /// no missing list is recomputed or taken on trust.
+  [[nodiscard]] RoundResult finalize_round(util::ThreadPool* pool = nullptr);
 
   /// Estimated #Users for one ad id, from the last finalized round.
   [[nodiscard]] std::optional<double> users_for(std::uint64_t ad_id) const;

@@ -8,9 +8,13 @@ namespace eyw::server {
 RoundCoordinator::RoundCoordinator(
     const crypto::DhGroup& group,
     std::span<client::BrowserExtension> extensions, BackendServer& backend,
-    std::uint64_t seed)
+    std::uint64_t seed, std::size_t threads)
     : extensions_(extensions), backend_(backend) {
+  if (threads != 0) own_pool_ = std::make_unique<util::ThreadPool>(threads);
   util::Rng rng(seed);
+  // Keygen stays serial: the rng stream is stateful and the keys must not
+  // depend on scheduling. Pair-secret derivation inside each participant
+  // constructor fans out over the shared pool.
   std::vector<crypto::DhKeyPair> keys;
   std::vector<crypto::Bignum> publics;
   keys.reserve(extensions.size());
@@ -22,9 +26,14 @@ RoundCoordinator::RoundCoordinator(
   participants_.reserve(extensions.size());
   for (std::size_t i = 0; i < extensions.size(); ++i) {
     participants_.emplace_back(group, i, keys[i],
-                               std::span<const crypto::Bignum>(publics));
+                               std::span<const crypto::Bignum>(publics),
+                               &pool());
   }
   traffic_.roster_bytes = crypto::roster_bytes(group, extensions.size());
+}
+
+util::ThreadPool& RoundCoordinator::pool() const noexcept {
+  return own_pool_ ? *own_pool_ : util::ThreadPool::shared();
 }
 
 RoundResult RoundCoordinator::run_round(
@@ -34,25 +43,41 @@ RoundResult RoundCoordinator::run_round(
   for (const std::size_t i : reporting) {
     if (i >= extensions_.size())
       throw std::invalid_argument("run_round: reporter outside roster");
-    auto blinded = extensions_[i].build_blinded_report(participants_[i], round);
-    traffic_.report_bytes += blinded.size() * sizeof(crypto::BlindCell);
-    backend_.submit_report(i, std::move(blinded));
+  }
+
+  // Stage 1: every reporter builds its blinded report — independent work,
+  // one output slot per reporter. Submission happens serially afterwards
+  // in `reporting` order (the backend map is not concurrent, and ordered
+  // submission keeps the round replayable).
+  std::vector<std::vector<crypto::BlindCell>> blinded(reporting.size());
+  pool().parallel_for(reporting.size(), [&](std::size_t k) {
+    const std::size_t i = reporting[k];
+    blinded[k] = extensions_[i].build_blinded_report(participants_[i], round);
+  });
+  for (std::size_t k = 0; k < reporting.size(); ++k) {
+    traffic_.report_bytes += blinded[k].size() * sizeof(crypto::BlindCell);
+    backend_.submit_report(reporting[k], std::move(blinded[k]));
   }
 
   const std::vector<std::size_t> missing = backend_.missing_participants();
   if (!missing.empty()) {
     // Round 2 of the fault-tolerance protocol: the server announces the
-    // missing list; every reporter answers with its adjustment.
-    for (const std::size_t i : reporting) {
-      auto adj = participants_[i].adjustment_for_missing(
-          backend_.config().cms_params.cells(), round,
-          std::span<const std::size_t>(missing));
-      traffic_.adjustment_bytes += adj.size() * sizeof(crypto::BlindCell);
-      backend_.submit_adjustment(i, std::move(adj));
+    // missing list; every reporter answers with its adjustment. Same
+    // fan-out/ordered-submit shape as stage 1.
+    const std::size_t n_cells = backend_.config().cms_params.cells();
+    std::vector<std::vector<crypto::BlindCell>> adjustments(reporting.size());
+    pool().parallel_for(reporting.size(), [&](std::size_t k) {
+      adjustments[k] = participants_[reporting[k]].adjustment_for_missing(
+          n_cells, round, std::span<const std::size_t>(missing));
+    });
+    for (std::size_t k = 0; k < reporting.size(); ++k) {
+      traffic_.adjustment_bytes +=
+          adjustments[k].size() * sizeof(crypto::BlindCell);
+      backend_.submit_adjustment(reporting[k], std::move(adjustments[k]));
     }
   }
 
-  RoundResult result = backend_.finalize_round();
+  RoundResult result = backend_.finalize_round(&pool());
   traffic_.threshold_bytes += 8 * extensions_.size();  // Users_th broadcast
   return result;
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "crypto/blinding.hpp"
 #include "crypto/dh.hpp"
 #include "server/backend.hpp"
+#include "util/thread_pool.hpp"
 
 namespace eyw::server {
 
@@ -33,13 +35,21 @@ struct RoundTraffic {
 /// Runs weekly rounds over a fixed set of extensions. The coordinator plays
 /// the network: it moves opaque byte vectors between parties and never
 /// inspects plaintext sketches.
+///
+/// Blinded-report construction and adjustment computation are independent
+/// per client, so they fan out over a thread pool; each client's output
+/// lands in its own slot and submissions happen in roster order, making the
+/// round bit-identical to the serial pipeline for any thread count.
 class RoundCoordinator {
  public:
   /// Sets up DH keypairs and BlindingParticipants for `extensions.size()`
-  /// clients over `group`.
+  /// clients over `group`. `threads` sizes a private pool for the round
+  /// pipeline; 0 (default) uses the process-wide shared pool, 1 forces the
+  /// serial path.
   RoundCoordinator(const crypto::DhGroup& group,
                    std::span<client::BrowserExtension> extensions,
-                   BackendServer& backend, std::uint64_t seed);
+                   BackendServer& backend, std::uint64_t seed,
+                   std::size_t threads = 0);
 
   /// Run one full round: every extension in `reporting` submits; clients
   /// not in `reporting` are treated as failed and trigger the adjustment
@@ -55,8 +65,13 @@ class RoundCoordinator {
   }
 
  private:
+  [[nodiscard]] util::ThreadPool& pool() const noexcept;
+
   std::span<client::BrowserExtension> extensions_;
   BackendServer& backend_;
+  // Declared before participants_: they hold pointers into the pool, so it
+  // must be destroyed after them.
+  std::unique_ptr<util::ThreadPool> own_pool_;  // null => shared pool
   std::vector<crypto::BlindingParticipant> participants_;
   RoundTraffic traffic_;
 };

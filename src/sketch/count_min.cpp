@@ -21,6 +21,31 @@ std::uint64_t affine_mod_m61(std::uint64_t a, std::uint64_t x,
   if (v >= kMersenne61) v -= kMersenne61;
   return v;
 }
+
+/// Map a 61-bit hash onto [0, width) by multiply-shift (Lemire-style range
+/// reduction): floor(h * width / 2^61), one mulhi instead of a division.
+std::size_t reduce_to_width(std::uint64_t h, std::uint64_t width) noexcept {
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(h) * width) >> 61);
+}
+
+/// Row-major min-scan shared by query_many/query_range: per row, hoist the
+/// hash coefficients and row base, then fold each key's cell into out.
+template <typename KeyAt>
+void min_scan(std::size_t depth, std::size_t width, const std::uint64_t* a,
+              const std::uint64_t* b, const std::uint32_t* cells,
+              std::span<std::uint32_t> out, KeyAt key_at) {
+  std::fill(out.begin(), out.end(), ~0U);
+  for (std::size_t j = 0; j < depth; ++j) {
+    const std::uint64_t aj = a[j];
+    const std::uint64_t bj = b[j];
+    const std::uint32_t* row = cells + j * width;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const std::uint64_t h = affine_mod_m61(aj, key_at(i) & kMersenne61, bj);
+      out[i] = std::min(out[i], row[reduce_to_width(h, width)]);
+    }
+  }
+}
 }  // namespace
 
 CmsParams CmsParams::from_error_bounds(std::size_t universe_size,
@@ -54,7 +79,7 @@ CountMinSketch::CountMinSketch(CmsParams params, std::uint64_t hash_seed)
 std::size_t CountMinSketch::cell_index(std::size_t row,
                                        std::uint64_t key) const noexcept {
   const std::uint64_t h = affine_mod_m61(a_[row], key & kMersenne61, b_[row]);
-  return row * params_.width + static_cast<std::size_t>(h % params_.width);
+  return row * params_.width + reduce_to_width(h, params_.width);
 }
 
 void CountMinSketch::update(std::uint64_t key, std::uint32_t count) noexcept {
@@ -68,6 +93,22 @@ std::uint32_t CountMinSketch::query(std::uint64_t key) const noexcept {
   for (std::size_t j = 0; j < params_.depth; ++j)
     best = std::min(best, cells_[cell_index(j, key)]);
   return best;
+}
+
+void CountMinSketch::query_many(std::span<const std::uint64_t> keys,
+                                std::span<std::uint32_t> out) const {
+  if (keys.size() != out.size())
+    throw std::invalid_argument("CountMinSketch::query_many: size mismatch");
+  min_scan(params_.depth, params_.width, a_.data(), b_.data(), cells_.data(),
+           out, [keys](std::size_t i) { return keys[i]; });
+}
+
+void CountMinSketch::query_range(std::uint64_t begin, std::uint64_t end,
+                                 std::span<std::uint32_t> out) const {
+  if (end - begin != out.size())
+    throw std::invalid_argument("CountMinSketch::query_range: size mismatch");
+  min_scan(params_.depth, params_.width, a_.data(), b_.data(), cells_.data(),
+           out, [begin](std::size_t i) { return begin + i; });
 }
 
 CountMinSketch CountMinSketch::from_cells(CmsParams params,

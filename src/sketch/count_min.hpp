@@ -50,6 +50,19 @@ class CountMinSketch {
   void update(std::uint64_t key, std::uint32_t count = 1) noexcept;
   [[nodiscard]] std::uint32_t query(std::uint64_t key) const noexcept;
 
+  /// Batched query: out[i] = query(keys[i]). Row-major traversal — hash
+  /// coefficients and the row base are hoisted out of the key loop, and
+  /// the per-key column comes from a multiply-shift range reduction
+  /// instead of a division. The back-end's id-space scan (one query per id
+  /// in [0, id_space)) is built on this.
+  void query_many(std::span<const std::uint64_t> keys,
+                  std::span<std::uint32_t> out) const;
+
+  /// query_many over the contiguous id range [begin, end);
+  /// out.size() must equal end - begin.
+  void query_range(std::uint64_t begin, std::uint64_t end,
+                   std::span<std::uint32_t> out) const;
+
   [[nodiscard]] const CmsParams& params() const noexcept { return params_; }
   [[nodiscard]] std::uint64_t hash_seed() const noexcept { return seed_; }
   /// L1 mass: total of all updates.

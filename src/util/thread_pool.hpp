@@ -1,0 +1,63 @@
+// A small fixed-size thread pool with a blocking parallel_for.
+//
+// The round pipeline fans identical, independent jobs (one per
+// participant, one per id-space chunk) across cores; nothing here steals
+// work or grows dynamically. Determinism contract: parallel_for runs
+// fn(i) exactly once per index, each index writes only its own output
+// slot, so results are bit-identical to a serial loop regardless of
+// thread count or scheduling.
+//
+// The calling thread participates in the work, so a pool constructed with
+// 1 thread spawns no workers and parallel_for degrades to a plain loop —
+// single-core machines pay no synchronization cost.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eyw::util {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism including the caller;
+  /// 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + calling thread).
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  /// Run fn(i) for every i in [0, n), blocking until all complete.
+  /// Indices are claimed atomically in `grain`-sized contiguous chunks
+  /// (grain 0 picks one sized for ~4 chunks per thread). The first
+  /// exception thrown by any fn is rethrown on the calling thread after
+  /// every index has been claimed.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 0);
+
+  /// Process-wide pool sized to the hardware, built on first use.
+  static ThreadPool& shared();
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::shared_ptr<Batch> batch_;  // current parallel_for, if any
+  std::atomic<bool> busy_{false};
+  bool stopping_ = false;
+};
+
+}  // namespace eyw::util

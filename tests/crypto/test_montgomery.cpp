@@ -1,0 +1,130 @@
+// Agreement of the Montgomery CIOS core (and the RSA-CRT path built on it)
+// with the reference Bignum implementation, across protocol-sized operands.
+#include "crypto/montgomery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rsa.hpp"
+#include "util/rng.hpp"
+
+namespace eyw::crypto {
+namespace {
+
+TEST(Montgomery, RejectsEvenOrTrivialModulus) {
+  EXPECT_THROW(Montgomery(Bignum(0)), std::invalid_argument);
+  EXPECT_THROW(Montgomery(Bignum(1)), std::invalid_argument);
+  EXPECT_THROW(Montgomery(Bignum(10)), std::invalid_argument);
+}
+
+TEST(Montgomery, SmallKnownValues) {
+  const Montgomery mont(Bignum(97));
+  EXPECT_EQ(mont.modmul(Bignum(12), Bignum(34)).to_u64(), (12 * 34) % 97u);
+  EXPECT_EQ(mont.modexp(Bignum(3), Bignum(13)).to_u64(), 31u);  // 3^13 mod 97
+  EXPECT_EQ(mont.modexp(Bignum(5), Bignum(0)).to_u64(), 1u);
+  EXPECT_TRUE(mont.modexp(Bignum(0), Bignum(5)).is_zero());
+}
+
+TEST(Montgomery, DomainRoundTrip) {
+  util::Rng rng(41);
+  for (int i = 0; i < 20; ++i) {
+    Bignum m = Bignum::random_bits(rng, 1 + rng.below(512));
+    if (!m.is_odd()) m = m.add(Bignum(1));
+    if (m.is_one()) continue;
+    const Montgomery mont(m);
+    const Bignum a = Bignum::random_below(rng, m);
+    EXPECT_EQ(mont.from_mont(mont.to_mont(a)), a) << "m=" << m.to_hex();
+  }
+}
+
+TEST(Montgomery, OneMontRepresentsOne) {
+  util::Rng rng(43);
+  Bignum m = Bignum::random_bits(rng, 256);
+  if (!m.is_odd()) m = m.add(Bignum(1));
+  const Montgomery mont(m);
+  EXPECT_TRUE(mont.from_mont(mont.one_mont()).is_one());
+}
+
+// Property sweep: Montgomery modmul/modexp agree with the reference
+// implementation on randomized 512/1024/2048-bit inputs.
+class MontgomeryAgreement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MontgomeryAgreement, ModMulMatchesReference) {
+  const std::size_t bits = GetParam();
+  util::Rng rng(bits);
+  for (int i = 0; i < 8; ++i) {
+    Bignum m = Bignum::random_bits(rng, bits);
+    if (!m.is_odd()) m = m.add(Bignum(1));
+    const Montgomery mont(m);
+    const Bignum a = Bignum::random_below(rng, m);
+    const Bignum b = Bignum::random_below(rng, m);
+    EXPECT_EQ(mont.modmul(a, b), Bignum::modmul(a, b, m))
+        << "bits=" << bits << " iter=" << i;
+  }
+}
+
+TEST_P(MontgomeryAgreement, ModExpMatchesReference) {
+  const std::size_t bits = GetParam();
+  util::Rng rng(bits ^ 0x5eed);
+  for (int i = 0; i < 3; ++i) {
+    Bignum m = Bignum::random_bits(rng, bits);
+    if (!m.is_odd()) m = m.add(Bignum(1));
+    const Montgomery mont(m);
+    const Bignum base = Bignum::random_bits(rng, bits + 13);  // exercises >= m
+    const Bignum exp = Bignum::random_bits(rng, 1 + rng.below(bits));
+    EXPECT_EQ(mont.modexp(base, exp), Bignum::modexp_basic(base, exp, m))
+        << "bits=" << bits << " iter=" << i;
+  }
+}
+
+TEST_P(MontgomeryAgreement, DispatchedModexpMatchesReference) {
+  const std::size_t bits = GetParam();
+  util::Rng rng(bits ^ 0xd15);
+  Bignum m = Bignum::random_bits(rng, bits);
+  if (!m.is_odd()) m = m.add(Bignum(1));
+  const Bignum base = Bignum::random_below(rng, m);
+  const Bignum exp = Bignum::random_bits(rng, 64);
+  EXPECT_EQ(Bignum::modexp(base, exp, m), Bignum::modexp_basic(base, exp, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, MontgomeryAgreement,
+                         ::testing::Values(512, 1024, 2048));
+
+TEST(Montgomery, ExponentEdgeCases) {
+  util::Rng rng(47);
+  Bignum m = Bignum::random_bits(rng, 192);
+  if (!m.is_odd()) m = m.add(Bignum(1));
+  const Montgomery mont(m);
+  const Bignum base = Bignum::random_below(rng, m);
+  for (std::uint64_t e : {0ULL, 1ULL, 2ULL, 15ULL, 16ULL, 17ULL, 255ULL}) {
+    EXPECT_EQ(mont.modexp(base, Bignum(e)),
+              Bignum::modexp_basic(base, Bignum(e), m))
+        << "e=" << e;
+  }
+}
+
+// RSA-CRT private operation agrees with the plain d-exponentiation and
+// inverts the public operation.
+class RsaCrtAgreement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RsaCrtAgreement, CrtMatchesPlainPrivateApply) {
+  util::Rng rng(GetParam() + 7);
+  const RsaKeyPair key = rsa_generate(rng, GetParam());
+  ASSERT_TRUE(key.has_crt());
+  RsaKeyPair plain{.pub = key.pub, .d = key.d};
+  ASSERT_FALSE(plain.has_crt());
+  const RsaPrivateContext crt_ctx(key);
+  const RsaPrivateContext plain_ctx(std::move(plain));
+  for (int i = 0; i < 4; ++i) {
+    const Bignum x = Bignum::random_below(rng, key.pub.n);
+    const Bignum via_crt = crt_ctx.private_apply(x);
+    EXPECT_EQ(via_crt, plain_ctx.private_apply(x));
+    EXPECT_EQ(via_crt, rsa_private_apply(key, x));
+    EXPECT_EQ(rsa_public_apply(key.pub, via_crt), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ModulusBits, RsaCrtAgreement,
+                         ::testing::Values(256, 512, 1024));
+
+}  // namespace
+}  // namespace eyw::crypto

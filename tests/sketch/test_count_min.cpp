@@ -193,5 +193,32 @@ TEST_P(CmsMonotonicity, EstimateNondecreasing) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CmsMonotonicity,
                          ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
 
+TEST(CountMinSketch, BatchedQueriesAgreeWithScalarQuery) {
+  CountMinSketch cms({.depth = 4, .width = 57}, 11);
+  util::Rng rng(31);
+  for (int i = 0; i < 500; ++i) cms.update(rng.below(300));
+
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; k < 300; ++k) keys.push_back(k);
+  std::vector<std::uint32_t> via_many(keys.size());
+  cms.query_many(keys, std::span<std::uint32_t>(via_many));
+  std::vector<std::uint32_t> via_range(keys.size());
+  cms.query_range(0, 300, std::span<std::uint32_t>(via_range));
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    EXPECT_EQ(via_many[k], cms.query(k)) << "key " << k;
+    EXPECT_EQ(via_range[k], cms.query(k)) << "key " << k;
+  }
+}
+
+TEST(CountMinSketch, BatchedQueriesRejectSizeMismatch) {
+  CountMinSketch cms({.depth = 2, .width = 8}, 1);
+  std::vector<std::uint64_t> keys(4);
+  std::vector<std::uint32_t> out(3);
+  EXPECT_THROW(cms.query_many(keys, std::span<std::uint32_t>(out)),
+               std::invalid_argument);
+  EXPECT_THROW(cms.query_range(0, 4, std::span<std::uint32_t>(out)),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace eyw::sketch

@@ -1,0 +1,87 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace eyw::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> out(64, 0);
+  pool.parallel_for(64, [&](std::size_t i) { out[i] = static_cast<int>(i); });
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(ThreadPool, ZeroIterationsIsANoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ResultsMatchSerialForAnyThreadCount) {
+  const std::size_t n = 500;
+  std::vector<std::uint64_t> serial(n);
+  for (std::size_t i = 0; i < n; ++i) serial[i] = i * i + 17;
+  for (std::size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> out(n, 0);
+    pool.parallel_for(n, [&](std::size_t i) { out[i] = i * i + 17; });
+    EXPECT_EQ(out, serial) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool survives a throwing batch.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, NestedCallsRunInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(16 * 16);
+  pool.parallel_for(16, [&](std::size_t i) {
+    pool.parallel_for(16,
+                      [&](std::size_t j) { hits[i * 16 + j].fetch_add(1); });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  std::atomic<std::uint64_t> sum{0};
+  ThreadPool::shared().parallel_for(
+      100, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, ExplicitGrainCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(97);
+  pool.parallel_for(97, [&](std::size_t i) { hits[i].fetch_add(1); },
+                    /*grain=*/10);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace eyw::util
