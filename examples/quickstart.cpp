@@ -1,11 +1,15 @@
-// Quickstart: the count-based detection algorithm in ~40 lines.
+// Quickstart: the count-based detection algorithm in ~40 lines, plus the
+// batch-first OPRF warm-up a fresh extension runs on install.
 //
 // One user's browser-side detector plus the global #Users inputs that the
 // eyeWnder back-end would distribute. Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "client/url_mapper.hpp"
 #include "core/global_view.hpp"
 #include "core/local_detector.hpp"
 
@@ -42,5 +46,29 @@ int main() {
                 static_cast<unsigned long long>(ad), detector.domains_for(ad),
                 counter.users_for(ad), to_string(v));
   }
+
+  // A real extension maps landing URLs to ad ids through the keyed OPRF.
+  // On first run the cache is cold, so it warms up with ONE batched round
+  // trip (OprfEvalRequest with every URL blinded inside) instead of one
+  // round trip per URL.
+  eyw::util::Rng rng(7);
+  const eyw::crypto::OprfServer oprf_server(rng, 256);
+  eyw::client::OprfUrlMapper mapper(oprf_server, /*id_space=*/100'000,
+                                    /*rng_seed=*/11);
+  const std::vector<std::string> urls{
+      "https://shoes.example/landing", "https://travel.example/deal",
+      "https://shoes.example/landing",  // duplicates are free
+      "https://news.example/subscribe"};
+  const auto ids = mapper.map_batch(urls);
+  std::printf("\nOPRF warm-up: mapped %zu URLs (%zu unique) in %llu round "
+              "trip(s), %zu wire bytes\n",
+              urls.size(), mapper.cache_size(),
+              static_cast<unsigned long long>(
+                  mapper.transport_stats().round_trips()),
+              static_cast<std::size_t>(
+                  mapper.transport_stats().total_bytes()));
+  for (std::size_t i = 0; i < urls.size(); ++i)
+    std::printf("  %-34s -> ad id %llu\n", urls[i].c_str(),
+                static_cast<unsigned long long>(ids[i]));
   return 0;
 }

@@ -1,17 +1,26 @@
 // URL -> ad-ID mapping (Section 6): ads must be counted under identifiers
 // that the back-end can enumerate, without the back-end ever learning URLs.
 //
-// The deployed path is the keyed OPRF against the oprf-server; a plain
-// hash mapper is provided as the evaluation oracle (same interface, no
-// privacy) so experiments can compare the two pipelines.
+// The deployed path is the keyed OPRF against the oprf-server, spoken over
+// the proto wire API (OprfEvalRequest/Response envelopes through a
+// Transport); a plain hash mapper is provided as the evaluation oracle
+// (same interface, no privacy) so experiments can compare the two
+// pipelines.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "crypto/oprf.hpp"
+#include "proto/transport.hpp"
+
+namespace eyw::server {
+class OprfEndpoint;  // defined in server/endpoint.hpp
+}
 
 namespace eyw::client {
 
@@ -25,28 +34,67 @@ class UrlMapper {
   [[nodiscard]] virtual std::uint64_t id_space() const = 0;
 };
 
-/// OPRF-backed mapper: one blind evaluation per *unique* identity, cached
-/// locally so the mapping cost is paid once per ad (Section 7.1).
+/// OPRF-backed mapper: blind evaluations against the oprf-server, cached
+/// locally so the mapping cost is paid once per unique ad (Section 7.1).
+/// map() spends one round trip per cache miss; map_batch() ships every
+/// miss in a single OprfEvalRequest — the warm-up path for a fresh
+/// extension or the crawler's initial sweep.
 class OprfUrlMapper final : public UrlMapper {
  public:
-  /// `server` must outlive the mapper (transport abstracted as a direct
-  /// call; the wire cost is tracked in bytes_exchanged()).
+  /// In-process convenience: speaks the same wire protocol to `server`
+  /// through an internal loopback transport. `server` must outlive the
+  /// mapper.
   OprfUrlMapper(const crypto::OprfServer& server, std::uint64_t id_space,
                 std::uint64_t rng_seed);
+
+  /// Transport-first constructor: `transport`'s peer must answer
+  /// OprfEvalRequest envelopes (e.g. a server::OprfEndpoint), and
+  /// `server_public` is the oprf-server's published key. `transport` must
+  /// outlive the mapper.
+  OprfUrlMapper(proto::Transport& transport, crypto::RsaPublicKey server_public,
+                std::uint64_t id_space, std::uint64_t rng_seed);
+
+  ~OprfUrlMapper() override;
 
   [[nodiscard]] std::uint64_t map(std::string_view identity) override;
   [[nodiscard]] std::uint64_t id_space() const override { return id_space_; }
 
-  /// Wire bytes spent on OPRF evaluations so far (2 group elements each).
+  /// Map a batch of identities in one round trip: all cache misses are
+  /// blinded and shipped in a single OprfEvalRequest (one frame per
+  /// proto::kMaxOprfBatch misses for very large sweeps). Returns ids in
+  /// input order, identical to repeated map() calls.
+  [[nodiscard]] std::vector<std::uint64_t> map_batch(
+      std::span<const std::string_view> identities);
+  [[nodiscard]] std::vector<std::uint64_t> map_batch(
+      std::span<const std::string> identities);
+
+  /// Group-element bytes moved by OPRF evaluations so far (2 elements per
+  /// evaluated identity — the paper's accounting). Envelope overhead is
+  /// visible in transport_stats() instead.
   [[nodiscard]] std::size_t bytes_exchanged() const noexcept {
     return bytes_exchanged_;
   }
   [[nodiscard]] std::size_t cache_size() const noexcept {
     return cache_.size();
   }
+  /// Message/byte counts of the channel to the oprf-server (round_trips()
+  /// is how often the mapper actually went to the network).
+  [[nodiscard]] const proto::TransportStats& transport_stats() const noexcept {
+    return transport_->stats();
+  }
 
  private:
-  const crypto::OprfServer& server_;
+  /// Blind + ship + finalize every identity in `fresh` (unique, uncached)
+  /// in one exchange, filling the cache.
+  void fill_cache(std::span<const std::string_view> fresh);
+
+  // Owning halves of the in-process convenience constructor (null when an
+  // external transport was supplied).
+  std::unique_ptr<server::OprfEndpoint> own_endpoint_;
+  std::unique_ptr<proto::LoopbackTransport> own_transport_;
+  proto::Transport* transport_;  // never null
+
+  crypto::RsaPublicKey pub_;
   crypto::OprfClient oprf_client_;
   std::uint64_t id_space_;
   util::Rng rng_;

@@ -1,0 +1,381 @@
+#include "proto/message.hpp"
+
+#include <bit>
+
+namespace eyw::proto {
+
+namespace {
+
+bool known_kind(std::uint16_t k) {
+  return k >= static_cast<std::uint16_t>(MsgKind::kRosterAnnounce) &&
+         k <= static_cast<std::uint16_t>(MsgKind::kError);
+}
+
+void require_kind(const Envelope& env, MsgKind want) {
+  if (env.kind != want)
+    throw ProtoError(ErrorCode::kUnknownKind,
+                     std::string("decode: expected ") + to_string(want) +
+                         ", got " + to_string(env.kind));
+}
+
+/// Shared body of the two element-vector messages (roster, OPRF batches):
+///   element_bytes u32 | count u32 | count * element_bytes key material.
+/// Elements are big-endian, zero-padded to element_bytes.
+void put_elements(WireWriter& w, std::uint32_t element_bytes,
+                  std::span<const crypto::Bignum> elements) {
+  w.u32(element_bytes);
+  w.u32(static_cast<std::uint32_t>(elements.size()));
+  for (const crypto::Bignum& e : elements) {
+    const auto bytes = e.to_bytes_be(element_bytes);
+    w.bytes(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  }
+}
+
+std::vector<crypto::Bignum> get_elements(WireReader& r,
+                                         std::uint32_t& element_bytes,
+                                         std::size_t max_count,
+                                         const char* what) {
+  element_bytes = r.u32();
+  const std::uint32_t count = r.u32();
+  if (element_bytes == 0 || element_bytes > kMaxGroupElementBytes)
+    throw ProtoError(ErrorCode::kOversized,
+                     std::string(what) + ": bad element size");
+  if (count > max_count)
+    throw ProtoError(ErrorCode::kOversized,
+                     std::string(what) + ": element count above cap");
+  // Declared size must be backed by actual payload before any allocation
+  // sized from it (count <= 2^20 and element_bytes <= 2^14, so the product
+  // cannot overflow).
+  if (static_cast<std::uint64_t>(count) * element_bytes > r.remaining())
+    throw ProtoError(ErrorCode::kTruncated,
+                     std::string(what) + ": declared elements exceed payload");
+  std::vector<crypto::Bignum> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    out.push_back(crypto::Bignum::from_bytes_be(r.bytes(element_bytes)));
+  return out;
+}
+
+/// Shared body of BlindedReport / Adjustment: participant u32 followed by a
+/// complete sketch-layer 'EYWS' blinded-report frame. The sketch decoder's
+/// std::invalid_argument surfaces as a proto kMalformed.
+struct CellsBody {
+  std::uint32_t participant = 0;
+  sketch::CmsParams params;
+  std::vector<std::uint32_t> cells;
+};
+
+std::vector<std::uint8_t> encode_cells_body(MsgKind kind,
+                                            std::uint32_t participant,
+                                            std::uint64_t round,
+                                            const sketch::CmsParams& params,
+                                            std::span<const std::uint32_t> cells) {
+  const auto frame = sketch::encode_blinded_report(params, round, cells);
+  WireWriter w(4 + frame.size());
+  w.u32(participant);
+  w.bytes(std::span<const std::uint8_t>(frame.data(), frame.size()));
+  const auto payload = w.take();
+  return encode_envelope(kind, participant, round, payload);
+}
+
+CellsBody decode_cells_body(const Envelope& env, const char* what) {
+  WireReader r(env.payload);
+  CellsBody body;
+  body.participant = r.u32();
+  // The envelope sender is authoritative for routing (the sharded front
+  // door checks it), so a payload claiming a different participant is
+  // forged or corrupted — refuse it rather than letting the two layers
+  // disagree about who reported.
+  if (body.participant != env.sender)
+    throw ProtoError(ErrorCode::kMalformed,
+                     std::string(what) + ": participant != envelope sender");
+  const auto frame_bytes = r.bytes(r.remaining());
+  sketch::DecodedFrame frame;
+  try {
+    frame = sketch::decode_frame(frame_bytes);
+  } catch (const std::invalid_argument& e) {
+    throw ProtoError(ErrorCode::kMalformed,
+                     std::string(what) + ": bad cell frame: " + e.what());
+  }
+  if (frame.kind != sketch::FrameKind::kBlindedReport)
+    throw ProtoError(ErrorCode::kMalformed,
+                     std::string(what) + ": embedded frame is not blinded");
+  if (frame.round != env.round)
+    throw ProtoError(ErrorCode::kMalformed,
+                     std::string(what) + ": frame round != envelope round");
+  body.params = frame.params;
+  body.cells = std::move(frame.cells);
+  return body;
+}
+
+}  // namespace
+
+const char* to_string(MsgKind kind) noexcept {
+  switch (kind) {
+    case MsgKind::kRosterAnnounce: return "roster-announce";
+    case MsgKind::kBlindedReport: return "blinded-report";
+    case MsgKind::kAdjustmentRequest: return "adjustment-request";
+    case MsgKind::kAdjustment: return "adjustment";
+    case MsgKind::kThresholdBroadcast: return "threshold-broadcast";
+    case MsgKind::kOprfEvalRequest: return "oprf-eval-request";
+    case MsgKind::kOprfEvalResponse: return "oprf-eval-response";
+    case MsgKind::kShardedSubmit: return "sharded-submit";
+    case MsgKind::kAck: return "ack";
+    case MsgKind::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_envelope(
+    MsgKind kind, std::uint32_t sender, std::uint64_t round,
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxPayloadBytes)
+    throw ProtoError(ErrorCode::kOversized, "encode_envelope: payload too big");
+  WireWriter w(kEnvelopeHeaderBytes + payload.size());
+  w.u32(kEnvelopeMagic);
+  w.u16(kProtoVersion);
+  w.u16(static_cast<std::uint16_t>(kind));
+  w.u32(sender);
+  w.u64(round);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.bytes(payload);
+  return w.take();
+}
+
+Envelope decode_envelope(std::span<const std::uint8_t> bytes) {
+  WireReader r(bytes);
+  if (r.u32() != kEnvelopeMagic)
+    throw ProtoError(ErrorCode::kBadMagic, "decode_envelope: bad magic");
+  if (r.u16() != kProtoVersion)
+    throw ProtoError(ErrorCode::kBadVersion,
+                     "decode_envelope: unsupported version");
+  const std::uint16_t kind = r.u16();
+  if (!known_kind(kind))
+    throw ProtoError(ErrorCode::kUnknownKind,
+                     "decode_envelope: unknown message kind");
+  Envelope env;
+  env.kind = static_cast<MsgKind>(kind);
+  env.sender = r.u32();
+  env.round = r.u64();
+  const std::uint32_t length = r.u32();
+  if (length > kMaxPayloadBytes)
+    throw ProtoError(ErrorCode::kOversized,
+                     "decode_envelope: declared payload above cap");
+  if (length != r.remaining()) {
+    throw ProtoError(length > r.remaining() ? ErrorCode::kTruncated
+                                            : ErrorCode::kTrailingBytes,
+                     "decode_envelope: payload length mismatch");
+  }
+  const auto payload = r.bytes(length);
+  env.payload.assign(payload.begin(), payload.end());
+  return env;
+}
+
+// ------------------------------------------------------------ RosterAnnounce
+
+std::vector<std::uint8_t> RosterAnnounce::encode(std::uint64_t round) const {
+  WireWriter w(8 + public_keys.size() * element_bytes);
+  put_elements(w, element_bytes, public_keys);
+  const auto payload = w.take();
+  return encode_envelope(MsgKind::kRosterAnnounce, kServerSender, round,
+                         payload);
+}
+
+RosterAnnounce RosterAnnounce::decode(const Envelope& env) {
+  require_kind(env, MsgKind::kRosterAnnounce);
+  WireReader r(env.payload);
+  RosterAnnounce out;
+  out.public_keys =
+      get_elements(r, out.element_bytes, kMaxRosterKeys, "roster-announce");
+  r.expect_done();
+  return out;
+}
+
+// ------------------------------------------------------------- BlindedReport
+
+std::vector<std::uint8_t> BlindedReport::encode(std::uint64_t round) const {
+  return encode_cells_body(MsgKind::kBlindedReport, participant, round, params,
+                           cells);
+}
+
+BlindedReport BlindedReport::decode(const Envelope& env) {
+  require_kind(env, MsgKind::kBlindedReport);
+  auto body = decode_cells_body(env, "blinded-report");
+  return {body.participant, body.params, std::move(body.cells)};
+}
+
+// --------------------------------------------------------- AdjustmentRequest
+
+std::vector<std::uint8_t> AdjustmentRequest::encode(std::uint64_t round) const {
+  WireWriter w(4 + missing.size() * 4);
+  w.u32(static_cast<std::uint32_t>(missing.size()));
+  for (const std::uint32_t m : missing) w.u32(m);
+  const auto payload = w.take();
+  return encode_envelope(MsgKind::kAdjustmentRequest, kServerSender, round,
+                         payload);
+}
+
+AdjustmentRequest AdjustmentRequest::decode(const Envelope& env) {
+  require_kind(env, MsgKind::kAdjustmentRequest);
+  WireReader r(env.payload);
+  const std::uint32_t count = r.u32();
+  if (count > kMaxMissing)
+    throw ProtoError(ErrorCode::kOversized,
+                     "adjustment-request: missing list above cap");
+  if (static_cast<std::uint64_t>(count) * 4 > r.remaining())
+    throw ProtoError(ErrorCode::kTruncated,
+                     "adjustment-request: declared list exceeds payload");
+  AdjustmentRequest out;
+  out.missing.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.missing.push_back(r.u32());
+  r.expect_done();
+  return out;
+}
+
+// ---------------------------------------------------------------- Adjustment
+
+std::vector<std::uint8_t> Adjustment::encode(std::uint64_t round) const {
+  return encode_cells_body(MsgKind::kAdjustment, participant, round, params,
+                           cells);
+}
+
+Adjustment Adjustment::decode(const Envelope& env) {
+  require_kind(env, MsgKind::kAdjustment);
+  auto body = decode_cells_body(env, "adjustment");
+  return {body.participant, body.params, std::move(body.cells)};
+}
+
+// -------------------------------------------------------- ThresholdBroadcast
+
+std::vector<std::uint8_t> ThresholdBroadcast::encode(std::uint64_t round) const {
+  WireWriter w(16);
+  w.u64(std::bit_cast<std::uint64_t>(users_threshold));
+  w.u32(reports);
+  w.u32(roster);
+  const auto payload = w.take();
+  return encode_envelope(MsgKind::kThresholdBroadcast, kServerSender, round,
+                         payload);
+}
+
+ThresholdBroadcast ThresholdBroadcast::decode(const Envelope& env) {
+  require_kind(env, MsgKind::kThresholdBroadcast);
+  WireReader r(env.payload);
+  ThresholdBroadcast out;
+  out.users_threshold = std::bit_cast<double>(r.u64());
+  out.reports = r.u32();
+  out.roster = r.u32();
+  r.expect_done();
+  return out;
+}
+
+// ------------------------------------------------------------- OPRF messages
+
+std::vector<std::uint8_t> OprfEvalRequest::encode(std::uint32_t sender) const {
+  WireWriter w(8 + elements.size() * element_bytes);
+  put_elements(w, element_bytes, elements);
+  const auto payload = w.take();
+  return encode_envelope(MsgKind::kOprfEvalRequest, sender, /*round=*/0,
+                         payload);
+}
+
+OprfEvalRequest OprfEvalRequest::decode(const Envelope& env) {
+  require_kind(env, MsgKind::kOprfEvalRequest);
+  WireReader r(env.payload);
+  OprfEvalRequest out;
+  out.elements =
+      get_elements(r, out.element_bytes, kMaxOprfBatch, "oprf-eval-request");
+  r.expect_done();
+  return out;
+}
+
+std::vector<std::uint8_t> OprfEvalResponse::encode() const {
+  WireWriter w(8 + elements.size() * element_bytes);
+  put_elements(w, element_bytes, elements);
+  const auto payload = w.take();
+  return encode_envelope(MsgKind::kOprfEvalResponse, kServerSender,
+                         /*round=*/0, payload);
+}
+
+OprfEvalResponse OprfEvalResponse::decode(const Envelope& env) {
+  require_kind(env, MsgKind::kOprfEvalResponse);
+  WireReader r(env.payload);
+  OprfEvalResponse out;
+  out.elements =
+      get_elements(r, out.element_bytes, kMaxOprfBatch, "oprf-eval-response");
+  r.expect_done();
+  return out;
+}
+
+// ------------------------------------------------------------- ShardedSubmit
+
+std::vector<std::uint8_t> ShardedSubmit::encode(std::uint32_t sender,
+                                                std::uint64_t round) const {
+  WireWriter w(8 + inner.size());
+  w.u32(shard);
+  w.u32(static_cast<std::uint32_t>(inner.size()));
+  w.bytes(std::span<const std::uint8_t>(inner.data(), inner.size()));
+  const auto payload = w.take();
+  return encode_envelope(MsgKind::kShardedSubmit, sender, round, payload);
+}
+
+ShardedSubmit ShardedSubmit::decode(const Envelope& env) {
+  require_kind(env, MsgKind::kShardedSubmit);
+  WireReader r(env.payload);
+  ShardedSubmit out;
+  out.shard = r.u32();
+  const std::uint32_t inner_len = r.u32();
+  if (inner_len != r.remaining())
+    throw ProtoError(inner_len > r.remaining() ? ErrorCode::kTruncated
+                                               : ErrorCode::kTrailingBytes,
+                     "sharded-submit: inner length mismatch");
+  const auto inner = r.bytes(inner_len);
+  out.inner.assign(inner.begin(), inner.end());
+  return out;
+}
+
+// -------------------------------------------------------------- Ack / Error
+
+std::vector<std::uint8_t> encode_ack() {
+  return encode_envelope(MsgKind::kAck, kServerSender, /*round=*/0, {});
+}
+
+std::vector<std::uint8_t> ErrorReply::encode() const {
+  std::string clipped = detail;
+  if (clipped.size() > kMaxErrorDetailBytes)
+    clipped.resize(kMaxErrorDetailBytes);
+  WireWriter w(4 + clipped.size());
+  w.u16(static_cast<std::uint16_t>(code));
+  w.u16(static_cast<std::uint16_t>(clipped.size()));
+  w.bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(clipped.data()), clipped.size()));
+  const auto payload = w.take();
+  return encode_envelope(MsgKind::kError, kServerSender, /*round=*/0, payload);
+}
+
+ErrorReply ErrorReply::decode(const Envelope& env) {
+  require_kind(env, MsgKind::kError);
+  WireReader r(env.payload);
+  ErrorReply out;
+  out.code = static_cast<ErrorCode>(r.u16());
+  const std::uint16_t len = r.u16();
+  const auto detail = r.bytes(len);
+  out.detail.assign(detail.begin(), detail.end());
+  r.expect_done();
+  return out;
+}
+
+Envelope expect_reply(std::span<const std::uint8_t> bytes, MsgKind expected) {
+  Envelope env = decode_envelope(bytes);
+  if (env.kind == MsgKind::kError) {
+    const ErrorReply err = ErrorReply::decode(env);
+    throw ProtoError(err.code, "peer replied " + std::string(to_string(err.code)) +
+                                   ": " + err.detail);
+  }
+  if (env.kind != expected)
+    throw ProtoError(ErrorCode::kUnknownKind,
+                     std::string("expected ") + to_string(expected) + ", got " +
+                         to_string(env.kind));
+  return env;
+}
+
+}  // namespace eyw::proto

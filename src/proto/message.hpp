@@ -1,0 +1,184 @@
+// The versioned party-to-party message catalogue (the "wire API" of the
+// reproduction). Every cross-party interaction — roster publication,
+// blinded reports, the fault-tolerance adjustment, threshold distribution,
+// OPRF evaluation, sharded submission — is one of these typed envelopes.
+//
+// Envelope layout (all integers little-endian):
+//   magic    u32  'EYWP'
+//   version  u16  (currently 1)
+//   kind     u16  (MsgKind)
+//   sender   u32  (participant index; kServerSender for the back-end)
+//   round    u64  (reporting round; 0 where not meaningful)
+//   length   u32  (payload bytes that follow)
+//   payload  u8[length]
+//
+// Report and adjustment payloads ride the existing sketch/serialize
+// framing ('EYWS' frames), so the sketch geometry travels with every cell
+// vector and the sketch decoder's validation applies end to end.
+//
+// Decoders throw ProtoError with an explicit ErrorCode; servers answer a
+// bad frame with an Error envelope carrying that code instead of dying.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/bignum.hpp"
+#include "proto/wire.hpp"
+#include "sketch/serialize.hpp"
+
+namespace eyw::proto {
+
+inline constexpr std::uint32_t kEnvelopeMagic = 0x50575945;  // "EYWP"
+inline constexpr std::uint16_t kProtoVersion = 1;
+/// Sender id used by the back-end / oprf-server (clients use their roster
+/// index, which is always < kServerSender).
+inline constexpr std::uint32_t kServerSender = 0xffffffff;
+
+/// Hard caps applied before any allocation driven by untrusted counts.
+inline constexpr std::size_t kMaxPayloadBytes = std::size_t{1} << 28;
+inline constexpr std::size_t kMaxRosterKeys = std::size_t{1} << 20;
+inline constexpr std::size_t kMaxGroupElementBytes = std::size_t{1} << 14;
+inline constexpr std::size_t kMaxOprfBatch = std::size_t{1} << 16;
+inline constexpr std::size_t kMaxMissing = std::size_t{1} << 20;
+inline constexpr std::size_t kMaxErrorDetailBytes = 512;
+
+enum class MsgKind : std::uint16_t {
+  kRosterAnnounce = 1,      // server -> client: the DH public-key bulletin
+  kBlindedReport = 2,       // client -> server: blinded CMS cells
+  kAdjustmentRequest = 3,   // server -> client: missing-participant list
+  kAdjustment = 4,          // client -> server: fault-tolerance adjustment
+  kThresholdBroadcast = 5,  // server -> client: Users_th for the round
+  kOprfEvalRequest = 6,     // client -> oprf-server: blinded elements
+  kOprfEvalResponse = 7,    // oprf-server -> client: evaluated elements
+  kShardedSubmit = 8,       // front door -> shard: routed inner envelope
+  kAck = 9,                 // positive reply carrying no payload
+  kError = 10,              // negative reply: ErrorCode + detail string
+};
+
+[[nodiscard]] const char* to_string(MsgKind kind) noexcept;
+
+/// A decoded envelope: validated header plus the raw payload bytes.
+struct Envelope {
+  MsgKind kind = MsgKind::kAck;
+  std::uint32_t sender = 0;
+  std::uint64_t round = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+inline constexpr std::size_t kEnvelopeHeaderBytes = 4 + 2 + 2 + 4 + 8 + 4;
+
+[[nodiscard]] std::vector<std::uint8_t> encode_envelope(
+    MsgKind kind, std::uint32_t sender, std::uint64_t round,
+    std::span<const std::uint8_t> payload);
+
+/// Parse and validate an envelope. Throws ProtoError (kBadMagic,
+/// kBadVersion, kUnknownKind, kTruncated, kTrailingBytes, kOversized).
+[[nodiscard]] Envelope decode_envelope(std::span<const std::uint8_t> bytes);
+
+// ---------------------------------------------------------------- messages
+// Each message encodes itself into a complete envelope and decodes from a
+// validated Envelope (throwing ProtoError on kind mismatch or a malformed
+// payload).
+
+/// The DH public-key bulletin board for one round's roster.
+struct RosterAnnounce {
+  std::uint32_t element_bytes = 0;
+  std::vector<crypto::Bignum> public_keys;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::uint64_t round) const;
+  [[nodiscard]] static RosterAnnounce decode(const Envelope& env);
+};
+
+/// One client's blinded CMS report. The payload embeds a sketch-layer
+/// 'EYWS' blinded-report frame, so geometry validation happens there.
+struct BlindedReport {
+  std::uint32_t participant = 0;
+  sketch::CmsParams params;
+  std::vector<std::uint32_t> cells;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::uint64_t round) const;
+  [[nodiscard]] static BlindedReport decode(const Envelope& env);
+};
+
+/// Server -> reporters: the missing-participant list of the adjustment
+/// round (Section 6, fault tolerance).
+struct AdjustmentRequest {
+  std::vector<std::uint32_t> missing;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::uint64_t round) const;
+  [[nodiscard]] static AdjustmentRequest decode(const Envelope& env);
+};
+
+/// One reporter's adjustment for the missing set; same embedded framing as
+/// BlindedReport.
+struct Adjustment {
+  std::uint32_t participant = 0;
+  sketch::CmsParams params;
+  std::vector<std::uint32_t> cells;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::uint64_t round) const;
+  [[nodiscard]] static Adjustment decode(const Envelope& env);
+};
+
+/// The per-round result distributed back to every client.
+struct ThresholdBroadcast {
+  double users_threshold = 0.0;
+  std::uint32_t reports = 0;
+  std::uint32_t roster = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::uint64_t round) const;
+  [[nodiscard]] static ThresholdBroadcast decode(const Envelope& env);
+};
+
+/// Batch-first OPRF evaluation request: the client ships every blinded
+/// element it needs evaluated in one frame (one round trip per cache fill,
+/// not one per URL).
+struct OprfEvalRequest {
+  std::uint32_t element_bytes = 0;
+  std::vector<crypto::Bignum> elements;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::uint32_t sender) const;
+  [[nodiscard]] static OprfEvalRequest decode(const Envelope& env);
+};
+
+/// Batch OPRF response: element i evaluates request element i.
+struct OprfEvalResponse {
+  std::uint32_t element_bytes = 0;
+  std::vector<crypto::Bignum> elements;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static OprfEvalResponse decode(const Envelope& env);
+};
+
+/// Front-door routing wrapper: a complete inner envelope plus the shard the
+/// router assigned it to (the shard rejects a misrouted frame).
+struct ShardedSubmit {
+  std::uint32_t shard = 0;
+  std::vector<std::uint8_t> inner;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::uint32_t sender,
+                                                 std::uint64_t round) const;
+  [[nodiscard]] static ShardedSubmit decode(const Envelope& env);
+};
+
+/// Negative reply.
+struct ErrorReply {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string detail;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static ErrorReply decode(const Envelope& env);
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_ack();
+
+/// Decode a reply frame and require `expected`. An Error reply is raised as
+/// ProtoError with the carried code; any other kind mismatch throws
+/// kUnknownKind.
+[[nodiscard]] Envelope expect_reply(std::span<const std::uint8_t> bytes,
+                                    MsgKind expected);
+
+}  // namespace eyw::proto

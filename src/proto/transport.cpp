@@ -1,0 +1,63 @@
+#include "proto/transport.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace eyw::proto {
+
+std::vector<std::uint8_t> Transport::exchange(
+    std::span<const std::uint8_t> frame) {
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += frame.size();
+  std::vector<std::uint8_t> reply = do_exchange(frame);
+  stats_.messages_received += reply.empty() ? 0 : 1;
+  stats_.bytes_received += reply.size();
+  return reply;
+}
+
+LoopbackTransport::LoopbackTransport(FrameHandler handler)
+    : handler_(std::move(handler)) {
+  if (!handler_)
+    throw std::invalid_argument("LoopbackTransport: null handler");
+}
+
+std::vector<std::uint8_t> LoopbackTransport::do_exchange(
+    std::span<const std::uint8_t> frame) {
+  return handler_(frame);
+}
+
+FaultInjectingTransport::FaultInjectingTransport(Transport& inner,
+                                                 FaultPlan plan)
+    : inner_(inner), plan_(plan) {}
+
+std::vector<std::uint8_t> FaultInjectingTransport::do_exchange(
+    std::span<const std::uint8_t> frame) {
+  const bool fire = count_++ == plan_.nth;
+  if (!fire || plan_.action == FaultPlan::Action::kNone)
+    return inner_.exchange(frame);
+
+  switch (plan_.action) {
+    case FaultPlan::Action::kTruncateRequest: {
+      const std::size_t keep = std::min(plan_.offset, frame.size());
+      return inner_.exchange(frame.first(keep));
+    }
+    case FaultPlan::Action::kCorruptRequest: {
+      std::vector<std::uint8_t> mutated(frame.begin(), frame.end());
+      if (plan_.offset < mutated.size()) mutated[plan_.offset] ^= plan_.xor_mask;
+      return inner_.exchange(mutated);
+    }
+    case FaultPlan::Action::kCorruptResponse: {
+      std::vector<std::uint8_t> reply = inner_.exchange(frame);
+      if (plan_.offset < reply.size()) reply[plan_.offset] ^= plan_.xor_mask;
+      return reply;
+    }
+    case FaultPlan::Action::kDropResponse:
+      (void)inner_.exchange(frame);
+      return {};
+    case FaultPlan::Action::kNone:
+      break;
+  }
+  return inner_.exchange(frame);
+}
+
+}  // namespace eyw::proto

@@ -1,0 +1,108 @@
+// Transport abstraction: how encoded envelopes move between parties.
+//
+// Every cross-party byte in the system flows through a Transport, so
+// message counts and byte totals are measured at one choke point instead of
+// estimated on the side. The in-process LoopbackTransport plays the
+// network for tests, benches, and the single-process simulator; a
+// fault-injecting wrapper corrupts/truncates/drops a chosen exchange so
+// decoder error paths are exercised end to end.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace eyw::proto {
+
+/// Byte/message accounting for one direction pair of a channel. "Sent" is
+/// the request (caller -> peer), "received" the response.
+struct TransportStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+
+  /// One exchange() == one round trip.
+  [[nodiscard]] std::uint64_t round_trips() const noexcept {
+    return messages_sent;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return bytes_sent + bytes_received;
+  }
+};
+
+/// A synchronous request/response channel for encoded frames. exchange()
+/// does the stats accounting; implementations override do_exchange().
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Send one frame, return the peer's reply frame (possibly empty when
+  /// the transport lost the response).
+  [[nodiscard]] std::vector<std::uint8_t> exchange(
+      std::span<const std::uint8_t> frame);
+
+  [[nodiscard]] const TransportStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  virtual std::vector<std::uint8_t> do_exchange(
+      std::span<const std::uint8_t> frame) = 0;
+
+  TransportStats stats_;
+};
+
+using FrameHandler =
+    std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>)>;
+
+/// In-process transport: delivers the frame to a handler (an endpoint's
+/// dispatch function) and returns its reply. The frame is passed as a span
+/// of the caller's buffer — the handler must not retain it.
+class LoopbackTransport final : public Transport {
+ public:
+  explicit LoopbackTransport(FrameHandler handler);
+
+ private:
+  std::vector<std::uint8_t> do_exchange(
+      std::span<const std::uint8_t> frame) override;
+
+  FrameHandler handler_;
+};
+
+/// What a FaultInjectingTransport does to its chosen exchange.
+struct FaultPlan {
+  enum class Action {
+    kNone,
+    kTruncateRequest,   // forward only the first `offset` request bytes
+    kCorruptRequest,    // xor request byte `offset` with `xor_mask`
+    kCorruptResponse,   // xor response byte `offset` with `xor_mask`
+    kDropResponse,      // swallow the response, return an empty frame
+  };
+
+  Action action = Action::kNone;
+  std::uint64_t nth = 0;       // 0-based exchange index the fault fires on
+  std::size_t offset = 0;      // truncation length / corrupted byte index
+  std::uint8_t xor_mask = 0xff;
+};
+
+/// Wraps another transport and applies one planned fault; every other
+/// exchange passes through untouched. Offsets beyond the frame are
+/// clamped/ignored so a plan can never crash the wrapper itself.
+class FaultInjectingTransport final : public Transport {
+ public:
+  FaultInjectingTransport(Transport& inner, FaultPlan plan);
+
+  /// Total exchanges seen (including the faulted one).
+  [[nodiscard]] std::uint64_t exchanges() const noexcept { return count_; }
+
+ private:
+  std::vector<std::uint8_t> do_exchange(
+      std::span<const std::uint8_t> frame) override;
+
+  Transport& inner_;
+  FaultPlan plan_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace eyw::proto

@@ -1,0 +1,46 @@
+#include "proto/wire.hpp"
+
+namespace eyw::proto {
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kBadMagic: return "bad-magic";
+    case ErrorCode::kBadVersion: return "bad-version";
+    case ErrorCode::kUnknownKind: return "unknown-kind";
+    case ErrorCode::kTruncated: return "truncated";
+    case ErrorCode::kTrailingBytes: return "trailing-bytes";
+    case ErrorCode::kMalformed: return "malformed";
+    case ErrorCode::kGeometryMismatch: return "geometry-mismatch";
+    case ErrorCode::kOversized: return "oversized";
+    case ErrorCode::kRejected: return "rejected";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown-error-code";
+}
+
+std::span<const std::uint8_t> WireReader::bytes(std::size_t n) {
+  if (n > remaining())
+    throw ProtoError(ErrorCode::kTruncated, "wire: truncated byte field");
+  const auto out = bytes_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+void WireReader::expect_done() const {
+  if (pos_ != bytes_.size())
+    throw ProtoError(ErrorCode::kTrailingBytes,
+                     "wire: payload has trailing bytes");
+}
+
+std::uint64_t WireReader::le(std::size_t n) {
+  if (n > remaining())
+    throw ProtoError(ErrorCode::kTruncated, "wire: truncated integer");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+  pos_ += n;
+  return v;
+}
+
+}  // namespace eyw::proto

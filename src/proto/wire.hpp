@@ -1,0 +1,107 @@
+// Low-level wire primitives shared by every proto message: little-endian
+// integer put/get, bounds-checked reading, and the explicit error-code
+// vocabulary the protocol speaks.
+//
+// Everything that parses untrusted bytes in src/proto/ throws ProtoError
+// (never a bare std::invalid_argument), so endpoints can translate a parse
+// failure into an Error reply frame carrying the machine-readable code.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace eyw::proto {
+
+/// Machine-readable protocol error codes. These go on the wire inside
+/// Error reply frames, so values are frozen: append, never renumber.
+enum class ErrorCode : std::uint16_t {
+  kOk = 0,
+  kBadMagic = 1,           // frame does not start with 'EYWP'
+  kBadVersion = 2,         // version field outside the supported range
+  kUnknownKind = 3,        // message kind not in the catalogue
+  kTruncated = 4,          // input ended before the declared length
+  kTrailingBytes = 5,      // input longer than the declared length
+  kMalformed = 6,          // field-level inconsistency inside the payload
+  kGeometryMismatch = 7,   // sketch geometry does not match the payload
+  kOversized = 8,          // declared count/length above the hard cap
+  kRejected = 9,           // well-formed but refused by protocol state
+                           // (duplicate report, outside roster, bad shard…)
+  kInternal = 10,          // server-side failure unrelated to the request
+};
+
+[[nodiscard]] const char* to_string(ErrorCode code) noexcept;
+
+/// The exception every proto decoder throws. Carries the wire error code so
+/// endpoints can answer with an Error frame instead of tearing down.
+class ProtoError : public std::runtime_error {
+ public:
+  ProtoError(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Append-only little-endian byte sink.
+class WireWriter {
+ public:
+  WireWriter() = default;
+  explicit WireWriter(std::size_t reserve) { out_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { le(v, 2); }
+  void u32(std::uint32_t v) { le(v, 4); }
+  void u64(std::uint64_t v) { le(v, 8); }
+  void bytes(std::span<const std::uint8_t> b) {
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  void le(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  std::vector<std::uint8_t> out_;
+};
+
+/// Bounds-checked little-endian reader over untrusted bytes. Any overrun
+/// throws ProtoError(kTruncated); expect_done() throws kTrailingBytes if
+/// the payload declared more than the message consumed.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    return static_cast<std::uint8_t>(le(1));
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    return static_cast<std::uint16_t>(le(2));
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    return static_cast<std::uint32_t>(le(4));
+  }
+  [[nodiscard]] std::uint64_t u64() { return le(8); }
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+  void expect_done() const;
+
+ private:
+  std::uint64_t le(std::size_t n);
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace eyw::proto

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "proto/message.hpp"
+#include "sketch/serialize.hpp"
 #include "util/thread_pool.hpp"
 
 namespace eyw::server {
@@ -12,6 +14,14 @@ BackendServer::BackendServer(BackendConfig config) : config_(config) {
     throw std::invalid_argument("BackendServer: id_space == 0");
   if (config_.cms_params.cells() == 0)
     throw std::invalid_argument("BackendServer: empty CMS geometry");
+  // A geometry that cannot travel as a report — above the sketch cell cap,
+  // or whose encoded envelope payload (participant u32 + 'EYWS' frame)
+  // would exceed the proto payload cap — is refused at configuration time
+  // instead of as per-report Error frames mid-round. The short-circuit
+  // keeps encoded_size() from overflowing on absurd dimensions.
+  if (config_.cms_params.cells() > sketch::kMaxFrameCells ||
+      4 + sketch::encoded_size(config_.cms_params) > proto::kMaxPayloadBytes)
+    throw std::invalid_argument("BackendServer: geometry above wire caps");
 }
 
 void BackendServer::begin_round(std::uint64_t round, std::size_t roster_size) {
@@ -52,6 +62,57 @@ void BackendServer::submit_adjustment(
   bytes_received_ += config_.cms_params.bytes();
 }
 
+std::vector<double> scan_users_counts(const sketch::CountMinSketch& aggregate,
+                                      std::uint64_t id_space,
+                                      util::ThreadPool& pool) {
+  // Ids that correspond to no real ad mostly query to 0 and are dropped by
+  // UsersDistribution::from_counts; hash collisions inside the CMS are why
+  // the estimated threshold sits slightly above the actual one (Figure 2).
+  std::vector<std::uint32_t> raw(id_space);
+  constexpr std::uint64_t kChunk = 4096;
+  const std::uint64_t chunks = (id_space + kChunk - 1) / kChunk;
+  pool.parallel_for(static_cast<std::size_t>(chunks), [&](std::size_t c) {
+    const std::uint64_t begin = static_cast<std::uint64_t>(c) * kChunk;
+    const std::uint64_t end = std::min(id_space, begin + kChunk);
+    aggregate.query_range(
+        begin, end,
+        std::span<std::uint32_t>(raw.data() + begin,
+                                 static_cast<std::size_t>(end - begin)));
+  });
+  return {raw.begin(), raw.end()};
+}
+
+std::vector<crypto::BlindCell> BackendServer::partial_aggregate() const {
+  // Sum the blinded reports in place — no per-report copies.
+  const std::size_t n_cells = config_.cms_params.cells();
+  std::vector<crypto::BlindCell> aggregate_cells(n_cells, 0);
+  for (const auto& [idx, cells] : reports_) {
+    for (std::size_t m = 0; m < n_cells; ++m) aggregate_cells[m] += cells[m];
+  }
+  for (const auto& [idx, adj] : adjustments_)
+    crypto::apply_adjustment(aggregate_cells, adj);
+  return aggregate_cells;
+}
+
+RoundResult finalize_from_cells(const BackendConfig& config,
+                                std::span<const crypto::BlindCell> cells,
+                                std::size_t reports, std::size_t roster,
+                                util::ThreadPool& pool) {
+  RoundResult result{
+      .aggregate = sketch::CountMinSketch::from_cells(
+          config.cms_params, config.cms_hash_seed, cells),
+      .distribution = {},
+      .users_threshold = 0.0,
+      .reports = reports,
+      .roster = roster,
+  };
+  const std::vector<double> counts =
+      scan_users_counts(result.aggregate, config.id_space, pool);
+  result.distribution = core::UsersDistribution::from_counts(counts);
+  result.users_threshold = result.distribution.threshold(config.users_rule);
+  return result;
+}
+
 RoundResult BackendServer::finalize_round(util::ThreadPool* pool) {
   if (pool == nullptr) pool = &util::ThreadPool::shared();
   if (reports_.empty())
@@ -62,48 +123,9 @@ RoundResult BackendServer::finalize_round(util::ThreadPool* pool) {
         "finalize_round: missing clients but not all adjustments received");
   }
 
-  // Sum the blinded reports in place — no per-report copies.
-  const std::size_t n_cells = config_.cms_params.cells();
-  std::vector<crypto::BlindCell> aggregate_cells(n_cells, 0);
-  for (const auto& [idx, cells] : reports_) {
-    for (std::size_t m = 0; m < n_cells; ++m) aggregate_cells[m] += cells[m];
-  }
-  for (const auto& [idx, adj] : adjustments_)
-    crypto::apply_adjustment(aggregate_cells, adj);
-
-  RoundResult result{
-      .aggregate = sketch::CountMinSketch::from_cells(
-          config_.cms_params, config_.cms_hash_seed, aggregate_cells),
-      .distribution = {},
-      .users_threshold = 0.0,
-      .reports = reports_.size(),
-      .roster = roster_size_,
-  };
-
-  // Enumerate the (over-provisioned) id space as batched row-major sketch
-  // queries, fanned across cores in contiguous id chunks (each chunk fills
-  // only its own output slice, so the scan is deterministic). Ids that
-  // correspond to no real ad mostly query to 0 and are dropped by
-  // from_counts; hash collisions inside the CMS are why the estimated
-  // threshold sits slightly above the actual one (Figure 2).
-  std::vector<std::uint32_t> raw(config_.id_space);
-  constexpr std::uint64_t kChunk = 4096;
-  const std::uint64_t chunks = (config_.id_space + kChunk - 1) / kChunk;
-  pool->parallel_for(
-      static_cast<std::size_t>(chunks), [&](std::size_t c) {
-        const std::uint64_t begin = static_cast<std::uint64_t>(c) * kChunk;
-        const std::uint64_t end = std::min(config_.id_space, begin + kChunk);
-        result.aggregate.query_range(
-            begin, end,
-            std::span<std::uint32_t>(raw.data() + begin,
-                                     static_cast<std::size_t>(end - begin)));
-      });
-  std::vector<double> counts(raw.begin(), raw.end());
-  result.distribution = core::UsersDistribution::from_counts(counts);
-  result.users_threshold = result.distribution.threshold(config_.users_rule);
-
-  last_result_ = result;
-  return result;
+  last_result_ = finalize_from_cells(config_, partial_aggregate(),
+                                     reports_.size(), roster_size_, *pool);
+  return *last_result_;
 }
 
 std::optional<double> BackendServer::users_for(std::uint64_t ad_id) const {

@@ -2,6 +2,12 @@
 // and unblinds them, estimates the #Users(a) counters over the enumerable
 // ad-ID space, and derives the Users_th threshold that is distributed back
 // to every client.
+//
+// RoundBackend is the abstract ingestion/finalization surface the round
+// protocol talks to: BackendServer is the single-node implementation,
+// server::BackendCluster (cluster.hpp) the sharded front door. The
+// coordinator and the proto endpoints only see RoundBackend, so swapping a
+// single server for an N-shard cluster changes no protocol code.
 #pragma once
 
 #include <cstdint>
@@ -35,41 +41,109 @@ struct RoundResult {
   std::size_t roster = 0;
 };
 
-class BackendServer {
+/// The ingestion + finalization API of "the back-end" as the round protocol
+/// sees it, independent of whether one server or a shard cluster answers.
+class RoundBackend {
  public:
-  explicit BackendServer(BackendConfig config);
+  virtual ~RoundBackend() = default;
 
-  [[nodiscard]] const BackendConfig& config() const noexcept { return config_; }
+  [[nodiscard]] virtual const BackendConfig& config() const noexcept = 0;
 
   /// Begin a reporting round for a roster of `roster_size` clients.
-  void begin_round(std::uint64_t round, std::size_t roster_size);
+  virtual void begin_round(std::uint64_t round, std::size_t roster_size) = 0;
 
   /// Accept one client's blinded report (cells must match CMS geometry).
-  void submit_report(std::size_t participant_index,
-                     std::vector<crypto::BlindCell> blinded_cells);
+  virtual void submit_report(std::size_t participant_index,
+                             std::vector<crypto::BlindCell> blinded_cells) = 0;
 
   /// Indices that have not reported (the "missing" list of the
   /// fault-tolerance round).
-  [[nodiscard]] std::vector<std::size_t> missing_participants() const;
+  [[nodiscard]] virtual std::vector<std::size_t> missing_participants()
+      const = 0;
 
   /// Accept one reporter's adjustment for the missing set.
-  void submit_adjustment(std::size_t participant_index,
-                         std::vector<crypto::BlindCell> adjustment);
+  virtual void submit_adjustment(std::size_t participant_index,
+                                 std::vector<crypto::BlindCell> adjustment) = 0;
 
   /// Aggregate, cancel blindings (applying any adjustments), query the full
-  /// id space, and compute the distribution + threshold. The id-space scan
-  /// runs as batched row-major sketch queries fanned across `pool`
-  /// (nullptr = the process-wide shared pool). Whether clients are missing
-  /// is answered from internal state (reports received vs roster size) —
-  /// no missing list is recomputed or taken on trust.
-  [[nodiscard]] RoundResult finalize_round(util::ThreadPool* pool = nullptr);
+  /// id space, and compute the distribution + threshold. `pool` fans the
+  /// id-space scan (nullptr = the process-wide shared pool).
+  [[nodiscard]] virtual RoundResult finalize_round(
+      util::ThreadPool* pool = nullptr) = 0;
+};
+
+/// Scan the (over-provisioned) id space of `aggregate` as batched row-major
+/// sketch queries, fanned across `pool` in contiguous id chunks (each chunk
+/// fills only its own output slice, so the scan is deterministic for any
+/// thread count). Shared by the single server and the sharded cluster so
+/// both finalize paths are the same code — identical results by
+/// construction.
+[[nodiscard]] std::vector<double> scan_users_counts(
+    const sketch::CountMinSketch& aggregate, std::uint64_t id_space,
+    util::ThreadPool& pool);
+
+/// Shared tail of every finalize path (single server and cluster):
+/// rebuild the aggregate sketch from fully unblinded cells, scan the id
+/// space across `pool`, and derive the distribution + Users_th under
+/// `config`'s rule. Keeping this in one place is what makes the cluster
+/// identical to the single server by construction.
+[[nodiscard]] RoundResult finalize_from_cells(
+    const BackendConfig& config, std::span<const crypto::BlindCell> cells,
+    std::size_t reports, std::size_t roster, util::ThreadPool& pool);
+
+class BackendServer final : public RoundBackend {
+ public:
+  explicit BackendServer(BackendConfig config);
+
+  [[nodiscard]] const BackendConfig& config() const noexcept override {
+    return config_;
+  }
+
+  void begin_round(std::uint64_t round, std::size_t roster_size) override;
+
+  void submit_report(std::size_t participant_index,
+                     std::vector<crypto::BlindCell> blinded_cells) override;
+
+  [[nodiscard]] std::vector<std::size_t> missing_participants() const override;
+
+  void submit_adjustment(std::size_t participant_index,
+                         std::vector<crypto::BlindCell> adjustment) override;
+
+  /// Whether clients are missing is answered from internal state (reports
+  /// received vs roster size) — no missing list is recomputed or taken on
+  /// trust.
+  [[nodiscard]] RoundResult finalize_round(
+      util::ThreadPool* pool = nullptr) override;
+
+  /// This node's blinded partial sum: received reports summed cell-wise
+  /// with its adjustments applied, no completeness checks and no scan. A
+  /// cluster front door merges these across shards before unblinding makes
+  /// sense; all-zero when the node received nothing this round.
+  [[nodiscard]] std::vector<crypto::BlindCell> partial_aggregate() const;
+
+  /// Reports received this round.
+  [[nodiscard]] std::size_t reports_received() const noexcept {
+    return reports_.size();
+  }
+  /// Whether `participant` has reported this round (O(log reports); the
+  /// cluster's missing scan asks its routed shard instead of diffing
+  /// full-roster missing lists).
+  [[nodiscard]] bool has_report(std::size_t participant) const noexcept {
+    return reports_.contains(participant);
+  }
+  /// Adjustments received this round.
+  [[nodiscard]] std::size_t adjustments_received() const noexcept {
+    return adjustments_.size();
+  }
 
   /// Estimated #Users for one ad id, from the last finalized round.
   [[nodiscard]] std::optional<double> users_for(std::uint64_t ad_id) const;
   /// Users_th from the last finalized round.
   [[nodiscard]] std::optional<double> users_threshold() const;
 
-  /// Wire bytes received this round (reports + adjustments, 4 B/cell).
+  /// Payload bytes received this round (reports + adjustments, 4 B/cell —
+  /// the cell vectors themselves, excluding envelope framing, which the
+  /// transport layer accounts for).
   [[nodiscard]] std::size_t bytes_received() const noexcept {
     return bytes_received_;
   }

@@ -1,0 +1,106 @@
+#include "server/cluster.hpp"
+
+#include <stdexcept>
+
+namespace eyw::server {
+
+BackendCluster::BackendCluster(BackendConfig config, std::size_t shards)
+    : config_(config) {
+  if (shards == 0)
+    throw std::invalid_argument("BackendCluster: shards == 0");
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s)
+    shards_.push_back(std::make_unique<BackendServer>(config));
+}
+
+void BackendCluster::begin_round(std::uint64_t round,
+                                 std::size_t roster_size) {
+  roster_size_ = roster_size;
+  reports_total_ = 0;
+  adjustments_total_ = 0;
+  // Every shard sees the full roster: indices are global, only the
+  // submission stream is partitioned.
+  for (auto& shard : shards_) shard->begin_round(round, roster_size);
+}
+
+void BackendCluster::submit_report(std::size_t participant_index,
+                                   std::vector<crypto::BlindCell> cells) {
+  if (participant_index >= roster_size_)
+    throw std::invalid_argument("submit_report: index outside roster");
+  shards_[shard_for(participant_index)]->submit_report(participant_index,
+                                                       std::move(cells));
+  ++reports_total_;
+}
+
+std::vector<std::size_t> BackendCluster::missing_participants() const {
+  // The shards stay authoritative: participant i reported iff its owning
+  // shard received it. One pass over the roster, each index answered by
+  // its routed shard — no materialized per-shard missing lists (each
+  // would be near-roster-sized, since a shard only ever receives ~1/S of
+  // the submissions).
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < roster_size_; ++i)
+    if (!shards_[shard_for(i)]->has_report(i)) out.push_back(i);
+  return out;
+}
+
+void BackendCluster::submit_adjustment(std::size_t participant_index,
+                                       std::vector<crypto::BlindCell> adj) {
+  if (participant_index >= roster_size_)
+    throw std::invalid_argument("submit_adjustment: index outside roster");
+  // Routed to the reporter's own shard, where the "adjustments come from
+  // reporters only" check holds locally.
+  shards_[shard_for(participant_index)]->submit_adjustment(participant_index,
+                                                           std::move(adj));
+  ++adjustments_total_;
+}
+
+RoundResult BackendCluster::finalize_round(util::ThreadPool* pool) {
+  if (pool == nullptr) pool = &util::ThreadPool::shared();
+  if (reports_total_ == 0)
+    throw std::logic_error("finalize_round: no reports received");
+  if (reports_total_ != roster_size_ &&
+      adjustments_total_ != reports_total_) {
+    throw std::logic_error(
+        "finalize_round: missing clients but not all adjustments received");
+  }
+
+  // Per-shard blinded partial sums, fanned across the pool; each shard
+  // writes only its own slot.
+  std::vector<std::vector<crypto::BlindCell>> partials(shards_.size());
+  pool->parallel_for(shards_.size(), [&](std::size_t s) {
+    partials[s] = shards_[s]->partial_aggregate();
+  });
+
+  // Merge: wrapping u32 addition is commutative and associative, so the
+  // shard-order sum is bit-identical to the single-server participant-order
+  // sum of the same reports.
+  std::vector<crypto::BlindCell> aggregate_cells(config_.cms_params.cells(),
+                                                 0);
+  for (const auto& partial : partials) {
+    for (std::size_t m = 0; m < aggregate_cells.size(); ++m)
+      aggregate_cells[m] += partial[m];
+  }
+
+  last_result_ = finalize_from_cells(config_, aggregate_cells, reports_total_,
+                                     roster_size_, *pool);
+  return *last_result_;
+}
+
+std::optional<double> BackendCluster::users_for(std::uint64_t ad_id) const {
+  if (!last_result_) return std::nullopt;
+  return static_cast<double>(last_result_->aggregate.query(ad_id));
+}
+
+std::optional<double> BackendCluster::users_threshold() const {
+  if (!last_result_) return std::nullopt;
+  return last_result_->users_threshold;
+}
+
+std::size_t BackendCluster::bytes_received() const noexcept {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->bytes_received();
+  return total;
+}
+
+}  // namespace eyw::server

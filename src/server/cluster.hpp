@@ -1,0 +1,82 @@
+// Sharded back-end front door: N BackendServer shards behind one
+// RoundBackend surface (the ROADMAP's "sharding BackendServer aggregation"
+// item).
+//
+// What shards and how:
+//   * Ingestion — every report/adjustment is routed to exactly one shard
+//     (shard_for(participant)), so each shard holds the blinded partial sum
+//     of its own submissions. Blinded cells only cancel in the *global*
+//     sum, so per-shard state is meaningless ciphertext on its own — a nice
+//     property: compromising one shard reveals nothing.
+//   * Finalization — partial sums are computed per shard in parallel and
+//     merged cell-wise (wrapping u32 addition is commutative, so the merge
+//     equals the single-server sum bit for bit), then the ad-id space scan
+//     fans across the pool exactly like the single-server path.
+// The result is byte-identical to one BackendServer fed the same reports —
+// asserted in tests/server/test_sharded_backend.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "server/backend.hpp"
+
+namespace eyw::server {
+
+class BackendCluster final : public RoundBackend {
+ public:
+  /// `shards` BackendServer instances, each configured with `config` (full
+  /// CMS geometry — cells are not divisible across shards; the roster and
+  /// id space are what get partitioned).
+  BackendCluster(BackendConfig config, std::size_t shards);
+
+  [[nodiscard]] const BackendConfig& config() const noexcept override {
+    return config_;
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  /// Routing function: which shard owns `participant`'s submissions.
+  [[nodiscard]] std::size_t shard_for(std::size_t participant) const noexcept {
+    return participant % shards_.size();
+  }
+  /// Shard access for tests and the sharded endpoint.
+  [[nodiscard]] BackendServer& shard(std::size_t s) { return *shards_[s]; }
+  [[nodiscard]] const BackendServer& shard(std::size_t s) const {
+    return *shards_[s];
+  }
+
+  void begin_round(std::uint64_t round, std::size_t roster_size) override;
+  void submit_report(std::size_t participant_index,
+                     std::vector<crypto::BlindCell> blinded_cells) override;
+  [[nodiscard]] std::vector<std::size_t> missing_participants() const override;
+  void submit_adjustment(std::size_t participant_index,
+                         std::vector<crypto::BlindCell> adjustment) override;
+
+  /// Merge shard partial aggregates (fanned across `pool`), unblind, scan
+  /// the id space, and derive the distribution + Users_th.
+  [[nodiscard]] RoundResult finalize_round(
+      util::ThreadPool* pool = nullptr) override;
+
+  /// Estimated #Users / Users_th from the last finalized round (same
+  /// query API as BackendServer, answered from the merged result).
+  [[nodiscard]] std::optional<double> users_for(std::uint64_t ad_id) const;
+  [[nodiscard]] std::optional<double> users_threshold() const;
+
+  /// Payload bytes received across all shards this round.
+  [[nodiscard]] std::size_t bytes_received() const noexcept;
+
+ private:
+  BackendConfig config_;
+  // unique_ptr: BackendServer is neither copyable nor movable (map members
+  // are fine, but RoundBackend is polymorphic) and vector needs relocation.
+  std::vector<std::unique_ptr<BackendServer>> shards_;
+  std::size_t roster_size_ = 0;
+  std::size_t reports_total_ = 0;
+  std::size_t adjustments_total_ = 0;
+  std::optional<RoundResult> last_result_;
+};
+
+}  // namespace eyw::server

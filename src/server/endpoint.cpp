@@ -1,0 +1,126 @@
+#include "server/endpoint.hpp"
+
+#include <stdexcept>
+
+namespace eyw::server {
+
+namespace {
+
+std::vector<std::uint8_t> error_reply(proto::ErrorCode code,
+                                      const std::string& detail) {
+  return proto::ErrorReply{.code = code, .detail = detail}.encode();
+}
+
+}  // namespace
+
+BackendEndpoint::BackendEndpoint(RoundBackend& backend)
+    : backend_(backend), cluster_(nullptr) {}
+
+BackendEndpoint::BackendEndpoint(BackendCluster& cluster)
+    : backend_(cluster), cluster_(&cluster) {}
+
+std::vector<std::uint8_t> BackendEndpoint::handle(
+    std::span<const std::uint8_t> frame) {
+  try {
+    return dispatch(proto::decode_envelope(frame));
+  } catch (const proto::ProtoError& e) {
+    return error_reply(e.code(), e.what());
+  } catch (const std::invalid_argument& e) {
+    // The backend refused a well-formed submission (duplicate, outside
+    // roster, non-reporter adjustment…).
+    return error_reply(proto::ErrorCode::kRejected, e.what());
+  } catch (const std::exception& e) {
+    return error_reply(proto::ErrorCode::kInternal, e.what());
+  }
+}
+
+std::vector<std::uint8_t> BackendEndpoint::dispatch(
+    const proto::Envelope& env) {
+  switch (env.kind) {
+    case proto::MsgKind::kBlindedReport:
+      return on_report(env);
+    case proto::MsgKind::kAdjustment:
+      return on_adjustment(env);
+    case proto::MsgKind::kShardedSubmit:
+      return on_sharded(env);
+    default:
+      return error_reply(proto::ErrorCode::kUnknownKind,
+                         std::string("backend cannot serve ") +
+                             proto::to_string(env.kind));
+  }
+}
+
+std::vector<std::uint8_t> BackendEndpoint::on_report(
+    const proto::Envelope& env) {
+  proto::BlindedReport report = proto::BlindedReport::decode(env);
+  if (report.params != backend_.config().cms_params)
+    return error_reply(proto::ErrorCode::kGeometryMismatch,
+                       "report geometry != round geometry");
+  backend_.submit_report(report.participant, std::move(report.cells));
+  return proto::encode_ack();
+}
+
+std::vector<std::uint8_t> BackendEndpoint::on_adjustment(
+    const proto::Envelope& env) {
+  proto::Adjustment adj = proto::Adjustment::decode(env);
+  if (adj.params != backend_.config().cms_params)
+    return error_reply(proto::ErrorCode::kGeometryMismatch,
+                       "adjustment geometry != round geometry");
+  backend_.submit_adjustment(adj.participant, std::move(adj.cells));
+  return proto::encode_ack();
+}
+
+std::vector<std::uint8_t> BackendEndpoint::on_sharded(
+    const proto::Envelope& env) {
+  if (cluster_ == nullptr)
+    return error_reply(proto::ErrorCode::kRejected,
+                       "sharded-submit to a non-sharded backend");
+  const proto::ShardedSubmit sub = proto::ShardedSubmit::decode(env);
+  const proto::Envelope inner = proto::decode_envelope(sub.inner);
+  if (inner.kind != proto::MsgKind::kBlindedReport &&
+      inner.kind != proto::MsgKind::kAdjustment) {
+    return error_reply(proto::ErrorCode::kUnknownKind,
+                       "sharded-submit must wrap a report or adjustment");
+  }
+  // The router stamps the shard it computed; the cluster re-derives it
+  // from the sender and refuses a misrouted frame instead of silently
+  // re-routing (a routing bug upstream should be loud).
+  if (sub.shard != cluster_->shard_for(inner.sender))
+    return error_reply(proto::ErrorCode::kRejected,
+                       "sharded-submit routed to the wrong shard");
+  return dispatch(inner);
+}
+
+OprfEndpoint::OprfEndpoint(const crypto::OprfServer& server)
+    : server_(server) {}
+
+std::vector<std::uint8_t> OprfEndpoint::handle(
+    std::span<const std::uint8_t> frame) {
+  try {
+    const proto::Envelope env = proto::decode_envelope(frame);
+    if (env.kind != proto::MsgKind::kOprfEvalRequest)
+      return error_reply(proto::ErrorCode::kUnknownKind,
+                         std::string("oprf-server cannot serve ") +
+                             proto::to_string(env.kind));
+    const proto::OprfEvalRequest req = proto::OprfEvalRequest::decode(env);
+    const crypto::RsaPublicKey& pub = server_.public_key();
+    if (req.element_bytes != pub.modulus_bytes())
+      return error_reply(proto::ErrorCode::kGeometryMismatch,
+                         "element size != server modulus size");
+    for (const crypto::Bignum& e : req.elements) {
+      if (e >= pub.n || e.is_zero())
+        return error_reply(proto::ErrorCode::kMalformed,
+                           "blinded element outside Z_N*");
+    }
+    proto::OprfEvalResponse resp;
+    resp.element_bytes = req.element_bytes;
+    resp.elements = server_.evaluate_blinded_batch(req.elements);
+    return resp.encode();
+  } catch (const proto::ProtoError& e) {
+    return error_reply(e.code(), e.what());
+  } catch (const std::exception& e) {
+    return error_reply(proto::ErrorCode::kInternal, e.what());
+  }
+}
+
+}  // namespace eyw::server

@@ -1,0 +1,55 @@
+// Proto endpoints: the server-side halves of the wire API. Each endpoint
+// is a FrameHandler — it decodes a request envelope, applies it to the
+// party it fronts, and always returns a reply frame (Ack, a typed
+// response, or an Error envelope carrying an explicit ErrorCode). Nothing
+// a peer sends can make an endpoint throw across the transport.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/oprf.hpp"
+#include "proto/message.hpp"
+#include "server/backend.hpp"
+#include "server/cluster.hpp"
+
+namespace eyw::server {
+
+/// Front door of the back-end: accepts BlindedReport and Adjustment
+/// envelopes for any RoundBackend. When constructed over a BackendCluster
+/// it additionally accepts ShardedSubmit wrappers and enforces that the
+/// carried shard id matches the cluster's routing function.
+class BackendEndpoint {
+ public:
+  explicit BackendEndpoint(RoundBackend& backend);
+  explicit BackendEndpoint(BackendCluster& cluster);
+
+  /// Transport handler: one request frame in, one reply frame out.
+  [[nodiscard]] std::vector<std::uint8_t> handle(
+      std::span<const std::uint8_t> frame);
+
+ private:
+  std::vector<std::uint8_t> dispatch(const proto::Envelope& env);
+  std::vector<std::uint8_t> on_report(const proto::Envelope& env);
+  std::vector<std::uint8_t> on_adjustment(const proto::Envelope& env);
+  std::vector<std::uint8_t> on_sharded(const proto::Envelope& env);
+
+  RoundBackend& backend_;
+  BackendCluster* cluster_;  // non-null iff ShardedSubmit is accepted
+};
+
+/// The oprf-server behind the wire: answers OprfEvalRequest batches with
+/// one OprfEvalResponse (element i evaluates request element i).
+class OprfEndpoint {
+ public:
+  explicit OprfEndpoint(const crypto::OprfServer& server);
+
+  [[nodiscard]] std::vector<std::uint8_t> handle(
+      std::span<const std::uint8_t> frame);
+
+ private:
+  const crypto::OprfServer& server_;
+};
+
+}  // namespace eyw::server

@@ -1,84 +1,190 @@
 #include "server/round.hpp"
 
-#include <algorithm>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace eyw::server {
 
 RoundCoordinator::RoundCoordinator(
     const crypto::DhGroup& group,
-    std::span<client::BrowserExtension> extensions, BackendServer& backend,
+    std::span<client::BrowserExtension> extensions, RoundBackend& backend,
     std::uint64_t seed, std::size_t threads)
-    : extensions_(extensions), backend_(backend) {
+    : extensions_(extensions),
+      backend_(backend),
+      endpoint_(backend),
+      uplink_([this](std::span<const std::uint8_t> frame) {
+        return endpoint_.handle(frame);
+      }),
+      downlink_([this](std::span<const std::uint8_t> frame) {
+        return client_rx(rx_client_, frame);
+      }),
+      group_(group),
+      participants_(extensions.size()),
+      staged_adjustments_(extensions.size()),
+      client_thresholds_(extensions.size(),
+                         std::numeric_limits<double>::quiet_NaN()) {
   if (threads != 0) own_pool_ = std::make_unique<util::ThreadPool>(threads);
   util::Rng rng(seed);
   // Keygen stays serial: the rng stream is stateful and the keys must not
   // depend on scheduling. Pair-secret derivation inside each participant
-  // constructor fans out over the shared pool.
-  std::vector<crypto::DhKeyPair> keys;
+  // constructor fans out over the pool.
   std::vector<crypto::Bignum> publics;
-  keys.reserve(extensions.size());
+  keys_.reserve(extensions.size());
   publics.reserve(extensions.size());
   for (std::size_t i = 0; i < extensions.size(); ++i) {
-    keys.push_back(crypto::dh_keygen(group, rng));
-    publics.push_back(keys.back().public_key);
+    keys_.push_back(crypto::dh_keygen(group, rng));
+    publics.push_back(keys_.back().public_key);
   }
-  participants_.reserve(extensions.size());
-  for (std::size_t i = 0; i < extensions.size(); ++i) {
-    participants_.emplace_back(group, i, keys[i],
-                               std::span<const crypto::Bignum>(publics),
-                               &pool());
-  }
-  traffic_.roster_bytes = crypto::roster_bytes(group, extensions.size());
+  // Publish the bulletin board: one encoded RosterAnnounce, downloaded by
+  // every client, which builds its BlindingParticipant from the *decoded*
+  // keys — the roster each client computes with is exactly what crossed
+  // the wire.
+  const proto::RosterAnnounce roster{
+      .element_bytes = static_cast<std::uint32_t>(group.element_bytes()),
+      .public_keys = std::move(publics)};
+  const auto frame = roster.encode(/*round=*/0);
+  for (std::size_t i = 0; i < extensions.size(); ++i) deliver(i, frame);
+  traffic_.roster_bytes = channel_bytes();
 }
 
 util::ThreadPool& RoundCoordinator::pool() const noexcept {
   return own_pool_ ? *own_pool_ : util::ThreadPool::shared();
 }
 
+std::size_t RoundCoordinator::channel_bytes() const noexcept {
+  return uplink_.stats().total_bytes() + downlink_.stats().total_bytes();
+}
+
+void RoundCoordinator::deliver(std::size_t client,
+                               std::span<const std::uint8_t> frame) {
+  rx_client_ = client;
+  const auto reply = downlink_.exchange(frame);
+  (void)proto::expect_reply(reply, proto::MsgKind::kAck);
+}
+
+std::vector<std::uint8_t> RoundCoordinator::client_rx(
+    std::size_t client, std::span<const std::uint8_t> frame) {
+  const proto::Envelope env = proto::decode_envelope(frame);
+  switch (env.kind) {
+    case proto::MsgKind::kRosterAnnounce: {
+      const proto::RosterAnnounce roster = proto::RosterAnnounce::decode(env);
+      if (roster.public_keys.size() != extensions_.size())
+        throw proto::ProtoError(proto::ErrorCode::kMalformed,
+                                "roster size != expected roster");
+      participants_[client].emplace(
+          group_, client, keys_[client],
+          std::span<const crypto::Bignum>(roster.public_keys), &pool());
+      return proto::encode_ack();
+    }
+    case proto::MsgKind::kAdjustmentRequest: {
+      const proto::AdjustmentRequest req = proto::AdjustmentRequest::decode(env);
+      std::vector<std::size_t> missing(req.missing.begin(), req.missing.end());
+      // The answer may have been staged by the parallel precompute (from
+      // the same list this frame carries); a cold client computes it here
+      // from the decoded frame.
+      std::vector<crypto::BlindCell> cells =
+          std::move(staged_adjustments_[client]);
+      staged_adjustments_[client].clear();
+      if (cells.empty()) {
+        cells = participants_[client]->adjustment_for_missing(
+            backend_.config().cms_params.cells(), env.round,
+            std::span<const std::size_t>(missing));
+      }
+      const proto::Adjustment adj{
+          .participant = static_cast<std::uint32_t>(client),
+          .params = backend_.config().cms_params,
+          .cells = std::move(cells)};
+      const auto reply = uplink_.exchange(adj.encode(env.round));
+      (void)proto::expect_reply(reply, proto::MsgKind::kAck);
+      return proto::encode_ack();
+    }
+    case proto::MsgKind::kThresholdBroadcast: {
+      const proto::ThresholdBroadcast tb = proto::ThresholdBroadcast::decode(env);
+      client_thresholds_[client] = tb.users_threshold;
+      return proto::encode_ack();
+    }
+    default:
+      return proto::ErrorReply{.code = proto::ErrorCode::kUnknownKind,
+                               .detail = std::string("client cannot serve ") +
+                                         proto::to_string(env.kind)}
+          .encode();
+  }
+}
+
 RoundResult RoundCoordinator::run_round(
     std::uint64_t round, std::span<const std::size_t> reporting) {
   backend_.begin_round(round, extensions_.size());
+  // A round aborted mid-delivery (a peer replied Error) may have left
+  // staged adjustment cells behind; they were derived for that round's
+  // missing list and must never leak into this one.
+  for (auto& staged : staged_adjustments_) staged.clear();
 
   for (const std::size_t i : reporting) {
     if (i >= extensions_.size())
       throw std::invalid_argument("run_round: reporter outside roster");
   }
 
+  const sketch::CmsParams& params = backend_.config().cms_params;
+
   // Stage 1: every reporter builds its blinded report — independent work,
-  // one output slot per reporter. Submission happens serially afterwards
-  // in `reporting` order (the backend map is not concurrent, and ordered
+  // one output slot per reporter. Frames move serially afterwards in
+  // `reporting` order (the backend map is not concurrent, and ordered
   // submission keeps the round replayable).
+  std::size_t phase_start = channel_bytes();
   std::vector<std::vector<crypto::BlindCell>> blinded(reporting.size());
   pool().parallel_for(reporting.size(), [&](std::size_t k) {
     const std::size_t i = reporting[k];
-    blinded[k] = extensions_[i].build_blinded_report(participants_[i], round);
+    blinded[k] = extensions_[i].build_blinded_report(*participants_[i], round);
   });
   for (std::size_t k = 0; k < reporting.size(); ++k) {
-    traffic_.report_bytes += blinded[k].size() * sizeof(crypto::BlindCell);
-    backend_.submit_report(reporting[k], std::move(blinded[k]));
+    const std::size_t i = reporting[k];
+    const proto::BlindedReport report{
+        .participant = static_cast<std::uint32_t>(i),
+        .params = params,
+        .cells = std::move(blinded[k])};
+    const auto reply = uplink_.exchange(report.encode(round));
+    (void)proto::expect_reply(reply, proto::MsgKind::kAck);
   }
+  traffic_.report_bytes += channel_bytes() - phase_start;
 
   const std::vector<std::size_t> missing = backend_.missing_participants();
   if (!missing.empty()) {
     // Round 2 of the fault-tolerance protocol: the server announces the
-    // missing list; every reporter answers with its adjustment. Same
-    // fan-out/ordered-submit shape as stage 1.
-    const std::size_t n_cells = backend_.config().cms_params.cells();
-    std::vector<std::vector<crypto::BlindCell>> adjustments(reporting.size());
+    // missing list to every reporter, and each answers with its
+    // adjustment envelope. The per-client computation is staged in
+    // parallel (same fan-out shape as stage 1); frames then move in
+    // roster order.
+    phase_start = channel_bytes();
+    const std::size_t n_cells = params.cells();
     pool().parallel_for(reporting.size(), [&](std::size_t k) {
-      adjustments[k] = participants_[reporting[k]].adjustment_for_missing(
-          n_cells, round, std::span<const std::size_t>(missing));
+      staged_adjustments_[reporting[k]] =
+          participants_[reporting[k]]->adjustment_for_missing(
+              n_cells, round, std::span<const std::size_t>(missing));
     });
-    for (std::size_t k = 0; k < reporting.size(); ++k) {
-      traffic_.adjustment_bytes +=
-          adjustments[k].size() * sizeof(crypto::BlindCell);
-      backend_.submit_adjustment(reporting[k], std::move(adjustments[k]));
-    }
+    proto::AdjustmentRequest request;
+    request.missing.reserve(missing.size());
+    for (const std::size_t m : missing)
+      request.missing.push_back(static_cast<std::uint32_t>(m));
+    const auto frame = request.encode(round);
+    for (std::size_t k = 0; k < reporting.size(); ++k)
+      deliver(reporting[k], frame);
+    traffic_.adjustment_bytes += channel_bytes() - phase_start;
   }
 
   RoundResult result = backend_.finalize_round(&pool());
-  traffic_.threshold_bytes += 8 * extensions_.size();  // Users_th broadcast
+
+  // Distribute Users_th back to the whole roster (failed clients need it
+  // too — audits continue even in a week the report did not go out).
+  phase_start = channel_bytes();
+  const proto::ThresholdBroadcast broadcast{
+      .users_threshold = result.users_threshold,
+      .reports = static_cast<std::uint32_t>(result.reports),
+      .roster = static_cast<std::uint32_t>(result.roster)};
+  const auto tb_frame = broadcast.encode(round);
+  for (std::size_t i = 0; i < extensions_.size(); ++i) deliver(i, tb_frame);
+  traffic_.threshold_bytes += channel_bytes() - phase_start;
+
   return result;
 }
 

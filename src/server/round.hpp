@@ -2,53 +2,67 @@
 // roster publication, blinded reports, the two-round fault-tolerance
 // adjustment for missing clients, aggregation, and threshold distribution.
 //
-// This is the composition layer the examples, integration tests, and
-// benches drive; it owns nothing the individual components don't already
-// implement.
+// Every party interaction is an encoded proto envelope moved over a
+// Transport: the coordinator plays the network between N in-process
+// clients and the back-end's proto endpoint, and never hands plaintext
+// structs across a party boundary. RoundTraffic is therefore measured —
+// the byte totals are read off the transport choke points, not estimated.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "client/extension.hpp"
 #include "crypto/blinding.hpp"
 #include "crypto/dh.hpp"
+#include "proto/message.hpp"
+#include "proto/transport.hpp"
 #include "server/backend.hpp"
+#include "server/endpoint.hpp"
 #include "util/thread_pool.hpp"
 
 namespace eyw::server {
 
-/// Per-round wire accounting (Section 7.1 overhead figures).
+/// Per-round wire accounting (Section 7.1 overhead figures). Each field is
+/// the exact number of encoded envelope bytes exchanged during that phase
+/// of the round — request and reply frames both — so total() equals the
+/// byte count the transports saw. Compare with the closed-form estimates
+/// (crypto::roster_bytes, CmsParams::bytes) in bench_overhead_privacy.
 struct RoundTraffic {
-  std::size_t roster_bytes = 0;       // DH public-key bulletin board
-  std::size_t report_bytes = 0;       // blinded CMS uploads
-  std::size_t adjustment_bytes = 0;   // fault-tolerance round
-  std::size_t threshold_bytes = 0;    // Users_th broadcast (8 B per client)
+  std::size_t roster_bytes = 0;      // RosterAnnounce broadcast + acks
+  std::size_t report_bytes = 0;      // BlindedReport uploads + acks
+  std::size_t adjustment_bytes = 0;  // AdjustmentRequest + Adjustment + acks
+  std::size_t threshold_bytes = 0;   // ThresholdBroadcast + acks
 
   [[nodiscard]] std::size_t total() const noexcept {
     return roster_bytes + report_bytes + adjustment_bytes + threshold_bytes;
   }
 };
 
-/// Runs weekly rounds over a fixed set of extensions. The coordinator plays
-/// the network: it moves opaque byte vectors between parties and never
-/// inspects plaintext sketches.
+/// Runs weekly rounds over a fixed set of extensions against any
+/// RoundBackend (single BackendServer or sharded BackendCluster). The
+/// coordinator moves opaque encoded frames between parties: uplink_
+/// carries client->server envelopes into the backend's proto endpoint,
+/// downlink_ carries server->client broadcasts into the per-client decode
+/// path.
 ///
 /// Blinded-report construction and adjustment computation are independent
 /// per client, so they fan out over a thread pool; each client's output
-/// lands in its own slot and submissions happen in roster order, making the
-/// round bit-identical to the serial pipeline for any thread count.
+/// lands in its own slot and frames move in roster order, making the round
+/// bit-identical to the serial pipeline for any thread count.
 class RoundCoordinator {
  public:
-  /// Sets up DH keypairs and BlindingParticipants for `extensions.size()`
-  /// clients over `group`. `threads` sizes a private pool for the round
-  /// pipeline; 0 (default) uses the process-wide shared pool, 1 forces the
-  /// serial path.
+  /// Sets up DH keypairs for `extensions.size()` clients over `group` and
+  /// publishes the roster to every client as an encoded RosterAnnounce
+  /// (each client builds its BlindingParticipant from the decoded frame).
+  /// `threads` sizes a private pool for the round pipeline; 0 (default)
+  /// uses the process-wide shared pool, 1 forces the serial path.
   RoundCoordinator(const crypto::DhGroup& group,
                    std::span<client::BrowserExtension> extensions,
-                   BackendServer& backend, std::uint64_t seed,
+                   RoundBackend& backend, std::uint64_t seed,
                    std::size_t threads = 0);
 
   /// Run one full round: every extension in `reporting` submits; clients
@@ -64,15 +78,48 @@ class RoundCoordinator {
     return traffic_;
   }
 
+  /// Channel statistics (message/byte counts) for the two directions.
+  [[nodiscard]] const proto::TransportStats& uplink_stats() const noexcept {
+    return uplink_.stats();
+  }
+  [[nodiscard]] const proto::TransportStats& downlink_stats() const noexcept {
+    return downlink_.stats();
+  }
+
+  /// Users_th as decoded client-side from the last ThresholdBroadcast —
+  /// one entry per extension (NaN until the first broadcast arrives).
+  [[nodiscard]] std::span<const double> client_thresholds() const noexcept {
+    return client_thresholds_;
+  }
+
  private:
   [[nodiscard]] util::ThreadPool& pool() const noexcept;
+  /// Current uplink+downlink byte total (both directions of both channels).
+  [[nodiscard]] std::size_t channel_bytes() const noexcept;
+  /// Deliver one server->client frame to `client` and require an Ack.
+  void deliver(std::size_t client, std::span<const std::uint8_t> frame);
+  /// Client-side receive path: decode a broadcast frame addressed to
+  /// `client`, update that client's state, reply.
+  std::vector<std::uint8_t> client_rx(std::size_t client,
+                                      std::span<const std::uint8_t> frame);
 
   std::span<client::BrowserExtension> extensions_;
-  BackendServer& backend_;
+  RoundBackend& backend_;
   // Declared before participants_: they hold pointers into the pool, so it
   // must be destroyed after them.
   std::unique_ptr<util::ThreadPool> own_pool_;  // null => shared pool
-  std::vector<crypto::BlindingParticipant> participants_;
+  BackendEndpoint endpoint_;
+  proto::LoopbackTransport uplink_;    // clients -> back-end
+  proto::LoopbackTransport downlink_;  // back-end -> clients
+  std::size_t rx_client_ = 0;          // addressee of the in-flight downlink
+
+  const crypto::DhGroup& group_;
+  std::vector<crypto::DhKeyPair> keys_;  // each client's own keypair
+  std::vector<std::optional<crypto::BlindingParticipant>> participants_;
+  /// Adjustment cells staged per roster index for the in-flight adjustment
+  /// round (computed in parallel, submitted on AdjustmentRequest receipt).
+  std::vector<std::vector<crypto::BlindCell>> staged_adjustments_;
+  std::vector<double> client_thresholds_;
   RoundTraffic traffic_;
 };
 

@@ -55,6 +55,10 @@ std::vector<std::uint8_t> encode(FrameKind kind, const CmsParams& params,
                                  std::span<const std::uint32_t> cells) {
   if (cells.size() != params.cells())
     throw std::invalid_argument("encode: cell count does not match geometry");
+  // Mirror the decode-side cap: a geometry no peer will accept should fail
+  // here, at the party that configured it, not as remote Error replies.
+  if (cells.size() > kMaxFrameCells)
+    throw std::invalid_argument("encode: cell count above kMaxFrameCells");
   std::vector<std::uint8_t> out;
   out.reserve(encoded_size(params));
   put_u32(out, kMagic);
@@ -103,6 +107,11 @@ DecodedFrame decode_frame(std::span<const std::uint8_t> bytes) {
   frame.round = r.u64();
   if (frame.params.depth == 0 || frame.params.width == 0)
     throw std::invalid_argument("decode_frame: degenerate geometry");
+  // Reject oversized geometry before the expected-size arithmetic: with
+  // u32 dimensions, depth * width * 4 can wrap std::size_t and collide
+  // with a small crafted input, which would then drive a huge allocation.
+  if (frame.params.depth > kMaxFrameCells / frame.params.width)
+    throw std::invalid_argument("decode_frame: cell count above cap");
   if (bytes.size() != kHeaderBytes + frame.params.cells() * 4)
     throw std::invalid_argument("decode_frame: payload size mismatch");
   frame.cells.reserve(frame.params.cells());

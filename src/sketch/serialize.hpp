@@ -30,6 +30,14 @@ enum class FrameKind : std::uint16_t {
   kBlindedReport = 2,
 };
 
+/// Hard cap on depth * width accepted by decode_frame, checked before any
+/// size arithmetic or allocation. A crafted header with huge dimensions
+/// could otherwise wrap the expected-size computation (depth and width are
+/// u32, so depth * width * 4 can overflow std::size_t) and drive a
+/// multi-gigabyte allocation from a 36-byte input. 2^26 cells = 256 MB,
+/// ~300x the paper's largest sketch.
+inline constexpr std::size_t kMaxFrameCells = std::size_t{1} << 26;
+
 struct DecodedFrame {
   FrameKind kind = FrameKind::kPlainSketch;
   CmsParams params;

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <span>
+#include <string>
+#include <vector>
+
 #include "client/extension.hpp"
 #include "client/url_mapper.hpp"
+#include "server/endpoint.hpp"
 
 namespace eyw::client {
 namespace {
@@ -37,6 +42,66 @@ TEST(OprfUrlMapper, CachesPerUniqueIdentity) {
   (void)m.map("https://b.test");
   EXPECT_EQ(m.cache_size(), 2u);
   EXPECT_EQ(m.bytes_exchanged(), 2 * 2 * 32u);  // 2 evals x 2 x 32B elements
+}
+
+TEST(OprfUrlMapper, MapBatchMatchesRepeatedMapInOneRoundTrip) {
+  // Same server, two mappers: one maps URL by URL, one ships the whole
+  // batch. Ids must be identical; round trips must collapse to one.
+  std::vector<std::string> urls;
+  for (int i = 0; i < 8; ++i)
+    urls.push_back("https://batch.test/" + std::to_string(i));
+  urls.push_back(urls[0]);  // a duplicate costs nothing
+
+  OprfUrlMapper one_by_one(oprf_server(), 5000, 4);
+  std::vector<std::uint64_t> expected;
+  for (const auto& url : urls) expected.push_back(one_by_one.map(url));
+  EXPECT_EQ(one_by_one.transport_stats().round_trips(), 8u);  // per miss
+
+  OprfUrlMapper batched(oprf_server(), 5000, 5);
+  const auto ids = batched.map_batch(urls);
+  EXPECT_EQ(ids, expected);
+  EXPECT_EQ(batched.transport_stats().round_trips(), 1u);  // one for all
+  EXPECT_EQ(batched.cache_size(), 8u);
+
+  // A second batch over warm cache goes nowhere near the network.
+  const auto again = batched.map_batch(urls);
+  EXPECT_EQ(again, expected);
+  EXPECT_EQ(batched.transport_stats().round_trips(), 1u);
+
+  // A mixed batch pays exactly one more round trip for the new URLs.
+  urls.push_back("https://batch.test/new");
+  (void)batched.map_batch(urls);
+  EXPECT_EQ(batched.transport_stats().round_trips(), 2u);
+}
+
+TEST(OprfUrlMapper, MapBatchEmptyIsFree) {
+  OprfUrlMapper m(oprf_server(), 5000, 6);
+  EXPECT_TRUE(m.map_batch(std::span<const std::string_view>{}).empty());
+  EXPECT_EQ(m.transport_stats().round_trips(), 0u);
+}
+
+TEST(OprfUrlMapper, ExternalTransportAndFaults) {
+  // Transport-first construction: the mapper speaks to an OprfEndpoint
+  // through a caller-owned channel, and a dropped response surfaces as a
+  // protocol error instead of a bogus id.
+  eyw::server::OprfEndpoint endpoint(oprf_server());
+  proto::LoopbackTransport net(
+      [&](std::span<const std::uint8_t> f) { return endpoint.handle(f); });
+  {
+    OprfUrlMapper direct(oprf_server(), 5000, 7);
+    OprfUrlMapper remote(net, oprf_server().public_key(), 5000, 8);
+    EXPECT_EQ(remote.map("https://x.test/ad"), direct.map("https://x.test/ad"));
+  }
+  {
+    proto::FaultInjectingTransport faulty(
+        net, {.action = proto::FaultPlan::Action::kDropResponse, .nth = 0});
+    OprfUrlMapper unlucky(faulty, oprf_server().public_key(), 5000, 9);
+    EXPECT_THROW((void)unlucky.map("https://y.test/ad"), proto::ProtoError);
+    // The failed evaluation cached nothing; a retry succeeds.
+    EXPECT_EQ(unlucky.cache_size(), 0u);
+    EXPECT_EQ(unlucky.map("https://y.test/ad"),
+              OprfUrlMapper(oprf_server(), 5000, 10).map("https://y.test/ad"));
+  }
 }
 
 TEST(OprfUrlMapper, AgreesAcrossClients) {

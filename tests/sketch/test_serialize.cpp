@@ -68,15 +68,47 @@ TEST(Serialize, DecodeRejectsUnknownKind) {
   EXPECT_THROW((void)decode_frame(bytes), std::invalid_argument);
 }
 
-TEST(Serialize, DecodeRejectsTruncation) {
+TEST(Serialize, DecodeRejectsTruncationAtEveryByteBoundary) {
+  // No prefix of a valid frame may decode: every cut must throw, and the
+  // full frame must still parse (the loop bound is the proof it ran).
   const auto bytes = encode_sketch(sample_sketch());
-  for (const std::size_t cut :
-       {std::size_t{0}, std::size_t{3}, std::size_t{10}, bytes.size() - 1}) {
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
     EXPECT_THROW(
         (void)decode_frame(std::span<const std::uint8_t>(bytes.data(), cut)),
         std::invalid_argument)
         << "cut=" << cut;
   }
+  EXPECT_NO_THROW((void)decode_frame(bytes));
+}
+
+TEST(Serialize, DecodeRejectsOversizedCellCount) {
+  // depth * width above kMaxFrameCells is refused before any allocation.
+  auto bytes = encode_sketch(sample_sketch());
+  const auto patch = [&](std::size_t offset, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      bytes[offset + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  patch(8, 0x00010000u);   // depth 2^16
+  patch(12, 0x00010000u);  // width 2^16 -> 2^32 cells
+  EXPECT_THROW((void)decode_frame(bytes), std::invalid_argument);
+}
+
+TEST(Serialize, DecodeRejectsSizeArithmeticWraparound) {
+  // Crafted header whose depth * width * 4 wraps std::size_t to 0, making
+  // the expected frame size collide with a bare 32-byte header. Without
+  // the cell-count cap this drove a 2^62-cell reserve from 32 bytes of
+  // attacker input.
+  std::vector<std::uint8_t> bytes = encode_sketch(sample_sketch());
+  bytes.resize(32);  // header only
+  const auto patch = [&](std::size_t offset, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      bytes[offset + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  patch(8, 0x80000000u);   // depth 2^31
+  patch(12, 0x80000000u);  // width 2^31 -> 2^62 cells, * 4 == 0 mod 2^64
+  EXPECT_THROW((void)decode_frame(bytes), std::invalid_argument);
 }
 
 TEST(Serialize, DecodeRejectsTrailingGarbage) {
