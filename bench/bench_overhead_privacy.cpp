@@ -17,6 +17,9 @@
 
 #include "client/url_mapper.hpp"
 #include "crypto/blinding.hpp"
+#include "proto/tcp.hpp"
+#include "server/endpoint.hpp"
+#include "server/remote_backend.hpp"
 #include "server/round.hpp"
 #include "sketch/count_min.hpp"
 
@@ -227,6 +230,66 @@ int main() {
                                       coordinator.downlink_stats().total_bytes()
                     ? "(== RoundTraffic.total)"
                     : "(MISMATCH vs RoundTraffic!)");
+
+    // Same round again, but the back-end behind a real socket (localhost
+    // TCP via RemoteBackend): the honest cost of deployment over the
+    // loopback simulation. Identical fleet + coordinator seed, so the
+    // result must be bit-identical; the wire adds the operator control
+    // plane (begin/missing/finalize) and 4 B of length framing per frame.
+    std::vector<client::BrowserExtension> exts_tcp;
+    for (core::UserId u = 0; u < 60; ++u) exts_tcp.emplace_back(u, ecfg, mapper);
+    for (auto& e : exts_tcp) {
+      for (int a = 0; a < 35; ++a) {
+        e.observe_ad("https://ad.test/" +
+                         std::to_string((e.user() * 7 + a * 13) % 900),
+                     static_cast<core::DomainId>(a % 9), 0);
+      }
+    }
+    server::BackendServer tcp_backend({.cms_params = params,
+                                       .cms_hash_seed = 3,
+                                       .id_space = 10'000,
+                                       .users_rule = core::ThresholdRule::kMean});
+    server::BackendEndpoint endpoint(tcp_backend, /*serve_control=*/true);
+    eyw::proto::FrameServer frame_server(
+        [&](std::span<const std::uint8_t> frame) {
+          return endpoint.handle(frame);
+        });
+    eyw::proto::TcpTransport link("127.0.0.1", frame_server.port());
+    server::RemoteBackend remote(link, tcp_backend.config());
+    server::RoundCoordinator tcp_coordinator(
+        group, std::span<client::BrowserExtension>(exts_tcp), remote, 17);
+    const auto t2 = Clock::now();
+    const auto tcp_round = tcp_coordinator.run_full_round(0);
+    const double tcp_ms = ms_since(t2);
+    const auto& ls = link.stats();
+    const std::uint64_t frames = ls.messages_sent + ls.messages_received;
+    // The socket carries the uplink phases plus the operator control
+    // plane; roster/threshold distribution happens client-side in both
+    // runs, so RoundTraffic (all four phases) must match exactly.
+    std::printf("\n  loopback vs TCP deployment (same 60-client round):\n");
+    std::printf("  %-10s %10s %15s %12s %18s\n", "path", "round ms",
+                "RoundTraffic B", "socket B", "framing B (4/frm)");
+    std::printf("  %-10s %10.1f %15zu %12s %18s\n", "loopback", round_ms,
+                measured_total, "-", "-");
+    std::printf("  %-10s %10.1f %15zu %12llu %12llu (%.2f%%)\n", "tcp",
+                tcp_ms, tcp_coordinator.traffic().total(),
+                static_cast<unsigned long long>(ls.total_bytes()),
+                static_cast<unsigned long long>(4 * frames),
+                100.0 * static_cast<double>(4 * frames) /
+                    static_cast<double>(ls.total_bytes()));
+    const auto loop_cells = round.aggregate.cells();
+    const auto tcp_cells = tcp_round.aggregate.cells();
+    bool identical =
+        loop_cells.size() == tcp_cells.size() &&
+        round.users_threshold == tcp_round.users_threshold &&
+        round.distribution.counts() == tcp_round.distribution.counts();
+    for (std::size_t m = 0; identical && m < loop_cells.size(); ++m)
+      identical = loop_cells[m] == tcp_cells[m];
+    std::printf("  round result %s (Users_th %.2f vs %.2f)\n",
+                identical ? "bit-identical (cells+distribution+threshold)"
+                          : "MISMATCH",
+                round.users_threshold, tcp_round.users_threshold);
+    if (!identical) return 1;
   }
 
   std::printf("\n== Parallel round pipeline scaling (120 clients) ==\n");

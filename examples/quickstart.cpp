@@ -1,19 +1,75 @@
-// Quickstart: the count-based detection algorithm in ~40 lines, plus the
-// batch-first OPRF warm-up a fresh extension runs on install.
+// Quickstart: the count-based detection algorithm in ~40 lines, the
+// batch-first OPRF warm-up a fresh extension runs on install — and the
+// same protocol deployed across two OS processes over real TCP sockets.
 //
-// One user's browser-side detector plus the global #Users inputs that the
-// eyeWnder back-end would distribute. Build & run:
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+// Modes:
+//   ./build/quickstart                       in-process loopback demo
+//   ./build/quickstart --serve PORT [--once] host back-end + oprf-server
+//   ./build/quickstart --connect HOST:PORT   drive reporters over TCP
+//
+// The two-process mode runs one full reporting round twice with identical
+// inputs — once over in-process loopback, once through the remote
+// back-end — and exits non-zero unless the aggregates are bit-identical
+// (the protocol's deployment invariant; see docs/architecture.md).
+// `--once` makes the server exit after serving one finalize, for CI.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "client/extension.hpp"
 #include "client/url_mapper.hpp"
 #include "core/global_view.hpp"
 #include "core/local_detector.hpp"
+#include "proto/tcp.hpp"
+#include "server/cluster.hpp"
+#include "server/endpoint.hpp"
+#include "server/remote_backend.hpp"
+#include "server/round.hpp"
 
-int main() {
+namespace {
+
+using namespace eyw;
+
+/// Round configuration both processes of the TCP mode agree on out-of-band
+/// (in a deployment this is the service config; here it is compiled in).
+server::BackendConfig net_config() {
+  return {.cms_params = {.depth = 4, .width = 256},
+          .cms_hash_seed = 3,
+          .id_space = 10'000,
+          .users_rule = core::ThresholdRule::kMean};
+}
+
+constexpr std::size_t kNetClients = 12;
+constexpr std::size_t kNetShards = 2;
+
+/// The fleet both round runs share: every client saw ~12 unique ads, with
+/// overlap so some ads cross the threshold.
+std::vector<client::BrowserExtension> make_fleet(client::UrlMapper& mapper) {
+  const client::ExtensionConfig ecfg{.detector = {},
+                                     .cms_params = net_config().cms_params,
+                                     .cms_hash_seed =
+                                         net_config().cms_hash_seed};
+  std::vector<client::BrowserExtension> exts;
+  for (std::size_t u = 0; u < kNetClients; ++u)
+    exts.emplace_back(static_cast<core::UserId>(u), ecfg, mapper);
+  for (auto& e : exts) {
+    for (int a = 0; a < 12; ++a) {
+      e.observe_ad("https://ad.test/" +
+                       std::to_string((e.user() * 5 + a * 7) % 40),
+                   static_cast<core::DomainId>(a % 6), 0);
+    }
+  }
+  return exts;
+}
+
+int run_loopback_demo() {
   using namespace eyw::core;
 
   // The browser extension's local state: it records (ad, domain, day).
@@ -70,5 +126,203 @@ int main() {
   for (std::size_t i = 0; i < urls.size(); ++i)
     std::printf("  %-34s -> ad id %llu\n", urls[i].c_str(),
                 static_cast<unsigned long long>(ids[i]));
+  std::printf("\n(two-process mode: `quickstart --serve 9077` in one "
+              "terminal,\n `quickstart --connect 127.0.0.1:9077` in "
+              "another)\n");
   return 0;
+}
+
+int run_serve(std::uint16_t port, bool once) {
+  // Server-side parties: the sharded back-end (with the operator control
+  // plane enabled — this port is the deployment's operator+ingest port)
+  // and the keyed oprf-server.
+  util::Rng rng(7);
+  const crypto::OprfServer oprf(rng, 256);
+  server::BackendCluster cluster(net_config(), kNetShards);
+  server::BackendEndpoint backend_ep(cluster, /*serve_control=*/true);
+  server::OprfEndpoint oprf_ep(oprf);
+
+  std::atomic<bool> finalized{false};
+  // The reference endpoints mutate unsynchronized round state, so dispatch
+  // is serialized; heavy work inside a handler (batch OPRF modexps,
+  // finalize's id-space scan) still fans out across the thread pool.
+  std::mutex dispatch_mu;
+  proto::FrameServer server(
+      [&](std::span<const std::uint8_t> frame) {
+        std::lock_guard<std::mutex> lock(dispatch_mu);
+        // Route on the peeked kind (no payload copy); a frame too broken
+        // to peek goes to the backend endpoint, which answers the
+        // appropriate Error envelope.
+        const std::optional<proto::MsgKind> kind = proto::peek_kind(frame);
+        if (kind == proto::MsgKind::kOprfEvalRequest ||
+            kind == proto::MsgKind::kOprfKeyQuery)
+          return oprf_ep.handle(frame);
+        auto reply = backend_ep.handle(frame);
+        // --once completion means the round actually finalized: a
+        // FinalizeRequest the backend refused (Error reply) does not count.
+        if (kind == proto::MsgKind::kFinalizeRequest &&
+            proto::peek_kind(reply) == proto::MsgKind::kRoundSummary)
+          finalized.store(true, std::memory_order_relaxed);
+        return reply;
+      },
+      {.port = port});
+
+  std::printf("serving back-end (%zu shards) + oprf-server on 127.0.0.1:%u%s\n",
+              kNetShards, server.port(), once ? " (exit after one round)" : "");
+  std::fflush(stdout);
+
+  // --once: exit after the finalize reply has been read (the client
+  // closing its connections is the signal it got everything it asked for).
+  while (!once || !finalized.load(std::memory_order_relaxed) ||
+         server.active_connections() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  const auto stats = server.stats();
+  std::printf("served %llu connection(s): %llu frames / %llu B in, "
+              "%llu frames / %llu B out\n",
+              static_cast<unsigned long long>(server.connections_accepted()),
+              static_cast<unsigned long long>(stats.messages_received),
+              static_cast<unsigned long long>(stats.bytes_received),
+              static_cast<unsigned long long>(stats.messages_sent),
+              static_cast<unsigned long long>(stats.bytes_sent));
+  return 0;
+}
+
+int run_connect(const std::string& host, std::uint16_t port) {
+  const server::BackendConfig config = net_config();
+
+  // Channel 1: the oprf-server. Key distribution happens in-band — the
+  // mapper is bootstrapped from the answer, nothing shared but the address.
+  proto::TcpTransport oprf_link(host, port);
+  const proto::OprfKeyAnswer key = proto::OprfKeyAnswer::decode(
+      proto::expect_reply(oprf_link.exchange(proto::encode_oprf_key_query()),
+                          proto::MsgKind::kOprfKeyAnswer));
+  oprf_link.reset_stats();  // count the warm-up alone below
+  client::OprfUrlMapper mapper(oprf_link,
+                               crypto::RsaPublicKey{.n = key.n, .e = key.e},
+                               config.id_space, /*rng_seed=*/11);
+  std::printf("oprf-server key fetched: RSA-%zu\n", key.n.bit_length());
+
+  // Cold-cache warm-up: every landing URL the fleet will report, one
+  // batched OPRF exchange.
+  {
+    std::vector<std::string> urls;
+    for (int id = 0; id < 40; ++id)
+      urls.push_back("https://ad.test/" + std::to_string(id));
+    (void)mapper.map_batch(urls);
+    std::printf("OPRF warm-up: %zu URLs in %llu round trip(s), %llu wire B\n",
+                urls.size(),
+                static_cast<unsigned long long>(
+                    mapper.transport_stats().round_trips()),
+                static_cast<unsigned long long>(
+                    mapper.transport_stats().total_bytes()));
+  }
+
+  util::Rng rng(42);
+  const crypto::DhGroup group = crypto::DhGroup::generate(rng, 128);
+
+  // Reference run: the identical fleet and coordinator seed against an
+  // in-process cluster. Same keys -> same pads -> same frames, so the
+  // remote round below must reproduce this bit for bit.
+  auto exts_local = make_fleet(mapper);
+  server::BackendCluster local(config, kNetShards);
+  server::RoundCoordinator ref(
+      group, std::span<client::BrowserExtension>(exts_local), local,
+      /*seed=*/17);
+  const server::RoundResult want = ref.run_full_round(0);
+
+  // Channel 2: the remote back-end, driven through the RoundBackend stub.
+  // The coordinator code is the same one the loopback run just used.
+  proto::TcpTransport round_link(host, port);
+  server::RemoteBackend remote(round_link, config);
+  auto exts_tcp = make_fleet(mapper);
+  server::RoundCoordinator live(
+      group, std::span<client::BrowserExtension>(exts_tcp), remote,
+      /*seed=*/17);
+  const server::RoundResult got = live.run_full_round(0);
+
+  const auto want_cells = want.aggregate.cells();
+  const auto got_cells = got.aggregate.cells();
+  bool identical = want_cells.size() == got_cells.size() &&
+                   want.users_threshold == got.users_threshold &&
+                   want.distribution.counts() == got.distribution.counts();
+  for (std::size_t i = 0; identical && i < want_cells.size(); ++i)
+    identical = want_cells[i] == got_cells[i];
+
+  const auto& stats = round_link.stats();
+  std::printf("round over TCP: Users_th=%.3f (%u/%u reported)\n",
+              got.users_threshold, got.reports, got.roster);
+  std::printf("round channel: %llu exchanges, %llu B sent, %llu B received "
+              "(envelope bytes; +4 B framing each way per frame)\n",
+              static_cast<unsigned long long>(stats.round_trips()),
+              static_cast<unsigned long long>(stats.bytes_sent),
+              static_cast<unsigned long long>(stats.bytes_received));
+  std::printf("loopback vs TCP aggregates: %s\n",
+              identical ? "bit-identical (PASS)" : "MISMATCH (FAIL)");
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+
+namespace {
+
+/// Parse a whole decimal token as a port; -1 on anything else (empty,
+/// trailing garbage, out of range) so "8o80" cannot silently bind port 8.
+long parse_port(const char* token) {
+  char* end = nullptr;
+  const long port = std::strtol(token, &end, 10);
+  if (end == token || *end != '\0' || port < 0 || port > 65535) return -1;
+  return port;
+}
+
+/// Operational failures in the networked modes (peer down, port in use,
+/// mid-round disconnect) are expected events for an operator: report and
+/// exit nonzero, never abort.
+int run_guarded(const std::function<int()>& mode) {
+  try {
+    return mode();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "quickstart: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) return run_loopback_demo();
+
+  const std::string mode = argv[1];
+  if (mode == "--serve" && (argc == 3 || argc == 4)) {
+    const long port = parse_port(argv[2]);
+    const bool once = argc == 4 && std::strcmp(argv[3], "--once") == 0;
+    if (port < 0 || (argc == 4 && !once)) {
+      std::fprintf(stderr, "usage: quickstart --serve PORT [--once]\n");
+      return 2;
+    }
+    return run_guarded(
+        [&] { return run_serve(static_cast<std::uint16_t>(port), once); });
+  }
+  if (mode == "--connect" && argc == 3) {
+    const std::string target = argv[2];
+    const std::size_t colon = target.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      std::fprintf(stderr, "usage: quickstart --connect HOST:PORT\n");
+      return 2;
+    }
+    const long port = parse_port(target.c_str() + colon + 1);
+    if (port <= 0) {
+      std::fprintf(stderr, "quickstart: bad port in %s\n", target.c_str());
+      return 2;
+    }
+    return run_guarded([&] {
+      return run_connect(target.substr(0, colon),
+                         static_cast<std::uint16_t>(port));
+    });
+  }
+  std::fprintf(stderr,
+               "usage: quickstart [--serve PORT [--once] | --connect "
+               "HOST:PORT]\n");
+  return 2;
 }

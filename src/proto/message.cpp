@@ -8,7 +8,7 @@ namespace {
 
 bool known_kind(std::uint16_t k) {
   return k >= static_cast<std::uint16_t>(MsgKind::kRosterAnnounce) &&
-         k <= static_cast<std::uint16_t>(MsgKind::kError);
+         k <= static_cast<std::uint16_t>(MsgKind::kOprfKeyAnswer);
 }
 
 void require_kind(const Envelope& env, MsgKind want) {
@@ -122,6 +122,13 @@ const char* to_string(MsgKind kind) noexcept {
     case MsgKind::kShardedSubmit: return "sharded-submit";
     case MsgKind::kAck: return "ack";
     case MsgKind::kError: return "error";
+    case MsgKind::kBeginRound: return "begin-round";
+    case MsgKind::kMissingQuery: return "missing-query";
+    case MsgKind::kMissingList: return "missing-list";
+    case MsgKind::kFinalizeRequest: return "finalize-request";
+    case MsgKind::kRoundSummary: return "round-summary";
+    case MsgKind::kOprfKeyQuery: return "oprf-key-query";
+    case MsgKind::kOprfKeyAnswer: return "oprf-key-answer";
   }
   return "unknown";
 }
@@ -169,6 +176,23 @@ Envelope decode_envelope(std::span<const std::uint8_t> bytes) {
   const auto payload = r.bytes(length);
   env.payload.assign(payload.begin(), payload.end());
   return env;
+}
+
+std::optional<MsgKind> peek_kind(
+    std::span<const std::uint8_t> frame) noexcept {
+  if (frame.size() < kEnvelopeHeaderBytes) return std::nullopt;
+  const auto u16_at = [&](std::size_t off) {
+    return static_cast<std::uint16_t>(frame[off] |
+                                      (frame[off + 1] << 8));
+  };
+  const std::uint32_t magic =
+      static_cast<std::uint32_t>(frame[0]) | (frame[1] << 8) |
+      (frame[2] << 16) | (static_cast<std::uint32_t>(frame[3]) << 24);
+  if (magic != kEnvelopeMagic || u16_at(4) != kProtoVersion)
+    return std::nullopt;
+  const std::uint16_t kind = u16_at(6);
+  if (!known_kind(kind)) return std::nullopt;
+  return static_cast<MsgKind>(kind);
 }
 
 // ------------------------------------------------------------ RosterAnnounce
@@ -331,6 +355,130 @@ ShardedSubmit ShardedSubmit::decode(const Envelope& env) {
   const auto inner = r.bytes(inner_len);
   out.inner.assign(inner.begin(), inner.end());
   return out;
+}
+
+// ------------------------------------------------------------ control plane
+
+std::vector<std::uint8_t> BeginRound::encode(std::uint64_t round) const {
+  WireWriter w(4);
+  w.u32(roster);
+  const auto payload = w.take();
+  return encode_envelope(MsgKind::kBeginRound, kServerSender, round, payload);
+}
+
+BeginRound BeginRound::decode(const Envelope& env) {
+  require_kind(env, MsgKind::kBeginRound);
+  WireReader r(env.payload);
+  BeginRound out;
+  out.roster = r.u32();
+  r.expect_done();
+  // The declared roster sizes every per-participant structure the round
+  // allocates (and the missing-list scan iterates it), so it is capped
+  // like every other untrusted count — before the backend sees it.
+  if (out.roster == 0)
+    throw ProtoError(ErrorCode::kMalformed, "begin-round: empty roster");
+  if (out.roster > kMaxRosterKeys)
+    throw ProtoError(ErrorCode::kOversized,
+                     "begin-round: roster above cap");
+  return out;
+}
+
+std::vector<std::uint8_t> MissingList::encode(std::uint64_t round) const {
+  WireWriter w(4 + missing.size() * 4);
+  w.u32(static_cast<std::uint32_t>(missing.size()));
+  for (const std::uint32_t m : missing) w.u32(m);
+  const auto payload = w.take();
+  return encode_envelope(MsgKind::kMissingList, kServerSender, round, payload);
+}
+
+MissingList MissingList::decode(const Envelope& env) {
+  require_kind(env, MsgKind::kMissingList);
+  WireReader r(env.payload);
+  const std::uint32_t count = r.u32();
+  if (count > kMaxMissing)
+    throw ProtoError(ErrorCode::kOversized,
+                     "missing-list: list above cap");
+  if (static_cast<std::uint64_t>(count) * 4 > r.remaining())
+    throw ProtoError(ErrorCode::kTruncated,
+                     "missing-list: declared list exceeds payload");
+  MissingList out;
+  out.missing.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.missing.push_back(r.u32());
+  r.expect_done();
+  return out;
+}
+
+std::vector<std::uint8_t> RoundSummary::encode(std::uint64_t round) const {
+  WireWriter w(20 + counts.size() * 8 + sketch_frame.size());
+  w.u64(std::bit_cast<std::uint64_t>(users_threshold));
+  w.u32(reports);
+  w.u32(roster);
+  w.u32(static_cast<std::uint32_t>(counts.size()));
+  for (const double c : counts) w.u64(std::bit_cast<std::uint64_t>(c));
+  w.bytes(std::span<const std::uint8_t>(sketch_frame.data(),
+                                        sketch_frame.size()));
+  const auto payload = w.take();
+  return encode_envelope(MsgKind::kRoundSummary, kServerSender, round,
+                         payload);
+}
+
+RoundSummary RoundSummary::decode(const Envelope& env) {
+  require_kind(env, MsgKind::kRoundSummary);
+  WireReader r(env.payload);
+  RoundSummary out;
+  out.users_threshold = std::bit_cast<double>(r.u64());
+  out.reports = r.u32();
+  out.roster = r.u32();
+  const std::uint32_t count = r.u32();
+  if (count > kMaxSummaryCounts)
+    throw ProtoError(ErrorCode::kOversized,
+                     "round-summary: distribution above cap");
+  if (static_cast<std::uint64_t>(count) * 8 > r.remaining())
+    throw ProtoError(ErrorCode::kTruncated,
+                     "round-summary: declared distribution exceeds payload");
+  out.counts.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    out.counts.push_back(std::bit_cast<double>(r.u64()));
+  // The rest is the aggregate 'EYWS' frame; the sketch decoder validates it
+  // (geometry, cell-count cap) when the summary is turned into a result.
+  const auto frame = r.bytes(r.remaining());
+  out.sketch_frame.assign(frame.begin(), frame.end());
+  return out;
+}
+
+std::vector<std::uint8_t> OprfKeyAnswer::encode() const {
+  WireWriter w(8 + 2 * element_bytes);
+  put_elements(w, element_bytes, std::vector<crypto::Bignum>{n, e});
+  const auto payload = w.take();
+  return encode_envelope(MsgKind::kOprfKeyAnswer, kServerSender, /*round=*/0,
+                         payload);
+}
+
+OprfKeyAnswer OprfKeyAnswer::decode(const Envelope& env) {
+  require_kind(env, MsgKind::kOprfKeyAnswer);
+  WireReader r(env.payload);
+  OprfKeyAnswer out;
+  auto elements = get_elements(r, out.element_bytes, 2, "oprf-key-answer");
+  if (elements.size() != 2)
+    throw ProtoError(ErrorCode::kMalformed,
+                     "oprf-key-answer: expected exactly N and e");
+  r.expect_done();
+  out.n = std::move(elements[0]);
+  out.e = std::move(elements[1]);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_missing_query(std::uint64_t round) {
+  return encode_envelope(MsgKind::kMissingQuery, kServerSender, round, {});
+}
+
+std::vector<std::uint8_t> encode_finalize_request(std::uint64_t round) {
+  return encode_envelope(MsgKind::kFinalizeRequest, kServerSender, round, {});
+}
+
+std::vector<std::uint8_t> encode_oprf_key_query() {
+  return encode_envelope(MsgKind::kOprfKeyQuery, /*sender=*/0, /*round=*/0,
+                         {});
 }
 
 // -------------------------------------------------------------- Ack / Error

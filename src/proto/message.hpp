@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -56,6 +57,17 @@ enum class MsgKind : std::uint16_t {
   kShardedSubmit = 8,       // front door -> shard: routed inner envelope
   kAck = 9,                 // positive reply carrying no payload
   kError = 10,              // negative reply: ErrorCode + detail string
+  // Control plane (operator -> back-end): lets the round orchestration run
+  // in a different OS process than the back-end (server::RemoteBackend is
+  // the client-side stub). Endpoints serve these only when constructed
+  // with serve_control = true.
+  kBeginRound = 11,         // operator -> back-end: open a reporting round
+  kMissingQuery = 12,       // operator -> back-end: ask for the missing list
+  kMissingList = 13,        // back-end -> operator: missing roster indices
+  kFinalizeRequest = 14,    // operator -> back-end: aggregate + finalize
+  kRoundSummary = 15,       // back-end -> operator: the full round result
+  kOprfKeyQuery = 16,       // client -> oprf-server: ask for the public key
+  kOprfKeyAnswer = 17,      // oprf-server -> client: RSA public key (N, e)
 };
 
 [[nodiscard]] const char* to_string(MsgKind kind) noexcept;
@@ -77,6 +89,14 @@ inline constexpr std::size_t kEnvelopeHeaderBytes = 4 + 2 + 2 + 4 + 8 + 4;
 /// Parse and validate an envelope. Throws ProtoError (kBadMagic,
 /// kBadVersion, kUnknownKind, kTruncated, kTrailingBytes, kOversized).
 [[nodiscard]] Envelope decode_envelope(std::span<const std::uint8_t> bytes);
+
+/// Read just the kind from an envelope's fixed header — no payload copy,
+/// no throw. Empty when the header is short, the magic/version is wrong,
+/// or the kind is not in the catalogue. For routing decisions (which
+/// endpoint serves this frame) on hot server paths; the chosen endpoint
+/// still fully validates via decode_envelope.
+[[nodiscard]] std::optional<MsgKind> peek_kind(
+    std::span<const std::uint8_t> frame) noexcept;
 
 // ---------------------------------------------------------------- messages
 // Each message encodes itself into a complete envelope and decodes from a
@@ -163,6 +183,64 @@ struct ShardedSubmit {
                                                  std::uint64_t round) const;
   [[nodiscard]] static ShardedSubmit decode(const Envelope& env);
 };
+
+/// Operator -> back-end: open reporting round `round` (envelope header)
+/// for a roster of `roster` clients.
+struct BeginRound {
+  std::uint32_t roster = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::uint64_t round) const;
+  [[nodiscard]] static BeginRound decode(const Envelope& env);
+};
+
+/// Back-end -> operator: the indices that have not reported (reply to
+/// MissingQuery; same payload shape as AdjustmentRequest).
+struct MissingList {
+  std::vector<std::uint32_t> missing;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::uint64_t round) const;
+  [[nodiscard]] static MissingList decode(const Envelope& env);
+};
+
+/// Back-end -> operator: everything finalize_round derives — reply to
+/// FinalizeRequest. The aggregate travels as a complete sketch-layer
+/// 'EYWS' plain-sketch frame (geometry + hash seed validated there), the
+/// #Users distribution as bit-cast f64 counts, so a RoundResult rebuilt
+/// from this message is bit-identical to the server's local one.
+struct RoundSummary {
+  double users_threshold = 0.0;
+  std::uint32_t reports = 0;
+  std::uint32_t roster = 0;
+  std::vector<double> counts;              // #Users distribution (non-zero)
+  std::vector<std::uint8_t> sketch_frame;  // encoded aggregate sketch
+
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::uint64_t round) const;
+  [[nodiscard]] static RoundSummary decode(const Envelope& env);
+};
+
+/// Hard cap on RoundSummary distribution entries (one per ad id with a
+/// non-zero estimate; well above any configured id_space).
+inline constexpr std::size_t kMaxSummaryCounts = std::size_t{1} << 22;
+
+/// Oprf-server -> client: the published RSA key (reply to OprfKeyQuery) —
+/// how a remote client bootstraps an OprfUrlMapper without out-of-band key
+/// distribution.
+struct OprfKeyAnswer {
+  std::uint32_t element_bytes = 0;
+  crypto::Bignum n;
+  crypto::Bignum e;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static OprfKeyAnswer decode(const Envelope& env);
+};
+
+// Payload-free control requests. Decoders are not needed — endpoints
+// validate kind + empty payload inline.
+[[nodiscard]] std::vector<std::uint8_t> encode_missing_query(
+    std::uint64_t round);
+[[nodiscard]] std::vector<std::uint8_t> encode_finalize_request(
+    std::uint64_t round);
+[[nodiscard]] std::vector<std::uint8_t> encode_oprf_key_query();
 
 /// Negative reply.
 struct ErrorReply {

@@ -1,0 +1,496 @@
+#include "proto/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace eyw::proto {
+
+namespace {
+
+using Millis = std::chrono::milliseconds;
+
+[[noreturn]] void throw_io(const std::string& what) {
+  throw ProtoError(ErrorCode::kInternal,
+                   what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw_io("fcntl(O_NONBLOCK)");
+}
+
+void set_nodelay(int fd) {
+  // One exchange is one request segment + one reply segment; without
+  // NODELAY, Nagle + delayed ACK can stall every round trip by ~40 ms.
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Wait for `events` on fd. Returns true when ready, false on timeout.
+/// One-shot wait used by the connect handshake.
+bool poll_wait(int fd, short events, Millis timeout) {
+  struct pollfd pfd {};
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    const int rv = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (rv < 0) {
+      if (errno == EINTR) continue;
+      throw_io("poll");
+    }
+    return rv > 0;
+  }
+}
+
+/// Wait for `events` until an absolute deadline; when `stop` is supplied,
+/// polls in short slices so a server shutdown is noticed promptly (and
+/// throws on it). Returns true when ready, false only at the deadline —
+/// so an I/O loop using this is bounded by the *whole-frame* deadline, no
+/// matter how slowly a peer drips bytes.
+bool poll_until(int fd, short events, SteadyClock::time_point deadline,
+                const std::atomic<bool>* stop) {
+  struct pollfd pfd {};
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed))
+      throw ProtoError(ErrorCode::kInternal, "tcp: shutting down");
+    const auto now = SteadyClock::now();
+    if (now >= deadline) return false;
+    auto wait = std::chrono::duration_cast<Millis>(deadline - now) + Millis(1);
+    if (stop != nullptr && wait > Millis(100)) wait = Millis(100);
+    const int rv = ::poll(&pfd, 1, static_cast<int>(wait.count()));
+    if (rv < 0) {
+      if (errno == EINTR) continue;
+      throw_io("poll");
+    }
+    if (rv > 0) return true;
+  }
+}
+
+/// Write all of `bytes` before `deadline`.
+void send_all(int fd, std::span<const std::uint8_t> bytes,
+              SteadyClock::time_point deadline,
+              const std::atomic<bool>* stop = nullptr) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!poll_until(fd, POLLOUT, deadline, stop))
+        throw ProtoError(ErrorCode::kInternal, "tcp send: timeout");
+      continue;
+    }
+    throw_io("tcp send");
+  }
+}
+
+enum class ReadResult { kOk, kEofAtStart };
+
+/// Read exactly bytes.size() bytes before `deadline`. A clean EOF before
+/// the first byte returns kEofAtStart (the caller decides whether that is
+/// legal at this stream position); EOF after partial progress throws
+/// kTruncated.
+ReadResult recv_exact(int fd, std::span<std::uint8_t> bytes,
+                      SteadyClock::time_point deadline, const char* what,
+                      const std::atomic<bool>* stop = nullptr) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::recv(fd, bytes.data() + off, bytes.size() - off, 0);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (off == 0) return ReadResult::kEofAtStart;
+      throw ProtoError(ErrorCode::kTruncated,
+                       std::string(what) + ": peer closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!poll_until(fd, POLLIN, deadline, stop))
+        throw ProtoError(ErrorCode::kInternal,
+                         std::string(what) + ": timeout");
+      continue;
+    }
+    throw_io(what);
+  }
+  return ReadResult::kOk;
+}
+
+std::uint32_t decode_prefix(const std::uint8_t p[4]) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+/// One contiguous buffer per message so request and reply each leave in a
+/// single segment (see set_nodelay).
+std::vector<std::uint8_t> frame_with_prefix(
+    std::span<const std::uint8_t> frame) {
+  std::vector<std::uint8_t> out(4 + frame.size());
+  const auto len = static_cast<std::uint32_t>(frame.size());
+  out[0] = static_cast<std::uint8_t>(len);
+  out[1] = static_cast<std::uint8_t>(len >> 8);
+  out[2] = static_cast<std::uint8_t>(len >> 16);
+  out[3] = static_cast<std::uint8_t>(len >> 24);
+  if (!frame.empty())
+    std::memcpy(out.data() + 4, frame.data(), frame.size());
+  return out;
+}
+
+int connect_once(const std::string& host, std::uint16_t port,
+                 Millis timeout) {
+  struct addrinfo hints {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &res) != 0 ||
+      res == nullptr)
+    return -1;
+  int fd = -1;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    try {
+      set_nonblocking(fd);
+    } catch (const ProtoError&) {
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    if (errno == EINPROGRESS) {
+      bool ready = false;
+      try {
+        ready = poll_wait(fd, POLLOUT, timeout);
+      } catch (const ProtoError&) {
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (ready &&
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 &&
+          err == 0)
+        break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd >= 0) set_nodelay(fd);
+  return fd;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- client
+
+TcpTransport::TcpTransport(std::string host, std::uint16_t port,
+                           TcpOptions options)
+    : host_(std::move(host)), port_(port), options_(options) {
+  if (options_.connect_attempts < 1)
+    throw std::invalid_argument("TcpTransport: connect_attempts < 1");
+}
+
+TcpTransport::~TcpTransport() { close(); }
+
+void TcpTransport::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpTransport::ensure_connected() {
+  if (fd_ >= 0) return;
+  Millis backoff = options_.connect_backoff;
+  for (int attempt = 0; attempt < options_.connect_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    fd_ = connect_once(host_, port_, options_.connect_timeout);
+    if (fd_ >= 0) return;
+  }
+  throw ProtoError(ErrorCode::kInternal,
+                   "tcp connect to " + host_ + ":" + std::to_string(port_) +
+                       " failed after " +
+                       std::to_string(options_.connect_attempts) +
+                       " attempts");
+}
+
+std::vector<std::uint8_t> TcpTransport::do_exchange(
+    std::span<const std::uint8_t> frame) {
+  if (frame.size() > kMaxTcpFrameBytes)
+    throw ProtoError(ErrorCode::kOversized, "tcp send: frame above cap");
+  ensure_connected();
+  try {
+    // io_timeout bounds the whole send, then the whole reply (whose clock
+    // starts at the request send — it covers the peer's compute time too).
+    send_all(fd_, frame_with_prefix(frame),
+             SteadyClock::now() + options_.io_timeout);
+
+    const auto reply_deadline = SteadyClock::now() + options_.io_timeout;
+    std::uint8_t prefix[4];
+    if (recv_exact(fd_, prefix, reply_deadline, "tcp recv reply") ==
+        ReadResult::kEofAtStart) {
+      // The request left, the peer closed without answering: the response
+      // is lost, not the protocol broken. Surfaces exactly like a dropped
+      // loopback response (empty reply -> expect_reply raises).
+      close();
+      return {};
+    }
+    const std::uint32_t len = decode_prefix(prefix);
+    if (len == 0) return {};
+    if (len > kMaxTcpFrameBytes) {
+      // Unread body of unknowable size: the stream cannot be resynced.
+      close();
+      throw ProtoError(ErrorCode::kOversized,
+                       "tcp recv reply: declared length above cap");
+    }
+    std::vector<std::uint8_t> reply(len);
+    if (recv_exact(fd_, reply, reply_deadline, "tcp recv reply") ==
+        ReadResult::kEofAtStart)
+      throw ProtoError(ErrorCode::kTruncated,
+                       "tcp recv reply: peer closed mid-frame");
+    return reply;
+  } catch (...) {
+    // Whatever broke mid-stream, the connection is in an unknown framing
+    // state — never reuse it.
+    close();
+    throw;
+  }
+}
+
+// ---------------------------------------------------------------- server
+
+FrameServer::FrameServer(FrameHandler handler, FrameServerOptions options)
+    : handler_(std::move(handler)), options_(std::move(options)) {
+  if (!handler_) throw std::invalid_argument("FrameServer: null handler");
+  if (options_.max_connections == 0)
+    throw std::invalid_argument("FrameServer: max_connections == 0");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_io("socket");
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    throw std::invalid_argument("FrameServer: bad bind address " +
+                                options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, options_.backlog) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_io("bind/listen " + options_.bind_address + ":" +
+             std::to_string(options_.port));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_io("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+FrameServer::~FrameServer() { stop(); }
+
+void FrameServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers.swap(workers_);
+  }
+  // Workers poll in short slices and check stopping_, so this bounds at
+  // one slice plus any in-flight handler call.
+  for (auto& w : workers) w.join();
+}
+
+TransportStats FrameServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FrameServer::reap_finished() {
+  // Join connection threads that have registered themselves finished, so
+  // a long-lived server does not accumulate one dead joinable thread per
+  // connection ever accepted. A registered thread has nothing left to do
+  // but return, so these joins do not block the acceptor.
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::thread::id id : finished_) {
+      for (auto it = workers_.begin(); it != workers_.end(); ++it) {
+        if (it->get_id() == id) {
+          done.push_back(std::move(*it));
+          workers_.erase(it);
+          break;
+        }
+      }
+    }
+    finished_.clear();
+  }
+  for (auto& t : done) t.join();
+}
+
+void FrameServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    reap_finished();
+    if (active_.load(std::memory_order_relaxed) >= options_.max_connections) {
+      std::this_thread::sleep_for(Millis(1));
+      continue;
+    }
+    bool ready = false;
+    try {
+      ready = poll_wait(listen_fd_, POLLIN, Millis(50));
+    } catch (const ProtoError&) {
+      break;  // listener died; stop() will clean up
+    }
+    if (!ready) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    try {
+      set_nonblocking(fd);
+    } catch (const ProtoError&) {
+      ::close(fd);
+      continue;
+    }
+    set_nodelay(fd);
+    active_.fetch_add(1, std::memory_order_relaxed);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    workers_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void FrameServer::serve_connection(int fd) {
+  // Wait-for-next-frame polls in short slices so stop() is never blocked
+  // behind an idle client; once a frame has *started* (first prefix byte
+  // seen), the whole frame must complete within io_timeout — a stalled
+  // peer must not pin a connection slot forever.
+  const Millis slice(50);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::uint8_t prefix[4];
+    std::size_t got = 0;
+    bool closed = false;
+    SteadyClock::time_point frame_deadline{};
+    try {
+      while (got < 4) {
+        const ssize_t n = ::recv(fd, prefix + got, 4 - got, 0);
+        if (n > 0) {
+          if (got == 0)
+            frame_deadline = SteadyClock::now() + options_.io_timeout;
+          got += static_cast<std::size_t>(n);
+          continue;
+        }
+        if (n == 0) {
+          closed = true;  // clean close at a frame boundary
+          break;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          if (stopping_.load(std::memory_order_relaxed) ||
+              (got != 0 && SteadyClock::now() >= frame_deadline)) {
+            closed = true;  // shutting down, or stalled mid-prefix
+            break;
+          }
+          (void)poll_wait(fd, POLLIN, slice);
+          continue;
+        }
+        closed = true;  // hard error mid-prefix: nothing to answer
+        break;
+      }
+      if (closed) break;  // clean, stalled, or errored: nothing to answer
+
+      const std::uint32_t len = decode_prefix(prefix);
+      std::vector<std::uint8_t> reply;
+      bool drop_connection = false;
+      if (len > kMaxTcpFrameBytes) {
+        // Refuse before allocating and close after answering: the unread
+        // body leaves the stream unsynchronized.
+        reply = ErrorReply{.code = ErrorCode::kOversized,
+                           .detail = "frame length above cap"}
+                    .encode();
+        drop_connection = true;
+      } else {
+        std::vector<std::uint8_t> frame(len);
+        // The body shares the frame's deadline: a peer dripping one byte
+        // per poll interval cannot hold the slot past io_timeout.
+        if (len != 0 &&
+            recv_exact(fd, frame, frame_deadline, "tcp recv request",
+                       &stopping_) == ReadResult::kEofAtStart)
+          break;  // peer closed mid-frame: nothing to answer
+        try {
+          reply = handler_(frame);
+        } catch (const std::exception& e) {
+          reply = ErrorReply{.code = ErrorCode::kInternal, .detail = e.what()}
+                      .encode();
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.messages_received += 1;
+        stats_.bytes_received += len;
+      }
+      send_all(fd, frame_with_prefix(reply),
+               SteadyClock::now() + options_.io_timeout, &stopping_);
+      if (!reply.empty()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.messages_sent += 1;
+        stats_.bytes_sent += reply.size();
+      }
+      if (drop_connection) break;
+    } catch (const ProtoError&) {
+      break;  // truncated/timed-out/failed exchange: drop the connection
+    } catch (...) {
+      // Anything else — e.g. bad_alloc on a cap-sized frame allocation
+      // under memory pressure — costs this connection, never the server.
+      break;
+    }
+  }
+  ::close(fd);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_.push_back(std::this_thread::get_id());
+}
+
+}  // namespace eyw::proto

@@ -1,0 +1,160 @@
+// Real-socket Transport binding: length-framed delivery of encoded
+// envelopes over TCP, plus the listener/acceptor that serves them.
+//
+// Framing is a 4-byte little-endian length prefix followed by exactly that
+// many envelope bytes. The prefix is transport overhead — TransportStats
+// count envelope bytes only, so a TCP channel and a loopback channel
+// moving the same frames report identical byte totals (asserted in
+// tests/server/test_tcp_round.cpp). A length of zero is the on-wire form
+// of "no reply" (the loopback path's empty vector, e.g. a dropped
+// response), so the two transports are observationally interchangeable.
+//
+// Error mapping onto the protocol's ErrorCodes (docs/protocol.md,
+// "Transport bindings"):
+//   * peer closes before any reply byte  -> empty reply (lost response;
+//     the caller's expect_reply raises, same as FaultPlan::kDropResponse)
+//   * peer closes mid-prefix or mid-body -> ProtoError(kTruncated)
+//   * declared length above the cap      -> ProtoError(kOversized),
+//     checked before any allocation
+//   * connect failure, I/O error, timeout -> ProtoError(kInternal)
+// An exchange that fails mid-stream is never silently replayed — a resend
+// could double-submit a report — so retry/backoff applies to connection
+// establishment only.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "proto/message.hpp"
+#include "proto/transport.hpp"
+
+namespace eyw::proto {
+
+/// Hard cap on one length-framed message: an envelope header plus the
+/// largest payload the envelope layer itself accepts. Checked against the
+/// declared length before any allocation on both ends.
+inline constexpr std::size_t kMaxTcpFrameBytes =
+    kEnvelopeHeaderBytes + kMaxPayloadBytes;
+
+/// Client-side knobs. Timeouts bound each blocking wait inside one
+/// exchange (connect handshake, send progress, reply progress), so a dead
+/// peer surfaces as ProtoError(kInternal) instead of a hang.
+struct TcpOptions {
+  std::chrono::milliseconds connect_timeout{2'000};
+  std::chrono::milliseconds io_timeout{30'000};
+  /// Connection attempts per exchange when not connected; the delay
+  /// doubles after each failure. Lets a client start before its server.
+  int connect_attempts = 6;
+  std::chrono::milliseconds connect_backoff{50};
+};
+
+/// Connects lazily on first exchange (with retry/backoff) and keeps the
+/// connection for subsequent exchanges; any mid-stream failure closes it,
+/// and the next exchange reconnects. One in-flight exchange at a time —
+/// same contract as every other Transport.
+class TcpTransport final : public Transport {
+ public:
+  TcpTransport(std::string host, std::uint16_t port, TcpOptions options = {});
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  /// Close the connection (the next exchange reconnects).
+  void close() noexcept;
+
+ private:
+  std::vector<std::uint8_t> do_exchange(
+      std::span<const std::uint8_t> frame) override;
+  void ensure_connected();
+
+  std::string host_;
+  std::uint16_t port_;
+  TcpOptions options_;
+  int fd_ = -1;
+};
+
+struct FrameServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the real one back via port().
+  std::uint16_t port = 0;
+  int backlog = 64;
+  /// Accepted connections served concurrently; the acceptor stops pulling
+  /// from the listen queue while at the cap (the kernel backlog absorbs
+  /// the burst), so a connection flood degrades to queueing, not OOM.
+  std::size_t max_connections = 32;
+  /// Frame-completion timeout: once the first byte of a frame arrives,
+  /// the rest (prefix and body) must land within this bound or the
+  /// connection is dropped — a stalled peer cannot pin a connection slot.
+  /// A connection idle *between* frames is left alone: clients keep the
+  /// channel open across round phases.
+  std::chrono::milliseconds io_timeout{30'000};
+};
+
+/// Accepts N concurrent client connections and speaks the length-framed
+/// exchange loop on each: read one frame, hand it to the FrameHandler
+/// (a server endpoint's dispatch), write the framed reply. Connection I/O
+/// runs on dedicated threads (blocking socket reads must not occupy the
+/// compute pool); the handlers themselves fan their heavy work — batch
+/// OPRF evaluation, finalize's id-space scan — across util::ThreadPool
+/// exactly as they do in-process.
+///
+/// A frame whose declared length exceeds kMaxTcpFrameBytes is answered
+/// with an Error(kOversized) envelope and the connection is closed (the
+/// stream is unsynchronized past an unread body). Handler exceptions are
+/// answered with Error(kInternal); endpoints themselves never throw.
+class FrameServer {
+ public:
+  explicit FrameServer(FrameHandler handler, FrameServerOptions options = {});
+  ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  /// The bound port (resolves option port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Stop accepting, unblock and join every connection thread. Idempotent;
+  /// the destructor calls it.
+  void stop();
+
+  /// Aggregated frame accounting across all connections, from the
+  /// server's perspective: received = requests read, sent = replies
+  /// written. Envelope bytes only, mirroring Transport stats on the
+  /// client side.
+  [[nodiscard]] TransportStats stats() const;
+
+  [[nodiscard]] std::size_t active_connections() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t connections_accepted() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  /// Join connection threads that have finished (acceptor housekeeping).
+  void reap_finished();
+
+  FrameHandler handler_;
+  FrameServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> active_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  mutable std::mutex mu_;  // guards workers_, finished_, and stats_
+  std::vector<std::thread> workers_;
+  std::vector<std::thread::id> finished_;  // exited, awaiting join
+  TransportStats stats_;
+  std::thread acceptor_;  // last member: joins while the rest is alive
+};
+
+}  // namespace eyw::proto

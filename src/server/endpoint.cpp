@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sketch/serialize.hpp"
+
 namespace eyw::server {
 
 namespace {
@@ -13,11 +15,11 @@ std::vector<std::uint8_t> error_reply(proto::ErrorCode code,
 
 }  // namespace
 
-BackendEndpoint::BackendEndpoint(RoundBackend& backend)
-    : backend_(backend), cluster_(nullptr) {}
+BackendEndpoint::BackendEndpoint(RoundBackend& backend, bool serve_control)
+    : backend_(backend), cluster_(nullptr), serve_control_(serve_control) {}
 
-BackendEndpoint::BackendEndpoint(BackendCluster& cluster)
-    : backend_(cluster), cluster_(&cluster) {}
+BackendEndpoint::BackendEndpoint(BackendCluster& cluster, bool serve_control)
+    : backend_(cluster), cluster_(&cluster), serve_control_(serve_control) {}
 
 std::vector<std::uint8_t> BackendEndpoint::handle(
     std::span<const std::uint8_t> frame) {
@@ -43,10 +45,53 @@ std::vector<std::uint8_t> BackendEndpoint::dispatch(
       return on_adjustment(env);
     case proto::MsgKind::kShardedSubmit:
       return on_sharded(env);
+    case proto::MsgKind::kBeginRound:
+    case proto::MsgKind::kMissingQuery:
+    case proto::MsgKind::kFinalizeRequest:
+      if (!serve_control_)
+        return error_reply(proto::ErrorCode::kRejected,
+                           "control plane disabled on this endpoint");
+      return on_control(env);
     default:
       return error_reply(proto::ErrorCode::kUnknownKind,
                          std::string("backend cannot serve ") +
                              proto::to_string(env.kind));
+  }
+}
+
+std::vector<std::uint8_t> BackendEndpoint::on_control(
+    const proto::Envelope& env) {
+  switch (env.kind) {
+    case proto::MsgKind::kBeginRound: {
+      const proto::BeginRound begin = proto::BeginRound::decode(env);
+      backend_.begin_round(env.round, begin.roster);
+      return proto::encode_ack();
+    }
+    case proto::MsgKind::kMissingQuery: {
+      if (!env.payload.empty())
+        return error_reply(proto::ErrorCode::kMalformed,
+                           "missing-query carries no payload");
+      proto::MissingList list;
+      for (const std::size_t m : backend_.missing_participants())
+        list.missing.push_back(static_cast<std::uint32_t>(m));
+      return list.encode(env.round);
+    }
+    case proto::MsgKind::kFinalizeRequest: {
+      if (!env.payload.empty())
+        return error_reply(proto::ErrorCode::kMalformed,
+                           "finalize-request carries no payload");
+      const RoundResult result = backend_.finalize_round();
+      proto::RoundSummary summary;
+      summary.users_threshold = result.users_threshold;
+      summary.reports = static_cast<std::uint32_t>(result.reports);
+      summary.roster = static_cast<std::uint32_t>(result.roster);
+      summary.counts = result.distribution.counts();
+      summary.sketch_frame = sketch::encode_sketch(result.aggregate);
+      return summary.encode(env.round);
+    }
+    default:
+      return error_reply(proto::ErrorCode::kInternal,
+                         "on_control: unreachable kind");
   }
 }
 
@@ -98,6 +143,17 @@ std::vector<std::uint8_t> OprfEndpoint::handle(
     std::span<const std::uint8_t> frame) {
   try {
     const proto::Envelope env = proto::decode_envelope(frame);
+    if (env.kind == proto::MsgKind::kOprfKeyQuery) {
+      if (!env.payload.empty())
+        return error_reply(proto::ErrorCode::kMalformed,
+                           "oprf-key-query carries no payload");
+      const crypto::RsaPublicKey& key = server_.public_key();
+      const proto::OprfKeyAnswer answer{
+          .element_bytes = static_cast<std::uint32_t>(key.modulus_bytes()),
+          .n = key.n,
+          .e = key.e};
+      return answer.encode();
+    }
     if (env.kind != proto::MsgKind::kOprfEvalRequest)
       return error_reply(proto::ErrorCode::kUnknownKind,
                          std::string("oprf-server cannot serve ") +

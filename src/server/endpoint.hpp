@@ -20,10 +20,16 @@ namespace eyw::server {
 /// envelopes for any RoundBackend. When constructed over a BackendCluster
 /// it additionally accepts ShardedSubmit wrappers and enforces that the
 /// carried shard id matches the cluster's routing function.
+///
+/// `serve_control` additionally enables the operator control plane
+/// (BeginRound / MissingQuery / FinalizeRequest), which drives rounds from
+/// another process through a server::RemoteBackend. Leave it off (the
+/// default) on any endpoint reachable by reporting clients: a reporter
+/// must not be able to open rounds or trigger finalization.
 class BackendEndpoint {
  public:
-  explicit BackendEndpoint(RoundBackend& backend);
-  explicit BackendEndpoint(BackendCluster& cluster);
+  explicit BackendEndpoint(RoundBackend& backend, bool serve_control = false);
+  explicit BackendEndpoint(BackendCluster& cluster, bool serve_control = false);
 
   /// Transport handler: one request frame in, one reply frame out.
   [[nodiscard]] std::vector<std::uint8_t> handle(
@@ -34,13 +40,16 @@ class BackendEndpoint {
   std::vector<std::uint8_t> on_report(const proto::Envelope& env);
   std::vector<std::uint8_t> on_adjustment(const proto::Envelope& env);
   std::vector<std::uint8_t> on_sharded(const proto::Envelope& env);
+  std::vector<std::uint8_t> on_control(const proto::Envelope& env);
 
   RoundBackend& backend_;
   BackendCluster* cluster_;  // non-null iff ShardedSubmit is accepted
+  bool serve_control_;
 };
 
 /// The oprf-server behind the wire: answers OprfEvalRequest batches with
-/// one OprfEvalResponse (element i evaluates request element i).
+/// one OprfEvalResponse (element i evaluates request element i), and
+/// OprfKeyQuery with the published RSA public key.
 class OprfEndpoint {
  public:
   explicit OprfEndpoint(const crypto::OprfServer& server);

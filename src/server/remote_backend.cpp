@@ -1,0 +1,77 @@
+#include "server/remote_backend.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "proto/message.hpp"
+#include "sketch/serialize.hpp"
+
+namespace eyw::server {
+
+RemoteBackend::RemoteBackend(proto::Transport& transport, BackendConfig config)
+    : transport_(transport), config_(std::move(config)) {}
+
+void RemoteBackend::begin_round(std::uint64_t round,
+                                std::size_t roster_size) {
+  const proto::BeginRound begin{
+      .roster = static_cast<std::uint32_t>(roster_size)};
+  const auto reply = transport_.exchange(begin.encode(round));
+  (void)proto::expect_reply(reply, proto::MsgKind::kAck);
+  round_ = round;
+}
+
+void RemoteBackend::submit_report(std::size_t participant_index,
+                                  std::vector<crypto::BlindCell> blinded_cells) {
+  const proto::BlindedReport report{
+      .participant = static_cast<std::uint32_t>(participant_index),
+      .params = config_.cms_params,
+      .cells = std::move(blinded_cells)};
+  const auto reply = transport_.exchange(report.encode(round_));
+  (void)proto::expect_reply(reply, proto::MsgKind::kAck);
+}
+
+std::vector<std::size_t> RemoteBackend::missing_participants() const {
+  const auto reply = transport_.exchange(proto::encode_missing_query(round_));
+  const proto::MissingList list = proto::MissingList::decode(
+      proto::expect_reply(reply, proto::MsgKind::kMissingList));
+  return {list.missing.begin(), list.missing.end()};
+}
+
+void RemoteBackend::submit_adjustment(std::size_t participant_index,
+                                      std::vector<crypto::BlindCell> adjustment) {
+  const proto::Adjustment adj{
+      .participant = static_cast<std::uint32_t>(participant_index),
+      .params = config_.cms_params,
+      .cells = std::move(adjustment)};
+  const auto reply = transport_.exchange(adj.encode(round_));
+  (void)proto::expect_reply(reply, proto::MsgKind::kAck);
+}
+
+RoundResult RemoteBackend::finalize_round(util::ThreadPool* /*pool*/) {
+  const auto reply =
+      transport_.exchange(proto::encode_finalize_request(round_));
+  const proto::RoundSummary summary = proto::RoundSummary::decode(
+      proto::expect_reply(reply, proto::MsgKind::kRoundSummary));
+
+  sketch::DecodedFrame frame;
+  try {
+    frame = sketch::decode_frame(summary.sketch_frame);
+  } catch (const std::invalid_argument& e) {
+    throw proto::ProtoError(
+        proto::ErrorCode::kMalformed,
+        std::string("round-summary: bad aggregate frame: ") + e.what());
+  }
+  if (frame.kind != sketch::FrameKind::kPlainSketch)
+    throw proto::ProtoError(proto::ErrorCode::kMalformed,
+                            "round-summary: aggregate is not a plain sketch");
+
+  RoundResult result{.aggregate = sketch::sketch_from_frame(frame),
+                     .distribution = core::UsersDistribution::from_counts(
+                         summary.counts),
+                     .users_threshold = summary.users_threshold,
+                     .reports = summary.reports,
+                     .roster = summary.roster};
+  return result;
+}
+
+}  // namespace eyw::server

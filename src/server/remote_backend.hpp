@@ -1,0 +1,54 @@
+// Client-side stub of a back-end living in another process: implements the
+// RoundBackend surface by speaking the wire protocol's control plane and
+// submission envelopes over any Transport (TcpTransport for a real
+// deployment, LoopbackTransport in tests).
+//
+// This is what makes the multi-process deployment a drop-in change: a
+// RoundCoordinator handed a RemoteBackend runs the exact same code it runs
+// against an in-process BackendServer — every call here is one exchange
+// with the remote BackendEndpoint (which must be constructed with
+// serve_control = true), and an Error reply surfaces as ProtoError with
+// the carried code, exactly like a local refusal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/transport.hpp"
+#include "server/backend.hpp"
+
+namespace eyw::server {
+
+class RemoteBackend final : public RoundBackend {
+ public:
+  /// `config` is the round configuration this deployment agreed on
+  /// out-of-band (both processes must run the same geometry — a mismatch
+  /// surfaces as kGeometryMismatch on the first submission). `transport`
+  /// must outlive the backend.
+  RemoteBackend(proto::Transport& transport, BackendConfig config);
+
+  [[nodiscard]] const BackendConfig& config() const noexcept override {
+    return config_;
+  }
+
+  void begin_round(std::uint64_t round, std::size_t roster_size) override;
+  void submit_report(std::size_t participant_index,
+                     std::vector<crypto::BlindCell> blinded_cells) override;
+  [[nodiscard]] std::vector<std::size_t> missing_participants() const override;
+  void submit_adjustment(std::size_t participant_index,
+                         std::vector<crypto::BlindCell> adjustment) override;
+
+  /// Fetches the server's RoundSummary and rebuilds the RoundResult from
+  /// it — bit-identical to the server's local result (the aggregate rides
+  /// an 'EYWS' frame, threshold and distribution are bit-cast f64).
+  /// `pool` is ignored: the scan fans out server-side.
+  [[nodiscard]] RoundResult finalize_round(
+      util::ThreadPool* pool = nullptr) override;
+
+ private:
+  proto::Transport& transport_;
+  BackendConfig config_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace eyw::server

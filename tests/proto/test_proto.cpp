@@ -101,6 +101,26 @@ TEST(Envelope, BadMagicVersionKindCodes) {
             ErrorCode::kUnknownKind);
 }
 
+TEST(Envelope, PeekKindMatchesDecodeWithoutThrowing) {
+  const auto ack = encode_ack();
+  EXPECT_EQ(peek_kind(ack), MsgKind::kAck);
+
+  auto bad_magic = encode_ack();
+  bad_magic[0] ^= 0xff;
+  EXPECT_EQ(peek_kind(bad_magic), std::nullopt);
+
+  auto bad_version = encode_ack();
+  bad_version[4] = 0x7f;
+  EXPECT_EQ(peek_kind(bad_version), std::nullopt);
+
+  auto unknown = encode_ack();
+  unknown[6] = 0x63;
+  EXPECT_EQ(peek_kind(unknown), std::nullopt);
+
+  const std::vector<std::uint8_t> shorty{0x45, 0x59};
+  EXPECT_EQ(peek_kind(shorty), std::nullopt);
+}
+
 TEST(Envelope, TrailingGarbageRejected) {
   auto frame = encode_ack();
   frame.push_back(0);
@@ -260,6 +280,83 @@ TEST(Messages, ErrorReplyCarriesCodeThroughExpectReply) {
   EXPECT_EQ(seen, ErrorCode::kGeometryMismatch);
 }
 
+TEST(Messages, ControlPlaneRoundTrips) {
+  const BeginRound begin{.roster = 44};
+  const Envelope benv = decode_envelope(begin.encode(/*round=*/9));
+  EXPECT_EQ(benv.round, 9u);
+  EXPECT_EQ(BeginRound::decode(benv).roster, 44u);
+
+  MissingList list;
+  list.missing = {2, 9, 31};
+  EXPECT_EQ(MissingList::decode(decode_envelope(list.encode(1))).missing,
+            (std::vector<std::uint32_t>{2, 9, 31}));
+
+  RoundSummary summary;
+  summary.users_threshold = 2.375;  // exactly representable: bit-exact trip
+  summary.reports = 5;
+  summary.roster = 6;
+  summary.counts = {1.0, 2.0, 5.0};
+  summary.sketch_frame = {0xAA, 0xBB, 0xCC};  // opaque at this layer
+  const RoundSummary back =
+      RoundSummary::decode(decode_envelope(summary.encode(3)));
+  EXPECT_EQ(back.users_threshold, 2.375);
+  EXPECT_EQ(back.reports, 5u);
+  EXPECT_EQ(back.roster, 6u);
+  EXPECT_EQ(back.counts, summary.counts);
+  EXPECT_EQ(back.sketch_frame, summary.sketch_frame);
+
+  const OprfKeyAnswer key{.element_bytes = 16,
+                          .n = crypto::Bignum(0xDEADBEEFull),
+                          .e = crypto::Bignum(65537)};
+  const OprfKeyAnswer kback = OprfKeyAnswer::decode(decode_envelope(key.encode()));
+  EXPECT_EQ(kback.n, crypto::Bignum(0xDEADBEEFull));
+  EXPECT_EQ(kback.e, crypto::Bignum(65537));
+}
+
+TEST(Messages, BeginRoundRosterCapped) {
+  // The declared roster drives per-participant allocations and the
+  // missing-list scan: a 4-GB roster from a 28-byte frame must die in the
+  // decoder, and an empty roster is meaningless.
+  EXPECT_EQ(code_of([&] {
+              (void)BeginRound::decode(
+                  decode_envelope(BeginRound{.roster = 0xffffffffu}.encode(0)));
+            }),
+            ErrorCode::kOversized);
+  EXPECT_EQ(code_of([&] {
+              (void)BeginRound::decode(
+                  decode_envelope(BeginRound{.roster = 0}.encode(0)));
+            }),
+            ErrorCode::kMalformed);
+}
+
+TEST(Messages, RoundSummaryOversizedDistributionRejected) {
+  // A declared distribution count above the cap (or beyond the payload)
+  // must fail before any count-sized allocation.
+  WireWriter w;
+  w.u64(0);           // users_th
+  w.u32(0);           // reports
+  w.u32(0);           // roster
+  w.u32(1u << 23);    // count above kMaxSummaryCounts
+  const auto over_cap = encode_envelope(MsgKind::kRoundSummary, kServerSender,
+                                        0, w.take());
+  EXPECT_EQ(code_of([&] {
+              (void)RoundSummary::decode(decode_envelope(over_cap));
+            }),
+            ErrorCode::kOversized);
+
+  WireWriter w2;
+  w2.u64(0);
+  w2.u32(0);
+  w2.u32(0);
+  w2.u32(1u << 20);   // under the cap, backed by nothing
+  const auto unbacked = encode_envelope(MsgKind::kRoundSummary, kServerSender,
+                                        0, w2.take());
+  EXPECT_EQ(code_of([&] {
+              (void)RoundSummary::decode(decode_envelope(unbacked));
+            }),
+            ErrorCode::kTruncated);
+}
+
 TEST(Transport, LoopbackCountsMessagesAndBytes) {
   LoopbackTransport t([](std::span<const std::uint8_t> frame) {
     EXPECT_FALSE(frame.empty());
@@ -281,6 +378,29 @@ server::BackendConfig small_backend_config() {
           .cms_hash_seed = 5,
           .id_space = 100,
           .users_rule = core::ThresholdRule::kMean};
+}
+
+TEST(Endpoint, ControlPlaneDisabledByDefaultEnabledByOptIn) {
+  server::BackendServer backend(small_backend_config());
+  {
+    server::BackendEndpoint ingest_only(backend);
+    EXPECT_EQ(code_of([&] {
+                (void)expect_reply(
+                    ingest_only.handle(BeginRound{.roster = 2}.encode(0)),
+                    MsgKind::kAck);
+              }),
+              ErrorCode::kRejected);
+  }
+  {
+    server::BackendEndpoint operator_ep(backend, /*serve_control=*/true);
+    EXPECT_NO_THROW((void)expect_reply(
+        operator_ep.handle(BeginRound{.roster = 2}.encode(0)),
+        MsgKind::kAck));
+    const auto reply = operator_ep.handle(encode_missing_query(0));
+    const MissingList missing =
+        MissingList::decode(expect_reply(reply, MsgKind::kMissingList));
+    EXPECT_EQ(missing.missing, (std::vector<std::uint32_t>{0, 1}));
+  }
 }
 
 TEST(Endpoint, BackendAcksValidReportAndRejectsProtocolViolations) {

@@ -1,0 +1,463 @@
+// The socket transport binding: length framing, partial-read robustness
+// (truncation at every byte boundary of a framed reply), oversized-length
+// rejection before allocation on both ends, peer disconnects during every
+// round phase, and fault-plan parity — the same FaultInjectingTransport
+// plan must surface the same ErrorCode over TCP as over loopback, because
+// the transports are supposed to be observationally interchangeable.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <thread>
+
+#include "proto/message.hpp"
+#include "proto/tcp.hpp"
+#include "proto/transport.hpp"
+#include "server/backend.hpp"
+#include "server/cluster.hpp"
+#include "server/endpoint.hpp"
+#include "server/remote_backend.hpp"
+#include "server/round.hpp"
+
+namespace eyw::proto {
+namespace {
+
+const sketch::CmsParams kParams{.depth = 2, .width = 8};
+
+server::BackendConfig small_config() {
+  return {.cms_params = kParams,
+          .cms_hash_seed = 5,
+          .id_space = 100,
+          .users_rule = core::ThresholdRule::kMean};
+}
+
+std::vector<std::uint32_t> sample_cells() {
+  std::vector<std::uint32_t> cells(kParams.cells());
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    cells[i] = static_cast<std::uint32_t>(0x1000 + i * 17);
+  return cells;
+}
+
+ErrorCode code_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const ProtoError& e) {
+    return e.code();
+  }
+  return ErrorCode::kOk;
+}
+
+std::vector<std::uint8_t> with_prefix(std::span<const std::uint8_t> frame) {
+  std::vector<std::uint8_t> out(4 + frame.size());
+  const auto len = static_cast<std::uint32_t>(frame.size());
+  for (int i = 0; i < 4; ++i)
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(len >> (8 * i));
+  std::memcpy(out.data() + 4, frame.data(), frame.size());
+  return out;
+}
+
+void send_raw(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0 && errno == EINTR) continue;
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Read one length-framed message off a blocking socket; empty on EOF at a
+/// frame boundary.
+std::vector<std::uint8_t> read_framed(int fd) {
+  std::uint8_t prefix[4];
+  std::size_t got = 0;
+  while (got < 4) {
+    const ssize_t n = ::recv(fd, prefix + got, 4 - got, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return {};
+    got += static_cast<std::size_t>(n);
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+  std::vector<std::uint8_t> frame(len);
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::recv(fd, frame.data() + off, len - off, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return {};
+    off += static_cast<std::size_t>(n);
+  }
+  return frame;
+}
+
+/// A deliberately misbehaving server: accepts connections sequentially and
+/// runs `session` on each accepted socket until stopped. Used where
+/// FrameServer is too well-behaved to produce the failure under test.
+class RawServer {
+ public:
+  explicit RawServer(std::function<void(int fd)> session)
+      : session_(std::move(session)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    struct sockaddr_in addr {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd_, 16), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(listen_fd_,
+                            reinterpret_cast<struct sockaddr*>(&addr), &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) return;  // listener closed: shut down
+        session_(fd);
+        ::close(fd);
+      }
+    });
+  }
+
+  ~RawServer() {
+    // shutdown() unblocks accept() on every platform close() alone may not.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    thread_.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  std::function<void(int)> session_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+/// Wait until every connection worker has exited (and therefore flushed
+/// its stats) after the client side closed.
+void wait_idle(const FrameServer& server) {
+  for (int i = 0; i < 2'000 && server.active_connections() != 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(server.active_connections(), 0u);
+}
+
+TcpOptions fast_options() {
+  // Tight timeouts so failure-path tests do not stall the suite.
+  return {.connect_timeout = std::chrono::milliseconds(1'000),
+          .io_timeout = std::chrono::milliseconds(2'000),
+          .connect_attempts = 3,
+          .connect_backoff = std::chrono::milliseconds(10)};
+}
+
+TEST(TcpTransport, ExchangeRoundTripAndBothSidesCountFrameBytes) {
+  FrameServer server([](std::span<const std::uint8_t> frame) {
+    (void)decode_envelope(frame);  // must be a valid envelope
+    return encode_ack();
+  });
+  TcpTransport client("127.0.0.1", server.port(), fast_options());
+
+  const auto request = BlindedReport{.participant = 1,
+                                     .params = kParams,
+                                     .cells = sample_cells()}
+                           .encode(/*round=*/0);
+  const auto ack = encode_ack();
+  for (int i = 0; i < 3; ++i) {
+    const auto reply = client.exchange(request);
+    EXPECT_NO_THROW((void)expect_reply(reply, MsgKind::kAck));
+  }
+
+  // TransportStats count envelope bytes only — identical on both sides,
+  // with the 4-byte prefix invisible (it is transport framing).
+  EXPECT_EQ(client.stats().messages_sent, 3u);
+  EXPECT_EQ(client.stats().bytes_sent, 3 * request.size());
+  EXPECT_EQ(client.stats().bytes_received, 3 * ack.size());
+  client.close();
+  wait_idle(server);
+  const TransportStats server_stats = server.stats();
+  EXPECT_EQ(server_stats.messages_received, 3u);
+  EXPECT_EQ(server_stats.bytes_received, client.stats().bytes_sent);
+  EXPECT_EQ(server_stats.bytes_sent, client.stats().bytes_received);
+}
+
+TEST(TcpTransport, EmptyHandlerReplyArrivesAsEmptyFrame) {
+  // A handler that returns nothing (the loopback "lost response" shape)
+  // must surface client-side as an empty reply, not a hang or an error.
+  FrameServer server(
+      [](std::span<const std::uint8_t>) { return std::vector<std::uint8_t>{}; });
+  TcpTransport client("127.0.0.1", server.port(), fast_options());
+  const auto reply = client.exchange(encode_ack());
+  EXPECT_TRUE(reply.empty());
+  EXPECT_THROW((void)expect_reply(reply, MsgKind::kAck), ProtoError);
+  // The connection survives an empty reply (it is a legal frame).
+  EXPECT_TRUE(client.connected());
+}
+
+TEST(TcpTransport, ConnectRetriesThenFailsWithInternal) {
+  // Nothing listens on this socket's port once it is closed.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<struct sockaddr*>(&addr),
+                          &len),
+            0);
+  const std::uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  TcpTransport client("127.0.0.1", dead_port, fast_options());
+  EXPECT_EQ(code_of([&] { (void)client.exchange(encode_ack()); }),
+            ErrorCode::kInternal);
+}
+
+TEST(TcpTransport, TruncatedReplyAtEveryByteBoundary) {
+  const auto ack = encode_ack();
+  const auto framed = with_prefix(ack);
+  std::atomic<std::size_t> cut{0};
+  RawServer server([&](int fd) {
+    (void)read_framed(fd);  // consume the request
+    const std::size_t keep = cut.load();
+    send_raw(fd, std::span<const std::uint8_t>(framed.data(), keep));
+    // close() in RawServer truncates the stream at `keep` bytes.
+  });
+
+  for (std::size_t keep = 0; keep < framed.size(); ++keep) {
+    cut.store(keep);
+    TcpTransport client("127.0.0.1", server.port(), fast_options());
+    if (keep == 0) {
+      // EOF before any reply byte: the response is lost, not the framing
+      // broken — empty reply, same as FaultPlan::kDropResponse.
+      EXPECT_TRUE(client.exchange(ack).empty()) << "keep=" << keep;
+    } else {
+      // EOF mid-prefix or mid-body: kTruncated, never a hang or a bogus
+      // frame.
+      EXPECT_EQ(code_of([&] { (void)client.exchange(ack); }),
+                ErrorCode::kTruncated)
+          << "keep=" << keep;
+    }
+    EXPECT_FALSE(client.connected());  // broken stream is never reused
+  }
+
+  // The unmutilated reply still decodes.
+  cut.store(framed.size());
+  TcpTransport client("127.0.0.1", server.port(), fast_options());
+  EXPECT_NO_THROW((void)expect_reply(client.exchange(ack), MsgKind::kAck));
+}
+
+TEST(TcpTransport, OversizedReplyLengthRejectedBeforeAllocation) {
+  RawServer server([&](int fd) {
+    (void)read_framed(fd);
+    const std::uint8_t huge[4] = {0xff, 0xff, 0xff, 0xff};  // 4 GB declared
+    send_raw(fd, huge);
+  });
+  TcpTransport client("127.0.0.1", server.port(), fast_options());
+  EXPECT_EQ(code_of([&] { (void)client.exchange(encode_ack()); }),
+            ErrorCode::kOversized);
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(FrameServer, OversizedRequestLengthAnsweredWithErrorThenClosed) {
+  FrameServer server(
+      [](std::span<const std::uint8_t>) { return encode_ack(); });
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::uint8_t huge[4] = {0xff, 0xff, 0xff, 0xff};
+  send_raw(fd, huge);
+  const auto reply = read_framed(fd);
+  ASSERT_FALSE(reply.empty());
+  EXPECT_EQ(code_of([&] { (void)expect_reply(reply, MsgKind::kAck); }),
+            ErrorCode::kOversized);
+  // The server closed the connection: the stream past an unread body is
+  // unsynchronized.
+  std::uint8_t byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+}
+
+TEST(FrameServer, StalledMidFrameConnectionDroppedAfterIoTimeout) {
+  // A peer that starts a frame and stalls must be disconnected once
+  // io_timeout expires — it cannot pin a connection slot forever.
+  FrameServer server([](std::span<const std::uint8_t>) { return encode_ack(); },
+                     {.io_timeout = std::chrono::milliseconds(150)});
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::uint8_t partial[2] = {0x01, 0x00};  // 2 of 4 prefix bytes
+  send_raw(fd, partial);
+  // ... then stall. The server must close the connection; recv observes
+  // EOF well before the test times out.
+  std::uint8_t byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  wait_idle(server);
+  ::close(fd);
+}
+
+TEST(FrameServer, DrippingFrameBodyDroppedAtAbsoluteDeadline) {
+  // One byte per 100 ms is "progress" on every poll, but the io_timeout
+  // deadline is absolute per frame: the drip must not extend it.
+  FrameServer server([](std::span<const std::uint8_t>) { return encode_ack(); },
+                     {.io_timeout = std::chrono::milliseconds(250)});
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::uint8_t prefix[4] = {50, 0, 0, 0};  // declare a 50-byte body
+  send_raw(fd, prefix);
+  int sent = 0;
+  for (; sent < 50; ++sent) {
+    std::uint8_t probe = 0;
+    const ssize_t r = ::recv(fd, &probe, 1, MSG_DONTWAIT);
+    if (r == 0) break;  // server dropped us
+    const std::uint8_t byte = 0xab;
+    if (::send(fd, &byte, 1, MSG_NOSIGNAL) <= 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_LT(sent, 50) << "server accepted a 5-second drip past a 250 ms "
+                         "frame deadline";
+  ::close(fd);
+  wait_idle(server);
+}
+
+TEST(FrameServer, MalformedEnvelopeBytesAnsweredWithErrorFrame) {
+  server::BackendServer backend(small_config());
+  server::BackendEndpoint endpoint(backend);
+  FrameServer server([&](std::span<const std::uint8_t> frame) {
+    return endpoint.handle(frame);
+  });
+  TcpTransport client("127.0.0.1", server.port(), fast_options());
+  const std::vector<std::uint8_t> garbage{0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(code_of([&] {
+              (void)expect_reply(client.exchange(garbage), MsgKind::kAck);
+            }),
+            ErrorCode::kBadMagic);
+  // The connection stays usable — a decode failure is an answered error,
+  // not a framing violation.
+  EXPECT_TRUE(client.connected());
+}
+
+/// The parity check: the same FaultInjectingTransport plan must produce
+/// the same observable ErrorCode whether the inner transport is loopback
+/// or a real socket.
+TEST(TcpTransport, FaultPlanParityWithLoopback) {
+  const BlindedReport report{
+      .participant = 0, .params = kParams, .cells = sample_cells()};
+  const auto frame = report.encode(0);
+
+  const FaultPlan plans[] = {
+      {.action = FaultPlan::Action::kTruncateRequest,
+       .nth = 0,
+       .offset = frame.size() - 3},
+      {.action = FaultPlan::Action::kCorruptRequest, .nth = 0, .offset = 0},
+      {.action = FaultPlan::Action::kDropResponse, .nth = 0},
+  };
+
+  for (const FaultPlan& plan : plans) {
+    // Loopback oracle.
+    server::BackendServer loop_backend(small_config());
+    server::BackendEndpoint loop_endpoint(loop_backend);
+    loop_backend.begin_round(0, 2);
+    LoopbackTransport loop([&](std::span<const std::uint8_t> f) {
+      return loop_endpoint.handle(f);
+    });
+    FaultInjectingTransport faulty_loop(loop, plan);
+    const ErrorCode want = code_of([&] {
+      (void)expect_reply(faulty_loop.exchange(frame), MsgKind::kAck);
+    });
+
+    // Same plan over a real socket.
+    server::BackendServer tcp_backend(small_config());
+    server::BackendEndpoint tcp_endpoint(tcp_backend);
+    tcp_backend.begin_round(0, 2);
+    FrameServer server([&](std::span<const std::uint8_t> f) {
+      return tcp_endpoint.handle(f);
+    });
+    TcpTransport tcp("127.0.0.1", server.port(), fast_options());
+    FaultInjectingTransport faulty_tcp(tcp, plan);
+    const ErrorCode got = code_of([&] {
+      (void)expect_reply(faulty_tcp.exchange(frame), MsgKind::kAck);
+    });
+
+    EXPECT_EQ(got, want) << "plan action "
+                         << static_cast<int>(plan.action);
+    EXPECT_EQ(tcp_backend.reports_received(),
+              loop_backend.reports_received())
+        << "plan action " << static_cast<int>(plan.action);
+  }
+}
+
+/// Peer disconnect during every phase of a full round: a server that dies
+/// after its nth reply must surface as ProtoError on the operator side —
+/// in whichever phase the cut lands — never as a hang or a bogus result.
+TEST(TcpTransport, PeerDisconnectDuringEachRoundPhase) {
+  using client::BrowserExtension;
+  const std::size_t n_clients = 4;
+  // Exchange sequence of a full round over the control plane:
+  //   0: begin-round, 1..4: reports, 5: missing-query, 6: finalize.
+  const std::size_t cuts[] = {0, 2, 5, 6};
+
+  for (const std::size_t cut : cuts) {
+    server::BackendCluster cluster(small_config(), 2);
+    server::BackendEndpoint endpoint(cluster, /*serve_control=*/true);
+    std::atomic<std::size_t> served{0};
+    RawServer server([&](int fd) {
+      for (;;) {
+        const auto request = read_framed(fd);
+        if (request.empty()) return;
+        if (served.fetch_add(1) == cut) return;  // die without replying
+        const auto reply = endpoint.handle(request);
+        send_raw(fd, with_prefix(reply));
+      }
+    });
+
+    client::HashUrlMapper mapper(small_config().id_space);
+    const client::ExtensionConfig ecfg{
+        .detector = {},
+        .cms_params = kParams,
+        .cms_hash_seed = small_config().cms_hash_seed};
+    std::vector<BrowserExtension> exts;
+    for (std::size_t u = 0; u < n_clients; ++u)
+      exts.emplace_back(static_cast<core::UserId>(u), ecfg, mapper);
+
+    util::Rng rng(4096);
+    const crypto::DhGroup group = crypto::DhGroup::generate(rng, 128);
+    TcpTransport link("127.0.0.1", server.port(), fast_options());
+    server::RemoteBackend remote(link, small_config());
+    server::RoundCoordinator coordinator(
+        group, std::span<BrowserExtension>(exts), remote, /*seed=*/7);
+    EXPECT_THROW((void)coordinator.run_full_round(0), ProtoError)
+        << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace eyw::proto

@@ -1,0 +1,187 @@
+// The deployment invariant of the socket transport: a full reporting
+// round driven through a RemoteBackend over real TCP must be bit-identical
+// to the same round over in-process loopback — aggregate cells, #Users
+// distribution, and Users_th — and the byte totals each side's transport
+// accounting reports must equal the sum of encoded envelope bytes that
+// crossed the socket.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "client/url_mapper.hpp"
+#include "proto/tcp.hpp"
+#include "server/cluster.hpp"
+#include "server/endpoint.hpp"
+#include "server/remote_backend.hpp"
+#include "server/round.hpp"
+
+namespace eyw::server {
+namespace {
+
+const sketch::CmsParams kParams{.depth = 4, .width = 64};
+
+BackendConfig backend_config() {
+  return {.cms_params = kParams,
+          .cms_hash_seed = 5,
+          .id_space = 500,
+          .users_rule = core::ThresholdRule::kMean};
+}
+
+const crypto::DhGroup& group() {
+  static const crypto::DhGroup g = [] {
+    util::Rng rng(4096);
+    return crypto::DhGroup::generate(rng, 128);
+  }();
+  return g;
+}
+
+std::vector<client::BrowserExtension> make_fleet(client::UrlMapper& mapper,
+                                                 std::size_t n) {
+  const client::ExtensionConfig ecfg{
+      .detector = {}, .cms_params = kParams, .cms_hash_seed = 5};
+  std::vector<client::BrowserExtension> exts;
+  for (std::size_t u = 0; u < n; ++u)
+    exts.emplace_back(static_cast<core::UserId>(u), ecfg, mapper);
+  for (auto& e : exts) {
+    e.observe_ad("https://everyone.test", 1, 0);
+    if (e.user() % 3 == 0) e.observe_ad("https://thirds.test", 2, 0);
+  }
+  exts[0].observe_ad("https://rare.test", 3, 0);
+  return exts;
+}
+
+/// Pass-through wrapper recording every frame size independently of the
+/// Transport base-class stats, so "stats == sum of encoded frame bytes"
+/// is asserted against a second bookkeeper, not against itself.
+class RecordingTransport final : public proto::Transport {
+ public:
+  explicit RecordingTransport(proto::Transport& inner) : inner_(inner) {}
+
+  std::uint64_t request_bytes = 0;
+  std::uint64_t reply_bytes = 0;
+
+ private:
+  std::vector<std::uint8_t> do_exchange(
+      std::span<const std::uint8_t> frame) override {
+    request_bytes += frame.size();
+    auto reply = inner_.exchange(frame);
+    reply_bytes += reply.size();
+    return reply;
+  }
+
+  proto::Transport& inner_;
+};
+
+TEST(TcpRound, FullRoundBitIdenticalToLoopbackAndBytesAccounted) {
+  client::HashUrlMapper mapper(backend_config().id_space);
+  const std::vector<std::size_t> reporting{0, 1, 3, 4, 5};  // client 2 dark
+
+  // Loopback reference (the adjustment phase runs: client 2 is missing).
+  BackendCluster loop_cluster(backend_config(), 2);
+  auto exts_loop = make_fleet(mapper, 6);
+  RoundCoordinator ref(group(),
+                       std::span<client::BrowserExtension>(exts_loop),
+                       loop_cluster, /*seed=*/79);
+  const RoundResult want = ref.run_round(0, reporting);
+
+  // Same round, back-end in a (logically) different process: the cluster
+  // sits behind its proto endpoint behind a real socket.
+  BackendCluster tcp_cluster(backend_config(), 2);
+  BackendEndpoint endpoint(tcp_cluster, /*serve_control=*/true);
+  proto::FrameServer server([&](std::span<const std::uint8_t> frame) {
+    return endpoint.handle(frame);
+  });
+  proto::TcpTransport link("127.0.0.1", server.port());
+  RecordingTransport recorded(link);
+  RemoteBackend remote(recorded, backend_config());
+  auto exts_tcp = make_fleet(mapper, 6);
+  RoundCoordinator live(group(),
+                        std::span<client::BrowserExtension>(exts_tcp),
+                        remote, /*seed=*/79);
+  const RoundResult got = live.run_round(0, reporting);
+
+  // Bit-identical result: cells, distribution, threshold, bookkeeping.
+  const auto want_cells = want.aggregate.cells();
+  const auto got_cells = got.aggregate.cells();
+  ASSERT_EQ(want_cells.size(), got_cells.size());
+  for (std::size_t i = 0; i < want_cells.size(); ++i)
+    ASSERT_EQ(want_cells[i], got_cells[i]) << "cell " << i;
+  EXPECT_EQ(want.distribution.counts(), got.distribution.counts());
+  EXPECT_EQ(want.users_threshold, got.users_threshold);
+  EXPECT_EQ(want.reports, got.reports);
+  EXPECT_EQ(want.roster, got.roster);
+
+  // Byte accounting: the client-side TransportStats equal the sum of the
+  // encoded frames the round moved (independent recorder), and the
+  // server's view mirrors them exactly — nothing lost, nothing invented
+  // by the length framing.
+  link.close();
+  for (int i = 0; i < 2'000 && server.active_connections() != 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(server.active_connections(), 0u);
+
+  const proto::TransportStats& client_stats = link.stats();
+  const proto::TransportStats server_stats = server.stats();
+  EXPECT_GT(recorded.request_bytes, 0u);
+  EXPECT_EQ(client_stats.bytes_sent, recorded.request_bytes);
+  EXPECT_EQ(client_stats.bytes_received, recorded.reply_bytes);
+  EXPECT_EQ(server_stats.bytes_received, recorded.request_bytes);
+  EXPECT_EQ(server_stats.bytes_sent, recorded.reply_bytes);
+  EXPECT_EQ(server_stats.messages_received, client_stats.messages_sent);
+  EXPECT_EQ(server_stats.messages_sent, client_stats.messages_received);
+
+  // The remote path exercised the control plane + submissions:
+  // begin(1) + reports(5) + missing(1) + adjustments(5) + finalize(1).
+  EXPECT_EQ(client_stats.messages_sent, 13u);
+}
+
+TEST(TcpRound, ControlPlaneRefusedWithoutOptIn) {
+  // An ingest-only endpoint (the default) must refuse round control: a
+  // reporting client cannot open rounds or trigger finalization.
+  BackendCluster cluster(backend_config(), 2);
+  BackendEndpoint endpoint(cluster);  // serve_control defaults to false
+  proto::FrameServer server([&](std::span<const std::uint8_t> frame) {
+    return endpoint.handle(frame);
+  });
+  proto::TcpTransport link("127.0.0.1", server.port());
+  RemoteBackend remote(link, backend_config());
+  try {
+    remote.begin_round(0, 4);
+    FAIL() << "control message accepted by ingest-only endpoint";
+  } catch (const proto::ProtoError& e) {
+    EXPECT_EQ(e.code(), proto::ErrorCode::kRejected);
+  }
+}
+
+TEST(TcpRound, OprfMapperBootstrapsAndMatchesInProcessMapping) {
+  // Key distribution + batch evaluation over the socket must agree with
+  // the in-process mapper against the same OprfServer key.
+  util::Rng rng(1234);
+  const crypto::OprfServer oprf(rng, 256);
+  OprfEndpoint endpoint(oprf);
+  proto::FrameServer server([&](std::span<const std::uint8_t> frame) {
+    return endpoint.handle(frame);
+  });
+
+  proto::TcpTransport link("127.0.0.1", server.port());
+  const proto::OprfKeyAnswer key = proto::OprfKeyAnswer::decode(
+      proto::expect_reply(link.exchange(proto::encode_oprf_key_query()),
+                          proto::MsgKind::kOprfKeyAnswer));
+  EXPECT_EQ(key.n, oprf.public_key().n);
+  EXPECT_EQ(key.e, oprf.public_key().e);
+
+  client::OprfUrlMapper remote_mapper(
+      link, crypto::RsaPublicKey{.n = key.n, .e = key.e},
+      /*id_space=*/10'000, /*rng_seed=*/11);
+  client::OprfUrlMapper local_mapper(oprf, /*id_space=*/10'000,
+                                     /*rng_seed=*/22);
+  const std::vector<std::string> urls{"https://a.test", "https://b.test",
+                                      "https://c.test"};
+  const auto over_tcp = remote_mapper.map_batch(urls);
+  const auto in_process = local_mapper.map_batch(urls);
+  EXPECT_EQ(over_tcp, in_process);
+}
+
+}  // namespace
+}  // namespace eyw::server

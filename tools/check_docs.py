@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Markdown link-and-anchor checker for README.md and docs/.
+
+Verifies that every relative link in the repo's markdown resolves to an
+existing file, and that every fragment (`file.md#anchor`, `#anchor`)
+matches a heading in the target file under GitHub's slugging rules. Run
+from anywhere:
+
+    python3 tools/check_docs.py
+
+Exit code 0 when every link resolves, 1 otherwise (CI fails the build).
+External (scheme://) links are not fetched — this guards repo-internal
+cross-references against rot, not the internet.
+"""
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# The documentation surface: top-level markdown plus everything in docs/.
+DOC_GLOBS = [
+    os.path.join(REPO, name)
+    for name in sorted(os.listdir(REPO))
+    if name.endswith(".md")
+] + [
+    os.path.join(REPO, "docs", name)
+    for name in sorted(os.listdir(os.path.join(REPO, "docs")))
+    if name.endswith(".md")
+]
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, drop punctuation,
+    spaces to hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = re.sub(r"[*_]", "", text)                      # emphasis
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set:
+    anchors = set()
+    seen = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(2))
+            # GitHub de-duplicates repeated headings with -1, -2, ...
+            if slug in seen:
+                seen[slug] += 1
+                slug = f"{slug}-{seen[slug]}"
+            else:
+                seen[slug] = 0
+            anchors.add(slug)
+    return anchors
+
+
+def check():
+    errors = []
+    anchor_cache = {}
+    for doc in DOC_GLOBS:
+        rel_doc = os.path.relpath(doc, REPO)
+        in_fence = False
+        with open(doc, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                if CODE_FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                for target in LINK_RE.findall(line):
+                    if re.match(r"^[a-z][a-z0-9+.-]*://", target) or \
+                            target.startswith("mailto:"):
+                        continue  # external
+                    path_part, _, fragment = target.partition("#")
+                    if path_part:
+                        resolved = os.path.normpath(
+                            os.path.join(os.path.dirname(doc), path_part))
+                        if not os.path.exists(resolved):
+                            errors.append(
+                                f"{rel_doc}:{lineno}: broken link "
+                                f"-> {target}")
+                            continue
+                    else:
+                        resolved = doc
+                    if fragment:
+                        if not resolved.endswith(".md"):
+                            continue  # anchors only checked in markdown
+                        if resolved not in anchor_cache:
+                            anchor_cache[resolved] = anchors_of(resolved)
+                        if fragment not in anchor_cache[resolved]:
+                            errors.append(
+                                f"{rel_doc}:{lineno}: missing anchor "
+                                f"#{fragment} in "
+                                f"{os.path.relpath(resolved, REPO)}")
+    return errors
+
+
+def main():
+    errors = check()
+    for err in errors:
+        print(err)
+    checked = len(DOC_GLOBS)
+    if errors:
+        print(f"check_docs: {len(errors)} broken reference(s) "
+              f"across {checked} file(s)")
+        return 1
+    print(f"check_docs: OK ({checked} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
