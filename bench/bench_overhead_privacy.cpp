@@ -11,12 +11,21 @@
 //  * OPRF mapping latency and wire size (paper: <500 ms, two group
 //    elements).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <mutex>
 #include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "client/url_mapper.hpp"
 #include "crypto/blinding.hpp"
+#include "proto/raw_frame_io.hpp"
 #include "proto/tcp.hpp"
 #include "server/endpoint.hpp"
 #include "server/remote_backend.hpp"
@@ -29,6 +38,109 @@ using Clock = std::chrono::steady_clock;
 
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+// ----------------------------------------------------------------------
+// Transport-concurrency bench helpers: a minimal reproduction of the
+// pre-reactor thread-per-connection FrameServer (blocking accept, one
+// blocking exchange-loop thread per connection), so the before/after of
+// the concurrency model is measured inside one binary — the production
+// reactor FrameServer is the after. Raw-frame client I/O comes from
+// proto/raw_frame_io.hpp (shared with quickstart --reporters and the
+// reactor tests).
+
+using eyw::proto::raw::connect_loopback;
+using eyw::proto::raw::process_threads;
+using eyw::proto::raw::read_framed;
+using eyw::proto::raw::with_prefix;
+
+bool send_raw(int fd, std::span<const std::uint8_t> bytes) {
+  return eyw::proto::raw::send_all(fd, bytes);
+}
+
+/// The old model, distilled: every accepted connection gets its own OS
+/// thread running a blocking read-frame / handle / write-reply loop.
+class ThreadPerConnServer {
+ public:
+  explicit ThreadPerConnServer(eyw::proto::FrameHandler handler)
+      : handler_(std::move(handler)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    struct sockaddr_in addr {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    (void)::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                 sizeof(addr));
+    (void)::listen(listen_fd_, 256);
+    socklen_t len = sizeof(addr);
+    (void)::getsockname(listen_fd_,
+                        reinterpret_cast<struct sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    acceptor_ = std::thread([this] {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) return;  // listener closed: shutting down
+        std::lock_guard<std::mutex> lock(mu_);
+        workers_.emplace_back([this, fd] {
+          for (;;) {
+            const auto request = read_framed(fd);
+            if (request.empty()) break;  // EOF (bench requests: never empty)
+            if (!send_raw(fd, with_prefix(handler_(request)))) break;
+          }
+          ::close(fd);
+        });
+      }
+    });
+  }
+
+  ~ThreadPerConnServer() {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    acceptor_.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& w : workers_) w.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  eyw::proto::FrameHandler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::mutex mu_;
+  std::vector<std::thread> workers_;
+};
+
+struct ConcurrencyRow {
+  double wall_ms = 0.0;
+  std::size_t peak_threads = 0;
+  std::size_t exchanges = 0;
+};
+
+/// C concurrent connections, `rounds` outstanding-request waves each: all
+/// connections hold an in-flight request at once, every wave. Peak
+/// resident threads are sampled with every connection established.
+ConcurrencyRow drive_connections(std::uint16_t port, std::size_t conns,
+                                 int rounds) {
+  const auto framed = with_prefix(eyw::proto::encode_oprf_key_query());
+  ConcurrencyRow row;
+  const auto t0 = Clock::now();
+  std::vector<int> fds;
+  fds.reserve(conns);
+  for (std::size_t i = 0; i < conns; ++i) {
+    const int fd = connect_loopback(port);
+    if (fd < 0) break;
+    fds.push_back(fd);
+  }
+  for (int r = 0; r < rounds; ++r) {
+    for (const int fd : fds) (void)send_raw(fd, framed);
+    row.peak_threads = std::max(row.peak_threads, process_threads());
+    for (const int fd : fds)
+      if (!read_framed(fd).empty()) ++row.exchanges;
+  }
+  row.wall_ms = ms_since(t0);
+  for (const int fd : fds) ::close(fd);
+  return row;
 }
 }  // namespace
 
@@ -290,6 +402,80 @@ int main() {
                           : "MISMATCH",
                 round.users_threshold, tcp_round.users_threshold);
     if (!identical) return 1;
+  }
+
+  std::printf("\n== Transport concurrency: thread-per-connection vs "
+              "reactor ==\n");
+  {
+    // Same workload against both concurrency models: C concurrent
+    // connections each holding an outstanding request per wave, small
+    // envelopes (the protocol's dominant frame count). The baseline
+    // thread count is sampled first so only transport threads are
+    // attributed to each row.
+    const std::size_t kConns = 128;
+    const int kRounds = 4;
+    const auto ack_handler = [](std::span<const std::uint8_t> frame) {
+      (void)eyw::proto::decode_envelope(frame);
+      return eyw::proto::encode_ack();
+    };
+    const std::size_t base_threads = process_threads();
+
+    ConcurrencyRow threaded;
+    {
+      ThreadPerConnServer server(ack_handler);
+      threaded = drive_connections(server.port(), kConns, kRounds);
+    }
+    ConcurrencyRow reactor;
+    std::size_t reactor_shards = 0;
+    {
+      eyw::proto::FrameServer server(ack_handler,
+                                     {.backlog = 256,
+                                      .max_connections = kConns + 8});
+      reactor_shards = server.shards();
+      reactor = drive_connections(server.port(), kConns, kRounds);
+    }
+
+    std::printf("  %zu connections x %d waves, %zu exchanges (client side "
+                "included in thread counts):\n",
+                kConns, kRounds, threaded.exchanges);
+    std::printf("  %-18s %10s %14s %18s\n", "model", "wall ms",
+                "exchanges/s", "transport threads");
+    std::printf("  %-18s %10.1f %14.0f %18zu\n", "thread-per-conn",
+                threaded.wall_ms,
+                1000.0 * static_cast<double>(threaded.exchanges) /
+                    threaded.wall_ms,
+                threaded.peak_threads - base_threads);
+    std::printf("  %-18s %10.1f %14.0f %18zu  (= %zu shard(s) + "
+                "acceptor)\n",
+                "reactor", reactor.wall_ms,
+                1000.0 * static_cast<double>(reactor.exchanges) /
+                    reactor.wall_ms,
+                reactor.peak_threads - base_threads, reactor_shards);
+    if (threaded.exchanges != reactor.exchanges ||
+        reactor.exchanges != kConns * static_cast<std::size_t>(kRounds)) {
+      std::printf("  MISMATCH: exchange counts differ\n");
+      return 1;
+    }
+
+    // TCP_NODELAY before/after on one sequential request/reply channel:
+    // what Nagle + delayed-ACK coalescing costs a small-envelope exchange
+    // (numbers recorded in docs/perf.md).
+    const int kPings = 200;
+    double nodelay_ms[2] = {0.0, 0.0};
+    for (const bool nodelay : {false, true}) {
+      eyw::proto::FrameServer server(
+          ack_handler, {.tcp_nodelay = nodelay});
+      eyw::proto::TcpTransport client(
+          "127.0.0.1", server.port(),
+          {.tcp_nodelay = nodelay});
+      const auto ping = eyw::proto::encode_oprf_key_query();
+      const auto t0 = Clock::now();
+      for (int i = 0; i < kPings; ++i) (void)client.exchange(ping);
+      nodelay_ms[nodelay ? 1 : 0] = ms_since(t0);
+    }
+    std::printf("  TCP_NODELAY off: %7.3f ms/exchange | on: %7.3f "
+                "ms/exchange (%d sequential small-envelope round trips)\n",
+                nodelay_ms[0] / kPings, nodelay_ms[1] / kPings, kPings);
   }
 
   std::printf("\n== Parallel round pipeline scaling (120 clients) ==\n");

@@ -6,29 +6,40 @@
 //   ./build/quickstart                       in-process loopback demo
 //   ./build/quickstart --serve PORT [--once] host back-end + oprf-server
 //   ./build/quickstart --connect HOST:PORT   drive reporters over TCP
+//   ./build/quickstart --reporters N [HOST:PORT]
+//                                            N concurrent reporter
+//                                            connections (spins up its own
+//                                            server when no target given)
 //
 // The two-process mode runs one full reporting round twice with identical
 // inputs — once over in-process loopback, once through the remote
 // back-end — and exits non-zero unless the aggregates are bit-identical
 // (the protocol's deployment invariant; see docs/architecture.md).
 // `--once` makes the server exit after serving one finalize, for CI.
+// `--reporters` proves the reactor transport multiplexes hundreds of
+// simultaneously-connected reporters onto a fixed thread budget
+// (shards + acceptor), instead of one thread per connection.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "client/extension.hpp"
 #include "client/url_mapper.hpp"
 #include "core/global_view.hpp"
 #include "core/local_detector.hpp"
+#include "proto/raw_frame_io.hpp"
 #include "proto/tcp.hpp"
 #include "server/cluster.hpp"
+#include "server/dispatcher.hpp"
 #include "server/endpoint.hpp"
 #include "server/remote_backend.hpp"
 #include "server/round.hpp"
@@ -132,61 +143,175 @@ int run_loopback_demo() {
   return 0;
 }
 
-int run_serve(std::uint16_t port, bool once) {
-  // Server-side parties: the sharded back-end (with the operator control
-  // plane enabled — this port is the deployment's operator+ingest port)
-  // and the keyed oprf-server.
-  util::Rng rng(7);
-  const crypto::OprfServer oprf(rng, 256);
-  server::BackendCluster cluster(net_config(), kNetShards);
-  server::BackendEndpoint backend_ep(cluster, /*serve_control=*/true);
-  server::OprfEndpoint oprf_ep(oprf);
-
+/// Server-side parties behind one reactor FrameServer: the sharded
+/// back-end (with the operator control plane enabled — this port is the
+/// deployment's operator+ingest port) and the keyed oprf-server. The
+/// endpoints mutate unsynchronized round state, so dispatch goes through
+/// an AsyncDispatcher: reactor callbacks only enqueue, one dispatch
+/// thread applies frames in order, and heavy handler work (batch OPRF
+/// modexps, finalize's id-space scan) still fans out across the thread
+/// pool from there. Declaration order doubles as teardown order: the
+/// FrameServer stops before the dispatcher it feeds off.
+struct ServerStack {
+  util::Rng rng{7};
+  crypto::OprfServer oprf{rng, 256};
+  server::BackendCluster cluster{net_config(), kNetShards};
+  server::BackendEndpoint backend_ep{cluster, /*serve_control=*/true};
+  server::OprfEndpoint oprf_ep{oprf};
   std::atomic<bool> finalized{false};
-  // The reference endpoints mutate unsynchronized round state, so dispatch
-  // is serialized; heavy work inside a handler (batch OPRF modexps,
-  // finalize's id-space scan) still fans out across the thread pool.
-  std::mutex dispatch_mu;
-  proto::FrameServer server(
-      [&](std::span<const std::uint8_t> frame) {
-        std::lock_guard<std::mutex> lock(dispatch_mu);
-        // Route on the peeked kind (no payload copy); a frame too broken
-        // to peek goes to the backend endpoint, which answers the
-        // appropriate Error envelope.
-        const std::optional<proto::MsgKind> kind = proto::peek_kind(frame);
-        if (kind == proto::MsgKind::kOprfEvalRequest ||
-            kind == proto::MsgKind::kOprfKeyQuery)
-          return oprf_ep.handle(frame);
-        auto reply = backend_ep.handle(frame);
-        // --once completion means the round actually finalized: a
-        // FinalizeRequest the backend refused (Error reply) does not count.
-        if (kind == proto::MsgKind::kFinalizeRequest &&
-            proto::peek_kind(reply) == proto::MsgKind::kRoundSummary)
-          finalized.store(true, std::memory_order_relaxed);
-        return reply;
-      },
-      {.port = port});
+  server::AsyncDispatcher dispatcher;
+  proto::FrameServer server;
 
-  std::printf("serving back-end (%zu shards) + oprf-server on 127.0.0.1:%u%s\n",
-              kNetShards, server.port(), once ? " (exit after one round)" : "");
+  explicit ServerStack(std::uint16_t port,
+                       std::size_t max_connections =
+                           eyw::proto::FrameServerOptions{}.max_connections)
+      : dispatcher([this](std::span<const std::uint8_t> frame) {
+          return route(frame);
+        }),
+        server(dispatcher.handler(),
+               {.port = port,
+                .backlog = 256,
+                .max_connections = max_connections}) {}
+
+  std::vector<std::uint8_t> route(std::span<const std::uint8_t> frame) {
+    // Route on the peeked kind (no payload copy); a frame too broken to
+    // peek goes to the backend endpoint, which answers the appropriate
+    // Error envelope.
+    const std::optional<proto::MsgKind> kind = proto::peek_kind(frame);
+    if (kind == proto::MsgKind::kOprfEvalRequest ||
+        kind == proto::MsgKind::kOprfKeyQuery)
+      return oprf_ep.handle(frame);
+    auto reply = backend_ep.handle(frame);
+    // --once completion means the round actually finalized: a
+    // FinalizeRequest the backend refused (Error reply) does not count.
+    if (kind == proto::MsgKind::kFinalizeRequest &&
+        proto::peek_kind(reply) == proto::MsgKind::kRoundSummary)
+      finalized.store(true, std::memory_order_relaxed);
+    return reply;
+  }
+};
+
+int run_serve(std::uint16_t port, bool once) {
+  ServerStack stack(port);
+  std::printf("serving back-end (%zu backend shards) + oprf-server on "
+              "127.0.0.1:%u, %zu reactor shard(s)%s\n",
+              kNetShards, stack.server.port(), stack.server.shards(),
+              once ? " (exit after one round)" : "");
   std::fflush(stdout);
 
   // --once: exit after the finalize reply has been read (the client
   // closing its connections is the signal it got everything it asked for).
-  while (!once || !finalized.load(std::memory_order_relaxed) ||
-         server.active_connections() != 0) {
+  while (!once || !stack.finalized.load(std::memory_order_relaxed) ||
+         stack.server.active_connections() != 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  server.stop();
-  const auto stats = server.stats();
+  stack.server.stop();
+  const auto stats = stack.server.stats();
   std::printf("served %llu connection(s): %llu frames / %llu B in, "
               "%llu frames / %llu B out\n",
-              static_cast<unsigned long long>(server.connections_accepted()),
+              static_cast<unsigned long long>(
+                  stack.server.connections_accepted()),
               static_cast<unsigned long long>(stats.messages_received),
               static_cast<unsigned long long>(stats.bytes_received),
               static_cast<unsigned long long>(stats.messages_sent),
               static_cast<unsigned long long>(stats.bytes_sent));
   return 0;
+}
+
+int run_reporters(std::size_t n, const std::string& target_host,
+                  long target_port) {
+  // Self-serve when no target: the interesting side (the multiplexing
+  // server) lives in this process and its thread budget is printed.
+  std::unique_ptr<ServerStack> local;
+  std::string host = target_host;
+  std::uint16_t port = 0;
+  if (target_port < 0) {
+    // n reporter connections + the control link must all be admitted.
+    local = std::make_unique<ServerStack>(0, n + 8);
+    host = "127.0.0.1";
+    port = local->server.port();
+  } else {
+    port = static_cast<std::uint16_t>(target_port);
+  }
+
+  // Operator control plane on its own connection: open the round for a
+  // roster of n reporters.
+  const server::BackendConfig config = net_config();
+  proto::TcpTransport control(host, port);
+  server::RemoteBackend remote(control, config);
+  remote.begin_round(/*round=*/0, n);
+
+  // One TCP connection per reporter, all simultaneously connected and all
+  // holding an outstanding BlindedReport at once. (The report cells here
+  // are synthetic — this mode measures the transport, not the crypto; the
+  // bit-identical round is --connect's and the test suite's job.)
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<int> fds;
+  fds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int fd = proto::raw::connect_ipv4(host.c_str(), port);
+    if (fd < 0) {
+      std::fprintf(stderr, "reporter %zu: connect failed\n", i);
+      for (const int open_fd : fds) ::close(open_fd);
+      return 1;
+    }
+    fds.push_back(fd);
+  }
+
+  std::vector<std::uint32_t> cells(config.cms_params.cells());
+  std::size_t sent = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      cells[c] = static_cast<std::uint32_t>(i * 2654435761u + c);
+    const auto frame = proto::BlindedReport{
+        .participant = static_cast<std::uint32_t>(i),
+        .params = config.cms_params,
+        .cells = cells}
+                           .encode(/*round=*/0);
+    if (proto::raw::send_all(fds[i], proto::raw::with_prefix(frame))) ++sent;
+  }
+
+  // Every connection now has a request in flight; collect the acks.
+  std::size_t acked = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto reply = proto::raw::read_framed(fds[i]);
+    if (reply.empty()) continue;
+    try {
+      (void)proto::expect_reply(reply, proto::MsgKind::kAck);
+      ++acked;
+    } catch (const proto::ProtoError& e) {
+      std::fprintf(stderr, "reporter %zu: %s\n", i, e.what());
+    }
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Close the round through the control plane so a --once server exits.
+  const auto missing = remote.missing_participants();
+  const server::RoundResult result = remote.finalize_round();
+  for (const int fd : fds) ::close(fd);
+
+  std::printf("%zu reporter connections: %zu reports sent, %zu acked, "
+              "%zu missing at finalize\n",
+              n, sent, acked, missing.size());
+  std::printf("wall %.1f ms (%.0f connections/s incl. connect+report+ack)\n",
+              wall_ms, 1000.0 * static_cast<double>(n) / wall_ms);
+  std::printf("round finalized over the same port: Users_th=%.3f (%u/%u "
+              "reported)\n",
+              result.users_threshold, result.reports, result.roster);
+  if (local != nullptr) {
+    std::printf("resident threads while serving: %zu "
+                "(reactor shards=%zu + acceptor + dispatcher + client "
+                "side; never O(connections))\n",
+                proto::raw::process_threads(), local->server.shards());
+    local->server.stop();
+  }
+  control.close();
+  const bool ok = acked == n && missing.empty() && result.reports == n;
+  std::printf("multiplexing check: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
 }
 
 int run_connect(const std::string& host, std::uint16_t port) {
@@ -321,8 +446,32 @@ int main(int argc, char** argv) {
                          static_cast<std::uint16_t>(port));
     });
   }
+  if (mode == "--reporters" && (argc == 3 || argc == 4)) {
+    char* end = nullptr;
+    const long n = std::strtol(argv[2], &end, 10);
+    if (end == argv[2] || *end != '\0' || n < 1 || n > 65536) {
+      std::fprintf(stderr,
+                   "usage: quickstart --reporters N [HOST:PORT]\n");
+      return 2;
+    }
+    std::string host;
+    long port = -1;
+    if (argc == 4) {
+      const std::string target = argv[3];
+      const std::size_t colon = target.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          (port = parse_port(target.c_str() + colon + 1)) <= 0) {
+        std::fprintf(stderr, "quickstart: bad target %s\n", target.c_str());
+        return 2;
+      }
+      host = target.substr(0, colon);
+    }
+    return run_guarded([&] {
+      return run_reporters(static_cast<std::size_t>(n), host, port);
+    });
+  }
   std::fprintf(stderr,
                "usage: quickstart [--serve PORT [--once] | --connect "
-               "HOST:PORT]\n");
+               "HOST:PORT | --reporters N [HOST:PORT]]\n");
   return 2;
 }

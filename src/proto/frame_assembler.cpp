@@ -1,0 +1,63 @@
+#include "proto/frame_assembler.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace eyw::proto {
+
+FrameAssembler::FrameAssembler(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+bool FrameAssembler::feed(std::span<const std::uint8_t> chunk) {
+  if (oversized_) return false;
+  std::size_t off = 0;
+  while (off < chunk.size()) {
+    if (!in_body_) {
+      const std::size_t take =
+          std::min(chunk.size() - off, std::size_t{4} - prefix_got_);
+      std::memcpy(prefix_ + prefix_got_, chunk.data() + off, take);
+      prefix_got_ += take;
+      off += take;
+      if (prefix_got_ < 4) break;
+      const std::uint32_t len = static_cast<std::uint32_t>(prefix_[0]) |
+                                static_cast<std::uint32_t>(prefix_[1]) << 8 |
+                                static_cast<std::uint32_t>(prefix_[2]) << 16 |
+                                static_cast<std::uint32_t>(prefix_[3]) << 24;
+      prefix_got_ = 0;
+      if (len > max_frame_bytes_) {
+        oversized_ = true;  // cap checked before the body is allocated
+        return false;
+      }
+      if (len == 0) {
+        ready_.emplace_back();  // zero-length frame is legal (empty reply)
+        ++completed_;
+        continue;
+      }
+      body_.resize(len);
+      body_got_ = 0;
+      in_body_ = true;
+    }
+    const std::size_t take =
+        std::min(chunk.size() - off, body_.size() - body_got_);
+    std::memcpy(body_.data() + body_got_, chunk.data() + off, take);
+    body_got_ += take;
+    off += take;
+    if (body_got_ == body_.size()) {
+      ready_.push_back(std::move(body_));
+      ++completed_;
+      body_ = {};
+      body_got_ = 0;
+      in_body_ = false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> FrameAssembler::next() {
+  if (ready_.empty()) return std::nullopt;
+  std::vector<std::uint8_t> frame = std::move(ready_.front());
+  ready_.pop_front();
+  return frame;
+}
+
+}  // namespace eyw::proto

@@ -1,0 +1,73 @@
+// Incremental decoder for the TCP layer's length framing: feed arbitrary
+// byte chunks as they arrive off a non-blocking socket, pop complete
+// envelope frames as they become available.
+//
+//   frame := length u32 (LE) | length bytes of envelope
+//
+// This is the piece that turns the blocking read-exactly-N exchange loop
+// into a reactor-compatible state machine: the caller never waits for a
+// frame boundary — it hands over whatever recv() returned (which may hold
+// half a prefix, three frames and the start of a fourth) and drains the
+// ready queue. The oversized-length cap is enforced against the *declared*
+// value before the body buffer is allocated, so a 4-byte crafted prefix
+// cannot drive a multi-gigabyte reserve; once tripped, the stream is
+// unsynchronizable (the body was never read) and the assembler refuses all
+// further input.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace eyw::proto {
+
+class FrameAssembler {
+ public:
+  /// `max_frame_bytes` caps the declared length of a single frame
+  /// (normally kMaxTcpFrameBytes; tests shrink it).
+  explicit FrameAssembler(std::size_t max_frame_bytes);
+
+  /// Consume a chunk of stream bytes. Complete frames (including legal
+  /// zero-length ones) queue up for next(). Returns false — and consumes
+  /// nothing further — once a declared length above the cap is seen.
+  bool feed(std::span<const std::uint8_t> chunk);
+
+  /// Pop the next complete frame in stream order; nullopt when none ready.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> next();
+
+  /// A declared length above the cap was seen; the stream is dead.
+  [[nodiscard]] bool oversized() const noexcept { return oversized_; }
+
+  /// A frame has *started* (partial prefix or body buffered) but not yet
+  /// completed — what arms the per-frame completion deadline.
+  [[nodiscard]] bool mid_frame() const noexcept {
+    return prefix_got_ > 0 || in_body_;
+  }
+
+  /// Complete frames awaiting next().
+  [[nodiscard]] std::size_t frames_ready() const noexcept {
+    return ready_.size();
+  }
+
+  /// Total frames completed over the assembler's lifetime. A deadline
+  /// armed for frame k is stale once this advances past k (the partial
+  /// frame it was guarding completed and a new one began).
+  [[nodiscard]] std::uint64_t frames_completed() const noexcept {
+    return completed_;
+  }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::uint8_t prefix_[4] = {};
+  std::size_t prefix_got_ = 0;
+  bool in_body_ = false;
+  std::vector<std::uint8_t> body_;
+  std::size_t body_got_ = 0;
+  std::deque<std::vector<std::uint8_t>> ready_;
+  std::uint64_t completed_ = 0;
+  bool oversized_ = false;
+};
+
+}  // namespace eyw::proto

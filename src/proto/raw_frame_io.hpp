@@ -1,0 +1,116 @@
+// Minimal blocking client-side helpers for the TCP length framing: frame
+// a buffer with its 4-byte little-endian prefix, push/pull whole framed
+// messages over a plain socket fd, open IPv4 connections by address.
+//
+// TcpTransport is deliberately one-connection/one-exchange (the contract
+// every Transport shares); anything that needs to hold *many*
+// simultaneous connections — `quickstart --reporters`, the
+// transport-concurrency bench, the reactor stress tests — drives raw fds
+// with these instead of instantiating hundreds of transports. Kept
+// header-only and allocation-minimal; errors surface as false/empty (the
+// callers are load drivers and tests, each with its own failure styles).
+//
+// process_threads() rides along because every consumer of this header
+// asserts or reports the reactor's thread budget (resident threads =
+// shards + acceptor, never O(connections)).
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace eyw::proto::raw {
+
+/// 4-byte LE length prefix + frame, one contiguous buffer.
+inline std::vector<std::uint8_t> with_prefix(
+    std::span<const std::uint8_t> frame) {
+  std::vector<std::uint8_t> out(4 + frame.size());
+  const auto len = static_cast<std::uint32_t>(frame.size());
+  for (int i = 0; i < 4; ++i)
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(len >> (8 * i));
+  if (!frame.empty())
+    std::memcpy(out.data() + 4, frame.data(), frame.size());
+  return out;
+}
+
+/// Write all of `bytes` to a blocking fd. False on any send failure.
+inline bool send_all(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read one length-framed message off a blocking fd. Empty on EOF or
+/// error (callers here never exchange legal zero-length frames).
+inline std::vector<std::uint8_t> read_framed(int fd) {
+  std::uint8_t prefix[4];
+  std::size_t got = 0;
+  while (got < 4) {
+    const ssize_t n = ::recv(fd, prefix + got, 4 - got, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return {};
+    got += static_cast<std::size_t>(n);
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+  std::vector<std::uint8_t> frame(len);
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::recv(fd, frame.data() + off, len - off, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return {};
+    off += static_cast<std::size_t>(n);
+  }
+  return frame;
+}
+
+/// Blocking IPv4 connect to a dotted-quad address; -1 on failure.
+inline int connect_ipv4(const char* address, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address, &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+inline int connect_loopback(std::uint16_t port) {
+  return connect_ipv4("127.0.0.1", port);
+}
+
+/// Resident threads of this process (Linux /proc, like the epoll the
+/// reactor is built on); 0 when unreadable.
+inline std::size_t process_threads() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t threads = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr)
+    if (std::sscanf(line, "Threads: %zu", &threads) == 1) break;
+  std::fclose(f);
+  return threads;
+}
+
+}  // namespace eyw::proto::raw

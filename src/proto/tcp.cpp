@@ -6,13 +6,19 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
+
+#include "proto/frame_assembler.hpp"
+#include "proto/reactor.hpp"
 
 namespace eyw::proto {
 
@@ -33,7 +39,9 @@ void set_nonblocking(int fd) {
 
 void set_nodelay(int fd) {
   // One exchange is one request segment + one reply segment; without
-  // NODELAY, Nagle + delayed ACK can stall every round trip by ~40 ms.
+  // NODELAY, Nagle + delayed ACK can stall a round trip by ~40 ms
+  // whenever a frame leaves in more than one segment (measured delta in
+  // docs/perf.md).
   const int one = 1;
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
@@ -56,23 +64,18 @@ bool poll_wait(int fd, short events, Millis timeout) {
   }
 }
 
-/// Wait for `events` until an absolute deadline; when `stop` is supplied,
-/// polls in short slices so a server shutdown is noticed promptly (and
-/// throws on it). Returns true when ready, false only at the deadline —
-/// so an I/O loop using this is bounded by the *whole-frame* deadline, no
-/// matter how slowly a peer drips bytes.
-bool poll_until(int fd, short events, SteadyClock::time_point deadline,
-                const std::atomic<bool>* stop) {
+/// Wait for `events` until an absolute deadline. Returns true when ready,
+/// false only at the deadline — so an I/O loop using this is bounded by
+/// the *whole-frame* deadline, no matter how slowly a peer drips bytes.
+bool poll_until(int fd, short events, SteadyClock::time_point deadline) {
   struct pollfd pfd {};
   pfd.fd = fd;
   pfd.events = events;
   for (;;) {
-    if (stop != nullptr && stop->load(std::memory_order_relaxed))
-      throw ProtoError(ErrorCode::kInternal, "tcp: shutting down");
     const auto now = SteadyClock::now();
     if (now >= deadline) return false;
-    auto wait = std::chrono::duration_cast<Millis>(deadline - now) + Millis(1);
-    if (stop != nullptr && wait > Millis(100)) wait = Millis(100);
+    const auto wait =
+        std::chrono::duration_cast<Millis>(deadline - now) + Millis(1);
     const int rv = ::poll(&pfd, 1, static_cast<int>(wait.count()));
     if (rv < 0) {
       if (errno == EINTR) continue;
@@ -82,10 +85,9 @@ bool poll_until(int fd, short events, SteadyClock::time_point deadline,
   }
 }
 
-/// Write all of `bytes` before `deadline`.
+/// Write all of `bytes` before `deadline` (client side).
 void send_all(int fd, std::span<const std::uint8_t> bytes,
-              SteadyClock::time_point deadline,
-              const std::atomic<bool>* stop = nullptr) {
+              SteadyClock::time_point deadline) {
   std::size_t off = 0;
   while (off < bytes.size()) {
     const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
@@ -96,7 +98,7 @@ void send_all(int fd, std::span<const std::uint8_t> bytes,
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      if (!poll_until(fd, POLLOUT, deadline, stop))
+      if (!poll_until(fd, POLLOUT, deadline))
         throw ProtoError(ErrorCode::kInternal, "tcp send: timeout");
       continue;
     }
@@ -106,13 +108,12 @@ void send_all(int fd, std::span<const std::uint8_t> bytes,
 
 enum class ReadResult { kOk, kEofAtStart };
 
-/// Read exactly bytes.size() bytes before `deadline`. A clean EOF before
-/// the first byte returns kEofAtStart (the caller decides whether that is
-/// legal at this stream position); EOF after partial progress throws
-/// kTruncated.
+/// Read exactly bytes.size() bytes before `deadline` (client side). A
+/// clean EOF before the first byte returns kEofAtStart (the caller decides
+/// whether that is legal at this stream position); EOF after partial
+/// progress throws kTruncated.
 ReadResult recv_exact(int fd, std::span<std::uint8_t> bytes,
-                      SteadyClock::time_point deadline, const char* what,
-                      const std::atomic<bool>* stop = nullptr) {
+                      SteadyClock::time_point deadline, const char* what) {
   std::size_t off = 0;
   while (off < bytes.size()) {
     const ssize_t n = ::recv(fd, bytes.data() + off, bytes.size() - off, 0);
@@ -127,7 +128,7 @@ ReadResult recv_exact(int fd, std::span<std::uint8_t> bytes,
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      if (!poll_until(fd, POLLIN, deadline, stop))
+      if (!poll_until(fd, POLLIN, deadline))
         throw ProtoError(ErrorCode::kInternal,
                          std::string(what) + ": timeout");
       continue;
@@ -159,8 +160,8 @@ std::vector<std::uint8_t> frame_with_prefix(
   return out;
 }
 
-int connect_once(const std::string& host, std::uint16_t port,
-                 Millis timeout) {
+int connect_once(const std::string& host, std::uint16_t port, Millis timeout,
+                 bool nodelay) {
   struct addrinfo hints {};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -198,7 +199,7 @@ int connect_once(const std::string& host, std::uint16_t port,
     fd = -1;
   }
   ::freeaddrinfo(res);
-  if (fd >= 0) set_nodelay(fd);
+  if (fd >= 0 && nodelay) set_nodelay(fd);
   return fd;
 }
 
@@ -230,7 +231,8 @@ void TcpTransport::ensure_connected() {
       std::this_thread::sleep_for(backoff);
       backoff *= 2;
     }
-    fd_ = connect_once(host_, port_, options_.connect_timeout);
+    fd_ = connect_once(host_, port_, options_.connect_timeout,
+                       options_.tcp_nodelay);
     if (fd_ >= 0) return;
   }
   throw ProtoError(ErrorCode::kInternal,
@@ -284,213 +286,542 @@ std::vector<std::uint8_t> TcpTransport::do_exchange(
 }
 
 // ---------------------------------------------------------------- server
+//
+// One acceptor thread + N reactor shards. Each connection lives on
+// exactly one shard and all of its state transitions run on that shard's
+// loop thread, so the per-connection state machine needs no locks; the
+// only cross-thread traffic is the acceptor handing over a fresh fd and
+// an async handler completion marshalling its reply back — both via
+// Reactor::post.
+//
+// Connection state machine (all on the loop thread):
+//
+//        ┌──────── readable ────────┐
+//        v                          │
+//   [reading] --frame complete--> [handler in flight] --completion-->
+//   [flushing reply] --drained--> back to [reading] (or next queued frame)
+//
+// Backpressure: while a reply is buffered or a handler is in flight the
+// connection's EPOLLIN interest is dropped — a client that floods
+// pipelined requests fills its kernel socket buffer and blocks, it cannot
+// grow server-side queues. The per-frame io_timeout deadline (reactor
+// wheel) bounds frame completion and reply drain; idle-between-frames is
+// unbounded by design.
+
+struct FrameServer::Impl {
+  /// Close-on-destroy fd ownership for the accept -> adopt handover
+  /// (shared_ptr'd because Reactor::Task requires copyable closures).
+  struct FdCloser {
+    int fd;
+    explicit FdCloser(int f) noexcept : fd(f) {}
+    FdCloser(const FdCloser&) = delete;
+    FdCloser& operator=(const FdCloser&) = delete;
+    ~FdCloser() {
+      if (fd >= 0) ::close(fd);
+    }
+    int release() noexcept { return std::exchange(fd, -1); }
+  };
+
+  struct Conn {
+    int fd = -1;
+    std::uint64_t gen = 0;
+    FrameAssembler assembler{kMaxTcpFrameBytes};
+    std::vector<std::uint8_t> out;  // framed reply being written
+    std::size_t out_off = 0;
+    bool handler_pending = false;
+    bool eof = false;
+    bool close_after_flush = false;
+    bool deadline_armed = false;
+    Reactor::TimerId deadline = 0;
+    std::uint64_t deadline_frame = 0;  // frames_completed() when armed
+    bool deadline_for_write = false;   // reply-drain vs frame-completion
+    std::uint32_t interest = 0;
+  };
+
+  struct Shard {
+    Reactor reactor;
+    std::unordered_map<int, std::unique_ptr<Conn>> conns;  // loop thread
+    std::uint64_t next_gen = 1;
+    std::size_t index = 0;
+    std::atomic<std::uint64_t> msgs_in{0};
+    std::atomic<std::uint64_t> msgs_out{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+  };
+
+  AsyncFrameHandler handler;
+  FrameServerOptions options;
+  int listen_fd = -1;
+  std::uint16_t port = 0;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::weak_ptr<Impl> self;  // set right after make_shared
+  std::thread acceptor;
+  std::atomic<bool> stopping{false};
+  std::mutex stop_mu;
+  bool stop_done = false;
+  std::atomic<std::size_t> active{0};
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> refused{0};
+
+  Impl(AsyncFrameHandler h, FrameServerOptions opts)
+      : handler(std::move(h)), options(std::move(opts)) {
+    if (!handler) throw std::invalid_argument("FrameServer: null handler");
+    if (options.max_connections == 0)
+      throw std::invalid_argument("FrameServer: max_connections == 0");
+    if (options.reactor_shards == 0) {
+      options.reactor_shards =
+          std::max(1u, std::thread::hardware_concurrency());
+    }
+
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) throw_io("socket");
+    const int one = 1;
+    (void)::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof(one));
+
+    struct sockaddr_in addr {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options.port);
+    if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+        1) {
+      ::close(listen_fd);
+      throw std::invalid_argument("FrameServer: bad bind address " +
+                                  options.bind_address);
+    }
+    if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(listen_fd, options.backlog) < 0) {
+      const int saved = errno;
+      ::close(listen_fd);
+      errno = saved;
+      throw_io("bind/listen " + options.bind_address + ":" +
+               std::to_string(options.port));
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      &len) < 0) {
+      const int saved = errno;
+      ::close(listen_fd);
+      errno = saved;
+      throw_io("getsockname");
+    }
+    port = ntohs(addr.sin_port);
+    set_nonblocking(listen_fd);
+  }
+
+  ~Impl() { stop(); }
+
+  /// Spawn the shards and the acceptor (separate from the constructor so
+  /// `self` is a valid weak_ptr before any completion can capture it).
+  void start() {
+    shards.reserve(options.reactor_shards);
+    for (std::size_t i = 0; i < options.reactor_shards; ++i) {
+      auto shard = std::make_unique<Shard>();
+      shard->index = i;
+      shard->reactor.start();
+      shards.push_back(std::move(shard));
+    }
+    acceptor = std::thread([this] { accept_loop(); });
+  }
+
+  void stop() {
+    std::lock_guard<std::mutex> lock(stop_mu);
+    if (stop_done) return;
+    stop_done = true;
+    stopping.store(true, std::memory_order_relaxed);
+    if (acceptor.joinable()) acceptor.join();
+    // Reactor::stop joins the loop thread mid-iteration at the latest, so
+    // after this no connection state machine runs; late async completions
+    // find a stopped reactor and are dropped.
+    for (auto& shard : shards) shard->reactor.stop();
+    for (auto& shard : shards) {
+      for (auto& [fd, conn] : shard->conns) ::close(fd);
+      shard->conns.clear();
+    }
+    active.store(0, std::memory_order_relaxed);
+  }
+
+  // ------------------------------------------------------------- acceptor
+
+  void accept_loop() {
+    std::size_t rr = 0;
+    while (!stopping.load(std::memory_order_relaxed)) {
+      bool ready = false;
+      try {
+        ready = poll_wait(listen_fd, POLLIN, Millis(50));
+      } catch (const ProtoError&) {
+        break;  // listener died; stop() will clean up
+      }
+      if (!ready) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      try {
+        set_nonblocking(fd);
+      } catch (const ProtoError&) {
+        ::close(fd);
+        continue;
+      }
+      if (options.tcp_nodelay) set_nodelay(fd);
+      if (active.load(std::memory_order_relaxed) >=
+          options.max_connections) {
+        // Admission control: refuse loudly with a machine-readable code
+        // instead of accumulating unbounded connection state. Best-effort
+        // single write — the socket is fresh, so the frame fits the empty
+        // send buffer.
+        refused.fetch_add(1, std::memory_order_relaxed);
+        const auto frame = frame_with_prefix(
+            ErrorReply{.code = ErrorCode::kUnavailable,
+                       .detail = "server at connection capacity"}
+                .encode());
+        (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+        ::close(fd);
+        continue;
+      }
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      active.fetch_add(1, std::memory_order_relaxed);
+      Shard* shard = shards[rr++ % shards.size()].get();
+      // The guard owns the fd until adopt() takes it on the loop thread:
+      // a task posted in the instant before stop() may be dropped unrun,
+      // and destruction must close the socket (client sees EOF) instead
+      // of leaking it.
+      auto guard = std::make_shared<FdCloser>(fd);
+      if (!shard->reactor.post(
+              [this, shard, guard] { adopt(*shard, guard->release()); })) {
+        active.fetch_sub(1, std::memory_order_relaxed);  // guard closes fd
+      }
+    }
+    ::close(listen_fd);
+    listen_fd = -1;
+  }
+
+  // ------------------------------------- connection machine (loop thread)
+
+  [[nodiscard]] static bool want_read(const Conn& c) noexcept {
+    return !c.handler_pending && !c.eof && !c.close_after_flush &&
+           !c.assembler.oversized() && c.out_off >= c.out.size();
+  }
+
+  void adopt(Shard& s, int fd) {
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->gen = s.next_gen++;
+    conn->interest = EPOLLIN | EPOLLRDHUP;
+    Conn* c = conn.get();
+    s.conns.emplace(fd, std::move(conn));
+    try {
+      s.reactor.add_fd(fd, c->interest, [this, sp = &s, fd](
+                                            std::uint32_t events) {
+        try {
+          on_event(*sp, fd, events);
+        } catch (...) {
+          // E.g. bad_alloc sizing a cap-bounded frame buffer under
+          // memory pressure: costs this connection, never the shard.
+          close_conn(*sp, fd);
+        }
+      });
+    } catch (const ProtoError&) {
+      s.conns.erase(fd);
+      ::close(fd);
+      active.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  void close_conn(Shard& s, int fd) {
+    const auto it = s.conns.find(fd);
+    if (it == s.conns.end()) return;
+    Conn& c = *it->second;
+    if (c.deadline_armed) s.reactor.cancel_deadline(c.deadline);
+    s.reactor.remove_fd(fd);
+    ::close(fd);
+    s.conns.erase(it);
+    active.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void on_event(Shard& s, int fd, std::uint32_t events) {
+    const auto it = s.conns.find(fd);
+    if (it == s.conns.end()) return;
+    Conn& c = *it->second;
+    if (events & (EPOLLERR | EPOLLHUP)) {
+      close_conn(s, fd);
+      return;
+    }
+    if ((events & (EPOLLIN | EPOLLRDHUP)) && want_read(c)) {
+      if (!read_some(s, c)) return;  // hard error closed the connection
+    }
+    pump(s, fd);
+  }
+
+  /// Drain the socket into the assembler, bounded per event so one
+  /// fire-hosing connection cannot monopolize its shard (level-triggered
+  /// epoll re-delivers whatever is left). Returns false when a hard error
+  /// closed the connection.
+  bool read_some(Shard& s, Conn& c) {
+    std::uint8_t buf[16384];
+    for (int burst = 0; burst < 16; ++burst) {
+      const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        if (!c.assembler.feed(std::span<const std::uint8_t>(
+                buf, static_cast<std::size_t>(n)))) {
+          // Declared length above the cap, refused before allocation.
+          // Stop reading (the stream is unsynchronizable past the unread
+          // body); pump() answers Error(kOversized) once the frames
+          // completed ahead of it have been served, then closes.
+          return true;
+        }
+        continue;
+      }
+      if (n == 0) {
+        c.eof = true;
+        return true;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      close_conn(s, c.fd);  // hard socket error: nothing to answer
+      return false;
+    }
+    return true;
+  }
+
+  void enqueue_reply(Shard& s, Conn& c, std::span<const std::uint8_t> reply) {
+    if (!reply.empty()) {
+      s.msgs_out.fetch_add(1, std::memory_order_relaxed);
+      s.bytes_out.fetch_add(reply.size(), std::memory_order_relaxed);
+    }
+    c.out = frame_with_prefix(reply);  // empty reply = 4-byte zero prefix
+    c.out_off = 0;
+  }
+
+  void dispatch(Shard& s, Conn& c, std::vector<std::uint8_t> frame) {
+    c.handler_pending = true;
+    const int fd = c.fd;
+    const std::uint64_t gen = c.gen;
+    const std::size_t shard_idx = s.index;
+    CompletionFn done = [weak = self, shard_idx, fd,
+                         gen](std::vector<std::uint8_t> reply) {
+      // The weak_ptr keeps Impl alive across the post() call; a stopped
+      // reactor drops the task, so a completion arriving after stop() is
+      // a no-op, and the generation check below catches fd reuse.
+      if (const std::shared_ptr<Impl> impl = weak.lock()) {
+        Shard* shard = impl->shards[shard_idx].get();
+        (void)shard->reactor.post(
+            [impl_raw = impl.get(), shard, fd, gen,
+             r = std::move(reply)]() mutable {
+              try {
+                impl_raw->finish(*shard, fd, gen, std::move(r));
+              } catch (...) {
+                // finish() throws only past its generation check, so the
+                // fd still names this completion's connection.
+                impl_raw->close_conn(*shard, fd);
+              }
+            });
+      }
+    };
+    try {
+      handler(std::move(frame), std::move(done));
+    } catch (const std::exception& e) {
+      // The handler threw on the loop thread before taking ownership of
+      // the completion: answer here, same mapping as everywhere else.
+      c.handler_pending = false;
+      enqueue_reply(s, c,
+                    ErrorReply{.code = ErrorCode::kInternal,
+                               .detail = e.what()}
+                        .encode());
+    }
+  }
+
+  /// A handler completion marshalled back to the loop thread.
+  void finish(Shard& s, int fd, std::uint64_t gen,
+              std::vector<std::uint8_t> reply) {
+    const auto it = s.conns.find(fd);
+    if (it == s.conns.end() || it->second->gen != gen) return;
+    Conn& c = *it->second;
+    if (!c.handler_pending) return;
+    c.handler_pending = false;
+    enqueue_reply(s, c, reply);
+    pump(s, fd);
+  }
+
+  /// Run the connection's state transitions until it blocks on I/O, a
+  /// handler, or goes idle. Safe to call after any state change.
+  void pump(Shard& s, int fd) {
+    const auto it = s.conns.find(fd);
+    if (it == s.conns.end()) return;
+    Conn* c = it->second.get();
+    for (;;) {
+      if (c->out_off < c->out.size()) {
+        while (c->out_off < c->out.size()) {
+          const ssize_t n = ::send(c->fd, c->out.data() + c->out_off,
+                                   c->out.size() - c->out_off, MSG_NOSIGNAL);
+          if (n > 0) {
+            c->out_off += static_cast<std::size_t>(n);
+            continue;
+          }
+          if (n < 0 && errno == EINTR) continue;
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          close_conn(s, fd);  // peer gone mid-reply
+          return;
+        }
+        if (c->out_off < c->out.size()) break;  // wait for EPOLLOUT
+        c->out.clear();
+        c->out_off = 0;
+      }
+      if (c->close_after_flush) {
+        close_conn(s, fd);
+        return;
+      }
+      if (c->handler_pending) break;
+      if (auto frame = c->assembler.next()) {
+        s.msgs_in.fetch_add(1, std::memory_order_relaxed);
+        s.bytes_in.fetch_add(frame->size(), std::memory_order_relaxed);
+        dispatch(s, *c, std::move(*frame));
+        continue;  // either handler pending or an error reply to flush
+      }
+      if (c->assembler.oversized()) {
+        enqueue_reply(s, *c,
+                      ErrorReply{.code = ErrorCode::kOversized,
+                                 .detail = "frame length above cap"}
+                          .encode());
+        c->close_after_flush = true;
+        continue;  // flush the refusal, then close
+      }
+      if (c->eof) {
+        // Clean close at a frame boundary, or truncated mid-frame:
+        // nothing left to answer either way.
+        close_conn(s, fd);
+        return;
+      }
+      break;  // idle between frames: wait for bytes
+    }
+    update_deadline(s, *c);
+    update_interest(s, *c);
+  }
+
+  /// One progress deadline per connection, two mutually-exclusive uses:
+  /// completing an in-progress incoming frame (armed once per frame — a
+  /// dripping peer cannot extend it) and draining a buffered reply to a
+  /// slow reader. No deadline while idle between frames or while a
+  /// handler is in flight.
+  void update_deadline(Shard& s, Conn& c) {
+    const bool flushing = c.out_off < c.out.size();
+    const bool mid_read = want_read(c) && c.assembler.mid_frame();
+    const std::uint64_t frame_no = c.assembler.frames_completed();
+    const bool want = flushing || mid_read;
+    if (!want) {
+      if (c.deadline_armed) {
+        s.reactor.cancel_deadline(c.deadline);
+        c.deadline_armed = false;
+      }
+      return;
+    }
+    // Keep an armed deadline only while it still guards the same thing:
+    // same frame *and* same phase. A pipelined frame that started
+    // arriving while the previous reply drained must get a fresh
+    // io_timeout when reading resumes, not the drain deadline's residue.
+    if (c.deadline_armed && c.deadline_frame == frame_no &&
+        c.deadline_for_write == flushing)
+      return;
+    if (c.deadline_armed) s.reactor.cancel_deadline(c.deadline);
+    const int fd = c.fd;
+    const std::uint64_t gen = c.gen;
+    c.deadline = s.reactor.add_deadline(
+        options.io_timeout, [this, sp = &s, fd, gen] {
+          const auto it = sp->conns.find(fd);
+          if (it == sp->conns.end() || it->second->gen != gen) return;
+          if (!it->second->deadline_armed) return;
+          // A fired timer id is spent: unarm before close_conn so it is
+          // not re-cancelled (a cancel for an id no longer in the wheel
+          // would pin an entry in the reactor's cancelled-set forever).
+          it->second->deadline_armed = false;
+          close_conn(*sp, fd);  // stalled mid-frame or unread reply
+        });
+    c.deadline_armed = true;
+    c.deadline_frame = frame_no;
+    c.deadline_for_write = flushing;
+  }
+
+  void update_interest(Shard& s, Conn& c) {
+    std::uint32_t want = 0;
+    if (want_read(c)) want |= EPOLLIN | EPOLLRDHUP;
+    if (c.out_off < c.out.size()) want |= EPOLLOUT;
+    if (want == c.interest) return;
+    try {
+      s.reactor.modify_fd(c.fd, want);
+      c.interest = want;
+    } catch (const ProtoError&) {
+      close_conn(s, c.fd);
+    }
+  }
+
+  [[nodiscard]] TransportStats stats() const {
+    TransportStats total;
+    for (const auto& shard : shards) {
+      total.messages_received +=
+          shard->msgs_in.load(std::memory_order_relaxed);
+      total.messages_sent += shard->msgs_out.load(std::memory_order_relaxed);
+      total.bytes_received += shard->bytes_in.load(std::memory_order_relaxed);
+      total.bytes_sent += shard->bytes_out.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+};
+
+namespace {
+
+AsyncFrameHandler wrap_sync(FrameHandler handler) {
+  if (!handler) throw std::invalid_argument("FrameServer: null handler");
+  // Runs on the shard loop thread; exceptions map to Error(kInternal)
+  // exactly as the thread-per-connection server did. The completion fires
+  // inline — Reactor::post makes that safe (the reply is processed later
+  // in the same loop iteration).
+  return [handler = std::move(handler)](std::vector<std::uint8_t> frame,
+                                        CompletionFn done) {
+    std::vector<std::uint8_t> reply;
+    try {
+      reply = handler(frame);
+    } catch (const std::exception& e) {
+      reply = ErrorReply{.code = ErrorCode::kInternal, .detail = e.what()}
+                  .encode();
+    }
+    done(std::move(reply));
+  };
+}
+
+}  // namespace
 
 FrameServer::FrameServer(FrameHandler handler, FrameServerOptions options)
-    : handler_(std::move(handler)), options_(std::move(options)) {
-  if (!handler_) throw std::invalid_argument("FrameServer: null handler");
-  if (options_.max_connections == 0)
-    throw std::invalid_argument("FrameServer: max_connections == 0");
+    : FrameServer(wrap_sync(std::move(handler)), std::move(options)) {}
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw_io("socket");
-  const int one = 1;
-  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  struct sockaddr_in addr {};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    ::close(listen_fd_);
-    throw std::invalid_argument("FrameServer: bad bind address " +
-                                options_.bind_address);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
-             sizeof(addr)) < 0 ||
-      ::listen(listen_fd_, options_.backlog) < 0) {
-    const int saved = errno;
-    ::close(listen_fd_);
-    errno = saved;
-    throw_io("bind/listen " + options_.bind_address + ":" +
-             std::to_string(options_.port));
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
-                    &len) < 0) {
-    const int saved = errno;
-    ::close(listen_fd_);
-    errno = saved;
-    throw_io("getsockname");
-  }
-  port_ = ntohs(addr.sin_port);
-  set_nonblocking(listen_fd_);
-  acceptor_ = std::thread([this] { accept_loop(); });
+FrameServer::FrameServer(AsyncFrameHandler handler,
+                         FrameServerOptions options) {
+  impl_ = std::make_shared<Impl>(std::move(handler), std::move(options));
+  impl_->self = impl_;
+  impl_->start();
 }
 
-FrameServer::~FrameServer() { stop(); }
-
-void FrameServer::stop() {
-  if (stopping_.exchange(true)) {
-    if (acceptor_.joinable()) acceptor_.join();
-    return;
-  }
-  if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::thread> workers;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    workers.swap(workers_);
-  }
-  // Workers poll in short slices and check stopping_, so this bounds at
-  // one slice plus any in-flight handler call.
-  for (auto& w : workers) w.join();
+FrameServer::~FrameServer() {
+  if (impl_) impl_->stop();
 }
 
-TransportStats FrameServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+std::uint16_t FrameServer::port() const noexcept { return impl_->port; }
+
+void FrameServer::stop() { impl_->stop(); }
+
+TransportStats FrameServer::stats() const { return impl_->stats(); }
+
+std::size_t FrameServer::active_connections() const noexcept {
+  return impl_->active.load(std::memory_order_relaxed);
 }
 
-void FrameServer::reap_finished() {
-  // Join connection threads that have registered themselves finished, so
-  // a long-lived server does not accumulate one dead joinable thread per
-  // connection ever accepted. A registered thread has nothing left to do
-  // but return, so these joins do not block the acceptor.
-  std::vector<std::thread> done;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const std::thread::id id : finished_) {
-      for (auto it = workers_.begin(); it != workers_.end(); ++it) {
-        if (it->get_id() == id) {
-          done.push_back(std::move(*it));
-          workers_.erase(it);
-          break;
-        }
-      }
-    }
-    finished_.clear();
-  }
-  for (auto& t : done) t.join();
+std::uint64_t FrameServer::connections_accepted() const noexcept {
+  return impl_->accepted.load(std::memory_order_relaxed);
 }
 
-void FrameServer::accept_loop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    reap_finished();
-    if (active_.load(std::memory_order_relaxed) >= options_.max_connections) {
-      std::this_thread::sleep_for(Millis(1));
-      continue;
-    }
-    bool ready = false;
-    try {
-      ready = poll_wait(listen_fd_, POLLIN, Millis(50));
-    } catch (const ProtoError&) {
-      break;  // listener died; stop() will clean up
-    }
-    if (!ready) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    try {
-      set_nonblocking(fd);
-    } catch (const ProtoError&) {
-      ::close(fd);
-      continue;
-    }
-    set_nodelay(fd);
-    active_.fetch_add(1, std::memory_order_relaxed);
-    accepted_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
-    workers_.emplace_back([this, fd] { serve_connection(fd); });
-  }
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+std::uint64_t FrameServer::connections_refused() const noexcept {
+  return impl_->refused.load(std::memory_order_relaxed);
 }
 
-void FrameServer::serve_connection(int fd) {
-  // Wait-for-next-frame polls in short slices so stop() is never blocked
-  // behind an idle client; once a frame has *started* (first prefix byte
-  // seen), the whole frame must complete within io_timeout — a stalled
-  // peer must not pin a connection slot forever.
-  const Millis slice(50);
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    std::uint8_t prefix[4];
-    std::size_t got = 0;
-    bool closed = false;
-    SteadyClock::time_point frame_deadline{};
-    try {
-      while (got < 4) {
-        const ssize_t n = ::recv(fd, prefix + got, 4 - got, 0);
-        if (n > 0) {
-          if (got == 0)
-            frame_deadline = SteadyClock::now() + options_.io_timeout;
-          got += static_cast<std::size_t>(n);
-          continue;
-        }
-        if (n == 0) {
-          closed = true;  // clean close at a frame boundary
-          break;
-        }
-        if (errno == EINTR) continue;
-        if (errno == EAGAIN || errno == EWOULDBLOCK) {
-          if (stopping_.load(std::memory_order_relaxed) ||
-              (got != 0 && SteadyClock::now() >= frame_deadline)) {
-            closed = true;  // shutting down, or stalled mid-prefix
-            break;
-          }
-          (void)poll_wait(fd, POLLIN, slice);
-          continue;
-        }
-        closed = true;  // hard error mid-prefix: nothing to answer
-        break;
-      }
-      if (closed) break;  // clean, stalled, or errored: nothing to answer
-
-      const std::uint32_t len = decode_prefix(prefix);
-      std::vector<std::uint8_t> reply;
-      bool drop_connection = false;
-      if (len > kMaxTcpFrameBytes) {
-        // Refuse before allocating and close after answering: the unread
-        // body leaves the stream unsynchronized.
-        reply = ErrorReply{.code = ErrorCode::kOversized,
-                           .detail = "frame length above cap"}
-                    .encode();
-        drop_connection = true;
-      } else {
-        std::vector<std::uint8_t> frame(len);
-        // The body shares the frame's deadline: a peer dripping one byte
-        // per poll interval cannot hold the slot past io_timeout.
-        if (len != 0 &&
-            recv_exact(fd, frame, frame_deadline, "tcp recv request",
-                       &stopping_) == ReadResult::kEofAtStart)
-          break;  // peer closed mid-frame: nothing to answer
-        try {
-          reply = handler_(frame);
-        } catch (const std::exception& e) {
-          reply = ErrorReply{.code = ErrorCode::kInternal, .detail = e.what()}
-                      .encode();
-        }
-        std::lock_guard<std::mutex> lock(mu_);
-        stats_.messages_received += 1;
-        stats_.bytes_received += len;
-      }
-      send_all(fd, frame_with_prefix(reply),
-               SteadyClock::now() + options_.io_timeout, &stopping_);
-      if (!reply.empty()) {
-        std::lock_guard<std::mutex> lock(mu_);
-        stats_.messages_sent += 1;
-        stats_.bytes_sent += reply.size();
-      }
-      if (drop_connection) break;
-    } catch (const ProtoError&) {
-      break;  // truncated/timed-out/failed exchange: drop the connection
-    } catch (...) {
-      // Anything else — e.g. bad_alloc on a cap-sized frame allocation
-      // under memory pressure — costs this connection, never the server.
-      break;
-    }
-  }
-  ::close(fd);
-  active_.fetch_sub(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
-  finished_.push_back(std::this_thread::get_id());
+std::size_t FrameServer::shards() const noexcept {
+  return impl_->shards.size();
 }
 
 }  // namespace eyw::proto

@@ -1,5 +1,6 @@
 // Real-socket Transport binding: length-framed delivery of encoded
-// envelopes over TCP, plus the listener/acceptor that serves them.
+// envelopes over TCP — a blocking client (TcpTransport) and an
+// event-driven epoll reactor server (FrameServer).
 //
 // Framing is a 4-byte little-endian length prefix followed by exactly that
 // many envelope bytes. The prefix is transport overhead — TransportStats
@@ -17,6 +18,8 @@
 //   * declared length above the cap      -> ProtoError(kOversized),
 //     checked before any allocation
 //   * connect failure, I/O error, timeout -> ProtoError(kInternal)
+//   * connection refused at the admission cap -> the server answers
+//     Error(kUnavailable) and closes
 // An exchange that fails mid-stream is never silently replayed — a resend
 // could double-submit a report — so retry/backoff applies to connection
 // establishment only.
@@ -25,7 +28,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,6 +54,10 @@ struct TcpOptions {
   /// doubles after each failure. Lets a client start before its server.
   int connect_attempts = 6;
   std::chrono::milliseconds connect_backoff{50};
+  /// Disable Nagle on the connection (request/reply traffic is one small
+  /// segment each way; coalescing only adds latency). Off exists for the
+  /// before/after row in bench_overhead_privacy — see docs/perf.md.
+  bool tcp_nodelay = true;
 };
 
 /// Connects lazily on first exchange (with retry/backoff) and keeps the
@@ -85,25 +92,43 @@ struct FrameServerOptions {
   /// 0 binds an ephemeral port; read the real one back via port().
   std::uint16_t port = 0;
   int backlog = 64;
-  /// Accepted connections served concurrently; the acceptor stops pulling
-  /// from the listen queue while at the cap (the kernel backlog absorbs
-  /// the burst), so a connection flood degrades to queueing, not OOM.
-  std::size_t max_connections = 32;
+  /// Reactor event-loop threads the connections are sharded across;
+  /// 0 means hardware_concurrency(). Resident server threads are
+  /// exactly shards + 1 acceptor, independent of connection count.
+  std::size_t reactor_shards = 0;
+  /// Admission cap on concurrently-served connections. A connection
+  /// accepted past the cap is answered with one Error(kUnavailable)
+  /// envelope and closed — an explicit, machine-readable refusal instead
+  /// of unbounded connection state (or a silent stall in the backlog).
+  std::size_t max_connections = 1024;
   /// Frame-completion timeout: once the first byte of a frame arrives,
   /// the rest (prefix and body) must land within this bound or the
-  /// connection is dropped — a stalled peer cannot pin a connection slot.
-  /// A connection idle *between* frames is left alone: clients keep the
-  /// channel open across round phases.
+  /// connection is dropped — a stalled peer cannot pin connection state
+  /// forever. The same bound applies to draining a buffered reply to a
+  /// slow reader. A connection idle *between* frames is left alone:
+  /// clients keep the channel open across round phases.
   std::chrono::milliseconds io_timeout{30'000};
+  /// TCP_NODELAY on accepted sockets (see TcpOptions::tcp_nodelay).
+  bool tcp_nodelay = true;
 };
 
-/// Accepts N concurrent client connections and speaks the length-framed
-/// exchange loop on each: read one frame, hand it to the FrameHandler
-/// (a server endpoint's dispatch), write the framed reply. Connection I/O
-/// runs on dedicated threads (blocking socket reads must not occupy the
-/// compute pool); the handlers themselves fan their heavy work — batch
-/// OPRF evaluation, finalize's id-space scan — across util::ThreadPool
-/// exactly as they do in-process.
+/// Event-driven frame server: one acceptor thread feeds accepted
+/// connections round-robin to N reactor shards (epoll event loops); each
+/// connection is a non-blocking state machine — incremental frame
+/// assembly (FrameAssembler), at most one in-flight handler, a buffered
+/// writer with backpressure (no new frame is processed until the previous
+/// reply drained). Thousands of idle reporters cost epoll registrations,
+/// not threads.
+///
+/// Handlers come in two shapes:
+///   * a synchronous FrameHandler runs on the shard's loop thread — fine
+///     for cheap dispatch, but it stalls that shard's other connections
+///     for its duration (and may run concurrently across shards: make it
+///     thread-safe or shard-affine);
+///   * an AsyncFrameHandler is invoked on the loop thread but replies
+///     through a completion callback from wherever the work ran — the
+///     non-blocking contract reactor callbacks require. Pair with
+///     server::AsyncDispatcher to serialize stateful endpoints off-loop.
 ///
 /// A frame whose declared length exceeds kMaxTcpFrameBytes is answered
 /// with an Error(kOversized) envelope and the connection is closed (the
@@ -111,17 +136,19 @@ struct FrameServerOptions {
 /// answered with Error(kInternal); endpoints themselves never throw.
 class FrameServer {
  public:
-  explicit FrameServer(FrameHandler handler, FrameServerOptions options = {});
+  FrameServer(FrameHandler handler, FrameServerOptions options = {});
+  FrameServer(AsyncFrameHandler handler, FrameServerOptions options = {});
   ~FrameServer();
 
   FrameServer(const FrameServer&) = delete;
   FrameServer& operator=(const FrameServer&) = delete;
 
   /// The bound port (resolves option port 0).
-  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::uint16_t port() const noexcept;
 
-  /// Stop accepting, unblock and join every connection thread. Idempotent;
-  /// the destructor calls it.
+  /// Stop accepting, stop every reactor shard, close every connection.
+  /// Idempotent; the destructor calls it. In-flight async completions
+  /// become no-ops.
   void stop();
 
   /// Aggregated frame accounting across all connections, from the
@@ -130,31 +157,16 @@ class FrameServer {
   /// client side.
   [[nodiscard]] TransportStats stats() const;
 
-  [[nodiscard]] std::size_t active_connections() const noexcept {
-    return active_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t connections_accepted() const noexcept {
-    return accepted_.load(std::memory_order_relaxed);
-  }
+  [[nodiscard]] std::size_t active_connections() const noexcept;
+  [[nodiscard]] std::uint64_t connections_accepted() const noexcept;
+  /// Connections answered Error(kUnavailable) at the admission cap.
+  [[nodiscard]] std::uint64_t connections_refused() const noexcept;
+  /// Reactor shards actually running (resolves option 0).
+  [[nodiscard]] std::size_t shards() const noexcept;
 
  private:
-  void accept_loop();
-  void serve_connection(int fd);
-  /// Join connection threads that have finished (acceptor housekeeping).
-  void reap_finished();
-
-  FrameHandler handler_;
-  FrameServerOptions options_;
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
-  std::atomic<bool> stopping_{false};
-  std::atomic<std::size_t> active_{0};
-  std::atomic<std::uint64_t> accepted_{0};
-  mutable std::mutex mu_;  // guards workers_, finished_, and stats_
-  std::vector<std::thread> workers_;
-  std::vector<std::thread::id> finished_;  // exited, awaiting join
-  TransportStats stats_;
-  std::thread acceptor_;  // last member: joins while the rest is alive
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
 };
 
 }  // namespace eyw::proto

@@ -56,6 +56,20 @@ class Transport {
 using FrameHandler =
     std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>)>;
 
+/// Delivers a reply frame for one asynchronously-handled request. Safe to
+/// invoke from any thread, exactly once; invoking it after the server that
+/// issued it has been torn down is a harmless no-op.
+using CompletionFn = std::function<void(std::vector<std::uint8_t> reply)>;
+
+/// The non-blocking server-handler shape: take ownership of the request
+/// frame, return immediately, deliver the reply through `done` whenever it
+/// is ready (possibly inline, possibly from another thread after pool
+/// work). Reactor-mode servers call this from the event loop, so an
+/// implementation must not block — heavy work belongs behind the
+/// completion (see server::AsyncDispatcher).
+using AsyncFrameHandler = std::function<void(std::vector<std::uint8_t> frame,
+                                             CompletionFn done)>;
+
 /// In-process transport: delivers the frame to a handler (an endpoint's
 /// dispatch function) and returns its reply. The frame is passed as a span
 /// of the caller's buffer — the handler must not retain it.

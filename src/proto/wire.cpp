@@ -15,6 +15,7 @@ const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kOversized: return "oversized";
     case ErrorCode::kRejected: return "rejected";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kUnavailable: return "unavailable";
   }
   return "unknown-error-code";
 }

@@ -30,6 +30,8 @@ enum class ErrorCode : std::uint16_t {
   kRejected = 9,           // well-formed but refused by protocol state
                            // (duplicate report, outside roster, bad shard…)
   kInternal = 10,          // server-side failure unrelated to the request
+  kUnavailable = 11,       // server at capacity: connection refused at
+                           // admission, try again later
 };
 
 [[nodiscard]] const char* to_string(ErrorCode code) noexcept;

@@ -1,0 +1,79 @@
+#include "server/dispatcher.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "proto/message.hpp"
+
+namespace eyw::server {
+
+AsyncDispatcher::AsyncDispatcher(proto::FrameHandler handler)
+    : handler_(std::move(handler)) {
+  if (!handler_)
+    throw std::invalid_argument("AsyncDispatcher: null handler");
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+AsyncDispatcher::~AsyncDispatcher() { stop(); }
+
+void AsyncDispatcher::submit(std::vector<std::uint8_t> frame,
+                             proto::CompletionFn done) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      queue_.emplace_back(std::move(frame), std::move(done));
+      cv_.notify_one();
+      return;
+    }
+  }
+  // Late frame during teardown: answer from here rather than drop the
+  // caller's completion (the server side treats it like any Error reply).
+  if (done)
+    done(proto::ErrorReply{.code = proto::ErrorCode::kUnavailable,
+                           .detail = "dispatcher stopping"}
+             .encode());
+}
+
+proto::AsyncFrameHandler AsyncDispatcher::handler() {
+  return [this](std::vector<std::uint8_t> frame, proto::CompletionFn done) {
+    submit(std::move(frame), std::move(done));
+  };
+}
+
+void AsyncDispatcher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  if (worker_.joinable()) worker_.join();
+}
+
+std::size_t AsyncDispatcher::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void AsyncDispatcher::worker_loop() {
+  for (;;) {
+    std::pair<std::vector<std::uint8_t>, proto::CompletionFn> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::vector<std::uint8_t> reply;
+    try {
+      reply = handler_(job.first);
+    } catch (const std::exception& e) {
+      reply = proto::ErrorReply{.code = proto::ErrorCode::kInternal,
+                                .detail = e.what()}
+                  .encode();
+    }
+    if (job.second) job.second(std::move(reply));
+  }
+}
+
+}  // namespace eyw::server

@@ -1,0 +1,66 @@
+// The bridge between reactor callbacks and stateful endpoints: reactor
+// handlers must not block, and BackendEndpoint/OprfEndpoint mutate
+// unsynchronized round state — AsyncDispatcher solves both at once. It
+// owns one dispatch worker and a FIFO queue: the reactor-side
+// AsyncFrameHandler just enqueues (O(1), never blocks the event loop),
+// the worker applies frames to the endpoints strictly in order (so the
+// endpoints need no locks), and the reply travels back through the
+// completion callback the server supplied. Heavy per-frame work — batch
+// OPRF modexps, finalize's id-space scan — still fans out across
+// util::ThreadPool *inside* the handler exactly as it does in-process;
+// what moves off the reactor thread is everything.
+//
+// Lifetime: the dispatcher must outlive the FrameServer it feeds
+// (declare it first). Completions delivered after the server stopped are
+// no-ops by the server's contract, so teardown order is the only rule.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "proto/transport.hpp"
+
+namespace eyw::server {
+
+class AsyncDispatcher {
+ public:
+  /// `handler` is the synchronous frame->reply dispatch (an endpoint's
+  /// handle(), or a routing composition over several). It runs on the
+  /// dispatch thread, serialized.
+  explicit AsyncDispatcher(proto::FrameHandler handler);
+  ~AsyncDispatcher();
+
+  AsyncDispatcher(const AsyncDispatcher&) = delete;
+  AsyncDispatcher& operator=(const AsyncDispatcher&) = delete;
+
+  /// Enqueue one frame; `done` fires with the reply once the worker has
+  /// applied it. Never blocks beyond the queue mutex.
+  void submit(std::vector<std::uint8_t> frame, proto::CompletionFn done);
+
+  /// The AsyncFrameHandler shape FrameServer consumes (binds submit()).
+  [[nodiscard]] proto::AsyncFrameHandler handler();
+
+  /// Drain the queue (every pending frame is still answered), then join
+  /// the worker. Idempotent; the destructor calls it.
+  void stop();
+
+  /// Frames accepted but not yet answered (depth of the dispatch queue).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  proto::FrameHandler handler_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::pair<std::vector<std::uint8_t>, proto::CompletionFn>>
+      queue_;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+}  // namespace eyw::server

@@ -12,6 +12,7 @@
 #include "client/url_mapper.hpp"
 #include "proto/tcp.hpp"
 #include "server/cluster.hpp"
+#include "server/dispatcher.hpp"
 #include "server/endpoint.hpp"
 #include "server/remote_backend.hpp"
 #include "server/round.hpp"
@@ -134,6 +135,58 @@ TEST(TcpRound, FullRoundBitIdenticalToLoopbackAndBytesAccounted) {
   // The remote path exercised the control plane + submissions:
   // begin(1) + reports(5) + missing(1) + adjustments(5) + finalize(1).
   EXPECT_EQ(client_stats.messages_sent, 13u);
+}
+
+TEST(TcpRound, FullRoundBitIdenticalThroughAsyncDispatcherAndShards) {
+  // The reactor deployment shape: multiple reactor shards, endpoint
+  // dispatch behind an AsyncDispatcher so reactor callbacks never block
+  // on round work. The round must still be bit-identical to loopback —
+  // the concurrency model of the transport is not allowed to exist,
+  // observably.
+  client::HashUrlMapper mapper(backend_config().id_space);
+  const std::vector<std::size_t> reporting{0, 1, 3, 4, 5};
+
+  BackendCluster loop_cluster(backend_config(), 2);
+  auto exts_loop = make_fleet(mapper, 6);
+  RoundCoordinator ref(group(),
+                       std::span<client::BrowserExtension>(exts_loop),
+                       loop_cluster, /*seed=*/79);
+  const RoundResult want = ref.run_round(0, reporting);
+
+  BackendCluster tcp_cluster(backend_config(), 2);
+  BackendEndpoint endpoint(tcp_cluster, /*serve_control=*/true);
+  AsyncDispatcher dispatcher([&](std::span<const std::uint8_t> frame) {
+    return endpoint.handle(frame);
+  });
+  proto::FrameServer server(dispatcher.handler(),
+                            {.reactor_shards = 3});
+  EXPECT_EQ(server.shards(), 3u);
+  proto::TcpTransport link("127.0.0.1", server.port());
+  RemoteBackend remote(link, backend_config());
+  auto exts_tcp = make_fleet(mapper, 6);
+  RoundCoordinator live(group(),
+                        std::span<client::BrowserExtension>(exts_tcp),
+                        remote, /*seed=*/79);
+  const RoundResult got = live.run_round(0, reporting);
+
+  const auto want_cells = want.aggregate.cells();
+  const auto got_cells = got.aggregate.cells();
+  ASSERT_EQ(want_cells.size(), got_cells.size());
+  for (std::size_t i = 0; i < want_cells.size(); ++i)
+    ASSERT_EQ(want_cells[i], got_cells[i]) << "cell " << i;
+  EXPECT_EQ(want.distribution.counts(), got.distribution.counts());
+  EXPECT_EQ(want.users_threshold, got.users_threshold);
+  EXPECT_EQ(want.reports, got.reports);
+  EXPECT_EQ(want.roster, got.roster);
+
+  link.close();
+  for (int i = 0; i < 2'000 && server.active_connections() != 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const proto::TransportStats server_stats = server.stats();
+  EXPECT_EQ(server_stats.messages_received, link.stats().messages_sent);
+  EXPECT_EQ(server_stats.bytes_received, link.stats().bytes_sent);
+  EXPECT_EQ(server_stats.bytes_sent, link.stats().bytes_received);
+  EXPECT_EQ(dispatcher.pending(), 0u);
 }
 
 TEST(TcpRound, ControlPlaneRefusedWithoutOptIn) {
