@@ -13,8 +13,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <latch>
 #include <mutex>
 #include <thread>
 
@@ -25,6 +27,7 @@
 
 #include "client/url_mapper.hpp"
 #include "crypto/blinding.hpp"
+#include "proto/client_reactor.hpp"
 #include "proto/raw_frame_io.hpp"
 #include "proto/tcp.hpp"
 #include "server/endpoint.hpp"
@@ -455,6 +458,129 @@ int main() {
         reactor.exchanges != kConns * static_cast<std::size_t>(kRounds)) {
       std::printf("  MISMATCH: exchange counts differ\n");
       return 1;
+    }
+
+    // Outbound side of the same story: one process *driving* R reporter
+    // connections. Thread-per-link (one blocking TcpTransport on its own
+    // thread per reporter — the only way to hold R exchanges in flight
+    // with the sync client) vs R ClientReactor channels pipelined on 2
+    // shard threads. Every reporter connects, holds one in-flight
+    // exchange, and stays connected until all have finished, so peak
+    // thread counts are sampled at full swarm width (numbers recorded in
+    // docs/perf.md).
+    std::printf("\n  outbound driver at swarm width (1 exchange/reporter, "
+                "all concurrent):\n");
+    std::printf("  %-9s %-18s %10s %20s %12s\n", "reporters", "model",
+                "wall ms", "client threads", "wire KB");
+    for (const std::size_t reporters : {128u, 512u, 1024u}) {
+      // Backlog sized to the swarm: the reactor client fires all R
+      // connects in the same instant, and a SYN dropped off a full accept
+      // queue costs a 1 s kernel retransmit — an operator knob, not a
+      // transport property (see docs/protocol.md, scaling knobs).
+      eyw::proto::FrameServer swarm_server(
+          ack_handler,
+          {.backlog = static_cast<int>(reporters + 8),
+           .max_connections = reporters + 8});
+      const auto ping = eyw::proto::encode_oprf_key_query();
+
+      {
+        const std::size_t base = process_threads();
+        std::atomic<std::size_t> finished{0};
+        std::atomic<std::size_t> ok{0};
+        std::atomic<std::uint64_t> wire_bytes{0};
+        // Everyone (workers + sampler) parks here until the last reporter
+        // has its reply, keeping all R connections simultaneously open.
+        std::latch hold(static_cast<std::ptrdiff_t>(reporters) + 1);
+        const auto t0 = Clock::now();
+        std::vector<std::thread> links;
+        links.reserve(reporters);
+        for (std::size_t i = 0; i < reporters; ++i) {
+          links.emplace_back([&] {
+            try {
+              eyw::proto::TcpTransport link("127.0.0.1",
+                                            swarm_server.port());
+              const auto reply = link.exchange(ping);
+              wire_bytes.fetch_add(ping.size() + reply.size(),
+                                   std::memory_order_relaxed);
+              if (!reply.empty()) ok.fetch_add(1);
+              finished.fetch_add(1);
+              hold.arrive_and_wait();
+            } catch (const std::exception&) {
+              finished.fetch_add(1);  // failed links count too: no hang
+              hold.count_down();
+            }
+          });
+        }
+        std::size_t peak = process_threads();
+        while (finished.load(std::memory_order_relaxed) < reporters) {
+          peak = std::max(peak, process_threads());
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        peak = std::max(peak, process_threads());
+        const double wall = ms_since(t0);
+        hold.arrive_and_wait();
+        for (auto& t : links) t.join();
+        if (ok.load() != reporters)
+          std::printf("  (%zu/%zu thread-per-link exchanges failed)\n",
+                      reporters - ok.load(), reporters);
+        std::printf("  %-9zu %-18s %10.1f %20zu %12.1f\n", reporters,
+                    "thread-per-link", wall, peak - base,
+                    static_cast<double>(wire_bytes.load()) / 1000.0);
+      }
+
+      // Let the server fully release the previous model's connections:
+      // otherwise this row's connect burst can land on top of them,
+      // trip the admission cap, and skew the comparison.
+      for (int spin = 0;
+           spin < 5'000 && swarm_server.active_connections() != 0; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+      {
+        const std::size_t base = process_threads();
+        eyw::proto::ClientReactor reactor(
+            {.shards = 2, .backoff_jitter_seed = 3});
+        std::mutex mu;
+        std::condition_variable cv;
+        std::size_t done = 0;
+        std::atomic<std::size_t> acked{0};
+        const auto t0 = Clock::now();
+        std::vector<std::shared_ptr<eyw::proto::ClientChannel>> channels;
+        channels.reserve(reporters);
+        for (std::size_t i = 0; i < reporters; ++i)
+          channels.push_back(
+              reactor.open("127.0.0.1", swarm_server.port()));
+        for (std::size_t i = 0; i < reporters; ++i) {
+          channels[i]->exchange_async(
+              ping, [&](eyw::proto::AsyncResult r) {
+                if (r.ok() && !r.reply.empty()) acked.fetch_add(1);
+                std::lock_guard<std::mutex> lock(mu);
+                ++done;
+                cv.notify_one();
+              });
+        }
+        const std::size_t peak = process_threads();
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] { return done == reporters; });
+        }
+        const double wall = ms_since(t0);
+        std::uint64_t wire_bytes = 0;
+        for (const auto& ch : channels) {
+          const auto s = ch->stats();
+          wire_bytes += s.bytes_sent + s.bytes_received;
+        }
+        if (acked.load() != reporters)
+          std::printf("  (%zu/%zu client-reactor exchanges lost their "
+                      "reply; %llu refused at the admission cap)\n",
+                      reporters - acked.load(), reporters,
+                      static_cast<unsigned long long>(
+                          swarm_server.connections_refused()));
+        std::printf("  %-9zu %-18s %10.1f %17zu =%zu %12.1f\n", reporters,
+                    "client-reactor", wall,
+                    std::max(peak, process_threads()) - base,
+                    reactor.shards(),
+                    static_cast<double>(wire_bytes) / 1000.0);
+      }
     }
 
     // TCP_NODELAY before/after on one sequential request/reply channel:

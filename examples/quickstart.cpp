@@ -16,9 +16,16 @@
 // back-end — and exits non-zero unless the aggregates are bit-identical
 // (the protocol's deployment invariant; see docs/architecture.md).
 // `--once` makes the server exit after serving one finalize, for CI.
-// `--reporters` proves the reactor transport multiplexes hundreds of
-// simultaneously-connected reporters onto a fixed thread budget
-// (shards + acceptor), instead of one thread per connection.
+// `--reporters` is the swarm driver: N simultaneously-connected reporters
+// driven through the *client* reactor — N outbound connections pipelined
+// on a fixed client-side thread budget (reactor shards, not one blocking
+// thread or transport per link), the batched OPRF warm-up overlapping the
+// in-flight report submissions, and the finalized aggregate asserted
+// bit-identical to an in-process reference round. It exits non-zero if
+// resident client-side threads exceed shards + 1 (the CI guardrail) or
+// any check fails. Both sides multiplex: the server end already holds
+// thousands of connections on shards + acceptor (PR 4); this mode proves
+// one process can *drive* that many as well.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -32,10 +39,14 @@
 
 #include <unistd.h>
 
+#include <condition_variable>
+#include <mutex>
+
 #include "client/extension.hpp"
 #include "client/url_mapper.hpp"
 #include "core/global_view.hpp"
 #include "core/local_detector.hpp"
+#include "proto/client_reactor.hpp"
 #include "proto/raw_frame_io.hpp"
 #include "proto/tcp.hpp"
 #include "server/cluster.hpp"
@@ -43,6 +54,7 @@
 #include "server/endpoint.hpp"
 #include "server/remote_backend.hpp"
 #include "server/round.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -147,11 +159,12 @@ int run_loopback_demo() {
 /// back-end (with the operator control plane enabled — this port is the
 /// deployment's operator+ingest port) and the keyed oprf-server. The
 /// endpoints mutate unsynchronized round state, so dispatch goes through
-/// an AsyncDispatcher: reactor callbacks only enqueue, one dispatch
-/// thread applies frames in order, and heavy handler work (batch OPRF
-/// modexps, finalize's id-space scan) still fans out across the thread
-/// pool from there. Declaration order doubles as teardown order: the
-/// FrameServer stops before the dispatcher it feeds off.
+/// an AsyncDispatcher sharded one FIFO lane per backend shard: reactor
+/// callbacks only enqueue, each lane applies its shard's frames in order
+/// (control plane + OPRF serialize on lane 0), and heavy handler work
+/// (batch OPRF modexps, finalize's id-space scan) still fans out across
+/// the thread pool from there. Declaration order doubles as teardown
+/// order: the FrameServer stops before the dispatcher it feeds off.
 struct ServerStack {
   util::Rng rng{7};
   crypto::OprfServer oprf{rng, 256};
@@ -165,12 +178,19 @@ struct ServerStack {
   explicit ServerStack(std::uint16_t port,
                        std::size_t max_connections =
                            eyw::proto::FrameServerOptions{}.max_connections)
-      : dispatcher([this](std::span<const std::uint8_t> frame) {
-          return route(frame);
-        }),
+      : dispatcher(
+            [this](std::span<const std::uint8_t> frame) {
+              return route(frame);
+            },
+            kNetShards, server::cluster_lane_router(cluster),
+            server::control_plane_barrier()),
         server(dispatcher.handler(),
                {.port = port,
-                .backlog = 256,
+                // Sized to the admission cap: a reporter swarm connects in
+                // one burst, and a SYN dropped off a full accept queue
+                // costs that reporter a 1 s kernel retransmit.
+                .backlog = static_cast<int>(
+                    std::max<std::size_t>(256, max_connections)),
                 .max_connections = max_connections}) {}
 
   std::vector<std::uint8_t> route(std::span<const std::uint8_t> frame) {
@@ -194,8 +214,9 @@ struct ServerStack {
 int run_serve(std::uint16_t port, bool once) {
   ServerStack stack(port);
   std::printf("serving back-end (%zu backend shards) + oprf-server on "
-              "127.0.0.1:%u, %zu reactor shard(s)%s\n",
+              "127.0.0.1:%u, %zu reactor shard(s), %zu dispatch lane(s)%s\n",
               kNetShards, stack.server.port(), stack.server.shards(),
+              stack.dispatcher.lanes(),
               once ? " (exit after one round)" : "");
   std::fflush(stdout);
 
@@ -218,68 +239,137 @@ int run_serve(std::uint16_t port, bool once) {
   return 0;
 }
 
+/// The deployment invariant both networked modes assert: every field of
+/// the two RoundResults agrees bit for bit (one shared check so neither
+/// mode's PASS can silently drift weaker than the other's).
+bool results_identical(const server::RoundResult& want,
+                       const server::RoundResult& got) {
+  const auto want_cells = want.aggregate.cells();
+  const auto got_cells = got.aggregate.cells();
+  bool identical = want_cells.size() == got_cells.size() &&
+                   want.users_threshold == got.users_threshold &&
+                   want.distribution.counts() == got.distribution.counts() &&
+                   want.reports == got.reports && want.roster == got.roster;
+  for (std::size_t i = 0; identical && i < want_cells.size(); ++i)
+    identical = want_cells[i] == got_cells[i];
+  return identical;
+}
+
+/// Deterministic synthetic report for reporter `i` (this mode measures
+/// the transport; the blinded-crypto round is --connect's job). Shared
+/// with the in-process reference so the swarm aggregate can be asserted
+/// bit-identical.
+std::vector<std::uint32_t> reporter_cells(const server::BackendConfig& config,
+                                          std::size_t i) {
+  std::vector<std::uint32_t> cells(config.cms_params.cells());
+  for (std::size_t c = 0; c < cells.size(); ++c)
+    cells[c] = static_cast<std::uint32_t>(i * 2654435761u + c);
+  return cells;
+}
+
 int run_reporters(std::size_t n, const std::string& target_host,
                   long target_port) {
-  // Self-serve when no target: the interesting side (the multiplexing
-  // server) lives in this process and its thread budget is printed.
+  // Self-serve when no target: both halves of the story live in this
+  // process — the server multiplexing n inbound connections on its
+  // shards, and the client reactor driving n outbound ones on its own.
   std::unique_ptr<ServerStack> local;
   std::string host = target_host;
   std::uint16_t port = 0;
   if (target_port < 0) {
-    // n reporter connections + the control link must all be admitted.
+    // n reporter connections + control + oprf links must all be admitted.
     local = std::make_unique<ServerStack>(0, n + 8);
     host = "127.0.0.1";
     port = local->server.port();
   } else {
     port = static_cast<std::uint16_t>(target_port);
   }
-
-  // Operator control plane on its own connection: open the round for a
-  // roster of n reporters.
   const server::BackendConfig config = net_config();
-  proto::TcpTransport control(host, port);
-  server::RemoteBackend remote(control, config);
+
+  // Declared before the reactor: reporter completions write into these,
+  // and if anything below throws, the unwinding reactor fails every
+  // pending completion — which must find its targets still alive.
+  std::vector<proto::AsyncResult> results(n);
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::size_t done_count = 0;
+
+  // Everything outbound below — control plane, OPRF warm-up, n reporter
+  // connections — multiplexes on this client reactor's shard threads.
+  // The thread delta from here on is the claim under test — so the
+  // process-wide pool (which the self-serve server's OPRF batch handler
+  // and finalize would otherwise lazily spawn *inside* the measured
+  // window) is materialized first; its workers are compute fan-out, not
+  // transport threads.
+  (void)util::ThreadPool::shared();
+  const std::size_t threads_before = proto::raw::process_threads();
+  constexpr std::size_t kClientShards = 2;
+  proto::ClientReactor reactor(
+      {.shards = kClientShards, .backoff_jitter_seed = 42});
+
+  // Operator control plane on its own channel, pipelined RemoteBackend:
+  // begin_round is a barrier, so the roster is open before reports fly.
+  auto control = reactor.open(host, port);
+  server::RemoteBackend remote(*control, config);
   remote.begin_round(/*round=*/0, n);
 
-  // One TCP connection per reporter, all simultaneously connected and all
-  // holding an outstanding BlindedReport at once. (The report cells here
-  // are synthetic — this mode measures the transport, not the crypto; the
-  // bit-identical round is --connect's and the test suite's job.)
+  // Fire one BlindedReport per reporter channel — n connections all
+  // simultaneously connected, each with its exchange in flight at once.
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<int> fds;
-  fds.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const int fd = proto::raw::connect_ipv4(host.c_str(), port);
-    if (fd < 0) {
-      std::fprintf(stderr, "reporter %zu: connect failed\n", i);
-      for (const int open_fd : fds) ::close(open_fd);
-      return 1;
-    }
-    fds.push_back(fd);
-  }
+  std::vector<std::shared_ptr<proto::ClientChannel>> channels;
+  channels.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) channels.push_back(reactor.open(host, port));
 
-  std::vector<std::uint32_t> cells(config.cms_params.cells());
-  std::size_t sent = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t c = 0; c < cells.size(); ++c)
-      cells[c] = static_cast<std::uint32_t>(i * 2654435761u + c);
     const auto frame = proto::BlindedReport{
         .participant = static_cast<std::uint32_t>(i),
         .params = config.cms_params,
-        .cells = cells}
+        .cells = reporter_cells(config, i)}
                            .encode(/*round=*/0);
-    if (proto::raw::send_all(fds[i], proto::raw::with_prefix(frame))) ++sent;
+    channels[i]->exchange_async(frame, [&, i](proto::AsyncResult r) {
+      results[i] = std::move(r);  // slot-per-reporter: no lock needed
+      std::lock_guard<std::mutex> lock(done_mu);
+      ++done_count;
+      done_cv.notify_one();
+    });
   }
 
-  // Every connection now has a request in flight; collect the acks.
+  // While those n exchanges are in flight, run the batched OPRF warm-up a
+  // fresh extension would: key fetch + one batch evaluation, blocking the
+  // main thread only — the reactor shards keep pumping the swarm
+  // underneath it instead of serializing warm-up then reports.
+  auto oprf_ch = reactor.open(host, port);
+  proto::SyncTransportAdapter oprf_link(*oprf_ch);
+  std::size_t warm_urls = 0;
+  std::uint64_t warm_trips = 0;
+  {
+    const proto::OprfKeyAnswer key = proto::OprfKeyAnswer::decode(
+        proto::expect_reply(oprf_link.exchange(proto::encode_oprf_key_query()),
+                            proto::MsgKind::kOprfKeyAnswer));
+    client::OprfUrlMapper mapper(oprf_link,
+                                 crypto::RsaPublicKey{.n = key.n, .e = key.e},
+                                 config.id_space, /*rng_seed=*/11);
+    std::vector<std::string> urls;
+    for (int id = 0; id < 32; ++id)
+      urls.push_back("https://ad.test/" + std::to_string(id));
+    (void)mapper.map_batch(urls);
+    warm_urls = urls.size();
+    warm_trips = mapper.transport_stats().round_trips();
+  }
+
+  // The swarm and the warm-up were concurrently in flight on the same
+  // fixed thread set — sample it before collecting the stragglers.
+  const std::size_t threads_during = proto::raw::process_threads();
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return done_count == n; });
+  }
   std::size_t acked = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    const auto reply = proto::raw::read_framed(fds[i]);
-    if (reply.empty()) continue;
     try {
-      (void)proto::expect_reply(reply, proto::MsgKind::kAck);
+      if (results[i].error) std::rethrow_exception(results[i].error);
+      (void)proto::expect_reply(results[i].reply, proto::MsgKind::kAck);
       ++acked;
-    } catch (const proto::ProtoError& e) {
+    } catch (const std::exception& e) {
       std::fprintf(stderr, "reporter %zu: %s\n", i, e.what());
     }
   }
@@ -288,28 +378,58 @@ int run_reporters(std::size_t n, const std::string& target_host,
           std::chrono::steady_clock::now() - t0)
           .count();
 
-  // Close the round through the control plane so a --once server exits.
+  // Close the round through the control plane so a --once server exits,
+  // then rebuild the same round in-process: the swarm's aggregate must be
+  // bit-identical to n local submissions of the same synthetic cells.
   const auto missing = remote.missing_participants();
   const server::RoundResult result = remote.finalize_round();
-  for (const int fd : fds) ::close(fd);
+  server::BackendCluster reference(config, kNetShards);
+  reference.begin_round(/*round=*/0, n);
+  for (std::size_t i = 0; i < n; ++i)
+    reference.submit_report(i, reporter_cells(config, i));
+  const server::RoundResult want = reference.finalize_round();
+  const bool identical = results_identical(want, result);
 
-  std::printf("%zu reporter connections: %zu reports sent, %zu acked, "
-              "%zu missing at finalize\n",
-              n, sent, acked, missing.size());
+  const std::size_t client_threads = threads_during - threads_before;
+  const auto counters = reactor.counters();
+  std::printf("%zu reporter connections: %zu acked, %zu missing at "
+              "finalize; OPRF warm-up of %zu URLs in %llu trip(s) "
+              "overlapped the swarm\n",
+              n, acked, missing.size(), warm_urls,
+              static_cast<unsigned long long>(warm_trips));
   std::printf("wall %.1f ms (%.0f connections/s incl. connect+report+ack)\n",
               wall_ms, 1000.0 * static_cast<double>(n) / wall_ms);
+  std::printf("client reactor: %zu shard thread(s) for %llu connections "
+              "(%llu retries, %llu deadline drops, %llu eventfd wakeups)\n",
+              reactor.shards(),
+              static_cast<unsigned long long>(counters.connects_established),
+              static_cast<unsigned long long>(counters.connect_retries),
+              static_cast<unsigned long long>(counters.deadline_drops),
+              static_cast<unsigned long long>(counters.eventfd_wakeups));
+  std::printf("resident client-side threads while driving: %zu "
+              "(= reactor shards; never O(connections))\n",
+              client_threads);
   std::printf("round finalized over the same port: Users_th=%.3f (%u/%u "
-              "reported)\n",
-              result.users_threshold, result.reports, result.roster);
+              "reported), aggregate %s vs in-process reference\n",
+              result.users_threshold, result.reports, result.roster,
+              identical ? "bit-identical" : "MISMATCH");
   if (local != nullptr) {
-    std::printf("resident threads while serving: %zu "
-                "(reactor shards=%zu + acceptor + dispatcher + client "
-                "side; never O(connections))\n",
-                proto::raw::process_threads(), local->server.shards());
+    std::printf("server side: %zu accepted / %llu refused on %zu reactor "
+                "shard(s) + acceptor + %zu dispatch lane(s)\n",
+                static_cast<std::size_t>(
+                    local->server.connections_accepted()),
+                static_cast<unsigned long long>(
+                    local->server.connections_refused()),
+                local->server.shards(), local->dispatcher.lanes());
     local->server.stop();
   }
-  control.close();
-  const bool ok = acked == n && missing.empty() && result.reports == n;
+  const bool threads_ok = client_threads <= reactor.shards() + 1;
+  if (!threads_ok)
+    std::fprintf(stderr,
+                 "FAIL: %zu resident client threads exceed shards + 1\n",
+                 client_threads);
+  const bool ok = acked == n && missing.empty() && result.reports == n &&
+                  identical && threads_ok;
   std::printf("multiplexing check: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }
@@ -317,9 +437,15 @@ int run_reporters(std::size_t n, const std::string& target_host,
 int run_connect(const std::string& host, std::uint16_t port) {
   const server::BackendConfig config = net_config();
 
+  // Both outbound links multiplex on one client-reactor shard; the OPRF
+  // mapper (a sync Transport user) rides a channel through the blocking
+  // adapter, unchanged.
+  proto::ClientReactor reactor({.shards = 1, .backoff_jitter_seed = 7});
+
   // Channel 1: the oprf-server. Key distribution happens in-band — the
   // mapper is bootstrapped from the answer, nothing shared but the address.
-  proto::TcpTransport oprf_link(host, port);
+  auto oprf_ch = reactor.open(host, port);
+  proto::SyncTransportAdapter oprf_link(*oprf_ch);
   const proto::OprfKeyAnswer key = proto::OprfKeyAnswer::decode(
       proto::expect_reply(oprf_link.exchange(proto::encode_oprf_key_query()),
                           proto::MsgKind::kOprfKeyAnswer));
@@ -357,26 +483,24 @@ int run_connect(const std::string& host, std::uint16_t port) {
       /*seed=*/17);
   const server::RoundResult want = ref.run_full_round(0);
 
-  // Channel 2: the remote back-end, driven through the RoundBackend stub.
-  // The coordinator code is the same one the loopback run just used.
-  proto::TcpTransport round_link(host, port);
-  server::RemoteBackend remote(round_link, config);
+  // Channel 2: the remote back-end, driven through the RoundBackend stub
+  // in pipelined mode — report and adjustment submissions go out with
+  // their acks collected in the background, and the protocol's phase
+  // barriers flush. The coordinator code is the same one the loopback run
+  // just used.
+  auto round_ch = reactor.open(host, port);
+  server::RemoteBackend remote(*round_ch, config);
   auto exts_tcp = make_fleet(mapper);
   server::RoundCoordinator live(
       group, std::span<client::BrowserExtension>(exts_tcp), remote,
       /*seed=*/17);
   const server::RoundResult got = live.run_full_round(0);
 
-  const auto want_cells = want.aggregate.cells();
-  const auto got_cells = got.aggregate.cells();
-  bool identical = want_cells.size() == got_cells.size() &&
-                   want.users_threshold == got.users_threshold &&
-                   want.distribution.counts() == got.distribution.counts();
-  for (std::size_t i = 0; identical && i < want_cells.size(); ++i)
-    identical = want_cells[i] == got_cells[i];
+  const bool identical = results_identical(want, got);
 
-  const auto& stats = round_link.stats();
-  std::printf("round over TCP: Users_th=%.3f (%u/%u reported)\n",
+  const auto stats = round_ch->stats();
+  std::printf("round over TCP (async client, pipelined submissions): "
+              "Users_th=%.3f (%u/%u reported)\n",
               got.users_threshold, got.reports, got.roster);
   std::printf("round channel: %llu exchanges, %llu B sent, %llu B received "
               "(envelope bytes; +4 B framing each way per frame)\n",

@@ -1,0 +1,754 @@
+#include "proto/client_reactor.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "proto/backoff.hpp"
+#include "proto/frame_assembler.hpp"
+#include "proto/raw_frame_io.hpp"
+#include "proto/reactor.hpp"
+#include "proto/tcp.hpp"
+
+namespace eyw::proto {
+namespace detail {
+
+namespace {
+
+using Millis = std::chrono::milliseconds;
+
+std::exception_ptr make_error(ErrorCode code, const std::string& what) {
+  return std::make_exception_ptr(ProtoError(code, what));
+}
+
+bool set_nonblocking_quiet(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+/// Exactly-once carrier for a completion crossing into the loop thread.
+/// The normal path take()s the callback inside the posted task; if the
+/// task is instead destroyed unrun (the reactor stopped between post and
+/// dispatch — Reactor::stop drops leftovers promptly), the destructor
+/// fails the exchange, so no completion is ever silently lost.
+struct DoneCarrier {
+  AsyncCompletionFn fn;
+
+  explicit DoneCarrier(AsyncCompletionFn f) : fn(std::move(f)) {}
+  DoneCarrier(const DoneCarrier&) = delete;
+  DoneCarrier& operator=(const DoneCarrier&) = delete;
+
+  [[nodiscard]] AsyncCompletionFn take() {
+    AsyncCompletionFn out;
+    out.swap(fn);
+    return out;
+  }
+
+  ~DoneCarrier() {
+    if (!fn) return;
+    try {
+      fn(AsyncResult{.reply = {},
+                     .error = make_error(ErrorCode::kUnavailable,
+                                         "client reactor stopped")});
+    } catch (...) {
+    }
+  }
+};
+
+}  // namespace
+
+/// One submitted exchange: the framed request bytes, where to deliver the
+/// outcome, and its deadline. Lives in the channel's FIFO until its reply
+/// (or failure) — the framing is strictly request-ordered on both ends, so
+/// the front of the FIFO always owns the next incoming frame.
+struct PendingExchange {
+  std::vector<std::uint8_t> framed;  // 4-byte prefix + envelope
+  AsyncCompletionFn done;
+  Reactor::TimerId deadline = 0;
+  bool deadline_armed = false;
+};
+
+struct Shard {
+  Reactor reactor;
+  /// Loop-thread-owned while running; swept by stop() after the join.
+  std::unordered_map<std::uint64_t, std::shared_ptr<ChannelCore>> channels;
+};
+
+/// All connection state of one channel. Everything below the atomics is
+/// loop-thread-only: the facade marshals submissions in via Reactor::post
+/// and the loop delivers completions out.
+struct ChannelCore : std::enable_shared_from_this<ChannelCore> {
+  ClientReactorImpl* impl = nullptr;
+  /// Keeps the impl (and so the shard loop threads and `impl`/`shard`
+  /// pointers) alive while any facade still holds this core. The cycle
+  /// impl -> shard map -> core -> impl is broken by stop(), which every
+  /// teardown path runs.
+  std::shared_ptr<ClientReactorImpl> keepalive;
+  Shard* shard = nullptr;
+  std::uint64_t id = 0;
+  std::string host;
+  std::uint16_t port = 0;
+
+  // Cross-thread stats (read by ClientChannel::stats()).
+  std::atomic<std::uint64_t> msgs_sent{0};
+  std::atomic<std::uint64_t> msgs_received{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> bytes_received{0};
+
+  // ---- loop-thread state ----
+  enum class St { kDisconnected, kConnecting, kBackoff, kConnected };
+  St st = St::kDisconnected;
+  int fd = -1;
+  std::uint32_t interest = 0;
+  std::deque<PendingExchange> pending;  // FIFO reply correlation
+  std::vector<std::uint8_t> out;        // unsent request bytes
+  std::size_t out_off = 0;
+  FrameAssembler assembler{kMaxTcpFrameBytes};
+
+  // Connect phase.
+  std::vector<sockaddr_storage> addrs;  // resolved once per connect phase
+  std::vector<socklen_t> addr_lens;
+  std::size_t addr_next = 0;
+  int attempts_left = 0;
+  Millis next_backoff{0};
+  std::uint64_t jitter_state = 0;
+  Reactor::TimerId conn_timer = 0;  // connect timeout or backoff delay
+  bool conn_timer_armed = false;
+  /// The last facade reference is gone: reap (close the socket, leave the
+  /// shard map) as soon as the pending queue drains — in-flight
+  /// completions still fire first, per the ClientChannel contract.
+  bool released = false;
+};
+
+struct ClientReactorImpl {
+  ClientReactorOptions options;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::atomic<std::uint64_t> next_channel{1};
+  std::atomic<std::size_t> rr{0};
+  std::mutex stop_mu;
+  bool stop_done = false;
+
+  std::atomic<std::uint64_t> connects_attempted{0};
+  std::atomic<std::uint64_t> connects_established{0};
+  std::atomic<std::uint64_t> connect_retries{0};
+  std::atomic<std::uint64_t> exchanges_started{0};
+  std::atomic<std::uint64_t> exchanges_completed{0};
+  std::atomic<std::uint64_t> exchanges_failed{0};
+  std::atomic<std::uint64_t> deadline_drops{0};
+
+  explicit ClientReactorImpl(ClientReactorOptions opts)
+      : options(std::move(opts)) {
+    if (options.shards == 0) options.shards = 1;
+    if (options.connect_attempts < 1)
+      throw std::invalid_argument("ClientReactor: connect_attempts < 1");
+    shards.reserve(options.shards);
+    for (std::size_t i = 0; i < options.shards; ++i) {
+      auto shard = std::make_unique<Shard>();
+      shard->reactor.start();
+      shards.push_back(std::move(shard));
+    }
+  }
+
+  ~ClientReactorImpl() { stop(); }
+
+  void stop() {
+    std::lock_guard<std::mutex> lock(stop_mu);
+    if (stop_done) return;
+    stop_done = true;
+    // Joining the loops first makes the channel maps single-owner again;
+    // the pending completions then fire from this thread.
+    for (auto& shard : shards) shard->reactor.stop();
+    for (auto& shard : shards) {
+      for (auto& [id, core] : shard->channels) {
+        for (PendingExchange& ex : core->pending)
+          deliver_error(*core, ex,
+                        make_error(ErrorCode::kUnavailable,
+                                   "client reactor stopped"));
+        core->pending.clear();
+        if (core->fd >= 0) {
+          ::close(core->fd);
+          core->fd = -1;
+        }
+      }
+      shard->channels.clear();
+    }
+  }
+
+  // --------------------------------------------------------- loop thread
+
+  void deliver_ok(ChannelCore& core, PendingExchange& ex,
+                  std::vector<std::uint8_t> reply) {
+    exchanges_completed.fetch_add(1, std::memory_order_relaxed);
+    if (!reply.empty()) {
+      core.msgs_received.fetch_add(1, std::memory_order_relaxed);
+      core.bytes_received.fetch_add(reply.size(), std::memory_order_relaxed);
+    }
+    if (!ex.done) return;
+    try {
+      ex.done(AsyncResult{.reply = std::move(reply), .error = nullptr});
+    } catch (...) {
+      // A throwing completion never takes down the loop (same policy as
+      // every other reactor callback).
+    }
+  }
+
+  void deliver_error(ChannelCore& /*core*/, PendingExchange& ex,
+                     std::exception_ptr err) {
+    exchanges_failed.fetch_add(1, std::memory_order_relaxed);
+    if (!ex.done) return;
+    try {
+      ex.done(AsyncResult{.reply = {}, .error = std::move(err)});
+    } catch (...) {
+    }
+  }
+
+  void disarm_deadline(ChannelCore& core, PendingExchange& ex) {
+    if (!ex.deadline_armed) return;
+    core.shard->reactor.cancel_deadline(ex.deadline);
+    ex.deadline_armed = false;
+  }
+
+  void disarm_conn_timer(ChannelCore& core) {
+    if (!core.conn_timer_armed) return;
+    core.shard->reactor.cancel_deadline(core.conn_timer);
+    core.conn_timer_armed = false;
+  }
+
+  /// Tear down the connection and fail every pending exchange. Leaves the
+  /// channel kDisconnected — the next exchange reconnects (or, if the
+  /// facade is gone, the emptied channel is reaped).
+  void fail_all(const std::shared_ptr<ChannelCore>& core,
+                std::exception_ptr err) {
+    disarm_conn_timer(*core);
+    drop_socket(*core);
+    std::deque<PendingExchange> doomed;
+    doomed.swap(core->pending);
+    for (PendingExchange& ex : doomed) {
+      disarm_deadline(*core, ex);
+      deliver_error(*core, ex, err);
+    }
+    maybe_reap(core);
+  }
+
+  /// Complete every pending exchange with an empty reply (responses lost:
+  /// the peer closed cleanly before answering — same surfacing as a
+  /// dropped loopback response).
+  void complete_all_empty(const std::shared_ptr<ChannelCore>& core) {
+    disarm_conn_timer(*core);
+    drop_socket(*core);
+    std::deque<PendingExchange> orphaned;
+    orphaned.swap(core->pending);
+    for (PendingExchange& ex : orphaned) {
+      disarm_deadline(*core, ex);
+      deliver_ok(*core, ex, {});
+    }
+    maybe_reap(core);
+  }
+
+  void drop_socket(ChannelCore& core) {
+    if (core.fd >= 0) {
+      core.shard->reactor.remove_fd(core.fd);
+      ::close(core.fd);
+      core.fd = -1;
+    }
+    core.st = ChannelCore::St::kDisconnected;
+    core.interest = 0;
+    core.out.clear();
+    core.out_off = 0;
+    core.assembler = FrameAssembler{kMaxTcpFrameBytes};
+  }
+
+  /// A released channel whose completions have all fired is dead state:
+  /// close its socket and drop it from the shard map (breaking the
+  /// core->keepalive cycle for this core).
+  void maybe_reap(const std::shared_ptr<ChannelCore>& core) {
+    if (!core->released || !core->pending.empty()) return;
+    disarm_conn_timer(*core);
+    drop_socket(*core);
+    core->shard->channels.erase(core->id);
+  }
+
+  void submit(const std::shared_ptr<ChannelCore>& core,
+              std::vector<std::uint8_t> frame, AsyncCompletionFn done) {
+    ChannelCore& c = *core;
+    exchanges_started.fetch_add(1, std::memory_order_relaxed);
+    c.msgs_sent.fetch_add(1, std::memory_order_relaxed);
+    c.bytes_sent.fetch_add(frame.size(), std::memory_order_relaxed);
+    // Until the exchange is in the pending FIFO, its completion is only
+    // reachable through `ex` — an allocation failure here must fail it
+    // directly, not vanish into the loop's exception backstop. (The
+    // push_back can only throw from allocation: PendingExchange's move is
+    // noexcept, so `ex` stays intact.)
+    PendingExchange ex;
+    ex.done = std::move(done);
+    try {
+      ex.framed = raw::with_prefix(frame);
+      c.pending.push_back(std::move(ex));
+    } catch (...) {
+      deliver_error(c, ex, std::current_exception());
+      return;
+    }
+    // From here pending owns it: any failure below fails the channel,
+    // which completes every pending exchange — nothing can be stranded
+    // unsent with no deadline armed.
+    try {
+      switch (c.st) {
+        case ChannelCore::St::kDisconnected:
+          begin_connect_phase(core);
+          break;
+        case ChannelCore::St::kConnecting:
+        case ChannelCore::St::kBackoff:
+          break;  // queued; flushed (and deadline-armed) once connected
+        case ChannelCore::St::kConnected: {
+          PendingExchange& queued = c.pending.back();
+          c.out.insert(c.out.end(), queued.framed.begin(),
+                       queued.framed.end());
+          // The request bytes now live in the out buffer and exchanges
+          // are never replayed — keeping the copy would double peak
+          // memory across a swarm's in-flight frames.
+          queued.framed = {};
+          arm_exchange_deadline(core, queued);
+          pump(core);
+          break;
+        }
+      }
+    } catch (...) {
+      fail_all(core, std::current_exception());
+    }
+  }
+
+  void arm_exchange_deadline(const std::shared_ptr<ChannelCore>& core,
+                             PendingExchange& ex) {
+    // deque references stay valid across push_back/pop_front, and a
+    // cancelled timer can never fire, so &ex is safe for the armed
+    // lifetime of this deadline.
+    PendingExchange* target = &ex;
+    ex.deadline = core->shard->reactor.add_deadline(
+        options.io_timeout, [this, weak = std::weak_ptr(core), target] {
+          const auto locked = weak.lock();
+          if (!locked || !target->deadline_armed) return;
+          // Spent timer: unarm before fail_all so it is not re-cancelled.
+          target->deadline_armed = false;
+          deadline_drops.fetch_add(1, std::memory_order_relaxed);
+          fail_all(locked,
+                   make_error(ErrorCode::kInternal,
+                              "client exchange: deadline expired"));
+        });
+    ex.deadline_armed = true;
+  }
+
+  // ------------------------------------------------------------- connect
+
+  void begin_connect_phase(const std::shared_ptr<ChannelCore>& core) {
+    ChannelCore& c = *core;
+    c.attempts_left = options.connect_attempts;
+    c.next_backoff = options.connect_backoff;
+    // Re-resolve per phase: a reconnect after failover must not chase a
+    // stale address list (TcpTransport resolves on every attempt).
+    c.addrs.clear();
+    c.addr_lens.clear();
+    c.addr_next = 0;
+    start_connect(core);
+  }
+
+  bool resolve(ChannelCore& c) {
+    if (!c.addrs.empty()) return true;
+    struct addrinfo hints {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* res = nullptr;
+    const std::string service = std::to_string(c.port);
+    if (::getaddrinfo(c.host.c_str(), service.c_str(), &hints, &res) != 0 ||
+        res == nullptr)
+      return false;
+    for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+      sockaddr_storage ss{};
+      std::memcpy(&ss, ai->ai_addr, ai->ai_addrlen);
+      c.addrs.push_back(ss);
+      c.addr_lens.push_back(ai->ai_addrlen);
+    }
+    ::freeaddrinfo(res);
+    return !c.addrs.empty();
+  }
+
+  void start_connect(const std::shared_ptr<ChannelCore>& core) {
+    ChannelCore& c = *core;
+    connects_attempted.fetch_add(1, std::memory_order_relaxed);
+    if (!resolve(c)) {
+      retry_or_fail(core);
+      return;
+    }
+    const std::size_t slot = c.addr_next++ % c.addrs.size();
+    const auto* addr = reinterpret_cast<const sockaddr*>(&c.addrs[slot]);
+    const int fd = ::socket(addr->sa_family, SOCK_STREAM, 0);
+    if (fd < 0 || !set_nonblocking_quiet(fd)) {
+      if (fd >= 0) ::close(fd);
+      retry_or_fail(core);
+      return;
+    }
+    const int rv = ::connect(fd, addr, c.addr_lens[slot]);
+    if (rv == 0) {
+      c.fd = fd;
+      register_connecting(core);  // on_connected via the EPOLLOUT it gets
+      return;
+    }
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      retry_or_fail(core);
+      return;
+    }
+    c.fd = fd;
+    register_connecting(core);
+  }
+
+  void register_connecting(const std::shared_ptr<ChannelCore>& core) {
+    ChannelCore& c = *core;
+    c.st = ChannelCore::St::kConnecting;
+    try {
+      c.shard->reactor.add_fd(
+          c.fd, EPOLLOUT, [this, weak = std::weak_ptr(core)](
+                              std::uint32_t events) {
+            if (const auto locked = weak.lock()) on_event(locked, events);
+          });
+      c.interest = EPOLLOUT;
+    } catch (const ProtoError&) {
+      ::close(c.fd);
+      c.fd = -1;
+      retry_or_fail(core);
+      return;
+    }
+    c.conn_timer = c.shard->reactor.add_deadline(
+        options.connect_timeout, [this, weak = std::weak_ptr(core)] {
+          const auto locked = weak.lock();
+          if (!locked || !locked->conn_timer_armed) return;
+          locked->conn_timer_armed = false;
+          // Attempt timed out: drop the half-open socket and retry.
+          drop_socket(*locked);
+          retry_or_fail(locked);
+        });
+    c.conn_timer_armed = true;
+  }
+
+  void retry_or_fail(const std::shared_ptr<ChannelCore>& core) {
+    ChannelCore& c = *core;
+    if (--c.attempts_left <= 0) {
+      fail_all(core, make_error(ErrorCode::kInternal,
+                             "client connect to " + c.host + ":" +
+                                 std::to_string(c.port) + " failed after " +
+                                 std::to_string(options.connect_attempts) +
+                                 " attempts"));
+      return;
+    }
+    connect_retries.fetch_add(1, std::memory_order_relaxed);
+    const Millis delay = jittered_backoff(c.next_backoff, c.jitter_state);
+    c.next_backoff *= 2;
+    c.st = ChannelCore::St::kBackoff;
+    c.conn_timer = c.shard->reactor.add_deadline(
+        delay, [this, weak = std::weak_ptr(core)] {
+          const auto locked = weak.lock();
+          if (!locked || !locked->conn_timer_armed) return;
+          locked->conn_timer_armed = false;
+          start_connect(locked);
+        });
+    c.conn_timer_armed = true;
+  }
+
+  void on_connected(const std::shared_ptr<ChannelCore>& core) {
+    ChannelCore& c = *core;
+    disarm_conn_timer(c);
+    connects_established.fetch_add(1, std::memory_order_relaxed);
+    if (options.tcp_nodelay) {
+      const int one = 1;
+      (void)::setsockopt(c.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    c.st = ChannelCore::St::kConnected;
+    // Flush everything queued during the connect phase; each exchange's
+    // io_timeout clock starts now (the connect phase had its own bound).
+    // Guarded: a mid-flush allocation failure must fail the channel (and
+    // so complete every queued exchange), not leave some with no bytes
+    // out and no deadline armed.
+    try {
+      for (PendingExchange& ex : c.pending) {
+        c.out.insert(c.out.end(), ex.framed.begin(), ex.framed.end());
+        ex.framed = {};  // flushed; never replayed (see submit())
+        arm_exchange_deadline(core, ex);
+      }
+      pump(core);
+    } catch (...) {
+      fail_all(core, std::current_exception());
+    }
+  }
+
+  // ----------------------------------------------------- connected I/O
+
+  void on_event(const std::shared_ptr<ChannelCore>& core,
+                std::uint32_t events) {
+    ChannelCore& c = *core;
+    if (c.st == ChannelCore::St::kConnecting) {
+      if (events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if ((events & (EPOLLERR | EPOLLHUP)) ||
+            ::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+            err != 0) {
+          disarm_conn_timer(c);
+          drop_socket(c);
+          retry_or_fail(core);
+          return;
+        }
+        on_connected(core);
+      }
+      return;
+    }
+    if (c.st != ChannelCore::St::kConnected) return;
+    if (events & EPOLLERR) {
+      fail_all(core,
+               make_error(ErrorCode::kInternal, "client socket error"));
+      return;
+    }
+    if (events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) {
+      if (!read_some(core)) return;  // channel torn down
+    }
+    if (c.st == ChannelCore::St::kConnected) pump(core);
+  }
+
+  /// Drain replies, bounded per event like the server side. Returns false
+  /// when the channel was torn down (EOF or error).
+  bool read_some(const std::shared_ptr<ChannelCore>& core) {
+    ChannelCore& c = *core;
+    std::uint8_t buf[16384];
+    for (int burst = 0; burst < 16; ++burst) {
+      const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        if (!c.assembler.feed(std::span<const std::uint8_t>(
+                buf, static_cast<std::size_t>(n)))) {
+          fail_all(core,
+                   make_error(ErrorCode::kOversized,
+                              "client recv: declared length above cap"));
+          return false;
+        }
+        if (!drain_replies(core)) return false;
+        continue;
+      }
+      if (n == 0) {
+        on_eof(core);
+        return false;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      fail_all(core, make_error(ErrorCode::kInternal,
+                                std::string("client recv: ") +
+                                    std::strerror(errno)));
+      return false;
+    }
+    return true;
+  }
+
+  bool drain_replies(const std::shared_ptr<ChannelCore>& core) {
+    ChannelCore& c = *core;
+    while (auto frame = c.assembler.next()) {
+      if (c.pending.empty()) {
+        // A reply nobody asked for: the stream is not speaking our
+        // protocol; nothing pending means nothing to fail beyond the
+        // connection itself.
+        fail_all(core, make_error(ErrorCode::kInternal,
+                                  "client recv: unsolicited reply"));
+        return false;
+      }
+      PendingExchange ex = std::move(c.pending.front());
+      c.pending.pop_front();
+      disarm_deadline(c, ex);
+      deliver_ok(c, ex, std::move(*frame));
+    }
+    maybe_reap(core);
+    // The reap (released facade, queue drained) closes the socket; tell
+    // read_some to stop. A released channel still awaiting replies keeps
+    // reading.
+    return c.fd >= 0;
+  }
+
+  void on_eof(const std::shared_ptr<ChannelCore>& core) {
+    ChannelCore& c = *core;
+    if (c.assembler.mid_frame() && !c.pending.empty()) {
+      // The head reply was truncated mid-frame; everything behind it is a
+      // lost response.
+      PendingExchange head = std::move(c.pending.front());
+      c.pending.pop_front();
+      disarm_deadline(c, head);
+      deliver_error(c, head,
+                    make_error(ErrorCode::kTruncated,
+                               "client recv: peer closed mid-frame"));
+    }
+    complete_all_empty(core);
+  }
+
+  void pump(const std::shared_ptr<ChannelCore>& core) {
+    ChannelCore& c = *core;
+    while (c.out_off < c.out.size()) {
+      const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                               c.out.size() - c.out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      fail_all(core, make_error(ErrorCode::kInternal,
+                                std::string("client send: ") +
+                                    std::strerror(errno)));
+      return;
+    }
+    if (c.out_off >= c.out.size()) {
+      c.out.clear();
+      c.out_off = 0;
+    }
+    update_interest(core);
+  }
+
+  void update_interest(const std::shared_ptr<ChannelCore>& core) {
+    ChannelCore& c = *core;
+    std::uint32_t want = EPOLLIN | EPOLLRDHUP;
+    if (c.out_off < c.out.size()) want |= EPOLLOUT;
+    if (want == c.interest) return;
+    try {
+      c.shard->reactor.modify_fd(c.fd, want);
+      c.interest = want;
+    } catch (const ProtoError&) {
+      fail_all(core, make_error(ErrorCode::kInternal,
+                                "client epoll interest update failed"));
+    }
+  }
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------- ClientChannel
+
+ClientChannel::ClientChannel(std::shared_ptr<detail::ChannelCore> core)
+    : core_(std::move(core)) {}
+
+void ClientChannel::exchange_async(std::vector<std::uint8_t> frame,
+                                   AsyncCompletionFn done) {
+  if (frame.size() > kMaxTcpFrameBytes) {
+    if (done)
+      done(AsyncResult{
+          .reply = {},
+          .error = std::make_exception_ptr(
+              ProtoError(ErrorCode::kOversized,
+                         "client send: frame above cap"))});
+    return;
+  }
+  auto carrier = std::make_shared<detail::DoneCarrier>(std::move(done));
+  detail::ClientReactorImpl* impl = core_->impl;
+  (void)core_->shard->reactor.post(
+      [impl, core = core_, f = std::move(frame), carrier]() mutable {
+        impl->submit(core, std::move(f), carrier->take());
+      });
+  // A refused post destroys the closure immediately; either way the
+  // carrier guarantees the completion fires exactly once.
+}
+
+void ClientChannel::close() {
+  detail::ClientReactorImpl* impl = core_->impl;
+  (void)core_->shard->reactor.post([impl, core = core_] {
+    impl->fail_all(core, std::make_exception_ptr(ProtoError(
+                             ErrorCode::kInternal, "channel closed")));
+  });
+}
+
+ClientChannel::~ClientChannel() {
+  // Mark the core released on its loop thread; it is reaped (socket
+  // closed, shard-map entry erased) as soon as the last in-flight
+  // completion has fired. A refused post means the reactor stopped — its
+  // stop() sweep owns the cleanup.
+  detail::ClientReactorImpl* impl = core_->impl;
+  (void)core_->shard->reactor.post([impl, core = core_] {
+    core->released = true;
+    impl->maybe_reap(core);
+  });
+}
+
+TransportStats ClientChannel::stats() const {
+  TransportStats s;
+  s.messages_sent = core_->msgs_sent.load(std::memory_order_relaxed);
+  s.messages_received = core_->msgs_received.load(std::memory_order_relaxed);
+  s.bytes_sent = core_->bytes_sent.load(std::memory_order_relaxed);
+  s.bytes_received = core_->bytes_received.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------- ClientReactor
+
+ClientReactor::ClientReactor(ClientReactorOptions options)
+    : impl_(std::make_shared<detail::ClientReactorImpl>(std::move(options))) {
+}
+
+ClientReactor::~ClientReactor() {
+  if (impl_) impl_->stop();
+}
+
+std::shared_ptr<ClientChannel> ClientReactor::open(std::string host,
+                                                   std::uint16_t port) {
+  const std::uint64_t id =
+      impl_->next_channel.fetch_add(1, std::memory_order_relaxed);
+  detail::Shard* shard =
+      impl_->shards[impl_->rr.fetch_add(1, std::memory_order_relaxed) %
+                    impl_->shards.size()]
+          .get();
+  auto core = std::make_shared<detail::ChannelCore>();
+  core->impl = impl_.get();
+  core->keepalive = impl_;
+  core->shard = shard;
+  core->id = id;
+  core->host = std::move(host);
+  core->port = port;
+  // Independent deterministic jitter stream per channel: a swarm opened
+  // from one seed still spreads its reconnects.
+  core->jitter_state = impl_->options.backoff_jitter_seed ^
+                       (id * 0x9e3779b97f4a7c15ull);
+  (void)shard->reactor.post([shard, core] {
+    shard->channels.emplace(core->id, core);
+  });
+  return std::shared_ptr<ClientChannel>(new ClientChannel(std::move(core)));
+}
+
+void ClientReactor::stop() { impl_->stop(); }
+
+std::size_t ClientReactor::shards() const noexcept {
+  return impl_->shards.size();
+}
+
+ClientReactorCounters ClientReactor::counters() const {
+  ClientReactorCounters c;
+  c.connects_attempted =
+      impl_->connects_attempted.load(std::memory_order_relaxed);
+  c.connects_established =
+      impl_->connects_established.load(std::memory_order_relaxed);
+  c.connect_retries = impl_->connect_retries.load(std::memory_order_relaxed);
+  c.exchanges_started =
+      impl_->exchanges_started.load(std::memory_order_relaxed);
+  c.exchanges_completed =
+      impl_->exchanges_completed.load(std::memory_order_relaxed);
+  c.exchanges_failed =
+      impl_->exchanges_failed.load(std::memory_order_relaxed);
+  c.deadline_drops = impl_->deadline_drops.load(std::memory_order_relaxed);
+  for (const auto& shard : impl_->shards)
+    c.eventfd_wakeups += shard->reactor.eventfd_wakeups();
+  return c;
+}
+
+}  // namespace eyw::proto

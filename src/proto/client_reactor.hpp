@@ -1,0 +1,147 @@
+// The outbound half of the reactor transport: one process driving
+// thousands of simultaneous client connections on a fixed thread budget.
+//
+// PR 4 put the *server* on an epoll reactor; every outbound link still
+// cost a blocking thread (TcpTransport parks its caller for the whole
+// exchange), so nothing could realistically play a paper-scale reporter
+// population from one process. ClientReactor closes that gap: N reactor
+// shards (event-loop threads) multiplex any number of ClientChannels, each
+// channel a non-blocking outbound connection with
+//   * non-blocking connect with retry + deterministic jittered backoff
+//     (proto/backoff.hpp — a swarm must not reconnect in lockstep waves);
+//   * pipelined exchanges: any number in flight on one connection,
+//     replies correlated to requests in submission order (the framing is
+//     strictly request-ordered on both ends, so FIFO correlation is exact);
+//   * a per-exchange deadline on the shard's timing wheel — a dead or
+//     stalled peer fails the exchange instead of pinning it forever;
+//   * the AsyncTransport API: exchange_async(frame, done) from any thread,
+//     completion delivered from the shard's loop thread.
+//
+// Error surface mirrors TcpTransport exactly (docs/protocol.md, "Transport
+// bindings"): peer closes before answering -> empty reply (lost response),
+// mid-frame close -> kTruncated, declared length above cap -> kOversized,
+// connect failure / I/O error / deadline -> kInternal. A failed exchange is
+// never silently replayed; the connection is torn down and the next
+// exchange reconnects (fresh attempt budget), exactly like the blocking
+// client. Sync callers keep working bit-for-bit through
+// proto::SyncTransportAdapter.
+//
+// Threading contract: exchange_async/close are safe from any thread
+// (including inside a completion); completions run on the channel's loop
+// thread and must not block — in particular, never drive a
+// SyncTransportAdapter from inside a completion.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "proto/transport.hpp"
+
+namespace eyw::proto {
+
+struct ClientReactorOptions {
+  /// Event-loop threads the channels are sharded across (round-robin).
+  /// Resident client-side threads == shards, independent of channel count.
+  std::size_t shards = 1;
+  /// Bounds one connect attempt; attempts * (timeout + backoff) bounds the
+  /// whole connect phase of an exchange.
+  std::chrono::milliseconds connect_timeout{2'000};
+  /// Per-exchange deadline: submission (or connection established, for
+  /// exchanges queued while connecting) to reply.
+  std::chrono::milliseconds io_timeout{30'000};
+  /// Connection attempts per connect phase; the base delay doubles after
+  /// each failure and each delay is jittered into [d/2, 3d/2].
+  int connect_attempts = 6;
+  std::chrono::milliseconds connect_backoff{50};
+  /// Seed of the backoff jitter stream; each channel derives its own
+  /// deterministic stream from seed ^ channel id.
+  std::uint64_t backoff_jitter_seed = 1;
+  bool tcp_nodelay = true;
+};
+
+/// Aggregate accounting across every channel of one ClientReactor. The
+/// counter names mirror the server-side ReactorCounters so a swarm run can
+/// be audited end to end (client connects_established == server accepted,
+/// client deadline_drops == exchanges the client gave up on, ...).
+struct ClientReactorCounters {
+  std::uint64_t connects_attempted = 0;
+  std::uint64_t connects_established = 0;
+  /// Backoff waits scheduled (failed attempts that were retried).
+  std::uint64_t connect_retries = 0;
+  std::uint64_t exchanges_started = 0;
+  std::uint64_t exchanges_completed = 0;  // completion fired without error
+  std::uint64_t exchanges_failed = 0;     // completion fired with an error
+  /// Exchanges failed by their io_timeout deadline (subset of failed);
+  /// each also tears down its connection — the stream past a timed-out
+  /// reply is unsynchronizable.
+  std::uint64_t deadline_drops = 0;
+  /// Cross-thread loop wakeups (exchange submissions and completions
+  /// marshalled over the shards' eventfds).
+  std::uint64_t eventfd_wakeups = 0;
+};
+
+namespace detail {
+struct ClientReactorImpl;
+struct ChannelCore;
+}  // namespace detail
+
+/// One outbound connection multiplexed on a ClientReactor shard. Obtained
+/// from ClientReactor::open(); connects lazily on the first exchange and
+/// reconnects (with backoff) after any failure, like TcpTransport. Safe to
+/// destroy with exchanges in flight — their completions still fire, and
+/// once the last of them has, the connection and all per-channel state
+/// are reclaimed (a long-lived reactor can open channels freely without
+/// accumulating sockets).
+class ClientChannel final : public AsyncTransport {
+ public:
+  ~ClientChannel() override;
+
+  void exchange_async(std::vector<std::uint8_t> frame,
+                      AsyncCompletionFn done) override;
+
+  /// Tear down the connection, failing every in-flight exchange with
+  /// kInternal. The next exchange reconnects.
+  void close();
+
+  /// Envelope-byte accounting, same semantics as Transport::stats():
+  /// sent counted per accepted exchange, received per non-empty reply.
+  [[nodiscard]] TransportStats stats() const;
+
+ private:
+  friend class ClientReactor;
+  explicit ClientChannel(std::shared_ptr<detail::ChannelCore> core);
+
+  std::shared_ptr<detail::ChannelCore> core_;
+};
+
+/// N event-loop shards multiplexing outbound channels. stop() (or
+/// destruction) fails every pending exchange with kUnavailable and joins
+/// the shard threads; channels outliving the reactor fail exchanges fast.
+class ClientReactor {
+ public:
+  explicit ClientReactor(ClientReactorOptions options = {});
+  ~ClientReactor();
+
+  ClientReactor(const ClientReactor&) = delete;
+  ClientReactor& operator=(const ClientReactor&) = delete;
+
+  /// Open a channel to host:port (numeric / loopback addresses resolve on
+  /// the loop thread — keep DNS out of a swarm's hot path). Channels are
+  /// assigned to shards round-robin.
+  [[nodiscard]] std::shared_ptr<ClientChannel> open(std::string host,
+                                                    std::uint16_t port);
+
+  void stop();
+
+  /// Shards actually running (resolves option 0 to 1).
+  [[nodiscard]] std::size_t shards() const noexcept;
+
+  [[nodiscard]] ClientReactorCounters counters() const;
+
+ private:
+  std::shared_ptr<detail::ClientReactorImpl> impl_;
+};
+
+}  // namespace eyw::proto

@@ -195,6 +195,14 @@ std::optional<MsgKind> peek_kind(
   return static_cast<MsgKind>(kind);
 }
 
+std::optional<std::uint32_t> peek_sender(
+    std::span<const std::uint8_t> frame) noexcept {
+  // Valid exactly when peek_kind is: same header, sender at offset 8.
+  if (!peek_kind(frame)) return std::nullopt;
+  return static_cast<std::uint32_t>(frame[8]) | (frame[9] << 8) |
+         (frame[10] << 16) | (static_cast<std::uint32_t>(frame[11]) << 24);
+}
+
 // ------------------------------------------------------------ RosterAnnounce
 
 std::vector<std::uint8_t> RosterAnnounce::encode(std::uint64_t round) const {

@@ -98,6 +98,14 @@ inline constexpr std::size_t kEnvelopeHeaderBytes = 4 + 2 + 2 + 4 + 8 + 4;
 [[nodiscard]] std::optional<MsgKind> peek_kind(
     std::span<const std::uint8_t> frame) noexcept;
 
+/// Read just the sender from an envelope's fixed header — no payload copy,
+/// no throw; empty under the same conditions as peek_kind. The sender is
+/// authoritative for submission routing (participant == envelope sender is
+/// enforced at decode), so this is what a sharded dispatcher keys its lane
+/// choice on.
+[[nodiscard]] std::optional<std::uint32_t> peek_sender(
+    std::span<const std::uint8_t> frame) noexcept;
+
 // ---------------------------------------------------------------- messages
 // Each message encodes itself into a complete envelope and decodes from a
 // validated Envelope (throwing ProtoError on kind mismatch or a malformed

@@ -42,13 +42,17 @@ inline std::vector<std::uint8_t> with_prefix(
   return out;
 }
 
-/// Write all of `bytes` to a blocking fd. False on any send failure.
+/// Write all of `bytes` to a blocking fd. False on any send failure. A
+/// signal landing mid-write (EINTR) restarts the send at the current
+/// offset — only a real error or a closed peer aborts. The EINTR check is
+/// gated on n < 0: errno is only meaningful after a failing call, and a
+/// stale EINTR must not turn a zero-progress return into a spin.
 inline bool send_all(int fd, std::span<const std::uint8_t> bytes) {
   std::size_t off = 0;
   while (off < bytes.size()) {
     const ssize_t n =
         ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
-    if (n <= 0 && errno == EINTR) continue;
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     off += static_cast<std::size_t>(n);
   }

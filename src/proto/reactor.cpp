@@ -58,6 +58,15 @@ void Reactor::stop() {
   const std::uint64_t one = 1;
   (void)!::write(event_fd_, &one, sizeof(one));
   if (thread_.joinable()) thread_.join();
+  // Tasks that raced in before the stop flag but after the loop's last
+  // drain are dropped *here*, not at destruction: a dropped closure may
+  // carry cleanup in its captures (an fd guard, an exchange completion)
+  // that the poster needs to run promptly, inside its own stop sequence.
+  std::vector<Task> dropped;
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    dropped.swap(tasks_);
+  }
 }
 
 void Reactor::add_fd(int fd, std::uint32_t events, EventFn fn) {
@@ -193,6 +202,7 @@ void Reactor::loop() {
       if (fd == event_fd_) {
         std::uint64_t drain = 0;
         (void)!::read(event_fd_, &drain, sizeof(drain));
+        wakeups_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       const auto it = handlers_.find(fd);

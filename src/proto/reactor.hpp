@@ -70,6 +70,14 @@ class Reactor {
   TimerId add_deadline(std::chrono::milliseconds delay, Task fn);
   void cancel_deadline(TimerId id);
 
+  /// Times the loop was woken through the eventfd (posted tasks and
+  /// stop()), i.e. cross-thread wakeups as opposed to fd readiness or
+  /// deadline expiry. Exposed so transport stats can show how much
+  /// cross-thread marshalling a workload causes.
+  [[nodiscard]] std::uint64_t eventfd_wakeups() const noexcept {
+    return wakeups_.load(std::memory_order_relaxed);
+  }
+
   static constexpr std::size_t kWheelSlots = 256;
   static constexpr std::chrono::milliseconds kTickMs{10};
 
@@ -93,6 +101,7 @@ class Reactor {
   std::vector<Task> tasks_;
   bool stopped_ = false;
   std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> wakeups_{0};
 
   // Loop-thread-only state.
   std::unordered_map<int, EventFn> handlers_;

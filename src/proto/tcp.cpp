@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "proto/backoff.hpp"
 #include "proto/frame_assembler.hpp"
 #include "proto/reactor.hpp"
 
@@ -209,7 +210,10 @@ int connect_once(const std::string& host, std::uint16_t port, Millis timeout,
 
 TcpTransport::TcpTransport(std::string host, std::uint16_t port,
                            TcpOptions options)
-    : host_(std::move(host)), port_(port), options_(options) {
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      jitter_state_(options.backoff_jitter_seed) {
   if (options_.connect_attempts < 1)
     throw std::invalid_argument("TcpTransport: connect_attempts < 1");
 }
@@ -228,7 +232,9 @@ void TcpTransport::ensure_connected() {
   Millis backoff = options_.connect_backoff;
   for (int attempt = 0; attempt < options_.connect_attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(backoff);
+      // Jittered so a reporter swarm losing its server does not retry in
+      // synchronized waves; deterministic per seed (proto/backoff.hpp).
+      std::this_thread::sleep_for(jittered_backoff(backoff, jitter_state_));
       backoff *= 2;
     }
     fd_ = connect_once(host_, port_, options_.connect_timeout,
@@ -362,6 +368,7 @@ struct FrameServer::Impl {
   std::atomic<std::size_t> active{0};
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<std::uint64_t> refused{0};
+  std::atomic<std::uint64_t> deadline_drops{0};
 
   Impl(AsyncFrameHandler h, FrameServerOptions opts)
       : handler(std::move(h)), options(std::move(opts)) {
@@ -732,6 +739,7 @@ struct FrameServer::Impl {
           // not re-cancelled (a cancel for an id no longer in the wheel
           // would pin an entry in the reactor's cancelled-set forever).
           it->second->deadline_armed = false;
+          deadline_drops.fetch_add(1, std::memory_order_relaxed);
           close_conn(*sp, fd);  // stalled mid-frame or unread reply
         });
     c.deadline_armed = true;
@@ -752,15 +760,22 @@ struct FrameServer::Impl {
     }
   }
 
-  [[nodiscard]] TransportStats stats() const {
-    TransportStats total;
+  [[nodiscard]] FrameServerStats stats() const {
+    FrameServerStats total;
     for (const auto& shard : shards) {
       total.messages_received +=
           shard->msgs_in.load(std::memory_order_relaxed);
       total.messages_sent += shard->msgs_out.load(std::memory_order_relaxed);
       total.bytes_received += shard->bytes_in.load(std::memory_order_relaxed);
       total.bytes_sent += shard->bytes_out.load(std::memory_order_relaxed);
+      total.reactor.eventfd_wakeups += shard->reactor.eventfd_wakeups();
     }
+    total.reactor.connections_accepted =
+        accepted.load(std::memory_order_relaxed);
+    total.reactor.connections_refused =
+        refused.load(std::memory_order_relaxed);
+    total.reactor.deadline_drops =
+        deadline_drops.load(std::memory_order_relaxed);
     return total;
   }
 };
@@ -806,7 +821,7 @@ std::uint16_t FrameServer::port() const noexcept { return impl_->port; }
 
 void FrameServer::stop() { impl_->stop(); }
 
-TransportStats FrameServer::stats() const { return impl_->stats(); }
+FrameServerStats FrameServer::stats() const { return impl_->stats(); }
 
 std::size_t FrameServer::active_connections() const noexcept {
   return impl_->active.load(std::memory_order_relaxed);

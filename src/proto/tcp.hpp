@@ -54,6 +54,12 @@ struct TcpOptions {
   /// doubles after each failure. Lets a client start before its server.
   int connect_attempts = 6;
   std::chrono::milliseconds connect_backoff{50};
+  /// Seed of the deterministic jitter applied to each backoff delay
+  /// (proto/backoff.hpp: each wait lands in [d/2, 3d/2]). Reporters in a
+  /// swarm should each use a distinct seed so a lost server is not greeted
+  /// by synchronized reconnect waves; the fixed default keeps single-link
+  /// tests reproducible.
+  std::uint64_t backoff_jitter_seed = 1;
   /// Disable Nagle on the connection (request/reply traffic is one small
   /// segment each way; coalescing only adds latency). Off exists for the
   /// before/after row in bench_overhead_privacy — see docs/perf.md.
@@ -84,7 +90,31 @@ class TcpTransport final : public Transport {
   std::string host_;
   std::uint16_t port_;
   TcpOptions options_;
+  std::uint64_t jitter_state_;
   int fd_ = -1;
+};
+
+/// Event-loop accounting shared by the server-side FrameServer and
+/// (name-for-name where it applies) the client-side reactor: how many
+/// connections were admitted or refused, how many were dropped by a
+/// progress deadline, and how often the loops were woken cross-thread.
+struct ReactorCounters {
+  std::uint64_t connections_accepted = 0;
+  /// Admission-refused: answered Error(kUnavailable) past max_connections.
+  std::uint64_t connections_refused = 0;
+  /// Connections closed by the io_timeout progress deadline (stalled
+  /// mid-frame or an undrained reply — the slow-loris counter).
+  std::uint64_t deadline_drops = 0;
+  /// Cross-thread loop wakeups through the shards' eventfds (accept
+  /// handovers + async handler completions).
+  std::uint64_t eventfd_wakeups = 0;
+};
+
+/// FrameServer::stats(): the familiar envelope-byte TransportStats plus
+/// the reactor counters. Derives from TransportStats so existing callers
+/// that copy into a TransportStats keep compiling and meaning the same.
+struct FrameServerStats : TransportStats {
+  ReactorCounters reactor;
 };
 
 struct FrameServerOptions {
@@ -154,8 +184,9 @@ class FrameServer {
   /// Aggregated frame accounting across all connections, from the
   /// server's perspective: received = requests read, sent = replies
   /// written. Envelope bytes only, mirroring Transport stats on the
-  /// client side.
-  [[nodiscard]] TransportStats stats() const;
+  /// client side — plus the reactor counters (admission, deadline drops,
+  /// eventfd wakeups).
+  [[nodiscard]] FrameServerStats stats() const;
 
   [[nodiscard]] std::size_t active_connections() const noexcept;
   [[nodiscard]] std::uint64_t connections_accepted() const noexcept;

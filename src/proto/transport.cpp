@@ -1,9 +1,37 @@
 #include "proto/transport.hpp"
 
+#include <condition_variable>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
 namespace eyw::proto {
+
+std::vector<std::uint8_t> SyncTransportAdapter::do_exchange(
+    std::span<const std::uint8_t> frame) {
+  // One-shot rendezvous per exchange. The state lives in a shared_ptr so a
+  // completion that outlives this stack frame (it cannot under the
+  // exactly-once contract, but a defensive channel may drop it late during
+  // teardown) never writes into a dead frame.
+  struct Rendezvous {
+    std::mutex mu;
+    std::condition_variable cv;
+    AsyncResult result;
+    bool done = false;
+  };
+  auto rv = std::make_shared<Rendezvous>();
+  inner_.exchange_async(std::vector<std::uint8_t>(frame.begin(), frame.end()),
+                        [rv](AsyncResult r) {
+                          std::lock_guard<std::mutex> lock(rv->mu);
+                          rv->result = std::move(r);
+                          rv->done = true;
+                          rv->cv.notify_one();
+                        });
+  std::unique_lock<std::mutex> lock(rv->mu);
+  rv->cv.wait(lock, [&] { return rv->done; });
+  if (rv->result.error) std::rethrow_exception(rv->result.error);
+  return std::move(rv->result.reply);
+}
 
 std::vector<std::uint8_t> Transport::exchange(
     std::span<const std::uint8_t> frame) {

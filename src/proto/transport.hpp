@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <span>
 #include <vector>
@@ -69,6 +70,52 @@ using CompletionFn = std::function<void(std::vector<std::uint8_t> reply)>;
 /// completion (see server::AsyncDispatcher).
 using AsyncFrameHandler = std::function<void(std::vector<std::uint8_t> frame,
                                              CompletionFn done)>;
+
+/// Outcome of one asynchronous exchange: either a reply frame (possibly
+/// empty — the peer lost the response, same meaning as a sync Transport
+/// returning an empty vector) or an error, never both.
+struct AsyncResult {
+  std::vector<std::uint8_t> reply;
+  std::exception_ptr error;  // null on success
+
+  [[nodiscard]] bool ok() const noexcept { return error == nullptr; }
+};
+
+/// Delivers the outcome of one exchange_async(). Invoked exactly once,
+/// possibly inline from the submitting call, possibly later from a reactor
+/// loop thread — so it must not block (signal a condition variable, bump a
+/// counter, chain the next exchange).
+using AsyncCompletionFn = std::function<void(AsyncResult)>;
+
+/// The client-side non-blocking channel shape: start an exchange and
+/// return immediately; the reply (or failure) arrives through `done`. Any
+/// number of exchanges may be in flight at once — implementations pipeline
+/// them on one connection and correlate replies in submission order.
+/// exchange_async() is safe to call from any thread, including from inside
+/// a completion.
+class AsyncTransport {
+ public:
+  virtual ~AsyncTransport() = default;
+
+  virtual void exchange_async(std::vector<std::uint8_t> frame,
+                              AsyncCompletionFn done) = 0;
+};
+
+/// Blocking facade over an AsyncTransport: one exchange in flight, the
+/// caller's thread parked until the completion fires. Existing Transport
+/// users (RemoteBackend, OprfUrlMapper, the round coordinator) run
+/// unchanged over a reactor channel through this — same replies, same
+/// exceptions, same stats accounting as any other Transport.
+class SyncTransportAdapter final : public Transport {
+ public:
+  explicit SyncTransportAdapter(AsyncTransport& inner) : inner_(inner) {}
+
+ private:
+  std::vector<std::uint8_t> do_exchange(
+      std::span<const std::uint8_t> frame) override;
+
+  AsyncTransport& inner_;
+};
 
 /// In-process transport: delivers the frame to a handler (an endpoint's
 /// dispatch function) and returns its reply. The frame is passed as a span

@@ -52,6 +52,12 @@ class RoundBackend {
   /// Begin a reporting round for a roster of `roster_size` clients.
   virtual void begin_round(std::uint64_t round, std::size_t roster_size) = 0;
 
+  /// The round begin_round last opened (0 before any round). What the
+  /// proto endpoint validates submission envelopes against: a stale or
+  /// out-of-phase frame must never be aggregated into a different round
+  /// than the one it was built for.
+  [[nodiscard]] virtual std::uint64_t current_round() const noexcept = 0;
+
   /// Accept one client's blinded report (cells must match CMS geometry).
   virtual void submit_report(std::size_t participant_index,
                              std::vector<crypto::BlindCell> blinded_cells) = 0;
@@ -100,6 +106,10 @@ class BackendServer final : public RoundBackend {
   }
 
   void begin_round(std::uint64_t round, std::size_t roster_size) override;
+
+  [[nodiscard]] std::uint64_t current_round() const noexcept override {
+    return round_;
+  }
 
   void submit_report(std::size_t participant_index,
                      std::vector<crypto::BlindCell> blinded_cells) override;

@@ -15,9 +15,10 @@ BackendCluster::BackendCluster(BackendConfig config, std::size_t shards)
 
 void BackendCluster::begin_round(std::uint64_t round,
                                  std::size_t roster_size) {
+  round_ = round;
   roster_size_ = roster_size;
-  reports_total_ = 0;
-  adjustments_total_ = 0;
+  reports_total_.store(0, std::memory_order_relaxed);
+  adjustments_total_.store(0, std::memory_order_relaxed);
   // Every shard sees the full roster: indices are global, only the
   // submission stream is partitioned.
   for (auto& shard : shards_) shard->begin_round(round, roster_size);
@@ -29,7 +30,7 @@ void BackendCluster::submit_report(std::size_t participant_index,
     throw std::invalid_argument("submit_report: index outside roster");
   shards_[shard_for(participant_index)]->submit_report(participant_index,
                                                        std::move(cells));
-  ++reports_total_;
+  reports_total_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<std::size_t> BackendCluster::missing_participants() const {
@@ -52,15 +53,17 @@ void BackendCluster::submit_adjustment(std::size_t participant_index,
   // reporters only" check holds locally.
   shards_[shard_for(participant_index)]->submit_adjustment(participant_index,
                                                            std::move(adj));
-  ++adjustments_total_;
+  adjustments_total_.fetch_add(1, std::memory_order_relaxed);
 }
 
 RoundResult BackendCluster::finalize_round(util::ThreadPool* pool) {
   if (pool == nullptr) pool = &util::ThreadPool::shared();
-  if (reports_total_ == 0)
+  const std::size_t reports = reports_total_.load(std::memory_order_relaxed);
+  const std::size_t adjustments =
+      adjustments_total_.load(std::memory_order_relaxed);
+  if (reports == 0)
     throw std::logic_error("finalize_round: no reports received");
-  if (reports_total_ != roster_size_ &&
-      adjustments_total_ != reports_total_) {
+  if (reports != roster_size_ && adjustments != reports) {
     throw std::logic_error(
         "finalize_round: missing clients but not all adjustments received");
   }
@@ -82,7 +85,7 @@ RoundResult BackendCluster::finalize_round(util::ThreadPool* pool) {
       aggregate_cells[m] += partial[m];
   }
 
-  last_result_ = finalize_from_cells(config_, aggregate_cells, reports_total_,
+  last_result_ = finalize_from_cells(config_, aggregate_cells, reports,
                                      roster_size_, *pool);
   return *last_result_;
 }

@@ -16,6 +16,7 @@
 // asserted in tests/server/test_sharded_backend.cpp.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -49,6 +50,9 @@ class BackendCluster final : public RoundBackend {
   }
 
   void begin_round(std::uint64_t round, std::size_t roster_size) override;
+  [[nodiscard]] std::uint64_t current_round() const noexcept override {
+    return round_;
+  }
   void submit_report(std::size_t participant_index,
                      std::vector<crypto::BlindCell> blinded_cells) override;
   [[nodiscard]] std::vector<std::size_t> missing_participants() const override;
@@ -73,9 +77,14 @@ class BackendCluster final : public RoundBackend {
   // unique_ptr: BackendServer is neither copyable nor movable (map members
   // are fine, but RoundBackend is polymorphic) and vector needs relocation.
   std::vector<std::unique_ptr<BackendServer>> shards_;
+  std::uint64_t round_ = 0;
   std::size_t roster_size_ = 0;
-  std::size_t reports_total_ = 0;
-  std::size_t adjustments_total_ = 0;
+  // Atomic: the cluster-wide tallies are the only state submissions for
+  // *different* shards share, and a sharded AsyncDispatcher applies such
+  // submissions concurrently (same-shard submissions stay serialized on
+  // one lane). Phase barriers order these against begin/finalize.
+  std::atomic<std::size_t> reports_total_{0};
+  std::atomic<std::size_t> adjustments_total_{0};
   std::optional<RoundResult> last_result_;
 };
 

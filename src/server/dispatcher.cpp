@@ -4,25 +4,42 @@
 #include <utility>
 
 #include "proto/message.hpp"
+#include "server/cluster.hpp"
 
 namespace eyw::server {
 
 AsyncDispatcher::AsyncDispatcher(proto::FrameHandler handler)
-    : handler_(std::move(handler)) {
+    : AsyncDispatcher(std::move(handler), 1, nullptr, nullptr) {}
+
+AsyncDispatcher::AsyncDispatcher(proto::FrameHandler handler,
+                                 std::size_t lanes, LaneRouter router,
+                                 BarrierPredicate barrier)
+    : handler_(std::move(handler)),
+      router_(std::move(router)),
+      barrier_(std::move(barrier)) {
   if (!handler_)
     throw std::invalid_argument("AsyncDispatcher: null handler");
-  worker_ = std::thread([this] { worker_loop(); });
+  if (lanes == 0) throw std::invalid_argument("AsyncDispatcher: 0 lanes");
+  if (lanes > 1 && !router_)
+    throw std::invalid_argument("AsyncDispatcher: multiple lanes need a router");
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+    Lane* lane = lanes_.back().get();
+    lane->worker = std::thread([this, lane] { worker_loop(*lane); });
+  }
 }
 
 AsyncDispatcher::~AsyncDispatcher() { stop(); }
 
 void AsyncDispatcher::submit(std::vector<std::uint8_t> frame,
                              proto::CompletionFn done) {
+  Lane& lane = *lanes_[router_ ? router_(frame) % lanes_.size() : 0];
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!stopping_) {
-      queue_.emplace_back(std::move(frame), std::move(done));
-      cv_.notify_one();
+    std::lock_guard<std::mutex> lock(lane.mu);
+    if (!lane.stopping) {
+      lane.queue.emplace_back(std::move(frame), std::move(done));
+      lane.cv.notify_one();
       return;
     }
   }
@@ -41,32 +58,54 @@ proto::AsyncFrameHandler AsyncDispatcher::handler() {
 }
 
 void AsyncDispatcher::stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-    cv_.notify_all();
+  for (auto& lane : lanes_) {
+    {
+      std::lock_guard<std::mutex> lock(lane->mu);
+      lane->stopping = true;
+      lane->cv.notify_all();
+    }
+    if (lane->worker.joinable()) lane->worker.join();
   }
-  if (worker_.joinable()) worker_.join();
 }
 
 std::size_t AsyncDispatcher::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    total += lane->queue.size();
+  }
+  return total;
 }
 
-void AsyncDispatcher::worker_loop() {
+void AsyncDispatcher::worker_loop(Lane& lane) {
   for (;;) {
     std::pair<std::vector<std::uint8_t>, proto::CompletionFn> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      std::unique_lock<std::mutex> lock(lane.mu);
+      lane.cv.wait(lock,
+                   [&] { return lane.stopping || !lane.queue.empty(); });
+      if (lane.queue.empty()) return;  // stopping and drained
+      job = std::move(lane.queue.front());
+      lane.queue.pop_front();
     }
     std::vector<std::uint8_t> reply;
     try {
-      reply = handler_(job.first);
+      // The phase gate makes cross-lane interleavings defined without
+      // trusting clients to respect the protocol's barriers: a frame the
+      // predicate marks as a barrier (control plane) excludes every lane;
+      // everything else holds the gate shared. Single lane (or no
+      // predicate): no gate — one worker is already a total order.
+      if (barrier_ && lanes_.size() > 1) {
+        if (barrier_(job.first)) {
+          std::unique_lock<std::shared_mutex> phase(phase_mu_);
+          reply = handler_(job.first);
+        } else {
+          std::shared_lock<std::shared_mutex> phase(phase_mu_);
+          reply = handler_(job.first);
+        }
+      } else {
+        reply = handler_(job.first);
+      }
     } catch (const std::exception& e) {
       reply = proto::ErrorReply{.code = proto::ErrorCode::kInternal,
                                 .detail = e.what()}
@@ -74,6 +113,29 @@ void AsyncDispatcher::worker_loop() {
     }
     if (job.second) job.second(std::move(reply));
   }
+}
+
+AsyncDispatcher::BarrierPredicate control_plane_barrier() {
+  return [](std::span<const std::uint8_t> frame) {
+    const std::optional<proto::MsgKind> kind = proto::peek_kind(frame);
+    return kind == proto::MsgKind::kBeginRound ||
+           kind == proto::MsgKind::kMissingQuery ||
+           kind == proto::MsgKind::kFinalizeRequest;
+  };
+}
+
+AsyncDispatcher::LaneRouter cluster_lane_router(
+    const BackendCluster& cluster) {
+  return [&cluster](std::span<const std::uint8_t> frame) -> std::size_t {
+    const std::optional<proto::MsgKind> kind = proto::peek_kind(frame);
+    if (kind != proto::MsgKind::kBlindedReport &&
+        kind != proto::MsgKind::kAdjustment &&
+        kind != proto::MsgKind::kShardedSubmit)
+      return 0;
+    const std::optional<std::uint32_t> sender = proto::peek_sender(frame);
+    if (!sender) return 0;
+    return cluster.shard_for(*sender);
+  };
 }
 
 }  // namespace eyw::server

@@ -1,14 +1,34 @@
 // The bridge between reactor callbacks and stateful endpoints: reactor
 // handlers must not block, and BackendEndpoint/OprfEndpoint mutate
 // unsynchronized round state — AsyncDispatcher solves both at once. It
-// owns one dispatch worker and a FIFO queue: the reactor-side
-// AsyncFrameHandler just enqueues (O(1), never blocks the event loop),
-// the worker applies frames to the endpoints strictly in order (so the
-// endpoints need no locks), and the reply travels back through the
-// completion callback the server supplied. Heavy per-frame work — batch
-// OPRF modexps, finalize's id-space scan — still fans out across
-// util::ThreadPool *inside* the handler exactly as it does in-process;
-// what moves off the reactor thread is everything.
+// owns one or more FIFO dispatch lanes: the reactor-side AsyncFrameHandler
+// just enqueues (O(1), never blocks the event loop), each lane's worker
+// applies its frames to the endpoints strictly in order, and the reply
+// travels back through the completion callback the server supplied.
+//
+// Sharded dispatch: with `lanes > 1` and a LaneRouter, independent frames
+// run concurrently — one lane per backend shard, so ingest dispatch scales
+// past a single serialization thread while every pair of frames that
+// touches the same shard state still serializes (same shard => same lane).
+// cluster_lane_router() builds the router matched to a BackendCluster's
+// own routing function; anything that is not a per-participant submission
+// (control plane, OPRF, undecodable bytes) rides lane 0.
+//
+// Cross-lane safety does NOT rest on clients behaving: control-plane
+// frames (begin/missing/finalize — they touch every shard) are classified
+// by the BarrierPredicate and run exclusively, while every other frame
+// runs under a shared phase lock. A late, retransmitted, or malicious
+// submission racing a finalize therefore gets a defined serialization
+// (and the backend's normal accept/refuse answer) instead of an
+// unsynchronized write into shard state the finalize is reading. Within a
+// phase, lanes only ever touch disjoint shards, and per-shard submission
+// order — the only order aggregation can observe — is preserved per
+// lane, so round results are bit-identical to the single-lane path
+// (asserted in tests/server/test_tcp_round.cpp).
+//
+// Heavy per-frame work — batch OPRF modexps, finalize's id-space scan —
+// still fans out across util::ThreadPool *inside* the handler exactly as
+// it does in-process; what moves off the reactor thread is everything.
 //
 // Lifetime: the dispatcher must outlive the FrameServer it feeds
 // (declare it first). Completions delivered after the server stopped are
@@ -18,7 +38,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -26,41 +50,90 @@
 
 namespace eyw::server {
 
+class BackendCluster;
+
 class AsyncDispatcher {
  public:
-  /// `handler` is the synchronous frame->reply dispatch (an endpoint's
-  /// handle(), or a routing composition over several). It runs on the
-  /// dispatch thread, serialized.
+  /// Chooses the dispatch lane for a frame; runs on the reactor loop
+  /// thread, so it must be cheap (header peeks, no decode). Out-of-range
+  /// results are clamped modulo the lane count.
+  using LaneRouter =
+      std::function<std::size_t(std::span<const std::uint8_t> frame)>;
+  /// True for frames that must run exclusively (no other lane mid-frame);
+  /// runs on the dispatch worker, cheap header peeks only.
+  using BarrierPredicate =
+      std::function<bool(std::span<const std::uint8_t> frame)>;
+
+  /// Single-lane dispatcher: `handler` is the synchronous frame->reply
+  /// dispatch (an endpoint's handle(), or a routing composition over
+  /// several). It runs on the one dispatch thread, serialized.
   explicit AsyncDispatcher(proto::FrameHandler handler);
+
+  /// Sharded dispatcher: `lanes` FIFO workers, frames assigned by
+  /// `router`; frames matching `barrier` (typically
+  /// control_plane_barrier()) run exclusively against every lane. Beyond
+  /// that, the handler runs concurrently across lanes — it (and the
+  /// endpoints under it) must only share state between frames the router
+  /// maps to the same lane.
+  AsyncDispatcher(proto::FrameHandler handler, std::size_t lanes,
+                  LaneRouter router, BarrierPredicate barrier = nullptr);
+
   ~AsyncDispatcher();
 
   AsyncDispatcher(const AsyncDispatcher&) = delete;
   AsyncDispatcher& operator=(const AsyncDispatcher&) = delete;
 
-  /// Enqueue one frame; `done` fires with the reply once the worker has
-  /// applied it. Never blocks beyond the queue mutex.
+  /// Enqueue one frame on its routed lane; `done` fires with the reply
+  /// once that lane's worker has applied it. Never blocks beyond the lane
+  /// mutex.
   void submit(std::vector<std::uint8_t> frame, proto::CompletionFn done);
 
   /// The AsyncFrameHandler shape FrameServer consumes (binds submit()).
   [[nodiscard]] proto::AsyncFrameHandler handler();
 
-  /// Drain the queue (every pending frame is still answered), then join
-  /// the worker. Idempotent; the destructor calls it.
+  /// Drain every lane (every pending frame is still answered), then join
+  /// the workers. Idempotent; the destructor calls it.
   void stop();
 
-  /// Frames accepted but not yet answered (depth of the dispatch queue).
+  /// Frames accepted but not yet answered, across all lanes.
   [[nodiscard]] std::size_t pending() const;
 
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_.size(); }
+
  private:
-  void worker_loop();
+  struct Lane {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::pair<std::vector<std::uint8_t>, proto::CompletionFn>>
+        queue;
+    bool stopping = false;
+    std::thread worker;
+  };
+
+  void worker_loop(Lane& lane);
 
   proto::FrameHandler handler_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::pair<std::vector<std::uint8_t>, proto::CompletionFn>>
-      queue_;
-  bool stopping_ = false;
-  std::thread worker_;
+  LaneRouter router_;
+  BarrierPredicate barrier_;
+  /// Phase gate: barrier frames hold it exclusively, everything else
+  /// shared. Uncontended shared acquisition is what an ingest frame pays.
+  std::shared_mutex phase_mu_;
+  // unique_ptr: Lane owns a mutex/cv, so the vector must never relocate.
+  std::vector<std::unique_ptr<Lane>> lanes_;
 };
+
+/// BarrierPredicate matching the operator control plane — the frames
+/// whose handling reads or resets state across every backend shard
+/// (BeginRound / MissingQuery / FinalizeRequest).
+[[nodiscard]] AsyncDispatcher::BarrierPredicate control_plane_barrier();
+
+/// Lane router matched to `cluster`'s own routing function: client
+/// submissions (BlindedReport / Adjustment / ShardedSubmit — sender is
+/// authoritative, enforced at decode) ride the lane of their owning
+/// backend shard; everything else serializes on lane 0. Build the
+/// dispatcher with lanes == cluster.shard_count() for full-width ingest.
+/// `cluster` must outlive the dispatcher.
+[[nodiscard]] AsyncDispatcher::LaneRouter cluster_lane_router(
+    const BackendCluster& cluster);
 
 }  // namespace eyw::server

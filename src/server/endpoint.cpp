@@ -97,6 +97,14 @@ std::vector<std::uint8_t> BackendEndpoint::on_control(
 
 std::vector<std::uint8_t> BackendEndpoint::on_report(
     const proto::Envelope& env) {
+  // Round check before anything is applied: blinded cells only cancel
+  // within the round their pads were salted for, so a stale frame — a
+  // slow reporter, a delayed retransmit, a submission overtaking a
+  // BeginRound on another dispatch lane — must be refused, never
+  // aggregated into whichever round happens to be open now.
+  if (env.round != backend_.current_round())
+    return error_reply(proto::ErrorCode::kRejected,
+                       "report is for a different round");
   proto::BlindedReport report = proto::BlindedReport::decode(env);
   if (report.params != backend_.config().cms_params)
     return error_reply(proto::ErrorCode::kGeometryMismatch,
@@ -107,6 +115,10 @@ std::vector<std::uint8_t> BackendEndpoint::on_report(
 
 std::vector<std::uint8_t> BackendEndpoint::on_adjustment(
     const proto::Envelope& env) {
+  // Same stale-frame refusal as on_report.
+  if (env.round != backend_.current_round())
+    return error_reply(proto::ErrorCode::kRejected,
+                       "adjustment is for a different round");
   proto::Adjustment adj = proto::Adjustment::decode(env);
   if (adj.params != backend_.config().cms_params)
     return error_reply(proto::ErrorCode::kGeometryMismatch,
@@ -127,6 +139,14 @@ std::vector<std::uint8_t> BackendEndpoint::on_sharded(
     return error_reply(proto::ErrorCode::kUnknownKind,
                        "sharded-submit must wrap a report or adjustment");
   }
+  // The *outer* sender is what routing keys on before the payload is ever
+  // decoded (peek_sender — e.g. the sharded dispatcher's lane choice), so
+  // a wrapper whose outer sender disagrees with the submission inside
+  // would be applied under another participant's serialization. Refuse it
+  // before it reaches the shard.
+  if (env.sender != inner.sender)
+    return error_reply(proto::ErrorCode::kRejected,
+                       "sharded-submit: wrapper sender != inner sender");
   // The router stamps the shard it computed; the cluster re-derives it
   // from the sender and refuses a misrouted frame instead of silently
   // re-routing (a routing bug upstream should be loud).

@@ -9,13 +9,87 @@
 namespace eyw::server {
 
 RemoteBackend::RemoteBackend(proto::Transport& transport, BackendConfig config)
-    : transport_(transport), config_(std::move(config)) {}
+    : transport_(&transport), config_(std::move(config)) {}
+
+RemoteBackend::RemoteBackend(proto::AsyncTransport& channel,
+                             BackendConfig config)
+    : channel_(&channel), config_(std::move(config)) {
+  barrier_link_.emplace(channel);
+}
+
+RemoteBackend::~RemoteBackend() {
+  // An in-flight ack completion locks mu_ and writes outstanding_ /
+  // first_error_ — it must never find a destroyed backend (e.g. when an
+  // exception unwinds past a caller that submitted but never reached a
+  // barrier). Channels guarantee every completion fires exactly once
+  // (reply, failure, or teardown), so this wait terminates.
+  if (channel_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void RemoteBackend::flush() const {
+  if (channel_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return outstanding_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err;
+    std::swap(err, first_error_);
+    std::rethrow_exception(err);
+  }
+}
+
+std::size_t RemoteBackend::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+std::vector<std::uint8_t> RemoteBackend::exchange_barrier(
+    std::span<const std::uint8_t> frame) const {
+  if (channel_ != nullptr) {
+    // The barrier round trip must observe every pipelined submission: the
+    // server applies frames per connection in arrival order, so flushing
+    // *then* exchanging on the same channel is a strict happens-after.
+    flush();
+    return barrier_link_->exchange(frame);
+  }
+  return transport_->exchange(frame);
+}
+
+void RemoteBackend::submit_frame(std::vector<std::uint8_t> frame) {
+  if (channel_ == nullptr) {
+    const auto reply = transport_->exchange(frame);
+    (void)proto::expect_reply(reply, proto::MsgKind::kAck);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+  }
+  channel_->exchange_async(
+      std::move(frame), [this](proto::AsyncResult result) {
+        // Runs on the channel's loop thread: validate the ack, record the
+        // first failure for the next barrier, release the flush waiter.
+        std::exception_ptr err = std::move(result.error);
+        if (!err) {
+          try {
+            (void)proto::expect_reply(result.reply, proto::MsgKind::kAck);
+          } catch (...) {
+            err = std::current_exception();
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        if (err && !first_error_) first_error_ = std::move(err);
+        --outstanding_;
+        cv_.notify_all();
+      });
+}
 
 void RemoteBackend::begin_round(std::uint64_t round,
                                 std::size_t roster_size) {
   const proto::BeginRound begin{
       .roster = static_cast<std::uint32_t>(roster_size)};
-  const auto reply = transport_.exchange(begin.encode(round));
+  const auto reply = exchange_barrier(begin.encode(round));
   (void)proto::expect_reply(reply, proto::MsgKind::kAck);
   round_ = round;
 }
@@ -26,12 +100,11 @@ void RemoteBackend::submit_report(std::size_t participant_index,
       .participant = static_cast<std::uint32_t>(participant_index),
       .params = config_.cms_params,
       .cells = std::move(blinded_cells)};
-  const auto reply = transport_.exchange(report.encode(round_));
-  (void)proto::expect_reply(reply, proto::MsgKind::kAck);
+  submit_frame(report.encode(round_));
 }
 
 std::vector<std::size_t> RemoteBackend::missing_participants() const {
-  const auto reply = transport_.exchange(proto::encode_missing_query(round_));
+  const auto reply = exchange_barrier(proto::encode_missing_query(round_));
   const proto::MissingList list = proto::MissingList::decode(
       proto::expect_reply(reply, proto::MsgKind::kMissingList));
   return {list.missing.begin(), list.missing.end()};
@@ -43,13 +116,11 @@ void RemoteBackend::submit_adjustment(std::size_t participant_index,
       .participant = static_cast<std::uint32_t>(participant_index),
       .params = config_.cms_params,
       .cells = std::move(adjustment)};
-  const auto reply = transport_.exchange(adj.encode(round_));
-  (void)proto::expect_reply(reply, proto::MsgKind::kAck);
+  submit_frame(adj.encode(round_));
 }
 
 RoundResult RemoteBackend::finalize_round(util::ThreadPool* /*pool*/) {
-  const auto reply =
-      transport_.exchange(proto::encode_finalize_request(round_));
+  const auto reply = exchange_barrier(proto::encode_finalize_request(round_));
   const proto::RoundSummary summary = proto::RoundSummary::decode(
       proto::expect_reply(reply, proto::MsgKind::kRoundSummary));
 

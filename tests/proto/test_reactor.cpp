@@ -170,11 +170,19 @@ TEST(Reactor, Serves256ConcurrentReportersOnOneShardSet) {
   for (const int fd : fds) ::close(fd);
   wait_idle(server);
 
-  const TransportStats stats = server.stats();
+  const FrameServerStats stats = server.stats();
   EXPECT_EQ(stats.messages_received, kConns * kRounds);
   EXPECT_EQ(stats.messages_sent, kConns * kRounds);
   EXPECT_EQ(stats.bytes_received, kConns * kRounds * request.size());
   EXPECT_EQ(stats.bytes_sent, kConns * kRounds * ack.size());
+  // Reactor counters: every connection accounted for, none refused or
+  // deadline-dropped under this healthy load, and the accept handovers
+  // visible as cross-thread eventfd wakeups (fewer than kConns is normal:
+  // posts landing while the loop is busy coalesce into one wakeup).
+  EXPECT_EQ(stats.reactor.connections_accepted, kConns);
+  EXPECT_EQ(stats.reactor.connections_refused, 0u);
+  EXPECT_EQ(stats.reactor.deadline_drops, 0u);
+  EXPECT_GT(stats.reactor.eventfd_wakeups, 0u);
 }
 
 TEST(Reactor, SlowLorisDroppedAtDeadlineWithoutStallingOthers) {
@@ -211,11 +219,12 @@ TEST(Reactor, SlowLorisDroppedAtDeadlineWithoutStallingOthers) {
   EXPECT_GT(exchanges, 3);
 
   // The loris was dropped at its deadline (EOF), the healthy connection
-  // survives.
+  // survives — and the drop is visible in the reactor counters.
   std::uint8_t byte = 0;
   EXPECT_EQ(::recv(loris, &byte, 1, 0), 0);
   send_raw(healthy, framed);
   EXPECT_FALSE(read_framed(healthy).empty());
+  EXPECT_EQ(server.stats().reactor.deadline_drops, 1u);
   ::close(loris);
   ::close(healthy);
   wait_idle(server);

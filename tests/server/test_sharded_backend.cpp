@@ -165,6 +165,39 @@ TEST(ShardedSubmit, FrontDoorAcceptsCorrectlyRoutedFramesOnly) {
   }
   EXPECT_EQ(cluster.shard(1).reports_received(), 0u);
 
+  // Wrapper sender disagreeing with the inner submission's sender:
+  // refused before it reaches a shard. Routing (e.g. the sharded
+  // dispatcher's lane choice) keys on the outer sender without decoding
+  // the payload, so a mismatched wrapper would ride the wrong
+  // serialization lane.
+  {
+    sub.shard = static_cast<std::uint32_t>(cluster.shard_for(4));
+    const auto reply = endpoint.handle(sub.encode(/*sender=*/5, 2));
+    try {
+      (void)proto::expect_reply(reply, proto::MsgKind::kAck);
+      FAIL() << "sender-mismatched wrapper was accepted";
+    } catch (const proto::ProtoError& e) {
+      EXPECT_EQ(e.code(), proto::ErrorCode::kRejected);
+    }
+    EXPECT_EQ(cluster.shard(1).reports_received(), 0u);
+  }
+
+  // A submission stamped with a different round than the one open:
+  // refused (blinded pads only cancel within their own round, and a
+  // sharded dispatcher may apply frames from different connections
+  // concurrently — a stale frame must never leak across a round
+  // boundary).
+  {
+    const auto reply = endpoint.handle(report.encode(/*round=*/1));
+    try {
+      (void)proto::expect_reply(reply, proto::MsgKind::kAck);
+      FAIL() << "stale-round report was accepted";
+    } catch (const proto::ProtoError& e) {
+      EXPECT_EQ(e.code(), proto::ErrorCode::kRejected);
+    }
+    EXPECT_EQ(cluster.shard(1).reports_received(), 0u);
+  }
+
   // Correct shard: accepted and applied.
   sub.shard = static_cast<std::uint32_t>(cluster.shard_for(4));
   EXPECT_NO_THROW((void)proto::expect_reply(endpoint.handle(sub.encode(4, 2)),

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "client/url_mapper.hpp"
+#include "proto/client_reactor.hpp"
 #include "proto/tcp.hpp"
 #include "server/cluster.hpp"
 #include "server/dispatcher.hpp"
@@ -187,6 +188,145 @@ TEST(TcpRound, FullRoundBitIdenticalThroughAsyncDispatcherAndShards) {
   EXPECT_EQ(server_stats.bytes_received, link.stats().bytes_sent);
   EXPECT_EQ(server_stats.bytes_sent, link.stats().bytes_received);
   EXPECT_EQ(dispatcher.pending(), 0u);
+}
+
+TEST(TcpRound, FullRoundBitIdenticalWithShardedDispatcherLanes) {
+  // Dispatcher-shard parity: the same round through an AsyncDispatcher
+  // sharded one lane per backend shard (the full-width ingest shape) must
+  // be bit-identical to the single-lane path — per-shard submission order
+  // is preserved per lane, and aggregation observes nothing else.
+  client::HashUrlMapper mapper(backend_config().id_space);
+  const std::vector<std::size_t> reporting{0, 1, 3, 4, 5};
+
+  // Single-lane reference.
+  BackendCluster one_cluster(backend_config(), 2);
+  BackendEndpoint one_endpoint(one_cluster, /*serve_control=*/true);
+  AsyncDispatcher one_lane([&](std::span<const std::uint8_t> frame) {
+    return one_endpoint.handle(frame);
+  });
+  ASSERT_EQ(one_lane.lanes(), 1u);
+  proto::FrameServer one_server(one_lane.handler(), {.reactor_shards = 1});
+  proto::TcpTransport one_link("127.0.0.1", one_server.port());
+  RemoteBackend one_remote(one_link, backend_config());
+  auto exts_one = make_fleet(mapper, 6);
+  RoundCoordinator one_coord(group(),
+                             std::span<client::BrowserExtension>(exts_one),
+                             one_remote, /*seed=*/79);
+  const RoundResult want = one_coord.run_round(0, reporting);
+
+  // Lane-per-shard path.
+  BackendCluster sharded_cluster(backend_config(), 2);
+  BackendEndpoint sharded_endpoint(sharded_cluster, /*serve_control=*/true);
+  AsyncDispatcher sharded(
+      [&](std::span<const std::uint8_t> frame) {
+        return sharded_endpoint.handle(frame);
+      },
+      /*lanes=*/2, cluster_lane_router(sharded_cluster),
+      control_plane_barrier());
+  ASSERT_EQ(sharded.lanes(), 2u);
+  proto::FrameServer sharded_server(sharded.handler(),
+                                    {.reactor_shards = 2});
+  proto::TcpTransport sharded_link("127.0.0.1", sharded_server.port());
+  RemoteBackend sharded_remote(sharded_link, backend_config());
+  auto exts_sharded = make_fleet(mapper, 6);
+  RoundCoordinator sharded_coord(
+      group(), std::span<client::BrowserExtension>(exts_sharded),
+      sharded_remote, /*seed=*/79);
+  const RoundResult got = sharded_coord.run_round(0, reporting);
+
+  const auto want_cells = want.aggregate.cells();
+  const auto got_cells = got.aggregate.cells();
+  ASSERT_EQ(want_cells.size(), got_cells.size());
+  for (std::size_t i = 0; i < want_cells.size(); ++i)
+    ASSERT_EQ(want_cells[i], got_cells[i]) << "cell " << i;
+  EXPECT_EQ(want.distribution.counts(), got.distribution.counts());
+  EXPECT_EQ(want.users_threshold, got.users_threshold);
+  EXPECT_EQ(want.reports, got.reports);
+  EXPECT_EQ(want.roster, got.roster);
+  EXPECT_EQ(sharded.pending(), 0u);
+}
+
+TEST(TcpRound, FullRoundBitIdenticalThroughAsyncClientChannel) {
+  // The async outbound path under the unchanged coordinator: a pipelined
+  // RemoteBackend over a ClientReactor channel must reproduce the
+  // loopback round bit for bit — the sync Transport contract holds
+  // through the adapter and the pipelining is unobservable in the result.
+  client::HashUrlMapper mapper(backend_config().id_space);
+  const std::vector<std::size_t> reporting{0, 1, 3, 4, 5};
+
+  BackendCluster loop_cluster(backend_config(), 2);
+  auto exts_loop = make_fleet(mapper, 6);
+  RoundCoordinator ref(group(),
+                       std::span<client::BrowserExtension>(exts_loop),
+                       loop_cluster, /*seed=*/79);
+  const RoundResult want = ref.run_round(0, reporting);
+
+  BackendCluster tcp_cluster(backend_config(), 2);
+  BackendEndpoint endpoint(tcp_cluster, /*serve_control=*/true);
+  AsyncDispatcher dispatcher(
+      [&](std::span<const std::uint8_t> frame) {
+        return endpoint.handle(frame);
+      },
+      /*lanes=*/2, cluster_lane_router(tcp_cluster),
+      control_plane_barrier());
+  proto::FrameServer server(dispatcher.handler(), {.reactor_shards = 1});
+
+  proto::ClientReactor reactor({.shards = 1, .backoff_jitter_seed = 5});
+  auto channel = reactor.open("127.0.0.1", server.port());
+  RemoteBackend remote(*channel, backend_config());  // pipelined mode
+  auto exts_async = make_fleet(mapper, 6);
+  RoundCoordinator live(group(),
+                        std::span<client::BrowserExtension>(exts_async),
+                        remote, /*seed=*/79);
+  const RoundResult got = live.run_round(0, reporting);
+  EXPECT_EQ(remote.outstanding(), 0u);  // every barrier flushed
+
+  const auto want_cells = want.aggregate.cells();
+  const auto got_cells = got.aggregate.cells();
+  ASSERT_EQ(want_cells.size(), got_cells.size());
+  for (std::size_t i = 0; i < want_cells.size(); ++i)
+    ASSERT_EQ(want_cells[i], got_cells[i]) << "cell " << i;
+  EXPECT_EQ(want.distribution.counts(), got.distribution.counts());
+  EXPECT_EQ(want.users_threshold, got.users_threshold);
+  EXPECT_EQ(want.reports, got.reports);
+  EXPECT_EQ(want.roster, got.roster);
+
+  // The channel's byte accounting mirrors the server's, envelope bytes
+  // only — pipelined or not, nothing is lost or invented on the wire.
+  const proto::TransportStats client_stats = channel->stats();
+  const proto::FrameServerStats server_stats = server.stats();
+  EXPECT_EQ(server_stats.bytes_received, client_stats.bytes_sent);
+  EXPECT_EQ(server_stats.bytes_sent, client_stats.bytes_received);
+  EXPECT_EQ(server_stats.messages_received, client_stats.messages_sent);
+}
+
+TEST(TcpRound, PipelinedSubmissionErrorSurfacesAtNextBarrier) {
+  // A submission the server refuses (participant outside the roster)
+  // acks as Error; in pipelined mode that must surface as a thrown
+  // ProtoError at the next barrier call, and never be lost.
+  BackendCluster cluster(backend_config(), 2);
+  BackendEndpoint endpoint(cluster, /*serve_control=*/true);
+  proto::FrameServer server([&](std::span<const std::uint8_t> frame) {
+    return endpoint.handle(frame);
+  });
+  proto::ClientReactor reactor({.shards = 1});
+  auto channel = reactor.open("127.0.0.1", server.port());
+  RemoteBackend remote(*channel, backend_config());
+
+  remote.begin_round(0, 4);
+  remote.submit_report(2, std::vector<crypto::BlindCell>(
+                              backend_config().cms_params.cells(), 1u));
+  remote.submit_report(9, std::vector<crypto::BlindCell>(
+                              backend_config().cms_params.cells(), 1u));
+  try {
+    remote.flush();
+    FAIL() << "refused submission did not surface at the barrier";
+  } catch (const proto::ProtoError& e) {
+    EXPECT_EQ(e.code(), proto::ErrorCode::kRejected);
+  }
+  // The error is consumed: the next barrier reflects reality (one good
+  // report landed) instead of rethrowing forever.
+  EXPECT_EQ(remote.missing_participants().size(), 3u);
 }
 
 TEST(TcpRound, ControlPlaneRefusedWithoutOptIn) {
