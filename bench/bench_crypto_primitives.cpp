@@ -1,9 +1,18 @@
 // Micro-benchmarks of the cryptographic substrate (google-benchmark).
 // These quantify the primitives behind Section 7.1's overhead numbers at
-// full parameter sizes.
+// full parameter sizes. `--json <path>` additionally writes the
+// machine-readable kernel trajectory (see bench_json.hpp) from self-timed
+// runs of the tracked operations.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_json.hpp"
 #include "crypto/blinding.hpp"
+#include "crypto/mont_kernel.hpp"
 #include "crypto/montgomery.hpp"
 #include "crypto/oprf.hpp"
 #include "crypto/prime.hpp"
@@ -69,6 +78,78 @@ void BM_MontgomeryModexp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MontgomeryModexp)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+// The same ladder pinned to each kernel: the portable/adx speedup at a
+// glance, independent of what CPUID picked for the process.
+void modexp_kernel_bench(benchmark::State& state,
+                         const crypto::MontKernel& kernel) {
+  util::Rng rng(1);
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  crypto::Bignum m = crypto::Bignum::random_bits(rng, bits);
+  if (!m.is_odd()) m = m.add(crypto::Bignum(1));
+  const crypto::Bignum b = crypto::Bignum::random_bits(rng, bits - 1);
+  const crypto::Bignum e = crypto::Bignum::random_bits(rng, bits - 1);
+  const crypto::Montgomery mont(m, kernel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mont.modexp(b, e));
+  }
+}
+
+void BM_ModexpKernelPortable(benchmark::State& state) {
+  modexp_kernel_bench(state, crypto::portable_mont_kernel());
+}
+BENCHMARK(BM_ModexpKernelPortable)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_ModexpKernelAdx(benchmark::State& state) {
+  const crypto::MontKernel* adx = crypto::adx_mont_kernel();
+  if (adx == nullptr) {
+    state.SkipWithError("ADX kernel unavailable on this CPU/toolchain");
+    return;
+  }
+  modexp_kernel_bench(state, *adx);
+}
+BENCHMARK(BM_ModexpKernelAdx)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+// Interleaved lanes vs one ladder at a time; reported per element.
+void BM_ModexpBatch8(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  crypto::Bignum m = crypto::Bignum::random_bits(rng, bits);
+  if (!m.is_odd()) m = m.add(crypto::Bignum(1));
+  const crypto::Montgomery mont(m);
+  std::vector<crypto::Bignum> bases, exps;
+  for (int i = 0; i < 8; ++i) {
+    bases.push_back(crypto::Bignum::random_below(rng, m));
+    exps.push_back(crypto::Bignum::random_bits(rng, bits - 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mont.modexp_batch(bases, exps));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_ModexpBatch8)->Arg(512)->Arg(1024)->Arg(2048);
+
+// Fixed-base window table vs the plain ladder for the DH keygen shape.
+void BM_DhKeygenFixedBase(benchmark::State& state) {
+  util::Rng rng(4);
+  const crypto::DhGroup group =
+      crypto::DhGroup::generate(rng, static_cast<std::size_t>(state.range(0)));
+  const crypto::DhContext ctx(group);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.keygen(rng));
+  }
+}
+BENCHMARK(BM_DhKeygenFixedBase)->Arg(256)->Arg(512);
+
+void BM_DhKeygenPlain(benchmark::State& state) {
+  util::Rng rng(4);
+  const crypto::DhGroup group =
+      crypto::DhGroup::generate(rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::dh_keygen(group, rng));
+  }
+}
+BENCHMARK(BM_DhKeygenPlain)->Arg(256)->Arg(512);
 
 // RSA private operation — the protocol's per-report modexp at full modulus
 // size — measured three ways: the seed path (naive square-and-multiply with
@@ -211,6 +292,111 @@ BENCHMARK(BM_BlindingVector)
     ->Args({64, 46223})  // the T=10k paper sketch geometry (17 x 2719)
     ->Unit(benchmark::kMillisecond);
 
+// --------------------------------------------------- trajectory artifact
+// Self-timed (not via google-benchmark) so the record layout is exactly
+// the BENCH_*.json schema: {op, modulus_bits, ns_per_op, backend, cores}.
+
+template <typename F>
+double time_ns_per_op(F&& fn, int iters) {
+  fn();  // warm caches and the shared Montgomery cache
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
+}
+
+void write_trajectory(const std::string& path) {
+  bench::JsonWriter writer;
+  util::Rng rng(1);
+
+  for (const std::size_t bits : {256, 512, 1024, 2048}) {
+    crypto::Bignum m = crypto::Bignum::random_bits(rng, bits);
+    if (!m.is_odd()) m = m.add(crypto::Bignum(1));
+    const crypto::Bignum b = crypto::Bignum::random_bits(rng, bits - 1);
+    const crypto::Bignum e = crypto::Bignum::random_bits(rng, bits - 1);
+    const int iters = bits >= 2048 ? 20 : bits >= 1024 ? 60 : 200;
+
+    const crypto::Montgomery portable(m, crypto::portable_mont_kernel());
+    writer.add({.op = "modexp",
+                .modulus_bits = bits,
+                .ns_per_op = time_ns_per_op(
+                    [&] { benchmark::DoNotOptimize(portable.modexp(b, e)); },
+                    iters),
+                .backend = "portable",
+                .cores = 1});
+    if (const crypto::MontKernel* adx = crypto::adx_mont_kernel()) {
+      const crypto::Montgomery fast(m, *adx);
+      writer.add({.op = "modexp",
+                  .modulus_bits = bits,
+                  .ns_per_op = time_ns_per_op(
+                      [&] { benchmark::DoNotOptimize(fast.modexp(b, e)); },
+                      iters),
+                  .backend = "adx",
+                  .cores = 1});
+    }
+
+    // Batch of 8 interleaved lanes, per element, on the active kernel.
+    const crypto::Montgomery active(m);
+    std::vector<crypto::Bignum> bases, exps;
+    for (int i = 0; i < 8; ++i) {
+      bases.push_back(crypto::Bignum::random_below(rng, m));
+      exps.push_back(crypto::Bignum::random_bits(rng, bits - 1));
+    }
+    writer.add(
+        {.op = "modexp_batch8",
+         .modulus_bits = bits,
+         .ns_per_op =
+             time_ns_per_op(
+                 [&] {
+                   benchmark::DoNotOptimize(active.modexp_batch(bases, exps));
+                 },
+                 std::max(1, iters / 8)) /
+             8.0,
+         .backend = active.kernel_name(),
+         .cores = 1});
+  }
+
+  // OPRF round trip (blind + evaluate + finalize) at protocol sizes.
+  for (const std::size_t bits : {512, 1024}) {
+    util::Rng orng(3);
+    const crypto::OprfServer server(orng, bits);
+    const crypto::OprfClient client(server.public_key());
+    std::uint64_t i = 0;
+    writer.add({.op = "oprf_roundtrip",
+                .modulus_bits = bits,
+                .ns_per_op = time_ns_per_op(
+                    [&] {
+                      const std::string url =
+                          "https://ads.test/" + std::to_string(i++);
+                      const auto blinded = client.blind(url, orng);
+                      const auto resp =
+                          server.evaluate_blinded(blinded.blinded_element);
+                      benchmark::DoNotOptimize(
+                          client.finalize(url, blinded, resp));
+                    },
+                    bits >= 1024 ? 10 : 40),
+                .backend = crypto::active_mont_kernel().name,
+                .cores = 1});
+  }
+
+  if (!writer.write(path)) {
+    fprintf(stderr, "bench_crypto_primitives: cannot write %s\n",
+            path.c_str());
+  } else {
+    printf("wrote trajectory to %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // google-benchmark rejects flags it does not know, so --json comes out
+  // of argv before Initialize sees it.
+  const std::string json_path = eyw::bench::extract_json_path(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) write_trajectory(json_path);
+  return 0;
+}

@@ -25,8 +25,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "bench_json.hpp"
 #include "client/url_mapper.hpp"
 #include "crypto/blinding.hpp"
+#include "crypto/mont_kernel.hpp"
 #include "proto/client_reactor.hpp"
 #include "proto/raw_frame_io.hpp"
 #include "proto/tcp.hpp"
@@ -147,7 +149,13 @@ ConcurrencyRow drive_connections(std::uint16_t port, std::size_t conns,
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --json <path>: machine-readable records for the perf trajectory
+  // (same schema as bench_crypto_primitives; see bench_json.hpp).
+  const std::string json_path = eyw::bench::extract_json_path(argc, argv);
+  eyw::bench::JsonWriter json;
+  const char* kernel = crypto::active_mont_kernel().name;
+
   std::printf("== CMS size vs cleartext (delta = epsilon = 0.001, 4 B cells) ==\n");
   for (const std::size_t t : {10'000u, 50'000u, 100'000u}) {
     const auto p = sketch::CmsParams::from_error_bounds(t, 0.001, 0.001);
@@ -224,6 +232,11 @@ int main() {
                 bits, keygen_ms, per_eval,
                 mapper.bytes_exchanged() / mapper.cache_size(),
                 bits == 1024 ? "  (paper: <500 ms)" : "");
+    json.add({.op = "oprf_map",
+              .modulus_bits = bits,
+              .ns_per_op = per_eval * 1e6,
+              .backend = kernel,
+              .cores = 1});
   }
 
   std::printf("\n== Batched OPRF warm-up (one frame vs one trip per URL) ==\n");
@@ -244,6 +257,11 @@ int main() {
     const auto t1 = Clock::now();
     (void)batched.map_batch(urls);
     const double batch_ms = ms_since(t1);
+    json.add({.op = "oprf_map_batch",
+              .modulus_bits = 512,
+              .ns_per_op = batch_ms * 1e6 / kUrls,
+              .backend = kernel,
+              .cores = 1});
 
     std::printf("  map() x %d:      %8.1f ms, %4llu round trips, %6llu wire B\n",
                 kUrls, serial_ms,
@@ -649,7 +667,19 @@ int main() {
           "%6.1f ms (100k-id scan) | Users_th=%.3f\n",
           threads, round_ms, 120.0 * 1000.0 / round_ms, finalize_ms,
           round.users_threshold);
+      json.add({.op = "round_pipeline_report",
+                .modulus_bits = 256,
+                .ns_per_op = round_ms * 1e6 / 120.0,
+                .backend = kernel,
+                .cores = threads});
     }
+  }
+
+  if (!json_path.empty()) {
+    if (json.write(json_path))
+      std::printf("\nwrote trajectory to %s\n", json_path.c_str());
+    else
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -81,16 +81,16 @@ void OprfUrlMapper::fill_cache(std::span<const std::string_view> fresh) {
     fresh = fresh.subspan(proto::kMaxOprfBatch);
   }
 
-  // Step 1: blind every input locally.
-  std::vector<crypto::OprfBlinded> blinded;
-  blinded.reserve(fresh.size());
+  // Step 1: blind every input locally — the r^e ladders run interleaved
+  // through modexp_batch (rng draw order matches serial blind() calls, so
+  // a seeded fixture sees bit-identical frames).
+  const std::vector<crypto::OprfBlinded> blinded =
+      oprf_client_.blind_batch(fresh, rng_);
   proto::OprfEvalRequest request;
   request.element_bytes = static_cast<std::uint32_t>(pub_.modulus_bytes());
   request.elements.reserve(fresh.size());
-  for (const std::string_view identity : fresh) {
-    blinded.push_back(oprf_client_.blind(identity, rng_));
-    request.elements.push_back(blinded.back().blinded_element);
-  }
+  for (const crypto::OprfBlinded& b : blinded)
+    request.elements.push_back(b.blinded_element);
 
   // Step 2: ONE round trip for the whole batch.
   const auto reply = transport_->exchange(request.encode(/*sender=*/0));
@@ -101,12 +101,14 @@ void OprfUrlMapper::fill_cache(std::span<const std::string_view> fresh) {
     throw proto::ProtoError(proto::ErrorCode::kMalformed,
                             "oprf response count != request count");
 
-  // Step 3: unblind (verifying each blind signature) and fill the cache.
-  for (std::size_t i = 0; i < fresh.size(); ++i) {
-    const crypto::OprfOutput out =
-        oprf_client_.finalize(fresh[i], blinded[i], response.elements[i]);
-    cache_.emplace(std::string(fresh[i]), out.to_ad_id(id_space_));
-  }
+  // Step 3: unblind (verifying each blind signature, batched) and fill
+  // the cache.
+  const std::vector<crypto::OprfOutput> outs = oprf_client_.finalize_batch(
+      fresh, blinded,
+      std::span<const crypto::Bignum>(response.elements.data(),
+                                      response.elements.size()));
+  for (std::size_t i = 0; i < fresh.size(); ++i)
+    cache_.emplace(std::string(fresh[i]), outs[i].to_ad_id(id_space_));
   bytes_exchanged_ += fresh.size() * oprf_client_.bytes_per_evaluation();
 }
 

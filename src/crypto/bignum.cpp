@@ -295,7 +295,10 @@ Bignum Bignum::modexp(const Bignum& base, const Bignum& exp, const Bignum& m) {
   if (m.is_one()) return {};
   // Montgomery reduction needs gcd(R, m) = 1; every protocol modulus
   // (RSA n, p, q, DH safe prime) is odd, so the fast path covers them all.
-  if (m.is_odd()) return Montgomery(m).modexp(base, exp);
+  // The shared cache makes repeated calls against the same modulus (the
+  // dominant pattern: a fixed public N or group prime) skip the
+  // R^2-mod-N setup divmod.
+  if (m.is_odd()) return Montgomery::shared_for(m)->modexp(base, exp);
   return modexp_basic(base, exp, m);
 }
 

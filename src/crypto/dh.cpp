@@ -38,17 +38,34 @@ DhGroup DhGroup::generate(util::Rng& rng, std::size_t bits) {
   }
 }
 
+DhContext::DhContext(DhGroup group)
+    : group_(std::move(group)),
+      mont_(Montgomery::shared_for(group_.p)),
+      g_table_(*mont_, group_.g) {}
+
+DhKeyPair DhContext::keygen(util::Rng& rng) const {
+  // x uniform in [1, p-2]; the public key comes off the window table.
+  const Bignum x =
+      Bignum::random_below(rng, group_.p.sub(Bignum(2))).add(Bignum(1));
+  return {.private_key = x, .public_key = g_table_.modexp(x)};
+}
+
+Bignum DhContext::shared_secret(const Bignum& own_private,
+                                const Bignum& peer_public) const {
+  return mont_->modexp(peer_public, own_private);
+}
+
 DhKeyPair dh_keygen(const DhGroup& group, util::Rng& rng) {
   const Bignum two(2);
   // x uniform in [1, p-2].
   const Bignum x = Bignum::random_below(rng, group.p.sub(two)).add(Bignum(1));
   return {.private_key = x,
-          .public_key = Montgomery(group.p).modexp(group.g, x)};
+          .public_key = Montgomery::shared_for(group.p)->modexp(group.g, x)};
 }
 
 Bignum dh_shared_secret(const DhGroup& group, const Bignum& own_private,
                         const Bignum& peer_public) {
-  return Montgomery(group.p).modexp(peer_public, own_private);
+  return Montgomery::shared_for(group.p)->modexp(peer_public, own_private);
 }
 
 Bignum dh_shared_secret(const Montgomery& mont_p, const Bignum& own_private,

@@ -37,6 +37,33 @@ struct DhKeyPair {
   Bignum public_key;   // g^x mod p
 };
 
+/// Amortized per-group state: the shared Montgomery context for p plus a
+/// fixed-base window table for g. Every keygen raises the SAME generator,
+/// so one table turns the roster's keygen loop from ~bits squarings +
+/// bits/4 multiplies each into ~bits/4 + 16 multiplies each (HAC 14.109);
+/// shared secrets reuse the Montgomery context (the base varies per peer,
+/// so no table helps there). Immutable after construction, safe to share
+/// across threads.
+class DhContext {
+ public:
+  explicit DhContext(DhGroup group);
+
+  [[nodiscard]] const DhGroup& group() const noexcept { return group_; }
+  [[nodiscard]] const Montgomery& mont() const noexcept { return *mont_; }
+
+  /// dh_keygen with the fixed-base table: x uniform in [1, p-2],
+  /// public key g^x via the precomputed windows.
+  [[nodiscard]] DhKeyPair keygen(util::Rng& rng) const;
+  /// (peer_public)^{own_private} mod p on the shared context.
+  [[nodiscard]] Bignum shared_secret(const Bignum& own_private,
+                                     const Bignum& peer_public) const;
+
+ private:
+  DhGroup group_;
+  std::shared_ptr<const Montgomery> mont_;  // cached via Montgomery::shared_for
+  MontFixedBase g_table_;
+};
+
 [[nodiscard]] DhKeyPair dh_keygen(const DhGroup& group, util::Rng& rng);
 
 /// Shared secret g^{x_a x_b} = (peer_public)^{own_private} mod p.

@@ -1,0 +1,68 @@
+// Montgomery multiplication kernels behind a runtime-dispatched interface.
+//
+// The CIOS inner loop is the single hottest path of the protocol (every
+// OPRF evaluation, blinding and DH pair secret bottoms out in it), so it
+// exists in two implementations:
+//
+//  * portable — the u128 dual-carry-chain FIOS loop, compiled for the
+//    baseline target. Always present; also the agreement oracle.
+//  * adx — BMI2/ADX intrinsics (`_mulx_u64` + `adcx`/`adox` dual carry
+//    chains) compiled as its own translation unit with `-madx -mbmi2`,
+//    selected only when CPUID reports both features at runtime.
+//
+// Selection happens once per process in active_mont_kernel(); the
+// environment variable EYW_MONT_KERNEL ("portable" | "adx" | "auto")
+// overrides it, which is how CI keeps the fallback path tested on
+// ADX-capable runners. A Montgomery context captures the kernel pointer at
+// construction, so dispatch costs nothing per multiplication.
+//
+// Kernel contract (both functions):
+//  * `n` has L limbs, odd, n[L-1] != 0; n0inv == -n^-1 mod 2^64.
+//  * inputs are < N (L limbs); output is the Montgomery product < N.
+//  * `scratch` holds at least mont_kernel_scratch_limbs(L) limbs and may
+//    not alias any other argument; `out` may alias `a` or `b`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eyw::crypto {
+
+struct MontKernel {
+  /// out <- a * b * R^-1 mod N.
+  void (*mul)(const std::uint64_t* a, const std::uint64_t* b,
+              std::uint64_t* out, std::uint64_t* scratch,
+              const std::uint64_t* n, std::size_t L,
+              std::uint64_t n0inv);
+  /// out <- a * a * R^-1 mod N (dedicated squaring; ~25% fewer multiplies).
+  void (*sqr)(const std::uint64_t* a, std::uint64_t* out,
+              std::uint64_t* scratch, const std::uint64_t* n, std::size_t L,
+              std::uint64_t n0inv);
+  /// Stable identifier ("portable", "adx") — surfaces in benches and the
+  /// BENCH_*.json trajectory artifacts.
+  const char* name;
+};
+
+/// Scratch limbs either kernel may touch for an L-limb modulus.
+[[nodiscard]] constexpr std::size_t mont_kernel_scratch_limbs(
+    std::size_t L) noexcept {
+  return 2 * L + 4;
+}
+
+/// The u128 reference kernel. Always available.
+[[nodiscard]] const MontKernel& portable_mont_kernel() noexcept;
+
+/// The BMI2/ADX kernel, or nullptr when it was not compiled in (non-x86
+/// build / toolchain without -madx) or the CPU lacks ADX or BMI2.
+[[nodiscard]] const MontKernel* adx_mont_kernel() noexcept;
+
+/// CPUID says this CPU executes ADX and BMI2 (independent of whether the
+/// kernel was compiled in).
+[[nodiscard]] bool cpu_supports_adx() noexcept;
+
+/// The kernel new Montgomery contexts capture: adx when compiled in and
+/// the CPU supports it, else portable; EYW_MONT_KERNEL overrides (read
+/// once, at first use).
+[[nodiscard]] const MontKernel& active_mont_kernel() noexcept;
+
+}  // namespace eyw::crypto

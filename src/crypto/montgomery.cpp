@@ -1,47 +1,45 @@
 #include "crypto/montgomery.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 
 namespace eyw::crypto {
 
 namespace {
 using u64 = std::uint64_t;
-using u128 = unsigned __int128;
 
-/// -n^-1 mod 2^64 for odd n, by Newton iteration (doubles correct bits
-/// per step: 5 iterations reach all 64 from the 3 that x = n provides).
-u64 neg_inv64(u64 n) {
-  u64 x = n;  // correct mod 2^3 for odd n
-  for (int i = 0; i < 5; ++i) x *= 2 - n * x;
-  return ~x + 1;  // -(n^-1)
+std::size_t window_bits_for(std::size_t exp_bits) noexcept {
+  // Fixed window, sized to the exponent: the 2^w-2 table multiplies only
+  // pay off once the ladder is long enough to amortize them (e = 65537 and
+  // the g^2 probes in DH group generation would otherwise spend more on
+  // the table than on the ladder).
+  return exp_bits >= 128 ? 4 : exp_bits >= 24 ? 2 : 1;
 }
 
-/// a >= b over equal-length limb vectors.
-bool geq(const u64* a, const u64* b, std::size_t len) noexcept {
-  for (std::size_t i = len; i-- > 0;) {
-    if (a[i] != b[i]) return a[i] > b[i];
-  }
-  return true;
-}
-
-/// a -= b (wrapping) over equal-length limb vectors.
-void sub_in_place(u64* a, const u64* b, std::size_t len) noexcept {
-  u64 borrow = 0;
-  for (std::size_t i = 0; i < len; ++i) {
-    const u128 diff = static_cast<u128>(a[i]) - b[i] - borrow;
-    a[i] = static_cast<u64>(diff);
-    borrow = static_cast<u64>((diff >> 64) & 1);
-  }
+std::size_t window_digit(const Bignum& exp, std::size_t window,
+                         std::size_t w) noexcept {
+  std::size_t v = 0;
+  for (std::size_t b = 0; b < window; ++b)
+    v |= static_cast<std::size_t>(exp.bit(w * window + b)) << b;
+  return v;
 }
 }  // namespace
 
-Montgomery::Montgomery(const Bignum& modulus) : modulus_(modulus) {
+Montgomery::Montgomery(const Bignum& modulus)
+    : Montgomery(modulus, active_mont_kernel()) {}
+
+Montgomery::Montgomery(const Bignum& modulus, const MontKernel& kernel)
+    : modulus_(modulus), kernel_(&kernel) {
   if (modulus.is_zero() || modulus.is_one() || !modulus.is_odd())
     throw std::invalid_argument("Montgomery: modulus must be odd and > 1");
   const auto limbs = modulus.limbs();
   n_.assign(limbs.begin(), limbs.end());
-  n0inv_ = neg_inv64(n_[0]);
+  // -N^-1 mod 2^64 for odd N, by Newton iteration (doubles correct bits
+  // per step: 5 iterations reach all 64 from the 3 that x = n provides).
+  u64 x = n_[0];
+  for (int i = 0; i < 5; ++i) x *= 2 - n_[0] * x;
+  n0inv_ = ~x + 1;
 
   const std::size_t L = n_.size();
   // R^2 mod N with R = 2^(64L), via one divmod at setup.
@@ -56,104 +54,49 @@ Montgomery::Montgomery(const Bignum& modulus) : modulus_(modulus) {
   std::copy(r1_limbs.begin(), r1_limbs.end(), one_.begin());
 }
 
-void Montgomery::cios(const u64* a, const u64* b, u64* out,
-                      u64* __restrict t) const {
-  // Finely integrated operand scanning (Koc/Acar/Kaliski FIOS): each outer
-  // iteration adds a[i]*b and m*N in ONE inner pass with two independent
-  // carry chains, so the CPU can overlap the two multiply streams instead
-  // of serializing on a single carry. The running value shifts one limb
-  // per outer iteration; with a, b < N it stays below 2N at the end, so a
-  // single conditional subtraction normalizes.
-  const std::size_t L = n_.size();
-  const u64* __restrict n = n_.data();
-  std::fill(t, t + L + 1, 0);
-  u64 t_hi = 0;  // limb L of the running value; provably <= 1
-  for (std::size_t i = 0; i < L; ++i) {
-    const u64 ai = a[i];
-    u128 v = static_cast<u128>(ai) * b[0] + t[0];
-    u64 carry_ab = static_cast<u64>(v >> 64);
-    const u64 m = static_cast<u64>(v) * n0inv_;
-    u128 w = static_cast<u128>(m) * n[0] + static_cast<u64>(v);
-    u64 carry_mn = static_cast<u64>(w >> 64);  // low limb cancels by choice of m
-    for (std::size_t j = 1; j < L; ++j) {
-      v = static_cast<u128>(ai) * b[j] + t[j] + carry_ab;
-      carry_ab = static_cast<u64>(v >> 64);
-      w = static_cast<u128>(m) * n[j] + static_cast<u64>(v) + carry_mn;
-      carry_mn = static_cast<u64>(w >> 64);
-      t[j - 1] = static_cast<u64>(w);
+std::shared_ptr<const Montgomery> Montgomery::shared_for(
+    const Bignum& modulus) {
+  // Tiny MRU list: the process only ever sees a handful of long-lived
+  // moduli (the oprf-server's N, the DH group p, RSA p/q), so a linear
+  // scan under one mutex beats a map; construction happens outside no
+  // lock hazards because Montgomery's ctor only reads `modulus`.
+  static std::mutex mu;
+  static std::vector<std::shared_ptr<const Montgomery>> cache;
+  constexpr std::size_t kMaxEntries = 16;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto it = cache.begin(); it != cache.end(); ++it) {
+      if ((*it)->modulus() == modulus) {
+        auto hit = *it;
+        cache.erase(it);
+        cache.insert(cache.begin(), hit);
+        return hit;
+      }
     }
-    const u128 s = static_cast<u128>(t_hi) + carry_ab + carry_mn;
-    t[L - 1] = static_cast<u64>(s);
-    t_hi = static_cast<u64>(s >> 64);
   }
-  if (t_hi != 0 || geq(t, n, L)) sub_in_place(t, n, L);
-  std::copy(t, t + L, out);
+  auto fresh = std::make_shared<const Montgomery>(modulus);
+  std::lock_guard<std::mutex> lock(mu);
+  for (const auto& entry : cache) {
+    if (entry->modulus() == modulus) return entry;  // raced: reuse theirs
+  }
+  cache.insert(cache.begin(), fresh);
+  if (cache.size() > kMaxEntries) cache.pop_back();
+  return fresh;
 }
 
-void Montgomery::cios_sqr(const u64* a, u64* out, u64* __restrict t) const {
-  // Separated operand scanning for squares: build the full 2L-limb product
-  // exploiting symmetry (cross terms once, doubled, plus the diagonal),
-  // then run the L reduction rows. ~1.5 L^2 multiplies vs the 2 L^2 of the
-  // general fused path; the exponentiation ladder is ~80% squarings.
-  const std::size_t L = n_.size();
-  const u64* __restrict n = n_.data();
-  std::fill(t, t + 2 * L + 1, 0);
+void Montgomery::cios(const u64* a, const u64* b, u64* out,
+                      u64* scratch) const {
+  kernel_->mul(a, b, out, scratch, n_.data(), n_.size(), n0inv_);
+}
 
-  // Cross products a[i]*a[j], i < j.
-  for (std::size_t i = 0; i + 1 < L; ++i) {
-    const u64 ai = a[i];
-    u64 carry = 0;
-    for (std::size_t j = i + 1; j < L; ++j) {
-      const u128 v = static_cast<u128>(ai) * a[j] + t[i + j] + carry;
-      t[i + j] = static_cast<u64>(v);
-      carry = static_cast<u64>(v >> 64);
-    }
-    t[i + L] = carry;
-  }
-  // Double, then add the diagonal a[i]^2.
-  u64 shift_carry = 0;
-  for (std::size_t k = 0; k < 2 * L; ++k) {
-    const u64 nv = (t[k] << 1) | shift_carry;
-    shift_carry = t[k] >> 63;
-    t[k] = nv;
-  }
-  t[2 * L] = shift_carry;
-  u64 carry = 0;
-  for (std::size_t i = 0; i < L; ++i) {
-    const u128 sq = static_cast<u128>(a[i]) * a[i];
-    u128 v = static_cast<u128>(t[2 * i]) + static_cast<u64>(sq) + carry;
-    t[2 * i] = static_cast<u64>(v);
-    v = static_cast<u128>(t[2 * i + 1]) + static_cast<u64>(sq >> 64) +
-        static_cast<u64>(v >> 64);
-    t[2 * i + 1] = static_cast<u64>(v);
-    carry = static_cast<u64>(v >> 64);
-  }
-  t[2 * L] += carry;
-
-  // Montgomery reduction rows: clear one low limb per row.
-  for (std::size_t i = 0; i < L; ++i) {
-    const u64 m = t[i] * n0inv_;
-    u64 row_carry = 0;
-    for (std::size_t j = 0; j < L; ++j) {
-      const u128 v = static_cast<u128>(m) * n[j] + t[i + j] + row_carry;
-      t[i + j] = static_cast<u64>(v);
-      row_carry = static_cast<u64>(v >> 64);
-    }
-    for (std::size_t k = i + L; row_carry != 0; ++k) {
-      const u128 v = static_cast<u128>(t[k]) + row_carry;
-      t[k] = static_cast<u64>(v);
-      row_carry = static_cast<u64>(v >> 64);
-    }
-  }
-  // Result sits in t[L .. 2L-1] with a possible top bit in t[2L].
-  if (t[2 * L] != 0 || geq(t + L, n, L)) sub_in_place(t + L, n, L);
-  std::copy(t + L, t + 2 * L, out);
+void Montgomery::cios_sqr(const u64* a, u64* out, u64* scratch) const {
+  kernel_->sqr(a, out, scratch, n_.data(), n_.size(), n0inv_);
 }
 
 std::vector<u64> Montgomery::mont_mul(const std::vector<u64>& a,
                                       const std::vector<u64>& b) const {
   std::vector<u64> out(n_.size());
-  std::vector<u64> scratch(2 * n_.size() + 1);
+  std::vector<u64> scratch(mont_kernel_scratch_limbs(n_.size()));
   if (&a == &b) {
     cios_sqr(a.data(), out.data(), scratch.data());
   } else {
@@ -169,7 +112,7 @@ std::vector<u64> Montgomery::to_mont(const Bignum& a) const {
   const auto limbs = reduced.limbs();
   std::copy(limbs.begin(), limbs.end(), av.begin());
   std::vector<u64> out(L);
-  std::vector<u64> scratch(L + 2);
+  std::vector<u64> scratch(mont_kernel_scratch_limbs(L));
   cios(av.data(), rr_.data(), out.data(), scratch.data());
   return out;
 }
@@ -179,7 +122,7 @@ Bignum Montgomery::from_mont(const std::vector<u64>& a) const {
   std::vector<u64> one(L, 0);
   one[0] = 1;
   std::vector<u64> out(L);
-  std::vector<u64> scratch(L + 2);
+  std::vector<u64> scratch(mont_kernel_scratch_limbs(L));
   cios(a.data(), one.data(), out.data(), scratch.data());
   return Bignum::from_limbs(std::move(out));
 }
@@ -188,7 +131,7 @@ Bignum Montgomery::modmul(const Bignum& a, const Bignum& b) const {
   // Only a enters the domain: (aR) * b * R^-1 = a*b mod N. Two CIOS
   // passes total instead of the four of convert-both-then-exit.
   const std::size_t L = n_.size();
-  std::vector<u64> scratch(L + 2);
+  std::vector<u64> scratch(mont_kernel_scratch_limbs(L));
   std::vector<u64> am = to_mont(a);
   const Bignum b_red = b >= modulus_ ? b.mod(modulus_) : b;
   std::vector<u64> bv(L, 0);
@@ -205,16 +148,12 @@ Bignum Montgomery::modexp(const Bignum& base, const Bignum& exp) const {
 std::vector<u64> Montgomery::modexp_mont(const Bignum& base,
                                          const Bignum& exp) const {
   const std::size_t L = n_.size();
-  std::vector<u64> scratch(2 * L + 1);
+  std::vector<u64> scratch(mont_kernel_scratch_limbs(L));
 
   const std::size_t bits = exp.bit_length();
   if (bits == 0) return one_;  // x^0 = 1 mod N
 
-  // Fixed window, sized to the exponent: the 2^w-2 table multiplies only
-  // pay off once the ladder is long enough to amortize them (e = 65537 and
-  // the g^2 probes in DH group generation would otherwise spend more on
-  // the table than on the ladder).
-  const std::size_t window = bits >= 128 ? 4 : bits >= 24 ? 2 : 1;
+  const std::size_t window = window_bits_for(bits);
   std::vector<std::vector<u64>> table(std::size_t{1} << window);
   table[0] = one_;
   table[1] = to_mont(base);
@@ -224,23 +163,179 @@ std::vector<u64> Montgomery::modexp_mont(const Bignum& base,
          scratch.data());
   }
 
-  const auto window_at = [&exp, window](std::size_t w) {
-    std::size_t v = 0;
-    for (std::size_t b = 0; b < window; ++b)
-      v |= static_cast<std::size_t>(exp.bit(w * window + b)) << b;
-    return v;
-  };
-
   const std::size_t windows = (bits + window - 1) / window;
-  std::vector<u64> acc = table[window_at(windows - 1)];
+  std::vector<u64> acc = table[window_digit(exp, window, windows - 1)];
   for (std::size_t w = windows - 1; w-- > 0;) {
     for (std::size_t s = 0; s < window; ++s)
       cios_sqr(acc.data(), acc.data(), scratch.data());
-    const std::size_t win = window_at(w);
+    const std::size_t win = window_digit(exp, window, w);
     if (win != 0) cios(acc.data(), table[win].data(), acc.data(),
                        scratch.data());
   }
   return acc;
+}
+
+std::vector<Bignum> Montgomery::modexp_batch(
+    std::span<const Bignum> bases, std::span<const Bignum> exps) const {
+  const std::size_t K = bases.size();
+  if (exps.size() != K && exps.size() != 1)
+    throw std::invalid_argument(
+        "Montgomery::modexp_batch: exps must match bases or be a single "
+        "shared exponent");
+  const std::size_t L = n_.size();
+  std::vector<u64> scratch(mont_kernel_scratch_limbs(L));
+
+  // One ladder per lane, all sharing this thread's scratch. Lanes are
+  // advanced round-robin a single kernel call at a time, so consecutive
+  // calls operate on independent data: the out-of-order core overlaps the
+  // tail of one lane's carry chain with the head of the next lane's.
+  struct Lane {
+    const Bignum* exp = nullptr;
+    std::vector<std::vector<u64>> table;
+    std::vector<u64> acc;
+    std::size_t window = 0;   // window width in bits
+    std::size_t w = 0;        // next window index to consume (counts down)
+    std::size_t sqr_left = 0; // squarings before the next digit multiply
+    bool need_mult = false;
+    bool done = false;
+  };
+  std::vector<Lane> lanes(K);
+  for (std::size_t i = 0; i < K; ++i) {
+    Lane& lane = lanes[i];
+    lane.exp = exps.size() == 1 ? &exps[0] : &exps[i];
+    const std::size_t bits = lane.exp->bit_length();
+    if (bits == 0) {
+      lane.acc = one_;
+      lane.done = true;
+      continue;
+    }
+    lane.window = window_bits_for(bits);
+    lane.table.assign(std::size_t{1} << lane.window, {});
+    lane.table[0] = one_;
+    lane.table[1] = to_mont(bases[i]);
+    lane.w = (bits + lane.window - 1) / lane.window;
+  }
+  // Table rows interleaved across lanes (they are multiplies too).
+  for (std::size_t k = 2;; ++k) {
+    bool any = false;
+    for (Lane& lane : lanes) {
+      if (lane.done || k >= lane.table.size()) continue;
+      any = true;
+      lane.table[k].resize(L);
+      cios(lane.table[k - 1].data(), lane.table[1].data(),
+           lane.table[k].data(), scratch.data());
+    }
+    if (!any) break;
+  }
+  for (Lane& lane : lanes) {
+    if (lane.done) continue;
+    --lane.w;
+    lane.acc = lane.table[window_digit(*lane.exp, lane.window, lane.w)];
+    if (lane.w == 0) {
+      lane.done = true;
+    } else {
+      lane.sqr_left = lane.window;
+    }
+  }
+
+  // Round-robin: one Montgomery operation per visit per live lane.
+  for (;;) {
+    bool any = false;
+    for (Lane& lane : lanes) {
+      if (lane.done) continue;
+      any = true;
+      if (lane.sqr_left > 0) {
+        cios_sqr(lane.acc.data(), lane.acc.data(), scratch.data());
+        if (--lane.sqr_left == 0) lane.need_mult = true;
+        continue;
+      }
+      // need_mult: fold in the next window digit, then either rearm the
+      // squaring run or finish the lane.
+      --lane.w;
+      const std::size_t win = window_digit(*lane.exp, lane.window, lane.w);
+      if (win != 0)
+        cios(lane.acc.data(), lane.table[win].data(), lane.acc.data(),
+             scratch.data());
+      lane.need_mult = false;
+      if (lane.w == 0) {
+        lane.done = true;
+      } else {
+        lane.sqr_left = lane.window;
+      }
+    }
+    if (!any) break;
+  }
+
+  std::vector<Bignum> out;
+  out.reserve(K);
+  for (Lane& lane : lanes) out.push_back(from_mont(lane.acc));
+  return out;
+}
+
+// ---------------------------------------------------------- MontFixedBase
+
+MontFixedBase::MontFixedBase(const Montgomery& mont, const Bignum& base)
+    : mont_(&mont),
+      base_(base),
+      window_(4),
+      max_bits_(mont.modulus().bit_length()) {
+  const std::size_t L = mont.limb_count();
+  const std::size_t windows = (max_bits_ + window_ - 1) / window_;
+  std::vector<u64> scratch(mont_kernel_scratch_limbs(L));
+  // g_i = base^(2^(w*i)): one walk of max_bits_ squarings, storing every
+  // w-th point — table cost == one plain exponentiation, paid once per
+  // group and amortized over the whole roster.
+  std::vector<u64> cur = mont.to_mont(base);
+  table_.reserve(windows);
+  for (std::size_t i = 0; i < windows; ++i) {
+    table_.push_back(cur);
+    for (std::size_t s = 0; s < window_; ++s)
+      mont_->cios_sqr(cur.data(), cur.data(), scratch.data());
+  }
+}
+
+Bignum MontFixedBase::modexp(const Bignum& exp) const {
+  return mont_->from_mont(modexp_mont(exp));
+}
+
+std::vector<u64> MontFixedBase::modexp_mont(const Bignum& exp) const {
+  const std::size_t bits = exp.bit_length();
+  if (bits == 0) return mont_->one_mont();
+  if (bits > max_bits_) return mont_->modexp_mont(base_, exp);
+
+  const std::size_t L = mont_->limb_count();
+  std::vector<u64> scratch(mont_kernel_scratch_limbs(L));
+  const std::size_t windows =
+      std::min(table_.size(), (bits + window_ - 1) / window_);
+
+  // Yao / HAC 14.109 evaluation: base^exp = prod_j (prod_{e_i == j} g_i)^j.
+  // B walks the digit values j from high to low accumulating the g_i with
+  // digit j; A accumulates B once per j, so each group lands in A exactly
+  // j times. No squarings at all — the table already carries them.
+  std::vector<u64> a_acc;
+  std::vector<u64> b_acc;
+  bool a_one = true;
+  bool b_one = true;
+  for (std::size_t j = (std::size_t{1} << window_) - 1; j >= 1; --j) {
+    for (std::size_t i = 0; i < windows; ++i) {
+      if (window_digit(exp, window_, i) != j) continue;
+      if (b_one) {
+        b_acc = table_[i];
+        b_one = false;
+      } else {
+        mont_->cios(b_acc.data(), table_[i].data(), b_acc.data(),
+                    scratch.data());
+      }
+    }
+    if (b_one) continue;  // nothing accumulated yet; A * 1 is a no-op
+    if (a_one) {
+      a_acc = b_acc;
+      a_one = false;
+    } else {
+      mont_->cios(a_acc.data(), b_acc.data(), a_acc.data(), scratch.data());
+    }
+  }
+  return a_one ? mont_->one_mont() : a_acc;
 }
 
 }  // namespace eyw::crypto

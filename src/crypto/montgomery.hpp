@@ -9,32 +9,67 @@
 // divmod. Exponentiation uses a fixed 4-bit window, cutting multiplies per
 // exponent bit from ~1.5 (square-and-multiply) to ~1.25/4.
 //
+// The CIOS pass itself is a pluggable kernel (crypto/mont_kernel.hpp): the
+// portable u128 loop everywhere, and a BMI2/ADX `mulx`/`adcx`/`adox`
+// kernel selected by CPUID at runtime on hardware that has it. A context
+// captures the kernel once at construction; Montgomery(m, kernel) pins an
+// explicit one (how the differential tests and benches compare backends).
+//
 // Contexts are immutable after construction and safe to share across
-// threads; the parallel round pipeline relies on this.
+// threads; the parallel round pipeline relies on this. shared_for()
+// returns a process-wide cached context so repeated-modulus hot paths
+// (client blinding against the oprf-server's fixed N, Bignum::modexp
+// dispatch) skip the R^2-mod-N setup divmod.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "crypto/bignum.hpp"
+#include "crypto/mont_kernel.hpp"
 
 namespace eyw::crypto {
 
 class Montgomery {
  public:
-  /// Precompute a context for an odd modulus > 1.
-  /// Throws std::invalid_argument otherwise (Montgomery reduction requires
-  /// gcd(R, N) = 1, i.e. N odd).
+  /// Precompute a context for an odd modulus > 1, on the runtime-selected
+  /// kernel. Throws std::invalid_argument otherwise (Montgomery reduction
+  /// requires gcd(R, N) = 1, i.e. N odd).
   explicit Montgomery(const Bignum& modulus);
+  /// Same, pinned to an explicit kernel (backend comparisons and tests).
+  Montgomery(const Bignum& modulus, const MontKernel& kernel);
+
+  /// Process-wide cached context for `modulus` (small MRU cache keyed by
+  /// value). Hot paths that see the same modulus repeatedly — every call
+  /// against the oprf-server's fixed public N — reuse the precomputation
+  /// instead of redoing the setup divmod per call/instance.
+  [[nodiscard]] static std::shared_ptr<const Montgomery> shared_for(
+      const Bignum& modulus);
 
   [[nodiscard]] const Bignum& modulus() const noexcept { return modulus_; }
   /// Limbs per residue (the word size L of the CIOS loops).
   [[nodiscard]] std::size_t limb_count() const noexcept { return n_.size(); }
+  /// Kernel this context runs on: "portable" or "adx".
+  [[nodiscard]] const char* kernel_name() const noexcept {
+    return kernel_->name;
+  }
 
   /// (a * b) mod N.
   [[nodiscard]] Bignum modmul(const Bignum& a, const Bignum& b) const;
   /// (base ^ exp) mod N via fixed 4-bit-window Montgomery exponentiation.
   [[nodiscard]] Bignum modexp(const Bignum& base, const Bignum& exp) const;
+
+  /// K independent exponentiations, lanes advanced round-robin one
+  /// Montgomery operation at a time: lane i computes bases[i]^exps[i]
+  /// (exps may also hold a single shared exponent). Adjacent operations
+  /// then come from different ladders, so the multiplier pipeline is fed
+  /// independent work instead of stalling on one ladder's carry chain —
+  /// the OPRF batch paths (server evaluation, client blinding/unblinding)
+  /// run on this. Results are identical to per-element modexp().
+  [[nodiscard]] std::vector<Bignum> modexp_batch(
+      std::span<const Bignum> bases, std::span<const Bignum> exps) const;
 
   // Raw Montgomery-domain interface, for callers that chain many
   // operations on residues (e.g. the Miller-Rabin squaring ladder) and
@@ -59,21 +94,54 @@ class Montgomery {
   }
 
  private:
-  /// CIOS core: out <- a*b*R^-1 mod N. `scratch` must hold L+2 limbs.
-  /// out may not alias scratch; it may alias a or b.
+  friend class MontFixedBase;
+
+  /// Kernel trampoline: out <- a*b*R^-1 mod N. `scratch` must hold
+  /// mont_kernel_scratch_limbs(L) limbs and may not alias anything; out
+  /// may alias a or b.
   void cios(const std::uint64_t* a, const std::uint64_t* b,
             std::uint64_t* out, std::uint64_t* scratch) const;
-  /// Squaring: out <- a*a*R^-1 mod N, ~25% fewer multiplies than cios
-  /// (triangular product + doubling). `scratch` must hold 2L+1 limbs.
-  /// out may alias a; neither may alias scratch.
+  /// Kernel trampoline for the dedicated squaring: out <- a*a*R^-1 mod N.
   void cios_sqr(const std::uint64_t* a, std::uint64_t* out,
                 std::uint64_t* scratch) const;
 
   Bignum modulus_;
+  const MontKernel* kernel_;        // captured once; never null
   std::vector<std::uint64_t> n_;    // modulus limbs, length L
   std::vector<std::uint64_t> rr_;   // R^2 mod N (domain-entry factor)
   std::vector<std::uint64_t> one_;  // R mod N
   std::uint64_t n0inv_ = 0;         // -N^-1 mod 2^64
+};
+
+/// Fixed-base exponentiation with a precomputed window table (HAC 14.109):
+/// store base^(2^(w*i)) for every w-bit window of the exponent once, then
+/// each exponentiation costs at most ceil(bits/w) + 2^w multiplications and
+/// ZERO squarings. The DH roster raises the same generator g for every
+/// keypair, so one table per group amortizes across the whole roster
+/// (crypto::DhContext owns exactly that pairing).
+///
+/// The referenced Montgomery context must outlive the table. Immutable
+/// after construction; safe to share across threads.
+class MontFixedBase {
+ public:
+  /// Table sized to modulus-width exponents (every DH secret is < p).
+  MontFixedBase(const Montgomery& mont, const Bignum& base);
+
+  [[nodiscard]] const Bignum& base() const noexcept { return base_; }
+
+  /// base^exp mod N. Exponents wider than the modulus fall back to the
+  /// plain ladder (never wrong, just unamortized).
+  [[nodiscard]] Bignum modexp(const Bignum& exp) const;
+  /// Same, result left in the Montgomery domain.
+  [[nodiscard]] std::vector<std::uint64_t> modexp_mont(
+      const Bignum& exp) const;
+
+ private:
+  const Montgomery* mont_;
+  Bignum base_;
+  std::size_t window_;
+  std::size_t max_bits_;
+  std::vector<std::vector<std::uint64_t>> table_;  // base^(2^(w*i)), mont
 };
 
 }  // namespace eyw::crypto

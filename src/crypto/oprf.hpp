@@ -82,6 +82,20 @@ class OprfClient {
                                     const OprfBlinded& blinded,
                                     const Bignum& server_response) const;
 
+  /// Batch blinding, one element per input in order. Draws each r in the
+  /// same rng sequence as repeated blind() calls (bit-identical outputs),
+  /// then runs all r^e ladders through modexp_batch.
+  [[nodiscard]] std::vector<OprfBlinded> blind_batch(
+      std::span<const std::string_view> inputs, util::Rng& rng) const;
+
+  /// Batch unblind + verify + output hash; the verification
+  /// exponentiations (unblinded^e == H(x)) batch. Throws like finalize()
+  /// on the first inconsistent response.
+  [[nodiscard]] std::vector<OprfOutput> finalize_batch(
+      std::span<const std::string_view> inputs,
+      std::span<const OprfBlinded> blinded,
+      std::span<const Bignum> server_responses) const;
+
   /// Bytes on the wire for one evaluation: request + response, one group
   /// element each (paper: "exchanging two group elements").
   [[nodiscard]] std::size_t bytes_per_evaluation() const {
@@ -89,8 +103,12 @@ class OprfClient {
   }
 
  private:
+  // Shared context for the server's fixed public N: every blind/finalize
+  // reuses it, and every OprfClient in the process (one per extension in
+  // the swarm harness) shares ONE R^2-mod-N precomputation via
+  // Montgomery::shared_for instead of redoing the setup divmod each.
   RsaPublicKey pub_;
-  Montgomery mont_;  // cached context for N: every blind/finalize reuses it
+  std::shared_ptr<const Montgomery> mont_;
 };
 
 }  // namespace eyw::crypto

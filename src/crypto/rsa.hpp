@@ -8,6 +8,8 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "crypto/bignum.hpp"
 #include "crypto/montgomery.hpp"
@@ -65,6 +67,13 @@ class RsaPrivateContext {
 
   /// x^d mod n, via CRT when available.
   [[nodiscard]] Bignum private_apply(const Bignum& x) const;
+
+  /// Batch private operation, order preserved, results identical to
+  /// per-element private_apply(). Elements run through
+  /// Montgomery::modexp_batch in small chunks so adjacent Montgomery
+  /// operations come from independent ladders (both CRT halves batch).
+  [[nodiscard]] std::vector<Bignum> private_apply_batch(
+      std::span<const Bignum> xs) const;
 
  private:
   RsaKeyPair key_;

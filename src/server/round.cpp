@@ -32,8 +32,11 @@ RoundCoordinator::RoundCoordinator(
   std::vector<crypto::Bignum> publics;
   keys_.reserve(extensions.size());
   publics.reserve(extensions.size());
+  // One fixed-base table for g amortizes across the whole roster: each
+  // keygen is table multiplies only, no squarings.
+  const crypto::DhContext dh_ctx(group);
   for (std::size_t i = 0; i < extensions.size(); ++i) {
-    keys_.push_back(crypto::dh_keygen(group, rng));
+    keys_.push_back(dh_ctx.keygen(rng));
     publics.push_back(keys_.back().public_key);
   }
   // Publish the bulletin board: one encoded RosterAnnounce, downloaded by

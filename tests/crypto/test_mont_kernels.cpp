@@ -1,0 +1,271 @@
+// Differential agreement suite: the portable u128 kernel is the oracle,
+// and the BMI2/ADX kernel must be bit-identical to it on every input —
+// every limb count the dispatch table covers (1..33), the rolled fallback
+// beyond it, aliased outputs, and the edge exponents of the ladder. On
+// hardware without ADX the suite skips cleanly (the portable kernel is
+// then the only backend and has nothing to disagree with); the
+// batch/fixed-base agreement tests at the bottom run everywhere.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bignum.hpp"
+#include "crypto/mont_kernel.hpp"
+#include "crypto/montgomery.hpp"
+#include "util/rng.hpp"
+
+namespace eyw::crypto {
+namespace {
+
+using u64 = std::uint64_t;
+
+/// Random odd modulus with EXACTLY `limbs` limbs (top limb nonzero).
+Bignum random_odd_modulus(util::Rng& rng, std::size_t limbs) {
+  for (;;) {
+    Bignum n = Bignum::random_bits(rng, limbs * 64);
+    auto v = std::vector<u64>(n.limbs().begin(), n.limbs().end());
+    v.resize(limbs, 0);
+    v[limbs - 1] |= u64{1} << 63;  // pin the width
+    v[0] |= 1;                     // odd
+    Bignum fixed = Bignum::from_limbs(std::move(v));
+    if (!fixed.is_one()) return fixed;
+  }
+}
+
+/// Limbs of a random residue < n, padded to n's limb count.
+std::vector<u64> random_residue(util::Rng& rng, const Bignum& n,
+                                std::size_t limbs) {
+  const Bignum r = Bignum::random_below(rng, n);
+  std::vector<u64> v(r.limbs().begin(), r.limbs().end());
+  v.resize(limbs, 0);
+  return v;
+}
+
+u64 neg_inv64(u64 n0) {
+  u64 x = n0;
+  for (int i = 0; i < 5; ++i) x *= 2 - n0 * x;
+  return ~x + 1;
+}
+
+class MontKernelDifferential : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    adx_ = adx_mont_kernel();
+    if (adx_ == nullptr)
+      GTEST_SKIP() << "ADX kernel unavailable (CPU or toolchain); "
+                      "portable kernel is the only backend";
+  }
+  const MontKernel* adx_ = nullptr;
+};
+
+TEST_F(MontKernelDifferential, MulAgreesAtEveryFixedLimbCount) {
+  util::Rng rng(0x6d6b31);
+  const MontKernel& ref = portable_mont_kernel();
+  for (std::size_t L = 1; L <= 33; ++L) {
+    const Bignum n = random_odd_modulus(rng, L);
+    const auto nl = std::vector<u64>(n.limbs().begin(), n.limbs().end());
+    const u64 n0inv = neg_inv64(nl[0]);
+    std::vector<u64> scratch(mont_kernel_scratch_limbs(L));
+    for (int iter = 0; iter < 8; ++iter) {
+      const auto a = random_residue(rng, n, L);
+      const auto b = random_residue(rng, n, L);
+      std::vector<u64> out_ref(L), out_adx(L);
+      ref.mul(a.data(), b.data(), out_ref.data(), scratch.data(), nl.data(),
+              L, n0inv);
+      adx_->mul(a.data(), b.data(), out_adx.data(), scratch.data(),
+                nl.data(), L, n0inv);
+      ASSERT_EQ(out_ref, out_adx) << "mul mismatch at L=" << L;
+    }
+  }
+}
+
+TEST_F(MontKernelDifferential, SqrAgreesAtEveryFixedLimbCount) {
+  util::Rng rng(0x6d6b32);
+  const MontKernel& ref = portable_mont_kernel();
+  for (std::size_t L = 1; L <= 33; ++L) {
+    const Bignum n = random_odd_modulus(rng, L);
+    const auto nl = std::vector<u64>(n.limbs().begin(), n.limbs().end());
+    const u64 n0inv = neg_inv64(nl[0]);
+    std::vector<u64> scratch(mont_kernel_scratch_limbs(L));
+    for (int iter = 0; iter < 8; ++iter) {
+      const auto a = random_residue(rng, n, L);
+      std::vector<u64> out_ref(L), out_adx(L);
+      ref.sqr(a.data(), out_ref.data(), scratch.data(), nl.data(), L, n0inv);
+      adx_->sqr(a.data(), out_adx.data(), scratch.data(), nl.data(), L,
+                n0inv);
+      ASSERT_EQ(out_ref, out_adx) << "sqr mismatch at L=" << L;
+      // Squaring must equal the general multiply with both operands equal.
+      std::vector<u64> out_mul(L);
+      adx_->mul(a.data(), a.data(), out_mul.data(), scratch.data(),
+                nl.data(), L, n0inv);
+      ASSERT_EQ(out_mul, out_adx) << "sqr != mul(a,a) at L=" << L;
+    }
+  }
+}
+
+TEST_F(MontKernelDifferential, RolledFallbackBeyondFixedLimbs) {
+  // L > 33 leaves the dispatch table and runs the rolled jrcxz-loop rows.
+  util::Rng rng(0x6d6b33);
+  const MontKernel& ref = portable_mont_kernel();
+  for (const std::size_t L : {34, 40, 48}) {
+    const Bignum n = random_odd_modulus(rng, L);
+    const auto nl = std::vector<u64>(n.limbs().begin(), n.limbs().end());
+    const u64 n0inv = neg_inv64(nl[0]);
+    std::vector<u64> scratch(mont_kernel_scratch_limbs(L));
+    const auto a = random_residue(rng, n, L);
+    const auto b = random_residue(rng, n, L);
+    std::vector<u64> out_ref(L), out_adx(L);
+    ref.mul(a.data(), b.data(), out_ref.data(), scratch.data(), nl.data(),
+            L, n0inv);
+    adx_->mul(a.data(), b.data(), out_adx.data(), scratch.data(), nl.data(),
+              L, n0inv);
+    EXPECT_EQ(out_ref, out_adx) << "fallback mul mismatch at L=" << L;
+    ref.sqr(a.data(), out_ref.data(), scratch.data(), nl.data(), L, n0inv);
+    adx_->sqr(a.data(), out_adx.data(), scratch.data(), nl.data(), L,
+              n0inv);
+    EXPECT_EQ(out_ref, out_adx) << "fallback sqr mismatch at L=" << L;
+  }
+}
+
+TEST_F(MontKernelDifferential, OutputMayAliasEitherInput) {
+  util::Rng rng(0x6d6b34);
+  const MontKernel& ref = portable_mont_kernel();
+  for (const std::size_t L : {1, 2, 7, 16, 32, 33, 40}) {
+    const Bignum n = random_odd_modulus(rng, L);
+    const auto nl = std::vector<u64>(n.limbs().begin(), n.limbs().end());
+    const u64 n0inv = neg_inv64(nl[0]);
+    std::vector<u64> scratch(mont_kernel_scratch_limbs(L));
+    const auto a = random_residue(rng, n, L);
+    const auto b = random_residue(rng, n, L);
+    std::vector<u64> expected(L);
+    ref.mul(a.data(), b.data(), expected.data(), scratch.data(), nl.data(),
+            L, n0inv);
+    // out == a
+    std::vector<u64> buf = a;
+    adx_->mul(buf.data(), b.data(), buf.data(), scratch.data(), nl.data(),
+              L, n0inv);
+    EXPECT_EQ(expected, buf) << "out==a aliasing at L=" << L;
+    // out == b
+    buf = b;
+    adx_->mul(a.data(), buf.data(), buf.data(), scratch.data(), nl.data(),
+              L, n0inv);
+    EXPECT_EQ(expected, buf) << "out==b aliasing at L=" << L;
+    // sqr in place
+    ref.sqr(a.data(), expected.data(), scratch.data(), nl.data(), L, n0inv);
+    buf = a;
+    adx_->sqr(buf.data(), buf.data(), scratch.data(), nl.data(), L, n0inv);
+    EXPECT_EQ(expected, buf) << "sqr out==a aliasing at L=" << L;
+  }
+}
+
+TEST_F(MontKernelDifferential, ModexpEdgeExponents) {
+  util::Rng rng(0x6d6b35);
+  for (const std::size_t bits : {64, 256, 1024}) {
+    const Bignum n = random_odd_modulus(rng, bits / 64);
+    const Montgomery portable(n, portable_mont_kernel());
+    const Montgomery adx(n, *adx_);
+    const Bignum base = Bignum::random_below(rng, n);
+    // x^0 = 1, x^1 = x, and the all-ones exponent (every window maximal).
+    const Bignum all_ones = Bignum(1).shl(bits).sub(Bignum(1));
+    for (const Bignum& e : {Bignum(0), Bignum(1), all_ones}) {
+      EXPECT_EQ(portable.modexp(base, e), adx.modexp(base, e))
+          << "modexp mismatch at " << bits << " bits";
+    }
+  }
+}
+
+TEST_F(MontKernelDifferential, FullPipelineAgreement) {
+  // End to end through the Montgomery wrapper: same modulus, two pinned
+  // contexts, random exponentiations must match bit for bit.
+  util::Rng rng(0x6d6b36);
+  const Bignum n = random_odd_modulus(rng, 16);  // 1024-bit
+  const Montgomery portable(n, portable_mont_kernel());
+  const Montgomery adx(n, *adx_);
+  EXPECT_STREQ(portable.kernel_name(), "portable");
+  EXPECT_STREQ(adx.kernel_name(), "adx");
+  for (int i = 0; i < 4; ++i) {
+    const Bignum base = Bignum::random_below(rng, n);
+    const Bignum exp = Bignum::random_bits(rng, 1024);
+    EXPECT_EQ(portable.modexp(base, exp), adx.modexp(base, exp));
+    EXPECT_EQ(portable.modmul(base, exp.mod(n)), adx.modmul(base, exp.mod(n)));
+  }
+}
+
+// ------------------------------------------------------------------------
+// Batch and fixed-base paths: value agreement with the sequential ladder.
+// These run on whatever kernel is active, portable included.
+
+TEST(ModexpBatch, MatchesSequentialModexp) {
+  util::Rng rng(0x6d6b37);
+  const Bignum n = random_odd_modulus(rng, 8);  // 512-bit
+  const Montgomery mont(n);
+  std::vector<Bignum> bases, exps;
+  for (int i = 0; i < 7; ++i) {
+    bases.push_back(Bignum::random_below(rng, n));
+    // Mixed widths: exercises lanes finishing at different times.
+    exps.push_back(Bignum::random_bits(rng, 32 + 96 * i));
+  }
+  const auto batch = mont.modexp_batch(bases, exps);
+  ASSERT_EQ(batch.size(), bases.size());
+  for (std::size_t i = 0; i < bases.size(); ++i)
+    EXPECT_EQ(batch[i], mont.modexp(bases[i], exps[i])) << "lane " << i;
+}
+
+TEST(ModexpBatch, SharedExponentBroadcast) {
+  util::Rng rng(0x6d6b38);
+  const Bignum n = random_odd_modulus(rng, 8);
+  const Montgomery mont(n);
+  const Bignum e(65537);
+  std::vector<Bignum> bases;
+  for (int i = 0; i < 5; ++i) bases.push_back(Bignum::random_below(rng, n));
+  const auto batch =
+      mont.modexp_batch(bases, std::span<const Bignum>(&e, 1));
+  for (std::size_t i = 0; i < bases.size(); ++i)
+    EXPECT_EQ(batch[i], mont.modexp(bases[i], e));
+}
+
+TEST(ModexpBatch, ZeroAndOneExponentLanes) {
+  util::Rng rng(0x6d6b39);
+  const Bignum n = random_odd_modulus(rng, 4);
+  const Montgomery mont(n);
+  const std::vector<Bignum> bases = {Bignum::random_below(rng, n),
+                                     Bignum::random_below(rng, n),
+                                     Bignum::random_below(rng, n)};
+  const std::vector<Bignum> exps = {Bignum(0), Bignum(1),
+                                    Bignum::random_bits(rng, 256)};
+  const auto batch = mont.modexp_batch(bases, exps);
+  EXPECT_EQ(batch[0], Bignum(1));
+  EXPECT_EQ(batch[1], bases[1]);
+  EXPECT_EQ(batch[2], mont.modexp(bases[2], exps[2]));
+}
+
+TEST(MontFixedBaseTest, MatchesPlainModexp) {
+  util::Rng rng(0x6d6b3a);
+  const Bignum n = random_odd_modulus(rng, 8);
+  const Montgomery mont(n);
+  const Bignum g = Bignum::random_below(rng, n);
+  const MontFixedBase fixed(mont, g);
+  EXPECT_EQ(fixed.base(), g);
+  for (const std::size_t bits : {1, 13, 64, 200, 512}) {
+    const Bignum e = Bignum::random_bits(rng, bits);
+    EXPECT_EQ(fixed.modexp(e), mont.modexp(g, e)) << bits << "-bit exponent";
+  }
+  EXPECT_EQ(fixed.modexp(Bignum(0)), Bignum(1));
+  // Wider than the modulus: falls back to the plain ladder.
+  const Bignum wide = Bignum::random_bits(rng, 700);
+  EXPECT_EQ(fixed.modexp(wide), mont.modexp(g, wide));
+}
+
+TEST(SharedMontgomeryCache, ReturnsSameContextForSameModulus) {
+  util::Rng rng(0x6d6b3b);
+  const Bignum n = random_odd_modulus(rng, 4);
+  const auto a = Montgomery::shared_for(n);
+  const auto b = Montgomery::shared_for(n);
+  EXPECT_EQ(a.get(), b.get());
+  const Bignum m = random_odd_modulus(rng, 4);
+  EXPECT_NE(Montgomery::shared_for(m).get(), a.get());
+}
+
+}  // namespace
+}  // namespace eyw::crypto
