@@ -15,8 +15,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <latch>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -32,6 +35,9 @@
 #include "proto/client_reactor.hpp"
 #include "proto/raw_frame_io.hpp"
 #include "proto/tcp.hpp"
+#include "server/cluster.hpp"
+#include "server/dispatcher.hpp"
+#include "server/durable_backend.hpp"
 #include "server/endpoint.hpp"
 #include "server/remote_backend.hpp"
 #include "server/round.hpp"
@@ -145,6 +151,192 @@ ConcurrencyRow drive_connections(std::uint16_t port, std::size_t conns,
   }
   row.wall_ms = ms_since(t0);
   for (const int fd : fds) ::close(fd);
+  return row;
+}
+
+// ----------------------------------------------------------------------
+// Durability bench helpers: the 128-reporter round over TCP (reactor
+// server, sharded dispatch, pipelined control plane) with the write-ahead
+// journal off / group-commit / fsync-per-submit, same synthetic inputs.
+// Two round shapes share the harness: the full protocol round (reporters
+// derive their per-round blinding pads and submit as each is ready — the
+// deployment-shaped arrival pattern) and a burst round (pre-encoded
+// frames, no client compute — adversarial pressure on the queue).
+
+struct DurableRoundRow {
+  double wall_ms = 0.0;  // best full-round wall across the repeats
+  double users_threshold = 0.0;
+  std::size_t reports = 0;
+  std::size_t acked = 0;
+  eyw::storage::DurabilityStats stats;  // zeroes when the journal is off
+};
+
+eyw::server::BackendConfig durable_bench_config() {
+  // 4 x 64 cells keeps the paced round (128 reporters x 127-peer pad
+  // expansion each) in bench territory; journal volume and client compute
+  // both scale linearly in cells, so the on/off ratio is unaffected.
+  return {.cms_params = {.depth = 4, .width = 64},
+          .cms_hash_seed = 3,
+          .id_space = 10'000,
+          .users_rule = eyw::core::ThresholdRule::kMean};
+}
+
+std::vector<eyw::crypto::BlindCell> durable_bench_cells(std::size_t i,
+                                                        std::size_t cells) {
+  std::vector<eyw::crypto::BlindCell> out(cells);
+  for (std::size_t c = 0; c < cells; ++c)
+    out[c] = static_cast<eyw::crypto::BlindCell>(i * 2654435761u + c);
+  return out;
+}
+
+/// The client-side half of the paper's round: a fixed roster whose members
+/// derive additive shares of zero pairwise (Kursawe-style). Built once —
+/// roster keygen plus every pairwise DH secret — and shared read-only by
+/// all bench modes; blind() is const and per-reporter.
+struct BlindingSwarm {
+  eyw::crypto::DhGroup group;
+  std::vector<eyw::crypto::BlindingParticipant> participants;
+};
+
+BlindingSwarm make_blinding_swarm(std::size_t reporters) {
+  eyw::util::Rng rng(31);
+  eyw::crypto::DhGroup group = eyw::crypto::DhGroup::generate(rng, 256);
+  std::vector<eyw::crypto::DhKeyPair> keys;
+  std::vector<eyw::crypto::Bignum> publics;
+  keys.reserve(reporters);
+  publics.reserve(reporters);
+  for (std::size_t i = 0; i < reporters; ++i) {
+    keys.push_back(eyw::crypto::dh_keygen(group, rng));
+    publics.push_back(keys.back().public_key);
+  }
+  BlindingSwarm swarm{std::move(group), {}};
+  swarm.participants.reserve(reporters);
+  for (std::size_t i = 0; i < reporters; ++i)
+    swarm.participants.push_back(eyw::crypto::BlindingParticipant(
+        swarm.group, i, keys[i],
+        std::span<const eyw::crypto::Bignum>(publics)));
+  return swarm;
+}
+
+/// Reporter i's true (unblinded) sketch cells: sparse small counts, so
+/// the aggregate the pads cancel down to is deterministic across modes.
+std::vector<eyw::crypto::BlindCell> durable_true_cells(std::size_t i,
+                                                       std::size_t cells) {
+  std::vector<eyw::crypto::BlindCell> out(cells, 0);
+  for (std::size_t c = i % 7; c < cells; c += 7 + i % 5)
+    out[c] = static_cast<eyw::crypto::BlindCell>(1 + i % 3);
+  return out;
+}
+
+/// One server stack + 128 reporter channels; `rounds` full rounds (begin,
+/// 128 pipelined report submissions, missing barrier, finalize), keeping
+/// the best wall time. Empty `journal_dir` = durability off. With a
+/// `swarm`, each reporter derives its per-round pad and submits when
+/// ready (the paper's cadence); without one, pre-encoded frames go out in
+/// one burst.
+DurableRoundRow run_durable_rounds(const std::string& journal_dir,
+                                   bool sync_each, int rounds,
+                                   const BlindingSwarm* swarm) {
+  namespace server = eyw::server;
+  constexpr std::size_t kReporters = 128;
+  constexpr std::size_t kShards = 2;
+  const server::BackendConfig config = durable_bench_config();
+
+  server::BackendCluster cluster(config, kShards);
+  std::unique_ptr<server::DurableBackend> durable;
+  if (!journal_dir.empty())
+    durable = std::make_unique<server::DurableBackend>(
+        cluster, server::DurabilityConfig{.dir = journal_dir,
+                                          .sync_each_submit = sync_each});
+  server::BackendEndpoint endpoint(
+      durable ? static_cast<server::RoundBackend&>(*durable)
+              : static_cast<server::RoundBackend&>(cluster),
+      &cluster, /*serve_control=*/true);
+  server::AsyncDispatcher dispatcher(
+      [&](std::span<const std::uint8_t> frame) {
+        return endpoint.handle(frame);
+      },
+      kShards, server::cluster_lane_router(cluster),
+      server::control_plane_barrier());
+  eyw::proto::FrameServer frame_server(
+      dispatcher.handler(),
+      {.backlog = 256, .max_connections = kReporters + 8});
+
+  eyw::proto::ClientReactor reactor({.shards = 2, .backoff_jitter_seed = 5});
+  auto control = reactor.open("127.0.0.1", frame_server.port());
+  server::RemoteBackend remote(*control, config);
+  std::vector<std::shared_ptr<eyw::proto::ClientChannel>> channels;
+  channels.reserve(kReporters);
+  for (std::size_t i = 0; i < kReporters; ++i)
+    channels.push_back(reactor.open("127.0.0.1", frame_server.port()));
+
+  DurableRoundRow row;
+  row.wall_ms = 1e300;
+  for (int r = 1; r <= rounds; ++r) {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t done = 0;
+    std::atomic<std::size_t> acked{0};
+    const auto on_ack = [&](eyw::proto::AsyncResult res) {
+      if (res.ok() && !res.reply.empty()) acked.fetch_add(1);
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+      cv.notify_one();
+    };
+    const auto t0 = Clock::now();
+    remote.begin_round(static_cast<std::uint64_t>(r), kReporters);
+    if (swarm != nullptr) {
+      // Full protocol round: a few client threads work through the
+      // roster, each reporter blinding its true cells with its per-round
+      // pad and shipping the report the moment it is ready. Submissions
+      // arrive spread across the round's client compute — the queue's
+      // group commit runs concurrently instead of after one burst.
+      std::atomic<std::size_t> cursor{0};
+      constexpr std::size_t kClientThreads = 4;
+      std::vector<std::thread> swarm_threads;
+      swarm_threads.reserve(kClientThreads);
+      for (std::size_t t = 0; t < kClientThreads; ++t)
+        swarm_threads.emplace_back([&] {
+          for (std::size_t i; (i = cursor.fetch_add(1)) < kReporters;) {
+            const std::vector<eyw::crypto::BlindCell> cells =
+                durable_true_cells(i, config.cms_params.cells());
+            const auto frame =
+                eyw::proto::BlindedReport{
+                    .participant = static_cast<std::uint32_t>(i),
+                    .params = config.cms_params,
+                    .cells = swarm->participants[i].blind(
+                        cells, static_cast<std::uint64_t>(r))}
+                    .encode(static_cast<std::uint64_t>(r));
+            channels[i]->exchange_async(frame, on_ack);
+          }
+        });
+      for (std::thread& th : swarm_threads) th.join();
+    } else {
+      for (std::size_t i = 0; i < kReporters; ++i) {
+        const auto frame =
+            eyw::proto::BlindedReport{
+                .participant = static_cast<std::uint32_t>(i),
+                .params = config.cms_params,
+                .cells = durable_bench_cells(i, config.cms_params.cells())}
+                .encode(static_cast<std::uint64_t>(r));
+        channels[i]->exchange_async(frame, on_ack);
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done == kReporters; });
+    }
+    (void)remote.missing_participants();
+    const server::RoundResult result = remote.finalize_round();
+    row.wall_ms = std::min(row.wall_ms, ms_since(t0));
+    row.users_threshold = result.users_threshold;
+    row.reports = result.reports;
+    row.acked = acked.load();
+  }
+  if (durable) {
+    row.stats = durable->stats();
+    durable->shutdown();
+  }
   return row;
 }
 }  // namespace
@@ -620,6 +812,148 @@ int main(int argc, char** argv) {
     std::printf("  TCP_NODELAY off: %7.3f ms/exchange | on: %7.3f "
                 "ms/exchange (%d sequential small-envelope round trips)\n",
                 nodelay_ms[0] / kPings, nodelay_ms[1] / kPings, kPings);
+  }
+
+  std::printf("\n== Durability: write-ahead journal under the 128-reporter "
+              "round ==\n");
+  {
+    // Each round shape runs three ways: no journal, group-commit journal
+    // (acks return once enqueued; the phase barriers fsync), and
+    // fsync-per-submit (every ack is an on-disk guarantee). Best-of-N
+    // walls, identical synthetic inputs — so within a shape the rows
+    // differ only in what durability costs, and all three must land on
+    // the same Users_th.
+    //
+    // The FULL round is the deployment shape the 15% budget is judged
+    // against: reporters pay their per-round pad derivation and reports
+    // arrive spread across it, so the journal writer commits concurrently
+    // with client compute. The BURST round (pre-encoded frames, zero
+    // client compute) is the adversarial arrival pattern: every record
+    // lands at once and the barrier pays the whole commit serially — it
+    // exists to show what group commit amortizes, not to model a round.
+    const int kFullRounds = 3;
+    const int kBurstRounds = 5;
+    const BlindingSwarm swarm = make_blinding_swarm(128);
+
+    char dirs[4][40] = {"eyw-bench-journal-full-batch.XXXXXX",
+                        "eyw-bench-journal-full-sync.XXXXXX",
+                        "eyw-bench-journal-burst-batch.XXXXXX",
+                        "eyw-bench-journal-burst-sync.XXXXXX"};
+    for (char* dir : dirs) {
+      if (mkdtemp(dir) == nullptr) {
+        std::fprintf(stderr, "mkdtemp failed\n");
+        return 1;
+      }
+    }
+    const DurableRoundRow full_off =
+        run_durable_rounds("", false, kFullRounds, &swarm);
+    const DurableRoundRow full_batch =
+        run_durable_rounds(dirs[0], false, kFullRounds, &swarm);
+    const DurableRoundRow full_sync =
+        run_durable_rounds(dirs[1], true, kFullRounds, &swarm);
+    const DurableRoundRow burst_off =
+        run_durable_rounds("", false, kBurstRounds, nullptr);
+    const DurableRoundRow burst_batch =
+        run_durable_rounds(dirs[2], false, kBurstRounds, nullptr);
+    const DurableRoundRow burst_sync =
+        run_durable_rounds(dirs[3], true, kBurstRounds, nullptr);
+    for (const char* dir : dirs) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+
+    const auto print_header = [] {
+      std::printf("  %-16s %10s %12s %9s %8s %8s %14s\n", "journal",
+                  "round ms", "us/report", "records", "fsyncs", "ckpts",
+                  "off-writer I/O");
+    };
+    const auto print_row = [](const char* name, const DurableRoundRow& r,
+                              bool journaled) {
+      std::printf("  %-16s %10.1f %12.1f", name, r.wall_ms,
+                  1000.0 * r.wall_ms / 128.0);
+      if (journaled)
+        std::printf(" %9llu %8llu %8llu %14llu\n",
+                    static_cast<unsigned long long>(r.stats.records),
+                    static_cast<unsigned long long>(r.stats.fsyncs),
+                    static_cast<unsigned long long>(r.stats.checkpoints),
+                    static_cast<unsigned long long>(r.stats.off_writer_io));
+      else
+        std::printf(" %9s %8s %8s %14s\n", "-", "-", "-", "-");
+    };
+    std::printf("  full protocol round (per-round pad derivation + blinded "
+                "submit):\n");
+    print_header();
+    print_row("off", full_off, false);
+    print_row("group-commit", full_batch, true);
+    print_row("fsync-each", full_sync, true);
+    const double overhead =
+        100.0 * (full_batch.wall_ms - full_off.wall_ms) / full_off.wall_ms;
+    std::printf("  group-commit overhead vs journal-off: %+.1f%% wall "
+                "(budget 15%%) — %s\n",
+                overhead, overhead <= 15.0 ? "PASS" : "OVER BUDGET");
+
+    std::printf("\n  burst pressure (pre-encoded frames, no client "
+                "compute):\n");
+    print_header();
+    print_row("off", burst_off, false);
+    print_row("group-commit", burst_batch, true);
+    print_row("fsync-each", burst_sync, true);
+    std::printf("  group commit under burst: %llu records in %llu fsyncs "
+                "(%.1f records/fsync; fsync-each needed %llu) over %d "
+                "rounds\n",
+                static_cast<unsigned long long>(burst_batch.stats.records),
+                static_cast<unsigned long long>(burst_batch.stats.fsyncs),
+                burst_batch.stats.fsyncs > 0
+                    ? static_cast<double>(burst_batch.stats.records) /
+                          static_cast<double>(burst_batch.stats.fsyncs)
+                    : 0.0,
+                static_cast<unsigned long long>(burst_sync.stats.fsyncs),
+                kBurstRounds);
+
+    const auto trio_agrees = [](const DurableRoundRow& a,
+                                const DurableRoundRow& b,
+                                const DurableRoundRow& c) {
+      return a.users_threshold == b.users_threshold &&
+             a.users_threshold == c.users_threshold && a.reports == 128 &&
+             b.reports == 128 && c.reports == 128 && a.acked == 128 &&
+             b.acked == 128 && c.acked == 128;
+    };
+    const bool results_agree = trio_agrees(full_off, full_batch, full_sync) &&
+                               trio_agrees(burst_off, burst_batch, burst_sync);
+    const bool hot_path_clean = full_batch.stats.off_writer_io == 0 &&
+                                full_sync.stats.off_writer_io == 0 &&
+                                burst_batch.stats.off_writer_io == 0 &&
+                                burst_sync.stats.off_writer_io == 0;
+    std::printf("  results identical across modes: %s | journal I/O off "
+                "the reactor threads: %s\n",
+                results_agree ? "yes" : "NO (FAIL)",
+                hot_path_clean ? "yes (0 off-writer calls)" : "NO (FAIL)");
+    if (!results_agree || !hot_path_clean) return 1;
+
+    json.add({.op = "round_128_journal_off",
+              .modulus_bits = 256,
+              .ns_per_op = full_off.wall_ms * 1e6 / 128.0,
+              .backend = kernel});
+    json.add({.op = "round_128_journal_group_commit",
+              .modulus_bits = 256,
+              .ns_per_op = full_batch.wall_ms * 1e6 / 128.0,
+              .backend = kernel});
+    json.add({.op = "round_128_journal_fsync_each",
+              .modulus_bits = 256,
+              .ns_per_op = full_sync.wall_ms * 1e6 / 128.0,
+              .backend = kernel});
+    json.add({.op = "burst_128_journal_off",
+              .modulus_bits = 256,
+              .ns_per_op = burst_off.wall_ms * 1e6 / 128.0,
+              .backend = kernel});
+    json.add({.op = "burst_128_journal_group_commit",
+              .modulus_bits = 256,
+              .ns_per_op = burst_batch.wall_ms * 1e6 / 128.0,
+              .backend = kernel});
+    json.add({.op = "burst_128_journal_fsync_each",
+              .modulus_bits = 256,
+              .ns_per_op = burst_sync.wall_ms * 1e6 / 128.0,
+              .backend = kernel});
   }
 
   std::printf("\n== Parallel round pipeline scaling (120 clients) ==\n");

@@ -4,12 +4,23 @@
 //
 // Modes:
 //   ./build/quickstart                       in-process loopback demo
-//   ./build/quickstart --serve PORT [--once] host back-end + oprf-server
+//   ./build/quickstart --serve PORT [--once] [--journal DIR]
+//                      [--port-file PATH]    host back-end + oprf-server
 //   ./build/quickstart --connect HOST:PORT   drive reporters over TCP
 //   ./build/quickstart --reporters N [HOST:PORT]
 //                                            N concurrent reporter
 //                                            connections (spins up its own
 //                                            server when no target given)
+//   ./build/quickstart --crash-demo [N]      kill -9 a journaled server
+//                                            mid-round, restart, finish —
+//                                            asserts bit-identical recovery
+//
+// `--journal DIR` makes the served round durable: accepted submissions
+// are write-ahead journaled with sketch checkpoints (src/storage/), and a
+// server restarted on the same DIR resumes the in-flight round. SIGINT /
+// SIGTERM shut the server down gracefully — dispatcher drained, journal
+// flushed, a final checkpoint installed, one last stats line printed.
+// `--port-file PATH` writes the bound port (for --serve 0 under scripts).
 //
 // The two-process mode runs one full reporting round twice with identical
 // inputs — once over in-process loopback, once through the remote
@@ -31,12 +42,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
+#include <csignal>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <condition_variable>
@@ -51,6 +68,7 @@
 #include "proto/tcp.hpp"
 #include "server/cluster.hpp"
 #include "server/dispatcher.hpp"
+#include "server/durable_backend.hpp"
 #include "server/endpoint.hpp"
 #include "server/remote_backend.hpp"
 #include "server/round.hpp"
@@ -169,7 +187,12 @@ struct ServerStack {
   util::Rng rng{7};
   crypto::OprfServer oprf{rng, 256};
   server::BackendCluster cluster{net_config(), kNetShards};
-  server::BackendEndpoint backend_ep{cluster, /*serve_control=*/true};
+  /// Non-null iff --journal: decorates the cluster with the write-ahead
+  /// journal + checkpoints (recovery runs in its constructor, before the
+  /// endpoint below can route a single frame at it). Declared before the
+  /// endpoint so submissions outlive neither.
+  std::unique_ptr<server::DurableBackend> durable;
+  server::BackendEndpoint backend_ep;
   server::OprfEndpoint oprf_ep{oprf};
   std::atomic<bool> finalized{false};
   server::AsyncDispatcher dispatcher;
@@ -177,8 +200,20 @@ struct ServerStack {
 
   explicit ServerStack(std::uint16_t port,
                        std::size_t max_connections =
-                           eyw::proto::FrameServerOptions{}.max_connections)
-      : dispatcher(
+                           eyw::proto::FrameServerOptions{}.max_connections,
+                       const std::string& journal_dir = {})
+      : durable(journal_dir.empty()
+                    ? nullptr
+                    : std::make_unique<server::DurableBackend>(
+                          cluster,
+                          server::DurabilityConfig{.dir = journal_dir})),
+        // Submissions flow through the durable decorator when present;
+        // ShardedSubmit routing validation keys on the cluster either way.
+        backend_ep(durable
+                       ? static_cast<server::RoundBackend&>(*durable)
+                       : static_cast<server::RoundBackend&>(cluster),
+                   &cluster, /*serve_control=*/true),
+        dispatcher(
             [this](std::span<const std::uint8_t> frame) {
               return route(frame);
             },
@@ -211,22 +246,75 @@ struct ServerStack {
   }
 };
 
-int run_serve(std::uint16_t port, bool once) {
-  ServerStack stack(port);
+/// SIGINT/SIGTERM request graceful shutdown; the serve loop polls this.
+/// sig_atomic_t + a plain store is everything an async-signal context may
+/// touch.
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+extern "C" void on_shutdown_signal(int sig) { g_shutdown_signal = sig; }
+
+int run_serve(std::uint16_t port, bool once, const std::string& journal_dir,
+              const std::string& port_file) {
+  // Graceful shutdown: first SIGINT/SIGTERM breaks the serve loop below;
+  // the handler stays installed so a second signal during the drain is
+  // absorbed too (kill -9 is the crash path the journal exists for).
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = on_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  ServerStack stack(port, eyw::proto::FrameServerOptions{}.max_connections,
+                    journal_dir);
   std::printf("serving back-end (%zu backend shards) + oprf-server on "
               "127.0.0.1:%u, %zu reactor shard(s), %zu dispatch lane(s)%s\n",
               kNetShards, stack.server.port(), stack.server.shards(),
               stack.dispatcher.lanes(),
               once ? " (exit after one round)" : "");
+  if (stack.durable) {
+    const storage::RecoveryReport& rec = stack.durable->recovery();
+    std::printf("journal %s: %s round %llu, %llu record(s) replayed "
+                "(%llu refused, %llu torn byte(s) discarded)\n",
+                journal_dir.c_str(),
+                rec.checkpoint_loaded ? "recovered" : "fresh",
+                static_cast<unsigned long long>(rec.round),
+                static_cast<unsigned long long>(rec.records_replayed),
+                static_cast<unsigned long long>(rec.records_refused),
+                static_cast<unsigned long long>(rec.torn_bytes));
+  }
   std::fflush(stdout);
+  if (!port_file.empty()) {
+    // Written (atomically, via rename) only after the listener is bound:
+    // a script polling for this file may connect the moment it appears.
+    const std::string tmp = port_file + ".tmp";
+    if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
+      std::fprintf(f, "%u\n", stack.server.port());
+      std::fclose(f);
+      std::rename(tmp.c_str(), port_file.c_str());
+    }
+  }
 
   // --once: exit after the finalize reply has been read (the client
   // closing its connections is the signal it got everything it asked for).
-  while (!once || !stack.finalized.load(std::memory_order_relaxed) ||
-         stack.server.active_connections() != 0) {
+  // A shutdown signal breaks out either way.
+  while (g_shutdown_signal == 0 &&
+         (!once || !stack.finalized.load(std::memory_order_relaxed) ||
+          stack.server.active_connections() != 0)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  if (g_shutdown_signal != 0)
+    std::printf("caught %s: draining...\n",
+                g_shutdown_signal == SIGINT ? "SIGINT" : "SIGTERM");
+
+  // Drain in dependency order: stop accepting + reading (reactor), apply
+  // every frame already queued (dispatcher), then flush the journal and
+  // install the final checkpoint so the next incarnation recovers exactly
+  // what was acknowledged.
   stack.server.stop();
+  stack.dispatcher.stop();
+  if (stack.durable) stack.durable->shutdown();
+
   const auto stats = stack.server.stats();
   std::printf("served %llu connection(s): %llu frames / %llu B in, "
               "%llu frames / %llu B out\n",
@@ -236,6 +324,18 @@ int run_serve(std::uint16_t port, bool once) {
               static_cast<unsigned long long>(stats.bytes_received),
               static_cast<unsigned long long>(stats.messages_sent),
               static_cast<unsigned long long>(stats.bytes_sent));
+  if (stack.durable) {
+    const storage::DurabilityStats dstats = stack.durable->stats();
+    std::printf("journal: %llu record(s) / %llu B appended in %llu sync "
+                "batch(es), %llu checkpoint(s), %llu fsync(s), "
+                "off-writer I/O calls: %llu\n",
+                static_cast<unsigned long long>(dstats.records),
+                static_cast<unsigned long long>(dstats.record_bytes),
+                static_cast<unsigned long long>(dstats.batches),
+                static_cast<unsigned long long>(dstats.checkpoints),
+                static_cast<unsigned long long>(dstats.fsyncs),
+                static_cast<unsigned long long>(dstats.off_writer_io));
+  }
   return 0;
 }
 
@@ -512,6 +612,133 @@ int run_connect(const std::string& host, std::uint16_t port) {
   return identical ? 0 : 1;
 }
 
+/// Spawn `quickstart --serve 0 --once --journal DIR --port-file PATH` as a
+/// fresh OS process (fork + exec of this very binary): the crash demo must
+/// kill a real process image — page cache, threads, sockets and all — for
+/// kill -9 to prove anything about the journal.
+pid_t spawn_journaled_server(const std::string& journal_dir,
+                             const std::string& port_path) {
+  const pid_t pid = fork();
+  if (pid < 0) throw std::runtime_error("fork failed");
+  if (pid == 0) {
+    execl("/proc/self/exe", "quickstart", "--serve", "0", "--once",
+          "--journal", journal_dir.c_str(), "--port-file", port_path.c_str(),
+          static_cast<char*>(nullptr));
+    _exit(127);  // exec failed; nothing else is safe in the child
+  }
+  return pid;
+}
+
+/// Poll for the port file the server renames into place once bound
+/// (10 s budget — sanitizer builds start slowly).
+std::uint16_t await_port(const std::string& port_path) {
+  for (int i = 0; i < 400; ++i) {
+    if (std::FILE* f = std::fopen(port_path.c_str(), "r")) {
+      unsigned port = 0;
+      const int got = std::fscanf(f, "%u", &port);
+      std::fclose(f);
+      if (got == 1 && port > 0 && port < 65536)
+        return static_cast<std::uint16_t>(port);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  throw std::runtime_error("server did not write its port file in time");
+}
+
+int run_crash_demo(std::size_t n) {
+  const server::BackendConfig config = net_config();
+
+  // Control: the same round, uninterrupted, in-process. The recovered
+  // round must match this bit for bit.
+  server::BackendCluster reference(config, kNetShards);
+  reference.begin_round(/*round=*/1, n);
+  for (std::size_t i = 0; i < n; ++i)
+    reference.submit_report(i, reporter_cells(config, i));
+  const server::RoundResult want = reference.finalize_round();
+
+  // Journal directory shared by both incarnations — under the working
+  // directory so CI and sandboxes contain every byte this demo writes.
+  char dir_template[] = "eyw-crash-demo.XXXXXX";
+  if (mkdtemp(dir_template) == nullptr)
+    throw std::runtime_error("mkdtemp failed");
+  const std::string dir = dir_template;
+  const std::string journal_dir = dir + "/journal";
+
+  // Incarnation 1: open the round, submit just over half the roster
+  // (sync transport: each ack means the server applied it), then SIGKILL.
+  const std::size_t kill_after = n - n / 2;
+  std::size_t missing_before_kill = 0;
+  const pid_t first = spawn_journaled_server(journal_dir, dir + "/port1");
+  {
+    proto::TcpTransport link("127.0.0.1", await_port(dir + "/port1"));
+    server::RemoteBackend remote(link, config);
+    remote.begin_round(/*round=*/1, n);
+    for (std::size_t i = 0; i < kill_after; ++i)
+      remote.submit_report(i, reporter_cells(config, i));
+    // Server-side durability barrier: missing_participants flushes the
+    // journal before replying, so every ack above is ON DISK when the
+    // SIGKILL lands — a deterministic kill point, not a race against the
+    // group-commit writer.
+    missing_before_kill = remote.missing_participants().size();
+    kill(first, SIGKILL);
+  }
+  int first_status = 0;
+  waitpid(first, &first_status, 0);
+  const bool killed =
+      WIFSIGNALED(first_status) && WTERMSIG(first_status) == SIGKILL;
+  std::printf("incarnation 1: %zu/%zu reports accepted, then kill -9 "
+              "(%s)\n",
+              kill_after, n, killed ? "confirmed" : "UNEXPECTED EXIT");
+
+  // Incarnation 2: same journal directory, brand-new process. It must
+  // resume round 1 (adopt_round: no BeginRound — reopening would throw
+  // the recovered submissions away), know exactly who is missing, refuse
+  // a duplicate of a pre-crash report, and finalize bit-identical.
+  std::size_t missing_after_crash = 0;
+  bool dup_refused = false;
+  std::optional<server::RoundResult> got;
+  const pid_t second = spawn_journaled_server(journal_dir, dir + "/port2");
+  {
+    proto::TcpTransport link("127.0.0.1", await_port(dir + "/port2"));
+    server::RemoteBackend remote(link, config);
+    remote.adopt_round(1);
+    missing_after_crash = remote.missing_participants().size();
+    try {
+      remote.submit_report(0, reporter_cells(config, 0));
+    } catch (const proto::ProtoError&) {
+      dup_refused = true;  // the recovered round remembers reporter 0
+    }
+    for (std::size_t i = kill_after; i < n; ++i)
+      remote.submit_report(i, reporter_cells(config, i));
+    got = remote.finalize_round();
+  }
+  int second_status = 0;
+  waitpid(second, &second_status, 0);  // --once: exits after the finalize
+  const bool clean_exit =
+      WIFEXITED(second_status) && WEXITSTATUS(second_status) == 0;
+
+  const bool identical = got.has_value() && results_identical(want, *got);
+  std::printf("incarnation 2: recovered %zu missing (want %zu), duplicate "
+              "of pre-crash report %s, round finalized: Users_th=%.3f "
+              "(%u/%u reported)\n",
+              missing_after_crash, n - kill_after,
+              dup_refused ? "refused" : "ACCEPTED (FAIL)",
+              got ? got->users_threshold : 0.0, got ? got->reports : 0,
+              got ? got->roster : 0);
+  std::printf("recovered aggregate vs uninterrupted control: %s\n",
+              identical ? "bit-identical" : "MISMATCH");
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);  // best-effort cleanup
+
+  const bool ok = killed && clean_exit &&
+                  missing_before_kill == n - kill_after &&
+                  missing_after_crash == n - kill_after && dup_refused &&
+                  identical;
+  std::printf("crash-recovery check: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 namespace {
@@ -543,15 +770,47 @@ int main(int argc, char** argv) {
   if (argc == 1) return run_loopback_demo();
 
   const std::string mode = argv[1];
-  if (mode == "--serve" && (argc == 3 || argc == 4)) {
+  if (mode == "--serve" && argc >= 3) {
     const long port = parse_port(argv[2]);
-    const bool once = argc == 4 && std::strcmp(argv[3], "--once") == 0;
-    if (port < 0 || (argc == 4 && !once)) {
-      std::fprintf(stderr, "usage: quickstart --serve PORT [--once]\n");
+    bool once = false;
+    std::string journal_dir;
+    std::string port_file;
+    bool usage_ok = port >= 0;
+    for (int i = 3; usage_ok && i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "--once") {
+        once = true;
+      } else if (flag == "--journal" && i + 1 < argc) {
+        journal_dir = argv[++i];
+      } else if (flag == "--port-file" && i + 1 < argc) {
+        port_file = argv[++i];
+      } else {
+        usage_ok = false;
+      }
+    }
+    if (!usage_ok) {
+      std::fprintf(stderr,
+                   "usage: quickstart --serve PORT [--once] "
+                   "[--journal DIR] [--port-file PATH]\n");
       return 2;
     }
+    return run_guarded([&] {
+      return run_serve(static_cast<std::uint16_t>(port), once, journal_dir,
+                       port_file);
+    });
+  }
+  if (mode == "--crash-demo" && (argc == 2 || argc == 3)) {
+    long n = 24;
+    if (argc == 3) {
+      char* end = nullptr;
+      n = std::strtol(argv[2], &end, 10);
+      if (end == argv[2] || *end != '\0' || n < 2 || n > 65536) {
+        std::fprintf(stderr, "usage: quickstart --crash-demo [N]\n");
+        return 2;
+      }
+    }
     return run_guarded(
-        [&] { return run_serve(static_cast<std::uint16_t>(port), once); });
+        [&] { return run_crash_demo(static_cast<std::size_t>(n)); });
   }
   if (mode == "--connect" && argc == 3) {
     const std::string target = argv[2];
@@ -595,7 +854,8 @@ int main(int argc, char** argv) {
     });
   }
   std::fprintf(stderr,
-               "usage: quickstart [--serve PORT [--once] | --connect "
-               "HOST:PORT | --reporters N [HOST:PORT]]\n");
+               "usage: quickstart [--serve PORT [--once] [--journal DIR] "
+               "[--port-file PATH] | --connect HOST:PORT | --reporters N "
+               "[HOST:PORT] | --crash-demo [N]]\n");
   return 2;
 }

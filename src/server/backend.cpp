@@ -29,6 +29,9 @@ void BackendServer::begin_round(std::uint64_t round, std::size_t roster_size) {
   roster_size_ = roster_size;
   reports_.clear();
   adjustments_.clear();
+  restored_cells_.clear();
+  restored_reporters_.clear();
+  restored_adjusters_.clear();
   bytes_received_ = 0;
 }
 
@@ -38,6 +41,11 @@ void BackendServer::submit_report(std::size_t participant_index,
     throw std::invalid_argument("submit_report: index outside roster");
   if (blinded_cells.size() != config_.cms_params.cells())
     throw std::invalid_argument("submit_report: cell-count mismatch");
+  // Duplicate refusal must see snapshot-restored reporters too: after a
+  // crash-recovery, a reporter whose pre-crash submission survived in the
+  // checkpoint retrying its report is the common case, not a corner one.
+  if (restored_reporters_.contains(participant_index))
+    throw std::invalid_argument("submit_report: duplicate report");
   if (!reports_.emplace(participant_index, std::move(blinded_cells)).second)
     throw std::invalid_argument("submit_report: duplicate report");
   bytes_received_ += config_.cms_params.bytes();
@@ -46,17 +54,19 @@ void BackendServer::submit_report(std::size_t participant_index,
 std::vector<std::size_t> BackendServer::missing_participants() const {
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < roster_size_; ++i)
-    if (!reports_.contains(i)) out.push_back(i);
+    if (!has_report(i)) out.push_back(i);
   return out;
 }
 
 void BackendServer::submit_adjustment(
     std::size_t participant_index, std::vector<crypto::BlindCell> adjustment) {
-  if (!reports_.contains(participant_index))
+  if (!has_report(participant_index))
     throw std::invalid_argument(
         "submit_adjustment: adjustments come from reporters only");
   if (adjustment.size() != config_.cms_params.cells())
     throw std::invalid_argument("submit_adjustment: cell-count mismatch");
+  if (restored_adjusters_.contains(participant_index))
+    throw std::invalid_argument("submit_adjustment: duplicate adjustment");
   if (!adjustments_.emplace(participant_index, std::move(adjustment)).second)
     throw std::invalid_argument("submit_adjustment: duplicate adjustment");
   bytes_received_ += config_.cms_params.bytes();
@@ -83,9 +93,14 @@ std::vector<double> scan_users_counts(const sketch::CountMinSketch& aggregate,
 }
 
 std::vector<crypto::BlindCell> BackendServer::partial_aggregate() const {
-  // Sum the blinded reports in place — no per-report copies.
+  // Sum the blinded reports in place — no per-report copies. The restored
+  // base (empty outside recovery) seeds the sum: wrapping u32 addition is
+  // commutative, so "snapshot sum + live reports" is bit-identical to
+  // summing every original report in participant order.
   const std::size_t n_cells = config_.cms_params.cells();
-  std::vector<crypto::BlindCell> aggregate_cells(n_cells, 0);
+  std::vector<crypto::BlindCell> aggregate_cells =
+      restored_cells_.empty() ? std::vector<crypto::BlindCell>(n_cells, 0)
+                              : restored_cells_;
   for (const auto& [idx, cells] : reports_) {
     for (std::size_t m = 0; m < n_cells; ++m) aggregate_cells[m] += cells[m];
   }
@@ -115,17 +130,71 @@ RoundResult finalize_from_cells(const BackendConfig& config,
 
 RoundResult BackendServer::finalize_round(util::ThreadPool* pool) {
   if (pool == nullptr) pool = &util::ThreadPool::shared();
-  if (reports_.empty())
+  const std::size_t reports = reports_received();
+  const std::size_t adjustments = adjustments_received();
+  if (reports == 0)
     throw std::logic_error("finalize_round: no reports received");
-  if (reports_.size() != roster_size_ &&
-      adjustments_.size() != reports_.size()) {
+  if (reports != roster_size_ && adjustments != reports) {
     throw std::logic_error(
         "finalize_round: missing clients but not all adjustments received");
   }
 
-  last_result_ = finalize_from_cells(config_, partial_aggregate(),
-                                     reports_.size(), roster_size_, *pool);
+  last_result_ = finalize_from_cells(config_, partial_aggregate(), reports,
+                                     roster_size_, *pool);
   return *last_result_;
+}
+
+RoundSnapshot BackendServer::snapshot_round() const {
+  RoundSnapshot snap;
+  snap.round = round_;
+  snap.roster = roster_size_;
+  snap.bytes_received = bytes_received_;
+  snap.params = config_.cms_params;
+  snap.base_cells = partial_aggregate();
+  snap.reporters.reserve(reports_received());
+  for (const std::size_t p : restored_reporters_)
+    snap.reporters.push_back(static_cast<std::uint32_t>(p));
+  for (const auto& [p, cells] : reports_)
+    snap.reporters.push_back(static_cast<std::uint32_t>(p));
+  snap.adjusters.reserve(adjustments_received());
+  for (const std::size_t p : restored_adjusters_)
+    snap.adjusters.push_back(static_cast<std::uint32_t>(p));
+  for (const auto& [p, cells] : adjustments_)
+    snap.adjusters.push_back(static_cast<std::uint32_t>(p));
+  // Both source containers are ordered but their ranges interleave.
+  std::sort(snap.reporters.begin(), snap.reporters.end());
+  std::sort(snap.adjusters.begin(), snap.adjusters.end());
+  return snap;
+}
+
+void BackendServer::restore_round(const RoundSnapshot& snapshot) {
+  if (snapshot.params != config_.cms_params)
+    throw std::invalid_argument("restore_round: geometry != backend config");
+  if (!snapshot.base_cells.empty() &&
+      snapshot.base_cells.size() != config_.cms_params.cells())
+    throw std::invalid_argument("restore_round: base-cell count mismatch");
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (const std::uint32_t p : snapshot.reporters) {
+    if (p >= snapshot.roster || (!first && p <= prev))
+      throw std::invalid_argument("restore_round: bad reporter set");
+    prev = p;
+    first = false;
+  }
+  std::set<std::size_t> reporters(snapshot.reporters.begin(),
+                                  snapshot.reporters.end());
+  for (const std::uint32_t p : snapshot.adjusters) {
+    if (!reporters.contains(p))
+      throw std::invalid_argument(
+          "restore_round: adjuster outside the reporter set");
+  }
+
+  begin_round(snapshot.round, snapshot.roster);
+  restored_cells_ = snapshot.base_cells;
+  restored_reporters_ = std::move(reporters);
+  restored_adjusters_.insert(snapshot.adjusters.begin(),
+                             snapshot.adjusters.end());
+  bytes_received_ = snapshot.bytes_received;
 }
 
 std::optional<double> BackendServer::users_for(std::uint64_t ad_id) const {

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "core/global_view.hpp"
@@ -29,6 +31,29 @@ struct BackendConfig {
   /// [0, id_space) (Section 6.1).
   std::uint64_t id_space = 0;
   core::ThresholdRule users_rule = core::ThresholdRule::kMean;
+};
+
+/// The durable essence of an in-flight round: everything finalize (and
+/// the duplicate/missing/adjustment-eligibility checks) needs, and
+/// nothing more. Per-participant cell vectors are deliberately absent —
+/// aggregation only ever observes their wrapping sum, so a snapshot
+/// stores the blinded partial sum plus *who* contributed. The storage
+/// layer serializes this as a checkpoint (storage/checkpoint.hpp) and a
+/// crashed backend resumes from it bit-identical to an uninterrupted
+/// run.
+struct RoundSnapshot {
+  std::uint64_t round = 0;
+  std::size_t roster = 0;
+  std::size_t bytes_received = 0;
+  /// Geometry of base_cells (must match the backend's own config).
+  sketch::CmsParams params;
+  /// Blinded partial sum of every snapshotted report, adjustments
+  /// applied. Empty means all-zero (a round with no submissions yet).
+  std::vector<crypto::BlindCell> base_cells;
+  /// Participants whose report / adjustment is folded into base_cells,
+  /// sorted ascending.
+  std::vector<std::uint32_t> reporters;
+  std::vector<std::uint32_t> adjusters;
 };
 
 /// Everything the back-end derives from one reporting round.
@@ -76,6 +101,23 @@ class RoundBackend {
   /// id-space scan (nullptr = the process-wide shared pool).
   [[nodiscard]] virtual RoundResult finalize_round(
       util::ThreadPool* pool = nullptr) = 0;
+
+  /// Capture the current round's durable state (see RoundSnapshot). The
+  /// aggregating backends implement this; backends that merely proxy
+  /// (RemoteBackend) keep the throwing default — the state lives on the
+  /// other end.
+  [[nodiscard]] virtual RoundSnapshot snapshot_round() const {
+    throw std::logic_error("snapshot_round: backend is not snapshottable");
+  }
+
+  /// Replace round state with `snapshot` (recovery's first step; journal
+  /// replay then re-applies the submissions the snapshot does not cover
+  /// through the normal submit path). Throws std::invalid_argument on a
+  /// snapshot inconsistent with this backend's config.
+  virtual void restore_round(const RoundSnapshot& snapshot) {
+    (void)snapshot;
+    throw std::logic_error("restore_round: backend is not restorable");
+  }
 };
 
 /// Scan the (over-provisioned) id space of `aggregate` as batched row-major
@@ -125,25 +167,30 @@ class BackendServer final : public RoundBackend {
   [[nodiscard]] RoundResult finalize_round(
       util::ThreadPool* pool = nullptr) override;
 
+  [[nodiscard]] RoundSnapshot snapshot_round() const override;
+  void restore_round(const RoundSnapshot& snapshot) override;
+
   /// This node's blinded partial sum: received reports summed cell-wise
-  /// with its adjustments applied, no completeness checks and no scan. A
-  /// cluster front door merges these across shards before unblinding makes
-  /// sense; all-zero when the node received nothing this round.
+  /// with its adjustments applied (on top of any restored snapshot base),
+  /// no completeness checks and no scan. A cluster front door merges
+  /// these across shards before unblinding makes sense; all-zero when the
+  /// node received nothing this round.
   [[nodiscard]] std::vector<crypto::BlindCell> partial_aggregate() const;
 
-  /// Reports received this round.
+  /// Reports received this round (live + restored).
   [[nodiscard]] std::size_t reports_received() const noexcept {
-    return reports_.size();
+    return reports_.size() + restored_reporters_.size();
   }
   /// Whether `participant` has reported this round (O(log reports); the
   /// cluster's missing scan asks its routed shard instead of diffing
   /// full-roster missing lists).
   [[nodiscard]] bool has_report(std::size_t participant) const noexcept {
-    return reports_.contains(participant);
+    return reports_.contains(participant) ||
+           restored_reporters_.contains(participant);
   }
-  /// Adjustments received this round.
+  /// Adjustments received this round (live + restored).
   [[nodiscard]] std::size_t adjustments_received() const noexcept {
-    return adjustments_.size();
+    return adjustments_.size() + restored_adjusters_.size();
   }
 
   /// Estimated #Users for one ad id, from the last finalized round.
@@ -164,6 +211,13 @@ class BackendServer final : public RoundBackend {
   std::size_t roster_size_ = 0;
   std::map<std::size_t, std::vector<crypto::BlindCell>> reports_;
   std::map<std::size_t, std::vector<crypto::BlindCell>> adjustments_;
+  // Snapshot-restored state: the pre-crash submissions exist only as
+  // their blinded sum plus membership sets (per-participant vectors are
+  // not kept — see RoundSnapshot). Live maps hold post-restore traffic;
+  // every query/duplicate/eligibility path consults both.
+  std::vector<crypto::BlindCell> restored_cells_;
+  std::set<std::size_t> restored_reporters_;
+  std::set<std::size_t> restored_adjusters_;
   std::size_t bytes_received_ = 0;
   std::optional<RoundResult> last_result_;
 };

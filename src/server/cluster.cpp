@@ -1,5 +1,6 @@
 #include "server/cluster.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace eyw::server {
@@ -88,6 +89,74 @@ RoundResult BackendCluster::finalize_round(util::ThreadPool* pool) {
   last_result_ = finalize_from_cells(config_, aggregate_cells, reports,
                                      roster_size_, *pool);
   return *last_result_;
+}
+
+RoundSnapshot BackendCluster::snapshot_round() const {
+  RoundSnapshot merged;
+  merged.round = round_;
+  merged.roster = roster_size_;
+  merged.bytes_received = bytes_received();
+  merged.params = config_.cms_params;
+  merged.base_cells.assign(config_.cms_params.cells(), 0);
+  for (const auto& shard : shards_) {
+    const RoundSnapshot part = shard->snapshot_round();
+    for (std::size_t m = 0; m < merged.base_cells.size(); ++m)
+      merged.base_cells[m] += part.base_cells[m];
+    merged.reporters.insert(merged.reporters.end(), part.reporters.begin(),
+                            part.reporters.end());
+    merged.adjusters.insert(merged.adjusters.end(), part.adjusters.begin(),
+                            part.adjusters.end());
+  }
+  // Shards own disjoint participants, so the union is a merge of disjoint
+  // sorted sets; one sort restores the global order.
+  std::sort(merged.reporters.begin(), merged.reporters.end());
+  std::sort(merged.adjusters.begin(), merged.adjusters.end());
+  return merged;
+}
+
+void BackendCluster::restore_round(const RoundSnapshot& snapshot) {
+  // Refuse an inconsistent snapshot before any shard state changes (the
+  // shards re-validate their own slices, but by then earlier shards were
+  // already reset).
+  const auto sorted_unique = [](const std::vector<std::uint32_t>& v,
+                                std::size_t roster) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] >= roster) return false;
+      if (i > 0 && v[i] <= v[i - 1]) return false;
+    }
+    return true;
+  };
+  if (!sorted_unique(snapshot.reporters, snapshot.roster) ||
+      !sorted_unique(snapshot.adjusters, snapshot.roster))
+    throw std::invalid_argument("restore_round: bad membership sets");
+
+  std::vector<RoundSnapshot> parts(shards_.size());
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    parts[s].round = snapshot.round;
+    parts[s].roster = snapshot.roster;
+    parts[s].params = snapshot.params;
+  }
+  for (const std::uint32_t p : snapshot.reporters)
+    parts[shard_for(p)].reporters.push_back(p);
+  for (const std::uint32_t p : snapshot.adjusters)
+    parts[shard_for(p)].adjusters.push_back(p);
+  // The merged base sum and byte tally are cluster-level facts; parking
+  // them on shard 0 keeps finalize_round's merge and bytes_received()
+  // exact without a per-shard split that does not exist.
+  parts[0].base_cells = snapshot.base_cells;
+  parts[0].bytes_received = snapshot.bytes_received;
+  if (!snapshot.base_cells.empty() &&
+      snapshot.base_cells.size() != config_.cms_params.cells())
+    throw std::invalid_argument("restore_round: base-cell count mismatch");
+
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    shards_[s]->restore_round(parts[s]);
+  round_ = snapshot.round;
+  roster_size_ = snapshot.roster;
+  reports_total_.store(snapshot.reporters.size(), std::memory_order_relaxed);
+  adjustments_total_.store(snapshot.adjusters.size(),
+                           std::memory_order_relaxed);
+  last_result_.reset();
 }
 
 std::optional<double> BackendCluster::users_for(std::uint64_t ad_id) const {

@@ -64,6 +64,17 @@ class BackendCluster final : public RoundBackend {
   [[nodiscard]] RoundResult finalize_round(
       util::ThreadPool* pool = nullptr) override;
 
+  /// Cluster-wide snapshot: shard partial sums merged cell-wise, shard
+  /// membership sets unioned — the same shape a single server produces,
+  /// so one checkpoint format serves both.
+  [[nodiscard]] RoundSnapshot snapshot_round() const override;
+  /// Restore: membership is re-split by shard_for (so duplicate refusal
+  /// and the missing scan keep working through shard routing); the merged
+  /// base sum — indivisible once merged — seeds shard 0, which the
+  /// finalize merge adds back in. Bit-identical because wrapping addition
+  /// does not care where the base lives.
+  void restore_round(const RoundSnapshot& snapshot) override;
+
   /// Estimated #Users / Users_th from the last finalized round (same
   /// query API as BackendServer, answered from the merged result).
   [[nodiscard]] std::optional<double> users_for(std::uint64_t ad_id) const;

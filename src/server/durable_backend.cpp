@@ -1,0 +1,144 @@
+#include "server/durable_backend.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "proto/message.hpp"
+#include "storage/checkpoint.hpp"
+
+namespace eyw::server {
+
+DurableBackend::DurableBackend(RoundBackend& inner, DurabilityConfig config)
+    : inner_(inner), config_(std::move(config)) {
+  // Recovery happens on THIS thread, before any writer exists: open the
+  // journal (truncating a torn tail), restore the newest checkpoint,
+  // replay the tail through the inner backend, reposition appends — only
+  // then hand the journal to the single-writer queue.
+  auto journal =
+      std::make_unique<storage::Journal>(config_.dir, config_.journal);
+  recovery_ = storage::recover_round(*journal, inner_);
+  queue_ = std::make_unique<storage::DurabilityQueue>(std::move(journal),
+                                                      config_.queue);
+}
+
+DurableBackend::~DurableBackend() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Destruction during unwinding (or with a failed disk) must not
+    // throw; the journal tail still on disk is what recovery is for.
+  }
+}
+
+void DurableBackend::enqueue_checkpoint_locked() {
+  storage::CheckpointData data{inner_.snapshot_round(), queue_->next_index()};
+  queue_->enqueue_checkpoint(storage::encode_checkpoint(data),
+                             data.journal_next);
+  since_checkpoint_.store(0, std::memory_order_relaxed);
+}
+
+void DurableBackend::begin_round(std::uint64_t round,
+                                 std::size_t roster_size) {
+  std::unique_lock<std::shared_mutex> lock(phase_mu_);
+  inner_.begin_round(round, roster_size);
+  // The round anchor: replay needs the round/roster before any record,
+  // so the journal only ever carries submissions. Installing it also
+  // truncates every prior round's segments. Not flushed: the writer
+  // processes jobs strictly in order, so no record of this round can
+  // become durable before the anchor is installed — and in batch mode an
+  // ack is only a durability promise once a phase barrier flushes. The
+  // install overlaps the submit window instead of serializing into it.
+  enqueue_checkpoint_locked();
+}
+
+void DurableBackend::submit_report(std::size_t participant_index,
+                                   std::vector<crypto::BlindCell> cells) {
+  std::shared_lock<std::shared_mutex> lock(phase_mu_);
+  // Re-encode the canonical wire frame BEFORE the cells move into the
+  // backend; it is only enqueued after the inner backend accepted (a
+  // refused submission must not be journaled — replay applies records
+  // unconditionally through this same validation).
+  proto::BlindedReport report{
+      .participant = static_cast<std::uint32_t>(participant_index),
+      .params = inner_.config().cms_params,
+      .cells = std::move(cells)};
+  std::vector<std::uint8_t> frame = report.encode(inner_.current_round());
+  inner_.submit_report(participant_index, std::move(report.cells));
+  const std::uint64_t index = queue_->enqueue_record(std::move(frame));
+  if (config_.sync_each_submit) queue_->wait_durable(index);
+  const std::size_t since =
+      since_checkpoint_.fetch_add(1, std::memory_order_relaxed) + 1;
+  lock.unlock();
+  if (config_.checkpoint_every_records != 0 &&
+      since >= config_.checkpoint_every_records) {
+    std::unique_lock<std::shared_mutex> xlock(phase_mu_);
+    // Re-check: another lane may have installed it while we waited.
+    if (since_checkpoint_.load(std::memory_order_relaxed) >=
+        config_.checkpoint_every_records)
+      enqueue_checkpoint_locked();
+  }
+}
+
+void DurableBackend::submit_adjustment(std::size_t participant_index,
+                                       std::vector<crypto::BlindCell> adj) {
+  std::shared_lock<std::shared_mutex> lock(phase_mu_);
+  proto::Adjustment adjustment{
+      .participant = static_cast<std::uint32_t>(participant_index),
+      .params = inner_.config().cms_params,
+      .cells = std::move(adj)};
+  std::vector<std::uint8_t> frame = adjustment.encode(inner_.current_round());
+  inner_.submit_adjustment(participant_index, std::move(adjustment.cells));
+  const std::uint64_t index = queue_->enqueue_record(std::move(frame));
+  if (config_.sync_each_submit) queue_->wait_durable(index);
+  since_checkpoint_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::size_t> DurableBackend::missing_participants() const {
+  std::unique_lock<std::shared_mutex> lock(phase_mu_);
+  // Phase barrier = durability point: the missing list the adjustment
+  // round is computed from must never name a report that could still be
+  // lost to a crash.
+  queue_->flush();
+  return inner_.missing_participants();
+}
+
+RoundResult DurableBackend::finalize_round(util::ThreadPool* pool) {
+  std::unique_lock<std::shared_mutex> lock(phase_mu_);
+  queue_->flush();
+  const RoundResult result = inner_.finalize_round(pool);
+  // Post-round checkpoint: the finalized state supersedes every journal
+  // record, so the journal shrinks back to its base between rounds — and
+  // a restart after finalize recovers the completed round instead of
+  // replaying it. Not flushed: every input to the result is already
+  // durable (the flush above), so a crash before this install merely
+  // replays the round and re-finalizes to the identical result. The
+  // writer installs it as soon as it drains; the next flushing barrier
+  // (a phase barrier, checkpoint_now, shutdown) observes it completed.
+  enqueue_checkpoint_locked();
+  return result;
+}
+
+RoundSnapshot DurableBackend::snapshot_round() const {
+  std::unique_lock<std::shared_mutex> lock(phase_mu_);
+  return inner_.snapshot_round();
+}
+
+void DurableBackend::restore_round(const RoundSnapshot& snapshot) {
+  std::unique_lock<std::shared_mutex> lock(phase_mu_);
+  inner_.restore_round(snapshot);
+  enqueue_checkpoint_locked();
+  queue_->flush();
+}
+
+void DurableBackend::checkpoint_now() {
+  std::unique_lock<std::shared_mutex> lock(phase_mu_);
+  enqueue_checkpoint_locked();
+  queue_->flush();
+}
+
+void DurableBackend::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  checkpoint_now();
+}
+
+}  // namespace eyw::server

@@ -21,6 +21,11 @@ BackendEndpoint::BackendEndpoint(RoundBackend& backend, bool serve_control)
 BackendEndpoint::BackendEndpoint(BackendCluster& cluster, bool serve_control)
     : backend_(cluster), cluster_(&cluster), serve_control_(serve_control) {}
 
+BackendEndpoint::BackendEndpoint(RoundBackend& backend,
+                                 const BackendCluster* routing,
+                                 bool serve_control)
+    : backend_(backend), cluster_(routing), serve_control_(serve_control) {}
+
 std::vector<std::uint8_t> BackendEndpoint::handle(
     std::span<const std::uint8_t> frame) {
   try {

@@ -30,6 +30,12 @@ class BackendEndpoint {
  public:
   explicit BackendEndpoint(RoundBackend& backend, bool serve_control = false);
   explicit BackendEndpoint(BackendCluster& cluster, bool serve_control = false);
+  /// Decorated-cluster form: submissions go through `backend` (e.g. a
+  /// DurableBackend wrapping the cluster) while ShardedSubmit routing
+  /// validation keys on `routing`'s shard function. Pass nullptr to
+  /// refuse ShardedSubmit.
+  BackendEndpoint(RoundBackend& backend, const BackendCluster* routing,
+                  bool serve_control);
 
   /// Transport handler: one request frame in, one reply frame out.
   [[nodiscard]] std::vector<std::uint8_t> handle(
@@ -43,7 +49,7 @@ class BackendEndpoint {
   std::vector<std::uint8_t> on_control(const proto::Envelope& env);
 
   RoundBackend& backend_;
-  BackendCluster* cluster_;  // non-null iff ShardedSubmit is accepted
+  const BackendCluster* cluster_;  // non-null iff ShardedSubmit is accepted
   bool serve_control_;
 };
 

@@ -59,6 +59,15 @@ class RemoteBackend final : public RoundBackend {
   }
 
   void begin_round(std::uint64_t round, std::size_t roster_size) override;
+
+  /// Attach to round `round` WITHOUT a BeginRound exchange — the
+  /// reconnect path after a backend crash: the restarted server recovered
+  /// the in-flight round from its journal, and re-opening it would throw
+  /// the recovered submissions away. Subsequent calls stamp this round on
+  /// their envelopes; the server's round validation refuses them if the
+  /// recovered round disagrees.
+  void adopt_round(std::uint64_t round) noexcept { round_ = round; }
+
   [[nodiscard]] std::uint64_t current_round() const noexcept override {
     return round_;
   }

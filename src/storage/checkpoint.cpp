@@ -1,0 +1,226 @@
+#include "storage/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "proto/message.hpp"
+#include "sketch/serialize.hpp"
+#include "util/crc32.hpp"
+#include "util/file_io.hpp"
+
+namespace eyw::storage {
+
+namespace {
+
+// magic + version + reserved + round + roster + journal_next + bytes_recv
+// + n_reporters + n_adjusters + frame_len
+constexpr std::size_t kFixedHeaderBytes = 4 + 2 + 2 + 8 + 8 + 8 + 8 + 4 + 4 + 4;
+constexpr std::size_t kCrcBytes = 4;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t get_u16(const std::uint8_t* in) {
+  return static_cast<std::uint16_t>(in[0] | (in[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+[[noreturn]] void bad(const char* what) {
+  throw std::invalid_argument(std::string("checkpoint: ") + what);
+}
+
+/// Strictly-increasing u32 list, every element < roster.
+std::vector<std::uint32_t> read_index_set(const std::uint8_t* in,
+                                          std::size_t count,
+                                          std::uint64_t roster,
+                                          const char* what) {
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t p = get_u32(in + 4 * i);
+    if (p >= roster) bad(what);
+    if (i > 0 && p <= out.back()) bad(what);
+    out.push_back(p);
+  }
+  return out;
+}
+
+[[noreturn]] void io_fail(const std::string& what) {
+  throw std::runtime_error("checkpoint: " + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_checkpoint(const CheckpointData& data) {
+  const server::RoundSnapshot& snap = data.snapshot;
+  // The partial sum rides a sketch-layer blinded-report frame so geometry
+  // travels with the cells and the hardened 'EYWS' decoder validates
+  // them on the way back in. An empty base encodes as explicit zeros —
+  // one frame shape, no empty-vs-zero ambiguity on disk.
+  const std::vector<std::uint8_t> frame =
+      snap.base_cells.empty()
+          ? sketch::encode_blinded_report(
+                snap.params, snap.round,
+                std::vector<std::uint32_t>(snap.params.cells(), 0))
+          : sketch::encode_blinded_report(snap.params, snap.round,
+                                          snap.base_cells);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kFixedHeaderBytes + 4 * (snap.reporters.size() +
+                                       snap.adjusters.size()) +
+              frame.size() + kCrcBytes);
+  put_u32(out, kCheckpointMagic);
+  put_u16(out, kCheckpointVersion);
+  put_u16(out, 0);
+  put_u64(out, snap.round);
+  put_u64(out, snap.roster);
+  put_u64(out, data.journal_next);
+  put_u64(out, snap.bytes_received);
+  put_u32(out, static_cast<std::uint32_t>(snap.reporters.size()));
+  put_u32(out, static_cast<std::uint32_t>(snap.adjusters.size()));
+  put_u32(out, static_cast<std::uint32_t>(frame.size()));
+  for (const std::uint32_t p : snap.reporters) put_u32(out, p);
+  for (const std::uint32_t p : snap.adjusters) put_u32(out, p);
+  out.insert(out.end(), frame.begin(), frame.end());
+  put_u32(out, util::crc32(out));
+  return out;
+}
+
+CheckpointData decode_checkpoint(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kFixedHeaderBytes + kCrcBytes) bad("truncated");
+  // CRC over everything before the trailer, checked before any field is
+  // believed: a bit flip anywhere fails here with one message instead of
+  // as whichever structural check the flipped field happens to trip.
+  const std::uint32_t want_crc = get_u32(bytes.data() + bytes.size() - 4);
+  if (util::crc32(bytes.first(bytes.size() - 4)) != want_crc)
+    bad("CRC mismatch");
+
+  if (get_u32(bytes.data()) != kCheckpointMagic) bad("bad magic");
+  if (get_u16(bytes.data() + 4) != kCheckpointVersion)
+    bad("unsupported version");
+  if (get_u16(bytes.data() + 6) != 0) bad("nonzero reserved field");
+  CheckpointData data;
+  data.snapshot.round = get_u64(bytes.data() + 8);
+  const std::uint64_t roster = get_u64(bytes.data() + 16);
+  data.journal_next = get_u64(bytes.data() + 24);
+  const std::uint64_t bytes_received = get_u64(bytes.data() + 32);
+  const std::uint32_t n_reporters = get_u32(bytes.data() + 40);
+  const std::uint32_t n_adjusters = get_u32(bytes.data() + 44);
+  const std::uint32_t frame_len = get_u32(bytes.data() + 48);
+  if (roster > proto::kMaxRosterKeys || n_reporters > roster ||
+      n_adjusters > roster)
+    bad("membership counts above roster cap");
+  // Exact-size equation (no wide-type overflow: every operand is capped).
+  const std::size_t want_size =
+      kFixedHeaderBytes +
+      4 * (static_cast<std::size_t>(n_reporters) + n_adjusters) + frame_len +
+      kCrcBytes;
+  if (bytes.size() != want_size) bad("size mismatch");
+
+  const std::uint8_t* cursor = bytes.data() + kFixedHeaderBytes;
+  data.snapshot.roster = static_cast<std::size_t>(roster);
+  data.snapshot.bytes_received = static_cast<std::size_t>(bytes_received);
+  data.snapshot.reporters =
+      read_index_set(cursor, n_reporters, roster, "bad reporter set");
+  cursor += 4 * static_cast<std::size_t>(n_reporters);
+  data.snapshot.adjusters =
+      read_index_set(cursor, n_adjusters, roster, "bad adjuster set");
+  cursor += 4 * static_cast<std::size_t>(n_adjusters);
+
+  sketch::DecodedFrame frame;
+  try {
+    frame = sketch::decode_frame({cursor, frame_len});
+  } catch (const std::invalid_argument& e) {
+    bad(e.what());
+  }
+  if (frame.kind != sketch::FrameKind::kBlindedReport)
+    bad("cell frame is not a blinded-report frame");
+  if (frame.round != data.snapshot.round)
+    bad("cell frame round != checkpoint round");
+  data.snapshot.params = frame.params;
+  data.snapshot.base_cells = std::move(frame.cells);
+  return data;
+}
+
+void write_checkpoint_file(const std::string& dir,
+                           std::span<const std::uint8_t> bytes) {
+  const std::string tmp = dir + "/" + kCheckpointTmpName;
+  const std::string ckpt = dir + "/" + kCheckpointName;
+  const std::string prev = dir + "/" + kCheckpointPrevName;
+
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) io_fail("create " + tmp);
+  const bool wrote = util::full_write(fd, bytes) && util::full_fsync(fd);
+  ::close(fd);
+  if (!wrote) io_fail("write " + tmp);
+
+  // Keep the previous checkpoint as the fallback load_checkpoint tries
+  // second; ENOENT just means this is the first checkpoint ever.
+  if (::rename(ckpt.c_str(), prev.c_str()) != 0 && errno != ENOENT)
+    io_fail("rotate " + ckpt);
+  if (::rename(tmp.c_str(), ckpt.c_str()) != 0) io_fail("install " + ckpt);
+  // The renames are metadata: without a directory fsync a crash can
+  // resurrect the pre-install directory state.
+  if (!util::fsync_dir(dir)) io_fail("fsync dir " + dir);
+}
+
+std::optional<CheckpointData> load_checkpoint(const std::string& dir,
+                                              std::string* error) {
+  for (const char* name : {kCheckpointName, kCheckpointPrevName}) {
+    const std::string path = dir + "/" + name;
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) continue;
+    struct stat st {};
+    std::vector<std::uint8_t> bytes;
+    bool read_ok = false;
+    if (::fstat(fd, &st) == 0) {
+      bytes.resize(static_cast<std::size_t>(st.st_size));
+      const std::ptrdiff_t n = util::full_read(fd, bytes.data(), bytes.size());
+      read_ok = n >= 0 && static_cast<std::size_t>(n) == bytes.size();
+    }
+    ::close(fd);
+    if (!read_ok) {
+      if (error != nullptr) *error = "checkpoint: cannot read " + path;
+      continue;
+    }
+    try {
+      return decode_checkpoint(bytes);
+    } catch (const std::invalid_argument& e) {
+      if (error != nullptr) *error = std::string(e.what()) + " in " + path;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace eyw::storage

@@ -1,0 +1,76 @@
+// Round checkpoints: a serialized server::RoundSnapshot plus the journal
+// position it covers, installed atomically and loaded newest-valid-first.
+//
+// Encoding (all integers little-endian):
+//   magic       u32  'EYWC'
+//   version     u16  (currently 1)
+//   reserved    u16  (0)
+//   round       u64
+//   roster      u64
+//   journal_next u64 (first journal record index NOT covered — recovery
+//                     replays from here)
+//   bytes_recv  u64
+//   n_reporters u32
+//   n_adjusters u32
+//   frame_len   u32  (bytes of the embedded cell frame)
+//   reporters   u32[n_reporters]  (strictly increasing)
+//   adjusters   u32[n_adjusters]  (strictly increasing)
+//   cell_frame  u8[frame_len]     (a sketch-layer 'EYWS' blinded-report
+//                                  frame carrying the blinded partial sum
+//                                  — geometry travels inside, and the
+//                                  sketch decoder's validation applies)
+//   crc32       u32  (CRC-32 of every preceding byte)
+//
+// Install protocol (write_checkpoint_file): write checkpoint.tmp, fsync
+// it, rotate the current checkpoint.ckpt to checkpoint.prev, rename the
+// tmp into place, fsync the directory. A crash at any point leaves
+// either the old checkpoint, the new one, or both — never a torn one
+// under an installed name. load_checkpoint tries .ckpt then .prev and
+// takes the first that decodes (CRC + structural validation), so a
+// half-written install falls back instead of failing recovery.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "server/backend.hpp"
+
+namespace eyw::storage {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x43575945;  // "EYWC"
+inline constexpr std::uint16_t kCheckpointVersion = 1;
+inline constexpr char kCheckpointName[] = "checkpoint.ckpt";
+inline constexpr char kCheckpointPrevName[] = "checkpoint.prev";
+inline constexpr char kCheckpointTmpName[] = "checkpoint.tmp";
+
+struct CheckpointData {
+  server::RoundSnapshot snapshot;
+  /// First journal record index the snapshot does NOT cover.
+  std::uint64_t journal_next = 0;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_checkpoint(
+    const CheckpointData& data);
+
+/// Throws std::invalid_argument on any structural or CRC failure — a
+/// truncated, bit-flipped, or trailing-garbage input must never yield
+/// partial state.
+[[nodiscard]] CheckpointData decode_checkpoint(
+    std::span<const std::uint8_t> bytes);
+
+/// Atomically install `bytes` as `dir`'s checkpoint (see the header
+/// comment for the crash-safe sequence). Throws std::runtime_error on
+/// I/O failure.
+void write_checkpoint_file(const std::string& dir,
+                           std::span<const std::uint8_t> bytes);
+
+/// Newest checkpoint in `dir` that decodes, or nullopt when neither file
+/// exists. When files exist but none decodes, nullopt with `error` set —
+/// the caller distinguishes "fresh directory" from "damaged directory".
+[[nodiscard]] std::optional<CheckpointData> load_checkpoint(
+    const std::string& dir, std::string* error = nullptr);
+
+}  // namespace eyw::storage

@@ -1,0 +1,216 @@
+#include "storage/durability_queue.hpp"
+
+#include <utility>
+
+#include "storage/checkpoint.hpp"
+
+namespace eyw::storage {
+
+DurabilityQueue::DurabilityQueue(std::unique_ptr<Journal> journal,
+                                 DurabilityOptions options)
+    : journal_(std::move(journal)), options_(options) {
+  next_index_ = journal_->next_index();
+  durable_index_ = next_index_;  // everything already on disk is durable
+  writer_ = std::thread([this] {
+    journal_->bind_io_thread(std::this_thread::get_id());
+    writer_loop();
+  });
+}
+
+DurabilityQueue::~DurabilityQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    work_cv_.notify_all();
+    room_cv_.notify_all();
+    durable_cv_.notify_all();
+  }
+  if (writer_.joinable()) writer_.join();
+}
+
+void DurabilityQueue::rethrow_if_failed_locked() const {
+  if (error_) std::rethrow_exception(error_);
+}
+
+std::uint64_t DurabilityQueue::enqueue_record(
+    std::vector<std::uint8_t> payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  rethrow_if_failed_locked();
+  if (queue_.size() >= options_.max_pending_records ||
+      queued_bytes_ + payload.size() > options_.max_pending_bytes) {
+    ++stats_.enqueue_stalls;
+    room_cv_.wait(lock, [&] {
+      return stopping_ || error_ ||
+             (queue_.size() < options_.max_pending_records &&
+              queued_bytes_ + payload.size() <= options_.max_pending_bytes);
+    });
+    rethrow_if_failed_locked();
+    if (stopping_)
+      throw std::runtime_error("durability queue: stopped during enqueue");
+  }
+  queued_bytes_ += payload.size();
+  queue_.push_back({std::move(payload), 0, false});
+  ++enqueued_seq_;
+  work_cv_.notify_one();
+  return next_index_++;
+}
+
+void DurabilityQueue::enqueue_checkpoint(std::vector<std::uint8_t> encoded,
+                                         std::uint64_t covers_next) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rethrow_if_failed_locked();
+  // Checkpoints bypass the backpressure bound: they shrink disk state
+  // and there is at most one outstanding per protocol phase.
+  queue_.push_back({std::move(encoded), covers_next, true});
+  ++enqueued_seq_;
+  work_cv_.notify_one();
+}
+
+void DurabilityQueue::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  rethrow_if_failed_locked();
+  const std::uint64_t want = enqueued_seq_;
+  if (completed_seq_ >= want) return;
+  // Registering as a waiter closes the writer's commit window: it must
+  // not hold a batch open while a caller is blocked on durability.
+  ++waiters_;
+  work_cv_.notify_all();
+  durable_cv_.wait(lock,
+                   [&] { return error_ || completed_seq_ >= want; });
+  --waiters_;
+  rethrow_if_failed_locked();
+}
+
+void DurabilityQueue::wait_durable(std::uint64_t index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  rethrow_if_failed_locked();
+  if (durable_index_ > index) return;
+  ++waiters_;
+  work_cv_.notify_all();
+  durable_cv_.wait(lock, [&] { return error_ || durable_index_ > index; });
+  --waiters_;
+  rethrow_if_failed_locked();
+}
+
+std::uint64_t DurabilityQueue::next_index() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_index_;
+}
+
+DurabilityStats DurabilityQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DurabilityStats out = stats_;
+  out.off_writer_io = journal_->off_thread_io();
+  return out;
+}
+
+void DurabilityQueue::fail_locked(std::exception_ptr err) {
+  if (!error_) error_ = std::move(err);
+  room_cv_.notify_all();
+  durable_cv_.notify_all();
+}
+
+void DurabilityQueue::writer_loop() {
+  using Clock = std::chrono::steady_clock;
+  // Commit-window state carried across drain cycles: records append the
+  // moment they arrive, but their fdatasync is held open up to
+  // max_commit_delay while nobody is blocked on durability — trickling
+  // submissions then share one commit instead of paying one fsync each.
+  // A waiter, a checkpoint in the stream, or shutdown commits at once.
+  bool pending_sync = false;       // appended records not yet synced
+  std::uint64_t unsynced_jobs = 0; // record jobs awaiting that sync
+  std::uint64_t appended_through = 0;  // 1 + last appended index
+  std::uint64_t synced_through = 0;    // 1 + last SYNCED index
+  Clock::time_point window_ends{};     // valid while pending_sync
+  for (;;) {
+    std::deque<Job> batch;
+    bool commit_now = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      const auto wake = [&] {
+        return stopping_ || !queue_.empty() ||
+               (pending_sync && waiters_ > 0);
+      };
+      if (pending_sync)
+        work_cv_.wait_until(lock, window_ends, wake);
+      else
+        work_cv_.wait(lock, wake);
+      if (queue_.empty() && stopping_ && !pending_sync) return;
+      // Group commit: take everything queued so far in one swap — the
+      // ingest threads immediately see a drained queue (backpressure
+      // released) while the whole batch shares the fdatasync below.
+      batch.swap(queue_);
+      queued_bytes_ = 0;
+      room_cv_.notify_all();
+      commit_now = stopping_ || waiters_ > 0;
+    }
+
+    std::uint64_t publish = 0;  // jobs whose durability this cycle proves
+    std::uint64_t batch_records = 0;
+    std::uint64_t batch_bytes = 0;
+    std::uint64_t installed_checkpoints = 0;
+    std::uint64_t batch_fsyncs = 0;
+    try {
+      for (const Job& job : batch) {
+        if (!job.is_checkpoint) {
+          const std::uint64_t idx = journal_->append(job.bytes);
+          appended_through = idx + 1;
+          ++batch_records;
+          batch_bytes += job.bytes.size();
+          if (!pending_sync) {
+            pending_sync = true;
+            window_ends = Clock::now() + options_.max_commit_delay;
+          }
+          ++unsynced_jobs;
+          continue;
+        }
+        // Order inside the stream is the order callers enqueued: sync the
+        // records in front of this checkpoint first, so an installed
+        // checkpoint never covers un-fsynced records.
+        if (pending_sync) {
+          journal_->sync();
+          ++batch_fsyncs;
+          pending_sync = false;
+          synced_through = appended_through;
+          publish += unsynced_jobs;
+          unsynced_jobs = 0;
+        }
+        write_checkpoint_file(journal_->dir(), job.bytes);
+        journal_->truncate_through(job.covers_next);
+        ++installed_checkpoints;
+        ++publish;
+      }
+      if (pending_sync &&
+          (commit_now || Clock::now() >= window_ends)) {
+        journal_->sync();
+        ++batch_fsyncs;
+        pending_sync = false;
+        synced_through = appended_through;
+        publish += unsynced_jobs;
+        unsynced_jobs = 0;
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Jobs proven durable before the failure still count; the failing
+      // job and everything after it surface the latched error.
+      completed_seq_ += publish;
+      if (synced_through > durable_index_) durable_index_ = synced_through;
+      stats_.fsyncs += batch_fsyncs;
+      stats_.checkpoints += installed_checkpoints;
+      fail_locked(std::current_exception());
+      return;
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    completed_seq_ += publish;
+    if (synced_through > durable_index_) durable_index_ = synced_through;
+    if (batch_records > 0) ++stats_.batches;
+    stats_.records += batch_records;
+    stats_.record_bytes += batch_bytes;
+    stats_.fsyncs += batch_fsyncs;
+    stats_.checkpoints += installed_checkpoints;
+    if (publish > 0) durable_cv_.notify_all();
+  }
+}
+
+}  // namespace eyw::storage

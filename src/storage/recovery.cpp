@@ -1,0 +1,93 @@
+#include "storage/recovery.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "proto/message.hpp"
+#include "storage/checkpoint.hpp"
+
+namespace eyw::storage {
+
+namespace {
+
+/// Re-apply one journaled envelope through the backend's normal submit
+/// path (throws exactly like live ingestion would on anything the server
+/// would refuse).
+void apply_envelope(const proto::Envelope& env, server::RoundBackend& backend) {
+  // Same stale-frame refusal the live endpoint applies: a record from a
+  // round other than the recovered one must not be aggregated into it.
+  if (env.kind != proto::MsgKind::kShardedSubmit &&
+      env.round != backend.current_round())
+    throw std::invalid_argument("replay: record is for a different round");
+  switch (env.kind) {
+    case proto::MsgKind::kBlindedReport: {
+      proto::BlindedReport report = proto::BlindedReport::decode(env);
+      backend.submit_report(report.participant, std::move(report.cells));
+      return;
+    }
+    case proto::MsgKind::kAdjustment: {
+      proto::Adjustment adj = proto::Adjustment::decode(env);
+      backend.submit_adjustment(adj.participant, std::move(adj.cells));
+      return;
+    }
+    case proto::MsgKind::kShardedSubmit: {
+      const proto::ShardedSubmit sub = proto::ShardedSubmit::decode(env);
+      apply_envelope(proto::decode_envelope(sub.inner), backend);
+      return;
+    }
+    default:
+      throw std::invalid_argument("replay: non-submission record");
+  }
+}
+
+}  // namespace
+
+RecoveryReport recover_round(Journal& journal, server::RoundBackend& backend) {
+  RecoveryReport report;
+  std::string ckpt_error;
+  const std::optional<CheckpointData> ckpt =
+      load_checkpoint(journal.dir(), &ckpt_error);
+
+  std::uint64_t from = 0;
+  if (ckpt.has_value()) {
+    backend.restore_round(ckpt->snapshot);
+    report.checkpoint_loaded = true;
+    report.round = ckpt->snapshot.round;
+    report.roster = ckpt->snapshot.roster;
+    from = ckpt->journal_next;
+    // The checkpoint may cover records that were enqueued but never made
+    // durable before the crash: appends must resume past its coverage,
+    // never reusing an index the snapshot already accounts for.
+    journal.reserve_through(from);
+  } else if (journal.next_index() > 0) {
+    // Records with no base state to replay onto: a DurableBackend writes
+    // the round-opening checkpoint before journaling anything, so this
+    // means every checkpoint file is gone or corrupt. Guessing a roster
+    // would build a wrong round — stop and hand it to the operator.
+    throw std::runtime_error(
+        "recovery: journal has records but no checkpoint decodes" +
+        (ckpt_error.empty() ? std::string(" (checkpoint files missing)")
+                            : " (" + ckpt_error + ")"));
+  }
+
+  const Journal::ReplayStats stats = journal.replay(
+      from, [&](std::uint64_t /*index*/, std::span<const std::uint8_t> rec) {
+        try {
+          apply_envelope(proto::decode_envelope(rec), backend);
+          ++report.records_replayed;
+        } catch (const std::invalid_argument&) {
+          // The backend refused it — e.g. a duplicate of a submission the
+          // checkpoint already covers (append-then-checkpoint overlap).
+          ++report.records_refused;
+        } catch (const proto::ProtoError&) {
+          ++report.records_refused;
+        }
+      });
+  report.torn_bytes = stats.torn_bytes;
+  report.journal_clean = stats.clean;
+  report.next_index = journal.next_index();
+  return report;
+}
+
+}  // namespace eyw::storage

@@ -1,0 +1,52 @@
+// Crash recovery: rebuild a RoundBackend's in-flight round from a journal
+// directory — newest valid checkpoint first, then replay of the journal
+// tail through the backend's normal submit path.
+//
+// Replayed records are the canonical wire frames the pre-crash process
+// accepted, so they re-enter through proto decode + the backend's own
+// validation: recovery cannot apply anything a live server would have
+// refused. The result is bit-identical to an uninterrupted round because
+// the snapshot carries the exact blinded partial sum and membership sets,
+// and wrapping cell addition makes "snapshot + replayed tail" equal
+// "everything from scratch".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "server/backend.hpp"
+#include "storage/journal.hpp"
+
+namespace eyw::storage {
+
+struct RecoveryReport {
+  /// A checkpoint decoded and was restored into the backend.
+  bool checkpoint_loaded = false;
+  /// The recovered round / roster (0 when nothing was recovered).
+  std::uint64_t round = 0;
+  std::size_t roster = 0;
+  /// Journal records re-applied through the submit path.
+  std::uint64_t records_replayed = 0;
+  /// Replayed records the backend refused (e.g. a duplicate of a
+  /// submission the checkpoint already covers — benign overlap when a
+  /// crash hit between append and checkpoint truncation).
+  std::uint64_t records_refused = 0;
+  /// Torn bytes dropped off the journal tail (the write the crash
+  /// interrupted).
+  std::uint64_t torn_bytes = 0;
+  /// False when damage was found *before* the tail (records lost in the
+  /// middle of the stream — the recovered state may be incomplete).
+  bool journal_clean = true;
+  /// Where journal appends resume.
+  std::uint64_t next_index = 0;
+};
+
+/// Recover `backend` from `journal`'s directory. Returns what happened; a
+/// fresh (empty) directory recovers to nothing and reports all-zero.
+/// Throws std::runtime_error when the directory holds checkpoint files
+/// but none decodes while journal records exist — replay without its base
+/// state would build a wrong round, so that is an operator problem
+/// (docs/durability.md#recovery-runbook), not something to guess around.
+RecoveryReport recover_round(Journal& journal, server::RoundBackend& backend);
+
+}  // namespace eyw::storage

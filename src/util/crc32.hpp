@@ -1,0 +1,48 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+//
+// This is the per-record integrity check of the write-ahead journal and
+// the whole-file check of round checkpoints (src/storage/): a torn tail
+// from a kill -9 mid-write, a bit flip on disk, or a truncated copy must
+// be *detected*, never replayed into round state. CRC-32 is an error
+// detector, not an authenticator — the journal directory is trusted
+// storage, the adversary model is the filesystem, not a tamperer.
+//
+// Header-only and constexpr so decoders can use it on untrusted bytes
+// without reaching for a dependency; the table is computed at compile
+// time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace eyw::util {
+
+namespace detail {
+
+consteval std::array<std::uint32_t, 256> crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = crc32_table();
+
+}  // namespace detail
+
+/// CRC-32 of `bytes`. `seed` chains partial computations:
+/// crc32(ab) == crc32(b, crc32(a)).
+[[nodiscard]] constexpr std::uint32_t crc32(
+    std::span<const std::uint8_t> bytes, std::uint32_t seed = 0) noexcept {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::uint8_t b : bytes)
+    c = detail::kCrc32Table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace eyw::util

@@ -1,0 +1,55 @@
+#include "util/file_io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace eyw::util {
+
+bool full_write(int fd, std::span<const std::uint8_t> bytes) noexcept {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::ptrdiff_t full_read(int fd, std::uint8_t* out, std::size_t size) noexcept {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::read(fd, out + off, size - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) return -1;
+    if (n == 0) break;  // EOF
+    off += static_cast<std::size_t>(n);
+  }
+  return static_cast<std::ptrdiff_t>(off);
+}
+
+bool full_fsync(int fd) noexcept {
+  while (::fsync(fd) != 0) {
+    if (errno != EINTR) return false;
+  }
+  return true;
+}
+
+bool full_fdatasync(int fd) noexcept {
+  while (::fdatasync(fd) != 0) {
+    if (errno != EINTR) return false;
+  }
+  return true;
+}
+
+bool fsync_dir(const std::string& dir) noexcept {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = full_fsync(fd);
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace eyw::util
