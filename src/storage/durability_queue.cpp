@@ -36,14 +36,18 @@ std::uint64_t DurabilityQueue::enqueue_record(
     std::vector<std::uint8_t> payload) {
   std::unique_lock<std::mutex> lock(mu_);
   rethrow_if_failed_locked();
-  if (queue_.size() >= options_.max_pending_records ||
-      queued_bytes_ + payload.size() > options_.max_pending_bytes) {
+  // An empty queue always admits one record: a payload above
+  // max_pending_bytes on its own can never satisfy the byte bound (the
+  // journal accepts records up to the larger max_record_bytes), and
+  // without this escape its producer would block forever.
+  const auto has_room = [&] {
+    return queue_.empty() ||
+           (queue_.size() < options_.max_pending_records &&
+            queued_bytes_ + payload.size() <= options_.max_pending_bytes);
+  };
+  if (!has_room()) {
     ++stats_.enqueue_stalls;
-    room_cv_.wait(lock, [&] {
-      return stopping_ || error_ ||
-             (queue_.size() < options_.max_pending_records &&
-              queued_bytes_ + payload.size() <= options_.max_pending_bytes);
-    });
+    room_cv_.wait(lock, [&] { return stopping_ || error_ || has_room(); });
     rethrow_if_failed_locked();
     if (stopping_)
       throw std::runtime_error("durability queue: stopped during enqueue");

@@ -43,7 +43,9 @@ namespace eyw::storage {
 
 struct DurabilityOptions {
   /// Backpressure bounds: enqueue_record blocks (counting a stall) once
-  /// either is exceeded.
+  /// either is exceeded. An empty queue always admits one record, so a
+  /// payload above max_pending_bytes on its own waits for the queue to
+  /// drain instead of blocking forever.
   std::size_t max_pending_records = 4096;
   std::size_t max_pending_bytes = std::size_t{32} << 20;
   /// Group-commit window: with records appended but nobody blocked on

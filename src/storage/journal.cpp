@@ -213,6 +213,10 @@ void Journal::start_segment(std::uint64_t base) {
   put_u16(header + 6, static_cast<std::uint16_t>(kSegmentHeaderBytes));
   put_u64(header + 8, base);
   if (!util::full_write(fd_, header)) io_fail("write header " + path);
+  // fdatasync on the fd persists the file's contents, not its directory
+  // entry: persist the entry now, so a power loss cannot vanish a whole
+  // segment whose records sync() later promises durable.
+  if (!util::fsync_dir(dir_)) io_fail("fsync dir " + dir_);
   tail_base_ = base;
   tail_bytes_ = kSegmentHeaderBytes;
 }
@@ -222,13 +226,24 @@ void Journal::close_segment() noexcept {
   fd_ = -1;
 }
 
+void Journal::sync_and_retire_segment() {
+  if (fd_ < 0) return;
+  // sync() can only reach the fd it holds: a segment must be made
+  // durable *before* it is retired, or a group commit spanning the
+  // rotation would publish records that still sit in the page cache.
+  if (!util::full_fdatasync(fd_)) io_fail("fdatasync " + dir_);
+  ++data_syncs_;
+  close_segment();
+}
+
 std::uint64_t Journal::append(std::span<const std::uint8_t> payload) {
   note_io_thread();
   if (payload.empty())
     throw std::invalid_argument("journal: empty record");
   if (payload.size() > options_.max_record_bytes)
     throw std::invalid_argument("journal: record above cap");
-  if (fd_ >= 0 && tail_bytes_ >= options_.segment_bytes) close_segment();
+  if (fd_ >= 0 && tail_bytes_ >= options_.segment_bytes)
+    sync_and_retire_segment();
   if (fd_ < 0) start_segment(next_index_);
 
   std::uint8_t header[kRecordHeaderBytes];
@@ -247,6 +262,7 @@ void Journal::sync() {
   note_io_thread();
   if (fd_ < 0) return;
   if (!util::full_fdatasync(fd_)) io_fail("fdatasync " + dir_);
+  ++data_syncs_;
 }
 
 void Journal::reserve_through(std::uint64_t index) {
@@ -254,8 +270,9 @@ void Journal::reserve_through(std::uint64_t index) {
   if (index <= next_index_) return;
   // The new base has no physical records behind it, so it must open a
   // fresh segment: record indices are implicit (base + position), and a
-  // gap inside one segment would shift every later index.
-  close_segment();
+  // gap inside one segment would shift every later index. Retiring via
+  // sync also persists the torn-tail ftruncate open_tail_for_append did.
+  sync_and_retire_segment();
   next_index_ = index;
 }
 
@@ -312,10 +329,18 @@ Journal::ReplayStats Journal::replay(
       if (s + 1 < segments.size()) stats.clean = false;
     }
     // Contiguity: the next segment must start exactly where this one's
-    // valid records end, or part of the stream is missing.
+    // valid records end, or part of the stream is missing. One exception:
+    // recovery's reserve_through() legitimately opens a fresh segment
+    // past indices only the checkpoint holds, so a *forward* jump whose
+    // skipped indices all sit below `from` (i.e. under checkpoint
+    // coverage) is that reservation, not damage.
     if (s + 1 < segments.size() &&
-        segments[s + 1].base != segments[s].base + parsed.records)
-      stats.clean = false;
+        segments[s + 1].base != segments[s].base + parsed.records) {
+      const bool reserved_gap =
+          segments[s + 1].base > segments[s].base + parsed.records &&
+          segments[s + 1].base <= from;
+      if (!reserved_gap) stats.clean = false;
+    }
   }
   return stats;
 }

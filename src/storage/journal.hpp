@@ -110,7 +110,10 @@ class Journal {
 
   /// Visit every record with index >= `from`, in index order. The span is
   /// only valid inside the callback. Read-only (safe before the writer
-  /// thread starts).
+  /// thread starts). `from` also marks checkpoint coverage for the
+  /// cleanliness check: an inter-segment index gap entirely below `from`
+  /// is the reserve_through() reservation recovery itself creates, not
+  /// mid-stream damage.
   ReplayStats replay(
       std::uint64_t from,
       const std::function<void(std::uint64_t index,
@@ -133,6 +136,14 @@ class Journal {
     return bytes_appended_;
   }
 
+  /// fdatasyncs issued through this handle — explicit sync() calls plus
+  /// the implicit sync segment rotation performs before retiring an fd
+  /// (a retired segment is unreachable by sync(), so rotation must make
+  /// it durable itself; tests pin that contract here).
+  [[nodiscard]] std::uint64_t data_syncs() const noexcept {
+    return data_syncs_;
+  }
+
  private:
   struct Segment {
     std::uint64_t base = 0;
@@ -145,6 +156,11 @@ class Journal {
   void open_tail_for_append(const std::vector<Segment>& segments);
   void start_segment(std::uint64_t base);
   void close_segment() noexcept;
+  /// fdatasync the active segment, then close it. Rotation and index
+  /// reservation retire fds through this, never close_segment() alone —
+  /// records already appended must be durable before their fd becomes
+  /// unreachable. Throws on sync failure.
+  void sync_and_retire_segment();
 
   std::string dir_;
   JournalOptions options_;
@@ -153,6 +169,7 @@ class Journal {
   std::size_t tail_bytes_ = 0;    // its current size
   std::uint64_t next_index_ = 0;
   std::uint64_t bytes_appended_ = 0;
+  std::uint64_t data_syncs_ = 0;
   std::thread::id io_thread_{};
   std::atomic<std::uint64_t> off_thread_io_{0};
 };

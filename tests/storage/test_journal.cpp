@@ -147,6 +147,18 @@ TEST(Journal, RotatesSegmentsAndReplaysAcrossThem) {
   EXPECT_EQ(reopened.next_index(), kRecords);
 }
 
+TEST(Journal, RotationSyncsOutgoingSegmentBeforeRetiringIt) {
+  TempDir tmp;
+  Journal journal(tmp.path(), {.segment_bytes = 64});
+  for (std::size_t i = 0; i < 3; ++i) journal.append(payload_for(i, 24));
+  ASSERT_GT(segment_count(tmp.path()), 1u);
+  // sync() can only reach the fd it holds: once a segment is rotated
+  // away it is unreachable, so the rotation itself must have fdatasynced
+  // it — otherwise a group commit spanning the rotation would publish
+  // records as durable that only the page cache holds.
+  EXPECT_GE(journal.data_syncs(), 1u);
+}
+
 TEST(Journal, TornTailTruncatedOnReopen) {
   TempDir tmp;
   {
@@ -271,6 +283,32 @@ TEST(Journal, ReserveThroughOpensFreshSegmentAtNewBase) {
   // The reserved range exists in no segment: a reopen agrees on the base.
   Journal reopened(tmp.path());
   EXPECT_EQ(reopened.next_index(), 11u);
+}
+
+TEST(Journal, ReservedGapBelowReplayFromIsNotDamage) {
+  TempDir tmp;
+  Journal journal(tmp.path());
+  journal.append(payload_for(0, 8));
+  journal.append(payload_for(1, 8));
+  journal.sync();
+  // The recovery shape: a checkpoint covers indices [0, 10) of which the
+  // journal only ever held 0..1, so appends resume at 10 in a fresh
+  // segment — leaving an index gap between the two segments.
+  journal.reserve_through(10);
+  journal.append(payload_for(10, 8));
+  journal.sync();
+
+  // Replaying from the checkpoint boundary: the gap sits entirely under
+  // checkpoint coverage, so it is the reservation, not lost records.
+  auto stats = journal.replay(
+      10, [](std::uint64_t, std::span<const std::uint8_t>) {});
+  EXPECT_EQ(stats.records, 1u);
+  EXPECT_TRUE(stats.clean);
+
+  // Without checkpoint coverage the same gap IS missing records.
+  stats =
+      journal.replay(0, [](std::uint64_t, std::span<const std::uint8_t>) {});
+  EXPECT_FALSE(stats.clean);
 }
 
 TEST(Journal, OffThreadIoCounterCatchesForeignThreads) {

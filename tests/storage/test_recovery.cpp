@@ -222,6 +222,50 @@ TEST(Recovery, AdjustmentRecordsReplay) {
   EXPECT_TRUE(results_identical(want, recovered.finalize_round()));
 }
 
+TEST(Recovery, ReservedIndexGapStaysCleanAcrossRecoveries) {
+  const server::BackendConfig config = test_config();
+  constexpr std::uint64_t kRound = 7;
+  constexpr std::size_t kRoster = 5;
+  TempDir tmp;
+  {
+    // A checkpoint whose journal_next (3) exceeds the records the journal
+    // ever held (0..1): the shape a crash leaves when coverage outran the
+    // durable tail.
+    server::BackendServer staging(config);
+    staging.begin_round(kRound, kRoster);
+    for (std::size_t i = 0; i < 3; ++i)
+      staging.submit_report(i, test_cells(config, i));
+    write_checkpoint_file(
+        tmp.path(),
+        encode_checkpoint({staging.snapshot_round(), /*journal_next=*/3}));
+    Journal journal(tmp.path());
+    journal.append(report_frame(config, 0, kRound));
+    journal.append(report_frame(config, 1, kRound));
+    journal.sync();
+  }
+
+  // First recovery reserves through 3; the next accepted report lands in
+  // a fresh segment based at 3, leaving an index gap behind it.
+  {
+    server::BackendServer backend(config);
+    Journal journal(tmp.path());
+    const RecoveryReport first = recover_round(journal, backend);
+    EXPECT_TRUE(first.journal_clean);
+    EXPECT_EQ(journal.next_index(), 3u);
+    journal.append(report_frame(config, 3, kRound));
+    journal.sync();
+  }
+
+  // A second recovery sees that gap — it is the reservation recovery
+  // itself created, and must not read as mid-stream damage.
+  server::BackendServer backend(config);
+  Journal journal(tmp.path());
+  const RecoveryReport second = recover_round(journal, backend);
+  EXPECT_TRUE(second.journal_clean);
+  EXPECT_EQ(second.records_replayed, 1u);
+  EXPECT_EQ(backend.reports_received(), 4u);
+}
+
 TEST(Recovery, ClusterRecoversSameRoundAsSingleServer) {
   const server::BackendConfig config = test_config();
   constexpr std::uint64_t kRound = 5;
