@@ -12,32 +12,61 @@
 // sits slightly ABOVE the actual one (2.30 vs 2.25 etc.) because of id
 // collisions in the mapping.
 //
+// `--transport socket` runs the same pipeline at reduced scale with the
+// back-end deployed as a real server process stack: every report and
+// barrier traverses client reactor -> TCP -> frame server -> dispatcher ->
+// endpoint instead of a function call. RemoteBackend is a drop-in
+// RoundBackend, so the coordinator code below is byte-for-byte the same in
+// both modes; only the construction differs.
+//
 // Crypto parameters are scaled down (256-bit RSA / DH) to keep the bench
 // interactive; bench_crypto_primitives measures the full-size primitives.
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/global_view.hpp"
+#include "proto/client_reactor.hpp"
+#include "scenario/harness.hpp"
+#include "server/remote_backend.hpp"
 #include "server/round.hpp"
 #include "simulator/engine.hpp"
 #include "util/histogram.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace eyw;
 
-using namespace eyw;
+  bool socket = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc) {
+      const char* mode = argv[++i];
+      if (std::strcmp(mode, "socket") == 0) {
+        socket = true;
+      } else if (std::strcmp(mode, "local") != 0) {
+        std::fprintf(stderr, "unknown transport '%s' (local|socket)\n", mode);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fig2_users_distribution "
+                   "[--transport local|socket]\n");
+      return 2;
+    }
+  }
 
-constexpr std::size_t kUsers = 100;
-constexpr std::size_t kWeeks = 3;
-constexpr std::uint64_t kIdSpace = 20000;  // over-estimated |A|
+  // Socket mode is a smoke-scale run: the point is the transport path, not
+  // the statistics, so the world shrinks to keep it ctest-fast.
+  const std::size_t users = socket ? 24 : 100;
+  const std::size_t weeks = socket ? 2 : 3;
+  const std::uint64_t id_space = socket ? 4000 : 20000;  // over-estimated |A|
 
-}  // namespace
-
-int main() {
   sim::SimConfig cfg;
-  cfg.num_users = kUsers;
-  cfg.num_websites = 300;
-  cfg.num_campaigns = 80;
-  cfg.weeks = kWeeks;
+  cfg.num_users = users;
+  cfg.num_websites = socket ? 80 : 300;
+  cfg.num_campaigns = socket ? 30 : 80;
+  cfg.weeks = weeks;
   cfg.frequency_cap = 6;
   // Match the live deployment's exposure: ~35 unique ads per user per week
   // (Section 7.1). Most browsing happens on pages without tracked ads, so
@@ -46,23 +75,24 @@ int main() {
   cfg.slots_per_visit = 2;
   cfg.seed = 190702;
 
-  std::printf("Simulating %zu users, %zu weeks...\n", kUsers, kWeeks);
+  std::printf("Simulating %zu users, %zu weeks...\n", users, weeks);
   sim::Engine engine(sim::World::build(cfg));
   const sim::SimResult sim = engine.run();
 
   // Group impressions by week.
-  std::vector<std::vector<const sim::SimImpression*>> by_week(kWeeks);
+  std::vector<std::vector<const sim::SimImpression*>> by_week(weeks);
   for (const auto& si : sim.impressions)
     by_week[si.impression.day / 7].push_back(&si);
 
   // Shared infrastructure.
   util::Rng rng(424242);
   const crypto::OprfServer oprf_server(rng, 256);
-  client::OprfUrlMapper mapper(oprf_server, kIdSpace, 99);
+  client::OprfUrlMapper mapper(oprf_server, id_space, 99);
   const crypto::DhGroup group = crypto::DhGroup::generate(rng, 256);
 
   const sketch::CmsParams cms_params =
-      sketch::CmsParams::from_error_bounds(5000, 0.002, 0.001);
+      socket ? sketch::CmsParams::from_error_bounds(1200, 0.005, 0.005)
+             : sketch::CmsParams::from_error_bounds(5000, 0.002, 0.001);
   std::printf("CMS geometry: d=%zu w=%zu (%zu cells, %.0f KB)\n",
               cms_params.depth, cms_params.width, cms_params.cells(),
               static_cast<double>(cms_params.bytes()) / 1000.0);
@@ -70,18 +100,42 @@ int main() {
   const client::ExtensionConfig ext_cfg{
       .detector = {}, .cms_params = cms_params, .cms_hash_seed = 7777};
   std::vector<client::BrowserExtension> extensions;
-  extensions.reserve(kUsers);
-  for (std::size_t u = 0; u < kUsers; ++u)
+  extensions.reserve(users);
+  for (std::size_t u = 0; u < users; ++u)
     extensions.emplace_back(static_cast<core::UserId>(u), ext_cfg, mapper);
 
-  server::BackendServer backend({.cms_params = cms_params,
-                                 .cms_hash_seed = 7777,
-                                 .id_space = kIdSpace,
-                                 .users_rule = core::ThresholdRule::kMean});
-  server::RoundCoordinator coordinator(
-      group, std::span<client::BrowserExtension>(extensions), backend, 5150);
+  const server::BackendConfig backend_config{
+      .cms_params = cms_params,
+      .cms_hash_seed = 7777,
+      .id_space = id_space,
+      .users_rule = core::ThresholdRule::kMean};
 
-  for (std::size_t week = 0; week < kWeeks; ++week) {
+  // Declaration order fixes teardown order: the RemoteBackend flushes its
+  // pipelined acks while the channel is alive, the reactor closes its
+  // sockets while the server still answers, then the harness stops.
+  std::optional<server::BackendServer> local;
+  std::optional<scenario::ServerHarness> harness;
+  std::optional<proto::ClientReactor> reactor;
+  std::shared_ptr<proto::ClientChannel> channel;
+  std::optional<server::RemoteBackend> remote;
+  server::RoundBackend* backend = nullptr;
+  if (socket) {
+    harness.emplace(scenario::HarnessOptions{.config = backend_config});
+    reactor.emplace(proto::ClientReactorOptions{.shards = 2});
+    channel = reactor->open("127.0.0.1", harness->port());
+    remote.emplace(*channel, backend_config);
+    backend = &*remote;
+    std::printf("transport: socket (server on 127.0.0.1:%u)\n",
+                static_cast<unsigned>(harness->port()));
+  } else {
+    local.emplace(backend_config);
+    backend = &*local;
+  }
+
+  server::RoundCoordinator coordinator(
+      group, std::span<client::BrowserExtension>(extensions), *backend, 5150);
+
+  for (std::size_t week = 0; week < weeks; ++week) {
     // Clients observe this week's ads.
     core::GlobalUserCounter exact;
     for (const sim::SimImpression* si : by_week[week]) {
@@ -112,6 +166,21 @@ int main() {
                   round.distribution.histogram().pdf(k));
     }
     for (auto& ext : extensions) ext.start_new_period();
+  }
+
+  if (socket) {
+    // The operator stats endpoint is the witness that the rounds really
+    // crossed the wire: per-week reports all arrived as envelopes.
+    std::printf("\nsocket path counters: frames=%llu reports=%llu "
+                "control=%llu refusals=%llu\n",
+                static_cast<unsigned long long>(
+                    scenario::stat(harness->stats_port(), "frames")),
+                static_cast<unsigned long long>(scenario::stat(
+                    harness->stats_port(), "reports_accepted")),
+                static_cast<unsigned long long>(
+                    scenario::stat(harness->stats_port(), "control_served")),
+                static_cast<unsigned long long>(
+                    scenario::stat(harness->stats_port(), "refusals")));
   }
 
   std::printf(

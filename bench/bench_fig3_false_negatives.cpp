@@ -5,9 +5,29 @@
 // Expected shape (paper): FN falls steeply with the cap; with the Mean rule
 // 6-7 repetitions push FN below ~30%; Mean+Median needs ~5 more repetitions
 // but drives FN toward ~10%; false positives stay near zero throughout.
+//
+// `--transport socket` sweeps a reduced grid (3 caps, 1 world, small
+// panel), but derives Users_th the deployed way instead of from the
+// cleartext oracle: every simulated user sketches their distinct ads,
+// blinds the cells with pairwise-DH shares, and reports through the client
+// reactor to a real server stack; the classification then runs against the
+// threshold the server recovered from the blinded aggregate. Users_th is
+// the only globally-distributed quantity in the protocol, so this is
+// exactly the seam the live extension sees.
 #include <cstdio>
+#include <cstring>
+#include <optional>
+#include <set>
+#include <vector>
 
 #include "analysis/detection_experiment.hpp"
+#include "crypto/blinding.hpp"
+#include "crypto/dh.hpp"
+#include "proto/client_reactor.hpp"
+#include "scenario/harness.hpp"
+#include "server/remote_backend.hpp"
+#include "sketch/count_min.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -27,10 +47,94 @@ void print_table1(const SimConfig& cfg) {
   std::printf("\n");
 }
 
+/// One privacy-preserving #Users round over the real server stack: the
+/// returned distribution is what the back-end recovered from the blinded
+/// aggregate, not the oracle's. Per-rule thresholds are read off it with
+/// UsersDistribution::threshold, the same computation the server applies
+/// to its own rule.
+eyw::core::UsersDistribution socket_users_distribution(
+    const eyw::sim::SimResult& sim, std::size_t num_users,
+    std::uint64_t seed) {
+  using namespace eyw;
+
+  // Distinct ads per user — the #Users semantics: one update per pair.
+  std::vector<std::set<core::AdId>> seen(num_users);
+  core::AdId max_ad = 0;
+  for (const sim::SimImpression& si : sim.impressions) {
+    seen[si.impression.user].insert(si.impression.ad);
+    max_ad = std::max(max_ad, si.impression.ad);
+  }
+
+  const server::BackendConfig config{
+      .cms_params = sketch::CmsParams::from_error_bounds(1200, 0.005, 0.005),
+      .cms_hash_seed = 40317,
+      // Over-estimated |A|, as in the deployed scan (Section 6.1).
+      .id_space = static_cast<std::uint64_t>(max_ad) + 64,
+      .users_rule = core::ThresholdRule::kMean};
+  scenario::ServerHarness harness(
+      {.config = config, .serve_stats = false});
+  proto::ClientReactor reactor({.shards = 2});
+  auto channel = reactor.open("127.0.0.1", harness.port());
+  server::RemoteBackend remote(*channel, config);
+
+  util::Rng rng(seed);
+  const crypto::DhGroup group = crypto::DhGroup::generate(rng, 256);
+  const crypto::DhContext ctx(group);
+  std::vector<crypto::DhKeyPair> keys;
+  std::vector<crypto::Bignum> publics;
+  keys.reserve(num_users);
+  publics.reserve(num_users);
+  for (std::size_t u = 0; u < num_users; ++u) {
+    keys.push_back(ctx.keygen(rng));
+    publics.push_back(keys.back().public_key);
+  }
+
+  constexpr std::uint64_t kRound = 1;
+  remote.begin_round(kRound, num_users);
+  for (std::size_t u = 0; u < num_users; ++u) {
+    sketch::CountMinSketch sketch(config.cms_params, config.cms_hash_seed);
+    for (const core::AdId ad : seen[u]) sketch.update(ad);
+    const crypto::BlindingParticipant participant(
+        group, u, keys[u], std::span<const crypto::Bignum>(publics),
+        &util::ThreadPool::shared());
+    remote.submit_report(u, participant.blind(sketch.cells(), kRound));
+  }
+  if (!remote.missing_participants().empty())
+    std::fprintf(stderr, "socket round: unexpected missing reporters\n");
+  const server::RoundResult result = remote.finalize_round();
+  return result.distribution;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool socket = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc) {
+      const char* mode = argv[++i];
+      if (std::strcmp(mode, "socket") == 0) {
+        socket = true;
+      } else if (std::strcmp(mode, "local") != 0) {
+        std::fprintf(stderr, "unknown transport '%s' (local|socket)\n", mode);
+        return 2;
+      }
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: bench_fig3_false_negatives [--transport local|socket]\n");
+      return 2;
+    }
+  }
+
   SimConfig base;  // Table 1 defaults
+  if (socket) {
+    // Smoke-scale panel: enough impressions for a meaningful distribution,
+    // small enough that three blinded rounds stay ctest-fast.
+    base.num_users = 40;
+    base.num_websites = 60;
+    base.num_campaigns = 40;
+    base.avg_user_visits = 40;
+  }
   print_table1(base);
 
   constexpr ThresholdRule kRules[] = {ThresholdRule::kMean,
@@ -39,34 +143,55 @@ int main() {
 
   std::printf(
       "Figure 3: False Negative %% vs Frequency Cap "
-      "(also FP%% as the Sec 7.2.2 sanity column)\n");
+      "(also FP%% as the Sec 7.2.2 sanity column)%s\n",
+      socket ? " — Users_th from blinded rounds over the socket" : "");
   std::printf("%-5s", "cap");
   for (const auto rule : kRules)
     std::printf(" %14s-FN%% %13s-FP%%", to_string(rule), to_string(rule));
   std::printf("\n");
 
-  constexpr int kWorldsPerPoint = 4;  // average out world randomness
-  for (std::uint32_t cap = 1; cap <= 12; ++cap) {
+  std::vector<std::uint32_t> caps;
+  if (socket) {
+    caps = {2, 6, 10};
+  } else {
+    for (std::uint32_t cap = 1; cap <= 12; ++cap) caps.push_back(cap);
+  }
+  const int worlds_per_point = socket ? 1 : 4;  // average out world randomness
+  for (const std::uint32_t cap : caps) {
     double fn_acc[3] = {0, 0, 0};
     double fp_acc[3] = {0, 0, 0};
-    for (int w = 0; w < kWorldsPerPoint; ++w) {
+    for (int w = 0; w < worlds_per_point; ++w) {
       SimConfig cfg = base;
       cfg.frequency_cap = cap;
       cfg.seed = base.seed + static_cast<std::uint64_t>(w) * 7919;
       const eyw::sim::SimResult sim = eyw::sim::simulate(cfg);
+      // One blinded round per world serves all three rules: the rule only
+      // picks the statistic read off the recovered distribution.
+      std::optional<eyw::core::UsersDistribution> wire;
+      if (socket)
+        wire = socket_users_distribution(sim, cfg.num_users, cfg.seed + cap);
       for (int r = 0; r < 3; ++r) {
         DetectorConfig det;
         det.domains_rule = kRules[r];
         det.users_rule = kRules[r];
-        const DetectionOutcome outcome = eyw::analysis::run_detection(sim, det);
+        std::optional<double> wire_threshold;
+        if (wire) wire_threshold = wire->threshold(kRules[r]);
+        const DetectionOutcome outcome =
+            eyw::analysis::run_detection(sim, det, wire_threshold);
         fn_acc[r] += outcome.confusion.false_negative_rate();
         fp_acc[r] += outcome.confusion.false_positive_rate();
+        if (socket && r == 0) {
+          std::printf(
+              "  cap %-2u Users_th over socket: %.2f (oracle %.2f)\n", cap,
+              outcome.users_threshold,
+              outcome.users_distribution.threshold(kRules[r]));
+        }
       }
     }
     std::printf("%-5u", cap);
     for (int r = 0; r < 3; ++r) {
-      std::printf(" %17.1f %17.2f", 100.0 * fn_acc[r] / kWorldsPerPoint,
-                  100.0 * fp_acc[r] / kWorldsPerPoint);
+      std::printf(" %17.1f %17.2f", 100.0 * fn_acc[r] / worlds_per_point,
+                  100.0 * fp_acc[r] / worlds_per_point);
     }
     std::printf("\n");
   }

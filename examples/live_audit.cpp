@@ -10,19 +10,52 @@
 // 4. We audit a handful of ads in "real time" and print the verdicts,
 //    including an indirectly-targeted campaign that content analysis
 //    cannot flag (no semantic overlap between user profile and ad).
+//
+// `live_audit --soak SECONDS` runs the multi-round soak service instead:
+// back-to-back durable blinded rounds with 25% reporter churn against one
+// long-lived server stack, leak gauges sampled between rounds through the
+// operator stats endpoint (docs/scenarios.md#soak).
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "scenario/scenario.hpp"
 #include "server/round.hpp"
 #include "simulator/engine.hpp"
 #include "webmodel/ad_detect.hpp"
 #include "webmodel/html.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eyw;
+
+  if (argc >= 2 && std::string(argv[1]) == "--soak") {
+    long seconds = 60;
+    if (argc == 3) {
+      char* end = nullptr;
+      seconds = std::strtol(argv[2], &end, 10);
+      if (end == argv[2] || *end != '\0' || seconds < 1 ||
+          seconds > 86'400) {
+        std::fprintf(stderr, "usage: live_audit [--soak SECONDS]\n");
+        return 2;
+      }
+    } else if (argc != 2) {
+      std::fprintf(stderr, "usage: live_audit [--soak SECONDS]\n");
+      return 2;
+    }
+    scenario::ScenarioOptions options;
+    options.soak_budget = std::chrono::seconds(seconds);
+    options.work_dir = std::filesystem::temp_directory_path().string();
+    try {
+      return scenario::run_scenario("soak", options);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "live_audit --soak: %s\n", e.what());
+      return 1;
+    }
+  }
 
   sim::SimConfig cfg;
   cfg.num_users = 50;

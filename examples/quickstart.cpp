@@ -14,6 +14,11 @@
 //   ./build/quickstart --crash-demo [N]      kill -9 a journaled server
 //                                            mid-round, restart, finish —
 //                                            asserts bit-identical recovery
+//   ./build/quickstart --scenario NAME [--seed S] [--reporters N]
+//                                            adversarial scenarios against
+//                                            the real stack: churn30,
+//                                            mutator, poison, soak,
+//                                            crash-churn (docs/scenarios.md)
 //
 // `--journal DIR` makes the served round durable: accepted submissions
 // are write-ahead journaled with sketch checkpoints (src/storage/), and a
@@ -70,6 +75,7 @@
 #include "server/dispatcher.hpp"
 #include "server/durable_backend.hpp"
 #include "server/endpoint.hpp"
+#include "scenario/scenario.hpp"
 #include "server/remote_backend.hpp"
 #include "server/round.hpp"
 #include "util/thread_pool.hpp"
@@ -812,6 +818,52 @@ int main(int argc, char** argv) {
     return run_guarded(
         [&] { return run_crash_demo(static_cast<std::size_t>(n)); });
   }
+  // Internal: the crash-churn scenario's server child (fork+exec'd by
+  // --scenario crash-churn; see scenario::serve_child_main).
+  if (mode == "--scenario-server-child" && argc == 4)
+    return scenario::serve_child_main(argv[2], argv[3]);
+  if (mode == "--scenario" && argc >= 3) {
+    const std::string name = argv[2];
+    scenario::ScenarioOptions options;
+    options.work_dir = std::filesystem::temp_directory_path().string();
+    options.spawn = [](const std::string& journal_dir,
+                       const std::string& port_file) -> pid_t {
+      const pid_t pid = fork();
+      if (pid == 0) {
+        execl("/proc/self/exe", "quickstart", "--scenario-server-child",
+              journal_dir.c_str(), port_file.c_str(),
+              static_cast<char*>(nullptr));
+        _exit(127);
+      }
+      return pid;
+    };
+    bool usage_ok = true;
+    for (int i = 3; usage_ok && i < argc; ++i) {
+      const std::string flag = argv[i];
+      char* end = nullptr;
+      if (flag == "--seed" && i + 1 < argc) {
+        options.seed = std::strtoull(argv[++i], &end, 10);
+        usage_ok = end != argv[i] && *end == '\0';
+      } else if (flag == "--reporters" && i + 1 < argc) {
+        const long n = std::strtol(argv[++i], &end, 10);
+        usage_ok = end != argv[i] && *end == '\0' && n >= 2 && n <= 65536;
+        options.reporters = static_cast<std::size_t>(n);
+      } else if (flag == "--soak-seconds" && i + 1 < argc) {
+        const long s = std::strtol(argv[++i], &end, 10);
+        usage_ok = end != argv[i] && *end == '\0' && s >= 1 && s <= 86'400;
+        options.soak_budget = std::chrono::seconds(s);
+      } else {
+        usage_ok = false;
+      }
+    }
+    if (!usage_ok) {
+      std::fprintf(stderr,
+                   "usage: quickstart --scenario NAME [--seed S] "
+                   "[--reporters N] [--soak-seconds S]\n");
+      return 2;
+    }
+    return run_guarded([&] { return scenario::run_scenario(name, options); });
+  }
   if (mode == "--connect" && argc == 3) {
     const std::string target = argv[2];
     const std::size_t colon = target.rfind(':');
@@ -856,6 +908,7 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "usage: quickstart [--serve PORT [--once] [--journal DIR] "
                "[--port-file PATH] | --connect HOST:PORT | --reporters N "
-               "[HOST:PORT] | --crash-demo [N]]\n");
+               "[HOST:PORT] | --crash-demo [N] | --scenario NAME "
+               "[--seed S] [--reporters N] [--soak-seconds S]]\n");
   return 2;
 }

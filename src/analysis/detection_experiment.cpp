@@ -5,7 +5,8 @@
 namespace eyw::analysis {
 
 DetectionOutcome run_detection(const sim::SimResult& sim,
-                               const core::DetectorConfig& config) {
+                               const core::DetectorConfig& config,
+                               std::optional<double> users_threshold_override) {
   DetectionOutcome out;
 
   // Global pass: the #Users counters and threshold the back-end would
@@ -16,7 +17,8 @@ DetectionOutcome run_detection(const sim::SimResult& sim,
     counter.record(si.impression.user, si.impression.ad);
   out.users_distribution =
       core::UsersDistribution::from_counts(counter.distribution());
-  out.users_threshold = out.users_distribution.threshold(config.users_rule);
+  out.users_threshold = users_threshold_override.value_or(
+      out.users_distribution.threshold(config.users_rule));
 
   // eyeWnder classifies in real time, when the user audits a just-rendered
   // ad. We model an audit of every (user, ad) pair at the moment of its

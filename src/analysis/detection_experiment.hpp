@@ -4,6 +4,7 @@
 // Section 7.2.2 false-positive study, and the Figure 4 evaluation.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "analysis/confusion.hpp"
@@ -36,7 +37,14 @@ struct DetectionOutcome {
 /// (client sketches -> blinded reports -> server aggregate) is exercised by
 /// server::RoundCoordinator and compared against this oracle in the Figure 2
 /// bench.
-[[nodiscard]] DetectionOutcome run_detection(const sim::SimResult& sim,
-                                             const core::DetectorConfig& config);
+///
+/// `users_threshold_override` substitutes an externally-computed Users_th —
+/// e.g. one recovered from a blinded round over the wire — for the oracle's
+/// own. Users_th is the only globally-distributed quantity in the protocol;
+/// per-ad #Users counts stay exact either way (the Figure 3 socket mode
+/// uses this to classify against the threshold the real server derived).
+[[nodiscard]] DetectionOutcome run_detection(
+    const sim::SimResult& sim, const core::DetectorConfig& config,
+    std::optional<double> users_threshold_override = std::nullopt);
 
 }  // namespace eyw::analysis

@@ -1,0 +1,67 @@
+// Crash-churn: kill -9 a journaled server *while churn is active* — idle
+// connections open, a torn frame half-sent, part of the roster still
+// unreported — then restart over the same journal and prove the recovered
+// round is byte-for-byte the round that crashed:
+//
+//   * the missing list after recovery equals the missing list the crashed
+//     server had answered (only accepted records replay; the torn frame
+//     and the idle connection leave nothing),
+//   * a byte-identical resubmission of an accepted report is refused as a
+//     duplicate across the restart (the reporter set survived),
+//   * the adjustment phase and finalize complete against the recovered
+//     state bit-identically to the in-process control.
+//
+// The child server is this same binary re-exec'd (fork+execl of
+// /proc/self/exe, like quickstart --crash-demo): real process, real
+// SIGKILL, real recovery path — the spawn hook is injected so both
+// quickstart and the test binary can provide their own child flag.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/harness.hpp"
+
+namespace eyw::scenario {
+
+/// Fork+exec a server child over `journal_dir` that writes "<port>\n
+/// <stats_port>\n" to `port_file` once listening. Returns the child pid
+/// (<0 on failure). The child must serve until a round finalizes, then
+/// exit 0 (serve_child_main does exactly this).
+using SpawnFn =
+    std::function<pid_t(const std::string& journal_dir,
+                        const std::string& port_file)>;
+
+/// The child side: build a durable ServerHarness on ephemeral ports,
+/// publish them atomically to `port_file`, serve until a FinalizeRequest
+/// has been answered, exit 0. Never returns on success (calls _exit /
+/// returns the process exit code for main() to return).
+int serve_child_main(const std::string& journal_dir,
+                     const std::string& port_file);
+
+struct CrashChurnOutcome {
+  std::vector<std::size_t> missing_before;  // crashed server's answer
+  std::vector<std::size_t> missing_after;   // recovered server's answer
+  bool missing_match = false;
+  bool duplicate_refused_after_recovery = false;
+  bool recovery_clean = false;  // records_refused == 0, torn_bytes == 0
+  std::uint64_t records_replayed = 0;
+  bool finalize_identical = false;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return missing_match && duplicate_refused_after_recovery &&
+           recovery_clean && finalize_identical;
+  }
+};
+
+/// Run the full scenario under `work_dir` (journal + port files live
+/// there; must exist and be writable). `spawn` launches the server child
+/// twice — once to crash, once to recover.
+[[nodiscard]] CrashChurnOutcome run_crash_churn(const std::string& work_dir,
+                                                const SpawnFn& spawn);
+
+}  // namespace eyw::scenario

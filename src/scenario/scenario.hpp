@@ -1,0 +1,37 @@
+// Named scenario registry — the operator-facing entry point behind
+// `quickstart --scenario NAME [--seed S]` and the scenario test binary.
+// Each scenario builds its own fresh harness, runs, prints a
+// human-readable verdict to stdout, and returns a process exit code, so
+// CI can run them as plain commands.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/crash_churn.hpp"
+
+namespace eyw::scenario {
+
+struct ScenarioOptions {
+  std::uint64_t seed = 1;
+  /// Roster size for churn30 (the acceptance floor is 256).
+  std::size_t reporters = 256;
+  /// Wall-clock budget for the soak scenario.
+  std::chrono::milliseconds soak_budget{15'000};
+  /// Scratch directory for journals + port files (crash-churn, soak).
+  std::string work_dir = ".";
+  /// Child-server spawner; required by crash-churn (the hosting binary
+  /// forks+execs itself with its own child flag).
+  SpawnFn spawn;
+};
+
+/// Every runnable scenario name, in documentation order.
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+/// Run one named scenario end to end. Prints a report; returns 0 on pass,
+/// 1 on scenario failure, 2 on unknown name / unusable options.
+int run_scenario(const std::string& name, const ScenarioOptions& options);
+
+}  // namespace eyw::scenario

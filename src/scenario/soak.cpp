@@ -1,0 +1,108 @@
+#include "scenario/soak.hpp"
+
+#include <optional>
+#include <thread>
+
+#include "scenario/churn.hpp"
+
+namespace eyw::scenario {
+
+namespace {
+
+/// Wait for the stack to drain after a round: every scenario-side client
+/// object is already destroyed, so the server should converge to zero
+/// active connections and an empty dispatch queue; fds follow once the
+/// reactor reaps the closed sockets. Returns the fd count that satisfied
+/// the criterion (nullopt on timeout) — the caller must record THAT
+/// observation, not a later re-read: background journal maintenance
+/// (segment rotation, directory fsync) legitimately holds an extra fd for
+/// a moment, and a re-read racing it is not a leak.
+std::optional<std::size_t> settle(ServerHarness& harness,
+                                  std::size_t fd_baseline) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::size_t fds = open_fds();
+    if (harness.server().active_connections() == 0 &&
+        harness.dispatcher().pending() == 0 && fds <= fd_baseline)
+      return fds;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+SoakReport run_soak(ServerHarness& harness, std::uint64_t first_round,
+                    const SoakOptions& options) {
+  SoakReport report;
+  report.all_rounds_ok = true;
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t round = first_round;
+
+  // Warmup round before the fd baseline: long-lived resources are
+  // allocated on first touch (the journal's first segment file, epoll
+  // bookkeeping), and they belong in the baseline — only growth
+  // *per subsequent round* is a leak.
+  {
+    const std::uint64_t warm_seed = options.seed + round;
+    const ChurnOutcome warm = run_churn_round(
+        harness, round,
+        ChurnSchedule::make(options.roster, options.churn_rate, warm_seed),
+        warm_seed);
+    if (!warm.ok()) {
+      report.all_rounds_ok = false;
+      report.first_failed_round = round;
+      return report;
+    }
+    (void)settle(harness, static_cast<std::size_t>(-1));
+    ++round;
+  }
+  const std::size_t fd_baseline = open_fds();
+  for (;;) {
+    const std::chrono::milliseconds elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    if (elapsed >= options.budget && report.rounds >= options.min_rounds)
+      break;
+
+    const std::uint64_t round_seed = options.seed + round;
+    const ChurnSchedule schedule =
+        ChurnSchedule::make(options.roster, options.churn_rate, round_seed);
+    const ChurnOutcome outcome =
+        run_churn_round(harness, round, schedule, round_seed);
+
+    SoakRound sample;
+    sample.round = round;
+    sample.round_ok = outcome.ok();
+    const std::optional<std::size_t> settled_fds =
+        settle(harness, fd_baseline);
+    sample.settled = settled_fds.has_value();
+    sample.open_fds = settled_fds.value_or(open_fds());
+    sample.active_connections = harness.server().active_connections();
+    sample.dispatch_pending = harness.dispatcher().pending();
+    report.samples.push_back(sample);
+    ++report.rounds;
+
+    if (!sample.round_ok && report.all_rounds_ok) {
+      report.all_rounds_ok = false;
+      report.first_failed_round = round;
+    }
+    ++round;
+  }
+
+  report.elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  report.fds_flat = true;
+  report.channels_drained = true;
+  report.queues_drained = true;
+  for (const SoakRound& s : report.samples) {
+    report.fds_flat = report.fds_flat && s.settled && s.open_fds <= fd_baseline;
+    report.channels_drained =
+        report.channels_drained && s.active_connections == 0;
+    report.queues_drained = report.queues_drained && s.dispatch_pending == 0;
+  }
+  return report;
+}
+
+}  // namespace eyw::scenario

@@ -1,0 +1,70 @@
+// SoakRunner: back-to-back durable churn rounds against one long-lived
+// harness for a bounded wall-clock budget, with leak detection between
+// rounds.
+//
+// What a multi-round service leaks that a single-round test never sees:
+// file descriptors (client channels reaped late, journal segments left
+// open), reactor channels (server-side connection structs outliving their
+// sockets), and dispatcher lanes (queue depth that never drains back to
+// zero). After every round the runner waits for the stack to settle and
+// samples all three through /proc and the stats endpoint; a soak passes
+// only if every round finalized bit-identically to its control AND every
+// gauge returned to its baseline every single round — zero growth, not
+// "growth below a threshold", because on a fixed round shape any upward
+// drift is a leak.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/harness.hpp"
+
+namespace eyw::scenario {
+
+struct SoakOptions {
+  /// Wall-clock budget; the round in flight when it expires still
+  /// completes.
+  std::chrono::milliseconds budget{60'000};
+  /// At least this many rounds even if the budget is tiny (tests).
+  std::size_t min_rounds = 3;
+  std::size_t roster = 24;
+  double churn_rate = 0.25;
+  std::uint64_t seed = 1;
+};
+
+struct SoakRound {
+  std::uint64_t round = 0;
+  bool round_ok = false;       // churn outcome ok() (identical + counters)
+  bool settled = false;        // stack drained within the settle window
+  std::size_t open_fds = 0;    // process fds after settling
+  std::size_t active_connections = 0;
+  std::size_t dispatch_pending = 0;
+};
+
+struct SoakReport {
+  std::size_t rounds = 0;
+  std::chrono::milliseconds elapsed{0};
+  std::vector<SoakRound> samples;
+  bool all_rounds_ok = false;
+  /// Zero-growth checks over the settled samples.
+  bool fds_flat = false;
+  bool channels_drained = false;  // active_connections == 0 every sample
+  bool queues_drained = false;    // dispatch_pending == 0 every sample
+  std::uint64_t first_failed_round = 0;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return rounds > 0 && all_rounds_ok && fds_flat && channels_drained &&
+           queues_drained;
+  }
+};
+
+/// Drive durable rounds against `harness` until the budget expires.
+/// Round numbers continue from `first_round` (must be above any round the
+/// harness has already served — rounds only move forward).
+[[nodiscard]] SoakReport run_soak(ServerHarness& harness,
+                                  std::uint64_t first_round,
+                                  const SoakOptions& options);
+
+}  // namespace eyw::scenario

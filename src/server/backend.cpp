@@ -26,6 +26,7 @@ BackendServer::BackendServer(BackendConfig config) : config_(config) {
 
 void BackendServer::begin_round(std::uint64_t round, std::size_t roster_size) {
   round_ = round;
+  open_ = true;
   roster_size_ = roster_size;
   reports_.clear();
   adjustments_.clear();

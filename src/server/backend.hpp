@@ -83,6 +83,15 @@ class RoundBackend {
   /// than the one it was built for.
   [[nodiscard]] virtual std::uint64_t current_round() const noexcept = 0;
 
+  /// Whether begin_round has opened a round (and no later round has
+  /// superseded it). The proto endpoint uses this to refuse a replayed
+  /// BeginRound for the round already open — re-beginning would silently
+  /// wipe every accepted submission, so a byte-identical resubmission of
+  /// the control frame must be kRejected, never re-applied. Aggregating
+  /// backends override; pure proxies (RemoteBackend) keep the false
+  /// default — the authoritative state lives on the other end.
+  [[nodiscard]] virtual bool round_open() const noexcept { return false; }
+
   /// Accept one client's blinded report (cells must match CMS geometry).
   virtual void submit_report(std::size_t participant_index,
                              std::vector<crypto::BlindCell> blinded_cells) = 0;
@@ -153,6 +162,8 @@ class BackendServer final : public RoundBackend {
     return round_;
   }
 
+  [[nodiscard]] bool round_open() const noexcept override { return open_; }
+
   void submit_report(std::size_t participant_index,
                      std::vector<crypto::BlindCell> blinded_cells) override;
 
@@ -208,6 +219,7 @@ class BackendServer final : public RoundBackend {
  private:
   BackendConfig config_;
   std::uint64_t round_ = 0;
+  bool open_ = false;
   std::size_t roster_size_ = 0;
   std::map<std::size_t, std::vector<crypto::BlindCell>> reports_;
   std::map<std::size_t, std::vector<crypto::BlindCell>> adjustments_;

@@ -53,6 +53,11 @@ class BackendCluster final : public RoundBackend {
   [[nodiscard]] std::uint64_t current_round() const noexcept override {
     return round_;
   }
+  // Shard 0 receives begin_round on every open path (begin + restore), so
+  // its flag speaks for the cluster.
+  [[nodiscard]] bool round_open() const noexcept override {
+    return shards_.front()->round_open();
+  }
   void submit_report(std::size_t participant_index,
                      std::vector<crypto::BlindCell> blinded_cells) override;
   [[nodiscard]] std::vector<std::size_t> missing_participants() const override;

@@ -82,6 +82,9 @@ class DurableBackend final : public RoundBackend {
   [[nodiscard]] std::uint64_t current_round() const noexcept override {
     return inner_.current_round();
   }
+  [[nodiscard]] bool round_open() const noexcept override {
+    return inner_.round_open();
+  }
   void submit_report(std::size_t participant_index,
                      std::vector<crypto::BlindCell> blinded_cells) override;
   [[nodiscard]] std::vector<std::size_t> missing_participants() const override;

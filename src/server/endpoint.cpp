@@ -1,6 +1,8 @@
 #include "server/endpoint.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string_view>
 
 #include "sketch/serialize.hpp"
 
@@ -26,18 +28,32 @@ BackendEndpoint::BackendEndpoint(RoundBackend& backend,
                                  bool serve_control)
     : backend_(backend), cluster_(routing), serve_control_(serve_control) {}
 
+std::vector<std::uint8_t> BackendEndpoint::refuse(proto::ErrorCode code,
+                                                  const std::string& detail) {
+  counters_.refusals.fetch_add(1, std::memory_order_relaxed);
+  const auto raw = static_cast<std::size_t>(code);
+  const std::size_t slot = std::min(raw, EndpointCounters::kCodeSlots - 1);
+  counters_.refused_by_code[slot].fetch_add(1, std::memory_order_relaxed);
+  return error_reply(code, detail);
+}
+
 std::vector<std::uint8_t> BackendEndpoint::handle(
     std::span<const std::uint8_t> frame) {
+  counters_.frames.fetch_add(1, std::memory_order_relaxed);
   try {
     return dispatch(proto::decode_envelope(frame));
   } catch (const proto::ProtoError& e) {
-    return error_reply(e.code(), e.what());
+    return refuse(e.code(), e.what());
   } catch (const std::invalid_argument& e) {
     // The backend refused a well-formed submission (duplicate, outside
-    // roster, non-reporter adjustment…).
-    return error_reply(proto::ErrorCode::kRejected, e.what());
+    // roster, non-reporter adjustment…). A duplicate is a replay of an
+    // already-accepted frame — kept distinguishable for the operator.
+    if (std::string_view(e.what()).find("duplicate") !=
+        std::string_view::npos)
+      counters_.refused_replay.fetch_add(1, std::memory_order_relaxed);
+    return refuse(proto::ErrorCode::kRejected, e.what());
   } catch (const std::exception& e) {
-    return error_reply(proto::ErrorCode::kInternal, e.what());
+    return refuse(proto::ErrorCode::kInternal, e.what());
   }
 }
 
@@ -54,13 +70,13 @@ std::vector<std::uint8_t> BackendEndpoint::dispatch(
     case proto::MsgKind::kMissingQuery:
     case proto::MsgKind::kFinalizeRequest:
       if (!serve_control_)
-        return error_reply(proto::ErrorCode::kRejected,
-                           "control plane disabled on this endpoint");
+        return refuse(proto::ErrorCode::kRejected,
+                      "control plane disabled on this endpoint");
       return on_control(env);
     default:
-      return error_reply(proto::ErrorCode::kUnknownKind,
-                         std::string("backend cannot serve ") +
-                             proto::to_string(env.kind));
+      return refuse(proto::ErrorCode::kUnknownKind,
+                    std::string("backend cannot serve ") +
+                        proto::to_string(env.kind));
   }
 }
 
@@ -69,22 +85,37 @@ std::vector<std::uint8_t> BackendEndpoint::on_control(
   switch (env.kind) {
     case proto::MsgKind::kBeginRound: {
       const proto::BeginRound begin = proto::BeginRound::decode(env);
+      // begin_round resets every accepted submission, so a replayed (or
+      // stale) BeginRound re-applied here would silently wipe the round.
+      // Rounds only move forward: once one is open, a begin for the same
+      // or an earlier round is a replay and must be refused.
+      if (backend_.round_open() && env.round <= backend_.current_round()) {
+        counters_.refused_replay.fetch_add(1, std::memory_order_relaxed);
+        return refuse(proto::ErrorCode::kRejected,
+                      "begin-round replayed for an already-open round");
+      }
       backend_.begin_round(env.round, begin.roster);
+      counters_.control_served.fetch_add(1, std::memory_order_relaxed);
+      counters_.round_current.store(env.round, std::memory_order_relaxed);
+      counters_.round_roster.store(begin.roster, std::memory_order_relaxed);
+      counters_.round_reports.store(0, std::memory_order_relaxed);
+      counters_.round_adjustments.store(0, std::memory_order_relaxed);
       return proto::encode_ack();
     }
     case proto::MsgKind::kMissingQuery: {
       if (!env.payload.empty())
-        return error_reply(proto::ErrorCode::kMalformed,
-                           "missing-query carries no payload");
+        return refuse(proto::ErrorCode::kMalformed,
+                      "missing-query carries no payload");
       proto::MissingList list;
       for (const std::size_t m : backend_.missing_participants())
         list.missing.push_back(static_cast<std::uint32_t>(m));
+      counters_.control_served.fetch_add(1, std::memory_order_relaxed);
       return list.encode(env.round);
     }
     case proto::MsgKind::kFinalizeRequest: {
       if (!env.payload.empty())
-        return error_reply(proto::ErrorCode::kMalformed,
-                           "finalize-request carries no payload");
+        return refuse(proto::ErrorCode::kMalformed,
+                      "finalize-request carries no payload");
       const RoundResult result = backend_.finalize_round();
       proto::RoundSummary summary;
       summary.users_threshold = result.users_threshold;
@@ -92,11 +123,12 @@ std::vector<std::uint8_t> BackendEndpoint::on_control(
       summary.roster = static_cast<std::uint32_t>(result.roster);
       summary.counts = result.distribution.counts();
       summary.sketch_frame = sketch::encode_sketch(result.aggregate);
+      counters_.control_served.fetch_add(1, std::memory_order_relaxed);
       return summary.encode(env.round);
     }
     default:
-      return error_reply(proto::ErrorCode::kInternal,
-                         "on_control: unreachable kind");
+      return refuse(proto::ErrorCode::kInternal,
+                    "on_control: unreachable kind");
   }
 }
 
@@ -107,42 +139,50 @@ std::vector<std::uint8_t> BackendEndpoint::on_report(
   // slow reporter, a delayed retransmit, a submission overtaking a
   // BeginRound on another dispatch lane — must be refused, never
   // aggregated into whichever round happens to be open now.
-  if (env.round != backend_.current_round())
-    return error_reply(proto::ErrorCode::kRejected,
-                       "report is for a different round");
+  if (env.round != backend_.current_round()) {
+    counters_.refused_stale_round.fetch_add(1, std::memory_order_relaxed);
+    return refuse(proto::ErrorCode::kRejected,
+                  "report is for a different round");
+  }
   proto::BlindedReport report = proto::BlindedReport::decode(env);
   if (report.params != backend_.config().cms_params)
-    return error_reply(proto::ErrorCode::kGeometryMismatch,
-                       "report geometry != round geometry");
+    return refuse(proto::ErrorCode::kGeometryMismatch,
+                  "report geometry != round geometry");
   backend_.submit_report(report.participant, std::move(report.cells));
+  counters_.reports_accepted.fetch_add(1, std::memory_order_relaxed);
+  counters_.round_reports.fetch_add(1, std::memory_order_relaxed);
   return proto::encode_ack();
 }
 
 std::vector<std::uint8_t> BackendEndpoint::on_adjustment(
     const proto::Envelope& env) {
   // Same stale-frame refusal as on_report.
-  if (env.round != backend_.current_round())
-    return error_reply(proto::ErrorCode::kRejected,
-                       "adjustment is for a different round");
+  if (env.round != backend_.current_round()) {
+    counters_.refused_stale_round.fetch_add(1, std::memory_order_relaxed);
+    return refuse(proto::ErrorCode::kRejected,
+                  "adjustment is for a different round");
+  }
   proto::Adjustment adj = proto::Adjustment::decode(env);
   if (adj.params != backend_.config().cms_params)
-    return error_reply(proto::ErrorCode::kGeometryMismatch,
-                       "adjustment geometry != round geometry");
+    return refuse(proto::ErrorCode::kGeometryMismatch,
+                  "adjustment geometry != round geometry");
   backend_.submit_adjustment(adj.participant, std::move(adj.cells));
+  counters_.adjustments_accepted.fetch_add(1, std::memory_order_relaxed);
+  counters_.round_adjustments.fetch_add(1, std::memory_order_relaxed);
   return proto::encode_ack();
 }
 
 std::vector<std::uint8_t> BackendEndpoint::on_sharded(
     const proto::Envelope& env) {
   if (cluster_ == nullptr)
-    return error_reply(proto::ErrorCode::kRejected,
-                       "sharded-submit to a non-sharded backend");
+    return refuse(proto::ErrorCode::kRejected,
+                  "sharded-submit to a non-sharded backend");
   const proto::ShardedSubmit sub = proto::ShardedSubmit::decode(env);
   const proto::Envelope inner = proto::decode_envelope(sub.inner);
   if (inner.kind != proto::MsgKind::kBlindedReport &&
       inner.kind != proto::MsgKind::kAdjustment) {
-    return error_reply(proto::ErrorCode::kUnknownKind,
-                       "sharded-submit must wrap a report or adjustment");
+    return refuse(proto::ErrorCode::kUnknownKind,
+                  "sharded-submit must wrap a report or adjustment");
   }
   // The *outer* sender is what routing keys on before the payload is ever
   // decoded (peek_sender — e.g. the sharded dispatcher's lane choice), so
@@ -150,14 +190,14 @@ std::vector<std::uint8_t> BackendEndpoint::on_sharded(
   // would be applied under another participant's serialization. Refuse it
   // before it reaches the shard.
   if (env.sender != inner.sender)
-    return error_reply(proto::ErrorCode::kRejected,
-                       "sharded-submit: wrapper sender != inner sender");
+    return refuse(proto::ErrorCode::kRejected,
+                  "sharded-submit: wrapper sender != inner sender");
   // The router stamps the shard it computed; the cluster re-derives it
   // from the sender and refuses a misrouted frame instead of silently
   // re-routing (a routing bug upstream should be loud).
   if (sub.shard != cluster_->shard_for(inner.sender))
-    return error_reply(proto::ErrorCode::kRejected,
-                       "sharded-submit routed to the wrong shard");
+    return refuse(proto::ErrorCode::kRejected,
+                  "sharded-submit routed to the wrong shard");
   return dispatch(inner);
 }
 

@@ -5,8 +5,10 @@
 // a peer sends can make an endpoint throw across the transport.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "crypto/oprf.hpp"
@@ -15,6 +17,40 @@
 #include "server/cluster.hpp"
 
 namespace eyw::server {
+
+/// Admission/refusal tallies for one BackendEndpoint — the numbers an
+/// operator (or an adversarial-scenario assertion) reads off the stats
+/// endpoint. Every field is an atomic: dispatch lanes bump them
+/// concurrently and the stats thread reads them without touching any
+/// backend state, which is NOT thread-safe outside the dispatcher's
+/// serialization. Cumulative counters never reset; the round_* gauges
+/// reset when an accepted BeginRound opens a round.
+struct EndpointCounters {
+  /// refused_by_code is indexed by the wire ErrorCode value (codes are
+  /// frozen, currently 1..11); anything above the last slot folds into
+  /// the final bucket so a future code cannot write out of bounds.
+  static constexpr std::size_t kCodeSlots = 16;
+
+  // ---- cumulative, never reset ----
+  std::atomic<std::uint64_t> frames{0};  ///< every frame handled
+  std::atomic<std::uint64_t> reports_accepted{0};
+  std::atomic<std::uint64_t> adjustments_accepted{0};
+  std::atomic<std::uint64_t> control_served{0};
+  std::atomic<std::uint64_t> refusals{0};  ///< every Error reply sent
+  std::atomic<std::uint64_t> refused_by_code[kCodeSlots]{};
+  /// Well-formed frames carrying a round != the open round.
+  std::atomic<std::uint64_t> refused_stale_round{0};
+  /// Byte-identical resubmissions: duplicate report/adjustment and
+  /// re-begun rounds (a replayed BeginRound would otherwise silently
+  /// wipe every accepted submission).
+  std::atomic<std::uint64_t> refused_replay{0};
+
+  // ---- per-round gauges, reset by an accepted BeginRound ----
+  std::atomic<std::uint64_t> round_current{0};
+  std::atomic<std::uint64_t> round_roster{0};
+  std::atomic<std::uint64_t> round_reports{0};
+  std::atomic<std::uint64_t> round_adjustments{0};
+};
 
 /// Front door of the back-end: accepts BlindedReport and Adjustment
 /// envelopes for any RoundBackend. When constructed over a BackendCluster
@@ -41,16 +77,25 @@ class BackendEndpoint {
   [[nodiscard]] std::vector<std::uint8_t> handle(
       std::span<const std::uint8_t> frame);
 
+  /// Live admission/refusal tallies (readable from any thread).
+  [[nodiscard]] const EndpointCounters& counters() const noexcept {
+    return counters_;
+  }
+
  private:
   std::vector<std::uint8_t> dispatch(const proto::Envelope& env);
   std::vector<std::uint8_t> on_report(const proto::Envelope& env);
   std::vector<std::uint8_t> on_adjustment(const proto::Envelope& env);
   std::vector<std::uint8_t> on_sharded(const proto::Envelope& env);
   std::vector<std::uint8_t> on_control(const proto::Envelope& env);
+  /// Count + encode one refusal (every Error reply goes through here).
+  std::vector<std::uint8_t> refuse(proto::ErrorCode code,
+                                   const std::string& detail);
 
   RoundBackend& backend_;
   const BackendCluster* cluster_;  // non-null iff ShardedSubmit is accepted
   bool serve_control_;
+  EndpointCounters counters_;
 };
 
 /// The oprf-server behind the wire: answers OprfEvalRequest batches with

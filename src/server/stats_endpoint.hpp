@@ -1,0 +1,91 @@
+// Embedded operator stats endpoint: a minimal HTTP/1.0, GET-only surface
+// serving one flat JSON document of named u64 counters. This is the
+// observability surface the ROADMAP's hostile-scenario item calls for —
+// admission/shed/deadline/refusal counters readable with curl instead of
+// gdb — and the same interface every adversarial scenario asserts its
+// expected counts through.
+//
+// Deliberately tiny: no keep-alive, no chunking, no routing beyond
+// /stats, one serial accept loop on its own thread. Gauges are sampled at
+// request time via callbacks, so the registry must only capture values
+// that are safe to read from a foreign thread (atomics, or stats() calls
+// documented thread-safe). It must never reach into backend round state,
+// which is only consistent under the dispatcher's serialization.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace eyw::server {
+
+/// Named u64 gauges, rendered as one flat JSON object in insertion order.
+class StatsRegistry {
+ public:
+  using Gauge = std::function<std::uint64_t()>;
+
+  void add(std::string name, Gauge gauge) {
+    gauges_.emplace_back(std::move(name), std::move(gauge));
+  }
+
+  /// `{"name":value,...}` — names are emitted verbatim (callers register
+  /// identifier-style names only).
+  [[nodiscard]] std::string render_json() const;
+
+ private:
+  std::vector<std::pair<std::string, Gauge>> gauges_;
+};
+
+/// Serves `GET /stats` (the registry's JSON) on a loopback TCP port from
+/// a dedicated thread. Construction binds + listens (throws
+/// std::runtime_error on failure); stop() (or the destructor) joins the
+/// thread. Port 0 binds an ephemeral port — read the real one with
+/// port().
+class StatsEndpoint {
+ public:
+  StatsEndpoint(StatsRegistry registry, std::uint16_t port,
+                const std::string& bind_address = "127.0.0.1");
+  ~StatsEndpoint();
+
+  StatsEndpoint(const StatsEndpoint&) = delete;
+  StatsEndpoint& operator=(const StatsEndpoint&) = delete;
+
+  /// The actually-bound port (resolves an ephemeral bind).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Requests served so far (any method/path, including errors).
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Stop accepting and join the serving thread. Idempotent.
+  void stop();
+
+ private:
+  void serve_loop();
+
+  StatsRegistry registry_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+/// Blocking loopback HTTP/1.0 GET, returning the response body (headers
+/// stripped) — the client half tests and scenario assertions use to read
+/// a StatsEndpoint exactly like an operator's curl would. Throws
+/// std::runtime_error on connect/IO failure or a non-200 status.
+[[nodiscard]] std::string stats_http_get(std::uint16_t port,
+                                         const std::string& path = "/stats");
+
+/// Pull one counter out of a flat `{"name":value,...}` document rendered
+/// by StatsRegistry. Throws std::out_of_range when `name` is absent.
+[[nodiscard]] std::uint64_t stats_value(const std::string& json,
+                                        const std::string& name);
+
+}  // namespace eyw::server

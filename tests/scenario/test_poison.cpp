@@ -1,0 +1,36 @@
+// Poison scenario: both sides of the blinded-aggregate trust boundary.
+// Content poisoning is accepted by design and shifts the aggregate by
+// exactly the poisoner's own contribution; structural cheating (a second
+// report to double the weight) is refused as a duplicate.
+#include <gtest/gtest.h>
+
+#include "scenario/harness.hpp"
+#include "scenario/poison.hpp"
+
+namespace eyw::scenario {
+namespace {
+
+TEST(Poison, ShiftIsExactlyThePoisonersContribution) {
+  ServerHarness harness;
+  const PoisonOutcome outcome =
+      run_poison_round(harness, 1, /*roster=*/6, /*poisoner=*/4, /*seed=*/77);
+  harness.stop();
+
+  EXPECT_TRUE(outcome.shift_exact);
+  EXPECT_TRUE(outcome.shift_bounded);
+  EXPECT_TRUE(outcome.re_report_refused);
+  EXPECT_TRUE(outcome.counters_moved);
+  EXPECT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome.result.has_value());
+}
+
+TEST(Poison, HoldsForOtherRosterPositionsAndSeeds) {
+  ServerHarness harness;
+  const PoisonOutcome outcome =
+      run_poison_round(harness, 1, /*roster=*/5, /*poisoner=*/0, /*seed=*/3);
+  harness.stop();
+  EXPECT_TRUE(outcome.ok());
+}
+
+}  // namespace
+}  // namespace eyw::scenario
