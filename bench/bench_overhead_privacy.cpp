@@ -18,9 +18,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <latch>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include <arpa/inet.h>
@@ -39,6 +41,7 @@
 #include "server/dispatcher.hpp"
 #include "server/durable_backend.hpp"
 #include "server/endpoint.hpp"
+#include "scenario/harness.hpp"
 #include "server/remote_backend.hpp"
 #include "server/round.hpp"
 #include "sketch/count_min.hpp"
@@ -812,6 +815,153 @@ int main(int argc, char** argv) {
     std::printf("  TCP_NODELAY off: %7.3f ms/exchange | on: %7.3f "
                 "ms/exchange (%d sequential small-envelope round trips)\n",
                 nodelay_ms[0] / kPings, nodelay_ms[1] / kPings, kPings);
+  }
+
+  std::printf("\n== Channel multiplexing: socket-per-reporter vs mux "
+              "streams ==\n");
+  {
+    // The quickstart swarm, measured: the same N-reporter synthetic round
+    // (begin, N BlindedReports, missing barrier, finalize) driven once
+    // with one socket per reporter (the PR 4 shape) and once with N
+    // logical streams fanned over 8 mux-negotiated connections with a
+    // sliding completion-chained window (PR 9). Identical inputs, so the
+    // two finalizes must be bit-identical; the table records what the
+    // multiplexer costs (or saves) per reporter and what it does to the
+    // process's fd footprint at full swarm width (numbers recorded in
+    // docs/perf.md, rows in the perf-trajectory json).
+    namespace server = eyw::server;
+    const server::BackendConfig config = durable_bench_config();
+
+    struct SwarmRow {
+      double wall_ms = 0.0;
+      std::size_t acked = 0;
+      std::size_t fds = 0;  // open fds with the whole swarm in flight
+      std::optional<server::RoundResult> result;
+    };
+
+    const auto run_swarm = [&config](std::size_t n, bool use_mux) {
+      constexpr std::size_t kMuxConns = 8;
+      constexpr std::size_t kWindow = 2048;
+      server::BackendCluster cluster(config, 2);
+      server::BackendEndpoint endpoint(cluster, &cluster,
+                                       /*serve_control=*/true);
+      server::AsyncDispatcher dispatcher(
+          [&](std::span<const std::uint8_t> frame) {
+            return endpoint.handle(frame);
+          },
+          2, server::cluster_lane_router(cluster),
+          server::control_plane_barrier(),
+          server::DispatcherLimits{.max_lane_depth = 8192,
+                                   .retry_after_ms = 25,
+                                   .counters = &endpoint.counters()});
+      eyw::proto::FrameServer frame_server(
+          dispatcher.handler(),
+          {.backlog = static_cast<int>(std::max<std::size_t>(256, n + 8)),
+           .max_connections = (use_mux ? kMuxConns : n) + 8});
+      eyw::proto::ClientReactor reactor(
+          {.shards = 2, .backoff_jitter_seed = 9});
+      auto control = reactor.open("127.0.0.1", frame_server.port());
+      server::RemoteBackend remote(*control, config);
+
+      SwarmRow row;
+      std::mutex mu;
+      std::condition_variable cv;
+      std::size_t done = 0;
+      const auto on_ack = [&](eyw::proto::AsyncResult res) {
+        const bool ok = res.ok() && !res.reply.empty();
+        std::lock_guard<std::mutex> lock(mu);
+        if (ok) ++row.acked;
+        if (++done == n) cv.notify_one();
+      };
+      const auto frame_for = [&config](std::size_t i) {
+        return eyw::proto::BlindedReport{
+                   .participant = static_cast<std::uint32_t>(i),
+                   .params = config.cms_params,
+                   .cells =
+                       durable_bench_cells(i, config.cms_params.cells())}
+            .encode(/*round=*/1);
+      };
+      const auto t0 = Clock::now();
+      remote.begin_round(/*round=*/1, n);
+      std::vector<std::shared_ptr<eyw::proto::ClientChannel>> channels;
+      std::vector<std::shared_ptr<eyw::proto::MuxChannel>> muxes;
+      std::atomic<std::size_t> next{0};
+      std::function<void(std::size_t)> submit;
+      if (use_mux) {
+        for (std::size_t k = 0; k < std::min(kMuxConns, n); ++k)
+          muxes.push_back(
+              reactor.open_mux("127.0.0.1", frame_server.port()));
+        submit = [&, n](std::size_t i) {
+          auto stream = muxes[i % muxes.size()]->open_stream();
+          auto* raw = stream.get();
+          raw->exchange_async(frame_for(i),
+                              [&, stream](eyw::proto::AsyncResult r) {
+                                // Chain first, account last (the final
+                                // on_ack releases the main thread).
+                                const std::size_t j = next.fetch_add(
+                                    1, std::memory_order_relaxed);
+                                if (j < n) submit(j);
+                                on_ack(std::move(r));
+                              });
+        };
+        const std::size_t prime = std::min(kWindow, n);
+        next.store(prime, std::memory_order_relaxed);
+        for (std::size_t i = 0; i < prime; ++i) submit(i);
+      } else {
+        channels.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+          channels.push_back(
+              reactor.open("127.0.0.1", frame_server.port()));
+        for (std::size_t i = 0; i < n; ++i)
+          channels[i]->exchange_async(frame_for(i), on_ack);
+      }
+      row.fds = eyw::scenario::open_fds();
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return done == n; });
+      }
+      (void)remote.missing_participants();
+      row.result = remote.finalize_round();
+      row.wall_ms = ms_since(t0);
+      return row;
+    };
+
+    std::printf("  %-9s %-20s %10s %12s %10s\n", "reporters", "model",
+                "wall ms", "us/reporter", "open fds");
+    bool mux_identical = true;
+    for (const std::size_t n : {1'024u, 4'096u, 8'192u}) {
+      const SwarmRow socket = run_swarm(n, false);
+      const SwarmRow mux = run_swarm(n, true);
+      const bool identical =
+          socket.result.has_value() && mux.result.has_value() &&
+          eyw::scenario::results_identical(*socket.result, *mux.result) &&
+          socket.acked == n && mux.acked == n;
+      mux_identical = mux_identical && identical;
+      std::printf("  %-9zu %-20s %10.1f %12.2f %10zu\n", n,
+                  "socket-per-reporter", socket.wall_ms,
+                  1000.0 * socket.wall_ms / static_cast<double>(n),
+                  socket.fds);
+      std::printf("  %-9zu %-20s %10.1f %12.2f %10zu  finalize %s\n", n,
+                  "mux-8-connections", mux.wall_ms,
+                  1000.0 * mux.wall_ms / static_cast<double>(n), mux.fds,
+                  identical ? "bit-identical" : "MISMATCH (FAIL)");
+      json.add({.op = "swarm_socket_per_reporter_" + std::to_string(n),
+                .modulus_bits = 0,
+                .ns_per_op =
+                    socket.wall_ms * 1e6 / static_cast<double>(n),
+                .backend = kernel,
+                .cores = 2});
+      json.add({.op = "swarm_mux_" + std::to_string(n),
+                .modulus_bits = 0,
+                .ns_per_op = mux.wall_ms * 1e6 / static_cast<double>(n),
+                .backend = kernel,
+                .cores = 2});
+    }
+    if (!mux_identical) {
+      std::printf("  MISMATCH: mux and socket-per-reporter rounds "
+                  "diverged\n");
+      return 1;
+    }
   }
 
   std::printf("\n== Durability: write-ahead journal under the 128-reporter "

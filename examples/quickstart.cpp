@@ -7,10 +7,14 @@
 //   ./build/quickstart --serve PORT [--once] [--journal DIR]
 //                      [--port-file PATH]    host back-end + oprf-server
 //   ./build/quickstart --connect HOST:PORT   drive reporters over TCP
-//   ./build/quickstart --reporters N [HOST:PORT]
-//                                            N concurrent reporter
-//                                            connections (spins up its own
-//                                            server when no target given)
+//   ./build/quickstart --reporters N [HOST:PORT] [--per-connection]
+//                                            N logical reporters
+//                                            multiplexed over a handful of
+//                                            TCP connections (spins up its
+//                                            own server when no target
+//                                            given); --per-connection
+//                                            keeps the PR 4 swarm shape —
+//                                            one socket per reporter
 //   ./build/quickstart --crash-demo [N]      kill -9 a journaled server
 //                                            mid-round, restart, finish —
 //                                            asserts bit-identical recovery
@@ -32,16 +36,21 @@
 // back-end — and exits non-zero unless the aggregates are bit-identical
 // (the protocol's deployment invariant; see docs/architecture.md).
 // `--once` makes the server exit after serving one finalize, for CI.
-// `--reporters` is the swarm driver: N simultaneously-connected reporters
-// driven through the *client* reactor — N outbound connections pipelined
-// on a fixed client-side thread budget (reactor shards, not one blocking
-// thread or transport per link), the batched OPRF warm-up overlapping the
-// in-flight report submissions, and the finalized aggregate asserted
-// bit-identical to an in-process reference round. It exits non-zero if
-// resident client-side threads exceed shards + 1 (the CI guardrail) or
-// any check fails. Both sides multiplex: the server end already holds
-// thousands of connections on shards + acceptor (PR 4); this mode proves
-// one process can *drive* that many as well.
+// `--reporters` is the swarm driver: N logical reporters driven through
+// the *client* reactor. By default (PR 9) each reporter is a MuxStream —
+// a stream-id-tagged logical channel fanned over a fixed handful of
+// mux-negotiated connections — so fds AND threads stay flat while N
+// climbs to 100k+; a sliding completion-chained window keeps the swarm
+// self-paced against the server's drain rate. `--per-connection` keeps
+// the PR 4 shape (one socket per reporter) for A/B comparison: both
+// modes must finalize bit-identical to the same in-process reference, so
+// at equal N they are bit-identical to each other. The batched OPRF
+// warm-up overlaps the in-flight submissions either way, and the mode
+// exits non-zero if resident client-side threads exceed shards + 1, the
+// mux swarm's fd footprint grows with N, the overload-shed probe
+// misbehaves, or any aggregate check fails. Both sides multiplex: the
+// server end already holds thousands of connections on shards + acceptor
+// (PR 4); this mode proves one process can *drive* 100k logical peers.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -75,6 +84,7 @@
 #include "server/dispatcher.hpp"
 #include "server/durable_backend.hpp"
 #include "server/endpoint.hpp"
+#include "scenario/harness.hpp"
 #include "scenario/scenario.hpp"
 #include "server/remote_backend.hpp"
 #include "server/round.hpp"
@@ -95,6 +105,13 @@ server::BackendConfig net_config() {
 
 constexpr std::size_t kNetClients = 12;
 constexpr std::size_t kNetShards = 2;
+
+/// Overload bound for the served deployment's dispatch lanes: deep enough
+/// that a well-behaved swarm (the mux driver keeps ~2k frames in flight)
+/// never sheds, shallow enough that a runaway client meets
+/// Error(kUnavailable) + retry-after instead of unbounded queue growth.
+constexpr std::size_t kServeLaneDepth = 8192;
+constexpr std::uint32_t kServeRetryAfterMs = 25;
 
 /// The fleet both round runs share: every client saw ~12 unique ads, with
 /// overlap so some ads cross the threshold.
@@ -224,7 +241,12 @@ struct ServerStack {
               return route(frame);
             },
             kNetShards, server::cluster_lane_router(cluster),
-            server::control_plane_barrier()),
+            server::control_plane_barrier(),
+            // Bounded lanes: past-cap submits are shed with a retry-after
+            // hint and mirrored onto the endpoint's refusal counters.
+            server::DispatcherLimits{.max_lane_depth = kServeLaneDepth,
+                                     .retry_after_ms = kServeRetryAfterMs,
+                                     .counters = &backend_ep.counters()}),
         server(dispatcher.handler(),
                {.port = port,
                 // Sized to the admission cap: a reporter swarm connects in
@@ -373,17 +395,68 @@ std::vector<std::uint32_t> reporter_cells(const server::BackendConfig& config,
   return cells;
 }
 
+/// Shared swarm bookkeeping: completions validate the expected reply kind
+/// right on the loop thread (storing per-reporter results would be O(n)
+/// memory a 100k swarm has no reason to pay) and count down to the main
+/// thread's wait. Declared before the reactor wherever it is used, so
+/// unwinding completions always find it alive.
+struct SwarmSink {
+  proto::MsgKind want = proto::MsgKind::kAck;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  std::size_t acked = 0;
+  std::string first_error;
+
+  void complete(std::size_t i, proto::AsyncResult r, std::size_t n) {
+    bool ok = false;
+    std::string err;
+    try {
+      if (r.error) std::rethrow_exception(r.error);
+      (void)proto::expect_reply(r.reply, want);
+      ok = true;
+    } catch (const std::exception& e) {
+      err = e.what();
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    if (ok) {
+      ++acked;
+    } else if (first_error.empty()) {
+      first_error = "reporter " + std::to_string(i) + ": " + err;
+    }
+    if (++done == n) cv.notify_one();
+  }
+
+  void wait_all(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done == n; });
+  }
+};
+
 int run_reporters(std::size_t n, const std::string& target_host,
-                  long target_port) {
+                  long target_port, bool use_mux) {
+  // Mux geometry: a fixed handful of sockets, reporter i = a logical
+  // stream on connection i mod K, and a sliding window of exchanges in
+  // flight so the driver self-paces against the server's drain rate
+  // instead of materializing n frames (or n sockets) up front.
+  constexpr std::size_t kMuxConnections = 8;
+  constexpr std::size_t kMuxWindow = 2048;
+  /// Fd head-room the mux swarm may use over its pre-reactor baseline:
+  /// both ends of the K connections + control/OPRF links + per-shard
+  /// loop plumbing (epoll, eventfd, timerfd) — a constant, never O(n).
+  constexpr std::size_t kMuxFdBudget = 64;
+
   // Self-serve when no target: both halves of the story live in this
-  // process — the server multiplexing n inbound connections on its
-  // shards, and the client reactor driving n outbound ones on its own.
+  // process — the server multiplexing inbound connections on its
+  // shards, and the client reactor driving the swarm on its own.
   std::unique_ptr<ServerStack> local;
   std::string host = target_host;
   std::uint16_t port = 0;
   if (target_port < 0) {
-    // n reporter connections + control + oprf links must all be admitted.
-    local = std::make_unique<ServerStack>(0, n + 8);
+    // Admission cap: the per-connection swarm needs a socket per
+    // reporter; mux needs the fixed fan plus control/OPRF/probe links.
+    local = std::make_unique<ServerStack>(
+        0, (use_mux ? kMuxConnections : n) + 8);
     host = "127.0.0.1";
     port = local->server.port();
   } else {
@@ -391,52 +464,83 @@ int run_reporters(std::size_t n, const std::string& target_host,
   }
   const server::BackendConfig config = net_config();
 
-  // Declared before the reactor: reporter completions write into these,
-  // and if anything below throws, the unwinding reactor fails every
-  // pending completion — which must find its targets still alive.
-  std::vector<proto::AsyncResult> results(n);
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  std::size_t done_count = 0;
+  // Declared before the reactor: reporter completions write into the
+  // sink, and if anything below throws, the unwinding reactor fails every
+  // pending completion — which must find its target still alive.
+  SwarmSink sink;
 
-  // Everything outbound below — control plane, OPRF warm-up, n reporter
-  // connections — multiplexes on this client reactor's shard threads.
-  // The thread delta from here on is the claim under test — so the
-  // process-wide pool (which the self-serve server's OPRF batch handler
-  // and finalize would otherwise lazily spawn *inside* the measured
-  // window) is materialized first; its workers are compute fan-out, not
-  // transport threads.
+  // Everything outbound below — control plane, OPRF warm-up, the whole
+  // reporter swarm — multiplexes on this client reactor's shard threads.
+  // The thread and fd deltas from here on are the claim under test — so
+  // the process-wide pool (which the self-serve server's OPRF batch
+  // handler and finalize would otherwise lazily spawn *inside* the
+  // measured window) is materialized first; its workers are compute
+  // fan-out, not transport threads.
   (void)util::ThreadPool::shared();
   const std::size_t threads_before = proto::raw::process_threads();
+  const std::size_t fds_before = scenario::open_fds();
   constexpr std::size_t kClientShards = 2;
   proto::ClientReactor reactor(
       {.shards = kClientShards, .backoff_jitter_seed = 42});
 
   // Operator control plane on its own channel, pipelined RemoteBackend:
   // begin_round is a barrier, so the roster is open before reports fly.
+  // Deliberately a legacy (version-1) channel even in mux mode — the
+  // control plane and the mux swarm sharing one port is exactly the
+  // mixed old/new-peer deployment the Hello negotiation exists for.
   auto control = reactor.open(host, port);
   server::RemoteBackend remote(*control, config);
   remote.begin_round(/*round=*/0, n);
 
-  // Fire one BlindedReport per reporter channel — n connections all
-  // simultaneously connected, each with its exchange in flight at once.
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<std::shared_ptr<proto::ClientChannel>> channels;
-  channels.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) channels.push_back(reactor.open(host, port));
+  const auto report_frame = [&config](std::size_t i) {
+    return proto::BlindedReport{.participant = static_cast<std::uint32_t>(i),
+                                .params = config.cms_params,
+                                .cells = reporter_cells(config, i)}
+        .encode(/*round=*/0);
+  };
 
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto frame = proto::BlindedReport{
-        .participant = static_cast<std::uint32_t>(i),
-        .params = config.cms_params,
-        .cells = reporter_cells(config, i)}
-                           .encode(/*round=*/0);
-    channels[i]->exchange_async(frame, [&, i](proto::AsyncResult r) {
-      results[i] = std::move(r);  // slot-per-reporter: no lock needed
-      std::lock_guard<std::mutex> lock(done_mu);
-      ++done_count;
-      done_cv.notify_one();
-    });
+  // Whichever transport objects the swarm rides stay alive until the
+  // last completion has fired (and each in-flight exchange additionally
+  // pins its own stream through the completion's capture).
+  std::vector<std::shared_ptr<proto::ClientChannel>> channels;
+  std::vector<std::shared_ptr<proto::MuxChannel>> muxes;
+  std::atomic<std::size_t> next_reporter{0};
+  std::function<void(std::size_t)> submit_mux;
+
+  if (use_mux) {
+    // Mux swarm: K sockets total, negotiated once each; every completion
+    // chains the next reporter to keep the window full.
+    for (std::size_t k = 0; k < std::min(kMuxConnections, n); ++k)
+      muxes.push_back(reactor.open_mux(host, port));
+    submit_mux = [&](std::size_t i) {
+      auto stream = muxes[i % muxes.size()]->open_stream();
+      auto* raw = stream.get();
+      raw->exchange_async(
+          report_frame(i), [&, stream, i](proto::AsyncResult r) {
+            // Chain first, account last: the moment sink.complete() counts
+            // the final reporter the main thread may pass its wait, so
+            // the lambda touches nothing after it.
+            const std::size_t next =
+                next_reporter.fetch_add(1, std::memory_order_relaxed);
+            if (next < n) submit_mux(next);
+            sink.complete(i, std::move(r), n);
+          });
+    };
+    const std::size_t prime = std::min(kMuxWindow, n);
+    next_reporter.store(prime, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < prime; ++i) submit_mux(i);
+  } else {
+    // Per-connection swarm (the PR 4 shape): n simultaneously-connected
+    // sockets, each with its one exchange in flight at once.
+    channels.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      channels.push_back(reactor.open(host, port));
+    for (std::size_t i = 0; i < n; ++i)
+      channels[i]->exchange_async(report_frame(i),
+                                  [&, i](proto::AsyncResult r) {
+                                    sink.complete(i, std::move(r), n);
+                                  });
   }
 
   // While those n exchanges are in flight, run the batched OPRF warm-up a
@@ -463,26 +567,74 @@ int run_reporters(std::size_t n, const std::string& target_host,
   }
 
   // The swarm and the warm-up were concurrently in flight on the same
-  // fixed thread set — sample it before collecting the stragglers.
+  // fixed thread and fd set — sample both before collecting stragglers.
   const std::size_t threads_during = proto::raw::process_threads();
-  {
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return done_count == n; });
-  }
-  std::size_t acked = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    try {
-      if (results[i].error) std::rethrow_exception(results[i].error);
-      (void)proto::expect_reply(results[i].reply, proto::MsgKind::kAck);
-      ++acked;
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "reporter %zu: %s\n", i, e.what());
-    }
-  }
+  const std::size_t fds_during = scenario::open_fds();
+  sink.wait_all(n);
+  if (!sink.first_error.empty())
+    std::fprintf(stderr, "%s (%zu of %zu reporters failed)\n",
+                 sink.first_error.c_str(), n - sink.acked, n);
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
+
+  // Overload-shed probe (self-serve mux mode): freeze the dispatcher so
+  // one stream's in-flight handler never completes, stuff that stream
+  // past its server-side backlog, and watch the reactor shed the excess
+  // with Error(kUnavailable) + retry-after — which this client honors by
+  // backing off and resubmitting, so every probe exchange still answers
+  // once the dispatcher thaws. Runs after the swarm (same port, same
+  // stack) and uses side-effect-free OprfKeyQuery frames, so the round's
+  // aggregate cannot be perturbed.
+  bool overload_ok = true;
+  std::uint64_t probe_sheds = 0;
+  std::uint64_t probe_retries = 0;
+  constexpr std::size_t kProbeOverflow = 8;
+  if (use_mux && local != nullptr) {
+    const std::uint64_t sheds_before =
+        local->server.stats().reactor.streams_shed;
+    const std::uint64_t retries_before =
+        reactor.counters().unavailable_retries;
+    const std::size_t probe_total =
+        1 + proto::FrameServerOptions{}.max_stream_backlog + kProbeOverflow;
+    SwarmSink probe;
+    probe.want = proto::MsgKind::kOprfKeyAnswer;
+    auto probe_mux = reactor.open_mux(host, port);
+    auto probe_stream = probe_mux->open_stream();
+    local->dispatcher.pause();
+    for (std::size_t i = 0; i < probe_total; ++i)
+      probe_stream->exchange_async(proto::encode_oprf_key_query(),
+                                   [&probe, probe_total,
+                                    i](proto::AsyncResult r) {
+                                     probe.complete(i, std::move(r),
+                                                    probe_total);
+                                   });
+    // Thaw only after the server has counted the shed tail (bounded spin:
+    // the sheds are synchronous with the reactor reading the probe burst).
+    for (int spin = 0; spin < 10'000; ++spin) {
+      if (local->server.stats().reactor.streams_shed - sheds_before >=
+          kProbeOverflow)
+        break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    local->dispatcher.resume();
+    probe.wait_all(probe_total);
+    probe_sheds = local->server.stats().reactor.streams_shed - sheds_before;
+    probe_retries =
+        reactor.counters().unavailable_retries - retries_before;
+    overload_ok = probe.acked == probe_total &&
+                  probe_sheds >= kProbeOverflow &&
+                  probe_retries >= kProbeOverflow;
+    if (!overload_ok)
+      std::fprintf(stderr,
+                   "FAIL: overload probe — %zu/%zu served, %llu sheds, "
+                   "%llu client resubmissions (want >= %zu of each)\n",
+                   probe.acked, probe_total,
+                   static_cast<unsigned long long>(probe_sheds),
+                   static_cast<unsigned long long>(probe_retries),
+                   kProbeOverflow);
+  }
 
   // Close the round through the control plane so a --once server exits,
   // then rebuild the same round in-process: the swarm's aggregate must be
@@ -497,36 +649,85 @@ int run_reporters(std::size_t n, const std::string& target_host,
   const bool identical = results_identical(want, result);
 
   const std::size_t client_threads = threads_during - threads_before;
+  const std::size_t fd_delta =
+      fds_during > fds_before ? fds_during - fds_before : 0;
   const auto counters = reactor.counters();
-  std::printf("%zu reporter connections: %zu acked, %zu missing at "
-              "finalize; OPRF warm-up of %zu URLs in %llu trip(s) "
-              "overlapped the swarm\n",
-              n, acked, missing.size(), warm_urls,
-              static_cast<unsigned long long>(warm_trips));
-  std::printf("wall %.1f ms (%.0f connections/s incl. connect+report+ack)\n",
+  if (use_mux) {
+    // Aggregate the mux channels' envelope-byte accounting: counted on
+    // the version-1 bytes, so these totals match what a
+    // socket-per-reporter swarm of the same size reports.
+    proto::TransportStats mux_stats{};
+    for (const auto& m : muxes) {
+      const auto s = m->stats();
+      mux_stats.messages_sent += s.messages_sent;
+      mux_stats.bytes_sent += s.bytes_sent;
+      mux_stats.messages_received += s.messages_received;
+      mux_stats.bytes_received += s.bytes_received;
+    }
+    std::printf("%zu logical reporters over %zu mux connection(s), window "
+                "%zu in flight: %zu acked, %zu missing at finalize; OPRF "
+                "warm-up of %zu URLs in %llu trip(s) overlapped the swarm\n",
+                n, muxes.size(), std::min(kMuxWindow, n), sink.acked,
+                missing.size(), warm_urls,
+                static_cast<unsigned long long>(warm_trips));
+    std::printf("mux channels: %llu frames / %llu B up, %llu frames / "
+                "%llu B down (v1-equivalent byte accounting)\n",
+                static_cast<unsigned long long>(mux_stats.messages_sent),
+                static_cast<unsigned long long>(mux_stats.bytes_sent),
+                static_cast<unsigned long long>(mux_stats.messages_received),
+                static_cast<unsigned long long>(mux_stats.bytes_received));
+  } else {
+    std::printf("%zu reporter connections: %zu acked, %zu missing at "
+                "finalize; OPRF warm-up of %zu URLs in %llu trip(s) "
+                "overlapped the swarm\n",
+                n, sink.acked, missing.size(), warm_urls,
+                static_cast<unsigned long long>(warm_trips));
+  }
+  std::printf("wall %.1f ms (%.0f reporters/s incl. connect+report+ack)\n",
               wall_ms, 1000.0 * static_cast<double>(n) / wall_ms);
-  std::printf("client reactor: %zu shard thread(s) for %llu connections "
-              "(%llu retries, %llu deadline drops, %llu eventfd wakeups)\n",
+  std::printf("client reactor: %zu shard thread(s) for %llu connection(s), "
+              "%llu mux-negotiated (%llu retries, %llu deadline drops, "
+              "%llu eventfd wakeups)\n",
               reactor.shards(),
               static_cast<unsigned long long>(counters.connects_established),
+              static_cast<unsigned long long>(counters.mux_negotiated),
               static_cast<unsigned long long>(counters.connect_retries),
               static_cast<unsigned long long>(counters.deadline_drops),
               static_cast<unsigned long long>(counters.eventfd_wakeups));
   std::printf("resident client-side threads while driving: %zu "
-              "(= reactor shards; never O(connections))\n",
+              "(= reactor shards; never O(reporters))\n",
               client_threads);
+  if (use_mux)
+    std::printf("open fds while driving: +%zu over baseline %zu "
+                "(budget %zu; independent of N=%zu)\n",
+                fd_delta, fds_before, kMuxFdBudget, n);
   std::printf("round finalized over the same port: Users_th=%.3f (%u/%u "
               "reported), aggregate %s vs in-process reference\n",
               result.users_threshold, result.reports, result.roster,
               identical ? "bit-identical" : "MISMATCH");
+  if (use_mux && local != nullptr)
+    std::printf("overload probe: dispatcher frozen, %llu stream shed(s) "
+                "answered with retry-after; client backoff resubmitted "
+                "%llu time(s); all probe exchanges served after thaw\n",
+                static_cast<unsigned long long>(probe_sheds),
+                static_cast<unsigned long long>(probe_retries));
   if (local != nullptr) {
-    std::printf("server side: %zu accepted / %llu refused on %zu reactor "
-                "shard(s) + acceptor + %zu dispatch lane(s)\n",
+    const auto server_stats = local->server.stats();
+    std::printf("server side: %zu accepted (%llu mux-negotiated) / %llu "
+                "refused on %zu reactor shard(s) + acceptor + %zu dispatch "
+                "lane(s); %llu stream shed(s), dispatcher %llu accepted / "
+                "%llu shed\n",
                 static_cast<std::size_t>(
                     local->server.connections_accepted()),
                 static_cast<unsigned long long>(
+                    server_stats.reactor.mux_connections),
+                static_cast<unsigned long long>(
                     local->server.connections_refused()),
-                local->server.shards(), local->dispatcher.lanes());
+                local->server.shards(), local->dispatcher.lanes(),
+                static_cast<unsigned long long>(
+                    server_stats.reactor.streams_shed),
+                static_cast<unsigned long long>(local->dispatcher.accepted()),
+                static_cast<unsigned long long>(local->dispatcher.shed()));
     local->server.stop();
   }
   const bool threads_ok = client_threads <= reactor.shards() + 1;
@@ -534,8 +735,24 @@ int run_reporters(std::size_t n, const std::string& target_host,
     std::fprintf(stderr,
                  "FAIL: %zu resident client threads exceed shards + 1\n",
                  client_threads);
-  const bool ok = acked == n && missing.empty() && result.reports == n &&
-                  identical && threads_ok;
+  const bool fds_ok = !use_mux || fd_delta <= kMuxFdBudget;
+  if (!fds_ok)
+    std::fprintf(stderr,
+                 "FAIL: fd delta %zu exceeds the flat budget %zu — the mux "
+                 "swarm's fd footprint must not grow with N\n",
+                 fd_delta, kMuxFdBudget);
+  const bool mux_ok =
+      !use_mux || local == nullptr ||
+      counters.mux_negotiated >= muxes.size();
+  if (!mux_ok)
+    std::fprintf(stderr,
+                 "FAIL: only %llu of %zu channels negotiated the mux "
+                 "capability against a capable server\n",
+                 static_cast<unsigned long long>(counters.mux_negotiated),
+                 muxes.size());
+  const bool ok = sink.acked == n && missing.empty() &&
+                  result.reports == n && identical && threads_ok &&
+                  fds_ok && mux_ok && overload_ok;
   std::printf("multiplexing check: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }
@@ -881,34 +1098,45 @@ int main(int argc, char** argv) {
                          static_cast<std::uint16_t>(port));
     });
   }
-  if (mode == "--reporters" && (argc == 3 || argc == 4)) {
+  if (mode == "--reporters" && argc >= 3 && argc <= 5) {
     char* end = nullptr;
     const long n = std::strtol(argv[2], &end, 10);
-    if (end == argv[2] || *end != '\0' || n < 1 || n > 65536) {
-      std::fprintf(stderr,
-                   "usage: quickstart --reporters N [HOST:PORT]\n");
-      return 2;
-    }
+    bool per_connection = false;
     std::string host;
     long port = -1;
-    if (argc == 4) {
-      const std::string target = argv[3];
-      const std::size_t colon = target.rfind(':');
-      if (colon == std::string::npos || colon == 0 ||
-          (port = parse_port(target.c_str() + colon + 1)) <= 0) {
-        std::fprintf(stderr, "quickstart: bad target %s\n", target.c_str());
-        return 2;
+    bool usage_ok = end != argv[2] && *end == '\0' && n >= 1;
+    for (int i = 3; usage_ok && i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--per-connection") {
+        per_connection = true;
+      } else {
+        const std::size_t colon = arg.rfind(':');
+        usage_ok = colon != std::string::npos && colon != 0 &&
+                   (port = parse_port(arg.c_str() + colon + 1)) > 0;
+        if (usage_ok) host = arg.substr(0, colon);
+        else std::fprintf(stderr, "quickstart: bad target %s\n", arg.c_str());
       }
-      host = target.substr(0, colon);
+    }
+    // Mux fans logical streams over eight sockets, so the ceiling is the
+    // per-connection stream-id cap (8 x 65536), not fds; the
+    // socket-per-reporter swarm keeps the old fd-bound cap.
+    if (usage_ok && n > (per_connection ? 65536 : 524'288)) usage_ok = false;
+    if (!usage_ok) {
+      std::fprintf(stderr,
+                   "usage: quickstart --reporters N [HOST:PORT] "
+                   "[--per-connection]\n");
+      return 2;
     }
     return run_guarded([&] {
-      return run_reporters(static_cast<std::size_t>(n), host, port);
+      return run_reporters(static_cast<std::size_t>(n), host, port,
+                           /*use_mux=*/!per_connection);
     });
   }
   std::fprintf(stderr,
                "usage: quickstart [--serve PORT [--once] [--journal DIR] "
                "[--port-file PATH] | --connect HOST:PORT | --reporters N "
-               "[HOST:PORT] | --crash-demo [N] | --scenario NAME "
-               "[--seed S] [--reporters N] [--soak-seconds S]]\n");
+               "[HOST:PORT] [--per-connection] | --crash-demo [N] | "
+               "--scenario NAME [--seed S] [--reporters N] "
+               "[--soak-seconds S]]\n");
   return 2;
 }

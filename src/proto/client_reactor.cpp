@@ -74,12 +74,24 @@ struct DoneCarrier {
 /// One submitted exchange: the framed request bytes, where to deliver the
 /// outcome, and its deadline. Lives in the channel's FIFO until its reply
 /// (or failure) — the framing is strictly request-ordered on both ends, so
-/// the front of the FIFO always owns the next incoming frame.
+/// the front of the FIFO always owns the next incoming frame. On a mux
+/// channel the FIFO is per stream (the server guarantees per-stream reply
+/// order, not cross-stream order).
 struct PendingExchange {
   std::vector<std::uint8_t> framed;  // 4-byte prefix + envelope
   AsyncCompletionFn done;
   Reactor::TimerId deadline = 0;
   bool deadline_armed = false;
+  std::uint32_t stream = 0;  // mux stream id (0 = legacy lane)
+  /// Un-wrapped version-1 request bytes, kept only while the exchange may
+  /// still be resubmitted after a hinted server shed (a shed frame was
+  /// never applied, so the no-replay rule does not bind).
+  std::vector<std::uint8_t> retry_frame;
+  int retries_left = 0;
+  /// Channel plumbing (the Hello handshake), not a caller's exchange:
+  /// excluded from the channel's TransportStats byte accounting so a mux
+  /// swarm reports the exact totals a socket-per-reporter swarm would.
+  bool internal = false;
 };
 
 struct Shard {
@@ -132,7 +144,44 @@ struct ChannelCore : std::enable_shared_from_this<ChannelCore> {
   /// shard map) as soon as the pending queue drains — in-flight
   /// completions still fire first, per the ClientChannel contract.
   bool released = false;
+
+  // ---- mux state (cores opened via open_mux; loop-thread-only except
+  // the atomics) ----
+  bool mux_enabled = false;
+  int mux_retry_max = 0;
+  /// Per-connection negotiation state. Reset to kNone by drop_socket —
+  /// every fresh connection re-runs the Hello handshake.
+  enum class Neg { kNone, kPending, kOn, kOff };
+  Neg neg = Neg::kNone;
+  /// Facade-readable mirror of `neg` (0/1/2/3 in declaration order).
+  std::atomic<int> neg_observed{0};
+  /// One logical channel's queues: replies correlate FIFO within the
+  /// stream; the outbox holds framed-but-unsent requests so the writer
+  /// can interleave streams fairly instead of bursting one.
+  struct StreamQ {
+    std::deque<PendingExchange> pending;
+    std::deque<std::vector<std::uint8_t>> outbox;
+    bool in_ring = false;
+  };
+  std::unordered_map<std::uint32_t, StreamQ> streams;
+  /// Round-robin scheduler: stream ids with a non-empty outbox, each
+  /// yielding one frame per turn of the fill loop.
+  std::deque<std::uint32_t> write_ring;
+  /// Submissions made before the Hello handshake resolved, in order.
+  struct Staged {
+    std::uint32_t stream = 0;
+    std::vector<std::uint8_t> frame;
+    AsyncCompletionFn done;
+    int retries_left = 0;
+  };
+  std::deque<Staged> staged;
+  std::atomic<std::uint64_t> unavailable_retries{0};
 };
+
+/// Client-side reply backlog watermark for a mux core: the fill loop
+/// stops moving outbox frames into the socket buffer past this many
+/// unsent bytes (mirrors the server's write watermark).
+constexpr std::size_t kMuxClientWriteWatermark = 256 * 1024;
 
 struct ClientReactorImpl {
   ClientReactorOptions options;
@@ -149,6 +198,8 @@ struct ClientReactorImpl {
   std::atomic<std::uint64_t> exchanges_completed{0};
   std::atomic<std::uint64_t> exchanges_failed{0};
   std::atomic<std::uint64_t> deadline_drops{0};
+  std::atomic<std::uint64_t> mux_negotiated{0};
+  std::atomic<std::uint64_t> unavailable_retries{0};
 
   explicit ClientReactorImpl(ClientReactorOptions opts)
       : options(std::move(opts)) {
@@ -174,11 +225,22 @@ struct ClientReactorImpl {
     for (auto& shard : shards) shard->reactor.stop();
     for (auto& shard : shards) {
       for (auto& [id, core] : shard->channels) {
+        const auto stopped = make_error(ErrorCode::kUnavailable,
+                                        "client reactor stopped");
         for (PendingExchange& ex : core->pending)
-          deliver_error(*core, ex,
-                        make_error(ErrorCode::kUnavailable,
-                                   "client reactor stopped"));
+          deliver_error(*core, ex, stopped);
         core->pending.clear();
+        for (auto& [sid, q] : core->streams)
+          for (PendingExchange& ex : q.pending)
+            deliver_error(*core, ex, stopped);
+        core->streams.clear();
+        core->write_ring.clear();
+        for (ChannelCore::Staged& st : core->staged) {
+          PendingExchange ex;
+          ex.done = std::move(st.done);
+          deliver_error(*core, ex, stopped);
+        }
+        core->staged.clear();
         if (core->fd >= 0) {
           ::close(core->fd);
           core->fd = -1;
@@ -193,7 +255,7 @@ struct ClientReactorImpl {
   void deliver_ok(ChannelCore& core, PendingExchange& ex,
                   std::vector<std::uint8_t> reply) {
     exchanges_completed.fetch_add(1, std::memory_order_relaxed);
-    if (!reply.empty()) {
+    if (!reply.empty() && !ex.internal) {
       core.msgs_received.fetch_add(1, std::memory_order_relaxed);
       core.bytes_received.fetch_add(reply.size(), std::memory_order_relaxed);
     }
@@ -241,7 +303,36 @@ struct ClientReactorImpl {
       disarm_deadline(*core, ex);
       deliver_error(*core, ex, err);
     }
+    drain_mux_queues(core, [&](PendingExchange& ex) {
+      deliver_error(*core, ex, err);
+    });
     maybe_reap(core);
+  }
+
+  /// Pull every mux-side exchange (per-stream pendings, then staged
+  /// submissions in order) out of the core and hand each to `sink` with
+  /// its deadline disarmed. No-op for non-mux cores.
+  template <typename Sink>
+  void drain_mux_queues(const std::shared_ptr<ChannelCore>& core,
+                        Sink&& sink) {
+    ChannelCore& c = *core;
+    if (!c.mux_enabled) return;
+    std::unordered_map<std::uint32_t, ChannelCore::StreamQ> doomed;
+    doomed.swap(c.streams);
+    c.write_ring.clear();
+    for (auto& [sid, q] : doomed) {
+      for (PendingExchange& ex : q.pending) {
+        disarm_deadline(c, ex);
+        sink(ex);
+      }
+    }
+    std::deque<ChannelCore::Staged> staged;
+    staged.swap(c.staged);
+    for (ChannelCore::Staged& st : staged) {
+      PendingExchange ex;
+      ex.done = std::move(st.done);
+      sink(ex);
+    }
   }
 
   /// Complete every pending exchange with an empty reply (responses lost:
@@ -256,6 +347,8 @@ struct ClientReactorImpl {
       disarm_deadline(*core, ex);
       deliver_ok(*core, ex, {});
     }
+    drain_mux_queues(core,
+                     [&](PendingExchange& ex) { deliver_ok(*core, ex, {}); });
     maybe_reap(core);
   }
 
@@ -270,24 +363,70 @@ struct ClientReactorImpl {
     core.out.clear();
     core.out_off = 0;
     core.assembler = FrameAssembler{kMaxTcpFrameBytes};
+    // Capabilities are per connection: the next connect re-runs Hello.
+    core.neg = ChannelCore::Neg::kNone;
+    core.neg_observed.store(0, std::memory_order_relaxed);
   }
 
   /// A released channel whose completions have all fired is dead state:
   /// close its socket and drop it from the shard map (breaking the
   /// core->keepalive cycle for this core).
   void maybe_reap(const std::shared_ptr<ChannelCore>& core) {
-    if (!core->released || !core->pending.empty()) return;
+    if (!core->released || !core->pending.empty() ||
+        !core->streams.empty() || !core->staged.empty())
+      return;
     disarm_conn_timer(*core);
     drop_socket(*core);
     core->shard->channels.erase(core->id);
   }
 
   void submit(const std::shared_ptr<ChannelCore>& core,
-              std::vector<std::uint8_t> frame, AsyncCompletionFn done) {
+              std::vector<std::uint8_t> frame, AsyncCompletionFn done,
+              std::uint32_t stream = 0, int retries_override = -1) {
     ChannelCore& c = *core;
     exchanges_started.fetch_add(1, std::memory_order_relaxed);
     c.msgs_sent.fetch_add(1, std::memory_order_relaxed);
     c.bytes_sent.fetch_add(frame.size(), std::memory_order_relaxed);
+    if (c.mux_enabled) {
+      const int retries =
+          retries_override >= 0 ? retries_override : c.mux_retry_max;
+      if (c.st == ChannelCore::St::kConnected &&
+          c.neg != ChannelCore::Neg::kPending) {
+        try {
+          route_mux_submission(core, stream, std::move(frame),
+                               std::move(done), retries);
+          pump(core);
+        } catch (...) {
+          // Post-commit failure: the exchange sits in its stream queue,
+          // so failing the channel completes it with everything else.
+          fail_all(core, std::current_exception());
+        }
+        return;
+      }
+      // Handshake (or connect) unresolved: stage in order. Flushed by
+      // on_hello_reply; failed with everything else on teardown. Until
+      // push_back succeeds only `st` reaches the completion (its move is
+      // noexcept, so a throwing push leaves it intact).
+      ChannelCore::Staged st{.stream = stream,
+                             .frame = std::move(frame),
+                             .done = std::move(done),
+                             .retries_left = retries};
+      try {
+        c.staged.push_back(std::move(st));
+      } catch (...) {
+        PendingExchange ex;
+        ex.done = std::move(st.done);
+        deliver_error(c, ex, std::current_exception());
+        return;
+      }
+      try {
+        if (c.st == ChannelCore::St::kDisconnected)
+          begin_connect_phase(core);
+      } catch (...) {
+        fail_all(core, std::current_exception());
+      }
+      return;
+    }
     // Until the exchange is in the pending FIFO, its completion is only
     // reachable through `ex` — an allocation failure here must fail it
     // directly, not vanish into the loop's exception backstop. (The
@@ -349,6 +488,244 @@ struct ClientReactorImpl {
                               "client exchange: deadline expired"));
         });
     ex.deadline_armed = true;
+  }
+
+  // ----------------------------------------------------------------- mux
+
+  /// Queue one resolved submission. Mux on: wrap the frame onto its
+  /// stream, join that stream's FIFO + outbox (the fill loop interleaves
+  /// streams fairly). Mux off, or the legacy lane (stream 0): the global
+  /// FIFO — an un-negotiated server answers strictly in request order, so
+  /// shared-FIFO correlation stays exact, just serialized. Pre-commit
+  /// failures (allocation while encoding) complete `done` directly; a
+  /// throw after the exchange joined a queue is the caller's cue to fail
+  /// the channel.
+  void route_mux_submission(const std::shared_ptr<ChannelCore>& core,
+                            std::uint32_t stream,
+                            std::vector<std::uint8_t> frame,
+                            AsyncCompletionFn done, int retries) {
+    ChannelCore& c = *core;
+    const bool mux_on = c.neg == ChannelCore::Neg::kOn;
+    PendingExchange ex;
+    ex.done = std::move(done);
+    if (mux_on && stream != 0) {
+      ex.stream = stream;
+      ChannelCore::StreamQ* q = nullptr;
+      try {
+        std::vector<std::uint8_t> framed =
+            raw::with_prefix(add_stream(frame, stream));
+        if (retries > 0) {
+          ex.retries_left = retries;
+          ex.retry_frame = std::move(frame);
+        }
+        q = &c.streams[stream];
+        q->outbox.push_back(std::move(framed));
+        try {
+          q->pending.push_back(std::move(ex));
+        } catch (...) {
+          q->outbox.pop_back();
+          throw;
+        }
+      } catch (...) {
+        deliver_error(c, ex, std::current_exception());
+        return;
+      }
+      // Committed: from here a failure throws to the caller, whose
+      // fail_all completes the queued exchange with everything else.
+      if (!q->in_ring) {
+        c.write_ring.push_back(stream);
+        q->in_ring = true;
+      }
+      arm_exchange_deadline(core, q->pending.back());
+      return;
+    }
+    try {
+      ex.framed = raw::with_prefix(frame);
+      c.pending.push_back(std::move(ex));
+    } catch (...) {
+      deliver_error(c, ex, std::current_exception());
+      return;
+    }
+    PendingExchange& queued = c.pending.back();
+    c.out.insert(c.out.end(), queued.framed.begin(), queued.framed.end());
+    queued.framed = {};
+    arm_exchange_deadline(core, queued);
+  }
+
+  /// Move outbox frames into the socket buffer, one frame per ready
+  /// stream per turn (round-robin), until the unsent backlog reaches the
+  /// watermark. Fairness is the point: a stream with a deep outbox gets
+  /// exactly as many write slots as its siblings.
+  void fill_out(ChannelCore& c) {
+    while (!c.write_ring.empty() &&
+           c.out.size() - c.out_off < kMuxClientWriteWatermark) {
+      const std::uint32_t sid = c.write_ring.front();
+      c.write_ring.pop_front();
+      const auto it = c.streams.find(sid);
+      if (it == c.streams.end()) continue;
+      ChannelCore::StreamQ& q = it->second;
+      q.in_ring = false;
+      if (q.outbox.empty()) continue;
+      std::vector<std::uint8_t> framed = std::move(q.outbox.front());
+      q.outbox.pop_front();
+      c.out.insert(c.out.end(), framed.begin(), framed.end());
+      if (!q.outbox.empty()) {
+        c.write_ring.push_back(sid);
+        q.in_ring = true;
+      }
+    }
+  }
+
+  /// First exchange on every fresh mux connection: Hello(kCapMux), sent
+  /// on the legacy lane so it correlates FIFO whatever the peer speaks.
+  void start_negotiation(const std::shared_ptr<ChannelCore>& core) {
+    ChannelCore& c = *core;
+    c.neg = ChannelCore::Neg::kPending;
+    c.neg_observed.store(1, std::memory_order_relaxed);
+    exchanges_started.fetch_add(1, std::memory_order_relaxed);
+    try {
+      PendingExchange hx;
+      hx.internal = true;
+      hx.done = [this, weak = std::weak_ptr(core)](AsyncResult res) {
+        if (const auto locked = weak.lock())
+          on_hello_reply(locked, std::move(res));
+      };
+      const std::vector<std::uint8_t> framed =
+          raw::with_prefix(Hello{.capabilities = kCapMux}.encode(0));
+      c.pending.push_back(std::move(hx));
+      c.out.insert(c.out.end(), framed.begin(), framed.end());
+      arm_exchange_deadline(core, c.pending.back());
+      pump(core);
+    } catch (...) {
+      fail_all(core, std::current_exception());
+    }
+  }
+
+  void on_hello_reply(const std::shared_ptr<ChannelCore>& core,
+                      AsyncResult res) {
+    ChannelCore& c = *core;
+    // A teardown already resolved this connection (drop_socket reset the
+    // state and failed the staged queue); nothing left to flush.
+    if (c.st != ChannelCore::St::kConnected ||
+        c.neg != ChannelCore::Neg::kPending)
+      return;
+    bool on = false;
+    if (!res.error && !res.reply.empty()) {
+      try {
+        const Envelope env = decode_envelope(res.reply);
+        if (env.kind == MsgKind::kHello)
+          on = (Hello::decode(env).capabilities & kCapMux) != 0;
+        // Any other reply — typically Error(kUnknownKind) from a peer
+        // predating the handshake — means no capabilities.
+      } catch (...) {
+        on = false;
+      }
+    }
+    c.neg = on ? ChannelCore::Neg::kOn : ChannelCore::Neg::kOff;
+    c.neg_observed.store(on ? 2 : 3, std::memory_order_relaxed);
+    if (on) mux_negotiated.fetch_add(1, std::memory_order_relaxed);
+    flush_staged(core);
+  }
+
+  void flush_staged(const std::shared_ptr<ChannelCore>& core) {
+    ChannelCore& c = *core;
+    std::deque<ChannelCore::Staged> items;
+    items.swap(c.staged);
+    try {
+      for (ChannelCore::Staged& st : items)
+        route_mux_submission(core, st.stream, std::move(st.frame),
+                             std::move(st.done), st.retries_left);
+      pump(core);
+    } catch (...) {
+      fail_all(core, std::current_exception());
+    }
+  }
+
+  /// Reply dispatch for a negotiated connection: strip the stream id and
+  /// hand the version-1 bytes to that stream's FIFO head. Returns false
+  /// when the channel was torn down.
+  bool deliver_mux_reply(const std::shared_ptr<ChannelCore>& core,
+                         std::vector<std::uint8_t> frame) {
+    ChannelCore& c = *core;
+    StrippedFrame sf;
+    try {
+      sf = strip_stream(frame);
+    } catch (const ProtoError&) {
+      fail_all(core, make_error(ErrorCode::kInternal,
+                                "client recv: undecodable mux envelope"));
+      return false;
+    }
+    PendingExchange ex;
+    if (sf.stream == 0) {
+      if (c.pending.empty()) {
+        fail_all(core, make_error(ErrorCode::kInternal,
+                                  "client recv: unsolicited reply"));
+        return false;
+      }
+      ex = std::move(c.pending.front());
+      c.pending.pop_front();
+    } else {
+      const auto it = c.streams.find(sf.stream);
+      if (it == c.streams.end() || it->second.pending.empty()) {
+        fail_all(core,
+                 make_error(ErrorCode::kInternal,
+                            "client recv: reply on an idle stream"));
+        return false;
+      }
+      ChannelCore::StreamQ& q = it->second;
+      ex = std::move(q.pending.front());
+      q.pending.pop_front();
+      if (q.pending.empty() && q.outbox.empty()) {
+        // in_ring can still be set (outbox just drained); the fill loop
+        // skips reaped ids, so erasing here is safe.
+        c.streams.erase(it);
+      }
+    }
+    disarm_deadline(c, ex);
+    if (ex.retries_left > 0 && !ex.retry_frame.empty()) {
+      const std::uint32_t hint = shed_retry_hint(sf.frame);
+      if (hint != 0) {
+        schedule_retry(core, std::move(ex), hint);
+        return true;
+      }
+    }
+    deliver_ok(c, ex, std::move(sf.frame));
+    return true;
+  }
+
+  /// retry_after_ms of a shed reply (Error(kUnavailable) carrying the
+  /// hint), else 0. Hintless refusals — e.g. a stream id above the
+  /// server's cap — are permanent and go to the caller untouched.
+  [[nodiscard]] static std::uint32_t shed_retry_hint(
+      std::span<const std::uint8_t> reply) noexcept {
+    if (peek_kind(reply) != MsgKind::kError) return 0;
+    try {
+      const ErrorReply err = ErrorReply::decode(decode_envelope(reply));
+      if (err.code != ErrorCode::kUnavailable) return 0;
+      return err.retry_after_ms;
+    } catch (...) {
+      return 0;
+    }
+  }
+
+  /// The server shed this exchange before applying it; resubmit the same
+  /// version-1 bytes on the same stream after the hinted delay. The
+  /// DoneCarrier keeps the completion exactly-once if the reactor stops
+  /// while the timer is armed.
+  void schedule_retry(const std::shared_ptr<ChannelCore>& core,
+                      PendingExchange ex, std::uint32_t delay_ms) {
+    unavailable_retries.fetch_add(1, std::memory_order_relaxed);
+    core->unavailable_retries.fetch_add(1, std::memory_order_relaxed);
+    auto carrier = std::make_shared<DoneCarrier>(std::move(ex.done));
+    (void)core->shard->reactor.add_deadline(
+        Millis(delay_ms),
+        [this, weak = std::weak_ptr(core), carrier,
+         frame = std::move(ex.retry_frame), stream = ex.stream,
+         retries = ex.retries_left - 1]() mutable {
+          if (const auto locked = weak.lock())
+            submit(locked, std::move(frame), carrier->take(), stream,
+                   retries);
+        });
   }
 
   // ------------------------------------------------------------- connect
@@ -476,6 +853,13 @@ struct ClientReactorImpl {
       (void)::setsockopt(c.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     }
     c.st = ChannelCore::St::kConnected;
+    if (c.mux_enabled) {
+      // Hello goes out before anything else; staged submissions flush
+      // when its answer resolves the capability (they must not hit the
+      // wire wrapped if the peer turns out not to speak streams).
+      start_negotiation(core);
+      return;
+    }
     // Flush everything queued during the connect phase; each exchange's
     // io_timeout clock starts now (the connect phase had its own bound).
     // Guarded: a mid-flush allocation failure must fail the channel (and
@@ -561,6 +945,10 @@ struct ClientReactorImpl {
   bool drain_replies(const std::shared_ptr<ChannelCore>& core) {
     ChannelCore& c = *core;
     while (auto frame = c.assembler.next()) {
+      if (c.mux_enabled && c.neg == ChannelCore::Neg::kOn) {
+        if (!deliver_mux_reply(core, std::move(*frame))) return false;
+        continue;
+      }
       if (c.pending.empty()) {
         // A reply nobody asked for: the stream is not speaking our
         // protocol; nothing pending means nothing to fail beyond the
@@ -583,7 +971,11 @@ struct ClientReactorImpl {
 
   void on_eof(const std::shared_ptr<ChannelCore>& core) {
     ChannelCore& c = *core;
-    if (c.assembler.mid_frame() && !c.pending.empty()) {
+    // On a negotiated mux connection a truncated frame cannot be
+    // attributed to a stream before its id arrives; every outstanding
+    // exchange surfaces as a lost response below.
+    const bool mux_on = c.mux_enabled && c.neg == ChannelCore::Neg::kOn;
+    if (!mux_on && c.assembler.mid_frame() && !c.pending.empty()) {
       // The head reply was truncated mid-frame; everything behind it is a
       // lost response.
       PendingExchange head = std::move(c.pending.front());
@@ -598,23 +990,35 @@ struct ClientReactorImpl {
 
   void pump(const std::shared_ptr<ChannelCore>& core) {
     ChannelCore& c = *core;
-    while (c.out_off < c.out.size()) {
-      const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
-                               c.out.size() - c.out_off, MSG_NOSIGNAL);
-      if (n > 0) {
-        c.out_off += static_cast<std::size_t>(n);
-        continue;
+    for (;;) {
+      if (c.mux_enabled) fill_out(c);
+      bool blocked = false;
+      while (c.out_off < c.out.size()) {
+        const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                                 c.out.size() - c.out_off, MSG_NOSIGNAL);
+        if (n > 0) {
+          c.out_off += static_cast<std::size_t>(n);
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          blocked = true;
+          break;
+        }
+        fail_all(core, make_error(ErrorCode::kInternal,
+                                  std::string("client send: ") +
+                                      std::strerror(errno)));
+        return;
       }
-      if (n < 0 && errno == EINTR) continue;
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      fail_all(core, make_error(ErrorCode::kInternal,
-                                std::string("client send: ") +
-                                    std::strerror(errno)));
-      return;
-    }
-    if (c.out_off >= c.out.size()) {
-      c.out.clear();
-      c.out_off = 0;
+      if (c.out_off >= c.out.size()) {
+        c.out.clear();
+        c.out_off = 0;
+      }
+      // Mux: a fully-drained buffer with a non-empty ring means the
+      // watermark was the only thing holding frames back — fill again.
+      if (blocked || !c.mux_enabled || c.write_ring.empty() ||
+          c.out_off < c.out.size())
+        break;
     }
     update_interest(core);
   }
@@ -691,6 +1095,76 @@ TransportStats ClientChannel::stats() const {
   return s;
 }
 
+// ------------------------------------------------- MuxChannel / MuxStream
+
+MuxChannel::MuxChannel(std::shared_ptr<detail::ChannelCore> core)
+    : core_(std::move(core)) {}
+
+MuxChannel::~MuxChannel() {
+  // Same release protocol as ClientChannel: streams hold the channel, so
+  // this runs only once every facade is gone.
+  detail::ClientReactorImpl* impl = core_->impl;
+  (void)core_->shard->reactor.post([impl, core = core_] {
+    core->released = true;
+    impl->maybe_reap(core);
+  });
+}
+
+std::shared_ptr<MuxStream> MuxChannel::open_stream() {
+  return open_stream(next_id_.fetch_add(1, std::memory_order_relaxed));
+}
+
+std::shared_ptr<MuxStream> MuxChannel::open_stream(std::uint32_t id) {
+  return std::shared_ptr<MuxStream>(
+      new MuxStream(shared_from_this(), id));
+}
+
+bool MuxChannel::mux_negotiated() const noexcept {
+  return core_->neg_observed.load(std::memory_order_relaxed) == 2;
+}
+
+TransportStats MuxChannel::stats() const {
+  TransportStats s;
+  s.messages_sent = core_->msgs_sent.load(std::memory_order_relaxed);
+  s.messages_received = core_->msgs_received.load(std::memory_order_relaxed);
+  s.bytes_sent = core_->bytes_sent.load(std::memory_order_relaxed);
+  s.bytes_received = core_->bytes_received.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::uint64_t MuxChannel::unavailable_retries() const noexcept {
+  return core_->unavailable_retries.load(std::memory_order_relaxed);
+}
+
+std::uint32_t MuxChannel::streams_opened() const noexcept {
+  return next_id_.load(std::memory_order_relaxed) - 1;
+}
+
+MuxStream::MuxStream(std::shared_ptr<MuxChannel> channel, std::uint32_t id)
+    : channel_(std::move(channel)), id_(id) {}
+
+void MuxStream::exchange_async(std::vector<std::uint8_t> frame,
+                               AsyncCompletionFn done) {
+  // A legal version-1 frame is at most kMaxTcpFrameBytes - 4, so the
+  // wrapped form always fits the wire cap; this check mirrors
+  // ClientChannel's for the degraded (un-negotiated) path.
+  if (frame.size() > kMaxTcpFrameBytes) {
+    if (done)
+      done(AsyncResult{.reply = {},
+                       .error = std::make_exception_ptr(
+                           ProtoError(ErrorCode::kOversized,
+                                      "client send: frame above cap"))});
+    return;
+  }
+  const std::shared_ptr<detail::ChannelCore>& core = channel_->core_;
+  auto carrier = std::make_shared<detail::DoneCarrier>(std::move(done));
+  detail::ClientReactorImpl* impl = core->impl;
+  (void)core->shard->reactor.post(
+      [impl, core, f = std::move(frame), carrier, id = id_]() mutable {
+        impl->submit(core, std::move(f), carrier->take(), id);
+      });
+}
+
 // ---------------------------------------------------------- ClientReactor
 
 ClientReactor::ClientReactor(ClientReactorOptions options)
@@ -701,29 +1175,49 @@ ClientReactor::~ClientReactor() {
   if (impl_) impl_->stop();
 }
 
-std::shared_ptr<ClientChannel> ClientReactor::open(std::string host,
-                                                   std::uint16_t port) {
+namespace {
+
+std::shared_ptr<detail::ChannelCore> make_core(
+    const std::shared_ptr<detail::ClientReactorImpl>& impl, std::string host,
+    std::uint16_t port) {
   const std::uint64_t id =
-      impl_->next_channel.fetch_add(1, std::memory_order_relaxed);
+      impl->next_channel.fetch_add(1, std::memory_order_relaxed);
   detail::Shard* shard =
-      impl_->shards[impl_->rr.fetch_add(1, std::memory_order_relaxed) %
-                    impl_->shards.size()]
+      impl->shards[impl->rr.fetch_add(1, std::memory_order_relaxed) %
+                   impl->shards.size()]
           .get();
   auto core = std::make_shared<detail::ChannelCore>();
-  core->impl = impl_.get();
-  core->keepalive = impl_;
+  core->impl = impl.get();
+  core->keepalive = impl;
   core->shard = shard;
   core->id = id;
   core->host = std::move(host);
   core->port = port;
   // Independent deterministic jitter stream per channel: a swarm opened
   // from one seed still spreads its reconnects.
-  core->jitter_state = impl_->options.backoff_jitter_seed ^
-                       (id * 0x9e3779b97f4a7c15ull);
-  (void)shard->reactor.post([shard, core] {
-    shard->channels.emplace(core->id, core);
-  });
-  return std::shared_ptr<ClientChannel>(new ClientChannel(std::move(core)));
+  core->jitter_state =
+      impl->options.backoff_jitter_seed ^ (id * 0x9e3779b97f4a7c15ull);
+  (void)shard->reactor.post(
+      [shard, core] { shard->channels.emplace(core->id, core); });
+  return core;
+}
+
+}  // namespace
+
+std::shared_ptr<ClientChannel> ClientReactor::open(std::string host,
+                                                   std::uint16_t port) {
+  return std::shared_ptr<ClientChannel>(
+      new ClientChannel(make_core(impl_, std::move(host), port)));
+}
+
+std::shared_ptr<MuxChannel> ClientReactor::open_mux(std::string host,
+                                                    std::uint16_t port,
+                                                    MuxOptions mux) {
+  auto core = make_core(impl_, std::move(host), port);
+  core->mux_enabled = true;
+  core->mux_retry_max =
+      mux.max_unavailable_retries > 0 ? mux.max_unavailable_retries : 0;
+  return std::shared_ptr<MuxChannel>(new MuxChannel(std::move(core)));
 }
 
 void ClientReactor::stop() { impl_->stop(); }
@@ -746,6 +1240,9 @@ ClientReactorCounters ClientReactor::counters() const {
   c.exchanges_failed =
       impl_->exchanges_failed.load(std::memory_order_relaxed);
   c.deadline_drops = impl_->deadline_drops.load(std::memory_order_relaxed);
+  c.mux_negotiated = impl_->mux_negotiated.load(std::memory_order_relaxed);
+  c.unavailable_retries =
+      impl_->unavailable_retries.load(std::memory_order_relaxed);
   for (const auto& shard : impl_->shards)
     c.eventfd_wakeups += shard->reactor.eventfd_wakeups();
   return c;

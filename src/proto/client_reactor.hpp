@@ -30,8 +30,20 @@
 // (including inside a completion); completions run on the channel's loop
 // thread and must not block — in particular, never drive a
 // SyncTransportAdapter from inside a completion.
+// Multiplexing (PR 9): ClientReactor::open_mux() negotiates the stream
+// capability with a Hello handshake and returns a MuxChannel — one TCP
+// connection fanning out any number of MuxStreams, each an independent
+// AsyncTransport with its own FIFO reply correlation. Outbound frames are
+// scheduled round-robin across streams (one frame per stream per turn) so
+// no single busy stream starves its siblings' writes. Against a server
+// that does not speak Hello, the channel degrades to the legacy strictly
+// one-lane FIFO — correct, just not concurrent. A reply of
+// Error(kUnavailable) carrying a retry-after hint (the server shed the
+// frame before applying it) is transparently resubmitted after the hinted
+// delay, up to MuxOptions::max_unavailable_retries.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -80,6 +92,23 @@ struct ClientReactorCounters {
   /// Cross-thread loop wakeups (exchange submissions and completions
   /// marshalled over the shards' eventfds).
   std::uint64_t eventfd_wakeups = 0;
+  /// Mux channels whose Hello handshake negotiated kCapMux.
+  std::uint64_t mux_negotiated = 0;
+  /// Shed replies (Error(kUnavailable) + retry-after hint) that were
+  /// resubmitted after the hinted backoff. By construction this matches
+  /// the server's shed tallies for frames this reactor sent.
+  std::uint64_t unavailable_retries = 0;
+};
+
+/// Knobs for one mux channel (ClientReactor::open_mux).
+struct MuxOptions {
+  /// Resubmission budget per exchange for server sheds that carry a
+  /// retry-after hint (a shed frame was never applied, so resending
+  /// cannot double-submit). 0 disables the retry loop — shed replies are
+  /// then delivered to the caller as-is. Refusals *without* a hint (e.g.
+  /// a stream id above the server's per-connection cap) are always
+  /// delivered, never retried: they are permanent for this connection.
+  int max_unavailable_retries = 64;
 };
 
 namespace detail {
@@ -116,6 +145,76 @@ class ClientChannel final : public AsyncTransport {
   std::shared_ptr<detail::ChannelCore> core_;
 };
 
+class MuxChannel;
+
+/// One logical channel on a MuxChannel: a full AsyncTransport (same
+/// contract as ClientChannel — pipelined exchanges, FIFO correlation per
+/// stream, per-exchange deadline), except that hundreds of them share one
+/// socket. Keeps its MuxChannel alive; destroying every stream and the
+/// channel reaps the connection once in-flight completions have fired.
+class MuxStream final : public AsyncTransport {
+ public:
+  ~MuxStream() override = default;
+
+  void exchange_async(std::vector<std::uint8_t> frame,
+                      AsyncCompletionFn done) override;
+
+  [[nodiscard]] std::uint32_t stream_id() const noexcept { return id_; }
+
+ private:
+  friend class MuxChannel;
+  MuxStream(std::shared_ptr<MuxChannel> channel, std::uint32_t id);
+
+  std::shared_ptr<MuxChannel> channel_;
+  std::uint32_t id_;
+};
+
+/// One mux-negotiated connection fanning out logical streams. Obtained
+/// from ClientReactor::open_mux(); the Hello handshake runs on the first
+/// exchange (submissions before the answer are staged in order). If the
+/// peer does not speak the capability, every stream degrades to the
+/// legacy shared FIFO — still correct against a strictly request-ordered
+/// server, just serialized.
+class MuxChannel : public std::enable_shared_from_this<MuxChannel> {
+ public:
+  ~MuxChannel();
+
+  MuxChannel(const MuxChannel&) = delete;
+  MuxChannel& operator=(const MuxChannel&) = delete;
+
+  /// Open the next logical stream (ids run sequentially from 1 — the
+  /// server caps admitted ids, so sequential assignment makes "how many
+  /// channels fit one socket" deterministic).
+  [[nodiscard]] std::shared_ptr<MuxStream> open_stream();
+  /// Open a stream with an explicit id. The adversarial harness uses ids
+  /// above the server's per-connection cap to provoke deterministic
+  /// Error(kUnavailable) sheds.
+  [[nodiscard]] std::shared_ptr<MuxStream> open_stream(std::uint32_t id);
+
+  /// True once the Hello handshake answered with kCapMux on the current
+  /// connection (false while unresolved or against an old peer).
+  [[nodiscard]] bool mux_negotiated() const noexcept;
+
+  /// Envelope-byte accounting across every stream, counted on the
+  /// version-1 bytes (what a dedicated connection would carry), so a mux
+  /// swarm and a socket-per-reporter swarm report identical totals.
+  [[nodiscard]] TransportStats stats() const;
+
+  /// Shed replies this channel resubmitted after their retry-after hint.
+  [[nodiscard]] std::uint64_t unavailable_retries() const noexcept;
+
+  /// Stream ids handed out so far.
+  [[nodiscard]] std::uint32_t streams_opened() const noexcept;
+
+ private:
+  friend class ClientReactor;
+  friend class MuxStream;
+  explicit MuxChannel(std::shared_ptr<detail::ChannelCore> core);
+
+  std::shared_ptr<detail::ChannelCore> core_;
+  std::atomic<std::uint32_t> next_id_{1};
+};
+
 /// N event-loop shards multiplexing outbound channels. stop() (or
 /// destruction) fails every pending exchange with kUnavailable and joins
 /// the shard threads; channels outliving the reactor fail exchanges fast.
@@ -132,6 +231,12 @@ class ClientReactor {
   /// assigned to shards round-robin.
   [[nodiscard]] std::shared_ptr<ClientChannel> open(std::string host,
                                                     std::uint16_t port);
+
+  /// Open a multiplexed channel to host:port: one connection, N logical
+  /// streams (MuxChannel::open_stream), capability-negotiated via Hello.
+  [[nodiscard]] std::shared_ptr<MuxChannel> open_mux(std::string host,
+                                                     std::uint16_t port,
+                                                     MuxOptions mux = {});
 
   void stop();
 

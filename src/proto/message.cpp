@@ -8,7 +8,11 @@ namespace {
 
 bool known_kind(std::uint16_t k) {
   return k >= static_cast<std::uint16_t>(MsgKind::kRosterAnnounce) &&
-         k <= static_cast<std::uint16_t>(MsgKind::kOprfKeyAnswer);
+         k <= static_cast<std::uint16_t>(MsgKind::kHello);
+}
+
+bool known_version(std::uint16_t v) {
+  return v == kProtoVersion || v == kProtoVersionMux;
 }
 
 void require_kind(const Envelope& env, MsgKind want) {
@@ -129,6 +133,7 @@ const char* to_string(MsgKind kind) noexcept {
     case MsgKind::kRoundSummary: return "round-summary";
     case MsgKind::kOprfKeyQuery: return "oprf-key-query";
     case MsgKind::kOprfKeyAnswer: return "oprf-key-answer";
+    case MsgKind::kHello: return "hello";
   }
   return "unknown";
 }
@@ -153,7 +158,8 @@ Envelope decode_envelope(std::span<const std::uint8_t> bytes) {
   WireReader r(bytes);
   if (r.u32() != kEnvelopeMagic)
     throw ProtoError(ErrorCode::kBadMagic, "decode_envelope: bad magic");
-  if (r.u16() != kProtoVersion)
+  const std::uint16_t version = r.u16();
+  if (!known_version(version))
     throw ProtoError(ErrorCode::kBadVersion,
                      "decode_envelope: unsupported version");
   const std::uint16_t kind = r.u16();
@@ -168,6 +174,7 @@ Envelope decode_envelope(std::span<const std::uint8_t> bytes) {
   if (length > kMaxPayloadBytes)
     throw ProtoError(ErrorCode::kOversized,
                      "decode_envelope: declared payload above cap");
+  if (version == kProtoVersionMux) env.stream = r.u32();
   if (length != r.remaining()) {
     throw ProtoError(length > r.remaining() ? ErrorCode::kTruncated
                                             : ErrorCode::kTrailingBytes,
@@ -188,7 +195,7 @@ std::optional<MsgKind> peek_kind(
   const std::uint32_t magic =
       static_cast<std::uint32_t>(frame[0]) | (frame[1] << 8) |
       (frame[2] << 16) | (static_cast<std::uint32_t>(frame[3]) << 24);
-  if (magic != kEnvelopeMagic || u16_at(4) != kProtoVersion)
+  if (magic != kEnvelopeMagic || !known_version(u16_at(4)))
     return std::nullopt;
   const std::uint16_t kind = u16_at(6);
   if (!known_kind(kind)) return std::nullopt;
@@ -197,10 +204,67 @@ std::optional<MsgKind> peek_kind(
 
 std::optional<std::uint32_t> peek_sender(
     std::span<const std::uint8_t> frame) noexcept {
-  // Valid exactly when peek_kind is: same header, sender at offset 8.
+  // Valid exactly when peek_kind is: same header, sender at offset 8
+  // (both envelope versions — the stream id sits after the length field).
   if (!peek_kind(frame)) return std::nullopt;
   return static_cast<std::uint32_t>(frame[8]) | (frame[9] << 8) |
          (frame[10] << 16) | (static_cast<std::uint32_t>(frame[11]) << 24);
+}
+
+std::optional<std::uint32_t> peek_stream(
+    std::span<const std::uint8_t> frame) noexcept {
+  if (!peek_kind(frame)) return std::nullopt;
+  const std::uint16_t version =
+      static_cast<std::uint16_t>(frame[4] | (frame[5] << 8));
+  if (version == kProtoVersion) return 0;  // legacy lane
+  if (frame.size() < kMuxEnvelopeHeaderBytes) return std::nullopt;
+  return static_cast<std::uint32_t>(frame[24]) | (frame[25] << 8) |
+         (frame[26] << 16) | (static_cast<std::uint32_t>(frame[27]) << 24);
+}
+
+std::vector<std::uint8_t> add_stream(std::span<const std::uint8_t> frame,
+                                     std::uint32_t stream) {
+  if (frame.size() < kEnvelopeHeaderBytes)
+    throw ProtoError(ErrorCode::kTruncated, "add_stream: short frame");
+  if (static_cast<std::uint16_t>(frame[4] | (frame[5] << 8)) != kProtoVersion)
+    throw ProtoError(ErrorCode::kBadVersion,
+                     "add_stream: input is not a version-1 frame");
+  std::vector<std::uint8_t> out;
+  out.reserve(frame.size() + 4);
+  out.assign(frame.begin(), frame.begin() + kEnvelopeHeaderBytes);
+  out[4] = static_cast<std::uint8_t>(kProtoVersionMux);
+  out[5] = static_cast<std::uint8_t>(kProtoVersionMux >> 8);
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(stream >> (8 * i)));
+  out.insert(out.end(), frame.begin() + kEnvelopeHeaderBytes, frame.end());
+  return out;
+}
+
+StrippedFrame strip_stream(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kEnvelopeHeaderBytes)
+    throw ProtoError(ErrorCode::kTruncated, "strip_stream: short frame");
+  const auto version =
+      static_cast<std::uint16_t>(frame[4] | (frame[5] << 8));
+  StrippedFrame out;
+  if (version == kProtoVersion) {  // legacy frame on a mux connection
+    out.frame.assign(frame.begin(), frame.end());
+    return out;
+  }
+  if (version != kProtoVersionMux)
+    throw ProtoError(ErrorCode::kBadVersion, "strip_stream: unknown version");
+  if (frame.size() < kMuxEnvelopeHeaderBytes)
+    throw ProtoError(ErrorCode::kTruncated,
+                     "strip_stream: header ends before the stream id");
+  out.stream = static_cast<std::uint32_t>(frame[24]) | (frame[25] << 8) |
+               (frame[26] << 16) |
+               (static_cast<std::uint32_t>(frame[27]) << 24);
+  out.frame.reserve(frame.size() - 4);
+  out.frame.assign(frame.begin(), frame.begin() + kEnvelopeHeaderBytes);
+  out.frame[4] = static_cast<std::uint8_t>(kProtoVersion);
+  out.frame[5] = static_cast<std::uint8_t>(kProtoVersion >> 8);
+  out.frame.insert(out.frame.end(), frame.begin() + kMuxEnvelopeHeaderBytes,
+                   frame.end());
+  return out;
 }
 
 // ------------------------------------------------------------ RosterAnnounce
@@ -476,6 +540,22 @@ OprfKeyAnswer OprfKeyAnswer::decode(const Envelope& env) {
   return out;
 }
 
+std::vector<std::uint8_t> Hello::encode(std::uint32_t sender) const {
+  WireWriter w(4);
+  w.u32(capabilities);
+  const auto payload = w.take();
+  return encode_envelope(MsgKind::kHello, sender, /*round=*/0, payload);
+}
+
+Hello Hello::decode(const Envelope& env) {
+  require_kind(env, MsgKind::kHello);
+  WireReader r(env.payload);
+  Hello out;
+  out.capabilities = r.u32();
+  r.expect_done();
+  return out;
+}
+
 std::vector<std::uint8_t> encode_missing_query(std::uint64_t round) {
   return encode_envelope(MsgKind::kMissingQuery, kServerSender, round, {});
 }
@@ -499,11 +579,15 @@ std::vector<std::uint8_t> ErrorReply::encode() const {
   std::string clipped = detail;
   if (clipped.size() > kMaxErrorDetailBytes)
     clipped.resize(kMaxErrorDetailBytes);
-  WireWriter w(4 + clipped.size());
+  WireWriter w(8 + clipped.size());
   w.u16(static_cast<std::uint16_t>(code));
   w.u16(static_cast<std::uint16_t>(clipped.size()));
   w.bytes(std::span<const std::uint8_t>(
       reinterpret_cast<const std::uint8_t*>(clipped.data()), clipped.size()));
+  // The retry-after hint is a trailing optional: omitted when zero, so
+  // every hintless Error reply stays byte-identical to the version-1
+  // baseline (asserted by the old/new interop tests).
+  if (retry_after_ms != 0) w.u32(retry_after_ms);
   const auto payload = w.take();
   return encode_envelope(MsgKind::kError, kServerSender, /*round=*/0, payload);
 }
@@ -516,6 +600,7 @@ ErrorReply ErrorReply::decode(const Envelope& env) {
   const std::uint16_t len = r.u16();
   const auto detail = r.bytes(len);
   out.detail.assign(detail.begin(), detail.end());
+  if (r.remaining() == 4) out.retry_after_ms = r.u32();
   r.expect_done();
   return out;
 }

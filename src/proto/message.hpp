@@ -5,12 +5,21 @@
 //
 // Envelope layout (all integers little-endian):
 //   magic    u32  'EYWP'
-//   version  u16  (currently 1)
+//   version  u16  (1: base, 2: multiplexed)
 //   kind     u16  (MsgKind)
 //   sender   u32  (participant index; kServerSender for the back-end)
 //   round    u64  (reporting round; 0 where not meaningful)
 //   length   u32  (payload bytes that follow)
+//   stream   u32  (version 2 only: logical channel id on a mux connection)
 //   payload  u8[length]
+//
+// Version 2 inserts the stream id between length and payload, so every
+// field an old decoder peeks before the version check (kind at offset 6,
+// sender at offset 8) sits at the same offset in both versions. Version-2
+// frames only travel on connections that negotiated the mux capability
+// (MsgKind::kHello); everything downstream of the connection layer —
+// endpoints, journal, replay detection — sees version-1 bytes, which is
+// what keeps mux rounds bit-identical to per-connection rounds.
 //
 // Report and adjustment payloads ride the existing sketch/serialize
 // framing ('EYWS' frames), so the sketch geometry travels with every cell
@@ -34,6 +43,8 @@ namespace eyw::proto {
 
 inline constexpr std::uint32_t kEnvelopeMagic = 0x50575945;  // "EYWP"
 inline constexpr std::uint16_t kProtoVersion = 1;
+/// Envelope version carrying a stream id (mux-negotiated connections only).
+inline constexpr std::uint16_t kProtoVersionMux = 2;
 /// Sender id used by the back-end / oprf-server (clients use their roster
 /// index, which is always < kServerSender).
 inline constexpr std::uint32_t kServerSender = 0xffffffff;
@@ -68,19 +79,27 @@ enum class MsgKind : std::uint16_t {
   kRoundSummary = 15,       // back-end -> operator: the full round result
   kOprfKeyQuery = 16,       // client -> oprf-server: ask for the public key
   kOprfKeyAnswer = 17,      // oprf-server -> client: RSA public key (N, e)
+  kHello = 18,              // either direction: capability negotiation
 };
 
 [[nodiscard]] const char* to_string(MsgKind kind) noexcept;
 
 /// A decoded envelope: validated header plus the raw payload bytes.
+/// `stream` is 0 for version-1 frames; nonzero only on mux connections.
 struct Envelope {
   MsgKind kind = MsgKind::kAck;
   std::uint32_t sender = 0;
   std::uint64_t round = 0;
+  std::uint32_t stream = 0;
   std::vector<std::uint8_t> payload;
 };
 
 inline constexpr std::size_t kEnvelopeHeaderBytes = 4 + 2 + 2 + 4 + 8 + 4;
+/// Version-2 header: the base header plus the trailing stream id.
+inline constexpr std::size_t kMuxEnvelopeHeaderBytes = kEnvelopeHeaderBytes + 4;
+
+/// Capability bits carried by MsgKind::kHello (bitwise OR).
+inline constexpr std::uint32_t kCapMux = 0x1;  // version-2 stream envelopes
 
 [[nodiscard]] std::vector<std::uint8_t> encode_envelope(
     MsgKind kind, std::uint32_t sender, std::uint64_t round,
@@ -105,6 +124,38 @@ inline constexpr std::size_t kEnvelopeHeaderBytes = 4 + 2 + 2 + 4 + 8 + 4;
 /// choice on.
 [[nodiscard]] std::optional<std::uint32_t> peek_sender(
     std::span<const std::uint8_t> frame) noexcept;
+
+/// Read the stream id from an envelope's fixed header — no payload copy,
+/// no throw; empty under the same conditions as peek_kind. Version-1
+/// frames answer 0 (the legacy lane of a mux connection). This is what
+/// the client reactor keys reply correlation on before full decode.
+[[nodiscard]] std::optional<std::uint32_t> peek_stream(
+    std::span<const std::uint8_t> frame) noexcept;
+
+// ------------------------------------------------------- stream transforms
+// Raw-byte conversions between the two envelope versions, used at the mux
+// connection boundary. Neither touches the payload: add_stream patches the
+// version field and inserts the 4-byte stream id at the header's tail,
+// strip_stream removes it. A round trip is byte-identical, so everything
+// downstream of a mux connection operates on the exact version-1 frames a
+// per-connection peer would have produced.
+
+/// Wrap a version-1 envelope frame as version 2 carrying `stream`.
+/// Throws ProtoError(kTruncated) on a short frame, kBadVersion if the
+/// input is not version 1.
+[[nodiscard]] std::vector<std::uint8_t> add_stream(
+    std::span<const std::uint8_t> frame, std::uint32_t stream);
+
+/// Result of strip_stream: the stream id and the version-1 frame bytes.
+struct StrippedFrame {
+  std::uint32_t stream = 0;
+  std::vector<std::uint8_t> frame;
+};
+
+/// Unwrap a version-2 envelope frame into (stream, version-1 bytes). A
+/// version-1 input passes through unchanged with stream 0 (the legacy
+/// lane). Throws ProtoError on a short frame or an unknown version.
+[[nodiscard]] StrippedFrame strip_stream(std::span<const std::uint8_t> frame);
 
 // ---------------------------------------------------------------- messages
 // Each message encodes itself into a complete envelope and decodes from a
@@ -242,6 +293,20 @@ struct OprfKeyAnswer {
   [[nodiscard]] static OprfKeyAnswer decode(const Envelope& env);
 };
 
+/// Capability negotiation, the first exchange on a connection that wants
+/// more than the version-1 baseline. The client sends its capability bits;
+/// a server that understands kHello answers with the intersection of the
+/// two sets (what both sides will actually speak), and a pre-kHello server
+/// answers Error(kUnknownKind) — which a client must treat as "no
+/// capabilities", keeping every old/new pairing on byte-identical
+/// version-1 traffic. Re-negotiated from scratch on every reconnect.
+struct Hello {
+  std::uint32_t capabilities = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::uint32_t sender) const;
+  [[nodiscard]] static Hello decode(const Envelope& env);
+};
+
 // Payload-free control requests. Decoders are not needed — endpoints
 // validate kind + empty payload inline.
 [[nodiscard]] std::vector<std::uint8_t> encode_missing_query(
@@ -250,10 +315,15 @@ struct OprfKeyAnswer {
     std::uint64_t round);
 [[nodiscard]] std::vector<std::uint8_t> encode_oprf_key_query();
 
-/// Negative reply.
+/// Negative reply. `retry_after_ms` is a backoff hint for kUnavailable
+/// refusals (overload shedding): encoded as an optional trailing u32, so
+/// a reply without a hint — every refusal on the pre-existing paths — is
+/// byte-identical to the version-1 baseline, and old decoders only ever
+/// see the hintless form.
 struct ErrorReply {
   ErrorCode code = ErrorCode::kInternal;
   std::string detail;
+  std::uint32_t retry_after_ms = 0;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   [[nodiscard]] static ErrorReply decode(const Envelope& env);

@@ -12,6 +12,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <stdexcept>
 #include <unordered_map>
@@ -328,11 +329,26 @@ struct FrameServer::Impl {
     int release() noexcept { return std::exchange(fd, -1); }
   };
 
+  /// One logical channel on a mux connection. `handler_pending` is the
+  /// per-stream in-flight gate (exactly one handler per stream, FIFO);
+  /// `queue` holds work that arrived behind it — either a full frame or a
+  /// shed marker whose payload was already dropped but whose refusal must
+  /// still leave in arrival order, so the client's positional per-stream
+  /// reply correlation never slips.
+  struct StreamState {
+    struct Work {
+      std::vector<std::uint8_t> frame;  // empty when shed
+      bool shed = false;
+    };
+    bool handler_pending = false;
+    std::deque<Work> queue;
+  };
+
   struct Conn {
     int fd = -1;
     std::uint64_t gen = 0;
     FrameAssembler assembler{kMaxTcpFrameBytes};
-    std::vector<std::uint8_t> out;  // framed reply being written
+    std::vector<std::uint8_t> out;  // framed reply/replies being written
     std::size_t out_off = 0;
     bool handler_pending = false;
     bool eof = false;
@@ -342,7 +358,16 @@ struct FrameServer::Impl {
     std::uint64_t deadline_frame = 0;  // frames_completed() when armed
     bool deadline_for_write = false;   // reply-drain vs frame-completion
     std::uint32_t interest = 0;
+    // --- mux mode (after a Hello negotiated kCapMux) ---
+    bool mux = false;
+    std::size_t mux_inflight = 0;  // handlers in flight across streams
+    std::unordered_map<std::uint32_t, StreamState> streams;
   };
+
+  /// Buffered-reply watermark for mux connections: reads pause once this
+  /// many unflushed reply bytes are queued, resuming as the writer
+  /// drains. Legacy connections keep the stricter one-reply gate.
+  static constexpr std::size_t kMuxWriteWatermark = 256 * 1024;
 
   struct Shard {
     Reactor reactor;
@@ -369,6 +394,8 @@ struct FrameServer::Impl {
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<std::uint64_t> refused{0};
   std::atomic<std::uint64_t> deadline_drops{0};
+  std::atomic<std::uint64_t> mux_connections{0};
+  std::atomic<std::uint64_t> streams_shed{0};
 
   Impl(AsyncFrameHandler h, FrameServerOptions opts)
       : handler(std::move(h)), options(std::move(opts)) {
@@ -504,8 +531,14 @@ struct FrameServer::Impl {
   // ------------------------------------- connection machine (loop thread)
 
   [[nodiscard]] static bool want_read(const Conn& c) noexcept {
-    return !c.handler_pending && !c.eof && !c.close_after_flush &&
-           !c.assembler.oversized() && c.out_off >= c.out.size();
+    if (c.eof || c.close_after_flush || c.assembler.oversized())
+      return false;
+    // A mux connection keeps reading while handlers are in flight — that
+    // is the point of the streams — gated only on the reply backlog, so a
+    // peer that stops reading still cannot grow server-side buffers
+    // unboundedly.
+    if (c.mux) return c.out.size() - c.out_off < kMuxWriteWatermark;
+    return !c.handler_pending && c.out_off >= c.out.size();
   }
 
   void adopt(Shard& s, int fd) {
@@ -598,6 +631,186 @@ struct FrameServer::Impl {
     c.out_off = 0;
   }
 
+  /// Mux reply path: APPENDS to the out buffer (several streams' replies
+  /// interleave on one socket) instead of assigning like enqueue_reply.
+  /// An empty reply is sent as nothing at all — a zero-length frame
+  /// cannot be attributed to a stream, so a dropped response surfaces as
+  /// the client's exchange deadline, same as a lost loopback reply.
+  void append_reply(Shard& s, Conn& c, std::span<const std::uint8_t> reply) {
+    if (reply.empty()) return;
+    s.msgs_out.fetch_add(1, std::memory_order_relaxed);
+    s.bytes_out.fetch_add(reply.size(), std::memory_order_relaxed);
+    if (c.out_off >= c.out.size()) {
+      c.out.clear();
+      c.out_off = 0;
+    } else if (c.out_off >= kMuxWriteWatermark / 4) {
+      // Reclaim the drained prefix before it dominates the buffer.
+      c.out.erase(c.out.begin(),
+                  c.out.begin() + static_cast<std::ptrdiff_t>(c.out_off));
+      c.out_off = 0;
+    }
+    const auto framed = frame_with_prefix(reply);
+    c.out.insert(c.out.end(), framed.begin(), framed.end());
+  }
+
+  /// Wrap a version-1 reply back onto its stream (stream 0 = the legacy
+  /// lane, sent un-wrapped) and append it to the connection's writer.
+  void append_reply_wrapped(Shard& s, Conn& c, std::uint32_t stream,
+                            std::span<const std::uint8_t> reply) {
+    if (reply.empty() || stream == 0) {
+      append_reply(s, c, reply);
+      return;
+    }
+    append_reply(s, c, add_stream(reply, stream));
+  }
+
+  // -------------------------------------------- mux mode (loop thread)
+
+  /// Conn-layer capability handshake. Answered here — never dispatched —
+  /// so negotiation works identically whatever endpoint sits behind the
+  /// server, and an old client that never sends Hello never sees any of
+  /// this. The reply carries the intersection of the client's capability
+  /// bits with what this server speaks (kCapMux).
+  void answer_hello(Shard& s, Conn& c, std::uint32_t stream,
+                    std::span<const std::uint8_t> frame) {
+    std::uint32_t caps = 0;
+    try {
+      const Hello hello = Hello::decode(decode_envelope(frame));
+      caps = hello.capabilities & kCapMux;
+    } catch (const ProtoError& e) {
+      append_reply_wrapped(
+          s, c, stream,
+          ErrorReply{.code = e.code(), .detail = e.what()}.encode());
+      return;
+    }
+    if ((caps & kCapMux) != 0 && !c.mux) {
+      c.mux = true;
+      mux_connections.fetch_add(1, std::memory_order_relaxed);
+    }
+    append_reply_wrapped(s, c, stream,
+                         Hello{.capabilities = caps}.encode(0));
+  }
+
+  /// Route one complete frame on a mux connection: strip the stream id,
+  /// then either dispatch it (stream idle), queue it behind the stream's
+  /// in-flight handler, or shed it (stream id above the cap, or backlog
+  /// full). Everything downstream of this point sees version-1 bytes.
+  void on_mux_frame(Shard& s, Conn& c, std::vector<std::uint8_t> frame) {
+    StrippedFrame sf;
+    try {
+      sf = strip_stream(frame);
+    } catch (const ProtoError& e) {
+      // Unattributable (the stream field itself is broken): answer on the
+      // legacy lane. The length framing is intact, so the socket is still
+      // synchronized.
+      append_reply(
+          s, c, ErrorReply{.code = e.code(), .detail = e.what()}.encode());
+      return;
+    }
+    if (peek_kind(sf.frame) == MsgKind::kHello) {
+      answer_hello(s, c, sf.stream, sf.frame);
+      return;
+    }
+    if (sf.stream > options.max_streams_per_connection) {
+      // Permanent for this connection — deliberately no retry hint, a
+      // client must open another connection for more channels.
+      streams_shed.fetch_add(1, std::memory_order_relaxed);
+      append_reply_wrapped(
+          s, c, sf.stream,
+          ErrorReply{.code = ErrorCode::kUnavailable,
+                     .detail = "stream id above per-connection cap"}
+              .encode());
+      return;
+    }
+    StreamState& st = c.streams[sf.stream];
+    if (st.handler_pending || !st.queue.empty()) {
+      if (st.queue.size() >= options.max_stream_backlog) {
+        // Shed now (the payload is the load), refuse in order (a marker).
+        streams_shed.fetch_add(1, std::memory_order_relaxed);
+        st.queue.push_back(StreamState::Work{.frame = {}, .shed = true});
+      } else {
+        st.queue.push_back(
+            StreamState::Work{.frame = std::move(sf.frame), .shed = false});
+      }
+      return;
+    }
+    dispatch_stream(s, c, sf.stream, st, std::move(sf.frame));
+  }
+
+  void dispatch_stream(Shard& s, Conn& c, std::uint32_t stream,
+                       StreamState& st, std::vector<std::uint8_t> frame) {
+    st.handler_pending = true;
+    ++c.mux_inflight;
+    const int fd = c.fd;
+    const std::uint64_t gen = c.gen;
+    const std::size_t shard_idx = s.index;
+    CompletionFn done = [weak = self, shard_idx, fd, gen,
+                         stream](std::vector<std::uint8_t> reply) {
+      if (const std::shared_ptr<Impl> impl = weak.lock()) {
+        Shard* shard = impl->shards[shard_idx].get();
+        (void)shard->reactor.post(
+            [impl_raw = impl.get(), shard, fd, gen, stream,
+             r = std::move(reply)]() mutable {
+              try {
+                impl_raw->finish_stream(*shard, fd, gen, stream,
+                                        std::move(r));
+              } catch (...) {
+                impl_raw->close_conn(*shard, fd);
+              }
+            });
+      }
+    };
+    try {
+      handler(std::move(frame), std::move(done));
+    } catch (const std::exception& e) {
+      st.handler_pending = false;
+      --c.mux_inflight;
+      append_reply_wrapped(s, c, stream,
+                           ErrorReply{.code = ErrorCode::kInternal,
+                                      .detail = e.what()}
+                               .encode());
+    }
+  }
+
+  /// Pop the stream's queue until a handler is in flight again or it is
+  /// empty; shed markers turn into in-order refusals here.
+  void advance_stream(Shard& s, Conn& c, std::uint32_t stream,
+                      StreamState& st) {
+    while (!st.handler_pending && !st.queue.empty()) {
+      StreamState::Work work = std::move(st.queue.front());
+      st.queue.pop_front();
+      if (work.shed) {
+        append_reply_wrapped(
+            s, c, stream,
+            ErrorReply{.code = ErrorCode::kUnavailable,
+                       .detail = "stream backlog at depth cap",
+                       .retry_after_ms = options.stream_shed_retry_after_ms}
+                .encode());
+        continue;
+      }
+      dispatch_stream(s, c, stream, st, std::move(work.frame));
+    }
+  }
+
+  /// A mux handler completion marshalled back to the loop thread.
+  void finish_stream(Shard& s, int fd, std::uint64_t gen,
+                     std::uint32_t stream, std::vector<std::uint8_t> reply) {
+    const auto it = s.conns.find(fd);
+    if (it == s.conns.end() || it->second->gen != gen) return;
+    Conn& c = *it->second;
+    const auto sit = c.streams.find(stream);
+    if (sit == c.streams.end() || !sit->second.handler_pending) return;
+    StreamState& st = sit->second;
+    st.handler_pending = false;
+    if (c.mux_inflight > 0) --c.mux_inflight;
+    append_reply_wrapped(s, c, stream, reply);
+    advance_stream(s, c, stream, st);
+    // Reap idle stream state so a long-lived connection cycling through
+    // many logical channels stays O(active streams), not O(ever-used).
+    if (!st.handler_pending && st.queue.empty()) c.streams.erase(sit);
+    pump(s, fd);
+  }
+
   void dispatch(Shard& s, Conn& c, std::vector<std::uint8_t> frame) {
     c.handler_pending = true;
     const int fd = c.fd;
@@ -680,8 +893,17 @@ struct FrameServer::Impl {
       if (auto frame = c->assembler.next()) {
         s.msgs_in.fetch_add(1, std::memory_order_relaxed);
         s.bytes_in.fetch_add(frame->size(), std::memory_order_relaxed);
-        dispatch(s, *c, std::move(*frame));
-        continue;  // either handler pending or an error reply to flush
+        if (c->mux) {
+          on_mux_frame(s, *c, std::move(*frame));
+        } else if (peek_kind(*frame) == MsgKind::kHello) {
+          // Capability handshake, answered at the connection layer; on an
+          // un-negotiated connection every other frame takes the exact
+          // pre-mux path below.
+          answer_hello(s, *c, 0, *frame);
+        } else {
+          dispatch(s, *c, std::move(*frame));
+        }
+        continue;  // either handler pending or a reply to flush
       }
       if (c->assembler.oversized()) {
         enqueue_reply(s, *c,
@@ -692,6 +914,10 @@ struct FrameServer::Impl {
         continue;  // flush the refusal, then close
       }
       if (c->eof) {
+        // A mux peer that half-closed may still be reading: let in-flight
+        // handlers finish and their replies flush first (finish_stream
+        // re-pumps; mux_inflight == 0 implies every stream queue drained).
+        if (c->mux && c->mux_inflight > 0) break;
         // Clean close at a frame boundary, or truncated mid-frame:
         // nothing left to answer either way.
         close_conn(s, fd);
@@ -776,6 +1002,10 @@ struct FrameServer::Impl {
         refused.load(std::memory_order_relaxed);
     total.reactor.deadline_drops =
         deadline_drops.load(std::memory_order_relaxed);
+    total.reactor.mux_connections =
+        mux_connections.load(std::memory_order_relaxed);
+    total.reactor.streams_shed =
+        streams_shed.load(std::memory_order_relaxed);
     return total;
   }
 };

@@ -38,11 +38,12 @@
 
 namespace eyw::proto {
 
-/// Hard cap on one length-framed message: an envelope header plus the
-/// largest payload the envelope layer itself accepts. Checked against the
-/// declared length before any allocation on both ends.
+/// Hard cap on one length-framed message: the larger (mux) envelope
+/// header plus the largest payload the envelope layer itself accepts, so
+/// a version-1 frame that fits keeps fitting after add_stream() wraps it.
+/// Checked against the declared length before any allocation on both ends.
 inline constexpr std::size_t kMaxTcpFrameBytes =
-    kEnvelopeHeaderBytes + kMaxPayloadBytes;
+    kMuxEnvelopeHeaderBytes + kMaxPayloadBytes;
 
 /// Client-side knobs. Timeouts bound each blocking wait inside one
 /// exchange (connect handshake, send progress, reply progress), so a dead
@@ -108,6 +109,13 @@ struct ReactorCounters {
   /// Cross-thread loop wakeups through the shards' eventfds (accept
   /// handovers + async handler completions).
   std::uint64_t eventfd_wakeups = 0;
+  /// Connections that negotiated the mux capability via Hello.
+  std::uint64_t mux_connections = 0;
+  /// Mux frames refused with Error(kUnavailable) by the reactor itself:
+  /// a stream id above max_streams_per_connection, or a stream whose
+  /// backlog hit max_stream_backlog. Dispatcher-lane sheds are counted by
+  /// the dispatcher, not here.
+  std::uint64_t streams_shed = 0;
 };
 
 /// FrameServer::stats(): the familiar envelope-byte TransportStats plus
@@ -140,6 +148,22 @@ struct FrameServerOptions {
   std::chrono::milliseconds io_timeout{30'000};
   /// TCP_NODELAY on accepted sockets (see TcpOptions::tcp_nodelay).
   bool tcp_nodelay = true;
+  /// Highest stream id accepted on a mux-negotiated connection. Clients
+  /// assign ids sequentially from 1, so this caps the logical channels
+  /// one socket may carry; a frame above the cap is refused on the spot
+  /// with Error(kUnavailable) — without a retry hint, because the refusal
+  /// is permanent for this connection (open another). Stream 0 (the
+  /// un-wrapped legacy lane) is always admitted.
+  std::uint32_t max_streams_per_connection = 65536;
+  /// Frames queued behind one stream's in-flight handler before further
+  /// frames on that stream are shed. The shed drops the payload
+  /// immediately but the refusal leaves in arrival order (a queued
+  /// marker), preserving the per-stream FIFO reply correlation clients
+  /// rely on.
+  std::size_t max_stream_backlog = 16;
+  /// Backoff hint carried by backlog-shed refusals (transient overload —
+  /// retrying later can succeed, unlike the stream-id cap).
+  std::uint32_t stream_shed_retry_after_ms = 25;
 };
 
 /// Event-driven frame server: one acceptor thread feeds accepted
@@ -164,6 +188,16 @@ struct FrameServerOptions {
 /// with an Error(kOversized) envelope and the connection is closed (the
 /// stream is unsynchronized past an unread body). Handler exceptions are
 /// answered with Error(kInternal); endpoints themselves never throw.
+///
+/// Multiplexing: a client that opens with Hello(kCapMux) and receives it
+/// back switches the connection to mux mode — version-2 envelopes carry a
+/// stream id, each stream is an independent logical channel with its own
+/// one-in-flight FIFO, and handlers for different streams run
+/// concurrently. The reactor strips the stream id before dispatch and
+/// wraps it back onto the reply, so everything downstream of the
+/// connection layer sees the same version-1 bytes a dedicated connection
+/// would deliver. Connections that never negotiate keep the exact PR 8
+/// one-frame-in-flight byte behavior.
 class FrameServer {
  public:
   FrameServer(FrameHandler handler, FrameServerOptions options = {});

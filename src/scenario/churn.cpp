@@ -26,6 +26,7 @@ const char* to_string(ChurnStyle style) noexcept {
     case ChurnStyle::kConnectsIdle: return "connects-idle";
     case ChurnStyle::kDiesMidReport: return "dies-mid-report";
     case ChurnStyle::kDiesAfterAdjust: return "dies-after-adjust";
+    case ChurnStyle::kShed: return "shed";
   }
   return "?";
 }
@@ -38,7 +39,7 @@ ChurnSchedule ChurnSchedule::make(std::size_t roster, double rate,
   for (std::size_t i = 0; i < roster; ++i) {
     if (!rng.chance(rate)) continue;
     schedule.styles[i] =
-        static_cast<ChurnStyle>(1 + rng.below(4));  // the 4 churn styles
+        static_cast<ChurnStyle>(1 + rng.below(5));  // the 5 churn styles
   }
   // A round with zero reports cannot finalize; churn rates near 1.0 on a
   // tiny roster could produce that by chance. Pin index 0 honest so every
@@ -52,7 +53,8 @@ std::vector<std::size_t> ChurnSchedule::expected_missing() const {
   for (std::size_t i = 0; i < styles.size(); ++i) {
     if (styles[i] == ChurnStyle::kNeverConnects ||
         styles[i] == ChurnStyle::kConnectsIdle ||
-        styles[i] == ChurnStyle::kDiesMidReport)
+        styles[i] == ChurnStyle::kDiesMidReport ||
+        styles[i] == ChurnStyle::kShed)
       missing.push_back(i);
   }
   return missing;
@@ -177,6 +179,54 @@ ChurnOutcome run_churn_round(ServerHarness& harness, std::uint64_t round,
     }
   }
 
+  // Overload-shed churners (PR 9): their submissions ride one multiplexed
+  // connection, each on a stream id above the server's per-connection
+  // cap, so the reactor refuses every frame with a hintless
+  // Error(kUnavailable) before dispatch. A refusal is a *delivered
+  // reply* — the reporter observes the shed mid-round — but the frame
+  // never reaches the endpoint (or the journal), which is what lets the
+  // missing-list path absorb these reporters bit-exactly below.
+  std::vector<std::size_t> shed_members;
+  for (std::size_t i = 0; i < n; ++i)
+    if (schedule.styles[i] == ChurnStyle::kShed) shed_members.push_back(i);
+  out.sheds_attempted = shed_members.size();
+  if (!shed_members.empty()) {
+    auto mux = reactor.open_mux("127.0.0.1", harness.port());
+    const std::uint32_t cap = harness.options().max_streams_per_connection;
+    std::vector<std::shared_ptr<proto::MuxStream>> streams;
+    streams.reserve(shed_members.size());
+    AckWave sheds(shed_members.size());
+    for (std::size_t k = 0; k < shed_members.size(); ++k) {
+      const std::size_t i = shed_members[k];
+      streams.push_back(
+          mux->open_stream(cap + 1 + static_cast<std::uint32_t>(k)));
+      const auto frame = proto::BlindedReport{
+          .participant = static_cast<std::uint32_t>(i),
+          .params = config.cms_params,
+          .cells = plain_cells(config, i)}
+                             .encode(round);
+      streams.back()->exchange_async(frame,
+                                     [&sheds, k](proto::AsyncResult r) {
+                                       sheds.complete(k, std::move(r));
+                                     });
+    }
+    sheds.wait(shed_members.size());
+    for (std::size_t k = 0; k < shed_members.size(); ++k) {
+      bool refused = false;
+      if (!sheds.results[k].error && !sheds.results[k].reply.empty()) {
+        try {
+          const proto::ErrorReply e = proto::ErrorReply::decode(
+              proto::decode_envelope(sheds.results[k].reply));
+          // Hintless: the stream-cap refusal is permanent, not transient.
+          refused = e.code == proto::ErrorCode::kUnavailable &&
+                    e.retry_after_ms == 0;
+        } catch (...) {
+        }
+      }
+      if (!refused) out.sheds_refused_ok = false;
+    }
+  }
+
   // Honest wave: one connection per reporter, blinded reports in flight
   // simultaneously (blinding fans out over the pool first — slot-per-
   // reporter, bit-identical for any thread count).
@@ -268,7 +318,11 @@ ChurnOutcome run_churn_round(ServerHarness& harness, std::uint64_t round,
         out.stats_adjustments ==
             (out.missing.empty() ? 0 : reporting.size()) &&
         out.stats_missing == out.missing.size() &&
-        server::stats_value(json, "round_roster") == n;
+        server::stats_value(json, "round_roster") == n &&
+        // Every shed attempt shows up on the reactor's refusal counter
+        // (>=: the counter is cumulative across a harness's rounds) and
+        // none of them was admitted as a report.
+        server::stats_value(json, "streams_shed") >= out.sheds_attempted;
   }
 
   // --- Determinism digest --------------------------------------------

@@ -20,6 +20,12 @@
 //                   (its pads cannot be cancelled; finalize refuses), which
 //                   is the documented protocol limitation, not a scenario
 //                   bug — see docs/scenarios.md#threat-matrix.
+//   kShed           submits on a multiplexed connection with a stream id
+//                   above the server's per-connection cap -> refused with a
+//                   hintless Error(kUnavailable) before dispatch (PR 9
+//                   overload shedding). The frame never reaches the
+//                   endpoint or the journal, so the missing list absorbs
+//                   the reporter exactly like a never-connect.
 //
 // Everything is derived from one seed: the style assignment, the kill
 // timeline, the missing list, and therefore the finalize result. Two runs
@@ -42,6 +48,7 @@ enum class ChurnStyle : std::uint8_t {
   kConnectsIdle = 2,
   kDiesMidReport = 3,
   kDiesAfterAdjust = 4,
+  kShed = 5,
 };
 
 [[nodiscard]] const char* to_string(ChurnStyle style) noexcept;
@@ -56,7 +63,7 @@ struct ChurnSchedule {
 
   [[nodiscard]] std::size_t roster() const noexcept { return styles.size(); }
   /// Indices that end up on the missing list (never-connects, idle,
-  /// mid-report deaths).
+  /// mid-report deaths, overload sheds).
   [[nodiscard]] std::vector<std::size_t> expected_missing() const;
   /// Indices whose report is accepted (honest + dies-after-adjust).
   [[nodiscard]] std::vector<std::size_t> reporters() const;
@@ -76,12 +83,17 @@ struct ChurnOutcome {
   std::uint64_t stats_reports = 0;
   std::uint64_t stats_adjustments = 0;
   std::uint64_t stats_missing = 0;
+  /// Overload-shed reporters (ChurnStyle::kShed): how many submitted, and
+  /// whether every one was refused with the exact contract — a hintless
+  /// Error(kUnavailable), nothing dispatched, nothing aggregated.
+  std::size_t sheds_attempted = 0;
+  bool sheds_refused_ok = true;
   /// FNV digest of schedule + missing list + aggregate cells: equal seeds
   /// must produce equal digests.
   std::uint64_t digest = 0;
 
   [[nodiscard]] bool ok() const noexcept {
-    return identical && missing_as_expected && stats_ok;
+    return identical && missing_as_expected && stats_ok && sheds_refused_ok;
   }
 };
 

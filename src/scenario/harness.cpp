@@ -30,14 +30,20 @@ ServerHarness::ServerHarness(HarnessOptions options)
   dispatcher_ = std::make_unique<server::AsyncDispatcher>(
       [this](std::span<const std::uint8_t> frame) { return route(frame); },
       options_.backend_shards, server::cluster_lane_router(cluster_),
-      server::control_plane_barrier());
+      server::control_plane_barrier(),
+      server::DispatcherLimits{.max_lane_depth = options_.max_lane_depth,
+                               .retry_after_ms = options_.retry_after_ms,
+                               .counters = &backend_ep_->counters()});
   server_ = std::make_unique<proto::FrameServer>(
       dispatcher_->handler(),
       proto::FrameServerOptions{
           .port = options_.port,
           .backlog = static_cast<int>(
               std::max<std::size_t>(256, options_.max_connections)),
-          .max_connections = options_.max_connections});
+          .max_connections = options_.max_connections,
+          .max_streams_per_connection = options_.max_streams_per_connection,
+          .max_stream_backlog = options_.max_stream_backlog,
+          .stream_shed_retry_after_ms = options_.retry_after_ms});
   if (options_.serve_stats)
     stats_ = std::make_unique<server::StatsEndpoint>(build_registry(),
                                                      options_.stats_port);
@@ -129,10 +135,19 @@ server::StatsRegistry ServerHarness::build_registry() {
   reg.add("frames_received", [srv] { return srv->stats().messages_received; });
   reg.add("frames_sent", [srv] { return srv->stats().messages_sent; });
   reg.add("deadline_drops", [srv] { return srv->stats().reactor.deadline_drops; });
+  // Multiplexing + overload shedding (PR 9): connection-layer mux counts,
+  // reactor stream sheds, dispatcher lane admissions/sheds, and the
+  // endpoint's shed mirror — one coherent refusal story per layer.
+  reg.add("mux_connections",
+          [srv] { return srv->stats().reactor.mux_connections; });
+  reg.add("streams_shed", [srv] { return srv->stats().reactor.streams_shed; });
+  reg.add("shed_ingest", [c, u64] { return u64(c->shed_ingest); });
   server::AsyncDispatcher* disp = dispatcher_.get();
   reg.add("dispatch_pending", [disp] {
     return static_cast<std::uint64_t>(disp->pending());
   });
+  reg.add("dispatch_accepted", [disp] { return disp->accepted(); });
+  reg.add("dispatch_shed", [disp] { return disp->shed(); });
   if (durable_) {
     server::DurableBackend* d = durable_.get();
     reg.add("journal_records", [d] { return d->stats().records; });

@@ -45,6 +45,16 @@ struct HarnessOptions {
   bool serve_stats = true;
   std::uint16_t port = 0;
   std::uint16_t stats_port = 0;
+  /// Overload-shedding knobs (PR 9). `max_lane_depth` 0 keeps the
+  /// dispatcher lanes unbounded; a bound sheds past-cap submits with
+  /// Error(kUnavailable) + `retry_after_ms`, mirrored onto the endpoint
+  /// counters and the stats endpoint. The stream knobs pass through to
+  /// FrameServerOptions — churn's shed scenario pins
+  /// max_streams_per_connection low to provoke deterministic refusals.
+  std::size_t max_lane_depth = 0;
+  std::uint32_t retry_after_ms = 25;
+  std::uint32_t max_streams_per_connection = 65536;
+  std::size_t max_stream_backlog = 16;
 };
 
 /// One in-process deployment: backend cluster (+ optional DurableBackend),
@@ -67,6 +77,9 @@ class ServerHarness {
   }
   [[nodiscard]] const server::BackendConfig& config() const noexcept {
     return options_.config;
+  }
+  [[nodiscard]] const HarnessOptions& options() const noexcept {
+    return options_;
   }
   [[nodiscard]] server::BackendCluster& cluster() noexcept { return cluster_; }
   [[nodiscard]] server::DurableBackend* durable() noexcept {

@@ -63,8 +63,16 @@ std::vector<MutatorCase> mutator_corpus(const server::BackendConfig& config,
       proto::ErrorCode::kBadMagic);
   {
     auto f = valid;
-    f[4] = 2;  // version 2 does not exist
+    f[4] = 3;  // version 3 does not exist (2 is the mux envelope)
     add("bad-version", std::move(f), proto::ErrorCode::kBadVersion);
+  }
+  {
+    // A version-2 header whose stream id was cut off: the mux envelope
+    // needs 4 more header bytes than this frame carries before `length`
+    // even lines up, so decode refuses it as truncated.
+    auto f = valid;
+    f[4] = 2;
+    add("mux-short-stream", std::move(f), proto::ErrorCode::kTruncated);
   }
   {
     auto f = valid;

@@ -5,18 +5,21 @@
 
 #include "proto/message.hpp"
 #include "server/cluster.hpp"
+#include "server/endpoint.hpp"
 
 namespace eyw::server {
 
 AsyncDispatcher::AsyncDispatcher(proto::FrameHandler handler)
-    : AsyncDispatcher(std::move(handler), 1, nullptr, nullptr) {}
+    : AsyncDispatcher(std::move(handler), 1, nullptr, nullptr, {}) {}
 
 AsyncDispatcher::AsyncDispatcher(proto::FrameHandler handler,
                                  std::size_t lanes, LaneRouter router,
-                                 BarrierPredicate barrier)
+                                 BarrierPredicate barrier,
+                                 DispatcherLimits limits)
     : handler_(std::move(handler)),
       router_(std::move(router)),
-      barrier_(std::move(barrier)) {
+      barrier_(std::move(barrier)),
+      limits_(limits) {
   if (!handler_)
     throw std::invalid_argument("AsyncDispatcher: null handler");
   if (lanes == 0) throw std::invalid_argument("AsyncDispatcher: 0 lanes");
@@ -35,13 +38,40 @@ AsyncDispatcher::~AsyncDispatcher() { stop(); }
 void AsyncDispatcher::submit(std::vector<std::uint8_t> frame,
                              proto::CompletionFn done) {
   Lane& lane = *lanes_[router_ ? router_(frame) % lanes_.size() : 0];
+  bool shed = false;
   {
     std::lock_guard<std::mutex> lock(lane.mu);
     if (!lane.stopping) {
-      lane.queue.emplace_back(std::move(frame), std::move(done));
-      lane.cv.notify_one();
-      return;
+      // Bounded lane: past the depth cap the frame is shed on the spot —
+      // its payload is dropped now (that IS the load relief), only the
+      // small refusal reply survives to travel back.
+      if (limits_.max_lane_depth != 0 &&
+          lane.queue.size() >= limits_.max_lane_depth) {
+        shed = true;
+      } else {
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        lane.queue.emplace_back(std::move(frame), std::move(done));
+        lane.cv.notify_one();
+        return;
+      }
     }
+  }
+  if (shed) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (limits_.counters != nullptr) {
+      limits_.counters->shed_ingest.fetch_add(1, std::memory_order_relaxed);
+      limits_.counters->refusals.fetch_add(1, std::memory_order_relaxed);
+      limits_.counters
+          ->refused_by_code[static_cast<std::size_t>(
+              proto::ErrorCode::kUnavailable)]
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+    if (done)
+      done(proto::ErrorReply{.code = proto::ErrorCode::kUnavailable,
+                             .detail = "dispatch lane at depth cap",
+                             .retry_after_ms = limits_.retry_after_ms}
+               .encode());
+    return;
   }
   // Late frame during teardown: answer from here rather than drop the
   // caller's completion (the server side treats it like any Error reply).
@@ -55,6 +85,18 @@ proto::AsyncFrameHandler AsyncDispatcher::handler() {
   return [this](std::vector<std::uint8_t> frame, proto::CompletionFn done) {
     submit(std::move(frame), std::move(done));
   };
+}
+
+void AsyncDispatcher::pause() {
+  paused_.store(true, std::memory_order_relaxed);
+}
+
+void AsyncDispatcher::resume() {
+  paused_.store(false, std::memory_order_relaxed);
+  for (auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    lane->cv.notify_all();
+  }
 }
 
 void AsyncDispatcher::stop() {
@@ -82,8 +124,13 @@ void AsyncDispatcher::worker_loop(Lane& lane) {
     std::pair<std::vector<std::uint8_t>, proto::CompletionFn> job;
     {
       std::unique_lock<std::mutex> lock(lane.mu);
-      lane.cv.wait(lock,
-                   [&] { return lane.stopping || !lane.queue.empty(); });
+      // A pause freezes dequeue (not enqueue) until resume; stop()
+      // overrides it so a paused dispatcher still drains on teardown.
+      lane.cv.wait(lock, [&] {
+        return lane.stopping ||
+               (!paused_.load(std::memory_order_relaxed) &&
+                !lane.queue.empty());
+      });
       if (lane.queue.empty()) return;  // stopping and drained
       job = std::move(lane.queue.front());
       lane.queue.pop_front();

@@ -35,6 +35,7 @@
 // no-ops by the server's contract, so teardown order is the only rule.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -51,6 +52,23 @@
 namespace eyw::server {
 
 class BackendCluster;
+struct EndpointCounters;
+
+/// Overload policy for the dispatch lanes. With `max_lane_depth == 0`
+/// (the default) queues are unbounded — the pre-existing behavior. With a
+/// bound, a submit that finds its routed lane full is SHED: the frame is
+/// dropped on the spot and the caller's completion fires immediately with
+/// Error(kUnavailable) carrying `retry_after_ms` as the backoff hint, so
+/// overload degrades to explicit, client-visible refusals instead of
+/// unbounded memory growth (the reactor write path then drains the reply
+/// like any other). `counters`, when set, mirrors every shed onto the
+/// endpoint's refusal tallies so the stats endpoint sees one coherent
+/// story.
+struct DispatcherLimits {
+  std::size_t max_lane_depth = 0;
+  std::uint32_t retry_after_ms = 25;
+  EndpointCounters* counters = nullptr;
+};
 
 class AsyncDispatcher {
  public:
@@ -76,7 +94,8 @@ class AsyncDispatcher {
   /// endpoints under it) must only share state between frames the router
   /// maps to the same lane.
   AsyncDispatcher(proto::FrameHandler handler, std::size_t lanes,
-                  LaneRouter router, BarrierPredicate barrier = nullptr);
+                  LaneRouter router, BarrierPredicate barrier = nullptr,
+                  DispatcherLimits limits = {});
 
   ~AsyncDispatcher();
 
@@ -100,6 +119,23 @@ class AsyncDispatcher {
 
   [[nodiscard]] std::size_t lanes() const noexcept { return lanes_.size(); }
 
+  /// Freeze the lane workers after their current frame: queued frames
+  /// stay queued, submits keep landing (and shedding past the bound).
+  /// The deterministic overload inducer — pause, fire bound+S submits,
+  /// observe exactly S sheds, resume. stop() overrides a pause (the
+  /// workers wake to drain), so teardown never deadlocks.
+  void pause();
+  void resume();
+
+  /// Frames accepted into a lane queue over the dispatcher's lifetime.
+  [[nodiscard]] std::uint64_t accepted() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  /// Frames refused at the lane bound (Error(kUnavailable) + retry-after).
+  [[nodiscard]] std::uint64_t shed() const noexcept {
+    return shed_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Lane {
     mutable std::mutex mu;
@@ -115,6 +151,10 @@ class AsyncDispatcher {
   proto::FrameHandler handler_;
   LaneRouter router_;
   BarrierPredicate barrier_;
+  DispatcherLimits limits_;
+  std::atomic<bool> paused_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> shed_{0};
   /// Phase gate: barrier frames hold it exclusively, everything else
   /// shared. Uncontended shared acquisition is what an ingest frame pays.
   std::shared_mutex phase_mu_;

@@ -44,6 +44,12 @@ struct EndpointCounters {
   /// re-begun rounds (a replayed BeginRound would otherwise silently
   /// wipe every accepted submission).
   std::atomic<std::uint64_t> refused_replay{0};
+  /// Frames shed before dispatch by overload control — a bounded lane at
+  /// its depth cap or a mux stream past the per-connection cap. Counted
+  /// here (mirrored into refusals / refused_by_code[kUnavailable]) even
+  /// though the endpoint never saw the frame: the operator's refusal
+  /// story must cover every Error(kUnavailable) a client receives.
+  std::atomic<std::uint64_t> shed_ingest{0};
 
   // ---- per-round gauges, reset by an accepted BeginRound ----
   std::atomic<std::uint64_t> round_current{0};
@@ -81,6 +87,10 @@ class BackendEndpoint {
   [[nodiscard]] const EndpointCounters& counters() const noexcept {
     return counters_;
   }
+  /// Mutable form, for wiring into DispatcherLimits / the reactor's shed
+  /// mirroring — overload control refuses frames the endpoint never sees,
+  /// but the operator's refusal tallies must still cover them.
+  [[nodiscard]] EndpointCounters& counters() noexcept { return counters_; }
 
  private:
   std::vector<std::uint8_t> dispatch(const proto::Envelope& env);

@@ -138,6 +138,41 @@ TEST_F(ReplayCorpusTest, EveryAcceptedKindRefusesByteIdenticalResubmission) {
   EXPECT_EQ(endpoint_.counters().refusals.load(), refusals);
 }
 
+TEST_F(ReplayCorpusTest, MuxTransitCannotLaunderAReplay) {
+  // PR 9 frames travel wrapped as version-2 stream envelopes and are
+  // unwrapped at the connection layer before dispatch. The unwrap must
+  // reproduce the version-1 bytes exactly — otherwise a replayed report
+  // arriving via a mux connection would hash differently and slip past
+  // byte-identical replay detection. Corpus entry: the same report, once
+  // direct and once through an add_stream/strip_stream transit.
+  ASSERT_EQ(kind_of(endpoint_.handle(
+                proto::BeginRound{.roster = kRoster}.encode(kRound))),
+            proto::MsgKind::kAck);
+  const auto report = proto::BlindedReport{.participant = 3,
+                                           .params = config_.cms_params,
+                                           .cells = cells_for(config_, 3)}
+                          .encode(kRound);
+  ASSERT_EQ(kind_of(endpoint_.handle(report)), proto::MsgKind::kAck);
+
+  const auto transited =
+      proto::strip_stream(proto::add_stream(report, /*stream=*/12)).frame;
+  ASSERT_EQ(transited, report);
+  expect_replay_refused(transited, "mux-transited replay");
+}
+
+TEST_F(ReplayCorpusTest, HelloIsNotReplayProtected) {
+  // Capability negotiation is per connection and carries no round state:
+  // replaying a Hello (e.g. a client reconnecting) is not an attack, so
+  // the endpoint answers it the same way every time. The endpoint itself
+  // never normally sees Hello — FrameServer answers it at the connection
+  // layer — but a defense-in-depth decode must not crash or double-count.
+  const auto hello = proto::Hello{.capabilities = proto::kCapMux}.encode(0);
+  const auto first = endpoint_.handle(hello);
+  const auto second = endpoint_.handle(hello);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(endpoint_.counters().refused_replay.load(), 0u);
+}
+
 TEST_F(ReplayCorpusTest, ReplayRefusalLeavesFirstSubmissionStanding) {
   ASSERT_EQ(kind_of(endpoint_.handle(
                 proto::BeginRound{.roster = kRoster}.encode(kRound))),

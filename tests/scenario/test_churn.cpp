@@ -61,6 +61,35 @@ TEST(ChurnRound, SurvivesChurnIdenticalToHonestSubsetControl) {
   EXPECT_EQ(outcome.stats_missing, outcome.missing.size());
 }
 
+TEST(ChurnRound, ShedReportersAreRefusedAndAbsorbedBitExactly) {
+  // Force a schedule where overload sheds definitely occur (rate 1.0 on a
+  // roster this size yields every style), on a harness with a tiny
+  // per-connection stream cap: every kShed reporter must be refused with
+  // a hintless kUnavailable, land on the missing list, and leave the
+  // finalize bit-identical to the honest-subset control.
+  ServerHarness harness({.max_streams_per_connection = 8});
+  const ChurnSchedule schedule = ChurnSchedule::make(48, 1.0, 17);
+  std::size_t shed = 0;
+  for (const ChurnStyle s : schedule.styles)
+    if (s == ChurnStyle::kShed) ++shed;
+  ASSERT_GT(shed, 0u) << "seed 17 must schedule at least one kShed";
+
+  const ChurnOutcome outcome = run_churn_round(harness, 1, schedule, 17);
+  EXPECT_EQ(outcome.sheds_attempted, shed);
+  EXPECT_TRUE(outcome.sheds_refused_ok)
+      << "a shed reporter saw something other than hintless kUnavailable";
+  EXPECT_TRUE(outcome.identical)
+      << "shed attempts must not perturb the aggregate";
+  EXPECT_TRUE(outcome.missing_as_expected);
+  EXPECT_TRUE(outcome.stats_ok);
+  // The operator surface tells the same story: the reactor counted every
+  // shed, and none of those frames was admitted as a report.
+  EXPECT_GE(stat(harness.stats_port(), "streams_shed"), shed);
+  EXPECT_EQ(stat(harness.stats_port(), "round_reports"),
+            outcome.schedule.reporters().size());
+  harness.stop();
+}
+
 TEST(ChurnRound, SameSeedIsBitIdenticalAcrossDeployments) {
   const ChurnOutcome a = run_once(48, 33);
   const ChurnOutcome b = run_once(48, 33);
