@@ -264,6 +264,7 @@ DurableRoundRow run_durable_rounds(const std::string& journal_dir,
   eyw::proto::FrameServer frame_server(
       dispatcher.handler(),
       {.backlog = 256, .max_connections = kReporters + 8});
+  dispatcher.set_frame_recycler(frame_server.frame_recycler());
 
   eyw::proto::ClientReactor reactor({.shards = 2, .backoff_jitter_seed = 5});
   auto control = reactor.open("127.0.0.1", frame_server.port());
@@ -858,6 +859,7 @@ int main(int argc, char** argv) {
           dispatcher.handler(),
           {.backlog = static_cast<int>(std::max<std::size_t>(256, n + 8)),
            .max_connections = (use_mux ? kMuxConns : n) + 8});
+      dispatcher.set_frame_recycler(frame_server.frame_recycler());
       eyw::proto::ClientReactor reactor(
           {.shards = 2, .backoff_jitter_seed = 9});
       auto control = reactor.open("127.0.0.1", frame_server.port());

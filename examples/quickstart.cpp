@@ -254,7 +254,14 @@ struct ServerStack {
                 // costs that reporter a 1 s kernel retransmit.
                 .backlog = static_cast<int>(
                     std::max<std::size_t>(256, max_connections)),
-                .max_connections = max_connections}) {}
+                .max_connections = max_connections}) {
+    // Close the buffer-recycle loop: lane workers hand consumed frames
+    // back to the server's pool instead of destructing them. Without
+    // this, every dispatched frame is a pool miss and steady-state
+    // ingest pays a malloc per report (the ingest budget check below
+    // would fail).
+    dispatcher.set_frame_recycler(server.frame_recycler());
+  }
 
   std::vector<std::uint8_t> route(std::span<const std::uint8_t> frame) {
     // Route on the peeked kind (no payload copy); a frame too broken to
@@ -750,9 +757,46 @@ int run_reporters(std::size_t n, const std::string& target_host,
                  "capability against a capable server\n",
                  static_cast<unsigned long long>(counters.mux_negotiated),
                  muxes.size());
+  // Zero-copy ingest budget: frame-pool misses are one-time allocations
+  // for the in-flight high-water, which the client window bounds — so
+  // the budget is the window plus slack, independent of N (a recycle
+  // leak shows up as misses ~ N and fails here at the 16x size). A
+  // journaled server must journal the accepted wire bytes rather than
+  // re-encode: re-encodes are the copying fallback, budget zero.
+  bool ingest_ok = true;
+  if (local != nullptr) {
+    const auto server_stats = local->server.stats();
+    const std::uint64_t miss_budget =
+        use_mux ? kMuxWindow + 128
+                : static_cast<std::uint64_t>(n) + 128;
+    const std::uint64_t reencodes =
+        local->durable ? local->durable->journal_reencodes() : 0;
+    std::printf("ingest fast path: %llu pooled frame(s), %llu pool miss(es) "
+                "(budget %llu), %llu copied byte(s), %llu journal "
+                "re-encode(s)\n",
+                static_cast<unsigned long long>(
+                    server_stats.reactor.frames_pooled),
+                static_cast<unsigned long long>(
+                    server_stats.reactor.pool_misses),
+                static_cast<unsigned long long>(miss_budget),
+                static_cast<unsigned long long>(
+                    server_stats.reactor.bytes_copied_ingest),
+                static_cast<unsigned long long>(reencodes));
+    ingest_ok = server_stats.reactor.pool_misses <= miss_budget &&
+                reencodes == 0;
+    if (!ingest_ok)
+      std::fprintf(stderr,
+                   "FAIL: ingest fast-path budget — %llu pool misses "
+                   "(budget %llu, the in-flight window) or %llu journal "
+                   "re-encodes (budget 0)\n",
+                   static_cast<unsigned long long>(
+                       server_stats.reactor.pool_misses),
+                   static_cast<unsigned long long>(miss_budget),
+                   static_cast<unsigned long long>(reencodes));
+  }
   const bool ok = sink.acked == n && missing.empty() &&
                   result.reports == n && identical && threads_ok &&
-                  fds_ok && mux_ok && overload_ok;
+                  fds_ok && mux_ok && overload_ok && ingest_ok;
   std::printf("multiplexing check: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

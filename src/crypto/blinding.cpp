@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sketch/sketch_kernel.hpp"
 #include "util/thread_pool.hpp"
 
 namespace eyw::crypto {
@@ -72,24 +73,30 @@ std::vector<BlindCell> BlindingParticipant::accumulate_pads(
   if (peers.empty()) return out;
   const std::size_t chunks = std::min(peers.size(), pool_->size() * 4);
   const std::size_t per_chunk = (peers.size() + chunks - 1) / chunks;
+  const sketch::SketchKernel& kernel = sketch::active_sketch_kernel();
   std::vector<std::vector<BlindCell>> partial(chunks);
   pool_->parallel_for(chunks, [&](std::size_t c) {
     auto& acc = partial[c];
     acc.assign(cells, 0);
+    // One expansion scratch per chunk, reused across its peers: the
+    // kernel folds the big-endian pad stream straight into the
+    // accumulator, so the per-peer pad never materializes as cells.
+    std::vector<std::uint8_t> stream(cells * sizeof(BlindCell));
     const std::size_t begin = c * per_chunk;
     const std::size_t end = std::min(peers.size(), begin + per_chunk);
     for (std::size_t k = begin; k < end; ++k) {
       const std::size_t j = peers[k];
-      const bool positive = index_ > j;
-      const std::vector<BlindCell> p = pad(j, cells, round);
-      for (std::size_t m = 0; m < cells; ++m) {
-        acc[m] = positive ? acc[m] + p[m] : acc[m] - p[m];  // wrapping
-      }
+      Sha256 seed;
+      seed.update(std::span<const std::uint8_t>(pair_keys_[j].data(),
+                                                pair_keys_[j].size()));
+      seed.update_u64(round);
+      const Digest d = seed.finish();
+      sha256_expand_into(std::span<const std::uint8_t>(d.data(), d.size()),
+                         stream);
+      kernel.pad_accumulate(acc.data(), stream.data(), cells, index_ > j);
     }
   });
-  for (const auto& acc : partial) {
-    for (std::size_t m = 0; m < cells; ++m) out[m] += acc[m];
-  }
+  for (const auto& acc : partial) kernel.add_cells(out.data(), acc.data(), cells);
   return out;
 }
 
@@ -106,7 +113,8 @@ std::vector<BlindCell> BlindingParticipant::blinding_vector(
 std::vector<BlindCell> BlindingParticipant::blind(
     std::span<const BlindCell> cells, std::uint64_t round) const {
   std::vector<BlindCell> out = blinding_vector(cells.size(), round);
-  for (std::size_t m = 0; m < cells.size(); ++m) out[m] += cells[m];
+  sketch::active_sketch_kernel().add_cells(out.data(), cells.data(),
+                                           cells.size());
   return out;
 }
 
@@ -127,10 +135,11 @@ std::vector<BlindCell> aggregate_blinded(
   if (reports.empty()) return {};
   const std::size_t cells = reports.front().size();
   std::vector<BlindCell> out(cells, 0);
+  const sketch::SketchKernel& kernel = sketch::active_sketch_kernel();
   for (const auto& r : reports) {
     if (r.size() != cells)
       throw std::invalid_argument("aggregate_blinded: size mismatch");
-    for (std::size_t m = 0; m < cells; ++m) out[m] += r[m];
+    kernel.add_cells(out.data(), r.data(), cells);
   }
   return out;
 }
@@ -139,8 +148,8 @@ void apply_adjustment(std::vector<BlindCell>& aggregate,
                       std::span<const BlindCell> adjustment) {
   if (aggregate.size() != adjustment.size())
     throw std::invalid_argument("apply_adjustment: size mismatch");
-  for (std::size_t m = 0; m < aggregate.size(); ++m)
-    aggregate[m] -= adjustment[m];
+  sketch::active_sketch_kernel().sub_cells(aggregate.data(), adjustment.data(),
+                                           aggregate.size());
 }
 
 std::size_t roster_bytes(const DhGroup& group, std::size_t participants) {

@@ -2,76 +2,24 @@
 
 #include <cstring>
 
+#include "crypto/sha256_kernel.hpp"
+
 namespace eyw::crypto {
 
 namespace {
 
-constexpr std::array<std::uint32_t, 64> kK = {
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
-    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
-    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
-    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
-    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
-    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
-    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
-    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
-    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
-    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
-
-constexpr std::uint32_t rotr(std::uint32_t x, int n) noexcept {
-  return (x >> n) | (x << (32 - n));
-}
+// FIPS 180-4 initial hash value; counter-mode expansion restarts from it
+// for every output block.
+constexpr std::array<std::uint32_t, 8> kIv = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
 
 }  // namespace
 
-Sha256::Sha256() noexcept
-    : h_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f,
-         0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
+Sha256::Sha256() noexcept : h_(kIv) {}
 
 void Sha256::process_block(const std::uint8_t* block) noexcept {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
-           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
-           static_cast<std::uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 =
-        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t s1 =
-        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
-  std::uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t t1 = h + s1 + ch + kK[static_cast<std::size_t>(i)] +
-                             w[i];
-    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t t2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
-  }
-  h_[0] += a;
-  h_[1] += b;
-  h_[2] += c;
-  h_[3] += d;
-  h_[4] += e;
-  h_[5] += f;
-  h_[6] += g;
-  h_[7] += h;
+  active_sha256_kernel().compress(h_.data(), block, 1);
 }
 
 Sha256& Sha256::update(std::span<const std::uint8_t> data) noexcept {
@@ -87,9 +35,12 @@ Sha256& Sha256::update(std::span<const std::uint8_t> data) noexcept {
       buf_len_ = 0;
     }
   }
-  while (off + 64 <= data.size()) {
-    process_block(data.data() + off);
-    off += 64;
+  // All remaining full blocks in one kernel call (the multi-block form
+  // exists for exactly this: long messages pay one dispatch, not one per
+  // 64 bytes).
+  if (const std::size_t full = (data.size() - off) / 64; full > 0) {
+    active_sha256_kernel().compress(h_.data(), data.data() + off, full);
+    off += full * 64;
   }
   if (off < data.size()) {
     std::memcpy(buf_.data(), data.data() + off, data.size() - off);
@@ -182,18 +133,63 @@ std::uint64_t digest_to_u64(const Digest& d) noexcept {
 
 std::vector<std::uint8_t> sha256_expand(std::span<const std::uint8_t> seed,
                                         std::size_t len) {
-  std::vector<std::uint8_t> out;
-  out.reserve(len);
+  std::vector<std::uint8_t> out(len);
+  sha256_expand_into(seed, out);
+  return out;
+}
+
+void sha256_expand_into(std::span<const std::uint8_t> seed,
+                        std::span<std::uint8_t> out) noexcept {
+  // Hot path (the blinding pad expansion): seed || counter || padding
+  // fits a single message block, so prepare the padded block once and
+  // per output block only rewrite the 8 counter bytes and run one raw
+  // compression from the IV — no Sha256 object, no byte-at-a-time
+  // padding loop. Produces exactly the incremental-API bytes: the
+  // padding layout below is what update()+finish() would build.
+  if (seed.size() + 8 <= 55) {
+    const Sha256Kernel& kernel = active_sha256_kernel();
+    const std::size_t ctr_off = seed.size();
+    std::uint8_t block[64] = {0};
+    std::memcpy(block, seed.data(), seed.size());
+    block[ctr_off + 8] = 0x80;
+    const std::uint64_t bit_len =
+        (static_cast<std::uint64_t>(seed.size()) + 8) * 8;
+    for (int i = 0; i < 8; ++i)
+      block[56 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    std::uint64_t counter = 0;
+    std::size_t off = 0;
+    while (off < out.size()) {
+      for (int i = 0; i < 8; ++i)
+        block[ctr_off + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(counter >> (56 - 8 * i));
+      ++counter;
+      std::uint32_t st[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+      kernel.compress(st, block, 1);
+      std::uint8_t digest[32];
+      for (int i = 0; i < 8; ++i) {
+        digest[4 * i] = static_cast<std::uint8_t>(st[i] >> 24);
+        digest[4 * i + 1] = static_cast<std::uint8_t>(st[i] >> 16);
+        digest[4 * i + 2] = static_cast<std::uint8_t>(st[i] >> 8);
+        digest[4 * i + 3] = static_cast<std::uint8_t>(st[i]);
+      }
+      const std::size_t take = std::min<std::size_t>(32, out.size() - off);
+      std::memcpy(out.data() + off, digest, take);
+      off += take;
+    }
+    return;
+  }
   std::uint64_t counter = 0;
-  while (out.size() < len) {
+  std::size_t off = 0;
+  while (off < out.size()) {
     Sha256 h;
     h.update(seed);
     h.update_u64(counter++);
     const Digest d = h.finish();
-    const std::size_t take = std::min<std::size_t>(d.size(), len - out.size());
-    out.insert(out.end(), d.begin(), d.begin() + static_cast<std::ptrdiff_t>(take));
+    const std::size_t take = std::min<std::size_t>(d.size(), out.size() - off);
+    std::memcpy(out.data() + off, d.data(), take);
+    off += take;
   }
-  return out;
 }
 
 }  // namespace eyw::crypto

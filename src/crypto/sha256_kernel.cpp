@@ -1,0 +1,131 @@
+#include "crypto/sha256_kernel.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define EYW_X86_64 1
+#endif
+
+namespace eyw::crypto {
+
+namespace detail {
+#if defined(EYW_HAVE_SHANI_KERNEL)
+// Defined in sha256_shani.cpp (compiled with -msha -msse4.1).
+const Sha256Kernel& shani_kernel_impl() noexcept;
+#endif
+}  // namespace detail
+
+namespace {
+
+constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::uint32_t rotr(std::uint32_t x, int n) noexcept {
+  return (x >> n) | (x << (32 - n));
+}
+
+void portable_compress(std::uint32_t state[8], const std::uint8_t* blocks,
+                       std::size_t count) {
+  for (std::size_t blk = 0; blk < count; ++blk, blocks += 64) {
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<std::uint32_t>(blocks[4 * i]) << 24) |
+             (static_cast<std::uint32_t>(blocks[4 * i + 1]) << 16) |
+             (static_cast<std::uint32_t>(blocks[4 * i + 2]) << 8) |
+             static_cast<std::uint32_t>(blocks[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t t1 =
+          h + s1 + ch + kK[static_cast<std::size_t>(i)] + w[i];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t t2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+constexpr Sha256Kernel kPortable{portable_compress, "portable"};
+
+const Sha256Kernel* resolve_active() noexcept {
+  const char* pref = std::getenv("EYW_SHA256_KERNEL");
+  const bool force_portable =
+      pref != nullptr && std::strcmp(pref, "portable") == 0;
+  if (!force_portable) {
+    if (const Sha256Kernel* shani = shani_sha256_kernel()) return shani;
+  }
+  // "shani" requested but unavailable degrades to portable — the override
+  // is a test knob, not a correctness switch, and portable is always
+  // right.
+  return &kPortable;
+}
+
+}  // namespace
+
+const Sha256Kernel& portable_sha256_kernel() noexcept { return kPortable; }
+
+bool cpu_supports_sha_ni() noexcept {
+#if defined(EYW_X86_64)
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  constexpr unsigned int kShaNi = 1u << 29;  // EBX bit 29
+  return (ebx & kShaNi) != 0;
+#else
+  return false;
+#endif
+}
+
+const Sha256Kernel* shani_sha256_kernel() noexcept {
+#if defined(EYW_HAVE_SHANI_KERNEL)
+  static const bool usable = cpu_supports_sha_ni();
+  return usable ? &detail::shani_kernel_impl() : nullptr;
+#else
+  return nullptr;
+#endif
+}
+
+const Sha256Kernel& active_sha256_kernel() noexcept {
+  static const Sha256Kernel* chosen = resolve_active();
+  return *chosen;
+}
+
+}  // namespace eyw::crypto

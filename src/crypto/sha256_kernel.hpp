@@ -1,0 +1,50 @@
+// Runtime-dispatched SHA-256 compression kernels, mirroring the
+// Montgomery (crypto/mont_kernel.hpp) and sketch-cell
+// (sketch/sketch_kernel.hpp) arrangement: a portable scalar compression
+// that is always available and always right, plus an x86 SHA-NI
+// implementation selected by CPUID at first use.
+//
+// Why the compression function specifically: the per-round blinding hot
+// loop is counter-mode pad expansion — one SHA-256 compression per 32
+// output bytes, tens of thousands of compressions per reporter per
+// round (crypto/blinding.cpp). Everything above the compression (message
+// scheduling of the padded block, digest byte order) is shared, so the
+// kernels agree bit-for-bit by construction and finalize stays
+// bit-identical whichever backend runs.
+//
+// Contract:
+//   * `state` is the eight working variables a..h as uint32 words;
+//     `blocks` points at `count` contiguous 64-byte message blocks.
+//   * The function folds every block into `state` in order (the standard
+//     Merkle–Damgård chaining). No alignment requirement on `blocks`.
+//   * `EYW_SHA256_KERNEL=portable|shani|auto` overrides selection (read
+//     once); requesting an unavailable backend degrades to portable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eyw::crypto {
+
+struct Sha256Kernel {
+  void (*compress)(std::uint32_t state[8], const std::uint8_t* blocks,
+                   std::size_t count);
+  const char* name;  // "portable" | "shani"
+};
+
+/// The scalar FIPS 180-4 compression; always available, the differential
+/// oracle for every other backend.
+[[nodiscard]] const Sha256Kernel& portable_sha256_kernel() noexcept;
+
+/// The SHA-NI kernel, or nullptr when not compiled in or the CPU lacks
+/// the SHA extensions.
+[[nodiscard]] const Sha256Kernel* shani_sha256_kernel() noexcept;
+
+/// CPUID leaf 7 SHA-extensions probe (false on non-x86 builds).
+[[nodiscard]] bool cpu_supports_sha_ni() noexcept;
+
+/// The kernel every Sha256 instance uses, chosen once per process:
+/// SHA-NI when present unless EYW_SHA256_KERNEL=portable.
+[[nodiscard]] const Sha256Kernel& active_sha256_kernel() noexcept;
+
+}  // namespace eyw::crypto

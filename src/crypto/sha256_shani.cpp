@@ -1,0 +1,111 @@
+// SHA-NI SHA-256 compression — the one translation unit compiled with
+// -msha -msse4.1 (CMakeLists.txt). Never called unless CPUID reports the
+// SHA extensions (sha256_kernel.cpp gates dispatch), so the intrinsics
+// here cannot fault on older CPUs.
+//
+// The sha256rnds2 instruction runs two rounds per issue on the packed
+// (ABEF, CDGH) state layout; sha256msg1/msg2 do the message-schedule
+// sigma work four lanes at a time. One compression drops from ~64 scalar
+// round bodies to 32 rnds2 issues — the counter-mode pad expansion in
+// blinding goes roughly 5x faster, and the chaining math is the exact
+// FIPS 180-4 recurrence, so digests are bit-identical to the portable
+// loop.
+#include "crypto/sha256_kernel.hpp"
+
+#if defined(EYW_HAVE_SHANI_KERNEL)
+
+#include <immintrin.h>
+
+namespace eyw::crypto {
+namespace {
+
+alignas(16) constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+void shani_compress(std::uint32_t state[8], const std::uint8_t* blocks,
+                    std::size_t count) {
+  // Big-endian message words -> lane bytes.
+  const __m128i kSwap = _mm_set_epi64x(
+      static_cast<long long>(0x0c0d0e0f08090a0bULL),
+      static_cast<long long>(0x0405060700010203ULL));
+
+  // Repack a..h (two plain 4-word vectors) into the (ABEF, CDGH) layout
+  // sha256rnds2 works on.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);     // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);          // CDGH
+
+  while (count-- > 0) {
+    const __m128i save0 = state0;
+    const __m128i save1 = state1;
+
+    __m128i msg[4];
+    for (int i = 0; i < 4; ++i) {
+      msg[i] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 16 * i)),
+          kSwap);
+    }
+
+    // Sixteen 4-round groups. Group i consumes msg[i mod 4] (= W[4i..4i+3])
+    // and, while more schedule is needed, rotates the next vector forward:
+    //   W[4(i+1)..] = msg2( msg1(m[i+1], m[i+2]) + alignr(m[i], m[i+3], 4),
+    //                       m[i] )
+    // — the standard SHA-NI schedule recurrence, expressed once instead of
+    // unrolled sixteen times.
+    for (int i = 0; i < 16; ++i) {
+      __m128i m = _mm_add_epi32(
+          msg[i & 3],
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[4 * i])));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, m);
+      m = _mm_shuffle_epi32(m, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, m);
+      if (i >= 3 && i < 15) {
+        const __m128i carry =
+            _mm_alignr_epi8(msg[i & 3], msg[(i + 3) & 3], 4);
+        msg[(i + 1) & 3] = _mm_sha256msg2_epu32(
+            _mm_add_epi32(
+                _mm_sha256msg1_epu32(msg[(i + 1) & 3], msg[(i + 2) & 3]),
+                carry),
+            msg[i & 3]);
+      }
+    }
+
+    state0 = _mm_add_epi32(state0, save0);
+    state1 = _mm_add_epi32(state1, save1);
+    blocks += 64;
+  }
+
+  // Back to the plain a..h word order.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);     // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);  // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);         // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);            // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+constexpr Sha256Kernel kShani{shani_compress, "shani"};
+
+}  // namespace
+
+namespace detail {
+const Sha256Kernel& shani_kernel_impl() noexcept { return kShani; }
+}  // namespace detail
+
+}  // namespace eyw::crypto
+
+#endif  // EYW_HAVE_SHANI_KERNEL

@@ -1,0 +1,139 @@
+// Free-list of frame body buffers shared by a server's connections: the
+// reactor read path acquires a buffer per incoming frame, the consumer
+// (dispatcher worker, or the connection layer itself for frames answered
+// on the loop thread) releases it once the frame is handled, and
+// steady-state ingest recycles the same allocations instead of paying a
+// malloc/free pair per report.
+//
+// The pool is deliberately server-wide, not per-connection: reporters
+// churn (connect, submit, disconnect), and a pool tied to a connection's
+// lifetime would start cold every time — the soak scenario's
+// zero-miss-growth assertion (scenario/soak.cpp) only holds because
+// buffers survive the connections that filled them.
+//
+// Accounting: `hits` counts acquires served from the free list with
+// sufficient capacity (surfaced as `frames_pooled`), `misses` counts
+// acquires that had to allocate — an empty free list, or a recycled
+// buffer too small for the requested frame (surfaced as `pool_misses`).
+// After warmup, a steady workload of similar-sized frames drives misses
+// flat.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace eyw::proto {
+
+class BufferPool {
+ public:
+  struct Options {
+    /// Idle buffers retained; releases past the cap free their memory.
+    /// Sized to the deployment's in-flight high-water (the mux swarm
+    /// window holds ~2k frames between read and dispatch drain), not to
+    /// the connection count — a pool smaller than the in-flight depth
+    /// drops every recycle and misses on every acquire under load.
+    std::size_t max_buffers = 4096;
+    /// A returned buffer above this capacity is freed instead of pooled,
+    /// so one oversized frame (the cap is kMaxTcpFrameBytes) cannot pin
+    /// hundreds of megabytes in the free list forever.
+    std::size_t max_retained_bytes = 1 << 20;
+    /// Cap on the summed capacity parked in the free list; releases that
+    /// would push past it are freed instead of pooled. Bounds idle
+    /// memory by bytes (the quantity that matters) rather than count, so
+    /// max_buffers can track in-flight depth without a burst of
+    /// max_retained_bytes-sized frames pinning gigabytes.
+    std::size_t max_retained_total_bytes = 64 << 20;
+    /// Capacity floor for every allocation the pool makes. Without it, a
+    /// buffer first allocated for a tiny frame (a Hello) sits in the
+    /// free list undersized and pays a one-time capacity miss whenever it
+    /// surfaces under a full report — a miss trickle that takes unbounded
+    /// time to die out. With the floor, any buffer serves any frame of
+    /// the deployment's working sizes from its first recycle.
+    std::size_t min_buffer_bytes = 16 << 10;
+    /// Buffers allocated up front so a burst up to this depth never
+    /// misses. Makes steady-state miss counts deterministic for bounded
+    /// workloads: the soak scenario asserts zero miss growth, which must
+    /// not hinge on which round happened to set the in-flight high-water.
+    std::size_t prewarm_buffers = 32;
+  };
+
+  BufferPool() : BufferPool(Options()) {}
+  explicit BufferPool(Options options) : options_(options) {
+    const std::size_t warm =
+        std::min(options_.prewarm_buffers, options_.max_buffers);
+    free_.reserve(warm);
+    for (std::size_t i = 0; i < warm; ++i) {
+      std::vector<std::uint8_t> buf;
+      buf.reserve(options_.min_buffer_bytes);
+      free_bytes_ += buf.capacity();
+      free_.push_back(std::move(buf));
+    }
+  }
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A buffer resized to exactly `size`, recycled when possible. The
+  /// contents are unspecified — the caller overwrites every byte (the
+  /// assembler fills it from the socket before handing it anywhere).
+  [[nodiscard]] std::vector<std::uint8_t> acquire(std::size_t size) {
+    std::vector<std::uint8_t> buf;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        buf = std::move(free_.back());
+        free_.pop_back();
+        free_bytes_ -= buf.capacity();
+      }
+    }
+    if (buf.capacity() >= size) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      // Allocate at the floor so this buffer never misses again for any
+      // frame of the working size range.
+      buf.reserve(std::max(size, options_.min_buffer_bytes));
+    }
+    buf.resize(size);
+    return buf;
+  }
+
+  /// Return a consumed buffer from any thread. Degenerate buffers (no
+  /// backing allocation) and giants above the retention cap are dropped.
+  void release(std::vector<std::uint8_t>&& buf) noexcept {
+    if (buf.capacity() == 0 || buf.capacity() > options_.max_retained_bytes)
+      return;
+    buf.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() < options_.max_buffers &&
+        free_bytes_ + buf.capacity() <= options_.max_retained_total_bytes) {
+      free_bytes_ += buf.capacity();
+      free_.push_back(std::move(buf));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Buffers currently idle in the free list.
+  [[nodiscard]] std::size_t idle() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::size_t free_bytes_ = 0;  // summed capacity of free_, guarded by mu_
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace eyw::proto

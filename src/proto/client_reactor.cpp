@@ -512,12 +512,19 @@ struct ClientReactorImpl {
       ex.stream = stream;
       ChannelCore::StreamQ* q = nullptr;
       try {
-        std::vector<std::uint8_t> framed =
-            raw::with_prefix(add_stream(frame, stream));
+        // Retry keeps the un-wrapped version-1 bytes (the only copy on
+        // this path, and only when the caller asked for retries); the
+        // wrap itself is an in-place header patch — the encoder reserved
+        // mux headroom, so steady-state mux send allocates nothing. An
+        // externally produced buffer without headroom still works
+        // (mux_frame_with_prefix_inplace reallocates once), the copying
+        // add_stream form stays available for such callers.
         if (retries > 0) {
           ex.retries_left = retries;
-          ex.retry_frame = std::move(frame);
+          ex.retry_frame = frame;
         }
+        std::vector<std::uint8_t> framed = std::move(frame);
+        mux_frame_with_prefix_inplace(framed, stream);
         q = &c.streams[stream];
         q->outbox.push_back(std::move(framed));
         try {

@@ -3,10 +3,20 @@
 #include <algorithm>
 #include <cstring>
 
+#include "proto/buffer_pool.hpp"
+
 namespace eyw::proto {
 
-FrameAssembler::FrameAssembler(std::size_t max_frame_bytes)
-    : max_frame_bytes_(max_frame_bytes) {}
+FrameAssembler::FrameAssembler(std::size_t max_frame_bytes, BufferPool* pool)
+    : max_frame_bytes_(max_frame_bytes), pool_(pool) {}
+
+FrameAssembler::~FrameAssembler() {
+  if (pool_ == nullptr) return;
+  // release() drops capacity-0 vectors itself, so the common teardown at
+  // a frame boundary (body_ moved out, ready_ drained) is a no-op.
+  pool_->release(std::move(body_));
+  for (std::vector<std::uint8_t>& frame : ready_) pool_->release(std::move(frame));
+}
 
 bool FrameAssembler::feed(std::span<const std::uint8_t> chunk) {
   if (oversized_) return false;
@@ -33,7 +43,13 @@ bool FrameAssembler::feed(std::span<const std::uint8_t> chunk) {
         ++completed_;
         continue;
       }
-      body_.resize(len);
+      // Pooled mode recycles a prior frame's backing store here — the
+      // per-frame allocation the pool exists to remove. body_ is empty
+      // after the last completion's move, so acquire() replaces it.
+      if (pool_ != nullptr)
+        body_ = pool_->acquire(len);
+      else
+        body_.resize(len);
       body_got_ = 0;
       in_body_ = true;
     }

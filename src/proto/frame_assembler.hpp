@@ -23,11 +23,25 @@
 
 namespace eyw::proto {
 
+class BufferPool;
+
 class FrameAssembler {
  public:
   /// `max_frame_bytes` caps the declared length of a single frame
-  /// (normally kMaxTcpFrameBytes; tests shrink it).
-  explicit FrameAssembler(std::size_t max_frame_bytes);
+  /// (normally kMaxTcpFrameBytes; tests shrink it). With a `pool`, body
+  /// buffers are acquired from it instead of allocated per frame; the
+  /// frames popped by next() then belong to that pool's recycling loop —
+  /// whoever consumes them should release() them back.
+  explicit FrameAssembler(std::size_t max_frame_bytes,
+                          BufferPool* pool = nullptr);
+
+  /// Pooled buffers still held here (a body mid-assembly, completed
+  /// frames never popped) go back to the pool — a connection that dies
+  /// mid-exchange must not bleed buffers out of the recycling loop.
+  ~FrameAssembler();
+
+  FrameAssembler(FrameAssembler&&) noexcept = default;
+  FrameAssembler& operator=(FrameAssembler&&) noexcept = default;
 
   /// Consume a chunk of stream bytes. Complete frames (including legal
   /// zero-length ones) queue up for next(). Returns false — and consumes
@@ -60,6 +74,7 @@ class FrameAssembler {
 
  private:
   std::size_t max_frame_bytes_;
+  BufferPool* pool_;  // not owned; may be null (plain allocation)
   std::uint8_t prefix_[4] = {};
   std::size_t prefix_got_ = 0;
   bool in_body_ = false;

@@ -1,6 +1,7 @@
 #include "proto/message.hpp"
 
 #include <bit>
+#include <cstring>
 
 namespace eyw::proto {
 
@@ -15,11 +16,15 @@ bool known_version(std::uint16_t v) {
   return v == kProtoVersion || v == kProtoVersionMux;
 }
 
-void require_kind(const Envelope& env, MsgKind want) {
+void require_kind(const EnvelopeView& env, MsgKind want) {
   if (env.kind != want)
     throw ProtoError(ErrorCode::kUnknownKind,
                      std::string("decode: expected ") + to_string(want) +
                          ", got " + to_string(env.kind));
+}
+
+void require_kind(const Envelope& env, MsgKind want) {
+  require_kind(as_view(env), want);
 }
 
 /// Shared body of the two element-vector messages (roster, OPRF batches):
@@ -82,7 +87,7 @@ std::vector<std::uint8_t> encode_cells_body(MsgKind kind,
   return encode_envelope(kind, participant, round, payload);
 }
 
-CellsBody decode_cells_body(const Envelope& env, const char* what) {
+CellsBody decode_cells_body(const EnvelopeView& env, const char* what) {
   WireReader r(env.payload);
   CellsBody body;
   body.participant = r.u32();
@@ -143,7 +148,10 @@ std::vector<std::uint8_t> encode_envelope(
     std::span<const std::uint8_t> payload) {
   if (payload.size() > kMaxPayloadBytes)
     throw ProtoError(ErrorCode::kOversized, "encode_envelope: payload too big");
-  WireWriter w(kEnvelopeHeaderBytes + payload.size());
+  // The extra capacity lets the mux write path splice in a stream id and a
+  // length prefix without reallocating (mux_frame_with_prefix_inplace);
+  // the encoded bytes themselves are unchanged.
+  WireWriter w(kEnvelopeHeaderBytes + payload.size() + kMuxHeadroomBytes);
   w.u32(kEnvelopeMagic);
   w.u16(kProtoVersion);
   w.u16(static_cast<std::uint16_t>(kind));
@@ -154,7 +162,7 @@ std::vector<std::uint8_t> encode_envelope(
   return w.take();
 }
 
-Envelope decode_envelope(std::span<const std::uint8_t> bytes) {
+EnvelopeView decode_envelope_view(std::span<const std::uint8_t> bytes) {
   WireReader r(bytes);
   if (r.u32() != kEnvelopeMagic)
     throw ProtoError(ErrorCode::kBadMagic, "decode_envelope: bad magic");
@@ -166,7 +174,7 @@ Envelope decode_envelope(std::span<const std::uint8_t> bytes) {
   if (!known_kind(kind))
     throw ProtoError(ErrorCode::kUnknownKind,
                      "decode_envelope: unknown message kind");
-  Envelope env;
+  EnvelopeView env;
   env.kind = static_cast<MsgKind>(kind);
   env.sender = r.u32();
   env.round = r.u64();
@@ -180,8 +188,19 @@ Envelope decode_envelope(std::span<const std::uint8_t> bytes) {
                                             : ErrorCode::kTrailingBytes,
                      "decode_envelope: payload length mismatch");
   }
-  const auto payload = r.bytes(length);
-  env.payload.assign(payload.begin(), payload.end());
+  env.payload = r.bytes(length);
+  env.raw = bytes;
+  return env;
+}
+
+Envelope decode_envelope(std::span<const std::uint8_t> bytes) {
+  const EnvelopeView v = decode_envelope_view(bytes);
+  Envelope env;
+  env.kind = v.kind;
+  env.sender = v.sender;
+  env.round = v.round;
+  env.stream = v.stream;
+  env.payload.assign(v.payload.begin(), v.payload.end());
   return env;
 }
 
@@ -267,6 +286,78 @@ StrippedFrame strip_stream(std::span<const std::uint8_t> frame) {
   return out;
 }
 
+namespace {
+
+void require_v1_frame(const std::vector<std::uint8_t>& frame,
+                      const char* what) {
+  if (frame.size() < kEnvelopeHeaderBytes)
+    throw ProtoError(ErrorCode::kTruncated, std::string(what) + ": short frame");
+  if (static_cast<std::uint16_t>(frame[4] | (frame[5] << 8)) != kProtoVersion)
+    throw ProtoError(ErrorCode::kBadVersion,
+                     std::string(what) + ": input is not a version-1 frame");
+}
+
+void put_u32_at(std::vector<std::uint8_t>& frame, std::size_t off,
+                std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    frame[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+}  // namespace
+
+void add_stream_inplace(std::vector<std::uint8_t>& frame,
+                        std::uint32_t stream) {
+  require_v1_frame(frame, "add_stream");
+  const std::size_t payload = frame.size() - kEnvelopeHeaderBytes;
+  frame.resize(frame.size() + 4);
+  std::memmove(frame.data() + kMuxEnvelopeHeaderBytes,
+               frame.data() + kEnvelopeHeaderBytes, payload);
+  frame[4] = static_cast<std::uint8_t>(kProtoVersionMux);
+  frame[5] = static_cast<std::uint8_t>(kProtoVersionMux >> 8);
+  put_u32_at(frame, kEnvelopeHeaderBytes, stream);
+}
+
+std::uint32_t strip_stream_inplace(std::vector<std::uint8_t>& frame) {
+  if (frame.size() < kEnvelopeHeaderBytes)
+    throw ProtoError(ErrorCode::kTruncated, "strip_stream: short frame");
+  const auto version = static_cast<std::uint16_t>(frame[4] | (frame[5] << 8));
+  if (version == kProtoVersion) return 0;  // legacy frame on a mux connection
+  if (version != kProtoVersionMux)
+    throw ProtoError(ErrorCode::kBadVersion, "strip_stream: unknown version");
+  if (frame.size() < kMuxEnvelopeHeaderBytes)
+    throw ProtoError(ErrorCode::kTruncated,
+                     "strip_stream: header ends before the stream id");
+  const std::uint32_t stream =
+      static_cast<std::uint32_t>(frame[24]) | (frame[25] << 8) |
+      (frame[26] << 16) | (static_cast<std::uint32_t>(frame[27]) << 24);
+  std::memmove(frame.data() + kEnvelopeHeaderBytes,
+               frame.data() + kMuxEnvelopeHeaderBytes,
+               frame.size() - kMuxEnvelopeHeaderBytes);
+  frame.resize(frame.size() - 4);
+  frame[4] = static_cast<std::uint8_t>(kProtoVersion);
+  frame[5] = static_cast<std::uint8_t>(kProtoVersion >> 8);
+  return stream;
+}
+
+void mux_frame_with_prefix_inplace(std::vector<std::uint8_t>& frame,
+                                   std::uint32_t stream) {
+  require_v1_frame(frame, "add_stream");
+  // One back-to-front pass: payload up 8 (past prefix + stream slots),
+  // header up 4 (past the prefix), then fill prefix, version and stream.
+  const std::size_t payload = frame.size() - kEnvelopeHeaderBytes;
+  const std::uint32_t framed_len =
+      static_cast<std::uint32_t>(frame.size() + 4);  // v2 frame = v1 + stream
+  frame.resize(frame.size() + kMuxHeadroomBytes);
+  std::memmove(frame.data() + 4 + kMuxEnvelopeHeaderBytes,
+               frame.data() + kEnvelopeHeaderBytes, payload);
+  std::memmove(frame.data() + 4, frame.data(), kEnvelopeHeaderBytes);
+  put_u32_at(frame, 0, framed_len);
+  frame[4 + 4] = static_cast<std::uint8_t>(kProtoVersionMux);
+  frame[4 + 5] = static_cast<std::uint8_t>(kProtoVersionMux >> 8);
+  put_u32_at(frame, 4 + kEnvelopeHeaderBytes, stream);
+}
+
 // ------------------------------------------------------------ RosterAnnounce
 
 std::vector<std::uint8_t> RosterAnnounce::encode(std::uint64_t round) const {
@@ -294,7 +385,7 @@ std::vector<std::uint8_t> BlindedReport::encode(std::uint64_t round) const {
                            cells);
 }
 
-BlindedReport BlindedReport::decode(const Envelope& env) {
+BlindedReport BlindedReport::decode(const EnvelopeView& env) {
   require_kind(env, MsgKind::kBlindedReport);
   auto body = decode_cells_body(env, "blinded-report");
   return {body.participant, body.params, std::move(body.cells)};
@@ -335,7 +426,7 @@ std::vector<std::uint8_t> Adjustment::encode(std::uint64_t round) const {
                            cells);
 }
 
-Adjustment Adjustment::decode(const Envelope& env) {
+Adjustment Adjustment::decode(const EnvelopeView& env) {
   require_kind(env, MsgKind::kAdjustment);
   auto body = decode_cells_body(env, "adjustment");
   return {body.participant, body.params, std::move(body.cells)};
@@ -374,7 +465,7 @@ std::vector<std::uint8_t> OprfEvalRequest::encode(std::uint32_t sender) const {
                          payload);
 }
 
-OprfEvalRequest OprfEvalRequest::decode(const Envelope& env) {
+OprfEvalRequest OprfEvalRequest::decode(const EnvelopeView& env) {
   require_kind(env, MsgKind::kOprfEvalRequest);
   WireReader r(env.payload);
   OprfEvalRequest out;
@@ -414,18 +505,25 @@ std::vector<std::uint8_t> ShardedSubmit::encode(std::uint32_t sender,
   return encode_envelope(MsgKind::kShardedSubmit, sender, round, payload);
 }
 
-ShardedSubmit ShardedSubmit::decode(const Envelope& env) {
+ShardedSubmitView decode_sharded_view(const EnvelopeView& env) {
   require_kind(env, MsgKind::kShardedSubmit);
   WireReader r(env.payload);
-  ShardedSubmit out;
+  ShardedSubmitView out;
   out.shard = r.u32();
   const std::uint32_t inner_len = r.u32();
   if (inner_len != r.remaining())
     throw ProtoError(inner_len > r.remaining() ? ErrorCode::kTruncated
                                                : ErrorCode::kTrailingBytes,
                      "sharded-submit: inner length mismatch");
-  const auto inner = r.bytes(inner_len);
-  out.inner.assign(inner.begin(), inner.end());
+  out.inner = r.bytes(inner_len);
+  return out;
+}
+
+ShardedSubmit ShardedSubmit::decode(const Envelope& env) {
+  const ShardedSubmitView v = decode_sharded_view(as_view(env));
+  ShardedSubmit out;
+  out.shard = v.shard;
+  out.inner.assign(v.inner.begin(), v.inner.end());
   return out;
 }
 
@@ -438,7 +536,7 @@ std::vector<std::uint8_t> BeginRound::encode(std::uint64_t round) const {
   return encode_envelope(MsgKind::kBeginRound, kServerSender, round, payload);
 }
 
-BeginRound BeginRound::decode(const Envelope& env) {
+BeginRound BeginRound::decode(const EnvelopeView& env) {
   require_kind(env, MsgKind::kBeginRound);
   WireReader r(env.payload);
   BeginRound out;
@@ -547,7 +645,7 @@ std::vector<std::uint8_t> Hello::encode(std::uint32_t sender) const {
   return encode_envelope(MsgKind::kHello, sender, /*round=*/0, payload);
 }
 
-Hello Hello::decode(const Envelope& env) {
+Hello Hello::decode(const EnvelopeView& env) {
   require_kind(env, MsgKind::kHello);
   WireReader r(env.payload);
   Hello out;

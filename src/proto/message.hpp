@@ -84,14 +84,31 @@ enum class MsgKind : std::uint16_t {
 
 [[nodiscard]] const char* to_string(MsgKind kind) noexcept;
 
-/// A decoded envelope: validated header plus the raw payload bytes.
-/// `stream` is 0 for version-1 frames; nonzero only on mux connections.
+/// A decoded envelope: validated header plus an owned copy of the payload
+/// bytes. `stream` is 0 for version-1 frames; nonzero only on mux
+/// connections.
 struct Envelope {
   MsgKind kind = MsgKind::kAck;
   std::uint32_t sender = 0;
   std::uint64_t round = 0;
   std::uint32_t stream = 0;
   std::vector<std::uint8_t> payload;
+};
+
+/// The zero-copy form of Envelope: a validated header plus spans into the
+/// frame bytes the view was decoded from. This is what the server ingest
+/// path routes on — payloads are never copied between the socket buffer
+/// and the sketch decoder. The view borrows `bytes`; it must not outlive
+/// the frame buffer.
+struct EnvelopeView {
+  MsgKind kind = MsgKind::kAck;
+  std::uint32_t sender = 0;
+  std::uint64_t round = 0;
+  std::uint32_t stream = 0;
+  std::span<const std::uint8_t> payload;
+  /// The complete frame the view was decoded from — for a version-1 frame
+  /// these are exactly the canonical bytes the journal records.
+  std::span<const std::uint8_t> raw;
 };
 
 inline constexpr std::size_t kEnvelopeHeaderBytes = 4 + 2 + 2 + 4 + 8 + 4;
@@ -108,6 +125,12 @@ inline constexpr std::uint32_t kCapMux = 0x1;  // version-2 stream envelopes
 /// Parse and validate an envelope. Throws ProtoError (kBadMagic,
 /// kBadVersion, kUnknownKind, kTruncated, kTrailingBytes, kOversized).
 [[nodiscard]] Envelope decode_envelope(std::span<const std::uint8_t> bytes);
+
+/// Parse and validate an envelope without copying the payload: the same
+/// checks and throws as decode_envelope, but the returned view borrows
+/// `bytes`. The decode entry point of the server's per-report hot path.
+[[nodiscard]] EnvelopeView decode_envelope_view(
+    std::span<const std::uint8_t> bytes);
 
 /// Read just the kind from an envelope's fixed header — no payload copy,
 /// no throw. Empty when the header is short, the magic/version is wrong,
@@ -157,10 +180,52 @@ struct StrippedFrame {
 /// lane). Throws ProtoError on a short frame or an unknown version.
 [[nodiscard]] StrippedFrame strip_stream(std::span<const std::uint8_t> frame);
 
+/// Capacity headroom encode_envelope reserves beyond the encoded size: a
+/// 4-byte stream id plus a 4-byte TCP length prefix, so the mux write path
+/// can transform a freshly encoded version-1 frame in place without a
+/// single allocation. Headroom is capacity only — no wire byte changes.
+inline constexpr std::size_t kMuxHeadroomBytes = 8;
+
+/// add_stream operating on the owned frame in place: grows `frame` by 4,
+/// shifts the payload up, patches the version, writes the stream id at the
+/// header tail. Allocation-free whenever the vector has 4 bytes of spare
+/// capacity (encode_envelope reserves kMuxHeadroomBytes). Same validation
+/// and throws as add_stream; `frame` is unchanged on throw.
+void add_stream_inplace(std::vector<std::uint8_t>& frame,
+                        std::uint32_t stream);
+
+/// strip_stream operating on the owned frame in place: removes the stream
+/// id, restores version 1, returns the stream (0 for a version-1 input,
+/// which passes through untouched). Never allocates — the frame only
+/// shrinks. Same validation and throws as strip_stream; `frame` is
+/// unchanged on throw.
+std::uint32_t strip_stream_inplace(std::vector<std::uint8_t>& frame);
+
+/// The client mux send-path fast form: turns an owned version-1 frame into
+/// [4-byte LE length prefix][version-2 frame carrying `stream`] in one
+/// pass (the prefix layout of raw_frame_io's with_prefix). Grows the
+/// vector by kMuxHeadroomBytes; allocation-free whenever capacity permits,
+/// which encode_envelope guarantees for every frame it produced.
+void mux_frame_with_prefix_inplace(std::vector<std::uint8_t>& frame,
+                                   std::uint32_t stream);
+
 // ---------------------------------------------------------------- messages
 // Each message encodes itself into a complete envelope and decodes from a
 // validated Envelope (throwing ProtoError on kind mismatch or a malformed
-// payload).
+// payload). The kinds a server endpoint dispatches on the ingest path
+// additionally decode from an EnvelopeView, so the hot path never copies
+// the payload out of the socket buffer.
+
+/// Borrow an owned Envelope as a view. `raw` is empty — the frame bytes
+/// the Envelope was decoded from are gone once the payload was copied.
+[[nodiscard]] inline EnvelopeView as_view(const Envelope& env) noexcept {
+  return {env.kind,
+          env.sender,
+          env.round,
+          env.stream,
+          {env.payload.data(), env.payload.size()},
+          {}};
+}
 
 /// The DH public-key bulletin board for one round's roster.
 struct RosterAnnounce {
@@ -179,7 +244,10 @@ struct BlindedReport {
   std::vector<std::uint32_t> cells;
 
   [[nodiscard]] std::vector<std::uint8_t> encode(std::uint64_t round) const;
-  [[nodiscard]] static BlindedReport decode(const Envelope& env);
+  [[nodiscard]] static BlindedReport decode(const EnvelopeView& env);
+  [[nodiscard]] static BlindedReport decode(const Envelope& env) {
+    return decode(as_view(env));
+  }
 };
 
 /// Server -> reporters: the missing-participant list of the adjustment
@@ -199,7 +267,10 @@ struct Adjustment {
   std::vector<std::uint32_t> cells;
 
   [[nodiscard]] std::vector<std::uint8_t> encode(std::uint64_t round) const;
-  [[nodiscard]] static Adjustment decode(const Envelope& env);
+  [[nodiscard]] static Adjustment decode(const EnvelopeView& env);
+  [[nodiscard]] static Adjustment decode(const Envelope& env) {
+    return decode(as_view(env));
+  }
 };
 
 /// The per-round result distributed back to every client.
@@ -220,7 +291,10 @@ struct OprfEvalRequest {
   std::vector<crypto::Bignum> elements;
 
   [[nodiscard]] std::vector<std::uint8_t> encode(std::uint32_t sender) const;
-  [[nodiscard]] static OprfEvalRequest decode(const Envelope& env);
+  [[nodiscard]] static OprfEvalRequest decode(const EnvelopeView& env);
+  [[nodiscard]] static OprfEvalRequest decode(const Envelope& env) {
+    return decode(as_view(env));
+  }
 };
 
 /// Batch OPRF response: element i evaluates request element i.
@@ -243,13 +317,26 @@ struct ShardedSubmit {
   [[nodiscard]] static ShardedSubmit decode(const Envelope& env);
 };
 
+/// Zero-copy form of ShardedSubmit::decode: `inner` borrows the outer
+/// frame's payload bytes — the shard dispatches the inner envelope (and
+/// journals it) without the wrapper ever being peeled into a copy.
+struct ShardedSubmitView {
+  std::uint32_t shard = 0;
+  std::span<const std::uint8_t> inner;
+};
+
+[[nodiscard]] ShardedSubmitView decode_sharded_view(const EnvelopeView& env);
+
 /// Operator -> back-end: open reporting round `round` (envelope header)
 /// for a roster of `roster` clients.
 struct BeginRound {
   std::uint32_t roster = 0;
 
   [[nodiscard]] std::vector<std::uint8_t> encode(std::uint64_t round) const;
-  [[nodiscard]] static BeginRound decode(const Envelope& env);
+  [[nodiscard]] static BeginRound decode(const EnvelopeView& env);
+  [[nodiscard]] static BeginRound decode(const Envelope& env) {
+    return decode(as_view(env));
+  }
 };
 
 /// Back-end -> operator: the indices that have not reported (reply to
@@ -304,7 +391,10 @@ struct Hello {
   std::uint32_t capabilities = 0;
 
   [[nodiscard]] std::vector<std::uint8_t> encode(std::uint32_t sender) const;
-  [[nodiscard]] static Hello decode(const Envelope& env);
+  [[nodiscard]] static Hello decode(const EnvelopeView& env);
+  [[nodiscard]] static Hello decode(const Envelope& env) {
+    return decode(as_view(env));
+  }
 };
 
 // Payload-free control requests. Decoders are not needed — endpoints

@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "proto/backoff.hpp"
+#include "proto/buffer_pool.hpp"
 #include "proto/frame_assembler.hpp"
 #include "proto/reactor.hpp"
 
@@ -345,9 +346,12 @@ struct FrameServer::Impl {
   };
 
   struct Conn {
+    explicit Conn(BufferPool* pool)
+        : assembler(kMaxTcpFrameBytes, pool) {}
+
     int fd = -1;
     std::uint64_t gen = 0;
-    FrameAssembler assembler{kMaxTcpFrameBytes};
+    FrameAssembler assembler;
     std::vector<std::uint8_t> out;  // framed reply/replies being written
     std::size_t out_off = 0;
     bool handler_pending = false;
@@ -382,6 +386,10 @@ struct FrameServer::Impl {
 
   AsyncFrameHandler handler;
   FrameServerOptions options;
+  /// Server-wide frame body pool (see buffer_pool.hpp for why it is not
+  /// per-connection). shared_ptr because frame_recycler() closures and
+  /// the sync-handler wrapper must outlive this Impl.
+  std::shared_ptr<BufferPool> pool;
   int listen_fd = -1;
   std::uint16_t port = 0;
   std::vector<std::unique_ptr<Shard>> shards;
@@ -396,9 +404,14 @@ struct FrameServer::Impl {
   std::atomic<std::uint64_t> deadline_drops{0};
   std::atomic<std::uint64_t> mux_connections{0};
   std::atomic<std::uint64_t> streams_shed{0};
+  std::atomic<std::uint64_t> bytes_copied{0};
 
-  Impl(AsyncFrameHandler h, FrameServerOptions opts)
-      : handler(std::move(h)), options(std::move(opts)) {
+  Impl(AsyncFrameHandler h, FrameServerOptions opts,
+       std::shared_ptr<BufferPool> pool_in)
+      : handler(std::move(h)),
+        options(std::move(opts)),
+        pool(std::move(pool_in)) {
+    if (!pool) pool = std::make_shared<BufferPool>();
     if (!handler) throw std::invalid_argument("FrameServer: null handler");
     if (options.max_connections == 0)
       throw std::invalid_argument("FrameServer: max_connections == 0");
@@ -542,7 +555,7 @@ struct FrameServer::Impl {
   }
 
   void adopt(Shard& s, int fd) {
-    auto conn = std::make_unique<Conn>();
+    auto conn = std::make_unique<Conn>(pool.get());
     conn->fd = fd;
     conn->gen = s.next_gen++;
     conn->interest = EPOLLIN | EPOLLRDHUP;
@@ -570,6 +583,12 @@ struct FrameServer::Impl {
     const auto it = s.conns.find(fd);
     if (it == s.conns.end()) return;
     Conn& c = *it->second;
+    // Frames queued behind an in-flight stream handler die with the
+    // connection — recycle their buffers instead of leaking them out of
+    // the pool (shed markers hold an empty vector; release drops those).
+    for (auto& [stream, st] : c.streams)
+      for (StreamState::Work& work : st.queue)
+        pool->release(std::move(work.frame));
     if (c.deadline_armed) s.reactor.cancel_deadline(c.deadline);
     s.reactor.remove_fd(fd);
     ::close(fd);
@@ -622,13 +641,28 @@ struct FrameServer::Impl {
     return true;
   }
 
+  /// Append `4-byte LE length | reply` to the connection's write buffer —
+  /// in place, so the writer reuses its grown capacity frame after frame
+  /// instead of materializing a fresh prefixed vector per reply.
+  static void append_framed(std::vector<std::uint8_t>& out,
+                            std::span<const std::uint8_t> reply) {
+    const auto len = static_cast<std::uint32_t>(reply.size());
+    const std::uint8_t prefix[4] = {
+        static_cast<std::uint8_t>(len), static_cast<std::uint8_t>(len >> 8),
+        static_cast<std::uint8_t>(len >> 16),
+        static_cast<std::uint8_t>(len >> 24)};
+    out.insert(out.end(), prefix, prefix + 4);
+    out.insert(out.end(), reply.begin(), reply.end());
+  }
+
   void enqueue_reply(Shard& s, Conn& c, std::span<const std::uint8_t> reply) {
     if (!reply.empty()) {
       s.msgs_out.fetch_add(1, std::memory_order_relaxed);
       s.bytes_out.fetch_add(reply.size(), std::memory_order_relaxed);
     }
-    c.out = frame_with_prefix(reply);  // empty reply = 4-byte zero prefix
+    c.out.clear();  // keeps capacity: one steady-state buffer per conn
     c.out_off = 0;
+    append_framed(c.out, reply);  // empty reply = 4-byte zero prefix
   }
 
   /// Mux reply path: APPENDS to the out buffer (several streams' replies
@@ -649,19 +683,26 @@ struct FrameServer::Impl {
                   c.out.begin() + static_cast<std::ptrdiff_t>(c.out_off));
       c.out_off = 0;
     }
-    const auto framed = frame_with_prefix(reply);
-    c.out.insert(c.out.end(), framed.begin(), framed.end());
+    append_framed(c.out, reply);
   }
 
   /// Wrap a version-1 reply back onto its stream (stream 0 = the legacy
   /// lane, sent un-wrapped) and append it to the connection's writer.
+  /// Takes the reply by value: the stream id is patched in place, which
+  /// is free when the encoder reserved mux headroom (every encoder in
+  /// this repo does — message.cpp encode_envelope). A foreign buffer
+  /// without headroom still works, it just pays the reallocation the
+  /// bytes_copied gauge counts.
   void append_reply_wrapped(Shard& s, Conn& c, std::uint32_t stream,
-                            std::span<const std::uint8_t> reply) {
+                            std::vector<std::uint8_t> reply) {
     if (reply.empty() || stream == 0) {
       append_reply(s, c, reply);
       return;
     }
-    append_reply(s, c, add_stream(reply, stream));
+    if (reply.capacity() < reply.size() + sizeof(std::uint32_t))
+      bytes_copied.fetch_add(reply.size(), std::memory_order_relaxed);
+    add_stream_inplace(reply, stream);
+    append_reply(s, c, reply);
   }
 
   // -------------------------------------------- mux mode (loop thread)
@@ -691,50 +732,58 @@ struct FrameServer::Impl {
                          Hello{.capabilities = caps}.encode(0));
   }
 
-  /// Route one complete frame on a mux connection: strip the stream id,
-  /// then either dispatch it (stream idle), queue it behind the stream's
+  /// Route one complete frame on a mux connection: strip the stream id —
+  /// an in-place header patch on the pooled buffer, not a copy — then
+  /// either dispatch it (stream idle), queue it behind the stream's
   /// in-flight handler, or shed it (stream id above the cap, or backlog
   /// full). Everything downstream of this point sees version-1 bytes.
+  /// Frames that die here (hello, sheds, errors) go back to the pool;
+  /// dispatched frames come back through the consumer's recycler.
   void on_mux_frame(Shard& s, Conn& c, std::vector<std::uint8_t> frame) {
-    StrippedFrame sf;
+    std::uint32_t stream = 0;
     try {
-      sf = strip_stream(frame);
+      stream = strip_stream_inplace(frame);
     } catch (const ProtoError& e) {
       // Unattributable (the stream field itself is broken): answer on the
       // legacy lane. The length framing is intact, so the socket is still
-      // synchronized.
+      // synchronized. strip_stream_inplace leaves the frame untouched on
+      // throw, so the buffer is clean to recycle.
       append_reply(
           s, c, ErrorReply{.code = e.code(), .detail = e.what()}.encode());
+      pool->release(std::move(frame));
       return;
     }
-    if (peek_kind(sf.frame) == MsgKind::kHello) {
-      answer_hello(s, c, sf.stream, sf.frame);
+    if (peek_kind(frame) == MsgKind::kHello) {
+      answer_hello(s, c, stream, frame);
+      pool->release(std::move(frame));
       return;
     }
-    if (sf.stream > options.max_streams_per_connection) {
+    if (stream > options.max_streams_per_connection) {
       // Permanent for this connection — deliberately no retry hint, a
       // client must open another connection for more channels.
       streams_shed.fetch_add(1, std::memory_order_relaxed);
       append_reply_wrapped(
-          s, c, sf.stream,
+          s, c, stream,
           ErrorReply{.code = ErrorCode::kUnavailable,
                      .detail = "stream id above per-connection cap"}
               .encode());
+      pool->release(std::move(frame));
       return;
     }
-    StreamState& st = c.streams[sf.stream];
+    StreamState& st = c.streams[stream];
     if (st.handler_pending || !st.queue.empty()) {
       if (st.queue.size() >= options.max_stream_backlog) {
         // Shed now (the payload is the load), refuse in order (a marker).
         streams_shed.fetch_add(1, std::memory_order_relaxed);
         st.queue.push_back(StreamState::Work{.frame = {}, .shed = true});
+        pool->release(std::move(frame));
       } else {
         st.queue.push_back(
-            StreamState::Work{.frame = std::move(sf.frame), .shed = false});
+            StreamState::Work{.frame = std::move(frame), .shed = false});
       }
       return;
     }
-    dispatch_stream(s, c, sf.stream, st, std::move(sf.frame));
+    dispatch_stream(s, c, stream, st, std::move(frame));
   }
 
   void dispatch_stream(Shard& s, Conn& c, std::uint32_t stream,
@@ -803,7 +852,7 @@ struct FrameServer::Impl {
     StreamState& st = sit->second;
     st.handler_pending = false;
     if (c.mux_inflight > 0) --c.mux_inflight;
-    append_reply_wrapped(s, c, stream, reply);
+    append_reply_wrapped(s, c, stream, std::move(reply));
     advance_stream(s, c, stream, st);
     // Reap idle stream state so a long-lived connection cycling through
     // many logical channels stays O(active streams), not O(ever-used).
@@ -898,8 +947,10 @@ struct FrameServer::Impl {
         } else if (peek_kind(*frame) == MsgKind::kHello) {
           // Capability handshake, answered at the connection layer; on an
           // un-negotiated connection every other frame takes the exact
-          // pre-mux path below.
+          // pre-mux path below. Answered frames die here, so their
+          // buffers recycle here too.
           answer_hello(s, *c, 0, *frame);
+          pool->release(std::move(*frame));
         } else {
           dispatch(s, *c, std::move(*frame));
         }
@@ -1006,20 +1057,27 @@ struct FrameServer::Impl {
         mux_connections.load(std::memory_order_relaxed);
     total.reactor.streams_shed =
         streams_shed.load(std::memory_order_relaxed);
+    total.reactor.frames_pooled = pool->hits();
+    total.reactor.pool_misses = pool->misses();
+    total.reactor.bytes_copied_ingest =
+        bytes_copied.load(std::memory_order_relaxed);
     return total;
   }
 };
 
 namespace {
 
-AsyncFrameHandler wrap_sync(FrameHandler handler) {
+AsyncFrameHandler wrap_sync(FrameHandler handler,
+                            std::shared_ptr<BufferPool> pool) {
   if (!handler) throw std::invalid_argument("FrameServer: null handler");
   // Runs on the shard loop thread; exceptions map to Error(kInternal)
   // exactly as the thread-per-connection server did. The completion fires
   // inline — Reactor::post makes that safe (the reply is processed later
-  // in the same loop iteration).
-  return [handler = std::move(handler)](std::vector<std::uint8_t> frame,
-                                        CompletionFn done) {
+  // in the same loop iteration). The frame dies in this wrapper, so this
+  // is also where its buffer returns to the pool — a sync-handler server
+  // recycles without any external recycler wiring.
+  return [handler = std::move(handler), pool = std::move(pool)](
+             std::vector<std::uint8_t> frame, CompletionFn done) {
     std::vector<std::uint8_t> reply;
     try {
       reply = handler(frame);
@@ -1027,18 +1085,25 @@ AsyncFrameHandler wrap_sync(FrameHandler handler) {
       reply = ErrorReply{.code = ErrorCode::kInternal, .detail = e.what()}
                   .encode();
     }
+    pool->release(std::move(frame));
     done(std::move(reply));
   };
 }
 
 }  // namespace
 
-FrameServer::FrameServer(FrameHandler handler, FrameServerOptions options)
-    : FrameServer(wrap_sync(std::move(handler)), std::move(options)) {}
+FrameServer::FrameServer(FrameHandler handler, FrameServerOptions options) {
+  auto pool = std::make_shared<BufferPool>();
+  impl_ = std::make_shared<Impl>(wrap_sync(std::move(handler), pool),
+                                 std::move(options), std::move(pool));
+  impl_->self = impl_;
+  impl_->start();
+}
 
 FrameServer::FrameServer(AsyncFrameHandler handler,
                          FrameServerOptions options) {
-  impl_ = std::make_shared<Impl>(std::move(handler), std::move(options));
+  impl_ = std::make_shared<Impl>(std::move(handler), std::move(options),
+                                 nullptr);
   impl_->self = impl_;
   impl_->start();
 }
@@ -1052,6 +1117,12 @@ std::uint16_t FrameServer::port() const noexcept { return impl_->port; }
 void FrameServer::stop() { impl_->stop(); }
 
 FrameServerStats FrameServer::stats() const { return impl_->stats(); }
+
+FrameRecycler FrameServer::frame_recycler() const {
+  return [pool = impl_->pool](std::vector<std::uint8_t>&& frame) {
+    pool->release(std::move(frame));
+  };
+}
 
 std::size_t FrameServer::active_connections() const noexcept {
   return impl_->active.load(std::memory_order_relaxed);

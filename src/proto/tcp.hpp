@@ -116,6 +116,21 @@ struct ReactorCounters {
   /// backlog hit max_stream_backlog. Dispatcher-lane sheds are counted by
   /// the dispatcher, not here.
   std::uint64_t streams_shed = 0;
+  /// Frame body buffers served from the server's BufferPool (recycled
+  /// allocations). Grows once per pooled frame — the companion to
+  /// pool_misses, which should go flat once the pool is warm.
+  std::uint64_t frames_pooled = 0;
+  /// Frame acquisitions the pool could not serve (empty free list, or no
+  /// recycled buffer large enough): each one is a real heap allocation on
+  /// the ingest path. Flat after warmup under a steady workload; the soak
+  /// scenario asserts exactly that.
+  std::uint64_t pool_misses = 0;
+  /// Bytes relocated by copying fallbacks on the ingest/reply path — a
+  /// reply without mux headroom forcing add_stream to reallocate, for
+  /// instance. Frames produced by this repo's encoders always carry
+  /// headroom, so this stays 0 (and flat in the soak assertion); growth
+  /// means an externally produced buffer is riding the slow path.
+  std::uint64_t bytes_copied_ingest = 0;
 };
 
 /// FrameServer::stats(): the familiar envelope-byte TransportStats plus
@@ -221,6 +236,14 @@ class FrameServer {
   /// client side — plus the reactor counters (admission, deadline drops,
   /// eventfd wakeups).
   [[nodiscard]] FrameServerStats stats() const;
+
+  /// Closure returning a consumed frame's buffer to this server's pool.
+  /// Wire it into whatever consumes the handler's frames (typically
+  /// server::AsyncDispatcher::set_frame_recycler) so steady-state ingest
+  /// recycles buffers; without it the pool simply misses on every frame
+  /// (seed behavior). The closure co-owns the pool, so it stays valid
+  /// after the server is gone.
+  [[nodiscard]] FrameRecycler frame_recycler() const;
 
   [[nodiscard]] std::size_t active_connections() const noexcept;
   [[nodiscard]] std::uint64_t connections_accepted() const noexcept;

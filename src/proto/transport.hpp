@@ -62,6 +62,15 @@ using FrameHandler =
 /// issued it has been torn down is a harmless no-op.
 using CompletionFn = std::function<void(std::vector<std::uint8_t> reply)>;
 
+/// Returns a consumed request frame's buffer to the pool it came from
+/// (FrameServer::frame_recycler()). Whatever consumes the frames a
+/// FrameServer hands out — server::AsyncDispatcher, typically — calls
+/// this once per handled frame so steady-state ingest reuses buffers
+/// instead of allocating per report. Safe from any thread; passing a
+/// frame that did not come from the pool is harmless (it is simply
+/// retained or freed by the pool's own policy).
+using FrameRecycler = std::function<void(std::vector<std::uint8_t>&&)>;
+
 /// The non-blocking server-handler shape: take ownership of the request
 /// frame, return immediately, deliver the reply through `done` whenever it
 /// is ready (possibly inline, possibly from another thread after pool

@@ -44,6 +44,9 @@ ServerHarness::ServerHarness(HarnessOptions options)
           .max_streams_per_connection = options_.max_streams_per_connection,
           .max_stream_backlog = options_.max_stream_backlog,
           .stream_shed_retry_after_ms = options_.retry_after_ms});
+  // Close the buffer loop: frames the dispatcher consumes go back to the
+  // server's pool, so steady-state ingest recycles instead of allocating.
+  dispatcher_->set_frame_recycler(server_->frame_recycler());
   if (options_.serve_stats)
     stats_ = std::make_unique<server::StatsEndpoint>(build_registry(),
                                                      options_.stats_port);
@@ -141,6 +144,15 @@ server::StatsRegistry ServerHarness::build_registry() {
   reg.add("mux_connections",
           [srv] { return srv->stats().reactor.mux_connections; });
   reg.add("streams_shed", [srv] { return srv->stats().reactor.streams_shed; });
+  // Zero-copy ingest gauges (PR 10): pool reuse vs. allocation on the
+  // frame read path, plus bytes relocated by copying fallbacks. The soak
+  // scenario asserts pool_misses and bytes_copied_ingest go flat after
+  // warmup, same discipline as the fd/queue gauges.
+  reg.add("frames_pooled",
+          [srv] { return srv->stats().reactor.frames_pooled; });
+  reg.add("pool_misses", [srv] { return srv->stats().reactor.pool_misses; });
+  reg.add("bytes_copied_ingest",
+          [srv] { return srv->stats().reactor.bytes_copied_ingest; });
   reg.add("shed_ingest", [c, u64] { return u64(c->shed_ingest); });
   server::AsyncDispatcher* disp = dispatcher_.get();
   reg.add("dispatch_pending", [disp] {
@@ -151,6 +163,11 @@ server::StatsRegistry ServerHarness::build_registry() {
   if (durable_) {
     server::DurableBackend* d = durable_.get();
     reg.add("journal_records", [d] { return d->stats().records; });
+    // Submissions journaled via the legacy re-encode path. With the
+    // endpoint's frame capture wired (this harness always is), every
+    // accepted submission journals its captured wire bytes instead — the
+    // gauge must read 0, and CI's quickstart step enforces that.
+    reg.add("journal_reencodes", [d] { return d->journal_reencodes(); });
     reg.add("journal_checkpoints", [d] { return d->stats().checkpoints; });
     reg.add("journal_fsyncs", [d] { return d->stats().fsyncs; });
     // Construction-time recovery facts are immutable after startup.

@@ -101,11 +101,17 @@ int run_soak_scenario(const ScenarioOptions& options) {
       "  every round finalized identical to control: %s\n"
       "  fds flat at baseline after every round: %s\n"
       "  reactor channels drained to zero every round: %s\n"
-      "  dispatcher queue drained to zero every round: %s\n",
+      "  dispatcher queue drained to zero every round: %s\n"
+      "  frame-pool misses flat after warmup: %s\n"
+      "  ingest copy fallback bytes flat after warmup: %s\n"
+      "  journal re-encodes stayed at zero: %s\n",
       report.rounds, static_cast<long long>(report.elapsed.count()),
       report.all_rounds_ok ? "yes" : "NO",
       report.fds_flat ? "yes" : "NO", report.channels_drained ? "yes" : "NO",
-      report.queues_drained ? "yes" : "NO");
+      report.queues_drained ? "yes" : "NO",
+      report.pool_misses_flat ? "yes" : "NO",
+      report.ingest_copies_flat ? "yes" : "NO",
+      report.journal_reencodes_zero ? "yes" : "NO");
   if (!report.all_rounds_ok)
     std::printf("  first failed round: %llu\n",
                 static_cast<unsigned long long>(report.first_failed_round));

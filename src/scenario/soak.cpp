@@ -59,6 +59,13 @@ SoakReport run_soak(ServerHarness& harness, std::uint64_t first_round,
     ++round;
   }
   const std::size_t fd_baseline = open_fds();
+  // Pool/copy baselines join the fd baseline after warmup: the first round
+  // legitimately misses while the pool fills and may journal through the
+  // legacy path during recovery replay — only growth per subsequent round
+  // is a regression.
+  const std::uint64_t miss_baseline = harness.server().stats().reactor.pool_misses;
+  const std::uint64_t copy_baseline =
+      harness.server().stats().reactor.bytes_copied_ingest;
   for (;;) {
     const std::chrono::milliseconds elapsed =
         std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -81,6 +88,11 @@ SoakReport run_soak(ServerHarness& harness, std::uint64_t first_round,
     sample.open_fds = settled_fds.value_or(open_fds());
     sample.active_connections = harness.server().active_connections();
     sample.dispatch_pending = harness.dispatcher().pending();
+    const proto::ReactorCounters& reactor = harness.server().stats().reactor;
+    sample.pool_misses = reactor.pool_misses;
+    sample.bytes_copied_ingest = reactor.bytes_copied_ingest;
+    sample.journal_reencodes =
+        harness.durable() ? harness.durable()->journal_reencodes() : 0;
     report.samples.push_back(sample);
     ++report.rounds;
 
@@ -96,11 +108,22 @@ SoakReport run_soak(ServerHarness& harness, std::uint64_t first_round,
   report.fds_flat = true;
   report.channels_drained = true;
   report.queues_drained = true;
+  report.pool_misses_flat = true;
+  report.ingest_copies_flat = true;
+  report.journal_reencodes_zero = true;
   for (const SoakRound& s : report.samples) {
     report.fds_flat = report.fds_flat && s.settled && s.open_fds <= fd_baseline;
     report.channels_drained =
         report.channels_drained && s.active_connections == 0;
     report.queues_drained = report.queues_drained && s.dispatch_pending == 0;
+    report.pool_misses_flat =
+        report.pool_misses_flat && s.pool_misses <= miss_baseline;
+    report.ingest_copies_flat =
+        report.ingest_copies_flat && s.bytes_copied_ingest <= copy_baseline;
+    // Absolute zero, not a baseline: the harness wires frame capture into
+    // every endpoint, so even the warmup round must not re-encode.
+    report.journal_reencodes_zero =
+        report.journal_reencodes_zero && s.journal_reencodes == 0;
   }
   return report;
 }

@@ -41,6 +41,10 @@ struct SoakRound {
   std::size_t open_fds = 0;    // process fds after settling
   std::size_t active_connections = 0;
   std::size_t dispatch_pending = 0;
+  // Zero-copy ingest gauges (cumulative counters, sampled per round).
+  std::uint64_t pool_misses = 0;
+  std::uint64_t bytes_copied_ingest = 0;
+  std::uint64_t journal_reencodes = 0;
 };
 
 struct SoakReport {
@@ -52,11 +56,20 @@ struct SoakReport {
   bool fds_flat = false;
   bool channels_drained = false;  // active_connections == 0 every sample
   bool queues_drained = false;    // dispatch_pending == 0 every sample
+  /// Frame buffers recycle in steady state: after the warmup round has
+  /// populated the pool, a fixed round shape must not allocate (a rising
+  /// miss count means frames leak out of the recycle loop) nor fall back
+  /// to copying transforms (bytes_copied_ingest flat), and a journaling
+  /// round must never re-encode a submission it captured off the wire.
+  bool pool_misses_flat = false;
+  bool ingest_copies_flat = false;
+  bool journal_reencodes_zero = false;  // vacuously true without a journal
   std::uint64_t first_failed_round = 0;
 
   [[nodiscard]] bool ok() const noexcept {
     return rounds > 0 && all_rounds_ok && fds_flat && channels_drained &&
-           queues_drained;
+           queues_drained && pool_misses_flat && ingest_copies_flat &&
+           journal_reencodes_zero;
   }
 };
 

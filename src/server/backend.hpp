@@ -14,6 +14,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -104,6 +105,28 @@ class RoundBackend {
   /// Accept one reporter's adjustment for the missing set.
   virtual void submit_adjustment(std::size_t participant_index,
                                  std::vector<crypto::BlindCell> adjustment) = 0;
+
+  /// Submission variants carrying the already-validated wire bytes the
+  /// cells were decoded from (the endpoint's view of the accepted frame).
+  /// Plain aggregating backends ignore the bytes — these defaults just
+  /// delegate — but a journaling decorator (DurableBackend) overrides
+  /// them to persist the captured frame instead of re-encoding an
+  /// identical one per submission. `frame` is only valid for the duration
+  /// of the call (it aliases the dispatcher's pooled buffer); an empty
+  /// span means "no capture available" and must behave exactly like the
+  /// plain submit.
+  virtual void submit_report_frame(std::size_t participant_index,
+                                   std::vector<crypto::BlindCell> blinded_cells,
+                                   std::span<const std::uint8_t> frame) {
+    (void)frame;
+    submit_report(participant_index, std::move(blinded_cells));
+  }
+  virtual void submit_adjustment_frame(
+      std::size_t participant_index, std::vector<crypto::BlindCell> adjustment,
+      std::span<const std::uint8_t> frame) {
+    (void)frame;
+    submit_adjustment(participant_index, std::move(adjustment));
+  }
 
   /// Aggregate, cancel blindings (applying any adjustments), query the full
   /// id space, and compute the distribution + threshold. `pool` fans the

@@ -35,6 +35,16 @@ AsyncDispatcher::AsyncDispatcher(proto::FrameHandler handler,
 
 AsyncDispatcher::~AsyncDispatcher() { stop(); }
 
+void AsyncDispatcher::set_frame_recycler(proto::FrameRecycler recycler) {
+  std::lock_guard<std::mutex> lock(recycler_mu_);
+  recycler_ = std::move(recycler);
+}
+
+proto::FrameRecycler AsyncDispatcher::recycler() const {
+  std::lock_guard<std::mutex> lock(recycler_mu_);
+  return recycler_;
+}
+
 void AsyncDispatcher::submit(std::vector<std::uint8_t> frame,
                              proto::CompletionFn done) {
   Lane& lane = *lanes_[router_ ? router_(frame) % lanes_.size() : 0];
@@ -56,6 +66,11 @@ void AsyncDispatcher::submit(std::vector<std::uint8_t> frame,
       }
     }
   }
+  // Both refusal paths below drop the payload here and now — the buffer
+  // goes straight back to the server's pool instead of dying with the
+  // local.
+  if (const proto::FrameRecycler recycle = recycler())
+    recycle(std::move(frame));
   if (shed) {
     shed_.fetch_add(1, std::memory_order_relaxed);
     if (limits_.counters != nullptr) {
@@ -158,6 +173,11 @@ void AsyncDispatcher::worker_loop(Lane& lane) {
                                 .detail = e.what()}
                   .encode();
     }
+    // The frame is consumed: recycle its buffer before delivering the
+    // reply, so by the time the client sees the answer the pool is ready
+    // to serve the next read.
+    if (const proto::FrameRecycler recycle = recycler())
+      recycle(std::move(job.first));
     if (job.second) job.second(std::move(reply));
   }
 }

@@ -107,6 +107,13 @@ class AsyncDispatcher {
   /// mutex.
   void submit(std::vector<std::uint8_t> frame, proto::CompletionFn done);
 
+  /// Wire the server's buffer recycler (FrameServer::frame_recycler()):
+  /// every frame the dispatcher consumes — handled, shed at the lane
+  /// bound, or refused during teardown — has its buffer returned through
+  /// it, closing the pool's read-dispatch-recycle loop. Call at wiring
+  /// time, right after constructing the server the dispatcher feeds.
+  void set_frame_recycler(proto::FrameRecycler recycler);
+
   /// The AsyncFrameHandler shape FrameServer consumes (binds submit()).
   [[nodiscard]] proto::AsyncFrameHandler handler();
 
@@ -147,6 +154,9 @@ class AsyncDispatcher {
   };
 
   void worker_loop(Lane& lane);
+  /// Thread-safe snapshot of the recycler (set once at wiring time, read
+  /// per frame by workers and the shed path).
+  [[nodiscard]] proto::FrameRecycler recycler() const;
 
   proto::FrameHandler handler_;
   LaneRouter router_;
@@ -158,6 +168,8 @@ class AsyncDispatcher {
   /// Phase gate: barrier frames hold it exclusively, everything else
   /// shared. Uncontended shared acquisition is what an ingest frame pays.
   std::shared_mutex phase_mu_;
+  mutable std::mutex recycler_mu_;
+  proto::FrameRecycler recycler_;
   // unique_ptr: Lane owns a mutex/cv, so the vector must never relocate.
   std::vector<std::unique_ptr<Lane>> lanes_;
 };

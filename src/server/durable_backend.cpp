@@ -1,6 +1,7 @@
 #include "server/durable_backend.hpp"
 
 #include <mutex>
+#include <stdexcept>
 #include <utility>
 
 #include "proto/message.hpp"
@@ -51,20 +52,10 @@ void DurableBackend::begin_round(std::uint64_t round,
   enqueue_checkpoint_locked();
 }
 
-void DurableBackend::submit_report(std::size_t participant_index,
-                                   std::vector<crypto::BlindCell> cells) {
-  std::shared_lock<std::shared_mutex> lock(phase_mu_);
-  // Re-encode the canonical wire frame BEFORE the cells move into the
-  // backend; it is only enqueued after the inner backend accepted (a
-  // refused submission must not be journaled — replay applies records
-  // unconditionally through this same validation).
-  proto::BlindedReport report{
-      .participant = static_cast<std::uint32_t>(participant_index),
-      .params = inner_.config().cms_params,
-      .cells = std::move(cells)};
-  std::vector<std::uint8_t> frame = report.encode(inner_.current_round());
-  inner_.submit_report(participant_index, std::move(report.cells));
-  const std::uint64_t index = queue_->enqueue_record(std::move(frame));
+void DurableBackend::journal_submission_locked(
+    std::shared_lock<std::shared_mutex>& lock,
+    std::vector<std::uint8_t> record) {
+  const std::uint64_t index = queue_->enqueue_record(std::move(record));
   if (config_.sync_each_submit) queue_->wait_durable(index);
   const std::size_t since =
       since_checkpoint_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -79,18 +70,82 @@ void DurableBackend::submit_report(std::size_t participant_index,
   }
 }
 
+void DurableBackend::submit_report(std::size_t participant_index,
+                                   std::vector<crypto::BlindCell> cells) {
+  std::shared_lock<std::shared_mutex> lock(phase_mu_);
+  // Legacy path (no captured frame): re-encode the canonical wire frame
+  // BEFORE the cells move into the backend; it is only enqueued after the
+  // inner backend accepted (a refused submission must not be journaled —
+  // replay applies records unconditionally through this same validation).
+  reencodes_.fetch_add(1, std::memory_order_relaxed);
+  proto::BlindedReport report{
+      .participant = static_cast<std::uint32_t>(participant_index),
+      .params = inner_.config().cms_params,
+      .cells = std::move(cells)};
+  std::vector<std::uint8_t> frame = report.encode(inner_.current_round());
+  inner_.submit_report(participant_index, std::move(report.cells));
+  journal_submission_locked(lock, std::move(frame));
+}
+
 void DurableBackend::submit_adjustment(std::size_t participant_index,
                                        std::vector<crypto::BlindCell> adj) {
   std::shared_lock<std::shared_mutex> lock(phase_mu_);
+  reencodes_.fetch_add(1, std::memory_order_relaxed);
   proto::Adjustment adjustment{
       .participant = static_cast<std::uint32_t>(participant_index),
       .params = inner_.config().cms_params,
       .cells = std::move(adj)};
   std::vector<std::uint8_t> frame = adjustment.encode(inner_.current_round());
   inner_.submit_adjustment(participant_index, std::move(adjustment.cells));
-  const std::uint64_t index = queue_->enqueue_record(std::move(frame));
-  if (config_.sync_each_submit) queue_->wait_durable(index);
-  since_checkpoint_.fetch_add(1, std::memory_order_relaxed);
+  journal_submission_locked(lock, std::move(frame));
+}
+
+void DurableBackend::submit_report_frame(std::size_t participant_index,
+                                         std::vector<crypto::BlindCell> cells,
+                                         std::span<const std::uint8_t> frame) {
+  if (frame.empty()) {  // no capture available: exactly the legacy path
+    submit_report(participant_index, std::move(cells));
+    return;
+  }
+  std::shared_lock<std::shared_mutex> lock(phase_mu_);
+  // One memcpy of the accepted bytes replaces the per-submission
+  // re-encode. The copy itself is unavoidable — the journal writer is
+  // asynchronous and `frame` aliases the dispatcher's pooled buffer —
+  // but it is a straight byte copy, not a second serialization pass.
+  std::vector<std::uint8_t> record(frame.begin(), frame.end());
+  if (config_.verify_captured_frames) {
+    const proto::BlindedReport report{
+        .participant = static_cast<std::uint32_t>(participant_index),
+        .params = inner_.config().cms_params,
+        .cells = cells};
+    if (report.encode(inner_.current_round()) != record)
+      throw std::logic_error(
+          "DurableBackend: captured report frame != canonical encoding");
+  }
+  inner_.submit_report(participant_index, std::move(cells));
+  journal_submission_locked(lock, std::move(record));
+}
+
+void DurableBackend::submit_adjustment_frame(
+    std::size_t participant_index, std::vector<crypto::BlindCell> adj,
+    std::span<const std::uint8_t> frame) {
+  if (frame.empty()) {
+    submit_adjustment(participant_index, std::move(adj));
+    return;
+  }
+  std::shared_lock<std::shared_mutex> lock(phase_mu_);
+  std::vector<std::uint8_t> record(frame.begin(), frame.end());
+  if (config_.verify_captured_frames) {
+    const proto::Adjustment adjustment{
+        .participant = static_cast<std::uint32_t>(participant_index),
+        .params = inner_.config().cms_params,
+        .cells = adj};
+    if (adjustment.encode(inner_.current_round()) != record)
+      throw std::logic_error(
+          "DurableBackend: captured adjustment frame != canonical encoding");
+  }
+  inner_.submit_adjustment(participant_index, std::move(adj));
+  journal_submission_locked(lock, std::move(record));
 }
 
 std::vector<std::size_t> DurableBackend::missing_participants() const {

@@ -55,6 +55,12 @@ struct DurabilityConfig {
   /// Install a mid-round checkpoint every N accepted submissions (caps
   /// replay time after a crash); 0 disables mid-round checkpoints.
   std::size_t checkpoint_every_records = 65536;
+  /// Paranoia mode for the captured-frame fast path: re-encode every
+  /// captured submission and throw if the bytes differ from the canonical
+  /// encoding. Costs exactly the re-encode the capture exists to avoid —
+  /// for tests asserting the journal format stayed bit-identical, not for
+  /// production.
+  bool verify_captured_frames = false;
   storage::JournalOptions journal;
   storage::DurabilityOptions queue;
 };
@@ -90,6 +96,18 @@ class DurableBackend final : public RoundBackend {
   [[nodiscard]] std::vector<std::size_t> missing_participants() const override;
   void submit_adjustment(std::size_t participant_index,
                          std::vector<crypto::BlindCell> adjustment) override;
+  /// Fast path: journal the endpoint's captured wire bytes (a memcpy into
+  /// the queue) instead of re-encoding the submission. Bit-identical to
+  /// the re-encode by the canonical-encoding invariant — decode enforces
+  /// participant == sender, round == the open round, and no trailing
+  /// bytes, so an accepted frame IS its own canonical encoding (checked
+  /// live under DurabilityConfig::verify_captured_frames).
+  void submit_report_frame(std::size_t participant_index,
+                           std::vector<crypto::BlindCell> blinded_cells,
+                           std::span<const std::uint8_t> frame) override;
+  void submit_adjustment_frame(std::size_t participant_index,
+                               std::vector<crypto::BlindCell> adjustment,
+                               std::span<const std::uint8_t> frame) override;
   [[nodiscard]] RoundResult finalize_round(
       util::ThreadPool* pool = nullptr) override;
   [[nodiscard]] RoundSnapshot snapshot_round() const override;
@@ -107,7 +125,19 @@ class DurableBackend final : public RoundBackend {
     return queue_->stats();
   }
 
+  /// Submissions journaled through the legacy re-encode path (no captured
+  /// frame supplied). The stats endpoint surfaces this as
+  /// `journal_reencodes`; with the endpoint capture wired it reads 0.
+  [[nodiscard]] std::uint64_t journal_reencodes() const noexcept {
+    return reencodes_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Shared tail of every submit path: enqueue the record, honor
+  /// sync_each_submit, pace mid-round checkpoints. Consumes `lock` (the
+  /// caller's shared phase lock).
+  void journal_submission_locked(std::shared_lock<std::shared_mutex>& lock,
+                                 std::vector<std::uint8_t> record);
   /// Enqueue a checkpoint of the inner backend's current state. Caller
   /// holds the phase lock exclusively.
   void enqueue_checkpoint_locked();
@@ -120,6 +150,7 @@ class DurableBackend final : public RoundBackend {
   mutable std::shared_mutex phase_mu_;
   /// Submissions since the last checkpoint (mid-round checkpoint pacing).
   std::atomic<std::size_t> since_checkpoint_{0};
+  std::atomic<std::uint64_t> reencodes_{0};
   std::atomic<bool> shut_down_{false};
 };
 

@@ -41,7 +41,7 @@ std::vector<std::uint8_t> BackendEndpoint::handle(
     std::span<const std::uint8_t> frame) {
   counters_.frames.fetch_add(1, std::memory_order_relaxed);
   try {
-    return dispatch(proto::decode_envelope(frame));
+    return dispatch(proto::decode_envelope_view(frame));
   } catch (const proto::ProtoError& e) {
     return refuse(e.code(), e.what());
   } catch (const std::invalid_argument& e) {
@@ -58,7 +58,7 @@ std::vector<std::uint8_t> BackendEndpoint::handle(
 }
 
 std::vector<std::uint8_t> BackendEndpoint::dispatch(
-    const proto::Envelope& env) {
+    const proto::EnvelopeView& env) {
   switch (env.kind) {
     case proto::MsgKind::kBlindedReport:
       return on_report(env);
@@ -81,7 +81,7 @@ std::vector<std::uint8_t> BackendEndpoint::dispatch(
 }
 
 std::vector<std::uint8_t> BackendEndpoint::on_control(
-    const proto::Envelope& env) {
+    const proto::EnvelopeView& env) {
   switch (env.kind) {
     case proto::MsgKind::kBeginRound: {
       const proto::BeginRound begin = proto::BeginRound::decode(env);
@@ -133,7 +133,7 @@ std::vector<std::uint8_t> BackendEndpoint::on_control(
 }
 
 std::vector<std::uint8_t> BackendEndpoint::on_report(
-    const proto::Envelope& env) {
+    const proto::EnvelopeView& env) {
   // Round check before anything is applied: blinded cells only cancel
   // within the round their pads were salted for, so a stale frame — a
   // slow reporter, a delayed retransmit, a submission overtaking a
@@ -148,14 +148,17 @@ std::vector<std::uint8_t> BackendEndpoint::on_report(
   if (report.params != backend_.config().cms_params)
     return refuse(proto::ErrorCode::kGeometryMismatch,
                   "report geometry != round geometry");
-  backend_.submit_report(report.participant, std::move(report.cells));
+  // env.raw carries the accepted frame's exact wire bytes — a journaling
+  // backend persists them directly instead of re-encoding the report.
+  backend_.submit_report_frame(report.participant, std::move(report.cells),
+                               env.raw);
   counters_.reports_accepted.fetch_add(1, std::memory_order_relaxed);
   counters_.round_reports.fetch_add(1, std::memory_order_relaxed);
   return proto::encode_ack();
 }
 
 std::vector<std::uint8_t> BackendEndpoint::on_adjustment(
-    const proto::Envelope& env) {
+    const proto::EnvelopeView& env) {
   // Same stale-frame refusal as on_report.
   if (env.round != backend_.current_round()) {
     counters_.refused_stale_round.fetch_add(1, std::memory_order_relaxed);
@@ -166,19 +169,24 @@ std::vector<std::uint8_t> BackendEndpoint::on_adjustment(
   if (adj.params != backend_.config().cms_params)
     return refuse(proto::ErrorCode::kGeometryMismatch,
                   "adjustment geometry != round geometry");
-  backend_.submit_adjustment(adj.participant, std::move(adj.cells));
+  backend_.submit_adjustment_frame(adj.participant, std::move(adj.cells),
+                                   env.raw);
   counters_.adjustments_accepted.fetch_add(1, std::memory_order_relaxed);
   counters_.round_adjustments.fetch_add(1, std::memory_order_relaxed);
   return proto::encode_ack();
 }
 
 std::vector<std::uint8_t> BackendEndpoint::on_sharded(
-    const proto::Envelope& env) {
+    const proto::EnvelopeView& env) {
   if (cluster_ == nullptr)
     return refuse(proto::ErrorCode::kRejected,
                   "sharded-submit to a non-sharded backend");
-  const proto::ShardedSubmit sub = proto::ShardedSubmit::decode(env);
-  const proto::Envelope inner = proto::decode_envelope(sub.inner);
+  // Zero-copy unwrap: the inner envelope is decoded as a view into the
+  // wrapper's payload — inner.raw then names the inner frame's own bytes,
+  // which is exactly what the journal capture must persist (replay
+  // re-applies the submission without its routing wrapper).
+  const proto::ShardedSubmitView sub = proto::decode_sharded_view(env);
+  const proto::EnvelopeView inner = proto::decode_envelope_view(sub.inner);
   if (inner.kind != proto::MsgKind::kBlindedReport &&
       inner.kind != proto::MsgKind::kAdjustment) {
     return refuse(proto::ErrorCode::kUnknownKind,

@@ -93,11 +93,14 @@ class BackendEndpoint {
   [[nodiscard]] EndpointCounters& counters() noexcept { return counters_; }
 
  private:
-  std::vector<std::uint8_t> dispatch(const proto::Envelope& env);
-  std::vector<std::uint8_t> on_report(const proto::Envelope& env);
-  std::vector<std::uint8_t> on_adjustment(const proto::Envelope& env);
-  std::vector<std::uint8_t> on_sharded(const proto::Envelope& env);
-  std::vector<std::uint8_t> on_control(const proto::Envelope& env);
+  // Everything below works on EnvelopeView — a validated, zero-copy view
+  // into the request buffer. env.raw (the accepted frame's own bytes) is
+  // what submit_*_frame hands the backend for journal capture.
+  std::vector<std::uint8_t> dispatch(const proto::EnvelopeView& env);
+  std::vector<std::uint8_t> on_report(const proto::EnvelopeView& env);
+  std::vector<std::uint8_t> on_adjustment(const proto::EnvelopeView& env);
+  std::vector<std::uint8_t> on_sharded(const proto::EnvelopeView& env);
+  std::vector<std::uint8_t> on_control(const proto::EnvelopeView& env);
   /// Count + encode one refusal (every Error reply goes through here).
   std::vector<std::uint8_t> refuse(proto::ErrorCode code,
                                    const std::string& detail);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sketch/sketch_kernel.hpp"
 #include "util/rng.hpp"
 
 namespace eyw::sketch {
@@ -30,19 +31,30 @@ std::size_t reduce_to_width(std::uint64_t h, std::uint64_t width) noexcept {
 }
 
 /// Row-major min-scan shared by query_many/query_range: per row, hoist the
-/// hash coefficients and row base, then fold each key's cell into out.
+/// hash coefficients and row base, hash a block of keys into a column-index
+/// buffer (scalar — the M61 affine needs 128-bit products), then fold the
+/// scattered cells through the dispatched row_min kernel (AVX2 gather+min
+/// when available, the scalar loop otherwise — bit-identical either way).
 template <typename KeyAt>
 void min_scan(std::size_t depth, std::size_t width, const std::uint64_t* a,
               const std::uint64_t* b, const std::uint32_t* cells,
               std::span<std::uint32_t> out, KeyAt key_at) {
+  const SketchKernel& kernel = active_sketch_kernel();
+  constexpr std::size_t kBlock = 256;
+  std::uint32_t idx[kBlock];
   std::fill(out.begin(), out.end(), ~0U);
   for (std::size_t j = 0; j < depth; ++j) {
     const std::uint64_t aj = a[j];
     const std::uint64_t bj = b[j];
     const std::uint32_t* row = cells + j * width;
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      const std::uint64_t h = affine_mod_m61(aj, key_at(i) & kMersenne61, bj);
-      out[i] = std::min(out[i], row[reduce_to_width(h, width)]);
+    for (std::size_t base = 0; base < out.size(); base += kBlock) {
+      const std::size_t n = std::min(kBlock, out.size() - base);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t h =
+            affine_mod_m61(aj, key_at(base + i) & kMersenne61, bj);
+        idx[i] = static_cast<std::uint32_t>(reduce_to_width(h, width));
+      }
+      kernel.row_min(out.data() + base, row, idx, n);
     }
   }
 }
@@ -127,7 +139,8 @@ CountMinSketch CountMinSketch::from_cells(CmsParams params,
 void CountMinSketch::merge(const CountMinSketch& other) {
   if (params_ != other.params_ || seed_ != other.seed_)
     throw std::invalid_argument("CountMinSketch::merge: incompatible sketches");
-  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  active_sketch_kernel().add_cells(cells_.data(), other.cells_.data(),
+                                   cells_.size());
   total_ += other.total_;
 }
 

@@ -468,6 +468,7 @@ TEST(ClientReactor, ThousandReporterSwarmOnTwoThreadsBitIdenticalRound) {
                      {.backlog = kReporters + 8,  // swarm connects in a burst
                       .reactor_shards = 1,
                       .max_connections = kReporters + 8});
+  dispatcher.set_frame_recycler(server.frame_recycler());
 
   const auto make_cells = [&](std::size_t i) {
     std::vector<std::uint32_t> cells(config.cms_params.cells());

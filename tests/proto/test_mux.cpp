@@ -723,6 +723,7 @@ TEST(MuxEndToEnd, MuxSwarmRoundBitIdenticalToInProcess) {
       server::control_plane_barrier(),
       {.max_lane_depth = 4096, .counters = &endpoint.counters()});
   FrameServer server(dispatcher.handler(), {.reactor_shards = 1});
+  dispatcher.set_frame_recycler(server.frame_recycler());
 
   const auto make_cells = [&](std::size_t i) {
     std::vector<std::uint32_t> cells(config.cms_params.cells());

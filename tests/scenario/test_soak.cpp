@@ -40,6 +40,16 @@ TEST(Soak, ShortSoakHoldsEveryGaugeFlat) {
   EXPECT_TRUE(report.fds_flat) << "fd trajectory:" << trajectory;
   EXPECT_TRUE(report.channels_drained);
   EXPECT_TRUE(report.queues_drained);
+  // Zero-copy ingest discipline: after the warmup round fills the frame
+  // pool, a fixed round shape must recycle every buffer (no new misses),
+  // never hit the copying mux fallback, and journal captured wire bytes
+  // instead of re-encoding submissions.
+  std::string misses;
+  for (const SoakRound& s : report.samples)
+    misses += " " + std::to_string(s.pool_misses);
+  EXPECT_TRUE(report.pool_misses_flat) << "pool miss trajectory:" << misses;
+  EXPECT_TRUE(report.ingest_copies_flat);
+  EXPECT_TRUE(report.journal_reencodes_zero);
   EXPECT_TRUE(report.ok());
   // Every sample actually settled — an unsettled stack would mean the
   // zero-growth numbers were read mid-drain.

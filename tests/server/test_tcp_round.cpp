@@ -161,6 +161,7 @@ TEST(TcpRound, FullRoundBitIdenticalThroughAsyncDispatcherAndShards) {
   });
   proto::FrameServer server(dispatcher.handler(),
                             {.reactor_shards = 3});
+  dispatcher.set_frame_recycler(server.frame_recycler());
   EXPECT_EQ(server.shards(), 3u);
   proto::TcpTransport link("127.0.0.1", server.port());
   RemoteBackend remote(link, backend_config());
@@ -206,6 +207,7 @@ TEST(TcpRound, FullRoundBitIdenticalWithShardedDispatcherLanes) {
   });
   ASSERT_EQ(one_lane.lanes(), 1u);
   proto::FrameServer one_server(one_lane.handler(), {.reactor_shards = 1});
+  one_lane.set_frame_recycler(one_server.frame_recycler());
   proto::TcpTransport one_link("127.0.0.1", one_server.port());
   RemoteBackend one_remote(one_link, backend_config());
   auto exts_one = make_fleet(mapper, 6);
@@ -226,6 +228,7 @@ TEST(TcpRound, FullRoundBitIdenticalWithShardedDispatcherLanes) {
   ASSERT_EQ(sharded.lanes(), 2u);
   proto::FrameServer sharded_server(sharded.handler(),
                                     {.reactor_shards = 2});
+  sharded.set_frame_recycler(sharded_server.frame_recycler());
   proto::TcpTransport sharded_link("127.0.0.1", sharded_server.port());
   RemoteBackend sharded_remote(sharded_link, backend_config());
   auto exts_sharded = make_fleet(mapper, 6);

@@ -1,0 +1,141 @@
+// Wire-byte journal capture (zero-copy ingest): a DurableBackend handed
+// the accepted frame's own bytes must journal them without re-encoding,
+// and the journaled record must be bit-identical to what the legacy
+// re-encode path would have written — the journal format is frozen.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "proto/message.hpp"
+#include "server/backend.hpp"
+#include "server/durable_backend.hpp"
+#include "server/endpoint.hpp"
+#include "storage/journal.hpp"
+#include "storage_test_util.hpp"
+
+namespace eyw::storage {
+namespace {
+
+std::vector<std::uint8_t> report_frame(const server::BackendConfig& config,
+                                       std::size_t participant,
+                                       std::uint64_t round) {
+  return proto::BlindedReport{
+      .participant = static_cast<std::uint32_t>(participant),
+      .params = config.cms_params,
+      .cells = test_cells(config, participant)}
+      .encode(round);
+}
+
+std::vector<std::uint8_t> adjustment_frame(const server::BackendConfig& config,
+                                           std::size_t participant,
+                                           std::uint64_t round) {
+  return proto::Adjustment{
+      .participant = static_cast<std::uint32_t>(participant),
+      .params = config.cms_params,
+      .cells = test_cells(config, participant + 50)}
+      .encode(round);
+}
+
+/// Every journaled record with index >= `from`, payload bytes copied out.
+std::vector<std::vector<std::uint8_t>> journal_records(const std::string& dir,
+                                                       std::uint64_t from) {
+  Journal journal(dir);
+  std::vector<std::vector<std::uint8_t>> records;
+  (void)journal.replay(from, [&](std::uint64_t,
+                                 std::span<const std::uint8_t> payload) {
+    records.emplace_back(payload.begin(), payload.end());
+  });
+  return records;
+}
+
+TEST(FrameCapture, CapturedSubmissionsJournalWithoutReencoding) {
+  TempDir tmp;
+  const server::BackendConfig config = test_config();
+  server::BackendServer inner(config);
+  server::DurableBackend durable(
+      inner, {.dir = tmp.path(), .verify_captured_frames = true});
+  durable.begin_round(3, 4);
+
+  // verify_captured_frames re-encodes inside the backend and throws on
+  // any byte difference, so a passing submit IS the bit-identity check.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::vector<std::uint8_t> frame = report_frame(config, i, 3);
+    const proto::Envelope env = proto::decode_envelope(frame);
+    proto::BlindedReport report = proto::BlindedReport::decode(env);
+    durable.submit_report_frame(i, std::move(report.cells), frame);
+  }
+  const std::vector<std::uint8_t> adj = adjustment_frame(config, 1, 3);
+  {
+    const proto::Envelope env = proto::decode_envelope(adj);
+    proto::Adjustment adjustment = proto::Adjustment::decode(env);
+    durable.submit_adjustment_frame(1, std::move(adjustment.cells), adj);
+  }
+  EXPECT_EQ(durable.journal_reencodes(), 0u);
+  durable.shutdown();
+}
+
+TEST(FrameCapture, CapturedAndLegacyPathsJournalIdenticalBytes) {
+  const server::BackendConfig config = test_config();
+  constexpr std::uint64_t kRound = 7;
+  constexpr std::size_t kRoster = 3;
+
+  TempDir captured_dir;
+  TempDir legacy_dir;
+  {
+    server::BackendServer inner(config);
+    server::DurableBackend durable(inner, {.dir = captured_dir.path()});
+    durable.begin_round(kRound, kRoster);
+    for (std::size_t i = 0; i < kRoster; ++i) {
+      const std::vector<std::uint8_t> frame = report_frame(config, i, kRound);
+      durable.submit_report_frame(i, test_cells(config, i), frame);
+    }
+    EXPECT_EQ(durable.journal_reencodes(), 0u);
+    durable.shutdown();
+  }
+  {
+    server::BackendServer inner(config);
+    server::DurableBackend durable(inner, {.dir = legacy_dir.path()});
+    durable.begin_round(kRound, kRoster);
+    for (std::size_t i = 0; i < kRoster; ++i)
+      durable.submit_report(i, test_cells(config, i));
+    EXPECT_EQ(durable.journal_reencodes(), kRoster);
+    durable.shutdown();
+  }
+
+  // The frozen journal contract: frame capture changes how the record's
+  // bytes are produced, never what they are. The journal only ever holds
+  // submissions (checkpoints live in their own files), so replaying from
+  // 0 compares the complete record streams.
+  const auto captured = journal_records(captured_dir.path(), 0);
+  const auto legacy = journal_records(legacy_dir.path(), 0);
+  ASSERT_EQ(captured.size(), legacy.size());
+  for (std::size_t i = 0; i < captured.size(); ++i)
+    EXPECT_EQ(captured[i], legacy[i]) << "record " << i;
+}
+
+TEST(FrameCapture, EndpointWiresRawFrameThroughToJournalCapture) {
+  TempDir tmp;
+  const server::BackendConfig config = test_config();
+  server::BackendServer inner(config);
+  server::DurableBackend durable(
+      inner, {.dir = tmp.path(), .verify_captured_frames = true});
+  server::BackendEndpoint endpoint(durable, nullptr, /*serve_control=*/true);
+
+  ASSERT_EQ(proto::peek_kind(endpoint.handle(
+                proto::BeginRound{.roster = 2}.encode(1))),
+            proto::MsgKind::kAck);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const std::vector<std::uint8_t> frame = report_frame(config, i, 1);
+    EXPECT_EQ(proto::peek_kind(endpoint.handle(frame)), proto::MsgKind::kAck)
+        << "participant " << i;
+  }
+  // The whole point of env.raw: an endpoint-served submission never takes
+  // the re-encode path.
+  EXPECT_EQ(durable.journal_reencodes(), 0u);
+  durable.shutdown();
+}
+
+}  // namespace
+}  // namespace eyw::storage
